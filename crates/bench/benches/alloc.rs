@@ -1,0 +1,72 @@
+//! Microbenchmarks of the Algorithm 2 slot allocator under churn: the
+//! controller runs Insert/Evict on every cache update, so First-Fit must
+//! stay cheap even at prototype scale (64K indexes × 8 arrays).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netcache_controller::SlotAllocator;
+use netcache_proto::Key;
+use std::hint::black_box;
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc");
+
+    // Steady-state churn at ~75% occupancy: evict one, insert one.
+    let mut a = SlotAllocator::new(8, 16_384);
+    let mut next = 0u64;
+    let mut live = Vec::new();
+    while a.free_units() > a.capacity_units() / 4 {
+        if a.insert(Key::from_u64(next), (next % 8 + 1) as usize)
+            .is_some()
+        {
+            live.push(next);
+        }
+        next += 1;
+    }
+    let mut cursor = 0usize;
+    group.bench_function("churn_evict_insert_75pct", |b| {
+        b.iter(|| {
+            cursor = (cursor + 1) % live.len();
+            let victim = live[cursor];
+            a.evict(&Key::from_u64(victim));
+            let units = (victim % 8 + 1) as usize;
+            black_box(a.insert(Key::from_u64(victim), units))
+        })
+    });
+
+    // Worst case: insert into a nearly full allocator (long First-Fit scan).
+    let mut full = SlotAllocator::new(8, 16_384);
+    let mut k = 0u64;
+    while full.insert(Key::from_u64(k), 8).is_some() {
+        k += 1;
+    }
+    full.evict(&Key::from_u64(k - 1)); // one free bin at the far end
+    group.bench_function("first_fit_scan_full", |b| {
+        b.iter(|| {
+            full.evict(&Key::from_u64(k - 1));
+            black_box(full.insert(Key::from_u64(k - 1), 8))
+        })
+    });
+
+    // Reorganization cost at prototype-ish scale.
+    group.bench_function("reorganize_4k_items", |b| {
+        let mut frag = SlotAllocator::new(8, 4_096);
+        let mut id = 0u64;
+        for _ in 0..4_096 {
+            frag.insert(Key::from_u64(id), (id % 4 + 1) as usize);
+            id += 1;
+        }
+        b.iter(|| {
+            let mut copy = frag.clone();
+            black_box(copy.reorganize().len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_alloc
+}
+criterion_main!(benches);

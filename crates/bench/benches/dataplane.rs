@@ -1,0 +1,110 @@
+//! Microbenchmarks of the switch data-plane program: the per-packet cost
+//! of each path through Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use netcache_dataplane::{LookupEntry, NetCacheSwitch, SwitchConfig, SwitchDriver};
+use netcache_proto::{Key, Packet, Value};
+use std::hint::black_box;
+
+const CLIENT_IP: u32 = 0x0a00_0001;
+const SERVER_IP: u32 = 0x0a00_0101;
+const CLIENT_PORT: u16 = 60;
+const SERVER_PORT: u16 = 1;
+
+fn switch_with_items(items: usize, value_len: usize) -> NetCacheSwitch {
+    let mut sw = NetCacheSwitch::new(SwitchConfig::prototype()).expect("fits");
+    sw.add_route(CLIENT_IP, 32, CLIENT_PORT);
+    sw.add_route(SERVER_IP, 32, SERVER_PORT);
+    let units = value_len.div_ceil(16).max(1);
+    let bitmap = ((1u16 << units) - 1) as u8;
+    for i in 0..items {
+        let key = Key::from_u64(i as u64);
+        sw.write_value(0, bitmap, i as u32, &Value::for_item(i as u64, value_len));
+        sw.insert_entry(
+            key,
+            LookupEntry {
+                bitmap,
+                value_index: i as u32,
+                key_index: i as u32,
+                egress_port: SERVER_PORT,
+                value_len: value_len as u8,
+            },
+        )
+        .expect("capacity");
+        sw.install_value_len(0, i as u32, value_len as u16);
+        sw.install_status(0, i as u32, 1);
+    }
+    sw
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switch_pipeline");
+
+    for &len in &[32usize, 128] {
+        let mut sw = switch_with_items(1024, len);
+        let pkt = Packet::get_query(1, CLIENT_IP, SERVER_IP, Key::from_u64(7), 0);
+        group.bench_function(format!("get_hit_{len}B"), |b| {
+            b.iter_batched(
+                || pkt.clone(),
+                |p| black_box(sw.process(p, CLIENT_PORT)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    let mut sw = switch_with_items(1024, 128);
+    let miss = Packet::get_query(1, CLIENT_IP, SERVER_IP, Key::from_u64(999_999), 0);
+    group.bench_function("get_miss_with_stats", |b| {
+        b.iter_batched(
+            || miss.clone(),
+            |p| black_box(sw.process(p, CLIENT_PORT)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let put = Packet::put_query(
+        1,
+        CLIENT_IP,
+        SERVER_IP,
+        Key::from_u64(7),
+        1,
+        Value::filled(1, 128),
+    );
+    group.bench_function("put_cached_invalidate", |b| {
+        b.iter_batched(
+            || put.clone(),
+            |p| black_box(sw.process(p, CLIENT_PORT)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let update = Packet::cache_update(
+        SERVER_IP,
+        0x0a00_00fe,
+        Key::from_u64(7),
+        u32::MAX, // always newer
+        Value::filled(2, 128),
+    );
+    group.bench_function("cache_update_128B", |b| {
+        b.iter_batched(
+            || update.clone(),
+            |p| black_box(sw.process(p, SERVER_PORT)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Raw-bytes path: parse + process + deparse.
+    let frame = Packet::get_query(1, CLIENT_IP, SERVER_IP, Key::from_u64(7), 0).deparse();
+    group.bench_function("get_hit_from_bytes", |b| {
+        b.iter(|| black_box(sw.process_bytes(black_box(&frame), CLIENT_PORT)))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

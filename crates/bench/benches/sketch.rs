@@ -1,0 +1,61 @@
+//! Microbenchmarks of the query-statistics data structures (§4.4.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netcache_sketch::{BloomFilter, CountMinSketch, CounterArray, Sampler};
+use std::hint::black_box;
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch");
+
+    let mut cms = CountMinSketch::prototype(1);
+    let mut i = 0u64;
+    group.bench_function("cms_increment", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1) % 100_000;
+            black_box(cms.increment(&i.to_be_bytes()))
+        })
+    });
+    group.bench_function("cms_estimate", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1) % 100_000;
+            black_box(cms.estimate(&i.to_be_bytes()))
+        })
+    });
+
+    let mut bloom = BloomFilter::prototype(2);
+    group.bench_function("bloom_insert", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1) % 100_000;
+            black_box(bloom.insert(&i.to_be_bytes()))
+        })
+    });
+    group.bench_function("bloom_contains", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1) % 100_000;
+            black_box(bloom.contains(&i.to_be_bytes()))
+        })
+    });
+
+    let mut counters = CounterArray::new(65_536);
+    let mut idx = 0usize;
+    group.bench_function("counter_increment", |b| {
+        b.iter(|| {
+            idx = (idx + 1) % 65_536;
+            black_box(counters.increment(idx))
+        })
+    });
+
+    let mut sampler = Sampler::new(0.5, 3);
+    group.bench_function("sampler_decision", |b| {
+        b.iter(|| black_box(sampler.should_sample()))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_sketch
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Microbenchmarks of the storage substrate (the TommyDS stand-in).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netcache_proto::{Key, Value};
+use netcache_store::{ChainedHashTable, Partitioner, ShardedStore};
+use std::hint::black_box;
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+
+    let mut table: ChainedHashTable<u64> = ChainedHashTable::new();
+    for i in 0..100_000u64 {
+        table.insert(Key::from_u64(i), i);
+    }
+    let mut i = 0u64;
+    group.bench_function("hashtable_get_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(table.get(&Key::from_u64(i)))
+        })
+    });
+    group.bench_function("hashtable_get_miss", |b| {
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(table.get(&Key::from_u64(i + 1_000_000)))
+        })
+    });
+    group.bench_function("hashtable_insert_update", |b| {
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(table.insert(Key::from_u64(i), i))
+        })
+    });
+
+    let store = ShardedStore::new(8);
+    for i in 0..100_000u64 {
+        store.put(Key::from_u64(i), Value::for_item(i, 64), 1);
+    }
+    group.bench_function("sharded_get", |b| {
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(store.get(&Key::from_u64(i)))
+        })
+    });
+    group.bench_function("sharded_put", |b| {
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(store.put(Key::from_u64(i), Value::for_item(i, 64), 2))
+        })
+    });
+
+    let partitioner = Partitioner::new(128, 42);
+    group.bench_function("partition_of", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(partitioner.partition_of(&Key::from_u64(i)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_store
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenchmarks of the workload generator: the paper's clients generate
+//! Zipf queries at up to 35 MQPS, so sampling must be order-nanoseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netcache_workload::{QueryMix, WriteSkew, ZipfGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let zipf = ZipfGenerator::new(100_000_000, 0.99);
+    group.bench_function("zipf_sample_100M_keys", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+
+    group.bench_function("zipf_setup_100M_keys", |b| {
+        b.iter(|| black_box(ZipfGenerator::new(100_000_000, 0.99)))
+    });
+
+    let mix = QueryMix::new(1_000_000, 0.99, 0.1, WriteSkew::Uniform);
+    group.bench_function("mix_sample_rw", |b| {
+        b.iter(|| black_box(mix.sample(&mut rng)))
+    });
+
+    let mut churned = QueryMix::read_only(100_000, 0.99);
+    churned.popularity_mut().hot_in(200); // force the materialized map
+    group.bench_function("mix_sample_materialized_map", |b| {
+        b.iter(|| black_box(churned.sample(&mut rng)))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_workload
+}
+criterion_main!(benches);

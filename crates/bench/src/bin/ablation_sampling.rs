@@ -1,0 +1,84 @@
+//! Ablation (§4.4.3 design choice): the sampler in front of the
+//! statistics path.
+//!
+//! "A small slot size would make counter values quickly overflow. To meet
+//! this challenge, we add a sampling component in front of other
+//! components ... It also allows us to use small (16-bit) slot size for
+//! cache counters and the Count-Min sketch."
+//!
+//! This binary measures, for a zipf-0.99 stream over a 1M keyspace:
+//!
+//! - heavy-hitter detection quality (recall/precision of the top-100 keys)
+//!   as the sample rate varies, and
+//! - how quickly unsampled 16-bit counters saturate, destroying the
+//!   hot/cold distinction the controller relies on.
+
+use netcache_bench::banner;
+use netcache_sketch::{BloomFilter, CountMinSketch, Sampler};
+use netcache_workload::ZipfGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const KEYS: u64 = 1_000_000;
+const STREAM: usize = 20_000_000;
+const TOP: usize = 100;
+
+fn main() {
+    banner(
+        "Ablation (§4.4.3)",
+        "statistics sampling rate vs heavy-hitter quality and counter overflow",
+    );
+    let zipf = ZipfGenerator::new(KEYS, 0.99);
+    println!(
+        "{:>8} {:>10} {:>9} {:>9} {:>10} {:>12}",
+        "sample", "threshold", "recall", "precision", "reports", "saturated"
+    );
+    for &rate in &[1.0f64, 0.25, 1.0 / 16.0, 1.0 / 128.0] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut cms = CountMinSketch::prototype(7);
+        let mut bloom = BloomFilter::prototype(8);
+        let mut sampler = Sampler::new(rate, 11);
+        // Threshold scales with the sampling rate so the *absolute* query
+        // frequency that counts as hot stays constant (controller policy).
+        let threshold = ((STREAM as f64 * rate * 0.0002) as u16).max(2);
+        let mut reported: Vec<u64> = Vec::new();
+        for _ in 0..STREAM {
+            let rank = zipf.sample(&mut rng);
+            if !sampler.should_sample() {
+                continue;
+            }
+            let key = rank.to_be_bytes();
+            let estimate = cms.increment(&key);
+            if estimate >= threshold && bloom.insert(&key) {
+                reported.push(rank);
+            }
+        }
+        let hits = reported.iter().filter(|&&r| r < TOP as u64).count();
+        let recall = hits as f64 / TOP as f64;
+        let precision = if reported.is_empty() {
+            0.0
+        } else {
+            hits as f64 / reported.len() as f64
+        };
+        // Saturated CMS slots destroy the controller's comparisons.
+        let saturated: usize = (0..cms.depth())
+            .map(|r| cms.row(r).iter().filter(|&&v| v == u16::MAX).count())
+            .sum();
+        println!(
+            "{:>8.4} {:>10} {:>8.0}% {:>8.0}% {:>10} {:>12}",
+            rate,
+            threshold,
+            recall * 100.0,
+            precision.min(1.0) * 100.0,
+            reported.len(),
+            saturated
+        );
+    }
+    println!();
+    println!(
+        "Sampling trades a little recall for bounded counters: at rate 1 the \
+         16-bit CMS slots of the hottest keys saturate within one statistics \
+         epoch of a {STREAM}-query stream, while 1/16-1/128 sampling keeps \
+         counters meaningful with near-identical top-{TOP} detection."
+    );
+}

@@ -1,0 +1,135 @@
+//! Ablation (§1, §8): in-network heavy-hitter detection vs SwitchKV-style
+//! server-side counting.
+//!
+//! "The heavy-hitter detector obviates the need for building, deploying,
+//! and managing a separate monitoring component in the servers to count
+//! and aggregate key access statistics" (citing SwitchKV).
+//!
+//! Both designs watch the same zipf-0.99 miss stream over a 128-partition
+//! rack and try to identify the true top-100 keys within one statistics
+//! epoch. The comparison axes:
+//!
+//! - **where state lives**: one switch (sampled CMS + Bloom) vs one
+//!   Space-Saving instance per server plus controller-side aggregation;
+//! - **detection latency**: queries observed until 90% of the true
+//!   top-100 have been reported/identified;
+//! - **memory and report traffic**.
+
+use netcache_bench::banner;
+use netcache_proto::Key;
+use netcache_sketch::{BloomFilter, CountMinSketch, Sampler, SpaceSaving};
+use netcache_store::Partitioner;
+use netcache_workload::ZipfGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const KEYS: u64 = 1_000_000;
+const SERVERS: u32 = 128;
+const STREAM: usize = 4_000_000;
+const TOP: usize = 100;
+const CHECKPOINTS: usize = 40;
+
+fn main() {
+    banner(
+        "Ablation (§1 vs SwitchKV)",
+        "in-network HH detection vs server-side Space-Saving counting",
+    );
+    let zipf = ZipfGenerator::new(KEYS, 0.99);
+    let partitioner = Partitioner::new(SERVERS, 42);
+    let mut rng = StdRng::seed_from_u64(77);
+    let stream: Vec<u64> = (0..STREAM).map(|_| zipf.sample(&mut rng)).collect();
+
+    // --- In-network: sampled CMS + Bloom at the switch (§4.4.3) ---
+    let mut cms = CountMinSketch::prototype(7);
+    let mut bloom = BloomFilter::prototype(8);
+    let mut sampler = Sampler::new(1.0 / 16.0, 11);
+    let threshold = 64u16;
+    let mut reported = std::collections::HashSet::new();
+    let mut in_network_latency = None;
+    let mut reports = 0u64;
+    for (i, &rank) in stream.iter().enumerate() {
+        if !sampler.should_sample() {
+            continue;
+        }
+        let key = rank.to_be_bytes();
+        if cms.increment(&key) >= threshold && bloom.insert(&key) {
+            reports += 1;
+            if rank < TOP as u64 {
+                reported.insert(rank);
+                if reported.len() >= TOP * 9 / 10 && in_network_latency.is_none() {
+                    in_network_latency = Some(i);
+                }
+            }
+        }
+    }
+    let in_network_mem = cms.memory_bytes() + bloom.memory_bytes();
+
+    // --- Server-side: one Space-Saving per server, controller aggregation ---
+    let capacity_per_server = 1_024;
+    let mut per_server: Vec<SpaceSaving<u64>> = (0..SERVERS)
+        .map(|_| SpaceSaving::new(capacity_per_server))
+        .collect();
+    let mut server_latency = None;
+    let checkpoint_every = STREAM / CHECKPOINTS;
+    for (i, &rank) in stream.iter().enumerate() {
+        let server = partitioner.partition_of(&Key::from_u64(rank));
+        per_server[server as usize].observe(rank);
+        // The controller periodically polls every server and merges
+        // (SwitchKV's aggregation path).
+        if (i + 1) % checkpoint_every == 0 && server_latency.is_none() {
+            let mut merged: SpaceSaving<u64> = SpaceSaving::new(capacity_per_server);
+            for ss in &per_server {
+                merged.merge(ss);
+            }
+            let found = merged
+                .top(TOP)
+                .iter()
+                .filter(|(rank, _)| *rank < TOP as u64)
+                .count();
+            if found >= TOP * 9 / 10 {
+                server_latency = Some(i);
+            }
+        }
+    }
+    let server_mem: usize = per_server.iter().map(SpaceSaving::memory_bytes).sum();
+
+    println!("true top-{TOP} keys of a zipf-0.99 stream, {SERVERS} partitions, {STREAM} queries\n");
+    println!(
+        "{:<26} {:>18} {:>22}",
+        "", "in-network (switch)", "server-side (SwitchKV)"
+    );
+    println!(
+        "{:<26} {:>18} {:>22}",
+        "state location",
+        "1 switch",
+        format!("{SERVERS} servers + ctrl")
+    );
+    println!(
+        "{:<26} {:>15} KB {:>19} KB",
+        "monitoring memory",
+        in_network_mem / 1024,
+        server_mem / 1024
+    );
+    println!(
+        "{:<26} {:>18} {:>22}",
+        "90% top-100 detected at",
+        in_network_latency.map_or("never".into(), |q| format!("query {q}")),
+        server_latency.map_or("never".into(), |q| format!("query {q}")),
+    );
+    println!(
+        "{:<26} {:>18} {:>22}",
+        "reports / polls",
+        format!("{reports} reports"),
+        format!(
+            "{} polls x {SERVERS} RPCs",
+            CHECKPOINTS.min(STREAM / checkpoint_every)
+        ),
+    );
+    println!();
+    println!(
+        "Both identify the hot set; the in-network detector does it on-path \
+         with no per-server monitoring agents, no polling RPC fan-in, and \
+         reports only *new* heavy hitters (Bloom dedup), which is the §1 \
+         operational argument for NetCache over SwitchKV's architecture."
+    );
+}

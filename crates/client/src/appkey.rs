@@ -1,0 +1,191 @@
+//! Variable-length application keys (§5 "Restricted key-value interface").
+//!
+//! "Variable-length keys can be supported by mapping them to fixed-length
+//! hash keys. The original keys can be stored together with the values in
+//! order to handle hash collisions. Specifically, when a client fetches a
+//! value from the switch cache, it should verify whether the value is for
+//! the queried key, by comparing the original key to that stored with the
+//! value."
+//!
+//! [`AppRecord`] is that on-the-wire layout: the original key is embedded
+//! in front of the payload inside the 128-byte VALUE field, so the switch
+//! caches and serves it untouched while clients can verify identity.
+//! Colliding keys are surfaced to the application as
+//! [`AppResponse::Collision`] — the paper's prototype (fixed 16-byte keys)
+//! leaves full collision *storage* to future work, and so does this
+//! reproduction.
+
+use netcache_proto::{Key, Value, MAX_VALUE_LEN};
+
+use crate::Response;
+
+/// Maximum application-key length storable alongside a payload.
+pub const MAX_APP_KEY_LEN: usize = 64;
+
+/// Maximum payload for a given application-key length.
+pub const fn max_payload_len(app_key_len: usize) -> usize {
+    MAX_VALUE_LEN - 1 - app_key_len
+}
+
+/// A record binding an application key to its payload, encoded inside the
+/// NetCache VALUE field as `[klen u8][app_key][payload]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppRecord {
+    /// The original variable-length key.
+    pub app_key: Vec<u8>,
+    /// The application payload.
+    pub payload: Vec<u8>,
+}
+
+impl AppRecord {
+    /// Creates a record, checking both length bounds.
+    pub fn new(app_key: &[u8], payload: &[u8]) -> Option<Self> {
+        if app_key.is_empty()
+            || app_key.len() > MAX_APP_KEY_LEN
+            || payload.len() > max_payload_len(app_key.len())
+        {
+            return None;
+        }
+        Some(AppRecord {
+            app_key: app_key.to_vec(),
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// The fixed 16-byte key this record is stored under.
+    pub fn hashed_key(&self) -> Key {
+        Key::from_app_key(&self.app_key)
+    }
+
+    /// Encodes into a NetCache value.
+    pub fn encode(&self) -> Value {
+        let mut bytes = Vec::with_capacity(1 + self.app_key.len() + self.payload.len());
+        bytes.push(self.app_key.len() as u8);
+        bytes.extend_from_slice(&self.app_key);
+        bytes.extend_from_slice(&self.payload);
+        Value::new(bytes).expect("bounds checked at construction")
+    }
+
+    /// Decodes from a NetCache value; `None` if the layout is malformed.
+    pub fn decode(value: &Value) -> Option<AppRecord> {
+        let bytes = value.as_bytes();
+        let klen = *bytes.first()? as usize;
+        if klen == 0 || klen > MAX_APP_KEY_LEN || bytes.len() < 1 + klen {
+            return None;
+        }
+        Some(AppRecord {
+            app_key: bytes[1..1 + klen].to_vec(),
+            payload: bytes[1 + klen..].to_vec(),
+        })
+    }
+}
+
+/// Outcome of an application-key read after identity verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppResponse {
+    /// The payload for the queried key, with cache provenance.
+    Payload {
+        /// The application payload.
+        payload: Vec<u8>,
+        /// Whether the switch cache served it.
+        from_cache: bool,
+    },
+    /// No record exists under this key's hash.
+    NotFound,
+    /// A record exists under the hash, but it belongs to a *different*
+    /// application key (§5: the client detects this by comparing the
+    /// embedded original key, and must resolve it out-of-band).
+    Collision {
+        /// The application key actually stored under the hash.
+        stored_key: Vec<u8>,
+    },
+    /// The stored value does not carry a valid app-key envelope (the slot
+    /// was written through the raw fixed-key API).
+    NotAnAppRecord,
+}
+
+/// Verifies a raw read [`Response`] against the queried application key.
+pub fn verify_response(app_key: &[u8], response: &Response) -> AppResponse {
+    match response {
+        Response::Value {
+            value, from_cache, ..
+        } => match AppRecord::decode(value) {
+            Some(record) if record.app_key == app_key => AppResponse::Payload {
+                payload: record.payload,
+                from_cache: *from_cache,
+            },
+            Some(record) => AppResponse::Collision {
+                stored_key: record.app_key,
+            },
+            None => AppResponse::NotAnAppRecord,
+        },
+        Response::NotFound { .. } => AppResponse::NotFound,
+        _ => AppResponse::NotAnAppRecord,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = AppRecord::new(b"user:alice:profile", b"{json}").expect("fits");
+        let v = r.encode();
+        assert_eq!(AppRecord::decode(&v), Some(r.clone()));
+        assert_eq!(r.hashed_key(), Key::from_app_key(b"user:alice:profile"));
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        assert!(AppRecord::new(b"", b"x").is_none(), "empty key");
+        let long_key = vec![b'k'; MAX_APP_KEY_LEN + 1];
+        assert!(AppRecord::new(&long_key, b"").is_none(), "key too long");
+        let key = b"key";
+        let max = max_payload_len(key.len());
+        assert!(AppRecord::new(key, &vec![0; max]).is_some());
+        assert!(AppRecord::new(key, &vec![0; max + 1]).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(AppRecord::decode(&Value::new(vec![]).expect("ok")).is_none());
+        // klen longer than the buffer.
+        assert!(AppRecord::decode(&Value::new(vec![10, 1, 2]).expect("ok")).is_none());
+        // klen = 0.
+        assert!(AppRecord::decode(&Value::new(vec![0, 1, 2]).expect("ok")).is_none());
+    }
+
+    #[test]
+    fn verification_detects_collisions() {
+        let stored = AppRecord::new(b"key-a", b"payload-a").expect("fits");
+        let resp = Response::Value {
+            key: stored.hashed_key(),
+            value: stored.encode(),
+            from_cache: true,
+        };
+        assert_eq!(
+            verify_response(b"key-a", &resp),
+            AppResponse::Payload {
+                payload: b"payload-a".to_vec(),
+                from_cache: true
+            }
+        );
+        assert_eq!(
+            verify_response(b"key-b", &resp),
+            AppResponse::Collision {
+                stored_key: b"key-a".to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn verification_handles_raw_values() {
+        let resp = Response::Value {
+            key: Key::from_u64(1),
+            value: Value::filled(0xff, 16), // klen 255: not an app record
+            from_cache: false,
+        };
+        assert_eq!(verify_response(b"k", &resp), AppResponse::NotAnAppRecord);
+    }
+}

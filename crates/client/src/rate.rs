@@ -1,0 +1,141 @@
+//! Loss-adaptive client rate control (§7.4).
+//!
+//! "We use the client to dynamically adjust its sending rate to estimate
+//! the real-time saturated system throughput. Specifically, if the client
+//! detects packet loss is above a high threshold (e.g., 5%), it decreases
+//! its rates; if the packet loss is less than a low threshold (e.g., 1%),
+//! the client increases its rates."
+
+/// Additive-increase / multiplicative-decrease rate controller keyed on
+/// observed loss.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    rate: f64,
+    min_rate: f64,
+    max_rate: f64,
+    /// Loss fraction above which the rate is cut.
+    high_loss: f64,
+    /// Loss fraction below which the rate grows.
+    low_loss: f64,
+    /// Multiplicative decrease factor (e.g. 0.8).
+    decrease: f64,
+    /// Additive increase, as a fraction of the current rate per interval.
+    increase: f64,
+}
+
+impl RateController {
+    /// Creates a controller starting at `initial` queries/second, bounded
+    /// to `[min, max]`, with the paper's 5% / 1% thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min <= initial <= max`.
+    pub fn new(initial: f64, min: f64, max: f64) -> Self {
+        assert!(min > 0.0 && min <= initial && initial <= max);
+        RateController {
+            rate: initial,
+            min_rate: min,
+            max_rate: max,
+            high_loss: 0.05,
+            low_loss: 0.01,
+            decrease: 0.8,
+            increase: 0.1,
+        }
+    }
+
+    /// Current sending rate (queries/second).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Feeds one measurement interval (`sent` queries, `received` replies)
+    /// and returns the new rate.
+    ///
+    /// Interval accounting is the caller's: `received` may exceed `sent`
+    /// transiently when replies straddle intervals — treated as zero loss.
+    pub fn on_interval(&mut self, sent: u64, received: u64) -> f64 {
+        if sent == 0 {
+            return self.rate;
+        }
+        let loss = 1.0 - (received.min(sent) as f64 / sent as f64);
+        if loss > self.high_loss {
+            self.rate = (self.rate * self.decrease).max(self.min_rate);
+        } else if loss < self.low_loss {
+            self.rate = (self.rate * (1.0 + self.increase)).min(self.max_rate);
+        }
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_loss_backs_off() {
+        let mut rc = RateController::new(1000.0, 10.0, 10_000.0);
+        let r1 = rc.on_interval(1000, 800); // 20% loss
+        assert!(r1 < 1000.0);
+        let r2 = rc.on_interval(1000, 500);
+        assert!(r2 < r1);
+    }
+
+    #[test]
+    fn clean_interval_ramps_up() {
+        let mut rc = RateController::new(1000.0, 10.0, 10_000.0);
+        let r1 = rc.on_interval(1000, 1000);
+        assert!(r1 > 1000.0);
+    }
+
+    #[test]
+    fn moderate_loss_holds_steady() {
+        let mut rc = RateController::new(1000.0, 10.0, 10_000.0);
+        // 3% loss: between the thresholds → hold.
+        let r = rc.on_interval(1000, 970);
+        assert_eq!(r, 1000.0);
+    }
+
+    #[test]
+    fn bounded_by_min_and_max() {
+        let mut rc = RateController::new(100.0, 50.0, 200.0);
+        for _ in 0..20 {
+            rc.on_interval(100, 0);
+        }
+        assert_eq!(rc.rate(), 50.0);
+        for _ in 0..50 {
+            rc.on_interval(100, 100);
+        }
+        assert_eq!(rc.rate(), 200.0);
+    }
+
+    #[test]
+    fn surplus_replies_treated_as_zero_loss() {
+        let mut rc = RateController::new(100.0, 10.0, 1000.0);
+        let r = rc.on_interval(100, 150);
+        assert!(r > 100.0);
+    }
+
+    #[test]
+    fn zero_sent_is_a_no_op() {
+        let mut rc = RateController::new(100.0, 10.0, 1000.0);
+        assert_eq!(rc.on_interval(0, 0), 100.0);
+    }
+
+    #[test]
+    fn converges_to_capacity() {
+        // A pretend bottleneck serving 5000 QPS: the controller should
+        // oscillate near 5000.
+        let mut rc = RateController::new(500.0, 10.0, 100_000.0);
+        let capacity = 5000.0;
+        let mut rate = rc.rate();
+        for _ in 0..200 {
+            let sent = rate as u64;
+            let received = (rate.min(capacity)) as u64;
+            rate = rc.on_interval(sent, received);
+        }
+        assert!(
+            (3000.0..7000.0).contains(&rate),
+            "rate {rate} did not converge near capacity"
+        );
+    }
+}

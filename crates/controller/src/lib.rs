@@ -1,0 +1,23 @@
+//! The NetCache controller (§3 "Controller", §4.3 "Cache Update",
+//! Algorithm 2).
+//!
+//! The controller is *not* an SDN controller: it manages only its own state
+//! — the key-value cache and the query statistics in the switch data plane.
+//! It:
+//!
+//! - receives heavy-hitter reports from the data plane (via the switch
+//!   driver),
+//! - compares them against sampled counters of already-cached items
+//!   (Redis-style sampling, §4.3),
+//! - evicts less-popular keys and inserts more-popular ones, allocating
+//!   value slots with the First-Fit bin-packing of Algorithm 2
+//!   ([`SlotAllocator`]),
+//! - orchestrates the insertion-time coherence dance: block writes at the
+//!   owning server, fetch the value, install it, unblock,
+//! - periodically clears the statistics structures.
+
+pub mod alloc;
+pub mod controller;
+
+pub use alloc::{SlotAllocator, SlotAssignment};
+pub use controller::{Controller, ControllerConfig, ControllerStats, KeyHome, ServerBackend};

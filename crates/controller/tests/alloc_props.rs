@@ -1,0 +1,124 @@
+//! Property tests of the Algorithm 2 slot allocator.
+
+use netcache_controller::SlotAllocator;
+use netcache_proto::Key;
+use proptest::prelude::*;
+
+/// An allocator operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u16, units: usize },
+    Evict { key: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..64, 1usize..=8).prop_map(|(key, units)| Op::Insert { key, units }),
+        (0u16..64).prop_map(|key| Op::Evict { key }),
+    ]
+}
+
+proptest! {
+    /// Under arbitrary insert/evict interleavings:
+    /// - internal invariants hold (no overlap; free map consistent),
+    /// - the unit accounting balances exactly,
+    /// - an accepted insert's bitmap popcount equals the requested units.
+    #[test]
+    fn churn_preserves_invariants(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        arrays in 1usize..=8,
+        indexes in 1usize..16,
+    ) {
+        let mut a = SlotAllocator::new(arrays, indexes);
+        let mut live_units = 0usize;
+        let mut live: std::collections::HashMap<u16, usize> = Default::default();
+        for op in ops {
+            match op {
+                Op::Insert { key, units } => {
+                    match a.insert(Key::from_u64(u64::from(key)), units) {
+                        Some(slot) => {
+                            prop_assert!(!live.contains_key(&key), "double insert accepted");
+                            prop_assert_eq!(slot.bitmap.count_ones() as usize, units);
+                            prop_assert!((slot.index as usize) < indexes);
+                            live.insert(key, units);
+                            live_units += units;
+                        }
+                        None => {
+                            // Rejection is only legal if the key is live,
+                            // units are out of range, or no bin fits.
+                            let fits_somewhere = units <= arrays
+                                && !live.contains_key(&key)
+                                && (0..indexes).any(|_| false); // bin check below
+                            // Direct bin check: a fresh allocator clone
+                            // cannot verify internal bins, so rely on the
+                            // invariant checker instead.
+                            let _ = fits_somewhere;
+                        }
+                    }
+                }
+                Op::Evict { key } => {
+                    let existed = a.evict(&Key::from_u64(u64::from(key)));
+                    prop_assert_eq!(existed, live.contains_key(&key));
+                    if let Some(units) = live.remove(&key) {
+                        live_units -= units;
+                    }
+                }
+            }
+            a.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            prop_assert_eq!(
+                a.capacity_units() - a.free_units(),
+                live_units,
+                "unit accounting drifted"
+            );
+            prop_assert_eq!(a.len(), live.len());
+        }
+    }
+
+    /// Everything that fits one-by-one also fits after reorganization, and
+    /// reorganization never loses or duplicates a key.
+    #[test]
+    fn reorganize_preserves_contents(
+        sizes in proptest::collection::vec(1usize..=8, 1..40),
+    ) {
+        let mut a = SlotAllocator::new(8, 8);
+        let mut inserted = Vec::new();
+        for (i, &units) in sizes.iter().enumerate() {
+            if a.insert(Key::from_u64(i as u64), units).is_some() {
+                inserted.push((i as u64, units));
+            }
+        }
+        // Evict every other item to fragment.
+        for (i, _) in inserted.iter().step_by(2) {
+            a.evict(&Key::from_u64(*i));
+        }
+        let survivors: Vec<(u64, usize)> =
+            inserted.iter().skip(1).step_by(2).copied().collect();
+        a.reorganize();
+        a.check_invariants().map_err(TestCaseError::fail)?;
+        for (key, units) in &survivors {
+            let slot = a.get(&Key::from_u64(*key));
+            prop_assert!(slot.is_some(), "key {} lost in reorganization", key);
+            prop_assert_eq!(
+                slot.expect("checked").bitmap.count_ones() as usize,
+                *units
+            );
+        }
+        prop_assert_eq!(a.len(), survivors.len());
+    }
+
+    /// First-Fit is at least as good as one-bin-per-item: if ≤ indexes
+    /// items of any sizes are offered, all are placed.
+    #[test]
+    fn no_worse_than_one_bin_per_item(
+        sizes in proptest::collection::vec(1usize..=8, 1..8),
+    ) {
+        let mut a = SlotAllocator::new(8, 8);
+        for (i, &units) in sizes.iter().enumerate() {
+            prop_assert!(
+                a.insert(Key::from_u64(i as u64), units).is_some(),
+                "item {} of {} units rejected with a free bin available",
+                i, units
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Switch program configuration.
+
+use crate::resources::AsicProfile;
+
+/// Configuration of the NetCache switch program (§6 gives the prototype's
+/// numbers, which are the defaults here).
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// ASIC resource profile to compile against.
+    pub profile: AsicProfile,
+    /// Number of pipes actually used (≤ `profile.pipes`). Ports are split
+    /// evenly across pipes.
+    pub pipes: usize,
+    /// Total number of switch ports.
+    pub ports: usize,
+    /// Cache lookup table capacity (64K entries in the prototype).
+    pub cache_capacity: usize,
+    /// Number of value stages (8 in the prototype).
+    pub value_stages: usize,
+    /// Slots per value register array (64K in the prototype).
+    pub value_slots: usize,
+    /// Count-Min sketch rows.
+    pub cms_depth: usize,
+    /// Count-Min sketch slots per row.
+    pub cms_width: usize,
+    /// Bloom filter partitions.
+    pub bloom_partitions: usize,
+    /// Bits per Bloom partition.
+    pub bloom_bits: usize,
+    /// Heavy-hitter threshold on the (sampled) Count-Min estimate.
+    pub hot_threshold: u16,
+    /// Statistics sampling rate in `[0, 1]`.
+    pub sample_rate: f64,
+    /// Capacity of the heavy-hitter report queue toward the controller.
+    pub report_queue_capacity: usize,
+    /// Seed for all hash functions and the sampler.
+    pub seed: u64,
+}
+
+impl SwitchConfig {
+    /// The prototype configuration from §6: 64K-entry lookup table, 8 value
+    /// stages of 64K×16 B (8 MB cache), 4×64K Count-Min sketch, 3×256K
+    /// Bloom filter.
+    pub fn prototype() -> Self {
+        SwitchConfig {
+            profile: AsicProfile::TOFINO,
+            pipes: 1,
+            ports: 64,
+            cache_capacity: 65_536,
+            value_stages: 8,
+            value_slots: 65_536,
+            cms_depth: 4,
+            cms_width: 65_536,
+            bloom_partitions: 3,
+            bloom_bits: 262_144,
+            hot_threshold: 128,
+            sample_rate: 1.0,
+            report_queue_capacity: 4096,
+            seed: 0x6e65_7463_6163_6865, // "netcache"
+        }
+    }
+
+    /// A small configuration for fast unit tests: same shape, tiny arrays.
+    pub fn tiny() -> Self {
+        SwitchConfig {
+            profile: AsicProfile::TOFINO,
+            pipes: 1,
+            ports: 8,
+            cache_capacity: 64,
+            value_stages: 8,
+            value_slots: 64,
+            cms_depth: 4,
+            cms_width: 1024,
+            bloom_partitions: 3,
+            bloom_bits: 4096,
+            hot_threshold: 8,
+            sample_rate: 1.0,
+            report_queue_capacity: 256,
+            seed: 42,
+        }
+    }
+
+    /// Ports per pipe (ports are striped across pipes in contiguous blocks).
+    pub fn ports_per_pipe(&self) -> usize {
+        self.ports.div_ceil(self.pipes)
+    }
+
+    /// The pipe a port belongs to.
+    pub fn pipe_of_port(&self, port: usize) -> usize {
+        (port / self.ports_per_pipe()).min(self.pipes - 1)
+    }
+
+    /// Maximum value size supported by the data plane, in bytes.
+    pub fn max_value_len(&self) -> usize {
+        self.value_stages * 16
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pipes == 0 || self.pipes > self.profile.pipes {
+            return Err(format!(
+                "pipes {} out of range 1..={}",
+                self.pipes, self.profile.pipes
+            ));
+        }
+        if self.ports == 0 {
+            return Err("ports must be positive".into());
+        }
+        if self.value_stages == 0 || self.value_stages > 8 {
+            return Err(format!(
+                "value_stages {} out of range 1..=8",
+                self.value_stages
+            ));
+        }
+        if self.cache_capacity > self.value_slots {
+            // Each cached key needs a key_index slot in the status/counter
+            // arrays, which are sized by value_slots in this model.
+            return Err(format!(
+                "cache_capacity {} exceeds value_slots {}",
+                self.cache_capacity, self.value_slots
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.sample_rate) {
+            return Err(format!("sample_rate {} out of [0,1]", self.sample_rate));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_validates() {
+        SwitchConfig::prototype().validate().unwrap();
+        SwitchConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn prototype_matches_paper_numbers() {
+        let c = SwitchConfig::prototype();
+        assert_eq!(c.cache_capacity, 65_536);
+        assert_eq!(c.value_stages * c.value_slots * 16, 8 * 1024 * 1024);
+        assert_eq!(c.max_value_len(), 128);
+    }
+
+    #[test]
+    fn port_to_pipe_mapping() {
+        let mut c = SwitchConfig::tiny();
+        c.pipes = 2;
+        c.ports = 8;
+        assert_eq!(c.ports_per_pipe(), 4);
+        assert_eq!(c.pipe_of_port(0), 0);
+        assert_eq!(c.pipe_of_port(3), 0);
+        assert_eq!(c.pipe_of_port(4), 1);
+        assert_eq!(c.pipe_of_port(7), 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = SwitchConfig::tiny();
+        c.pipes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SwitchConfig::tiny();
+        c.value_stages = 9;
+        assert!(c.validate().is_err());
+
+        let mut c = SwitchConfig::tiny();
+        c.cache_capacity = c.value_slots + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = SwitchConfig::tiny();
+        c.sample_rate = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

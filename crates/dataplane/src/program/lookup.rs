@@ -1,0 +1,187 @@
+//! The cache lookup table (§4.4.2, Fig. 6(b); §4.4.4).
+//!
+//! "The lookup table produces three sets of metadata for cached keys: a
+//! table bitmap and a value index as depicted in Figure 6, a key index used
+//! for cache counter ... and for cache status array ..., and an egress port
+//! that connects to the server hosting the key."
+//!
+//! The table is replicated for each upstream ingress pipe (its entries are
+//! small); [`LookupTables`] models the replicas and keeps them identical,
+//! as the controller does through the switch driver.
+
+use netcache_proto::Key;
+
+use crate::phv::PortId;
+use crate::table::{ExactMatchTable, TableError};
+
+/// Action data produced by a cache-lookup match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupEntry {
+    /// Which value register arrays hold a unit of this key's value
+    /// (bit *i* set ⇒ value table *i* participates).
+    pub bitmap: u8,
+    /// The shared slot index within every participating value array.
+    pub value_index: u32,
+    /// Index into the per-key counter / cache status arrays.
+    pub key_index: u32,
+    /// Port that connects to the storage server hosting the key; also
+    /// selects the egress pipe holding the cached value.
+    pub egress_port: PortId,
+    /// True length in bytes of the cached value (carried as action data so
+    /// the deparser can trim the zero padding of the last 16-byte unit).
+    pub value_len: u8,
+}
+
+impl LookupEntry {
+    /// Number of value units this entry occupies (popcount of the bitmap).
+    pub fn units(&self) -> usize {
+        self.bitmap.count_ones() as usize
+    }
+}
+
+/// The replicated per-ingress-pipe cache lookup tables.
+#[derive(Debug, Clone)]
+pub struct LookupTables {
+    replicas: Vec<ExactMatchTable<Key, LookupEntry>>,
+}
+
+impl LookupTables {
+    /// Creates `pipes` identical replicas of capacity `capacity`.
+    pub fn new(pipes: usize, capacity: usize) -> Self {
+        assert!(pipes > 0, "at least one ingress pipe required");
+        LookupTables {
+            replicas: (0..pipes)
+                .map(|_| ExactMatchTable::new("cache_lookup", capacity))
+                .collect(),
+        }
+    }
+
+    /// Data-plane lookup on the replica of ingress pipe `pipe`.
+    pub fn lookup(&mut self, pipe: usize, key: &Key) -> Option<LookupEntry> {
+        self.replicas[pipe].lookup(key)
+    }
+
+    /// Control-plane insert into *all* replicas (they must stay identical).
+    pub fn insert(&mut self, key: Key, entry: LookupEntry) -> Result<(), TableError> {
+        // Validate against replica 0 first so a failure leaves all replicas
+        // unchanged.
+        if self.replicas[0].peek(&key).is_none()
+            && self.replicas[0].len() >= self.replicas[0].capacity()
+        {
+            return Err(TableError::Full {
+                capacity: self.replicas[0].capacity(),
+            });
+        }
+        for replica in &mut self.replicas {
+            replica
+                .insert(key, entry)
+                .expect("replicas have identical occupancy");
+        }
+        Ok(())
+    }
+
+    /// Control-plane remove from all replicas.
+    pub fn remove(&mut self, key: &Key) -> Result<LookupEntry, TableError> {
+        let mut removed = Err(TableError::NotFound);
+        for replica in &mut self.replicas {
+            removed = replica.remove(key);
+        }
+        removed
+    }
+
+    /// Control-plane read (replica 0).
+    pub fn peek(&self, key: &Key) -> Option<&LookupEntry> {
+        self.replicas[0].peek(key)
+    }
+
+    /// Number of cached keys.
+    pub fn len(&self) -> usize {
+        self.replicas[0].len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.replicas[0].is_empty()
+    }
+
+    /// Capacity per replica.
+    pub fn capacity(&self) -> usize {
+        self.replicas[0].capacity()
+    }
+
+    /// Number of replicas (ingress pipes).
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Iterates installed keys and entries (control plane, replica 0).
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &LookupEntry)> {
+        self.replicas[0].iter()
+    }
+
+    /// SRAM bytes per replica: key bytes + action data per entry.
+    ///
+    /// Action data: bitmap (1) + value_index (4) + key_index (4) + port (2)
+    /// + value_len (1) = 12 bytes.
+    pub fn sram_bytes_per_replica(&self) -> usize {
+        self.capacity() * (netcache_proto::KEY_LEN + 12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: u32) -> LookupEntry {
+        LookupEntry {
+            bitmap: 0b0000_0111,
+            value_index: i,
+            key_index: i,
+            egress_port: 1,
+            value_len: 48,
+        }
+    }
+
+    #[test]
+    fn replicas_stay_identical() {
+        let mut t = LookupTables::new(4, 16);
+        t.insert(Key::from_u64(1), entry(0)).unwrap();
+        t.insert(Key::from_u64(2), entry(1)).unwrap();
+        for pipe in 0..4 {
+            assert_eq!(t.lookup(pipe, &Key::from_u64(1)), Some(entry(0)));
+            assert_eq!(t.lookup(pipe, &Key::from_u64(2)), Some(entry(1)));
+            assert_eq!(t.lookup(pipe, &Key::from_u64(3)), None);
+        }
+        t.remove(&Key::from_u64(1)).unwrap();
+        for pipe in 0..4 {
+            assert_eq!(t.lookup(pipe, &Key::from_u64(1)), None);
+        }
+    }
+
+    #[test]
+    fn full_table_rejects_new_keys_atomically() {
+        let mut t = LookupTables::new(2, 1);
+        t.insert(Key::from_u64(1), entry(0)).unwrap();
+        assert!(t.insert(Key::from_u64(2), entry(1)).is_err());
+        // Replica 1 must not have been touched by the failed insert.
+        assert_eq!(t.lookup(1, &Key::from_u64(2)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn units_counts_bitmap_bits() {
+        assert_eq!(entry(0).units(), 3);
+        let e = LookupEntry {
+            bitmap: 0b1111_1111,
+            ..entry(0)
+        };
+        assert_eq!(e.units(), 8);
+    }
+
+    #[test]
+    fn sram_accounting() {
+        let t = LookupTables::new(1, 65_536);
+        // 64K × 28 B = 1.75 MiB per replica.
+        assert_eq!(t.sram_bytes_per_replica(), 65_536 * 28);
+    }
+}

@@ -1,0 +1,232 @@
+//! The variable-length on-chip value store (§4.4.2, Fig. 6(b)).
+//!
+//! Eight stages each hold one register array of 16-byte slots. A cached
+//! key's [`LookupEntry`](crate::program::lookup::LookupEntry) carries a
+//! *bitmap* naming the participating arrays and a single *index* shared by
+//! all of them; as the packet traverses the stages, each participating
+//! array appends its 16-byte unit to the VALUE field. Updates walk the same
+//! stages writing units instead of reading them.
+
+use netcache_proto::{Value, VALUE_UNIT};
+
+use crate::register::RegisterArray;
+
+/// The per-egress-pipe value stages.
+#[derive(Debug, Clone)]
+pub struct ValueStages {
+    stages: Vec<RegisterArray<[u8; VALUE_UNIT]>>,
+}
+
+impl ValueStages {
+    /// Creates `stages` arrays of `slots` 16-byte slots each.
+    pub fn new(stages: usize, slots: usize) -> Self {
+        assert!(stages > 0 && stages <= 8, "1..=8 value stages supported");
+        ValueStages {
+            stages: (0..stages)
+                .map(|_| RegisterArray::new("value_stage", slots))
+                .collect(),
+        }
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Slots per stage.
+    pub fn slots(&self) -> usize {
+        self.stages[0].len()
+    }
+
+    /// Total SRAM consumed by the value arrays.
+    pub fn sram_bytes(&self) -> usize {
+        self.stages.iter().map(RegisterArray::sram_bytes).sum()
+    }
+
+    /// Data-plane read: each stage whose bitmap bit is set appends its unit
+    /// (Fig. 6(b): "The data in the register arrays is appended to the
+    /// value field when the packet is processed").
+    ///
+    /// `value_len` (from the lookup action data) trims the zero padding of
+    /// the final unit. Returns `None` when `value_len` is inconsistent with
+    /// the bitmap — which cannot happen under a correct controller and is
+    /// treated as a drop.
+    pub fn read_value(
+        &mut self,
+        epoch: u64,
+        bitmap: u8,
+        index: u32,
+        value_len: u8,
+    ) -> Option<Value> {
+        let mut units: Vec<[u8; VALUE_UNIT]> = Vec::with_capacity(8);
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            if bitmap & (1 << i) != 0 {
+                units.push(stage.read(epoch, index as usize));
+            }
+        }
+        // A data-plane update may have shrunk the value below the slots
+        // the bitmap reserves (§4.3: new values may be *smaller*); the
+        // deparser emits only the units the current length needs.
+        let needed = (value_len as usize).div_ceil(VALUE_UNIT).max(1);
+        if units.len() < needed {
+            return None;
+        }
+        units.truncate(needed);
+        Value::from_units(&units, value_len as usize)
+    }
+
+    /// Data-plane write (a `CacheUpdate` packet walking the pipe): writes
+    /// the value's units into the participating arrays, in bitmap order.
+    ///
+    /// Returns `false` without writing anything if the value needs more
+    /// units than the bitmap provides — the "new values no larger than the
+    /// old ones" restriction of §4.3. A *smaller* value is allowed; surplus
+    /// arrays are filled with zero units and the true length comes from the
+    /// lookup entry's `value_len`, which the control plane refreshes.
+    pub fn write_value(&mut self, epoch: u64, bitmap: u8, index: u32, value: &Value) -> bool {
+        let units = value.to_units();
+        let available = bitmap.count_ones() as usize;
+        if units.len() > available || bitmap as usize >= (1usize << self.stages.len()) {
+            return false;
+        }
+        let mut unit_iter = units.into_iter();
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            if bitmap & (1 << i) != 0 {
+                let unit = unit_iter.next().unwrap_or([0u8; VALUE_UNIT]);
+                stage.write(epoch, index as usize, unit);
+            }
+        }
+        true
+    }
+
+    /// Control-plane write used by the controller when inserting a new key
+    /// (and for values larger than the data-plane update path allows).
+    pub fn poke_value(&mut self, bitmap: u8, index: u32, value: &Value) -> bool {
+        let units = value.to_units();
+        if units.len() > bitmap.count_ones() as usize {
+            return false;
+        }
+        let mut unit_iter = units.into_iter();
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            if bitmap & (1 << i) != 0 {
+                stage.poke(
+                    index as usize,
+                    unit_iter.next().unwrap_or([0u8; VALUE_UNIT]),
+                );
+            }
+        }
+        true
+    }
+
+    /// Control-plane read (used in tests and by the resource report).
+    pub fn peek_value(&self, bitmap: u8, index: u32, value_len: u8) -> Option<Value> {
+        let mut units = Vec::new();
+        for (i, stage) in self.stages.iter().enumerate() {
+            if bitmap & (1 << i) != 0 {
+                units.push(stage.peek(index as usize));
+            }
+        }
+        let needed = (value_len as usize).div_ceil(VALUE_UNIT).max(1);
+        if units.len() < needed {
+            return None;
+        }
+        units.truncate(needed);
+        Value::from_units(&units, value_len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stages() -> ValueStages {
+        ValueStages::new(8, 16)
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut vs = stages();
+        for len in [1usize, 16, 17, 48, 128] {
+            let v = Value::for_item(len as u64, len);
+            let bitmap = ((1u16 << v.units()) - 1) as u8;
+            assert!(vs.write_value(1, bitmap, 3, &v), "len={len}");
+            let back = vs.read_value(2, bitmap, 3, len as u8).unwrap();
+            assert_eq!(back, v, "len={len}");
+        }
+    }
+
+    #[test]
+    fn non_contiguous_bitmap_round_trip() {
+        let mut vs = stages();
+        let v = Value::for_item(9, 40); // 3 units
+        let bitmap = 0b1010_0100; // stages 2, 5, 7
+        assert!(vs.write_value(1, bitmap, 0, &v));
+        assert_eq!(vs.read_value(2, bitmap, 0, 40).unwrap(), v);
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let mut vs = stages();
+        let v = Value::filled(1, 64); // 4 units
+        assert!(!vs.write_value(1, 0b0000_0111, 0, &v)); // only 3 units available
+                                                         // Nothing must have been written.
+        assert_eq!(
+            vs.peek_value(0b0000_0111, 0, 48).unwrap(),
+            Value::filled(0, 48)
+        );
+    }
+
+    #[test]
+    fn smaller_value_zeroes_surplus_units() {
+        let mut vs = stages();
+        let big = Value::filled(0xaa, 48); // 3 units
+        let bitmap = 0b0000_0111;
+        vs.write_value(1, bitmap, 5, &big);
+        let small = Value::filled(0xbb, 16); // 1 unit
+        assert!(vs.write_value(2, bitmap, 5, &small));
+        // Surplus stages hold zero units now.
+        assert_eq!(
+            vs.peek_value(0b0000_0110, 5, 32).unwrap(),
+            Value::filled(0, 32)
+        );
+        assert_eq!(vs.read_value(3, 0b0000_0001, 5, 16).unwrap(), small);
+    }
+
+    #[test]
+    fn different_indexes_are_independent() {
+        let mut vs = stages();
+        let a = Value::filled(1, 32);
+        let b = Value::filled(2, 32);
+        vs.write_value(1, 0b0011, 0, &a);
+        vs.write_value(2, 0b0011, 1, &b);
+        assert_eq!(vs.read_value(3, 0b0011, 0, 32).unwrap(), a);
+        assert_eq!(vs.read_value(4, 0b0011, 1, 32).unwrap(), b);
+    }
+
+    #[test]
+    fn same_index_different_bitmaps_share_bin() {
+        // Fig. 6(b): keys C and D both use index 2 with disjoint bitmaps.
+        let mut vs = stages();
+        let c = Value::filled(0xcc, 16);
+        let d = Value::filled(0xdd, 32);
+        vs.write_value(1, 0b0000_0010, 2, &c); // array 1
+        vs.write_value(2, 0b0000_0101, 2, &d); // arrays 0 and 2
+        assert_eq!(vs.read_value(3, 0b0000_0010, 2, 16).unwrap(), c);
+        assert_eq!(vs.read_value(4, 0b0000_0101, 2, 32).unwrap(), d);
+    }
+
+    #[test]
+    fn control_plane_poke_matches_data_plane_write() {
+        let mut vs = stages();
+        let v = Value::for_item(4, 100);
+        let bitmap = 0b0111_1111;
+        assert!(vs.poke_value(bitmap, 7, &v));
+        assert_eq!(vs.read_value(1, bitmap, 7, 100).unwrap(), v);
+    }
+
+    #[test]
+    fn sram_accounting_prototype_is_8mb() {
+        let vs = ValueStages::new(8, 65_536);
+        assert_eq!(vs.sram_bytes(), 8 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,811 @@
+//! The NetCache switch: Algorithm 1 on the pipeline of Fig. 8.
+//!
+//! Packet flow:
+//!
+//! 1. **Ingress** — classify NetCache traffic by the reserved L4 port;
+//!    cache lookup (replicated per ingress pipe); routing (by destination,
+//!    or by source for cached reads, saving the reply route as metadata).
+//! 2. **Traffic manager** — steer to the egress pipe of the chosen port.
+//! 3. **Egress** — cache status check/invalidate; query statistics; value
+//!    stages (append on read, write on update); reply mirroring back to
+//!    the client for served cache hits.
+//!
+//! The control-plane surface is [`SwitchDriver`], the software analogue of
+//! the generated Thrift APIs (§6). Control-plane operations are counted so
+//! higher layers can model the bounded table-update rate (§4.3: "commodity
+//! switches are able to update more than 10K table entries per second").
+
+use netcache_proto::{Key, Op, Packet, Value};
+
+use crate::config::SwitchConfig;
+use crate::phv::{Phv, PortId};
+use crate::program::lookup::{LookupEntry, LookupTables};
+use crate::program::routing::Router;
+use crate::program::stats::{HotReport, QueryStats};
+use crate::program::status::CacheStatus;
+use crate::program::values::ValueStages;
+use crate::register::RegisterArray;
+use crate::resources::{Allocation, Direction, PlacementError, ResourceReport, StageMap};
+use crate::table::TableError;
+
+/// One egress pipe's NetCache state (Fig. 8, right half).
+#[derive(Debug)]
+struct EgressPipe {
+    status: CacheStatus,
+    stats: QueryStats,
+    values: ValueStages,
+    /// True value length per cached key, in bytes. This must live in the
+    /// data plane (not in lookup action data): a data-plane `CacheUpdate`
+    /// may carry a *shorter* value than the one the controller installed
+    /// (§4.3 allows "no larger"), and the read path needs the new length
+    /// to trim the zero padding of the final 16-byte unit.
+    value_len: RegisterArray<u16>,
+}
+
+impl EgressPipe {
+    fn new(config: &SwitchConfig) -> Self {
+        EgressPipe {
+            status: CacheStatus::new(config.value_slots),
+            stats: QueryStats::new(config),
+            values: ValueStages::new(config.value_stages, config.value_slots),
+            value_len: RegisterArray::new("value_len", config.value_slots),
+        }
+    }
+}
+
+/// Data-plane counters, exposed for benchmarks and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Total packets offered to the switch.
+    pub packets: u64,
+    /// Packets recognized as NetCache queries/replies.
+    pub netcache_packets: u64,
+    /// Read queries served from the cache (valid hits).
+    pub cache_hits: u64,
+    /// Read queries that matched the lookup table but found the entry
+    /// invalid (in-flight write), and so went to the server.
+    pub invalid_hits: u64,
+    /// Read queries that missed the cache entirely.
+    pub cache_misses: u64,
+    /// Write queries that invalidated a cached key.
+    pub write_invalidations: u64,
+    /// Data-plane cache updates applied.
+    pub updates_applied: u64,
+    /// Data-plane cache updates ignored (stale version, missing entry, or
+    /// value larger than the allocated slots).
+    pub updates_ignored: u64,
+    /// Packets dropped (unroutable or malformed).
+    pub drops: u64,
+}
+
+/// The NetCache switch data plane.
+#[derive(Debug)]
+pub struct NetCacheSwitch {
+    config: SwitchConfig,
+    lookup: LookupTables,
+    router: Router,
+    egress: Vec<EgressPipe>,
+    epoch: u64,
+    stats: SwitchStats,
+    control_updates: u64,
+}
+
+impl NetCacheSwitch {
+    /// Builds the switch, verifying the configuration is self-consistent
+    /// and the program fits the ASIC profile.
+    pub fn new(config: SwitchConfig) -> Result<Self, String> {
+        config.validate()?;
+        let switch = NetCacheSwitch {
+            lookup: LookupTables::new(config.pipes, config.cache_capacity),
+            router: Router::new(),
+            egress: (0..config.pipes)
+                .map(|_| EgressPipe::new(&config))
+                .collect(),
+            epoch: 0,
+            stats: SwitchStats::default(),
+            control_updates: 0,
+            config,
+        };
+        switch
+            .compile_report()
+            .map_err(|e| format!("program does not fit ASIC: {e}"))?;
+        Ok(switch)
+    }
+
+    /// The switch configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
+    /// Data-plane counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Number of control-plane updates performed (table entries + register
+    /// pokes), for modelling the bounded update rate.
+    pub fn control_updates(&self) -> u64 {
+        self.control_updates
+    }
+
+    /// Simulates a switch reboot: the cache and statistics are lost, the
+    /// routing state (re-pushed by the network control plane) is kept.
+    ///
+    /// "If the switch fails, operators can simply reboot the switch with an
+    /// empty cache ... it does not maintain any critical system state" (§3).
+    pub fn reboot(&mut self) {
+        let config = self.config.clone();
+        self.lookup = LookupTables::new(config.pipes, config.cache_capacity);
+        self.egress = (0..config.pipes)
+            .map(|_| EgressPipe::new(&config))
+            .collect();
+        self.stats = SwitchStats::default();
+    }
+
+    /// Processes one packet arriving on `in_port`, returning the packets to
+    /// emit as `(egress_port, packet)` pairs.
+    pub fn process(&mut self, pkt: Packet, in_port: PortId) -> Vec<(PortId, Packet)> {
+        self.epoch += 1;
+        self.stats.packets += 1;
+        let mut phv = Phv::new(pkt, in_port, self.epoch);
+
+        // ---- Ingress pipeline ----
+        if phv.pkt.is_netcache() {
+            self.stats.netcache_packets += 1;
+            let ingress_pipe = self.config.pipe_of_port(in_port as usize);
+            // The cache lookup table matches queries and cache updates; it
+            // must not match replies (their key may be cached, but replies
+            // just get forwarded).
+            let wants_lookup = matches!(
+                phv.pkt.netcache.op,
+                Op::Get | Op::Put | Op::Delete | Op::CacheUpdate
+            );
+            if wants_lookup {
+                phv.meta.cache = self.lookup.lookup(ingress_pipe, &phv.pkt.netcache.key);
+            }
+        }
+        if phv.pkt.is_netcache() && phv.pkt.netcache.op == Op::CacheUpdate {
+            // Cache updates are consumed by the switch itself: steer to the
+            // egress pipe that stores the value (the home server's port),
+            // falling back to the ingress port when the entry is gone. The
+            // routing table is never consulted — the switch's own IP needs
+            // no route.
+            let port = phv.meta.cache.map_or(phv.ingress_port, |e| e.egress_port);
+            phv.meta.egress_port = Some(port);
+        } else {
+            self.router.route(&mut phv);
+        }
+        if phv.meta.drop {
+            self.stats.drops += 1;
+            return Vec::new();
+        }
+        let egress_port = phv
+            .meta
+            .egress_port
+            .expect("router sets egress_port unless dropping");
+
+        // ---- Traffic manager ----
+        let egress_pipe_idx = self.config.pipe_of_port(egress_port as usize);
+
+        // ---- Egress pipeline ----
+        if !phv.pkt.is_netcache() {
+            return vec![(egress_port, phv.pkt)];
+        }
+        let pipe = &mut self.egress[egress_pipe_idx];
+        let epoch = phv.epoch;
+        match phv.pkt.netcache.op {
+            Op::Get => {
+                if let Some(entry) = phv.meta.cache {
+                    let valid = pipe.status.check_valid(epoch, entry.key_index);
+                    phv.meta.cache_valid = valid;
+                    // Statistics: cached keys are counted by the per-key
+                    // counter whether or not the entry is momentarily valid
+                    // (popularity is a property of the key).
+                    pipe.stats.on_cache_hit(epoch, entry.key_index);
+                    if valid {
+                        let len = pipe.value_len.read(epoch, entry.key_index as usize);
+                        match pipe.values.read_value(
+                            epoch,
+                            entry.bitmap,
+                            entry.value_index,
+                            len as u8,
+                        ) {
+                            Some(value) => {
+                                self.stats.cache_hits += 1;
+                                let reply_port = phv
+                                    .meta
+                                    .reply_port
+                                    .expect("router saved reply route for cached read");
+                                let reply = phv.pkt.into_reply(Op::GetReplyHit, Some(value));
+                                // Mirror to the upstream port toward the client.
+                                return vec![(reply_port, reply)];
+                            }
+                            None => {
+                                // Inconsistent controller state; fail safe by
+                                // sending the query to the server.
+                                self.stats.invalid_hits += 1;
+                                return vec![(egress_port, phv.pkt)];
+                            }
+                        }
+                    }
+                    self.stats.invalid_hits += 1;
+                    return vec![(egress_port, phv.pkt)];
+                }
+                // Cache miss: heavy-hitter detection on the uncached key.
+                self.stats.cache_misses += 1;
+                pipe.stats.on_cache_miss(epoch, &phv.pkt.netcache.key);
+                vec![(egress_port, phv.pkt)]
+            }
+            Op::Put | Op::Delete => {
+                if let Some(entry) = phv.meta.cache {
+                    pipe.status.invalidate(epoch, entry.key_index);
+                    self.stats.write_invalidations += 1;
+                    // Tell the server the key is cached (§4.3: "modifies
+                    // the operation field in the packet header").
+                    phv.pkt.netcache.op = phv
+                        .pkt
+                        .netcache
+                        .op
+                        .cached_variant()
+                        .expect("Put/Delete have cached variants");
+                }
+                vec![(egress_port, phv.pkt)]
+            }
+            Op::CacheUpdate => {
+                let applied = match (phv.meta.cache, &phv.pkt.netcache.value) {
+                    (Some(entry), Some(value)) => {
+                        if pipe
+                            .values
+                            .write_value(epoch, entry.bitmap, entry.value_index, value)
+                        {
+                            let ok = pipe.status.apply_update(
+                                epoch,
+                                entry.key_index,
+                                phv.pkt.netcache.seq,
+                            );
+                            if ok {
+                                pipe.value_len.write(
+                                    epoch,
+                                    entry.key_index as usize,
+                                    value.len() as u16,
+                                );
+                            }
+                            ok
+                        } else {
+                            // Value larger than the allocated slots: the
+                            // data plane cannot apply it (§4.3); the entry
+                            // stays invalid until the controller reallocates.
+                            false
+                        }
+                    }
+                    _ => false,
+                };
+                if applied {
+                    self.stats.updates_applied += 1;
+                } else {
+                    self.stats.updates_ignored += 1;
+                }
+                // Always acknowledge: the ack means "processed", and a
+                // non-applied update leaves the entry invalid, which is
+                // safe (reads go to the server).
+                let ack = phv.pkt.into_reply(Op::CacheUpdateAck, None);
+                vec![(phv.ingress_port, ack)]
+            }
+            // Replies and acks pass through by destination routing.
+            _ => vec![(egress_port, phv.pkt)],
+        }
+    }
+
+    /// Processes a raw frame, parsing it first. Unparseable frames are
+    /// dropped; non-NetCache frames would be forwarded by a real switch,
+    /// but the reproduction's transports only carry NetCache traffic.
+    pub fn process_bytes(&mut self, frame: &[u8], in_port: PortId) -> Vec<(PortId, Vec<u8>)> {
+        match Packet::parse(frame) {
+            Ok(pkt) => self
+                .process(pkt, in_port)
+                .into_iter()
+                .map(|(port, pkt)| (port, pkt.deparse()))
+                .collect(),
+            Err(_) => {
+                self.stats.drops += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Compiles the program against the ASIC profile, producing the
+    /// placement / resource report of §6.
+    pub fn compile_report(&self) -> Result<ResourceReport, PlacementError> {
+        let profile = self.config.profile;
+        let alloc = |name: &str, sram: usize, entries: usize| Allocation {
+            name: name.to_string(),
+            sram_bytes: sram,
+            match_entries: entries,
+        };
+
+        let mut ingress = StageMap::new(profile, Direction::Ingress);
+        let lookup_stage = ingress.place(
+            0,
+            alloc(
+                "cache_lookup",
+                self.lookup.sram_bytes_per_replica(),
+                self.config.cache_capacity,
+            ),
+        )?;
+        // Routing depends on the lookup result (cached reads route by src).
+        ingress.place(lookup_stage + 1, alloc("l3_routing", 512 * 1024, 0))?;
+
+        let mut egress = StageMap::new(profile, Direction::Egress);
+        let pipe = &self.egress[0];
+        let status_stage = egress.place(0, alloc("cache_status", pipe.status.sram_bytes(), 0))?;
+        egress.place(0, alloc("value_len", self.config.value_slots * 2, 0))?;
+        // Statistics: counters + CMS rows may share a stage (independent
+        // accesses); Bloom depends on the CMS estimate.
+        let counters_stage = egress.place(
+            status_stage + 1,
+            alloc("stats.counters", self.config.value_slots * 2, 0),
+        )?;
+        let mut cms_stage = counters_stage;
+        for i in 0..self.config.cms_depth {
+            cms_stage = cms_stage.max(egress.place(
+                counters_stage,
+                alloc(&format!("cms_row_{i}"), self.config.cms_width * 2, 0),
+            )?);
+        }
+        let mut bloom_stage = cms_stage + 1;
+        for i in 0..self.config.bloom_partitions {
+            bloom_stage = bloom_stage.max(egress.place(
+                cms_stage + 1,
+                alloc(&format!("bloom_{i}"), self.config.bloom_bits.div_ceil(8), 0),
+            )?);
+        }
+        // Value stages: one register array per stage, strictly sequential
+        // (each appends after the previous).
+        let mut value_stage = bloom_stage;
+        for i in 0..self.config.value_stages {
+            value_stage = egress.place(
+                value_stage + 1,
+                alloc(&format!("value_{i}"), self.config.value_slots * 16, 0),
+            )?;
+        }
+
+        Ok(ResourceReport {
+            profile,
+            ingress,
+            egress,
+        })
+    }
+}
+
+/// The control-plane driver interface the controller uses (§3: "It
+/// communicates with the switch ASIC through a switch driver in the switch
+/// OS").
+///
+/// All mutating driver calls count against the bounded control-plane update
+/// rate, observable via [`NetCacheSwitch::control_updates`].
+pub trait SwitchDriver {
+    /// Installs a cache lookup entry for `key` in every ingress replica.
+    fn insert_entry(&mut self, key: Key, entry: LookupEntry) -> Result<(), TableError>;
+    /// Removes the lookup entry for `key`.
+    fn remove_entry(&mut self, key: &Key) -> Result<LookupEntry, TableError>;
+    /// Reads the lookup entry for `key` without data-plane effects.
+    fn peek_entry(&self, key: &Key) -> Option<LookupEntry>;
+    /// Writes a value into the value arrays of egress pipe `pipe`.
+    fn write_value(&mut self, pipe: usize, bitmap: u8, index: u32, value: &Value) -> bool;
+    /// Reads a value back from egress pipe `pipe` (testing/verification).
+    fn peek_value(&self, pipe: usize, bitmap: u8, index: u32, value_len: u8) -> Option<Value>;
+    /// Marks `key_index` valid with `version` after an insertion.
+    fn install_status(&mut self, pipe: usize, key_index: u32, version: u32);
+    /// Records the true value length for `key_index` (read by the data
+    /// plane to trim the final 16-byte unit).
+    fn install_value_len(&mut self, pipe: usize, key_index: u32, len: u16);
+    /// Clears `key_index` when its key is evicted.
+    fn evict_status(&mut self, pipe: usize, key_index: u32);
+    /// Whether `key_index` currently holds a valid value (control-plane
+    /// read, used by the controller's repair pass).
+    fn peek_valid(&self, pipe: usize, key_index: u32) -> bool;
+    /// Marks `key_index` invalid without touching its version (used while
+    /// the controller moves a value between slots).
+    fn invalidate_status(&mut self, pipe: usize, key_index: u32);
+    /// Marks `key_index` valid again without touching its version.
+    fn revalidate_status(&mut self, pipe: usize, key_index: u32);
+    /// The true value length currently recorded for `key_index`.
+    fn peek_value_len(&self, pipe: usize, key_index: u32) -> u16;
+    /// Reads the per-key hit counter.
+    fn read_counter(&self, pipe: usize, key_index: u32) -> u16;
+    /// Zeroes the per-key hit counter (slot reassignment).
+    fn reset_counter(&mut self, pipe: usize, key_index: u32);
+    /// Drains heavy-hitter reports from all egress pipes.
+    fn drain_reports(&mut self) -> Vec<HotReport>;
+    /// Clears all statistics (the periodic reset).
+    fn reset_statistics(&mut self);
+    /// Reconfigures the statistics sampling rate.
+    fn set_sample_rate(&mut self, rate: f64);
+    /// Reconfigures the heavy-hitter threshold.
+    fn set_hot_threshold(&mut self, threshold: u16);
+    /// Installs an L3 route.
+    fn add_route(&mut self, prefix: u32, len: u8, port: PortId);
+    /// Number of cached keys.
+    fn cached_keys(&self) -> usize;
+    /// Cache capacity.
+    fn cache_capacity(&self) -> usize;
+}
+
+impl SwitchDriver for NetCacheSwitch {
+    fn insert_entry(&mut self, key: Key, entry: LookupEntry) -> Result<(), TableError> {
+        self.control_updates += self.config.pipes as u64;
+        self.lookup.insert(key, entry)
+    }
+
+    fn remove_entry(&mut self, key: &Key) -> Result<LookupEntry, TableError> {
+        self.control_updates += self.config.pipes as u64;
+        self.lookup.remove(key)
+    }
+
+    fn peek_entry(&self, key: &Key) -> Option<LookupEntry> {
+        self.lookup.peek(key).copied()
+    }
+
+    fn write_value(&mut self, pipe: usize, bitmap: u8, index: u32, value: &Value) -> bool {
+        self.control_updates += 1;
+        self.egress[pipe].values.poke_value(bitmap, index, value)
+    }
+
+    fn peek_value(&self, pipe: usize, bitmap: u8, index: u32, value_len: u8) -> Option<Value> {
+        self.egress[pipe]
+            .values
+            .peek_value(bitmap, index, value_len)
+    }
+
+    fn install_status(&mut self, pipe: usize, key_index: u32, version: u32) {
+        self.control_updates += 1;
+        self.egress[pipe].status.install(key_index, version);
+    }
+
+    fn install_value_len(&mut self, pipe: usize, key_index: u32, len: u16) {
+        self.control_updates += 1;
+        self.egress[pipe].value_len.poke(key_index as usize, len);
+    }
+
+    fn evict_status(&mut self, pipe: usize, key_index: u32) {
+        self.control_updates += 1;
+        self.egress[pipe].status.evict(key_index);
+        self.egress[pipe].value_len.poke(key_index as usize, 0);
+    }
+
+    fn peek_valid(&self, pipe: usize, key_index: u32) -> bool {
+        self.egress[pipe].status.peek_valid(key_index)
+    }
+
+    fn invalidate_status(&mut self, pipe: usize, key_index: u32) {
+        self.control_updates += 1;
+        self.egress[pipe].status.set_valid(key_index, false);
+    }
+
+    fn revalidate_status(&mut self, pipe: usize, key_index: u32) {
+        self.control_updates += 1;
+        self.egress[pipe].status.set_valid(key_index, true);
+    }
+
+    fn peek_value_len(&self, pipe: usize, key_index: u32) -> u16 {
+        self.egress[pipe].value_len.peek(key_index as usize)
+    }
+
+    fn read_counter(&self, pipe: usize, key_index: u32) -> u16 {
+        self.egress[pipe].stats.read_counter(key_index)
+    }
+
+    fn reset_counter(&mut self, pipe: usize, key_index: u32) {
+        self.control_updates += 1;
+        self.egress[pipe].stats.reset_counter(key_index);
+    }
+
+    fn drain_reports(&mut self) -> Vec<HotReport> {
+        let mut all = Vec::new();
+        for pipe in &mut self.egress {
+            all.extend(pipe.stats.drain_reports());
+        }
+        all
+    }
+
+    fn reset_statistics(&mut self) {
+        self.control_updates += 1;
+        for pipe in &mut self.egress {
+            pipe.stats.reset_all();
+        }
+    }
+
+    fn set_sample_rate(&mut self, rate: f64) {
+        self.control_updates += 1;
+        for pipe in &mut self.egress {
+            pipe.stats.set_sample_rate(rate);
+        }
+    }
+
+    fn set_hot_threshold(&mut self, threshold: u16) {
+        self.control_updates += 1;
+        for pipe in &mut self.egress {
+            pipe.stats.set_hot_threshold(threshold);
+        }
+    }
+
+    fn add_route(&mut self, prefix: u32, len: u8, port: PortId) {
+        self.control_updates += 1;
+        self.router.add_route(prefix, len, port);
+    }
+
+    fn cached_keys(&self) -> usize {
+        self.lookup.len()
+    }
+
+    fn cache_capacity(&self) -> usize {
+        self.lookup.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLIENT_IP: u32 = 0x0a00_0001;
+    const SERVER_IP: u32 = 0x0a00_0101;
+    const SWITCH_IP: u32 = 0x0a00_00fe;
+    const CLIENT_PORT: PortId = 7;
+    const SERVER_PORT: PortId = 1;
+
+    fn switch() -> NetCacheSwitch {
+        let mut sw = NetCacheSwitch::new(SwitchConfig::tiny()).unwrap();
+        sw.add_route(CLIENT_IP, 32, CLIENT_PORT);
+        sw.add_route(SERVER_IP, 32, SERVER_PORT);
+        sw.add_route(SWITCH_IP, 32, 0);
+        sw
+    }
+
+    /// Installs `key` in the cache the way the controller would.
+    fn install(sw: &mut NetCacheSwitch, key: Key, value: &Value, key_index: u32, index: u32) {
+        let bitmap = ((1u16 << value.units()) - 1) as u8;
+        sw.write_value(0, bitmap, index, value);
+        sw.insert_entry(
+            key,
+            LookupEntry {
+                bitmap,
+                value_index: index,
+                key_index,
+                egress_port: SERVER_PORT,
+                value_len: value.len() as u8,
+            },
+        )
+        .unwrap();
+        sw.install_value_len(0, key_index, value.len() as u16);
+        sw.install_status(0, key_index, 1);
+    }
+
+    #[test]
+    fn cache_hit_served_back_to_client() {
+        let mut sw = switch();
+        let key = Key::from_u64(42);
+        let value = Value::for_item(42, 48);
+        install(&mut sw, key, &value, 0, 0);
+
+        let query = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 5);
+        let out = sw.process(query, CLIENT_PORT);
+        assert_eq!(out.len(), 1);
+        let (port, reply) = &out[0];
+        assert_eq!(*port, CLIENT_PORT, "mirrored to the client's port");
+        assert_eq!(reply.netcache.op, Op::GetReplyHit);
+        assert_eq!(reply.netcache.value.as_ref().unwrap(), &value);
+        assert_eq!(reply.ipv4.dst, CLIENT_IP);
+        assert_eq!(reply.netcache.seq, 5, "other fields retained");
+        assert_eq!(sw.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_miss_forwarded_to_server() {
+        let mut sw = switch();
+        let query = Packet::get_query(1, CLIENT_IP, SERVER_IP, Key::from_u64(9), 0);
+        let out = sw.process(query.clone(), CLIENT_PORT);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, SERVER_PORT);
+        assert_eq!(out[0].1, query, "miss forwards the query unchanged");
+        assert_eq!(sw.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn write_to_cached_key_invalidates_and_rewrites_op() {
+        let mut sw = switch();
+        let key = Key::from_u64(1);
+        install(&mut sw, key, &Value::filled(1, 16), 0, 0);
+
+        let put = Packet::put_query(1, CLIENT_IP, SERVER_IP, key, 2, Value::filled(2, 16));
+        let out = sw.process(put, CLIENT_PORT);
+        assert_eq!(out[0].0, SERVER_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::PutCached);
+        assert_eq!(sw.stats().write_invalidations, 1);
+
+        // Subsequent read must go to the server, not the stale cache.
+        let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 3);
+        let out = sw.process(get, CLIENT_PORT);
+        assert_eq!(out[0].0, SERVER_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::Get);
+        assert_eq!(sw.stats().invalid_hits, 1);
+    }
+
+    #[test]
+    fn write_to_uncached_key_passes_through() {
+        let mut sw = switch();
+        let put = Packet::put_query(
+            1,
+            CLIENT_IP,
+            SERVER_IP,
+            Key::from_u64(5),
+            2,
+            Value::filled(2, 16),
+        );
+        let out = sw.process(put.clone(), CLIENT_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::Put, "op unchanged for uncached");
+        assert_eq!(sw.stats().write_invalidations, 0);
+    }
+
+    #[test]
+    fn cache_update_revalidates_with_new_value() {
+        let mut sw = switch();
+        let key = Key::from_u64(1);
+        install(&mut sw, key, &Value::filled(1, 32), 0, 0);
+
+        // Write invalidates.
+        let put = Packet::put_query(1, CLIENT_IP, SERVER_IP, key, 2, Value::filled(9, 32));
+        sw.process(put, CLIENT_PORT);
+
+        // Server pushes the new value with version 2.
+        let update = Packet::cache_update(SERVER_IP, SWITCH_IP, key, 2, Value::filled(9, 32));
+        let out = sw.process(update, SERVER_PORT);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.netcache.op, Op::CacheUpdateAck);
+        assert_eq!(out[0].0, SERVER_PORT, "ack returns to the server");
+        assert_eq!(sw.stats().updates_applied, 1);
+
+        // Read is now served by the cache with the new value.
+        let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 3);
+        let out = sw.process(get, CLIENT_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::GetReplyHit);
+        assert_eq!(
+            out[0].1.netcache.value.as_ref().unwrap(),
+            &Value::filled(9, 32)
+        );
+    }
+
+    #[test]
+    fn stale_cache_update_ignored_but_acked() {
+        let mut sw = switch();
+        let key = Key::from_u64(1);
+        install(&mut sw, key, &Value::filled(1, 16), 0, 0); // version 1
+
+        let put = Packet::put_query(1, CLIENT_IP, SERVER_IP, key, 2, Value::filled(2, 16));
+        sw.process(put, CLIENT_PORT);
+        // A stale/duplicate update with version 1 must not revalidate.
+        let update = Packet::cache_update(SERVER_IP, SWITCH_IP, key, 1, Value::filled(8, 16));
+        let out = sw.process(update, SERVER_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::CacheUpdateAck);
+        assert_eq!(sw.stats().updates_ignored, 1);
+
+        let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 3);
+        let out = sw.process(get, CLIENT_PORT);
+        assert_eq!(out[0].0, SERVER_PORT, "entry must stay invalid");
+    }
+
+    #[test]
+    fn oversized_cache_update_leaves_entry_invalid() {
+        let mut sw = switch();
+        let key = Key::from_u64(1);
+        install(&mut sw, key, &Value::filled(1, 16), 0, 0); // 1 unit allocated
+
+        let put = Packet::put_query(1, CLIENT_IP, SERVER_IP, key, 2, Value::filled(2, 64));
+        sw.process(put, CLIENT_PORT);
+        let update = Packet::cache_update(SERVER_IP, SWITCH_IP, key, 2, Value::filled(2, 64));
+        let out = sw.process(update, SERVER_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::CacheUpdateAck);
+        assert_eq!(sw.stats().updates_ignored, 1);
+        let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 3);
+        let out = sw.process(get, CLIENT_PORT);
+        assert_eq!(out[0].0, SERVER_PORT);
+    }
+
+    #[test]
+    fn update_for_evicted_key_acked_without_write() {
+        let mut sw = switch();
+        let update = Packet::cache_update(
+            SERVER_IP,
+            SWITCH_IP,
+            Key::from_u64(77),
+            1,
+            Value::filled(1, 16),
+        );
+        let out = sw.process(update, SERVER_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::CacheUpdateAck);
+        assert_eq!(sw.stats().updates_ignored, 1);
+    }
+
+    #[test]
+    fn hot_uncached_keys_reported_once() {
+        let mut sw = switch();
+        let key = Key::from_u64(1234);
+        for seq in 0..20 {
+            let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, seq);
+            sw.process(get, CLIENT_PORT);
+        }
+        let reports = sw.drain_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].key, key);
+    }
+
+    #[test]
+    fn replies_forwarded_not_cached_matched() {
+        let mut sw = switch();
+        let key = Key::from_u64(42);
+        install(&mut sw, key, &Value::filled(1, 16), 0, 0);
+        // A reply from the server for the cached key must just pass through
+        // toward the client (it must not hit the cache path).
+        let reply = Packet::get_query(1, SERVER_IP, CLIENT_IP, key, 0)
+            .into_reply(Op::GetReplyMiss, Some(Value::filled(3, 16)));
+        // into_reply swapped src/dst, so dst is SERVER... build manually:
+        let mut reply = reply;
+        reply.ipv4.src = SERVER_IP;
+        reply.ipv4.dst = CLIENT_IP;
+        let out = sw.process(reply, SERVER_PORT);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, CLIENT_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::GetReplyMiss);
+        assert_eq!(sw.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn reboot_clears_cache_keeps_routes() {
+        let mut sw = switch();
+        let key = Key::from_u64(42);
+        install(&mut sw, key, &Value::filled(1, 16), 0, 0);
+        sw.reboot();
+        assert_eq!(sw.cached_keys(), 0);
+        let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 0);
+        let out = sw.process(get, CLIENT_PORT);
+        assert_eq!(out[0].0, SERVER_PORT, "routes survive, cache does not");
+    }
+
+    #[test]
+    fn process_bytes_round_trip() {
+        let mut sw = switch();
+        let key = Key::from_u64(42);
+        let value = Value::for_item(42, 64);
+        install(&mut sw, key, &value, 0, 0);
+        let query = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 5).deparse();
+        let out = sw.process_bytes(&query, CLIENT_PORT);
+        assert_eq!(out.len(), 1);
+        let reply = Packet::parse(&out[0].1).unwrap();
+        assert_eq!(reply.netcache.value.unwrap(), value);
+    }
+
+    #[test]
+    fn malformed_frames_dropped() {
+        let mut sw = switch();
+        assert!(sw.process_bytes(&[0u8; 10], CLIENT_PORT).is_empty());
+        assert_eq!(sw.stats().drops, 1);
+    }
+
+    #[test]
+    fn prototype_fits_asic_under_50_percent() {
+        let sw = NetCacheSwitch::new(SwitchConfig::prototype()).unwrap();
+        let report = sw.compile_report().unwrap();
+        assert!(
+            report.sram_fraction() < 0.5,
+            "paper claims <50%, got {:.1}%",
+            report.sram_fraction() * 100.0
+        );
+    }
+
+    #[test]
+    fn control_updates_counted() {
+        let mut sw = switch();
+        let before = sw.control_updates();
+        install(&mut sw, Key::from_u64(9), &Value::filled(1, 16), 1, 1);
+        assert!(sw.control_updates() > before);
+    }
+}

@@ -1,0 +1,188 @@
+//! Rack addressing: IPs, ports and the key→home mapping.
+//!
+//! Layout (all deterministic functions of the rack configuration):
+//!
+//! - server `i` sits on switch port `i` with IP `10.0.1.i`;
+//! - client `j` attaches to switch port `servers + j` with IP `10.0.0.(j+1)`;
+//! - the switch itself is `10.0.0.254` (cache updates are addressed to it);
+//! - key → partition via the shared hash [`Partitioner`], partition `i`'s
+//!   home is server `i`.
+
+use netcache_controller::KeyHome;
+use netcache_dataplane::{PortId, SwitchConfig};
+use netcache_proto::Key;
+use netcache_store::Partitioner;
+
+/// Base IP for servers (`10.0.1.0`).
+pub const SERVER_IP_BASE: u32 = 0x0a00_0100;
+
+/// Base IP for clients (`10.0.0.0`; client j is `base + j + 1`).
+pub const CLIENT_IP_BASE: u32 = 0x0a00_0000;
+
+/// The switch's own IP (`10.0.0.254`).
+pub const SWITCH_IP: u32 = 0x0a00_00fe;
+
+/// What sits on a given switch port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attachment {
+    /// Storage server with this index.
+    Server(u32),
+    /// Client attachment point with this index.
+    Client(u32),
+    /// Nothing attached.
+    Unused,
+}
+
+/// Deterministic rack addressing.
+#[derive(Debug, Clone)]
+pub struct Addressing {
+    servers: u32,
+    clients: u32,
+    partitioner: Partitioner,
+    ports_per_pipe: usize,
+    pipes: usize,
+}
+
+impl Addressing {
+    /// Builds the addressing plan for a rack.
+    pub fn new(servers: u32, clients: u32, partition_seed: u64, switch: &SwitchConfig) -> Self {
+        Addressing {
+            servers,
+            clients,
+            partitioner: Partitioner::new(servers, partition_seed),
+            ports_per_pipe: switch.ports_per_pipe(),
+            pipes: switch.pipes,
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// Number of client ports.
+    pub fn clients(&self) -> u32 {
+        self.clients
+    }
+
+    /// The shared partitioner.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// Server `i`'s IP.
+    pub fn server_ip(&self, i: u32) -> u32 {
+        SERVER_IP_BASE + i
+    }
+
+    /// Client `j`'s IP.
+    pub fn client_ip(&self, j: u32) -> u32 {
+        CLIENT_IP_BASE + j + 1
+    }
+
+    /// Server `i`'s switch port.
+    pub fn server_port(&self, i: u32) -> PortId {
+        i as PortId
+    }
+
+    /// Client `j`'s switch port.
+    pub fn client_port(&self, j: u32) -> PortId {
+        (self.servers + j) as PortId
+    }
+
+    /// What is attached to `port`.
+    pub fn attachment(&self, port: PortId) -> Attachment {
+        let p = u32::from(port);
+        if p < self.servers {
+            Attachment::Server(p)
+        } else if p < self.servers + self.clients {
+            Attachment::Client(p - self.servers)
+        } else {
+            Attachment::Unused
+        }
+    }
+
+    /// The egress pipe of a port (must agree with the switch config).
+    pub fn pipe_of_port(&self, port: PortId) -> usize {
+        (usize::from(port) / self.ports_per_pipe).min(self.pipes - 1)
+    }
+
+    /// The partition (= server index) owning `key`.
+    pub fn partition_of(&self, key: &Key) -> u32 {
+        self.partitioner.partition_of(key)
+    }
+
+    /// The full home of `key`: server, IP, port, pipe.
+    pub fn home_of(&self, key: &Key) -> KeyHome {
+        let server = self.partition_of(key);
+        let port = self.server_port(server);
+        KeyHome {
+            server,
+            server_ip: self.server_ip(server),
+            egress_port: port,
+            pipe: self.pipe_of_port(port),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcache_dataplane::SwitchConfig;
+
+    fn addressing() -> Addressing {
+        let mut switch = SwitchConfig::tiny();
+        switch.ports = 16;
+        Addressing::new(8, 4, 1, &switch)
+    }
+
+    #[test]
+    fn ips_are_distinct() {
+        let a = addressing();
+        let mut ips = Vec::new();
+        for i in 0..8 {
+            ips.push(a.server_ip(i));
+        }
+        for j in 0..4 {
+            ips.push(a.client_ip(j));
+        }
+        ips.push(SWITCH_IP);
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), 13, "all addresses must be unique");
+    }
+
+    #[test]
+    fn port_attachments() {
+        let a = addressing();
+        assert_eq!(a.attachment(0), Attachment::Server(0));
+        assert_eq!(a.attachment(7), Attachment::Server(7));
+        assert_eq!(a.attachment(8), Attachment::Client(0));
+        assert_eq!(a.attachment(11), Attachment::Client(3));
+        assert_eq!(a.attachment(12), Attachment::Unused);
+    }
+
+    #[test]
+    fn home_is_consistent() {
+        let a = addressing();
+        for i in 0..100u64 {
+            let key = Key::from_u64(i);
+            let home = a.home_of(&key);
+            assert_eq!(home.server, a.partition_of(&key));
+            assert_eq!(home.server_ip, a.server_ip(home.server));
+            assert_eq!(u32::from(home.egress_port), home.server);
+            assert_eq!(home.pipe, a.pipe_of_port(home.egress_port));
+        }
+    }
+
+    #[test]
+    fn pipes_match_switch_mapping() {
+        let mut switch = SwitchConfig::tiny();
+        switch.ports = 16;
+        switch.pipes = 2;
+        let a = Addressing::new(8, 4, 1, &switch);
+        assert_eq!(a.pipe_of_port(0), switch.pipe_of_port(0));
+        assert_eq!(a.pipe_of_port(9), switch.pipe_of_port(9));
+        assert_eq!(a.pipe_of_port(15), switch.pipe_of_port(15));
+    }
+}

@@ -1,0 +1,111 @@
+//! Rack configuration.
+
+use netcache_controller::ControllerConfig;
+use netcache_dataplane::SwitchConfig;
+
+/// Configuration of a NetCache storage rack (switch + servers + controller).
+#[derive(Debug, Clone)]
+pub struct RackConfig {
+    /// Number of storage servers (= partitions; the paper's full rack has
+    /// 128).
+    pub servers: u32,
+    /// Store shards per server (per-core sharding).
+    pub shards_per_server: usize,
+    /// Switch program configuration.
+    pub switch: SwitchConfig,
+    /// Controller configuration.
+    pub controller: ControllerConfig,
+    /// Number of client attachment points (upstream ports).
+    pub clients: u32,
+    /// Seed for the rack's hash partitioner.
+    pub partition_seed: u64,
+    /// Nanoseconds between server-agent retransmission ticks driven by
+    /// [`crate::Rack::tick`].
+    pub agent_retry_timeout_ns: u64,
+    /// Whether servers push new values into the switch via data-plane
+    /// `CacheUpdate`s (the paper's design). `false` selects the
+    /// write-around ablation: invalid entries wait for the controller's
+    /// control-plane repair pass.
+    pub dataplane_updates: bool,
+}
+
+impl RackConfig {
+    /// A small rack for tests and examples: `servers` servers, a tiny
+    /// switch program, 4 client ports.
+    pub fn small(servers: u32) -> Self {
+        let mut switch = SwitchConfig::tiny();
+        switch.ports = (servers + 8) as usize;
+        RackConfig {
+            servers,
+            shards_per_server: 2,
+            switch,
+            controller: ControllerConfig {
+                cache_capacity: 32,
+                ..ControllerConfig::default()
+            },
+            clients: 4,
+            partition_seed: 0x7061_7274,
+            agent_retry_timeout_ns: 100_000,
+            dataplane_updates: true,
+        }
+    }
+
+    /// The paper's full rack: 128 servers behind a prototype-sized switch
+    /// program (64K-entry cache, 8 MB of value storage).
+    pub fn paper_rack() -> Self {
+        let mut switch = SwitchConfig::prototype();
+        switch.ports = 192; // 128 server ports + 64 upstream.
+        RackConfig {
+            servers: 128,
+            shards_per_server: 8,
+            switch,
+            controller: ControllerConfig::default(),
+            clients: 16,
+            partition_seed: 0x7061_7274,
+            agent_retry_timeout_ns: 100_000,
+            dataplane_updates: true,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.servers == 0 {
+            return Err("at least one server required".into());
+        }
+        if self.clients == 0 {
+            return Err("at least one client port required".into());
+        }
+        if (self.servers + self.clients) as usize > self.switch.ports {
+            return Err(format!(
+                "{} servers + {} clients exceed {} switch ports",
+                self.servers, self.clients, self.switch.ports
+            ));
+        }
+        self.switch.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        RackConfig::small(4).validate().unwrap();
+        RackConfig::paper_rack().validate().unwrap();
+    }
+
+    #[test]
+    fn port_budget_checked() {
+        let mut c = RackConfig::small(4);
+        c.servers = 100;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn paper_rack_matches_paper_scale() {
+        let c = RackConfig::paper_rack();
+        assert_eq!(c.servers, 128);
+        assert_eq!(c.switch.cache_capacity, 65_536);
+    }
+}

@@ -1,0 +1,107 @@
+//! Deterministic fault injection for coherence testing.
+//!
+//! The coherence protocol's interesting behaviours only show up under loss
+//! (retransmitted cache updates, abandoned updates, reordered acks). The
+//! [`FaultInjector`] drops a configurable number of upcoming packets
+//! matching an opcode filter — deterministic, so tests can script exact
+//! loss patterns.
+
+use netcache_proto::{Op, Packet};
+use parking_lot::Mutex;
+
+/// A scripted packet-drop rule.
+#[derive(Debug, Clone, Copy)]
+struct DropRule {
+    op: Op,
+    remaining: u32,
+}
+
+/// Deterministic packet dropper, shared by the rack's forwarding loop.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    rules: Mutex<Vec<DropRule>>,
+    dropped: Mutex<u64>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no rules (drops nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arranges for the next `count` packets with opcode `op` to be
+    /// dropped.
+    pub fn drop_next(&self, op: Op, count: u32) {
+        self.rules.lock().push(DropRule {
+            op,
+            remaining: count,
+        });
+    }
+
+    /// Decides whether to drop `pkt` (consuming one drop credit if so).
+    pub fn should_drop(&self, pkt: &Packet) -> bool {
+        let mut rules = self.rules.lock();
+        for rule in rules.iter_mut() {
+            if rule.op == pkt.netcache.op && rule.remaining > 0 {
+                rule.remaining -= 1;
+                *self.dropped.lock() += 1;
+                rules.retain(|r| r.remaining > 0);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock()
+    }
+
+    /// Clears all rules.
+    pub fn clear(&self) {
+        self.rules.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcache_proto::{Key, Value};
+
+    fn update() -> Packet {
+        Packet::cache_update(1, 2, Key::from_u64(1), 1, Value::filled(0, 16))
+    }
+
+    fn get() -> Packet {
+        Packet::get_query(1, 1, 2, Key::from_u64(1), 0)
+    }
+
+    #[test]
+    fn drops_only_matching_ops_up_to_count() {
+        let f = FaultInjector::new();
+        f.drop_next(Op::CacheUpdate, 2);
+        assert!(!f.should_drop(&get()));
+        assert!(f.should_drop(&update()));
+        assert!(f.should_drop(&update()));
+        assert!(!f.should_drop(&update()), "credits exhausted");
+        assert_eq!(f.dropped(), 2);
+    }
+
+    #[test]
+    fn clear_removes_rules() {
+        let f = FaultInjector::new();
+        f.drop_next(Op::Get, 5);
+        f.clear();
+        assert!(!f.should_drop(&get()));
+    }
+
+    #[test]
+    fn multiple_rules_coexist() {
+        let f = FaultInjector::new();
+        f.drop_next(Op::Get, 1);
+        f.drop_next(Op::CacheUpdate, 1);
+        assert!(f.should_drop(&get()));
+        assert!(f.should_drop(&update()));
+        assert!(!f.should_drop(&get()));
+    }
+}

@@ -1,0 +1,148 @@
+//! Consolidated rack metrics: one structure aggregating the counters of
+//! every component, with a human-readable rendering for operations
+//! tooling and the examples.
+
+use core::fmt;
+
+use netcache_controller::ControllerStats;
+use netcache_dataplane::SwitchStats;
+use netcache_server::ServerStats;
+
+use crate::rack::Rack;
+
+/// A point-in-time snapshot of every counter in the rack.
+#[derive(Debug, Clone)]
+pub struct RackReport {
+    /// Switch data-plane counters.
+    pub switch: SwitchStats,
+    /// Per-server agent counters, indexed by server id.
+    pub servers: Vec<ServerStats>,
+    /// Controller counters.
+    pub controller: ControllerStats,
+    /// Keys currently cached.
+    pub cached_keys: usize,
+    /// Control-plane updates performed on the switch.
+    pub control_updates: u64,
+}
+
+impl RackReport {
+    /// Captures a snapshot from `rack`.
+    pub fn capture(rack: &Rack) -> Self {
+        let servers = (0..rack.config().servers)
+            .map(|i| rack.server_stats(i))
+            .collect();
+        RackReport {
+            switch: rack.switch_stats(),
+            servers,
+            controller: rack.controller_stats(),
+            cached_keys: rack.cached_keys(),
+            control_updates: rack.with_switch(|sw| sw.control_updates()),
+        }
+    }
+
+    /// Total Get queries served by storage servers.
+    pub fn server_gets(&self) -> u64 {
+        self.servers.iter().map(|s| s.gets).sum()
+    }
+
+    /// Total writes committed by storage servers.
+    pub fn server_writes(&self) -> u64 {
+        self.servers.iter().map(|s| s.puts + s.deletes).sum()
+    }
+
+    /// Cache hit ratio among read queries the switch classified.
+    pub fn hit_ratio(&self) -> f64 {
+        let reads = self.switch.cache_hits + self.switch.invalid_hits + self.switch.cache_misses;
+        if reads == 0 {
+            0.0
+        } else {
+            self.switch.cache_hits as f64 / reads as f64
+        }
+    }
+}
+
+impl fmt::Display for RackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "rack report")?;
+        writeln!(
+            f,
+            "  switch : {} pkts, {} hits / {} misses / {} invalid-hits ({:.1}% hit ratio)",
+            self.switch.packets,
+            self.switch.cache_hits,
+            self.switch.cache_misses,
+            self.switch.invalid_hits,
+            self.hit_ratio() * 100.0,
+        )?;
+        writeln!(
+            f,
+            "           {} invalidations, {} updates applied / {} ignored, {} drops",
+            self.switch.write_invalidations,
+            self.switch.updates_applied,
+            self.switch.updates_ignored,
+            self.switch.drops,
+        )?;
+        writeln!(
+            f,
+            "  servers: {} gets ({} not-found), {} writes, {} updates sent ({} retries, {} abandoned), {} writes blocked",
+            self.server_gets(),
+            self.servers.iter().map(|s| s.not_found).sum::<u64>(),
+            self.server_writes(),
+            self.servers.iter().map(|s| s.updates_sent).sum::<u64>(),
+            self.servers.iter().map(|s| s.update_retries).sum::<u64>(),
+            self.servers.iter().map(|s| s.updates_abandoned).sum::<u64>(),
+            self.servers.iter().map(|s| s.writes_blocked).sum::<u64>(),
+        )?;
+        writeln!(
+            f,
+            "  ctrl   : {} cached, {} reports -> {} inserts / {} evicts, {} repairs, {} moves, {} resets",
+            self.cached_keys,
+            self.controller.reports,
+            self.controller.insertions,
+            self.controller.evictions,
+            self.controller.repairs,
+            self.controller.reorganized,
+            self.controller.stats_resets,
+        )?;
+        writeln!(f, "  switch control-plane updates: {}", self.control_updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RackConfig;
+    use netcache_proto::{Key, Value};
+
+    #[test]
+    fn report_aggregates_counters() {
+        let mut config = RackConfig::small(4);
+        config.controller.cache_capacity = 8;
+        let rack = Rack::new(config).expect("valid config");
+        rack.load_dataset(100, 32);
+        rack.populate_cache((0..8).map(Key::from_u64));
+        let mut c = rack.client(0);
+        c.get(Key::from_u64(1)).expect("reply"); // hit
+        c.get(Key::from_u64(50)).expect("reply"); // miss
+        c.put(Key::from_u64(1), Value::filled(9, 32)).expect("ack");
+
+        let report = RackReport::capture(&rack);
+        assert_eq!(report.switch.cache_hits, 1);
+        assert_eq!(report.switch.cache_misses, 1);
+        assert_eq!(report.server_gets(), 1);
+        assert_eq!(report.server_writes(), 1);
+        assert_eq!(report.cached_keys, 8);
+        assert!(report.hit_ratio() > 0.0);
+
+        let text = report.to_string();
+        assert!(text.contains("rack report"));
+        assert!(text.contains("8 cached"));
+    }
+
+    #[test]
+    fn empty_rack_renders() {
+        let rack = Rack::new(RackConfig::small(2)).expect("valid config");
+        let report = RackReport::capture(&rack);
+        assert_eq!(report.hit_ratio(), 0.0);
+        assert!(!report.to_string().is_empty());
+    }
+}

@@ -1,0 +1,642 @@
+//! The in-process NetCache rack: switch + servers + controller, wired by a
+//! synchronous forwarding loop.
+//!
+//! [`Rack::execute`] injects a packet at a port and runs it — and every
+//! packet it spawns (server replies, cache updates, acks, released blocked
+//! writes) — through the switch until only client-bound packets remain.
+//! This models a lossless rack network with deterministic ordering, which
+//! is what unit/integration tests and the quickstart want. Timing-accurate
+//! behaviour (queueing, loss, saturation) lives in `netcache-sim`, which
+//! drives these same components from a discrete-event loop.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use netcache_client::{ClientConfig, NetCacheClient, Response};
+use netcache_controller::{Controller, KeyHome, ServerBackend};
+use netcache_dataplane::{NetCacheSwitch, PortId, SwitchDriver, SwitchStats};
+use netcache_proto::{Key, Packet, Value};
+use netcache_server::{AgentConfig, ServerAgent, ServerStats};
+use parking_lot::Mutex;
+
+use crate::addressing::{Addressing, Attachment, SWITCH_IP};
+use crate::config::RackConfig;
+use crate::fault::FaultInjector;
+
+/// A client-visible response plus provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    inner: Response,
+}
+
+impl ClientResponse {
+    /// The decoded response.
+    pub fn response(&self) -> &Response {
+        &self.inner
+    }
+
+    /// The value, if this is a successful read.
+    pub fn value(&self) -> Option<&Value> {
+        match &self.inner {
+            Response::Value { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Whether the switch cache served this read.
+    pub fn served_by_cache(&self) -> bool {
+        matches!(
+            self.inner,
+            Response::Value {
+                from_cache: true,
+                ..
+            }
+        )
+    }
+
+    /// Whether the key was absent.
+    pub fn not_found(&self) -> bool {
+        matches!(self.inner, Response::NotFound { .. })
+    }
+}
+
+/// The in-process rack.
+pub struct Rack {
+    config: RackConfig,
+    addressing: Addressing,
+    switch: Mutex<NetCacheSwitch>,
+    servers: Vec<Arc<ServerAgent>>,
+    controller: Mutex<Controller>,
+    faults: FaultInjector,
+    now_ns: AtomicU64,
+}
+
+impl Rack {
+    /// Builds the rack: switch program compiled, routes installed, servers
+    /// started, controller initialized.
+    pub fn new(config: RackConfig) -> Result<Self, String> {
+        config.validate()?;
+        let addressing = Addressing::new(
+            config.servers,
+            config.clients,
+            config.partition_seed,
+            &config.switch,
+        );
+        let mut switch = NetCacheSwitch::new(config.switch.clone())?;
+        // L3 routes: one host route per server and per client port.
+        for i in 0..config.servers {
+            switch.add_route(addressing.server_ip(i), 32, addressing.server_port(i));
+        }
+        for j in 0..config.clients {
+            switch.add_route(addressing.client_ip(j), 32, addressing.client_port(j));
+        }
+        let servers: Vec<Arc<ServerAgent>> = (0..config.servers)
+            .map(|i| {
+                Arc::new(ServerAgent::new(AgentConfig {
+                    ip: addressing.server_ip(i),
+                    switch_ip: SWITCH_IP,
+                    shards: config.shards_per_server,
+                    update_retry_timeout_ns: config.agent_retry_timeout_ns,
+                    update_max_retries: 5,
+                    dataplane_updates: config.dataplane_updates,
+                }))
+            })
+            .collect();
+        let topo = addressing.clone();
+        let controller = Controller::new(
+            config.controller.clone(),
+            config.switch.pipes,
+            config.switch.value_stages,
+            config.switch.value_slots,
+            move |key| topo.home_of(key),
+        );
+        Ok(Rack {
+            addressing,
+            switch: Mutex::new(switch),
+            servers,
+            controller: Mutex::new(controller),
+            faults: FaultInjector::new(),
+            now_ns: AtomicU64::new(0),
+            config,
+        })
+    }
+
+    /// The rack configuration.
+    pub fn config(&self) -> &RackConfig {
+        &self.config
+    }
+
+    /// The rack addressing plan.
+    pub fn addressing(&self) -> &Addressing {
+        &self.addressing
+    }
+
+    /// The fault injector (deterministic packet drops).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Current rack time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.now_ns.load(Ordering::Relaxed)
+    }
+
+    /// Advances rack time.
+    pub fn advance(&self, ns: u64) {
+        self.now_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Injects `pkt` at `in_port` and runs the forwarding loop to
+    /// completion; returns packets that exited toward clients, as
+    /// `(client_index, packet)`.
+    pub fn execute(&self, pkt: Packet, in_port: PortId) -> Vec<(u32, Packet)> {
+        let now = self.now();
+        let mut to_clients = Vec::new();
+        let mut queue: VecDeque<(PortId, Packet)> = VecDeque::new();
+        queue.push_back((in_port, pkt));
+        // Bounded loop: coherence traffic is finite, but a bug must not
+        // hang tests.
+        let mut hops = 0usize;
+        while let Some((port, pkt)) = queue.pop_front() {
+            hops += 1;
+            assert!(hops < 10_000, "forwarding loop did not converge");
+            let outs = self.switch.lock().process(pkt, port);
+            for (out_port, out_pkt) in outs {
+                if self.faults.should_drop(&out_pkt) {
+                    continue;
+                }
+                match self.addressing.attachment(out_port) {
+                    Attachment::Server(i) => {
+                        for produced in self.servers[i as usize].handle_packet(out_pkt, now) {
+                            // Packets a server emits cross the network too
+                            // and are subject to the same faults.
+                            if self.faults.should_drop(&produced) {
+                                continue;
+                            }
+                            queue.push_back((out_port, produced));
+                        }
+                    }
+                    Attachment::Client(j) => to_clients.push((j, out_pkt)),
+                    Attachment::Unused => {}
+                }
+            }
+        }
+        to_clients
+    }
+
+    /// Drives server-agent retransmission timers at the current rack time;
+    /// any retransmitted cache updates run through the forwarding loop.
+    pub fn tick(&self) -> Vec<(u32, Packet)> {
+        let now = self.now();
+        let mut to_clients = Vec::new();
+        for (i, server) in self.servers.iter().enumerate() {
+            for pkt in server.tick(now) {
+                if self.faults.should_drop(&pkt) {
+                    continue;
+                }
+                let port = self.addressing.server_port(i as u32);
+                to_clients.extend(self.execute(pkt, port));
+            }
+        }
+        to_clients
+    }
+
+    /// Runs one controller cycle (heavy-hitter intake, cache updates,
+    /// periodic statistics reset) at the current rack time.
+    pub fn run_controller(&self) {
+        let now = self.now();
+        let mut backend = RackBackend {
+            servers: &self.servers,
+            released: Vec::new(),
+            now,
+        };
+        {
+            let mut switch = self.switch.lock();
+            let mut controller = self.controller.lock();
+            controller.run_cycle(&mut *switch, &mut backend, now);
+        }
+        // Writes released by controller unlocks re-enter the network.
+        for (port, pkt) in backend.released {
+            self.execute(pkt, port);
+        }
+    }
+
+    /// Pre-populates the switch cache with `keys` (up to the controller's
+    /// capacity), e.g. the hottest items of a static workload.
+    pub fn populate_cache(&self, keys: impl IntoIterator<Item = Key>) -> usize {
+        let now = self.now();
+        let mut backend = RackBackend {
+            servers: &self.servers,
+            released: Vec::new(),
+            now,
+        };
+        let inserted = {
+            let mut switch = self.switch.lock();
+            let mut controller = self.controller.lock();
+            controller.populate(&mut *switch, &mut backend, keys)
+        };
+        for (port, pkt) in backend.released {
+            self.execute(pkt, port);
+        }
+        inserted
+    }
+
+    /// Loads `num_keys` items of `value_len` bytes directly into the
+    /// stores (dataset setup, bypassing the protocol), with key ids
+    /// `0..num_keys` and deterministic per-key values.
+    pub fn load_dataset(&self, num_keys: u64, value_len: usize) {
+        for id in 0..num_keys {
+            let key = Key::from_u64(id);
+            let home = self.addressing.home_of(&key);
+            self.servers[home.server as usize]
+                .store()
+                .put(key, Value::for_item(id, value_len), 1);
+        }
+    }
+
+    /// A synchronous client handle attached to client port `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn client(&self, j: u32) -> RackClient<'_> {
+        assert!(j < self.config.clients, "client index out of range");
+        RackClient {
+            rack: self,
+            index: j,
+            client: NetCacheClient::new(ClientConfig {
+                client_id: (j + 1) as u8,
+                ip: self.addressing.client_ip(j),
+                partitions: self.config.servers,
+                partition_seed: self.config.partition_seed,
+                server_ip_base: self.addressing.server_ip(0),
+            }),
+        }
+    }
+
+    /// Switch data-plane counters.
+    pub fn switch_stats(&self) -> SwitchStats {
+        self.switch.lock().stats()
+    }
+
+    /// Server agent counters.
+    pub fn server_stats(&self, i: u32) -> ServerStats {
+        self.servers[i as usize].stats()
+    }
+
+    /// Controller counters.
+    pub fn controller_stats(&self) -> netcache_controller::ControllerStats {
+        self.controller.lock().stats()
+    }
+
+    /// Number of keys currently in the switch cache.
+    pub fn cached_keys(&self) -> usize {
+        self.switch.lock().cached_keys()
+    }
+
+    /// Whether `key` is currently cached (controller's view).
+    pub fn is_cached(&self, key: &Key) -> bool {
+        self.controller.lock().is_cached(key)
+    }
+
+    /// Direct access to a server agent (tests, simulator).
+    pub fn server(&self, i: u32) -> &Arc<ServerAgent> {
+        &self.servers[i as usize]
+    }
+
+    /// Locked access to the switch (tests, simulator, resource report).
+    pub fn with_switch<T>(&self, f: impl FnOnce(&mut NetCacheSwitch) -> T) -> T {
+        f(&mut self.switch.lock())
+    }
+
+    /// Locked access to the controller (tests, simulator).
+    pub fn with_controller<T>(&self, f: impl FnOnce(&mut Controller) -> T) -> T {
+        f(&mut self.controller.lock())
+    }
+
+    /// Runs the controller's memory reorganization over all pipes
+    /// (Algorithm 2's "periodic memory reorganization"); returns keys
+    /// moved.
+    pub fn reorganize_cache(&self) -> usize {
+        let mut switch = self.switch.lock();
+        let mut controller = self.controller.lock();
+        let pipes = self.config.switch.pipes;
+        let mut moved = 0;
+        for pipe in 0..pipes {
+            moved += controller.reorganize_pipe(&mut *switch, pipe);
+        }
+        moved
+    }
+
+    /// Reboots the switch (cache and statistics lost, routes survive) and
+    /// resets the controller's view to match — the failure-recovery story
+    /// of §3.
+    pub fn reboot_switch(&self) {
+        let mut switch = self.switch.lock();
+        let mut controller = self.controller.lock();
+        switch.reboot();
+        let cfg = &self.config;
+        let topo = self.addressing.clone();
+        *controller = Controller::new(
+            cfg.controller.clone(),
+            cfg.switch.pipes,
+            cfg.switch.value_stages,
+            cfg.switch.value_slots,
+            move |key| topo.home_of(key),
+        );
+    }
+}
+
+impl core::fmt::Debug for Rack {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Rack")
+            .field("servers", &self.servers.len())
+            .field("cached_keys", &self.cached_keys())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Controller backend over the rack's in-process server agents.
+struct RackBackend<'a> {
+    servers: &'a [Arc<ServerAgent>],
+    /// Packets released by unlocks, to be injected after the controller
+    /// releases its locks: `(ingress_port, packet)`.
+    released: Vec<(PortId, Packet)>,
+    now: u64,
+}
+
+impl ServerBackend for RackBackend<'_> {
+    fn fetch(&mut self, home: &KeyHome, key: &Key) -> Option<(Value, u32)> {
+        self.servers[home.server as usize]
+            .fetch(key)
+            .map(|item| (item.value, item.version))
+    }
+
+    fn lock_writes(&mut self, home: &KeyHome, key: Key) {
+        self.servers[home.server as usize].controller_lock(key);
+    }
+
+    fn unlock_writes(&mut self, home: &KeyHome, key: Key) {
+        let released = self.servers[home.server as usize].controller_unlock(key, self.now);
+        self.released
+            .extend(released.into_iter().map(|p| (home.egress_port, p)));
+    }
+}
+
+/// A synchronous client handle: builds a query, runs it through the rack,
+/// and returns the decoded reply.
+pub struct RackClient<'a> {
+    rack: &'a Rack,
+    index: u32,
+    client: NetCacheClient,
+}
+
+impl RackClient<'_> {
+    /// The underlying packet-building client.
+    pub fn inner_mut(&mut self) -> &mut NetCacheClient {
+        &mut self.client
+    }
+
+    fn run(&mut self, pkt: Packet) -> Option<ClientResponse> {
+        let port = self.rack.addressing.client_port(self.index);
+        let replies = self.rack.execute(pkt, port);
+        replies.into_iter().find_map(|(j, pkt)| {
+            (j == self.index)
+                .then(|| Response::from_packet(&pkt).map(|inner| ClientResponse { inner }))
+                .flatten()
+        })
+    }
+
+    /// Reads `key`. `None` means the query (or its reply) was dropped.
+    pub fn get(&mut self, key: Key) -> Option<ClientResponse> {
+        let pkt = self.client.get(key);
+        self.run(pkt)
+    }
+
+    /// Writes `value` under `key`.
+    pub fn put(&mut self, key: Key, value: Value) -> Option<ClientResponse> {
+        let pkt = self.client.put(key, value);
+        self.run(pkt)
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&mut self, key: Key) -> Option<ClientResponse> {
+        let pkt = self.client.delete(key);
+        self.run(pkt)
+    }
+
+    // ---- Variable-length application keys (§5) ----
+
+    /// Writes `payload` under a variable-length application key, embedding
+    /// the original key in the value for collision detection (§5).
+    ///
+    /// Returns `None` on transport loss or if the key/payload exceed the
+    /// [`netcache_client::appkey`] bounds.
+    pub fn put_app(&mut self, app_key: &[u8], payload: &[u8]) -> Option<ClientResponse> {
+        let record = netcache_client::AppRecord::new(app_key, payload)?;
+        self.put(record.hashed_key(), record.encode())
+    }
+
+    /// Reads a variable-length application key, verifying the embedded
+    /// original key against the queried one (§5: "the client should verify
+    /// whether the value is for the queried key").
+    pub fn get_app(&mut self, app_key: &[u8]) -> Option<netcache_client::AppResponse> {
+        let key = Key::from_app_key(app_key);
+        let resp = self.get(key)?;
+        Some(netcache_client::appkey::verify_response(
+            app_key,
+            resp.response(),
+        ))
+    }
+
+    /// Deletes a variable-length application key.
+    pub fn delete_app(&mut self, app_key: &[u8]) -> Option<ClientResponse> {
+        self.delete(Key::from_app_key(app_key))
+    }
+
+    // ---- Large values via chunking (§2) ----
+
+    /// Writes a payload larger than one VALUE field by splitting it into
+    /// chunks under derived keys. Continuation chunks are written before
+    /// the manifest so no reader observes a dangling manifest.
+    pub fn put_large(&mut self, base: Key, payload: &[u8]) -> Option<()> {
+        let chunks = netcache_client::chunked::split(payload)?;
+        for (index, value) in chunks {
+            let key = netcache_client::chunked::chunk_key(base, index);
+            self.put(key, value)?;
+        }
+        Some(())
+    }
+
+    /// Reads a chunked payload; returns the bytes and whether *every*
+    /// chunk was served by the switch cache.
+    pub fn get_large(&mut self, base: Key) -> Option<(Vec<u8>, bool)> {
+        let manifest_resp = self.get(base)?;
+        let mut all_cached = manifest_resp.served_by_cache();
+        let manifest = manifest_resp.value()?.clone();
+        let (total, _) = netcache_client::chunked::decode_manifest(&manifest)?;
+        let count = netcache_client::chunked::chunk_count(total);
+        let mut continuations = Vec::with_capacity(count as usize - 1);
+        for index in 1..count {
+            let key = netcache_client::chunked::chunk_key(base, index);
+            let resp = self.get(key)?;
+            all_cached &= resp.served_by_cache();
+            continuations.push(resp.value()?.clone());
+        }
+        let payload = netcache_client::chunked::reassemble(&manifest, &continuations)?;
+        Some((payload, all_cached))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcache_proto::Op;
+
+    fn rack() -> Rack {
+        let mut config = RackConfig::small(4);
+        config.controller.cache_capacity = 8;
+        let rack = Rack::new(config).unwrap();
+        rack.load_dataset(100, 32);
+        rack
+    }
+
+    #[test]
+    fn uncached_read_served_by_server() {
+        let r = rack();
+        let mut c = r.client(0);
+        let resp = c.get(Key::from_u64(5)).unwrap();
+        assert!(!resp.served_by_cache());
+        assert_eq!(resp.value().unwrap(), &Value::for_item(5, 32));
+        assert_eq!(r.switch_stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn cached_read_served_by_switch() {
+        let r = rack();
+        assert_eq!(r.populate_cache([Key::from_u64(5)]), 1);
+        let mut c = r.client(0);
+        let resp = c.get(Key::from_u64(5)).unwrap();
+        assert!(resp.served_by_cache());
+        assert_eq!(resp.value().unwrap(), &Value::for_item(5, 32));
+        assert_eq!(r.switch_stats().cache_hits, 1);
+        // The server never saw the query.
+        let home = r.addressing().home_of(&Key::from_u64(5));
+        assert_eq!(r.server_stats(home.server).gets, 0);
+    }
+
+    #[test]
+    fn write_through_coherence_end_to_end() {
+        let r = rack();
+        r.populate_cache([Key::from_u64(5)]);
+        let mut c = r.client(0);
+        // Write: invalidate → commit → background cache update (the whole
+        // exchange happens inside execute()).
+        let resp = c.put(Key::from_u64(5), Value::filled(0xee, 32)).unwrap();
+        assert!(matches!(resp.response(), Response::PutAck { .. }));
+        // Read now hits the refreshed cache.
+        let resp = c.get(Key::from_u64(5)).unwrap();
+        assert!(resp.served_by_cache(), "{:?}", r.switch_stats());
+        assert_eq!(resp.value().unwrap(), &Value::filled(0xee, 32));
+    }
+
+    #[test]
+    fn lost_cache_update_never_serves_stale() {
+        let r = rack();
+        r.populate_cache([Key::from_u64(5)]);
+        let mut c = r.client(0);
+        // Drop the update and all 5 retries: the entry must stay invalid.
+        r.faults().drop_next(Op::CacheUpdate, 6);
+        c.put(Key::from_u64(5), Value::filled(0xbb, 32)).unwrap();
+        let resp = c.get(Key::from_u64(5)).unwrap();
+        assert!(!resp.served_by_cache(), "stale cache served!");
+        assert_eq!(resp.value().unwrap(), &Value::filled(0xbb, 32));
+    }
+
+    #[test]
+    fn retransmission_repairs_lost_update() {
+        let r = rack();
+        r.populate_cache([Key::from_u64(5)]);
+        let mut c = r.client(0);
+        r.faults().drop_next(Op::CacheUpdate, 1);
+        c.put(Key::from_u64(5), Value::filled(0xcc, 32)).unwrap();
+        // Reads meanwhile go to the server.
+        assert!(!c.get(Key::from_u64(5)).unwrap().served_by_cache());
+        // After the retry timeout, tick() retransmits and the cache heals.
+        r.advance(1_000_000);
+        r.tick();
+        let resp = c.get(Key::from_u64(5)).unwrap();
+        assert!(resp.served_by_cache());
+        assert_eq!(resp.value().unwrap(), &Value::filled(0xcc, 32));
+    }
+
+    #[test]
+    fn delete_leaves_no_stale_cache() {
+        let r = rack();
+        r.populate_cache([Key::from_u64(5)]);
+        let mut c = r.client(0);
+        let resp = c.delete(Key::from_u64(5)).unwrap();
+        assert!(matches!(resp.response(), Response::DeleteAck { .. }));
+        let resp = c.get(Key::from_u64(5)).unwrap();
+        assert!(resp.not_found());
+    }
+
+    #[test]
+    fn controller_learns_hot_keys() {
+        let r = rack();
+        let mut c = r.client(0);
+        // Hammer one key past the HH threshold (tiny config: 8).
+        for _ in 0..40 {
+            c.get(Key::from_u64(7)).unwrap();
+        }
+        r.run_controller();
+        assert!(r.is_cached(&Key::from_u64(7)), "{:?}", r.controller_stats());
+        let hits_before = r.switch_stats().cache_hits;
+        assert!(c.get(Key::from_u64(7)).unwrap().served_by_cache());
+        assert_eq!(r.switch_stats().cache_hits, hits_before + 1);
+    }
+
+    #[test]
+    fn switch_reboot_recovers_through_controller() {
+        let r = rack();
+        r.populate_cache([Key::from_u64(3)]);
+        r.reboot_switch();
+        assert_eq!(r.cached_keys(), 0);
+        let mut c = r.client(0);
+        // Queries still work (served by servers)...
+        let resp = c.get(Key::from_u64(3)).unwrap();
+        assert!(!resp.served_by_cache());
+        // ...and the heavy-hitter path refills the cache.
+        for _ in 0..40 {
+            c.get(Key::from_u64(3)).unwrap();
+        }
+        r.run_controller();
+        assert!(c.get(Key::from_u64(3)).unwrap().served_by_cache());
+    }
+
+    #[test]
+    fn multiple_clients_share_the_cache() {
+        let r = rack();
+        r.populate_cache([Key::from_u64(1)]);
+        for j in 0..4 {
+            let mut c = r.client(j);
+            assert!(
+                c.get(Key::from_u64(1)).unwrap().served_by_cache(),
+                "client {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scale_rack_constructs() {
+        let r = Rack::new(RackConfig::paper_rack()).unwrap();
+        // Spot-check one end-to-end query at full scale.
+        r.load_dataset(100, 128);
+        let mut c = r.client(0);
+        assert_eq!(
+            c.get(Key::from_u64(42)).unwrap().value().unwrap(),
+            &Value::for_item(42, 128)
+        );
+    }
+}

@@ -1,0 +1,423 @@
+//! A real-sockets deployment of the rack: every node is a thread with a
+//! `std::net::UdpSocket`, and NetCache packets cross the loopback as raw
+//! frames (Ethernet/IP/UDP/NetCache bytes inside a datagram).
+//!
+//! This is the reproduction's analogue of the paper's DPDK client/server
+//! processes around a Tofino: same wire format, same switch program, same
+//! agents — different I/O. Loopback UDP can drop under load, which
+//! exercises the retransmission machinery for real.
+//!
+//! Topology: each switch port maps to one socket address. The switch
+//! thread receives frames, identifies the ingress port by the sender's
+//! address, runs the data-plane program, and forwards the outputs to the
+//! sockets of the chosen egress ports.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use netcache_client::{ClientConfig, NetCacheClient, Response};
+use netcache_controller::{Controller, KeyHome, ServerBackend};
+use netcache_dataplane::{NetCacheSwitch, PortId, SwitchDriver};
+use netcache_proto::{Key, Packet, Value};
+use netcache_server::{AgentConfig, ServerAgent};
+use parking_lot::Mutex;
+
+use crate::addressing::{Addressing, SWITCH_IP};
+use crate::config::RackConfig;
+
+const RECV_TIMEOUT: Duration = Duration::from_millis(20);
+const MAX_FRAME: usize = 2048;
+
+fn bound_socket() -> std::io::Result<UdpSocket> {
+    let sock = UdpSocket::bind("127.0.0.1:0")?;
+    sock.set_read_timeout(Some(RECV_TIMEOUT))?;
+    Ok(sock)
+}
+
+/// A NetCache rack running over real UDP sockets on loopback.
+pub struct UdpRack {
+    addressing: Addressing,
+    config: RackConfig,
+    switch_addr: SocketAddr,
+    client_sockets: Vec<Arc<UdpSocket>>,
+    servers: Vec<Arc<ServerAgent>>,
+    switch: Arc<Mutex<NetCacheSwitch>>,
+    controller: Arc<Mutex<Controller>>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl UdpRack {
+    /// Starts the rack: binds all sockets, spawns the switch and server
+    /// threads, and loads nothing (use [`UdpRack::load_dataset`]).
+    pub fn start(config: RackConfig) -> Result<UdpRack, String> {
+        config.validate()?;
+        let addressing = Addressing::new(
+            config.servers,
+            config.clients,
+            config.partition_seed,
+            &config.switch,
+        );
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        // Build the switch with routes, as in the in-process rack.
+        let mut switch = NetCacheSwitch::new(config.switch.clone())?;
+        for i in 0..config.servers {
+            switch.add_route(addressing.server_ip(i), 32, addressing.server_port(i));
+        }
+        for j in 0..config.clients {
+            switch.add_route(addressing.client_ip(j), 32, addressing.client_port(j));
+        }
+        let switch = Arc::new(Mutex::new(switch));
+
+        // Sockets: one per server, one per client, one for the switch.
+        let switch_socket = bound_socket().map_err(|e| e.to_string())?;
+        let switch_addr = switch_socket.local_addr().map_err(|e| e.to_string())?;
+
+        let mut port_to_addr: HashMap<PortId, SocketAddr> = HashMap::new();
+        let mut addr_to_port: HashMap<SocketAddr, PortId> = HashMap::new();
+
+        let mut server_sockets = Vec::new();
+        for i in 0..config.servers {
+            let sock = Arc::new(bound_socket().map_err(|e| e.to_string())?);
+            let addr = sock.local_addr().map_err(|e| e.to_string())?;
+            let port = addressing.server_port(i);
+            port_to_addr.insert(port, addr);
+            addr_to_port.insert(addr, port);
+            server_sockets.push(sock);
+        }
+        let mut client_sockets = Vec::new();
+        for j in 0..config.clients {
+            let sock = Arc::new(bound_socket().map_err(|e| e.to_string())?);
+            let addr = sock.local_addr().map_err(|e| e.to_string())?;
+            let port = addressing.client_port(j);
+            port_to_addr.insert(port, addr);
+            addr_to_port.insert(addr, port);
+            client_sockets.push(sock);
+        }
+
+        // Server agents.
+        let servers: Vec<Arc<ServerAgent>> = (0..config.servers)
+            .map(|i| {
+                Arc::new(ServerAgent::new(AgentConfig {
+                    ip: addressing.server_ip(i),
+                    switch_ip: SWITCH_IP,
+                    shards: config.shards_per_server,
+                    update_retry_timeout_ns: 5_000_000, // 5 ms over loopback
+                    update_max_retries: 10,
+                    dataplane_updates: config.dataplane_updates,
+                }))
+            })
+            .collect();
+
+        let mut threads = Vec::new();
+
+        // Switch forwarding thread.
+        {
+            let switch = Arc::clone(&switch);
+            let shutdown = Arc::clone(&shutdown);
+            let switch_socket = switch_socket.try_clone().map_err(|e| e.to_string())?;
+            let port_to_addr = port_to_addr.clone();
+            let addr_to_port = addr_to_port.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("netcache-switch".into())
+                    .spawn(move || {
+                        let mut buf = [0u8; MAX_FRAME];
+                        while !shutdown.load(Ordering::Relaxed) {
+                            let (len, src) = match switch_socket.recv_from(&mut buf) {
+                                Ok(ok) => ok,
+                                Err(_) => continue, // timeout / interrupted
+                            };
+                            let Some(&in_port) = addr_to_port.get(&src) else {
+                                continue; // unknown sender
+                            };
+                            let outs = switch.lock().process_bytes(&buf[..len], in_port);
+                            for (out_port, frame) in outs {
+                                if let Some(addr) = port_to_addr.get(&out_port) {
+                                    let _ = switch_socket.send_to(&frame, addr);
+                                }
+                            }
+                        }
+                    })
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+
+        // Server threads: receive frames, run the agent, reply via the
+        // switch; drive retransmission timers on receive timeouts.
+        for (i, agent) in servers.iter().enumerate() {
+            let agent = Arc::clone(agent);
+            let sock = Arc::clone(&server_sockets[i]);
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("netcache-server-{i}"))
+                    .spawn(move || {
+                        let start = std::time::Instant::now();
+                        let mut buf = [0u8; MAX_FRAME];
+                        while !shutdown.load(Ordering::Relaxed) {
+                            let now = start.elapsed().as_nanos() as u64;
+                            match sock.recv_from(&mut buf) {
+                                Ok((len, src)) => {
+                                    if let Ok(pkt) = Packet::parse(&buf[..len]) {
+                                        for out in agent.handle_packet(pkt, now) {
+                                            let _ = sock.send_to(&out.deparse(), src);
+                                        }
+                                    }
+                                }
+                                Err(_) => {
+                                    // Timeout: retransmit pending updates.
+                                    for out in agent.tick(now) {
+                                        let _ = sock.send_to(&out.deparse(), switch_addr);
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+
+        let topo = addressing.clone();
+        let controller = Arc::new(Mutex::new(Controller::new(
+            config.controller.clone(),
+            config.switch.pipes,
+            config.switch.value_stages,
+            config.switch.value_slots,
+            move |key| topo.home_of(key),
+        )));
+
+        Ok(UdpRack {
+            addressing,
+            config,
+            switch_addr,
+            client_sockets,
+            servers,
+            switch,
+            controller,
+            shutdown,
+            threads,
+        })
+    }
+
+    /// The switch's socket address (where clients send frames).
+    pub fn switch_addr(&self) -> SocketAddr {
+        self.switch_addr
+    }
+
+    /// The addressing plan.
+    pub fn addressing(&self) -> &Addressing {
+        &self.addressing
+    }
+
+    /// Loads a dataset directly into the stores.
+    pub fn load_dataset(&self, num_keys: u64, value_len: usize) {
+        for id in 0..num_keys {
+            let key = Key::from_u64(id);
+            let home = self.addressing.home_of(&key);
+            self.servers[home.server as usize]
+                .store()
+                .put(key, Value::for_item(id, value_len), 1);
+        }
+    }
+
+    /// Runs one controller cycle (call periodically from the application
+    /// thread; released writes are rare in examples and sent via the
+    /// owning server's next tick).
+    pub fn run_controller(&self, now_ns: u64) {
+        struct Backend<'a> {
+            servers: &'a [Arc<ServerAgent>],
+            now: u64,
+        }
+        impl ServerBackend for Backend<'_> {
+            fn fetch(&mut self, home: &KeyHome, key: &Key) -> Option<(Value, u32)> {
+                self.servers[home.server as usize]
+                    .fetch(key)
+                    .map(|item| (item.value, item.version))
+            }
+            fn lock_writes(&mut self, home: &KeyHome, key: Key) {
+                self.servers[home.server as usize].controller_lock(key);
+            }
+            fn unlock_writes(&mut self, home: &KeyHome, key: Key) {
+                // Released writes are re-committed by the agent on unlock;
+                // their replies go out with the server's next packet I/O.
+                let _ = self.servers[home.server as usize].controller_unlock(key, self.now);
+            }
+        }
+        let mut backend = Backend {
+            servers: &self.servers,
+            now: now_ns,
+        };
+        let mut switch = self.switch.lock();
+        self.controller
+            .lock()
+            .run_cycle(&mut *switch, &mut backend, now_ns);
+    }
+
+    /// Pre-populates the cache with `keys`.
+    pub fn populate_cache(&self, keys: impl IntoIterator<Item = Key>) -> usize {
+        struct Backend<'a> {
+            servers: &'a [Arc<ServerAgent>],
+        }
+        impl ServerBackend for Backend<'_> {
+            fn fetch(&mut self, home: &KeyHome, key: &Key) -> Option<(Value, u32)> {
+                self.servers[home.server as usize]
+                    .fetch(key)
+                    .map(|item| (item.value, item.version))
+            }
+            fn lock_writes(&mut self, home: &KeyHome, key: Key) {
+                self.servers[home.server as usize].controller_lock(key);
+            }
+            fn unlock_writes(&mut self, home: &KeyHome, key: Key) {
+                let _ = self.servers[home.server as usize].controller_unlock(key, 0);
+            }
+        }
+        let mut backend = Backend {
+            servers: &self.servers,
+        };
+        let mut switch = self.switch.lock();
+        self.controller
+            .lock()
+            .populate(&mut *switch, &mut backend, keys)
+    }
+
+    /// Switch statistics snapshot.
+    pub fn switch_stats(&self) -> netcache_dataplane::SwitchStats {
+        self.switch.lock().stats()
+    }
+
+    /// A blocking UDP client bound to client port `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn client(&self, j: u32) -> UdpClient {
+        assert!(j < self.config.clients, "client index out of range");
+        UdpClient {
+            socket: Arc::clone(&self.client_sockets[j as usize]),
+            switch_addr: self.switch_addr,
+            client: NetCacheClient::new(ClientConfig {
+                client_id: (j + 1) as u8,
+                ip: self.addressing.client_ip(j),
+                partitions: self.config.servers,
+                partition_seed: self.config.partition_seed,
+                server_ip_base: self.addressing.server_ip(0),
+            }),
+        }
+    }
+
+    /// Stops all threads and joins them.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for UdpRack {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A blocking client over a real UDP socket.
+pub struct UdpClient {
+    socket: Arc<UdpSocket>,
+    switch_addr: SocketAddr,
+    client: NetCacheClient,
+}
+
+impl UdpClient {
+    fn request(&mut self, pkt: Packet, retries: u32) -> Option<Response> {
+        let key = pkt.netcache.key;
+        let frame = pkt.deparse();
+        let mut buf = [0u8; MAX_FRAME];
+        for _ in 0..=retries {
+            self.socket.send_to(&frame, self.switch_addr).ok()?;
+            // Collect until a matching reply or timeout.
+            while let Ok((len, _)) = self.socket.recv_from(&mut buf) {
+                if let Ok(reply) = Packet::parse(&buf[..len]) {
+                    if reply.netcache.key == key {
+                        if let Some(resp) = Response::from_packet(&reply) {
+                            return Some(resp);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Reads `key`, retrying a few times on loss.
+    pub fn get(&mut self, key: Key) -> Option<Response> {
+        let pkt = self.client.get(key);
+        self.request(pkt, 3)
+    }
+
+    /// Writes `value` under `key`.
+    pub fn put(&mut self, key: Key, value: Value) -> Option<Response> {
+        let pkt = self.client.put(key, value);
+        self.request(pkt, 3)
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&mut self, key: Key) -> Option<Response> {
+        let pkt = self.client.delete(key);
+        self.request(pkt, 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_rack_end_to_end() {
+        let mut config = RackConfig::small(2);
+        config.clients = 2;
+        let rack = UdpRack::start(config).unwrap();
+        rack.load_dataset(50, 32);
+        rack.populate_cache([Key::from_u64(1)]);
+
+        let mut client = rack.client(0);
+        // Cached read: served by the switch thread.
+        match client.get(Key::from_u64(1)) {
+            Some(Response::Value {
+                value, from_cache, ..
+            }) => {
+                assert!(from_cache);
+                assert_eq!(value, Value::for_item(1, 32));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Uncached read: served by a server thread.
+        match client.get(Key::from_u64(2)) {
+            Some(Response::Value { from_cache, .. }) => assert!(!from_cache),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Write-through on a cached key, then read the new value.
+        assert!(matches!(
+            client.put(Key::from_u64(1), Value::filled(0xdd, 32)),
+            Some(Response::PutAck { .. })
+        ));
+        // The cache update is async; poll until the new value is visible.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match client.get(Key::from_u64(1)) {
+                Some(Response::Value { value, .. }) if value == Value::filled(0xdd, 32) => break,
+                _ if std::time::Instant::now() > deadline => panic!("new value never visible"),
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        rack.stop();
+    }
+}

@@ -1,0 +1,85 @@
+//! Parse errors for the NetCache wire formats.
+
+use core::fmt;
+
+/// An error encountered while parsing a packet from raw bytes.
+///
+/// The switch parser and the end-host libraries both surface this error when
+/// a packet is truncated, carries an unknown opcode, or violates a length
+/// invariant. Malformed packets are dropped (or forwarded untouched by the
+/// switch, which treats them as non-NetCache traffic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer ended before a complete header could be read.
+    ///
+    /// `needed` is the minimum number of additional bytes required.
+    Truncated {
+        /// Which header was being parsed.
+        layer: &'static str,
+        /// Additional bytes required to make progress.
+        needed: usize,
+    },
+    /// The opcode byte does not correspond to any [`crate::Op`].
+    UnknownOp(u8),
+    /// The EtherType is not IPv4; the reproduction only routes IPv4.
+    UnsupportedEtherType(u16),
+    /// The IPv4 protocol number is neither TCP (6) nor UDP (17).
+    UnsupportedIpProto(u8),
+    /// The IPv4 header length field is out of range.
+    BadIpHeaderLen(u8),
+    /// The value length field exceeds [`crate::MAX_VALUE_LEN`].
+    ValueTooLong(usize),
+    /// The declared L4/NetCache payload length disagrees with the buffer.
+    LengthMismatch {
+        /// Length declared in the header.
+        declared: usize,
+        /// Length actually available.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { layer, needed } => {
+                write!(f, "truncated {layer} header: {needed} more bytes needed")
+            }
+            ParseError::UnknownOp(op) => write!(f, "unknown NetCache opcode {op:#04x}"),
+            ParseError::UnsupportedEtherType(ty) => {
+                write!(f, "unsupported EtherType {ty:#06x}")
+            }
+            ParseError::UnsupportedIpProto(p) => write!(f, "unsupported IP protocol {p}"),
+            ParseError::BadIpHeaderLen(ihl) => write!(f, "bad IPv4 IHL {ihl}"),
+            ParseError::ValueTooLong(len) => {
+                write!(f, "value length {len} exceeds maximum")
+            }
+            ParseError::LengthMismatch { declared, actual } => {
+                write!(f, "length mismatch: declared {declared}, actual {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::Truncated {
+            layer: "ipv4",
+            needed: 4,
+        };
+        assert!(e.to_string().contains("ipv4"));
+        assert!(e.to_string().contains('4'));
+        assert!(ParseError::UnknownOp(0xff).to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(ParseError::UnknownOp(3), ParseError::UnknownOp(3));
+        assert_ne!(ParseError::UnknownOp(3), ParseError::UnknownOp(4));
+    }
+}

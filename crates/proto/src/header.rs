@@ -1,0 +1,244 @@
+//! The NetCache application header: OP, SEQ, KEY, VALUE (§4.1, Fig. 2(b)).
+//!
+//! Wire layout (big-endian):
+//!
+//! ```text
+//! +--------+----------+-----------+---------+------------------+
+//! | OP (1) | SEQ (4)  | KEY (16)  | VLEN(1) | VALUE (0..=128)  |
+//! +--------+----------+-----------+---------+------------------+
+//! ```
+//!
+//! `VLEN` is the value length in bytes; Get queries and Delete queries carry
+//! `VLEN = 0` and no VALUE bytes. The switch *inserts* the VALUE field when
+//! serving a cache hit, exactly as described in §4.2 — the reply packet is
+//! the query packet with the VALUE appended and addresses swapped.
+
+use bytes::{Buf, BufMut};
+
+use crate::{Key, Op, ParseError, Value, KEY_LEN, MAX_VALUE_LEN};
+
+/// Minimum encoded size: OP + SEQ + KEY + VLEN.
+pub const NETCACHE_HDR_MIN: usize = 1 + 4 + KEY_LEN + 1;
+
+/// The NetCache application-layer header.
+///
+/// `seq` is a sequence number for reliable transmission of UDP Get queries,
+/// and a value version number for Put/Delete queries and cache updates
+/// (§4.1).
+///
+/// # Examples
+///
+/// ```
+/// use netcache_proto::{NetCacheHdr, Op, Key};
+///
+/// let hdr = NetCacheHdr::get(Key::from_u64(9), 1);
+/// let bytes = hdr.encode_to_vec();
+/// let (decoded, rest) = NetCacheHdr::decode(&bytes).unwrap();
+/// assert_eq!(decoded, hdr);
+/// assert!(rest.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetCacheHdr {
+    /// Operation code.
+    pub op: Op,
+    /// Sequence / version number.
+    pub seq: u32,
+    /// The 16-byte key.
+    pub key: Key,
+    /// The value, if this packet carries one.
+    pub value: Option<Value>,
+}
+
+impl NetCacheHdr {
+    /// Builds a Get query header.
+    pub fn get(key: Key, seq: u32) -> Self {
+        NetCacheHdr {
+            op: Op::Get,
+            seq,
+            key,
+            value: None,
+        }
+    }
+
+    /// Builds a Put query header carrying `value`.
+    pub fn put(key: Key, seq: u32, value: Value) -> Self {
+        NetCacheHdr {
+            op: Op::Put,
+            seq,
+            key,
+            value: Some(value),
+        }
+    }
+
+    /// Builds a Delete query header.
+    pub fn delete(key: Key, seq: u32) -> Self {
+        NetCacheHdr {
+            op: Op::Delete,
+            seq,
+            key,
+            value: None,
+        }
+    }
+
+    /// Builds a server→switch data-plane cache update.
+    pub fn cache_update(key: Key, version: u32, value: Value) -> Self {
+        NetCacheHdr {
+            op: Op::CacheUpdate,
+            seq: version,
+            key,
+            value: Some(value),
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        NETCACHE_HDR_MIN + self.value.as_ref().map_or(0, Value::len)
+    }
+
+    /// Encodes the header into `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.op.as_u8());
+        buf.put_u32(self.seq);
+        buf.put_slice(self.key.as_bytes());
+        match &self.value {
+            Some(v) => {
+                debug_assert!(v.len() <= MAX_VALUE_LEN);
+                buf.put_u8(v.len() as u8);
+                buf.put_slice(v.as_bytes());
+            }
+            None => buf.put_u8(0),
+        }
+    }
+
+    /// Encodes the header into a fresh vector.
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut v);
+        v
+    }
+
+    /// Decodes a header from the front of `bytes`, returning the header and
+    /// the remaining (unconsumed) bytes.
+    ///
+    /// A zero `VLEN` decodes as `value: None`: the wire format cannot
+    /// distinguish an absent value from an empty one, and NetCache treats
+    /// both as "no value" (Get/Delete semantics).
+    pub fn decode(mut bytes: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        if bytes.len() < NETCACHE_HDR_MIN {
+            return Err(ParseError::Truncated {
+                layer: "netcache",
+                needed: NETCACHE_HDR_MIN - bytes.len(),
+            });
+        }
+        let op = Op::from_u8(bytes.get_u8())?;
+        let seq = bytes.get_u32();
+        let mut key_bytes = [0u8; KEY_LEN];
+        bytes.copy_to_slice(&mut key_bytes);
+        let vlen = bytes.get_u8() as usize;
+        if vlen > MAX_VALUE_LEN {
+            return Err(ParseError::ValueTooLong(vlen));
+        }
+        if bytes.len() < vlen {
+            return Err(ParseError::Truncated {
+                layer: "netcache-value",
+                needed: vlen - bytes.len(),
+            });
+        }
+        let value = if vlen == 0 {
+            None
+        } else {
+            Some(Value::new(bytes[..vlen].to_vec()).expect("vlen bounded above"))
+        };
+        Ok((
+            NetCacheHdr {
+                op,
+                seq,
+                key: Key::from_bytes(key_bytes),
+                value,
+            },
+            &bytes[vlen..],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_values() -> Vec<Option<Value>> {
+        vec![
+            None,
+            Some(Value::filled(0xab, 1)),
+            Some(Value::filled(0xcd, 16)),
+            Some(Value::for_item(99, 128)),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for value in sample_values() {
+            let hdr = NetCacheHdr {
+                op: if value.is_some() { Op::Put } else { Op::Get },
+                seq: 0xdead_beef,
+                key: Key::from_u64(77),
+                value,
+            };
+            let bytes = hdr.encode_to_vec();
+            assert_eq!(bytes.len(), hdr.encoded_len());
+            let (decoded, rest) = NetCacheHdr::decode(&bytes).unwrap();
+            assert_eq!(decoded, hdr);
+            assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn decode_leaves_trailing_bytes() {
+        let hdr = NetCacheHdr::get(Key::from_u64(1), 2);
+        let mut bytes = hdr.encode_to_vec();
+        bytes.extend_from_slice(&[9, 9, 9]);
+        let (_, rest) = NetCacheHdr::decode(&bytes).unwrap();
+        assert_eq!(rest, &[9, 9, 9]);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let hdr = NetCacheHdr::get(Key::from_u64(1), 2);
+        let bytes = hdr.encode_to_vec();
+        for cut in 0..bytes.len() {
+            let err = NetCacheHdr::decode(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, ParseError::Truncated { .. }), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn truncated_value_rejected() {
+        let hdr = NetCacheHdr::put(Key::from_u64(1), 2, Value::filled(7, 32));
+        let bytes = hdr.encode_to_vec();
+        let err = NetCacheHdr::decode(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(matches!(err, ParseError::Truncated { .. }));
+    }
+
+    #[test]
+    fn oversized_vlen_rejected() {
+        let mut bytes = NetCacheHdr::get(Key::from_u64(1), 0).encode_to_vec();
+        let vlen_index = 1 + 4 + KEY_LEN;
+        bytes[vlen_index] = (MAX_VALUE_LEN + 1) as u8;
+        bytes.extend(std::iter::repeat_n(0u8, MAX_VALUE_LEN + 1));
+        assert_eq!(
+            NetCacheHdr::decode(&bytes).unwrap_err(),
+            ParseError::ValueTooLong(MAX_VALUE_LEN + 1)
+        );
+    }
+
+    #[test]
+    fn empty_value_decodes_as_none() {
+        let hdr = NetCacheHdr {
+            op: Op::Put,
+            seq: 0,
+            key: Key::from_u64(5),
+            value: Some(Value::new(vec![]).unwrap()),
+        };
+        let (decoded, _) = NetCacheHdr::decode(&hdr.encode_to_vec()).unwrap();
+        assert_eq!(decoded.value, None);
+    }
+}

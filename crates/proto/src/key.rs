@@ -1,0 +1,168 @@
+//! The fixed-length key type.
+//!
+//! The NetCache prototype uses fixed 16-byte keys (§5, §6). Variable-length
+//! application keys are mapped onto this space by hashing; the original key
+//! can be stored alongside the value so clients can detect collisions.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Length of a NetCache key in bytes.
+pub const KEY_LEN: usize = 16;
+
+/// A fixed 16-byte key.
+///
+/// Keys are carried verbatim in packet headers and matched exactly by the
+/// switch cache lookup table. The byte order is significant: two keys are
+/// equal iff all 16 bytes are equal.
+///
+/// # Examples
+///
+/// ```
+/// use netcache_proto::Key;
+///
+/// let a = Key::from_u64(7);
+/// let b = Key::from_bytes(*a.as_bytes());
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Key([u8; KEY_LEN]);
+
+impl Key {
+    /// Creates a key from raw bytes.
+    pub const fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        Key(bytes)
+    }
+
+    /// Creates a key whose low 8 bytes hold `id` in big-endian order.
+    ///
+    /// This is the canonical way workloads name the `i`-th item.
+    pub const fn from_u64(id: u64) -> Self {
+        let mut b = [0u8; KEY_LEN];
+        let be = id.to_be_bytes();
+        let mut i = 0;
+        while i < 8 {
+            b[8 + i] = be[i];
+            i += 1;
+        }
+        Key(b)
+    }
+
+    /// Creates a key by hashing an arbitrary-length application key.
+    ///
+    /// Implements the variable-length key support described in §5: the
+    /// application key is folded into the fixed 16-byte space with a
+    /// FNV-1a-style mix over two lanes. Collisions are possible and must be
+    /// handled by storing the original key with the value.
+    pub fn from_app_key(app_key: &[u8]) -> Self {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h1 = OFFSET;
+        let mut h2 = OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+        for (i, &byte) in app_key.iter().enumerate() {
+            if i % 2 == 0 {
+                h1 = (h1 ^ u64::from(byte)).wrapping_mul(PRIME);
+            } else {
+                h2 = (h2 ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        }
+        // Finalize with the length so prefixes do not collide trivially.
+        h2 ^= app_key.len() as u64;
+        let mut b = [0u8; KEY_LEN];
+        b[..8].copy_from_slice(&h1.to_be_bytes());
+        b[8..].copy_from_slice(&h2.to_be_bytes());
+        Key(b)
+    }
+
+    /// Returns the raw bytes of the key.
+    pub const fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.0
+    }
+
+    /// Interprets the low 8 bytes as a big-endian `u64`.
+    ///
+    /// Inverse of [`Key::from_u64`] for keys created that way.
+    pub fn low_u64(&self) -> u64 {
+        let mut be = [0u8; 8];
+        be.copy_from_slice(&self.0[8..]);
+        u64::from_be_bytes(be)
+    }
+
+    /// The all-zero key. Used as a placeholder in empty register slots.
+    pub const ZERO: Key = Key([0u8; KEY_LEN]);
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key(")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<[u8; KEY_LEN]> for Key {
+    fn from(bytes: [u8; KEY_LEN]) -> Self {
+        Key(bytes)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(id: u64) -> Self {
+        Key::from_u64(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_u64_round_trips() {
+        for id in [0u64, 1, 42, u64::MAX, 0xdead_beef] {
+            assert_eq!(Key::from_u64(id).low_u64(), id);
+        }
+    }
+
+    #[test]
+    fn from_u64_is_injective_on_samples() {
+        let keys: Vec<Key> = (0..1000).map(Key::from_u64).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn app_key_hashing_distinguishes_prefixes() {
+        let a = Key::from_app_key(b"user:1");
+        let b = Key::from_app_key(b"user:12");
+        let c = Key::from_app_key(b"user:1\0");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_key_is_all_zero() {
+        assert_eq!(Key::ZERO.as_bytes(), &[0u8; KEY_LEN]);
+        assert_eq!(Key::ZERO, Key::from_u64(0));
+    }
+
+    #[test]
+    fn debug_formats_as_hex() {
+        let k = Key::from_u64(0xff);
+        let s = format!("{k:?}");
+        assert!(s.starts_with("Key("));
+        assert!(s.contains("ff"));
+        assert_eq!(s.len(), "Key()".len() + 32);
+    }
+}

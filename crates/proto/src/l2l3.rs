@@ -1,0 +1,471 @@
+//! Minimal L2-L4 headers: Ethernet, IPv4, UDP, and TCP.
+//!
+//! The switch data plane parses these to decide whether a packet is a
+//! NetCache query (reserved L4 port, §4.1), to route by destination IP, and
+//! to swap source/destination fields when a cache hit turns a query into a
+//! reply (§4.2). Only the fields the reproduction needs are modelled; the
+//! encodings are nonetheless real wire layouts so packets can cross a real
+//! UDP socket in the cluster example.
+
+use bytes::{Buf, BufMut};
+
+use crate::ParseError;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// IPv4 protocol number for TCP.
+pub const IP_PROTO_TCP: u8 = 6;
+
+/// IPv4 protocol number for UDP.
+pub const IP_PROTO_UDP: u8 = 17;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// A deterministic MAC for host number `n` in test topologies.
+    pub const fn host(n: u8) -> Self {
+        MacAddr([0x02, 0x00, 0x00, 0x00, 0x00, n])
+    }
+
+    /// The broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+}
+
+/// Ethernet header (no VLAN support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHdr {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType; the reproduction only forwards [`ETHERTYPE_IPV4`].
+    pub ethertype: u16,
+}
+
+impl EthernetHdr {
+    /// Encoded length in bytes.
+    pub const LEN: usize = 14;
+
+    /// Builds an IPv4 Ethernet header.
+    pub fn ipv4(src: MacAddr, dst: MacAddr) -> Self {
+        EthernetHdr {
+            dst,
+            src,
+            ethertype: ETHERTYPE_IPV4,
+        }
+    }
+
+    /// Swaps source and destination (used when the switch turns a query
+    /// into a reply).
+    pub fn swap(&mut self) {
+        core::mem::swap(&mut self.src, &mut self.dst);
+    }
+
+    /// Encodes into `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_slice(&self.dst.0);
+        buf.put_slice(&self.src.0);
+        buf.put_u16(self.ethertype);
+    }
+
+    /// Decodes from the front of `bytes`, returning the rest.
+    pub fn decode(mut bytes: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        if bytes.len() < Self::LEN {
+            return Err(ParseError::Truncated {
+                layer: "ethernet",
+                needed: Self::LEN - bytes.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        bytes.copy_to_slice(&mut dst);
+        bytes.copy_to_slice(&mut src);
+        let ethertype = bytes.get_u16();
+        Ok((
+            EthernetHdr {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
+            bytes,
+        ))
+    }
+}
+
+/// IPv4 header (fixed 20-byte form, no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Hdr {
+    /// Time to live.
+    pub ttl: u8,
+    /// Protocol ([`IP_PROTO_TCP`] or [`IP_PROTO_UDP`]).
+    pub proto: u8,
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Total length of the IP packet (header + payload).
+    pub total_len: u16,
+}
+
+impl Ipv4Hdr {
+    /// Encoded length in bytes (no options).
+    pub const LEN: usize = 20;
+
+    /// Builds a header; `payload_len` is the L4 header + payload size.
+    pub fn new(src: u32, dst: u32, proto: u8, payload_len: usize) -> Self {
+        Ipv4Hdr {
+            ttl: 64,
+            proto,
+            src,
+            dst,
+            total_len: (Self::LEN + payload_len) as u16,
+        }
+    }
+
+    /// Swaps source and destination addresses.
+    pub fn swap(&mut self) {
+        core::mem::swap(&mut self.src, &mut self.dst);
+    }
+
+    /// Computes the standard IPv4 header checksum over `hdr_bytes`.
+    fn checksum(hdr_bytes: &[u8]) -> u16 {
+        let mut sum: u32 = 0;
+        for chunk in hdr_bytes.chunks(2) {
+            let word = if chunk.len() == 2 {
+                u16::from_be_bytes([chunk[0], chunk[1]])
+            } else {
+                u16::from_be_bytes([chunk[0], 0])
+            };
+            sum += u32::from(word);
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+
+    /// Encodes into `buf`, computing the header checksum.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        let mut raw = [0u8; Self::LEN];
+        raw[0] = 0x45; // version 4, IHL 5
+        raw[1] = 0; // DSCP/ECN
+        raw[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        // Identification, flags, fragment offset left zero: we never fragment.
+        raw[8] = self.ttl;
+        raw[9] = self.proto;
+        raw[12..16].copy_from_slice(&self.src.to_be_bytes());
+        raw[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = Self::checksum(&raw);
+        raw[10..12].copy_from_slice(&csum.to_be_bytes());
+        buf.put_slice(&raw);
+    }
+
+    /// Decodes from the front of `bytes`, returning the rest.
+    ///
+    /// The checksum is verified; packets with a bad checksum are rejected
+    /// as truncated/corrupt (`LengthMismatch` is reused for this).
+    pub fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        if bytes.len() < Self::LEN {
+            return Err(ParseError::Truncated {
+                layer: "ipv4",
+                needed: Self::LEN - bytes.len(),
+            });
+        }
+        let ihl = bytes[0] & 0x0f;
+        if bytes[0] >> 4 != 4 || ihl != 5 {
+            return Err(ParseError::BadIpHeaderLen(bytes[0]));
+        }
+        if Self::checksum(&bytes[..Self::LEN]) != 0 {
+            return Err(ParseError::LengthMismatch {
+                declared: 0,
+                actual: 0,
+            });
+        }
+        let total_len = u16::from_be_bytes([bytes[2], bytes[3]]);
+        let ttl = bytes[8];
+        let proto = bytes[9];
+        let src = u32::from_be_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+        let dst = u32::from_be_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]);
+        Ok((
+            Ipv4Hdr {
+                ttl,
+                proto,
+                src,
+                dst,
+                total_len,
+            },
+            &bytes[Self::LEN..],
+        ))
+    }
+}
+
+/// UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHdr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of UDP header + payload.
+    pub len: u16,
+}
+
+impl UdpHdr {
+    /// Encoded length in bytes.
+    pub const LEN: usize = 8;
+
+    /// Builds a header; `payload_len` is the UDP payload size.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
+        UdpHdr {
+            src_port,
+            dst_port,
+            len: (Self::LEN + payload_len) as u16,
+        }
+    }
+
+    /// Swaps source and destination ports.
+    pub fn swap(&mut self) {
+        core::mem::swap(&mut self.src_port, &mut self.dst_port);
+    }
+
+    /// Encodes into `buf`. The UDP checksum is transmitted as zero
+    /// (legal for IPv4: "no checksum computed").
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16(self.len);
+        buf.put_u16(0);
+    }
+
+    /// Decodes from the front of `bytes`, returning the rest.
+    pub fn decode(mut bytes: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        if bytes.len() < Self::LEN {
+            return Err(ParseError::Truncated {
+                layer: "udp",
+                needed: Self::LEN - bytes.len(),
+            });
+        }
+        let src_port = bytes.get_u16();
+        let dst_port = bytes.get_u16();
+        let len = bytes.get_u16();
+        let _checksum = bytes.get_u16();
+        Ok((
+            UdpHdr {
+                src_port,
+                dst_port,
+                len,
+            },
+            bytes,
+        ))
+    }
+}
+
+/// Simplified TCP header (fixed 20-byte form, no options).
+///
+/// The reproduction does not implement the TCP state machine; the in-process
+/// and simulator transports are lossless for TCP-carried packets, which is
+/// the property NetCache relies on (§4.1: "TCP for write queries to achieve
+/// reliability"). The header is still encoded/parsed so the switch pipeline
+/// exercises the same parser branches as on real hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHdr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flags byte (SYN/ACK/FIN/...).
+    pub flags: u8,
+}
+
+impl TcpHdr {
+    /// Encoded length in bytes (no options).
+    pub const LEN: usize = 20;
+
+    /// Builds a data-bearing header (PSH|ACK).
+    pub fn new(src_port: u16, dst_port: u16, seq: u32) -> Self {
+        TcpHdr {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: 0x18, // PSH | ACK
+        }
+    }
+
+    /// Swaps source and destination ports.
+    pub fn swap(&mut self) {
+        core::mem::swap(&mut self.src_port, &mut self.dst_port);
+    }
+
+    /// Encodes into `buf` (checksum transmitted as zero; the lossless
+    /// transports do not verify it).
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u32(self.seq);
+        buf.put_u32(self.ack);
+        buf.put_u8(5 << 4); // data offset 5 words
+        buf.put_u8(self.flags);
+        buf.put_u16(0xffff); // window
+        buf.put_u16(0); // checksum
+        buf.put_u16(0); // urgent pointer
+    }
+
+    /// Decodes from the front of `bytes`, returning the rest.
+    pub fn decode(mut bytes: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        if bytes.len() < Self::LEN {
+            return Err(ParseError::Truncated {
+                layer: "tcp",
+                needed: Self::LEN - bytes.len(),
+            });
+        }
+        let src_port = bytes.get_u16();
+        let dst_port = bytes.get_u16();
+        let seq = bytes.get_u32();
+        let ack = bytes.get_u32();
+        let data_offset = bytes.get_u8() >> 4;
+        if data_offset != 5 {
+            return Err(ParseError::BadIpHeaderLen(data_offset));
+        }
+        let flags = bytes.get_u8();
+        let _window = bytes.get_u16();
+        let _checksum = bytes.get_u16();
+        let _urgent = bytes.get_u16();
+        Ok((
+            TcpHdr {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+            },
+            bytes,
+        ))
+    }
+}
+
+/// Either L4 header, as parsed by the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L4Hdr {
+    /// UDP (read queries and data-plane cache updates).
+    Udp(UdpHdr),
+    /// TCP (write queries).
+    Tcp(TcpHdr),
+}
+
+impl L4Hdr {
+    /// Destination port, regardless of protocol.
+    pub fn dst_port(&self) -> u16 {
+        match self {
+            L4Hdr::Udp(u) => u.dst_port,
+            L4Hdr::Tcp(t) => t.dst_port,
+        }
+    }
+
+    /// Source port, regardless of protocol.
+    pub fn src_port(&self) -> u16 {
+        match self {
+            L4Hdr::Udp(u) => u.src_port,
+            L4Hdr::Tcp(t) => t.src_port,
+        }
+    }
+
+    /// Swaps source and destination ports.
+    pub fn swap(&mut self) {
+        match self {
+            L4Hdr::Udp(u) => u.swap(),
+            L4Hdr::Tcp(t) => t.swap(),
+        }
+    }
+
+    /// The IPv4 protocol number of this header.
+    pub fn ip_proto(&self) -> u8 {
+        match self {
+            L4Hdr::Udp(_) => IP_PROTO_UDP,
+            L4Hdr::Tcp(_) => IP_PROTO_TCP,
+        }
+    }
+
+    /// Encoded length of this header.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            L4Hdr::Udp(_) => UdpHdr::LEN,
+            L4Hdr::Tcp(_) => TcpHdr::LEN,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_round_trip() {
+        let hdr = EthernetHdr::ipv4(MacAddr::host(1), MacAddr::host(2));
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), EthernetHdr::LEN);
+        let (decoded, rest) = EthernetHdr::decode(&buf).unwrap();
+        assert_eq!(decoded, hdr);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn ipv4_round_trip_and_checksum() {
+        let hdr = Ipv4Hdr::new(0x0a000001, 0x0a000002, IP_PROTO_UDP, 100);
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        let (decoded, _) = Ipv4Hdr::decode(&buf).unwrap();
+        assert_eq!(decoded, hdr);
+        // Corrupt one byte: checksum must catch it.
+        buf[13] ^= 0x01;
+        assert!(Ipv4Hdr::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn udp_round_trip() {
+        let hdr = UdpHdr::new(1234, 50000, 64);
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        let (decoded, _) = UdpHdr::decode(&buf).unwrap();
+        assert_eq!(decoded, hdr);
+        assert_eq!(decoded.len as usize, UdpHdr::LEN + 64);
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let hdr = TcpHdr::new(4321, 50000, 0xabcd_0123);
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        let (decoded, _) = TcpHdr::decode(&buf).unwrap();
+        assert_eq!(decoded, hdr);
+    }
+
+    #[test]
+    fn swap_reverses_direction() {
+        let mut eth = EthernetHdr::ipv4(MacAddr::host(1), MacAddr::host(2));
+        eth.swap();
+        assert_eq!(eth.src, MacAddr::host(2));
+        assert_eq!(eth.dst, MacAddr::host(1));
+
+        let mut l4 = L4Hdr::Udp(UdpHdr::new(1, 2, 0));
+        l4.swap();
+        assert_eq!(l4.src_port(), 2);
+        assert_eq!(l4.dst_port(), 1);
+    }
+
+    #[test]
+    fn truncated_headers_rejected() {
+        assert!(EthernetHdr::decode(&[0u8; 13]).is_err());
+        assert!(Ipv4Hdr::decode(&[0x45; 19]).is_err());
+        assert!(UdpHdr::decode(&[0u8; 7]).is_err());
+        assert!(TcpHdr::decode(&[0u8; 19]).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Wire formats for the NetCache reproduction.
+//!
+//! NetCache is an application-layer protocol embedded inside the L4 payload
+//! (§4.1 of the paper). A query packet carried on the wire looks like:
+//!
+//! ```text
+//! ETH | IP | TCP/UDP | OP | SEQ | KEY | VALUE
+//! ```
+//!
+//! This crate defines:
+//!
+//! - [`Key`] — the fixed 16-byte key type used by the prototype,
+//! - [`Value`] — a variable-length value of up to 128 bytes,
+//! - [`Op`] — the operation field, including the cache-coherence opcodes the
+//!   switch and server agent use internally,
+//! - [`NetCacheHdr`] — the application header (OP, SEQ, KEY, VALUE),
+//! - L2-L4 headers ([`EthernetHdr`], [`Ipv4Hdr`], [`UdpHdr`], [`TcpHdr`]),
+//! - [`Packet`] — a full parsed packet with builder helpers, and the
+//!   byte-level parser/deparser the switch data plane operates on.
+//!
+//! All multi-byte fields are big-endian on the wire, as in real networks.
+
+pub mod error;
+pub mod header;
+pub mod key;
+pub mod l2l3;
+pub mod op;
+pub mod packet;
+pub mod value;
+
+pub use error::ParseError;
+pub use header::NetCacheHdr;
+pub use key::{Key, KEY_LEN};
+pub use l2l3::{EthernetHdr, Ipv4Hdr, L4Hdr, MacAddr, TcpHdr, UdpHdr, ETHERTYPE_IPV4};
+pub use op::Op;
+pub use packet::{Packet, NETCACHE_PORT};
+pub use value::{Value, MAX_VALUE_LEN, VALUE_UNIT};

@@ -1,0 +1,199 @@
+//! NetCache operation codes.
+//!
+//! The paper's OP field distinguishes Get/Put/Delete queries and their
+//! replies (§4.1). In addition, the coherence protocol (§4.3) needs opcodes
+//! that only the switch and the server agent exchange:
+//!
+//! - when a write hits a cached key, the switch *modifies the operation
+//!   field* to tell the server the key is cached ([`Op::PutCached`],
+//!   [`Op::DeleteCached`]);
+//! - the server then updates the switch cache in the data plane with a
+//!   [`Op::CacheUpdate`] packet, which the switch acknowledges with
+//!   [`Op::CacheUpdateAck`] (the reliable-update mechanism of §6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ParseError;
+
+/// Operation field of a NetCache packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Op {
+    /// Read query from a client (UDP).
+    Get = 0x01,
+    /// Read reply, served by the switch cache. VALUE is present.
+    GetReplyHit = 0x02,
+    /// Read reply, served by a storage server. VALUE present if found.
+    GetReplyMiss = 0x03,
+    /// Read reply for a key that exists nowhere: no VALUE.
+    GetReplyNotFound = 0x04,
+    /// Write query from a client (TCP).
+    Put = 0x11,
+    /// Write query whose key the switch found in its cache; the switch
+    /// invalidated the entry and rewrote `Put` to this opcode so the server
+    /// knows to push a data-plane cache update after committing.
+    PutCached = 0x12,
+    /// Write acknowledgement from the server.
+    PutReply = 0x13,
+    /// Delete query from a client (TCP).
+    Delete = 0x21,
+    /// Delete query whose key the switch found (and invalidated) in cache.
+    DeleteCached = 0x22,
+    /// Delete acknowledgement from the server.
+    DeleteReply = 0x23,
+    /// Server → switch data-plane cache value update (new value for a
+    /// cached key). Carries KEY, VALUE and SEQ (the value version).
+    CacheUpdate = 0x31,
+    /// Switch → server acknowledgement that the cache now holds the value
+    /// from the matching [`Op::CacheUpdate`].
+    CacheUpdateAck = 0x32,
+}
+
+impl Op {
+    /// Parses an opcode byte.
+    pub fn from_u8(b: u8) -> Result<Self, ParseError> {
+        Ok(match b {
+            0x01 => Op::Get,
+            0x02 => Op::GetReplyHit,
+            0x03 => Op::GetReplyMiss,
+            0x04 => Op::GetReplyNotFound,
+            0x11 => Op::Put,
+            0x12 => Op::PutCached,
+            0x13 => Op::PutReply,
+            0x21 => Op::Delete,
+            0x22 => Op::DeleteCached,
+            0x23 => Op::DeleteReply,
+            0x31 => Op::CacheUpdate,
+            0x32 => Op::CacheUpdateAck,
+            other => return Err(ParseError::UnknownOp(other)),
+        })
+    }
+
+    /// The wire byte for this opcode.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this is a client-originated query (vs a reply or an internal
+    /// coherence message).
+    pub fn is_query(self) -> bool {
+        matches!(
+            self,
+            Op::Get | Op::Put | Op::PutCached | Op::Delete | Op::DeleteCached
+        )
+    }
+
+    /// Whether this is a read(-path) operation.
+    pub fn is_read(self) -> bool {
+        matches!(
+            self,
+            Op::Get | Op::GetReplyHit | Op::GetReplyMiss | Op::GetReplyNotFound
+        )
+    }
+
+    /// Whether this is a write(-path) operation (put or delete).
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            Op::Put | Op::PutCached | Op::PutReply | Op::Delete | Op::DeleteCached
+        )
+    }
+
+    /// Whether this opcode is carried over UDP (reads and data-plane
+    /// updates) rather than TCP (writes), per §4.1.
+    pub fn uses_udp(self) -> bool {
+        matches!(
+            self,
+            Op::Get
+                | Op::GetReplyHit
+                | Op::GetReplyMiss
+                | Op::GetReplyNotFound
+                | Op::CacheUpdate
+                | Op::CacheUpdateAck
+        )
+    }
+
+    /// The "cached" variant the switch rewrites a write query to when the
+    /// key hits the cache lookup table, or `None` for non-write opcodes.
+    pub fn cached_variant(self) -> Option<Op> {
+        match self {
+            Op::Put => Some(Op::PutCached),
+            Op::Delete => Some(Op::DeleteCached),
+            _ => None,
+        }
+    }
+
+    /// The reply opcode a server generates for this query, if any.
+    pub fn reply_op(self) -> Option<Op> {
+        match self {
+            Op::Get => Some(Op::GetReplyMiss),
+            Op::Put | Op::PutCached => Some(Op::PutReply),
+            Op::Delete | Op::DeleteCached => Some(Op::DeleteReply),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Op; 12] = [
+        Op::Get,
+        Op::GetReplyHit,
+        Op::GetReplyMiss,
+        Op::GetReplyNotFound,
+        Op::Put,
+        Op::PutCached,
+        Op::PutReply,
+        Op::Delete,
+        Op::DeleteCached,
+        Op::DeleteReply,
+        Op::CacheUpdate,
+        Op::CacheUpdateAck,
+    ];
+
+    #[test]
+    fn round_trip_all_opcodes() {
+        for op in ALL {
+            assert_eq!(Op::from_u8(op.as_u8()).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_rejected() {
+        let known: Vec<u8> = ALL.iter().map(|o| o.as_u8()).collect();
+        for b in 0..=u8::MAX {
+            if !known.contains(&b) {
+                assert_eq!(Op::from_u8(b), Err(ParseError::UnknownOp(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_consistent() {
+        for op in ALL {
+            // No opcode is both read and write.
+            assert!(!(op.is_read() && op.is_write()), "{op:?}");
+        }
+        assert!(Op::Get.is_query());
+        assert!(!Op::GetReplyHit.is_query());
+        assert!(Op::Get.uses_udp());
+        assert!(!Op::Put.uses_udp());
+        assert!(Op::CacheUpdate.uses_udp());
+    }
+
+    #[test]
+    fn cached_variants() {
+        assert_eq!(Op::Put.cached_variant(), Some(Op::PutCached));
+        assert_eq!(Op::Delete.cached_variant(), Some(Op::DeleteCached));
+        assert_eq!(Op::Get.cached_variant(), None);
+    }
+
+    #[test]
+    fn reply_ops() {
+        assert_eq!(Op::Get.reply_op(), Some(Op::GetReplyMiss));
+        assert_eq!(Op::PutCached.reply_op(), Some(Op::PutReply));
+        assert_eq!(Op::CacheUpdate.reply_op(), None);
+    }
+}

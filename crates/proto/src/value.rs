@@ -1,0 +1,215 @@
+//! The variable-length value type.
+//!
+//! The prototype supports values up to 128 bytes, stored in the switch at a
+//! granularity of 16 bytes — the output width of one register array stage
+//! (§4.4.2, §6). A value therefore occupies between 1 and 8 register-array
+//! *units*; the controller's bin-packing allocator (Algorithm 2) works in
+//! these units.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum value length in bytes (8 stages × 16-byte slots).
+pub const MAX_VALUE_LEN: usize = 128;
+
+/// Granularity of value storage: the per-stage register-array output width.
+pub const VALUE_UNIT: usize = 16;
+
+/// Number of value stages in the prototype pipeline.
+pub const VALUE_STAGES: usize = MAX_VALUE_LEN / VALUE_UNIT;
+
+/// A variable-length value of up to [`MAX_VALUE_LEN`] bytes.
+///
+/// Values are carried in the packet VALUE field and stored in switch
+/// register arrays in 16-byte units. Construction enforces the length bound,
+/// so every `Value` in the system is representable in the data plane.
+///
+/// # Examples
+///
+/// ```
+/// use netcache_proto::{Value, VALUE_UNIT};
+///
+/// let v = Value::new(b"hello".to_vec()).unwrap();
+/// assert_eq!(v.len(), 5);
+/// assert_eq!(v.units(), 1); // rounds up to one 16-byte unit
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Value(Vec<u8>);
+
+impl Value {
+    /// Creates a value, returning `None` if `bytes` exceeds [`MAX_VALUE_LEN`].
+    pub fn new(bytes: Vec<u8>) -> Option<Self> {
+        if bytes.len() > MAX_VALUE_LEN {
+            None
+        } else {
+            Some(Value(bytes))
+        }
+    }
+
+    /// Creates a value filled with `byte`, of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > MAX_VALUE_LEN`; intended for tests and workload
+    /// generators with static sizes.
+    pub fn filled(byte: u8, len: usize) -> Self {
+        assert!(len <= MAX_VALUE_LEN, "value length {len} exceeds maximum");
+        Value(vec![byte; len])
+    }
+
+    /// A deterministic value derived from a key id, for workload generators.
+    ///
+    /// The first 8 bytes encode `id` big-endian so integrity can be checked
+    /// end-to-end; the rest is a repeating pattern.
+    pub fn for_item(id: u64, len: usize) -> Self {
+        assert!(len <= MAX_VALUE_LEN, "value length {len} exceeds maximum");
+        let mut v = vec![0u8; len];
+        let be = id.to_be_bytes();
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = if i < 8 { be[i] } else { (i as u8) ^ be[i % 8] };
+        }
+        Value(v)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of 16-byte register-array units needed to store this value,
+    /// rounded up. An empty value still occupies one unit (it must exist in
+    /// at least one array so reads can reassemble it).
+    pub fn units(&self) -> usize {
+        self.0.len().div_ceil(VALUE_UNIT).max(1)
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the value and returns its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Splits the value into 16-byte units, zero-padding the last unit.
+    ///
+    /// This is exactly the representation written into the switch register
+    /// arrays; [`Value::from_units`] is the inverse given the original length.
+    pub fn to_units(&self) -> Vec<[u8; VALUE_UNIT]> {
+        let n = self.units();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut unit = [0u8; VALUE_UNIT];
+            let start = i * VALUE_UNIT;
+            let end = (start + VALUE_UNIT).min(self.0.len());
+            if start < self.0.len() {
+                unit[..end - start].copy_from_slice(&self.0[start..end]);
+            }
+            out.push(unit);
+        }
+        out
+    }
+
+    /// Reassembles a value from register-array units and its true length.
+    ///
+    /// Returns `None` if `len` is inconsistent with the number of units or
+    /// exceeds [`MAX_VALUE_LEN`].
+    pub fn from_units(units: &[[u8; VALUE_UNIT]], len: usize) -> Option<Self> {
+        if len > MAX_VALUE_LEN || units.len() != len.div_ceil(VALUE_UNIT).max(1) {
+            return None;
+        }
+        let mut bytes = Vec::with_capacity(len);
+        for unit in units {
+            let take = (len - bytes.len()).min(VALUE_UNIT);
+            bytes.extend_from_slice(&unit[..take]);
+            if bytes.len() == len {
+                break;
+            }
+        }
+        Some(Value(bytes))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Value[{}](", self.0.len())?;
+        for b in self.0.iter().take(8) {
+            write!(f, "{b:02x}")?;
+        }
+        if self.0.len() > 8 {
+            write!(f, "…")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl TryFrom<Vec<u8>> for Value {
+    type Error = crate::ParseError;
+
+    fn try_from(bytes: Vec<u8>) -> Result<Self, Self::Error> {
+        let len = bytes.len();
+        Value::new(bytes).ok_or(crate::ParseError::ValueTooLong(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_enforces_bound() {
+        assert!(Value::new(vec![0; MAX_VALUE_LEN]).is_some());
+        assert!(Value::new(vec![0; MAX_VALUE_LEN + 1]).is_none());
+    }
+
+    #[test]
+    fn units_round_up() {
+        assert_eq!(Value::filled(1, 0).units(), 1);
+        assert_eq!(Value::filled(1, 1).units(), 1);
+        assert_eq!(Value::filled(1, 16).units(), 1);
+        assert_eq!(Value::filled(1, 17).units(), 2);
+        assert_eq!(Value::filled(1, 128).units(), 8);
+    }
+
+    #[test]
+    fn unit_round_trip_all_lengths() {
+        for len in 0..=MAX_VALUE_LEN {
+            let v = Value::for_item(0x1234_5678_9abc_def0, len);
+            let units = v.to_units();
+            assert_eq!(units.len(), v.units());
+            let back = Value::from_units(&units, len).expect("round trip");
+            assert_eq!(back, v, "length {len}");
+        }
+    }
+
+    #[test]
+    fn from_units_rejects_inconsistent_lengths() {
+        let v = Value::filled(7, 32);
+        let units = v.to_units();
+        assert!(Value::from_units(&units, MAX_VALUE_LEN + 1).is_none());
+        assert!(Value::from_units(&units, 64).is_none());
+    }
+
+    #[test]
+    fn for_item_embeds_id() {
+        let v = Value::for_item(42, 128);
+        assert_eq!(&v.as_bytes()[..8], &42u64.to_be_bytes());
+    }
+
+    #[test]
+    fn last_unit_is_zero_padded() {
+        let v = Value::filled(0xff, 20);
+        let units = v.to_units();
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[1][..4], [0xff; 4]);
+        assert_eq!(units[1][4..], [0u8; 12]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Robustness: the parser must never panic, whatever bytes arrive — a
+//! switch faces arbitrary traffic on its ports.
+
+use netcache_proto::{NetCacheHdr, Packet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Arbitrary bytes never panic the full-packet parser.
+    #[test]
+    fn packet_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Packet::parse(&bytes);
+    }
+
+    /// Arbitrary bytes never panic the NetCache header decoder.
+    #[test]
+    fn header_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..192)) {
+        let _ = NetCacheHdr::decode(&bytes);
+    }
+
+    /// Truncating a valid packet at any point yields an error, not a panic
+    /// or a bogus success.
+    #[test]
+    fn truncation_is_detected(cut in 0usize..100) {
+        use netcache_proto::{Key, Value};
+        let pkt = Packet::put_query(
+            1, 0x0a000001, 0x0a000101,
+            Key::from_u64(7), 3, Value::filled(0xee, 32),
+        );
+        let bytes = pkt.deparse();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        prop_assert!(Packet::parse(&bytes[..cut]).is_err());
+    }
+
+    /// Flipping any single byte is either detected (parse error), or
+    /// yields a *different* packet, or hit a don't-care field (checksum
+    /// slack, padding) — but never panics and never corrupts key/value
+    /// silently while claiming the same identity.
+    #[test]
+    fn bitflips_never_panic(pos in 0usize..80, bit in 0u8..8) {
+        use netcache_proto::{Key, Value};
+        let pkt = Packet::put_query(
+            1, 0x0a000001, 0x0a000101,
+            Key::from_u64(7), 3, Value::filled(0xee, 16),
+        );
+        let mut bytes = pkt.deparse();
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        let _ = Packet::parse(&bytes);
+    }
+}

@@ -1,0 +1,630 @@
+//! The server agent state machine.
+//!
+//! The agent is transport-agnostic: callers feed it packets and a clock,
+//! and it returns the packets to transmit. The in-process rack, the UDP
+//! cluster example and the discrete-event simulator all drive the same
+//! code.
+
+use std::collections::{HashMap, VecDeque};
+
+use netcache_proto::{Key, Op, Packet, Value};
+use netcache_store::{ShardedStore, StoredItem};
+use parking_lot::Mutex;
+
+/// Configuration for a [`ServerAgent`].
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// This server's IP address (used as the source of cache updates).
+    pub ip: u32,
+    /// The switch's IP address (destination of cache updates).
+    pub switch_ip: u32,
+    /// Number of store shards (per-core sharding).
+    pub shards: usize,
+    /// Nanoseconds to wait for a `CacheUpdateAck` before retransmitting.
+    pub update_retry_timeout_ns: u64,
+    /// Retransmissions before giving up on a cache update. Giving up is
+    /// safe: the switch entry stays invalid, so reads fall through to the
+    /// server; the controller repairs the entry on its next update cycle.
+    pub update_max_retries: u32,
+    /// Whether writes to cached keys push the new value into the switch
+    /// via data-plane `CacheUpdate` packets (§4.3's design). `false`
+    /// selects the *write-around* ablation: the entry stays invalid until
+    /// the controller's control-plane repair pass refreshes it — the
+    /// slower alternative the paper rejects ("data plane updates incur
+    /// little overhead and are much faster than control plane updates").
+    pub dataplane_updates: bool,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            ip: 0x0a00_0101,
+            switch_ip: 0x0a00_00fe,
+            shards: 8,
+            update_retry_timeout_ns: 100_000, // 100 µs
+            update_max_retries: 5,
+            dataplane_updates: true,
+        }
+    }
+}
+
+/// Counters exposed by the agent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Get queries served.
+    pub gets: u64,
+    /// Get queries for absent keys.
+    pub not_found: u64,
+    /// Put queries committed.
+    pub puts: u64,
+    /// Delete queries committed.
+    pub deletes: u64,
+    /// Cache updates sent (first transmissions).
+    pub updates_sent: u64,
+    /// Cache update retransmissions.
+    pub update_retries: u64,
+    /// Cache updates abandoned after max retries.
+    pub updates_abandoned: u64,
+    /// Acks received and matched to a pending update.
+    pub acks_matched: u64,
+    /// Write queries that had to wait behind a pending cache update or a
+    /// controller-initiated insertion.
+    pub writes_blocked: u64,
+}
+
+/// A cache update awaiting acknowledgement from the switch.
+#[derive(Debug, Clone)]
+struct PendingUpdate {
+    version: u32,
+    value: Value,
+    retries: u32,
+    last_sent_ns: u64,
+}
+
+/// Per-key coherence state.
+#[derive(Debug, Default)]
+struct KeyState {
+    /// Outstanding cache update, if any.
+    pending: Option<PendingUpdate>,
+    /// Writes queued behind the pending update / controller lock.
+    blocked: VecDeque<Packet>,
+    /// Set while the controller is inserting this key into the cache.
+    controller_locked: bool,
+}
+
+impl KeyState {
+    fn is_blocked(&self) -> bool {
+        self.pending.is_some() || self.controller_locked
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pending.is_none() && self.blocked.is_empty() && !self.controller_locked
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    keys: HashMap<Key, KeyState>,
+    stats: ServerStats,
+}
+
+/// The server agent: store + coherence state machine.
+///
+/// Thread-safe; the store is sharded and the coherence state sits behind a
+/// single mutex (coherence traffic is rare compared to reads).
+#[derive(Debug)]
+pub struct ServerAgent {
+    config: AgentConfig,
+    store: ShardedStore,
+    inner: Mutex<Inner>,
+}
+
+impl ServerAgent {
+    /// Creates an agent with an empty store.
+    pub fn new(config: AgentConfig) -> Self {
+        ServerAgent {
+            store: ShardedStore::new(config.shards),
+            config,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.lock().stats
+    }
+
+    /// Direct access to the backing store (loading datasets, assertions).
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// This agent's configuration.
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
+    /// Handles one incoming packet at time `now_ns`, returning packets to
+    /// transmit (client replies and/or switch cache updates).
+    pub fn handle_packet(&self, pkt: Packet, now_ns: u64) -> Vec<Packet> {
+        match pkt.netcache.op {
+            Op::Get => self.handle_get(pkt),
+            Op::Put | Op::Delete => self.handle_write(pkt, /*cached=*/ false, now_ns),
+            Op::PutCached | Op::DeleteCached => {
+                self.handle_write(pkt, /*cached=*/ true, now_ns)
+            }
+            Op::CacheUpdateAck => self.handle_ack(pkt, now_ns),
+            // Anything else (replies, stray updates) is not for a server.
+            _ => Vec::new(),
+        }
+    }
+
+    /// Periodic clock tick: retransmits timed-out cache updates. Returns
+    /// packets to transmit.
+    pub fn tick(&self, now_ns: u64) -> Vec<Packet> {
+        let mut inner = self.inner.lock();
+        let mut out = Vec::new();
+        let mut give_up: Vec<Key> = Vec::new();
+        for (key, state) in inner.keys.iter_mut() {
+            let Some(pending) = &mut state.pending else {
+                continue;
+            };
+            if now_ns.saturating_sub(pending.last_sent_ns) < self.config.update_retry_timeout_ns {
+                continue;
+            }
+            if pending.retries >= self.config.update_max_retries {
+                give_up.push(*key);
+                continue;
+            }
+            pending.retries += 1;
+            pending.last_sent_ns = now_ns;
+            out.push(Packet::cache_update(
+                self.config.ip,
+                self.config.switch_ip,
+                *key,
+                pending.version,
+                pending.value.clone(),
+            ));
+        }
+        let mut retries = 0;
+        let mut abandoned = 0;
+        retries += out.len() as u64;
+        for key in give_up {
+            abandoned += 1;
+            if let Some(state) = inner.keys.get_mut(&key) {
+                state.pending = None;
+            }
+            out.extend(self.release_blocked(&mut inner, key, now_ns));
+        }
+        inner.stats.update_retries += retries;
+        inner.stats.updates_abandoned += abandoned;
+        out
+    }
+
+    // ---- Controller-facing out-of-band hooks (§4.3 cache update) ----
+
+    /// Blocks writes to `key` while the controller inserts it into the
+    /// cache ("write queries to this key are blocked at the storage
+    /// servers until the insertion is finished").
+    pub fn controller_lock(&self, key: Key) {
+        self.inner
+            .lock()
+            .keys
+            .entry(key)
+            .or_default()
+            .controller_locked = true;
+    }
+
+    /// Releases the controller lock and returns any packets produced by
+    /// draining the blocked-write queue.
+    pub fn controller_unlock(&self, key: Key, now_ns: u64) -> Vec<Packet> {
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.keys.get_mut(&key) {
+            state.controller_locked = false;
+        }
+        let out = self.release_blocked(&mut inner, key, now_ns);
+        Self::gc_key(&mut inner, &key);
+        out
+    }
+
+    /// Fetches the current item for `key` (the controller reads "the values
+    /// of the keys to insert ... from the storage servers").
+    pub fn fetch(&self, key: &Key) -> Option<StoredItem> {
+        self.store.get(key)
+    }
+
+    // ---- Query handlers ----
+
+    fn handle_get(&self, pkt: Packet) -> Vec<Packet> {
+        let key = pkt.netcache.key;
+        let (op, value) = match self.store.get(&key) {
+            Some(item) => (Op::GetReplyMiss, Some(item.value)),
+            None => (Op::GetReplyNotFound, None),
+        };
+        {
+            let mut inner = self.inner.lock();
+            inner.stats.gets += 1;
+            if op == Op::GetReplyNotFound {
+                inner.stats.not_found += 1;
+            }
+        }
+        vec![pkt.into_reply(op, value)]
+    }
+
+    fn handle_write(&self, pkt: Packet, cached: bool, now_ns: u64) -> Vec<Packet> {
+        let key = pkt.netcache.key;
+        {
+            let mut inner = self.inner.lock();
+            let state = inner.keys.entry(key).or_default();
+            if state.is_blocked() {
+                // §4.3: serialize writes behind the in-flight cache update
+                // or controller insertion.
+                state.blocked.push_back(pkt);
+                inner.stats.writes_blocked += 1;
+                return Vec::new();
+            }
+        }
+        self.commit_write(pkt, cached, now_ns)
+    }
+
+    /// Applies a write to the store and produces the reply (and, for cached
+    /// keys, the switch cache update).
+    fn commit_write(&self, pkt: Packet, cached: bool, now_ns: u64) -> Vec<Packet> {
+        let mut inner = self.inner.lock();
+        self.commit_write_locked(&mut inner, pkt, cached, now_ns)
+    }
+
+    fn handle_ack(&self, pkt: Packet, now_ns: u64) -> Vec<Packet> {
+        let key = pkt.netcache.key;
+        let mut inner = self.inner.lock();
+        let Some(state) = inner.keys.get_mut(&key) else {
+            return Vec::new();
+        };
+        let matches = state
+            .pending
+            .as_ref()
+            .is_some_and(|p| p.version == pkt.netcache.seq);
+        if !matches {
+            // Stale ack (for an older retransmission); the current update
+            // is still outstanding.
+            return Vec::new();
+        }
+        state.pending = None;
+        inner.stats.acks_matched += 1;
+        let out = self.release_blocked(&mut inner, key, now_ns);
+        Self::gc_key(&mut inner, &key);
+        out
+    }
+
+    /// Releases the first blocked write for `key`, if the key is now
+    /// unblocked. Called with the inner lock held; commits outside the
+    /// lock via re-entry-safe structure.
+    fn release_blocked(&self, inner: &mut Inner, key: Key, now_ns: u64) -> Vec<Packet> {
+        let Some(state) = inner.keys.get_mut(&key) else {
+            return Vec::new();
+        };
+        if state.is_blocked() {
+            return Vec::new();
+        }
+        let Some(next) = state.blocked.pop_front() else {
+            return Vec::new();
+        };
+        let cached = matches!(next.netcache.op, Op::PutCached | Op::DeleteCached);
+        self.commit_write_locked(inner, next, cached, now_ns)
+    }
+
+    /// Commits a write with the inner lock already held.
+    ///
+    /// Versions are server-assigned and monotone per key; version 0 is
+    /// reserved as "never written" by the switch status array. The reply to
+    /// the client is produced as soon as the write commits — the switch
+    /// update proceeds in the background (§4.3: the server "replies to the
+    /// client as soon as it completes the write query, and does not need to
+    /// wait for the switch cache to be updated").
+    fn commit_write_locked(
+        &self,
+        inner: &mut Inner,
+        pkt: Packet,
+        cached: bool,
+        now_ns: u64,
+    ) -> Vec<Packet> {
+        let key = pkt.netcache.key;
+        let is_delete = matches!(pkt.netcache.op, Op::Delete | Op::DeleteCached);
+        let next_version = self
+            .store
+            .get(&key)
+            .map_or(1, |i| i.version.wrapping_add(1).max(1));
+        let mut out = Vec::new();
+        if is_delete {
+            self.store.delete(&key);
+            inner.stats.deletes += 1;
+            // The switch entry (if any) was invalidated by the switch and
+            // stays invalid; the controller will evict it. No cache update
+            // is sent for deletes — there is no value to push.
+            out.push(pkt.into_reply(Op::DeleteReply, None));
+        } else {
+            let value = pkt
+                .netcache
+                .value
+                .clone()
+                .unwrap_or_else(|| Value::new(Vec::new()).expect("empty value is valid"));
+            self.store.put(key, value.clone(), next_version);
+            inner.stats.puts += 1;
+            out.push(pkt.into_reply(Op::PutReply, None));
+            if cached && self.config.dataplane_updates {
+                let state = inner.keys.entry(key).or_default();
+                state.pending = Some(PendingUpdate {
+                    version: next_version,
+                    value: value.clone(),
+                    retries: 0,
+                    last_sent_ns: now_ns,
+                });
+                inner.stats.updates_sent += 1;
+                out.push(Packet::cache_update(
+                    self.config.ip,
+                    self.config.switch_ip,
+                    key,
+                    next_version,
+                    value,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Drops empty per-key coherence state to keep the map bounded.
+    fn gc_key(inner: &mut Inner, key: &Key) {
+        if inner.keys.get(key).is_some_and(KeyState::is_idle) {
+            inner.keys.remove(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLIENT_IP: u32 = 0x0a00_0001;
+
+    fn agent() -> ServerAgent {
+        ServerAgent::new(AgentConfig::default())
+    }
+
+    fn get(key: u64) -> Packet {
+        Packet::get_query(
+            1,
+            CLIENT_IP,
+            AgentConfig::default().ip,
+            Key::from_u64(key),
+            0,
+        )
+    }
+
+    fn put(key: u64, fill: u8) -> Packet {
+        Packet::put_query(
+            1,
+            CLIENT_IP,
+            AgentConfig::default().ip,
+            Key::from_u64(key),
+            0,
+            Value::filled(fill, 32),
+        )
+    }
+
+    fn put_cached(key: u64, fill: u8) -> Packet {
+        let mut p = put(key, fill);
+        p.netcache.op = Op::PutCached;
+        p
+    }
+
+    fn ack_for(update: &Packet) -> Packet {
+        update.clone().into_reply(Op::CacheUpdateAck, None)
+    }
+
+    #[test]
+    fn get_missing_key_not_found() {
+        let a = agent();
+        let out = a.handle_packet(get(1), 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].netcache.op, Op::GetReplyNotFound);
+        assert_eq!(out[0].ipv4.dst, CLIENT_IP);
+        assert_eq!(a.stats().not_found, 1);
+    }
+
+    #[test]
+    fn put_then_get_round_trip() {
+        let a = agent();
+        let out = a.handle_packet(put(1, 7), 0);
+        assert_eq!(out.len(), 1, "uncached put: reply only, no cache update");
+        assert_eq!(out[0].netcache.op, Op::PutReply);
+
+        let out = a.handle_packet(get(1), 0);
+        assert_eq!(out[0].netcache.op, Op::GetReplyMiss);
+        assert_eq!(
+            out[0].netcache.value.as_ref().unwrap(),
+            &Value::filled(7, 32)
+        );
+    }
+
+    #[test]
+    fn cached_put_emits_reply_and_cache_update() {
+        let a = agent();
+        let out = a.handle_packet(put_cached(1, 7), 0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].netcache.op, Op::PutReply);
+        assert_eq!(out[1].netcache.op, Op::CacheUpdate);
+        assert_eq!(out[1].ipv4.dst, AgentConfig::default().switch_ip);
+        assert_eq!(out[1].netcache.seq, 1, "first version is 1");
+        assert_eq!(
+            out[1].netcache.value.as_ref().unwrap(),
+            &Value::filled(7, 32)
+        );
+    }
+
+    #[test]
+    fn versions_increase_per_write() {
+        let a = agent();
+        let out1 = a.handle_packet(put_cached(1, 1), 0);
+        a.handle_packet(ack_for(&out1[1]), 1);
+        let out2 = a.handle_packet(put_cached(1, 2), 2);
+        assert_eq!(out2[1].netcache.seq, 2);
+    }
+
+    #[test]
+    fn second_write_blocks_until_ack() {
+        let a = agent();
+        let out1 = a.handle_packet(put_cached(1, 1), 0);
+        // Second write arrives before the ack: it must be blocked (no
+        // reply yet).
+        let out2 = a.handle_packet(put_cached(1, 2), 10);
+        assert!(
+            out2.is_empty(),
+            "write must be blocked behind pending update"
+        );
+        assert_eq!(a.stats().writes_blocked, 1);
+        // Store must not have been modified by the blocked write.
+        assert_eq!(
+            a.store().get(&Key::from_u64(1)).unwrap().value,
+            Value::filled(1, 32)
+        );
+        // Ack releases the blocked write, which commits and produces its
+        // own reply + cache update.
+        let out3 = a.handle_packet(ack_for(&out1[1]), 20);
+        assert_eq!(out3.len(), 2);
+        assert_eq!(out3[0].netcache.op, Op::PutReply);
+        assert_eq!(out3[1].netcache.op, Op::CacheUpdate);
+        assert_eq!(out3[1].netcache.seq, 2);
+        assert_eq!(
+            a.store().get(&Key::from_u64(1)).unwrap().value,
+            Value::filled(2, 32)
+        );
+    }
+
+    #[test]
+    fn stale_ack_does_not_release() {
+        let a = agent();
+        let out1 = a.handle_packet(put_cached(1, 1), 0);
+        let mut stale = ack_for(&out1[1]);
+        stale.netcache.seq = 99;
+        assert!(a.handle_packet(stale, 1).is_empty());
+        // Real ack still works.
+        let out = a.handle_packet(ack_for(&out1[1]), 2);
+        assert!(out.is_empty(), "nothing blocked, so no output");
+        assert_eq!(a.stats().acks_matched, 1);
+    }
+
+    #[test]
+    fn tick_retransmits_until_limit() {
+        let cfg = AgentConfig {
+            update_retry_timeout_ns: 100,
+            update_max_retries: 3,
+            ..AgentConfig::default()
+        };
+        let a = ServerAgent::new(cfg);
+        a.handle_packet(put_cached(1, 1), 0);
+        let mut retransmissions = 0;
+        let mut t = 0;
+        for _ in 0..10 {
+            t += 200;
+            retransmissions += a
+                .tick(t)
+                .iter()
+                .filter(|p| p.netcache.op == Op::CacheUpdate)
+                .count();
+        }
+        assert_eq!(retransmissions, 3, "bounded retries");
+        assert_eq!(a.stats().updates_abandoned, 1);
+        // After abandoning, new writes are no longer blocked.
+        let out = a.handle_packet(put_cached(1, 2), t + 1);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn abandoned_update_releases_blocked_writes() {
+        let cfg = AgentConfig {
+            update_retry_timeout_ns: 100,
+            update_max_retries: 0,
+            ..AgentConfig::default()
+        };
+        let a = ServerAgent::new(cfg);
+        a.handle_packet(put_cached(1, 1), 0);
+        assert!(a.handle_packet(put_cached(1, 2), 1).is_empty());
+        let out = a.tick(500);
+        // Abandon happens immediately (0 retries allowed); the blocked
+        // write is then committed.
+        assert!(out.iter().any(|p| p.netcache.op == Op::PutReply));
+        assert_eq!(
+            a.store().get(&Key::from_u64(1)).unwrap().value,
+            Value::filled(2, 32)
+        );
+    }
+
+    #[test]
+    fn controller_lock_blocks_writes() {
+        let a = agent();
+        a.handle_packet(put(1, 1), 0);
+        a.controller_lock(Key::from_u64(1));
+        let out = a.handle_packet(put(1, 2), 1);
+        assert!(out.is_empty());
+        // Reads are never blocked.
+        let out = a.handle_packet(get(1), 2);
+        assert_eq!(
+            out[0].netcache.value.as_ref().unwrap(),
+            &Value::filled(1, 32)
+        );
+        // Unlock releases the write.
+        let out = a.controller_unlock(Key::from_u64(1), 3);
+        assert!(out.iter().any(|p| p.netcache.op == Op::PutReply));
+        assert_eq!(
+            a.store().get(&Key::from_u64(1)).unwrap().value,
+            Value::filled(2, 32)
+        );
+    }
+
+    #[test]
+    fn delete_cached_removes_and_replies_without_update() {
+        let a = agent();
+        a.handle_packet(put(1, 1), 0);
+        let mut del =
+            Packet::delete_query(1, CLIENT_IP, AgentConfig::default().ip, Key::from_u64(1), 0);
+        del.netcache.op = Op::DeleteCached;
+        let out = a.handle_packet(del, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].netcache.op, Op::DeleteReply);
+        assert!(a.store().get(&Key::from_u64(1)).is_none());
+    }
+
+    #[test]
+    fn fetch_reads_without_side_effects() {
+        let a = agent();
+        a.handle_packet(put(1, 9), 0);
+        let item = a.fetch(&Key::from_u64(1)).unwrap();
+        assert_eq!(item.value, Value::filled(9, 32));
+        assert_eq!(item.version, 1);
+        assert!(a.fetch(&Key::from_u64(2)).is_none());
+    }
+
+    #[test]
+    fn blocked_writes_commit_in_fifo_order() {
+        let a = agent();
+        let out1 = a.handle_packet(put_cached(1, 1), 0);
+        assert!(a.handle_packet(put_cached(1, 2), 1).is_empty());
+        assert!(a.handle_packet(put_cached(1, 3), 2).is_empty());
+        // First ack releases write #2.
+        let out2 = a.handle_packet(ack_for(&out1[1]), 3);
+        assert_eq!(
+            a.store().get(&Key::from_u64(1)).unwrap().value,
+            Value::filled(2, 32)
+        );
+        // Second ack releases write #3.
+        let update2 = out2
+            .iter()
+            .find(|p| p.netcache.op == Op::CacheUpdate)
+            .unwrap();
+        a.handle_packet(ack_for(update2), 4);
+        assert_eq!(
+            a.store().get(&Key::from_u64(1)).unwrap().value,
+            Value::filled(3, 32)
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! The NetCache server agent: a shim between the network protocol and the
+//! key-value store, implementing the server side of the cache-coherence
+//! protocol (§3 "Storage servers", §4.3, §6).
+//!
+//! Responsibilities:
+//!
+//! 1. map NetCache query packets to store API calls;
+//! 2. for writes to *cached* keys (the switch rewrites their opcode to
+//!    `PutCached`/`DeleteCached` after invalidating the entry): commit the
+//!    write, reply to the client immediately, then push the new value to
+//!    the switch with a reliable `CacheUpdate`/`CacheUpdateAck` exchange,
+//!    retrying on loss, while **blocking subsequent writes to that key**
+//!    until the switch confirms — exactly the protocol of §4.3;
+//! 3. expose the out-of-band hooks the controller needs during cache
+//!    insertion (block writes, fetch the value, unblock).
+
+pub mod agent;
+
+pub use agent::{AgentConfig, ServerAgent, ServerStats};

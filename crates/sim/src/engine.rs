@@ -1,0 +1,146 @@
+//! A minimal discrete-event engine: a time-ordered queue with stable FIFO
+//! ordering for simultaneous events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: fires at `at` nanoseconds; `seq` breaks ties FIFO.
+struct Scheduled<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use netcache_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(20, "later");
+/// q.schedule(10, "sooner");
+/// assert_eq!(q.pop(), Some((10, "sooner")));
+/// assert_eq!(q.pop(), Some((20, "later")));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to now — events
+    /// cannot fire in the past).
+    pub fn schedule(&mut self, at: u64, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the earliest event, advancing `now`.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(5, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(7, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 7);
+    }
+
+    #[test]
+    fn past_events_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "a");
+        q.pop();
+        q.schedule(5, "late");
+        assert_eq!(q.pop(), Some((10, "late")));
+    }
+}

@@ -1,0 +1,30 @@
+//! Discrete-event simulation of a NetCache rack, plus analytical models.
+//!
+//! The paper's system experiments (§7.3, §7.4) ran on a Tofino with two
+//! servers standing in for 128 via *server rotation* (static workloads) and
+//! *server emulation* with scaled-down per-queue rates (dynamic
+//! workloads). This crate is the equivalent apparatus:
+//!
+//! - [`RackSim`] — a discrete-event simulator that drives the *real*
+//!   components (switch program, server agents, controller) with explicit
+//!   time: Poisson clients with the loss-adaptive rate control of §7.4,
+//!   rate-limited servers with bounded queues, retransmission timers and
+//!   periodic controller cycles. Absolute rates are scaled down exactly as
+//!   the paper's emulation scaled them; reported *shapes* (ratios,
+//!   crossovers, recovery times) are the reproduction targets.
+//! - [`analytic`] — closed-form saturated-throughput models used to
+//!   cross-check the simulator and to sweep large parameter spaces.
+//! - [`multirack`] — the scale-out model of Fig. 10(f) (NoCache /
+//!   LeafCache / Leaf-Spine-Cache over up to 32 racks), mirroring the
+//!   paper's own simulation methodology ("assume the switches can absorb
+//!   queries to hot items").
+
+pub mod analytic;
+pub mod engine;
+pub mod multirack;
+pub mod rack_sim;
+
+pub use analytic::AnalyticModel;
+pub use engine::EventQueue;
+pub use multirack::{MultiRackConfig, MultiRackModel, ScaleOutScheme};
+pub use rack_sim::{LatencyStats, RackSim, SecondStats, SimConfig, SimReport};

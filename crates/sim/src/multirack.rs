@@ -1,0 +1,243 @@
+//! Scale-out to multiple racks (Fig. 10(f), §5 "Scaling to multiple
+//! racks").
+//!
+//! The paper simulates up to 4096 servers on 32 racks with read-only
+//! workloads, assuming switches absorb the queries to the items they
+//! cache. Three schemes:
+//!
+//! - **NoCache** — bottlenecked by the single most-loaded server; adding
+//!   servers does not help ("the overall system throughput of NoCache
+//!   stays very low and is not growing").
+//! - **LeafCache** — each ToR caches the hottest keys *of its own rack*,
+//!   balancing servers within a rack; the load imbalance *between* racks
+//!   remains and caps scaling.
+//! - **LeafSpineCache** — spine switches additionally cache the globally
+//!   hottest keys, balancing across racks; throughput grows linearly.
+
+use netcache_proto::Key;
+use netcache_store::Partitioner;
+use netcache_workload::ZipfGenerator;
+
+/// Which scale-out caching scheme to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleOutScheme {
+    /// No caching anywhere.
+    NoCache,
+    /// ToR (leaf) caches only.
+    LeafCache,
+    /// Spine caches over leaf caches.
+    LeafSpineCache,
+}
+
+/// Multi-rack model configuration.
+#[derive(Debug, Clone)]
+pub struct MultiRackConfig {
+    /// Servers per rack (128 in the paper).
+    pub servers_per_rack: u32,
+    /// Distinct keys in the workload.
+    pub num_keys: u64,
+    /// Zipf skew (0.99 in the paper's Fig. 10(f)).
+    pub theta: f64,
+    /// Items cached per ToR switch.
+    pub leaf_cache_items: usize,
+    /// Items cached in the spine layer (globally hottest keys).
+    pub spine_cache_items: usize,
+    /// Per-server rate, QPS.
+    pub server_rate: f64,
+    /// A ToR switch's packet rate, QPS — every query into or served by a
+    /// rack crosses its ToR, so the most-loaded ToR caps the system.
+    pub leaf_switch_rate: f64,
+    /// Partitioner seed.
+    pub partition_seed: u64,
+}
+
+impl Default for MultiRackConfig {
+    fn default() -> Self {
+        MultiRackConfig {
+            servers_per_rack: 128,
+            num_keys: 1_000_000,
+            theta: 0.99,
+            leaf_cache_items: 10_000,
+            spine_cache_items: 10_000,
+            server_rate: 10e6,
+            leaf_switch_rate: 2e9,
+            partition_seed: 1,
+        }
+    }
+}
+
+/// The multi-rack saturated-throughput model.
+#[derive(Debug, Clone)]
+pub struct MultiRackModel {
+    config: MultiRackConfig,
+}
+
+impl MultiRackModel {
+    /// Creates the model.
+    pub fn new(config: MultiRackConfig) -> Self {
+        MultiRackModel { config }
+    }
+
+    /// Saturated system throughput with `racks` racks under `scheme`.
+    ///
+    /// Keys are hash-partitioned over all `racks × servers_per_rack`
+    /// servers; server `s` belongs to rack `s / servers_per_rack`. Leaf
+    /// caches hold each rack's hottest owned keys; the spine cache holds
+    /// the globally hottest keys (queries to them never reach a rack).
+    ///
+    /// Two bounds cap the client rate `O`:
+    ///
+    /// - **server bound** — no server may exceed its rate:
+    ///   `O ≤ T / max_server_share(uncached)`;
+    /// - **ToR bound** — every query a rack receives (served by the ToR
+    ///   cache or by a server behind it) crosses its ToR, so
+    ///   `O ≤ R_tor / max_rack_share`. This is what limits leaf-only
+    ///   caching: the rack homing the globally hottest keys funnels a
+    ///   disproportionate share of all traffic through one ToR. Spine
+    ///   caching absorbs those keys *above* the ToRs (and the spine layer
+    ///   grows with the fabric), which is why Leaf-Spine scales linearly.
+    pub fn throughput(&self, racks: u32, scheme: ScaleOutScheme) -> f64 {
+        let c = &self.config;
+        let servers = racks * c.servers_per_rack;
+        let zipf = ZipfGenerator::new(c.num_keys, c.theta);
+        let partitioner = Partitioner::new(servers, c.partition_seed);
+
+        // Per-server uncached shares and per-rack total shares.
+        let mut server_share = vec![0.0f64; servers as usize];
+        let mut rack_share = vec![0.0f64; racks as usize];
+        // Per-rack (hottest-first) budget of leaf cache slots.
+        let mut leaf_budget = vec![
+            match scheme {
+                ScaleOutScheme::NoCache => 0usize,
+                _ => c.leaf_cache_items,
+            };
+            racks as usize
+        ];
+        let spine_budget = match scheme {
+            ScaleOutScheme::LeafSpineCache => c.spine_cache_items as u64,
+            _ => 0,
+        };
+
+        for rank in 0..c.num_keys {
+            let p = zipf.probability(rank);
+            // Spine cache absorbs the globally hottest keys first, before
+            // traffic fans out to racks.
+            if rank < spine_budget {
+                continue;
+            }
+            let server = partitioner.partition_of(&Key::from_u64(rank)) as usize;
+            let rack = server / c.servers_per_rack as usize;
+            rack_share[rack] += p;
+            // Leaf cache: each ToR caches the hottest keys homed in its
+            // rack. Ranks arrive hottest-first, so a simple budget per
+            // rack implements "the rack's top-K keys".
+            if leaf_budget[rack] > 0 {
+                leaf_budget[rack] -= 1;
+                continue;
+            }
+            server_share[server] += p;
+        }
+        let max_server_share = server_share.iter().copied().fold(0.0, f64::max);
+        let max_rack_share = rack_share.iter().copied().fold(0.0, f64::max);
+        let server_bound = if max_server_share > 0.0 {
+            c.server_rate / max_server_share
+        } else {
+            f64::INFINITY
+        };
+        let tor_bound = if max_rack_share > 0.0 {
+            c.leaf_switch_rate / max_rack_share
+        } else {
+            f64::INFINITY
+        };
+        let bound = server_bound.min(tor_bound);
+        if bound.is_infinite() {
+            // Everything spine-cached: the spine layer scales with the
+            // fabric; report the aggregate server capacity as the paper's
+            // linear reference.
+            return f64::from(servers) * c.server_rate;
+        }
+        bound
+    }
+
+    /// The throughput series over rack counts, for one scheme.
+    pub fn series(&self, rack_counts: &[u32], scheme: ScaleOutScheme) -> Vec<f64> {
+        rack_counts
+            .iter()
+            .map(|&r| self.throughput(r, scheme))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MultiRackModel {
+        // Paper scale (128 servers/rack, 10 MQPS servers, 2 BQPS ToRs)
+        // with a reduced keyspace to keep the O(num_keys) passes fast.
+        MultiRackModel::new(MultiRackConfig {
+            servers_per_rack: 128,
+            num_keys: 200_000,
+            leaf_cache_items: 1_000,
+            spine_cache_items: 1_000,
+            ..MultiRackConfig::default()
+        })
+    }
+
+    #[test]
+    fn nocache_does_not_scale() {
+        let m = model();
+        let t1 = m.throughput(1, ScaleOutScheme::NoCache);
+        let t32 = m.throughput(32, ScaleOutScheme::NoCache);
+        assert!(
+            t32 < t1 * 4.0,
+            "NoCache should stay near-flat: {t1:.3e} → {t32:.3e}"
+        );
+    }
+
+    #[test]
+    fn leaf_cache_scales_sublinearly() {
+        let m = model();
+        let t1 = m.throughput(1, ScaleOutScheme::LeafCache);
+        let t32 = m.throughput(32, ScaleOutScheme::LeafCache);
+        let scaling = t32 / t1;
+        assert!(
+            scaling > 1.1 && scaling < 24.0,
+            "LeafCache scaling {scaling} should be limited by inter-rack imbalance"
+        );
+    }
+
+    #[test]
+    fn leaf_spine_scales_linearly() {
+        let m = model();
+        let t1 = m.throughput(1, ScaleOutScheme::LeafSpineCache);
+        let t32 = m.throughput(32, ScaleOutScheme::LeafSpineCache);
+        let scaling = t32 / t1;
+        assert!(
+            scaling > 16.0,
+            "Leaf-Spine-Cache scaling {scaling} should be near-linear (32×)"
+        );
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        let m = model();
+        for racks in [4u32, 16, 32] {
+            let no = m.throughput(racks, ScaleOutScheme::NoCache);
+            let leaf = m.throughput(racks, ScaleOutScheme::LeafCache);
+            let spine = m.throughput(racks, ScaleOutScheme::LeafSpineCache);
+            assert!(
+                no < leaf && leaf <= spine,
+                "racks {racks}: {no:.3e} / {leaf:.3e} / {spine:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn series_matches_pointwise() {
+        let m = model();
+        let series = m.series(&[1, 2, 4], ScaleOutScheme::LeafCache);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0], m.throughput(1, ScaleOutScheme::LeafCache));
+    }
+}

@@ -1,0 +1,826 @@
+//! The rack-level discrete-event simulation.
+//!
+//! One logical client generates Poisson query traffic from a
+//! [`QueryMix`] and adapts its rate to observed loss (§7.4). The switch is
+//! the *real* [`netcache_dataplane`] program; servers are the real agents
+//! behind rate-limited bounded queues; the controller is the real control
+//! loop running on its own timer. Rates are scaled down from the paper's
+//! hardware exactly like the paper's own 64-queue server emulation scaled
+//! them — ratios, not absolute numbers, are the observable.
+
+use netcache::{Rack, RackConfig};
+use netcache_client::{ClientConfig, NetCacheClient, RateController};
+use netcache_controller::{ControllerConfig, KeyHome, ServerBackend};
+use netcache_dataplane::{PortId, SwitchConfig};
+use netcache_proto::{Key, Op, Packet, Value};
+use netcache_workload::{DynamicWorkload, QueryMix, WriteSkew};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+use crate::engine::EventQueue;
+
+/// Fixed latency components (nanoseconds), calibrated so the absolute
+/// numbers land near the paper's: 7 µs for a cache hit (client-dominated),
+/// ~15 µs for a server round trip at low load.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Client-side processing per query (both directions combined).
+    pub client_overhead_ns: u64,
+    /// One link traversal.
+    pub hop_ns: u64,
+    /// Switch pipeline traversal.
+    pub switch_ns: u64,
+    /// Server-side I/O overhead per query (NIC + shim), on top of the
+    /// rate-derived service time.
+    pub server_overhead_ns: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            client_overhead_ns: 6_000,
+            hop_ns: 250,
+            switch_ns: 400,
+            server_overhead_ns: 2_000,
+        }
+    }
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Storage servers (partitions).
+    pub servers: u32,
+    /// Distinct keys in the workload.
+    pub num_keys: u64,
+    /// How many of the hottest key ids to actually load into the stores
+    /// (`None` = all). Large keyspaces only need their head resident: tail
+    /// misses are served as not-found at identical cost, exactly like the
+    /// paper's hash-partitioned store serving an arbitrary keyspace.
+    pub loaded_keys: Option<u64>,
+    /// Aggregate client sending capacity, QPS (`None` = unbounded). The
+    /// paper's testbed was bounded by its clients' NICs at ≈2 BQPS; the
+    /// rate controller never exceeds this cap.
+    pub client_cap_qps: Option<f64>,
+    /// Value size in bytes (≤ 128).
+    pub value_len: usize,
+    /// Zipf skew of reads (0 = uniform).
+    pub theta: f64,
+    /// Fraction of writes.
+    pub write_ratio: f64,
+    /// Write key distribution.
+    pub write_skew: WriteSkew,
+    /// Cache size in items (0 disables caching: the NoCache baseline).
+    pub cache_items: usize,
+    /// Seed of the rack's hash partitioner.
+    pub partition_seed: u64,
+    /// Per-server service rate, queries/second (scaled-down stand-in for
+    /// the paper's 10 MQPS servers).
+    pub server_rate_qps: u64,
+    /// Per-server queue capacity (jobs); beyond this, drops.
+    pub queue_capacity: usize,
+    /// Simulated duration in seconds (after warmup).
+    pub duration_s: f64,
+    /// Warmup before measurement starts, seconds.
+    pub warmup_s: f64,
+    /// Initial client offered rate, queries/second.
+    pub initial_rate_qps: f64,
+    /// If set, the client sends at this fixed rate (no loss adaptation);
+    /// used for latency-vs-throughput curves.
+    pub fixed_rate_qps: Option<f64>,
+    /// Rate-adaptation interval, milliseconds.
+    pub rate_interval_ms: u64,
+    /// Controller cycle interval, milliseconds.
+    pub controller_interval_ms: u64,
+    /// Optional dynamic workload: the change and its period in seconds.
+    pub dynamics: Option<(DynamicWorkload, f64)>,
+    /// Heavy-hitter threshold for the switch statistics.
+    pub hot_threshold: u16,
+    /// Statistics sampling rate.
+    pub sample_rate: f64,
+    /// Latency model constants.
+    pub latency: LatencyModel,
+    /// Collect per-query latency samples (1-in-16 sampled).
+    pub collect_latency: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            servers: 128,
+            num_keys: 100_000,
+            loaded_keys: None,
+            client_cap_qps: None,
+            value_len: 128,
+            theta: 0.99,
+            write_ratio: 0.0,
+            write_skew: WriteSkew::Uniform,
+            cache_items: 10_000,
+            partition_seed: 0x7061_7274,
+            server_rate_qps: 2_000,
+            queue_capacity: 64,
+            duration_s: 2.0,
+            warmup_s: 1.0,
+            initial_rate_qps: 50_000.0,
+            fixed_rate_qps: None,
+            rate_interval_ms: 100,
+            controller_interval_ms: 100,
+            dynamics: None,
+            hot_threshold: 64,
+            sample_rate: 1.0,
+            latency: LatencyModel::default(),
+            collect_latency: false,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Per-second time series entry (Fig. 11 plots these).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SecondStats {
+    /// Queries offered by the client.
+    pub offered: u64,
+    /// Replies delivered to the client.
+    pub delivered: u64,
+    /// Replies served by the switch cache.
+    pub cache_hits: u64,
+    /// Queries dropped at server queues.
+    pub drops: u64,
+}
+
+/// Latency summary over sampled queries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyStats {
+    /// Mean, nanoseconds.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl SimReport {
+    /// Renders the per-second series as CSV (`second,offered,delivered,
+    /// cache_hits,drops`), ready for external plotting of the Fig. 11
+    /// time series.
+    pub fn per_second_csv(&self) -> String {
+        let mut out = String::from("second,offered,delivered,cache_hits,drops\n");
+        for (i, s) in self.per_second.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                i, s.offered, s.delivered, s.cache_hits, s.drops
+            ));
+        }
+        out
+    }
+
+    /// Renders the headline numbers as one CSV row (`goodput_qps,
+    /// offered_qps,cache_qps,server_qps,hit_ratio,drops`).
+    pub fn summary_csv_row(&self) -> String {
+        format!(
+            "{:.1},{:.1},{:.1},{:.1},{:.4},{}",
+            self.goodput_qps,
+            self.offered_qps,
+            self.cache_qps,
+            self.server_qps,
+            self.hit_ratio,
+            self.drops
+        )
+    }
+}
+
+/// Simulation results.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Average goodput over the measurement window, queries/second.
+    pub goodput_qps: f64,
+    /// Average offered rate over the measurement window.
+    pub offered_qps: f64,
+    /// Goodput served by the switch cache.
+    pub cache_qps: f64,
+    /// Goodput served by storage servers.
+    pub server_qps: f64,
+    /// Cache hit ratio among delivered reads.
+    pub hit_ratio: f64,
+    /// Total drops during measurement.
+    pub drops: u64,
+    /// Per-server delivered queries/second (Fig. 10(b)).
+    pub per_server_qps: Vec<f64>,
+    /// Latency summary (if collection was enabled).
+    pub latency: LatencyStats,
+    /// Per-second series (Fig. 11).
+    pub per_second: Vec<SecondStats>,
+}
+
+enum Event {
+    /// The client emits its next query.
+    ClientSend,
+    /// A server finishes servicing a query.
+    ServerComplete {
+        server: u32,
+        pkt: Packet,
+        enqueued_at: u64,
+    },
+    /// A reply reaches the client.
+    ClientRecv { seq: u32, from_cache: bool },
+    /// Periodic rate adaptation + bookkeeping.
+    Interval,
+    /// Periodic controller cycle.
+    ControllerCycle,
+    /// Periodic agent retransmission timers.
+    AgentTick,
+    /// Periodic dynamic-workload change.
+    WorkloadChange,
+}
+
+/// The simulator.
+pub struct RackSim {
+    config: SimConfig,
+    rack: Rack,
+    mix: QueryMix,
+    client: NetCacheClient,
+    client_port: PortId,
+    rng: StdRng,
+    queue: EventQueue<Event>,
+    rate: RateController,
+    // Server state.
+    server_free_at: Vec<u64>,
+    server_pending: Vec<usize>,
+    server_served: Vec<u64>,
+    service_ns: u64,
+    // Client accounting.
+    in_flight: HashMap<u32, u64>,
+    interval_sent: u64,
+    interval_recv: u64,
+    // Measurement.
+    warmup_end_ns: u64,
+    end_ns: u64,
+    current_second: SecondStats,
+    second_boundary_ns: u64,
+    per_second: Vec<SecondStats>,
+    delivered: u64,
+    delivered_hits: u64,
+    offered: u64,
+    drops: u64,
+    latencies: Vec<u64>,
+    latency_decimator: u8,
+}
+
+impl RackSim {
+    /// Builds the simulator (rack constructed, dataset loaded, cache
+    /// pre-populated with the hottest `cache_items` keys).
+    pub fn new(config: SimConfig) -> Result<Self, String> {
+        Self::with_dataplane_updates(config, true)
+    }
+
+    /// Like [`RackSim::new`] but selecting the write-around ablation when
+    /// `dataplane_updates` is `false` (§4.3: servers do not push values to
+    /// the switch; the controller's repair pass refreshes invalid entries).
+    pub fn with_dataplane_updates(
+        config: SimConfig,
+        dataplane_updates: bool,
+    ) -> Result<Self, String> {
+        let mut switch = SwitchConfig::prototype();
+        switch.ports = (config.servers + 8) as usize;
+        // Size the value arrays to the experiment: enough slots for the
+        // target cache size, 8 stages as in the prototype.
+        switch.value_slots = config.cache_items.max(1024).next_power_of_two();
+        switch.cache_capacity = switch.value_slots;
+        switch.hot_threshold = config.hot_threshold;
+        switch.sample_rate = config.sample_rate;
+        switch.seed = config.seed ^ 0x5717c4;
+
+        let rack_config = RackConfig {
+            servers: config.servers,
+            shards_per_server: 1,
+            switch,
+            controller: ControllerConfig {
+                cache_capacity: config.cache_items,
+                stats_reset_interval_ns: 1_000_000_000,
+                ..ControllerConfig::default()
+            },
+            clients: 1,
+            partition_seed: config.partition_seed,
+            agent_retry_timeout_ns: 200_000,
+            dataplane_updates,
+        };
+        let rack = Rack::new(rack_config)?;
+        let loaded = config
+            .loaded_keys
+            .map_or(config.num_keys, |k| k.min(config.num_keys));
+        rack.load_dataset(loaded, config.value_len);
+
+        let mix = QueryMix::new(
+            config.num_keys,
+            config.theta,
+            config.write_ratio,
+            config.write_skew,
+        );
+        if config.cache_items > 0 {
+            let hottest: Vec<Key> = mix
+                .popularity()
+                .hottest(config.cache_items)
+                .iter()
+                .map(|&id| Key::from_u64(id))
+                .collect();
+            rack.populate_cache(hottest);
+        }
+        let client = NetCacheClient::new(ClientConfig {
+            client_id: 1,
+            ip: rack.addressing().client_ip(0),
+            partitions: config.servers,
+            partition_seed: config.partition_seed,
+            server_ip_base: rack.addressing().server_ip(0),
+        });
+        let client_port = rack.addressing().client_port(0);
+        let service_ns = 1_000_000_000 / config.server_rate_qps;
+        let initial = config.fixed_rate_qps.unwrap_or(config.initial_rate_qps);
+        let cap = config.client_cap_qps.unwrap_or(1e9);
+        let rate = RateController::new(initial.max(10.0).min(cap), 10.0, cap);
+        let warmup_end_ns = (config.warmup_s * 1e9) as u64;
+        let end_ns = warmup_end_ns + (config.duration_s * 1e9) as u64;
+        Ok(RackSim {
+            rng: StdRng::seed_from_u64(config.seed),
+            mix,
+            client,
+            client_port,
+            queue: EventQueue::new(),
+            rate,
+            server_free_at: vec![0; config.servers as usize],
+            server_pending: vec![0; config.servers as usize],
+            server_served: vec![0; config.servers as usize],
+            service_ns,
+            in_flight: HashMap::new(),
+            interval_sent: 0,
+            interval_recv: 0,
+            warmup_end_ns,
+            end_ns,
+            current_second: SecondStats::default(),
+            second_boundary_ns: 1_000_000_000,
+            per_second: Vec::new(),
+            delivered: 0,
+            delivered_hits: 0,
+            offered: 0,
+            drops: 0,
+            latencies: Vec::new(),
+            latency_decimator: 0,
+            rack,
+            config,
+        })
+    }
+
+    /// Access to the underlying rack (inspection in tests).
+    pub fn rack(&self) -> &Rack {
+        &self.rack
+    }
+
+    fn exp_interarrival_ns(&mut self, rate_qps: f64) -> u64 {
+        let u: f64 = self.rng.random::<f64>().max(1e-12);
+        ((-u.ln()) / rate_qps * 1e9) as u64 + 1
+    }
+
+    /// Runs the simulation to completion and reports.
+    pub fn run(mut self) -> SimReport {
+        let interval_ns = self.config.rate_interval_ms * 1_000_000;
+        let controller_ns = self.config.controller_interval_ms * 1_000_000;
+        self.queue.schedule(0, Event::ClientSend);
+        self.queue.schedule(interval_ns, Event::Interval);
+        self.queue.schedule(controller_ns, Event::ControllerCycle);
+        self.queue.schedule(1_000_000, Event::AgentTick);
+        if let Some((_, period_s)) = self.config.dynamics {
+            self.queue
+                .schedule((period_s * 1e9) as u64, Event::WorkloadChange);
+        }
+        while let Some((now, event)) = self.queue.pop() {
+            if now >= self.end_ns {
+                break;
+            }
+            self.handle(now, event);
+        }
+        self.finish()
+    }
+
+    fn measuring(&self, now: u64) -> bool {
+        now >= self.warmup_end_ns
+    }
+
+    fn handle(&mut self, now: u64, event: Event) {
+        match event {
+            Event::ClientSend => self.on_client_send(now),
+            Event::ServerComplete {
+                server,
+                pkt,
+                enqueued_at,
+            } => self.on_server_complete(now, server, pkt, enqueued_at),
+            Event::ClientRecv { seq, from_cache } => self.on_client_recv(now, seq, from_cache),
+            Event::Interval => self.on_interval(now),
+            Event::ControllerCycle => self.on_controller(now),
+            Event::AgentTick => self.on_agent_tick(now),
+            Event::WorkloadChange => self.on_workload_change(now),
+        }
+    }
+
+    fn on_client_send(&mut self, now: u64) {
+        // Schedule the next arrival first (open loop).
+        let next = now + self.exp_interarrival_ns(self.rate.rate());
+        self.queue.schedule(next, Event::ClientSend);
+
+        let query = self.mix.sample(&mut self.rng);
+        let key = Key::from_u64(query.key_id());
+        let pkt = match query {
+            netcache_workload::QueryKind::Get(_) => self.client.get(key),
+            netcache_workload::QueryKind::Put(id) => self
+                .client
+                .put(key, Value::for_item(id, self.config.value_len)),
+        };
+        let seq = pkt.netcache.seq;
+        self.in_flight.insert(seq, now);
+        self.interval_sent += 1;
+        if self.measuring(now) {
+            self.offered += 1;
+            self.current_second.offered += 1;
+        }
+        let at_switch = now + self.config.latency.hop_ns + self.config.latency.switch_ns;
+        let outs = self
+            .rack
+            .with_switch(|sw| sw.process(pkt, self.client_port));
+        self.dispatch(at_switch, outs);
+    }
+
+    /// Routes switch outputs to their attached nodes with latency.
+    fn dispatch(&mut self, now: u64, outs: Vec<(PortId, Packet)>) {
+        for (port, pkt) in outs {
+            match self.rack.addressing().attachment(port) {
+                netcache::addressing::Attachment::Client(_) => {
+                    let from_cache = pkt.netcache.op == Op::GetReplyHit;
+                    self.queue.schedule(
+                        now + self.config.latency.hop_ns,
+                        Event::ClientRecv {
+                            seq: pkt.netcache.seq,
+                            from_cache,
+                        },
+                    );
+                }
+                netcache::addressing::Attachment::Server(i) => {
+                    self.deliver_to_server(now, i, pkt);
+                }
+                netcache::addressing::Attachment::Unused => {}
+            }
+        }
+    }
+
+    fn deliver_to_server(&mut self, now: u64, server: u32, pkt: Packet) {
+        let s = server as usize;
+        let arrival = now + self.config.latency.hop_ns;
+        match pkt.netcache.op {
+            // Queries contend for the server's service capacity.
+            Op::Get | Op::Put | Op::PutCached | Op::Delete | Op::DeleteCached => {
+                if self.server_pending[s] >= self.config.queue_capacity {
+                    if self.measuring(now) {
+                        self.drops += 1;
+                        self.current_second.drops += 1;
+                    }
+                    return;
+                }
+                self.server_pending[s] += 1;
+                let start = self.server_free_at[s].max(arrival);
+                // The server is busy for one service time; the I/O
+                // overhead adds pipeline latency without occupying the
+                // core (DPDK-style overlapped I/O).
+                self.server_free_at[s] = start + self.service_ns;
+                let finish = start + self.service_ns + self.config.latency.server_overhead_ns;
+                self.queue.schedule(
+                    finish,
+                    Event::ServerComplete {
+                        server,
+                        pkt,
+                        enqueued_at: arrival,
+                    },
+                );
+            }
+            // Acks and stray packets are handled by the shim's I/O path
+            // without consuming KV service capacity.
+            _ => {
+                let outs = self.rack.server(server).handle_packet(pkt, arrival);
+                self.forward_from_server(arrival, server, outs);
+            }
+        }
+    }
+
+    fn forward_from_server(&mut self, now: u64, server: u32, outs: Vec<Packet>) {
+        let port = self.rack.addressing().server_port(server);
+        for pkt in outs {
+            let at_switch = now + self.config.latency.hop_ns + self.config.latency.switch_ns;
+            let outs = self.rack.with_switch(|sw| sw.process(pkt, port));
+            self.dispatch(at_switch, outs);
+        }
+    }
+
+    fn on_server_complete(&mut self, now: u64, server: u32, pkt: Packet, _enqueued_at: u64) {
+        let s = server as usize;
+        self.server_pending[s] -= 1;
+        if self.measuring(now) {
+            self.server_served[s] += 1;
+        }
+        let outs = self.rack.server(server).handle_packet(pkt, now);
+        self.forward_from_server(now, server, outs);
+    }
+
+    fn on_client_recv(&mut self, now: u64, seq: u32, from_cache: bool) {
+        self.interval_recv += 1;
+        let sent_at = self.in_flight.remove(&seq);
+        if self.measuring(now) {
+            self.delivered += 1;
+            self.current_second.delivered += 1;
+            if from_cache {
+                self.delivered_hits += 1;
+                self.current_second.cache_hits += 1;
+            }
+            if self.config.collect_latency {
+                self.latency_decimator = self.latency_decimator.wrapping_add(1);
+                if self.latency_decimator % 16 == 0 {
+                    if let Some(sent) = sent_at {
+                        self.latencies
+                            .push(now - sent + self.config.latency.client_overhead_ns);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_interval(&mut self, now: u64) {
+        let interval_ns = self.config.rate_interval_ms * 1_000_000;
+        self.queue.schedule(now + interval_ns, Event::Interval);
+        if self.config.fixed_rate_qps.is_none() {
+            self.rate
+                .on_interval(self.interval_sent, self.interval_recv);
+        }
+        self.interval_sent = 0;
+        self.interval_recv = 0;
+        // In-flight entries older than a second are lost queries.
+        self.in_flight
+            .retain(|_, &mut sent| now - sent < 1_000_000_000);
+        // Per-second rollover.
+        if now >= self.second_boundary_ns {
+            if self.measuring(now) {
+                self.per_second.push(self.current_second);
+            }
+            self.current_second = SecondStats::default();
+            self.second_boundary_ns += 1_000_000_000;
+        }
+    }
+
+    fn on_controller(&mut self, now: u64) {
+        let controller_ns = self.config.controller_interval_ms * 1_000_000;
+        self.queue
+            .schedule(now + controller_ns, Event::ControllerCycle);
+        // Run the real controller against the real switch and servers.
+        struct Backend<'a> {
+            rack: &'a Rack,
+            now: u64,
+            released: Vec<(u32, Vec<Packet>)>,
+        }
+        impl ServerBackend for Backend<'_> {
+            fn fetch(&mut self, home: &KeyHome, key: &Key) -> Option<(Value, u32)> {
+                self.rack
+                    .server(home.server)
+                    .fetch(key)
+                    .map(|i| (i.value, i.version))
+            }
+            fn lock_writes(&mut self, home: &KeyHome, key: Key) {
+                self.rack.server(home.server).controller_lock(key);
+            }
+            fn unlock_writes(&mut self, home: &KeyHome, key: Key) {
+                let out = self
+                    .rack
+                    .server(home.server)
+                    .controller_unlock(key, self.now);
+                if !out.is_empty() {
+                    self.released.push((home.server, out));
+                }
+            }
+        }
+        let mut backend = Backend {
+            rack: &self.rack,
+            now,
+            released: Vec::new(),
+        };
+        let rack = &self.rack;
+        rack.with_switch(|sw| {
+            rack.with_controller(|ctl| ctl.run_cycle(sw, &mut backend, now));
+        });
+        let released = backend.released;
+        for (server, outs) in released {
+            self.forward_from_server(now, server, outs);
+        }
+    }
+
+    fn on_agent_tick(&mut self, now: u64) {
+        self.queue.schedule(now + 1_000_000, Event::AgentTick);
+        for i in 0..self.config.servers {
+            let outs = self.rack.server(i).tick(now);
+            if !outs.is_empty() {
+                self.forward_from_server(now, i, outs);
+            }
+        }
+    }
+
+    fn on_workload_change(&mut self, now: u64) {
+        if let Some((change, period_s)) = self.config.dynamics {
+            self.queue
+                .schedule(now + (period_s * 1e9) as u64, Event::WorkloadChange);
+            self.mix.popularity_mut().apply(change, &mut self.rng);
+        }
+    }
+
+    fn finish(mut self) -> SimReport {
+        if self.current_second.offered > 0 {
+            self.per_second.push(self.current_second);
+        }
+        let window_s = self.config.duration_s;
+        let goodput = self.delivered as f64 / window_s;
+        let cache_qps = self.delivered_hits as f64 / window_s;
+        let latency = if self.latencies.is_empty() {
+            LatencyStats::default()
+        } else {
+            self.latencies.sort_unstable();
+            let n = self.latencies.len();
+            LatencyStats {
+                mean_ns: self.latencies.iter().sum::<u64>() as f64 / n as f64,
+                p50_ns: self.latencies[n / 2],
+                p99_ns: self.latencies[(n * 99 / 100).min(n - 1)],
+                samples: n,
+            }
+        };
+        SimReport {
+            goodput_qps: goodput,
+            offered_qps: self.offered as f64 / window_s,
+            cache_qps,
+            server_qps: goodput - cache_qps,
+            hit_ratio: if self.delivered > 0 {
+                self.delivered_hits as f64 / self.delivered as f64
+            } else {
+                0.0
+            },
+            drops: self.drops,
+            per_server_qps: self
+                .server_served
+                .iter()
+                .map(|&c| c as f64 / window_s)
+                .collect(),
+            latency,
+            per_second: self.per_second,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config() -> SimConfig {
+        SimConfig {
+            servers: 8,
+            num_keys: 5_000,
+            value_len: 64,
+            server_rate_qps: 1_000,
+            cache_items: 100,
+            duration_s: 1.0,
+            warmup_s: 0.5,
+            initial_rate_qps: 2_000.0,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn uniform_nocache_reaches_near_aggregate() {
+        let report = RackSim::new(SimConfig {
+            theta: 0.0,
+            cache_items: 0,
+            // Start above capacity so the controller only has to back off.
+            initial_rate_qps: 12_000.0,
+            duration_s: 1.5,
+            warmup_s: 1.0,
+            ..base_config()
+        })
+        .unwrap()
+        .run();
+        // 8 servers × 1000 QPS = 8000 QPS aggregate; uniform load should
+        // reach a large fraction of it.
+        assert!(
+            report.goodput_qps > 5_000.0,
+            "goodput {} too low",
+            report.goodput_qps
+        );
+        assert_eq!(report.cache_qps, 0.0);
+    }
+
+    #[test]
+    fn skewed_nocache_collapses() {
+        let uniform = RackSim::new(SimConfig {
+            theta: 0.0,
+            cache_items: 0,
+            ..base_config()
+        })
+        .unwrap()
+        .run();
+        let skewed = RackSim::new(SimConfig {
+            theta: 0.99,
+            cache_items: 0,
+            ..base_config()
+        })
+        .unwrap()
+        .run();
+        assert!(
+            skewed.goodput_qps < uniform.goodput_qps * 0.75,
+            "skew should hurt NoCache: {} vs {}",
+            skewed.goodput_qps,
+            uniform.goodput_qps
+        );
+    }
+
+    #[test]
+    fn cache_recovers_skewed_throughput() {
+        let nocache = RackSim::new(SimConfig {
+            theta: 0.99,
+            cache_items: 0,
+            ..base_config()
+        })
+        .unwrap()
+        .run();
+        let netcache = RackSim::new(SimConfig {
+            theta: 0.99,
+            cache_items: 100,
+            initial_rate_qps: 10_000.0,
+            ..base_config()
+        })
+        .unwrap()
+        .run();
+        assert!(
+            netcache.goodput_qps > nocache.goodput_qps * 1.5,
+            "cache should lift throughput: {} vs {}",
+            netcache.goodput_qps,
+            nocache.goodput_qps
+        );
+        assert!(netcache.hit_ratio > 0.3, "hit ratio {}", netcache.hit_ratio);
+    }
+
+    #[test]
+    fn latency_flat_below_saturation() {
+        let report = RackSim::new(SimConfig {
+            theta: 0.0,
+            cache_items: 0,
+            fixed_rate_qps: Some(2_000.0),
+            collect_latency: true,
+            ..base_config()
+        })
+        .unwrap()
+        .run();
+        assert!(report.latency.samples > 10);
+        // Near-idle: latency ≈ overhead + hops + service (1 ms service at
+        // 1000 QPS scaled servers).
+        assert!(
+            report.latency.mean_ns < 3_000_000.0,
+            "mean {}",
+            report.latency.mean_ns
+        );
+    }
+
+    #[test]
+    fn csv_renderings_are_well_formed() {
+        let report = RackSim::new(SimConfig {
+            duration_s: 1.0,
+            warmup_s: 0.0,
+            ..base_config()
+        })
+        .unwrap()
+        .run();
+        let csv = report.per_second_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("second,offered,delivered,cache_hits,drops")
+        );
+        for line in lines {
+            assert_eq!(line.split(',').count(), 5, "bad row: {line}");
+        }
+        assert_eq!(report.summary_csv_row().split(',').count(), 6);
+    }
+
+    #[test]
+    fn per_second_series_collected() {
+        let report = RackSim::new(SimConfig {
+            duration_s: 2.0,
+            warmup_s: 0.0,
+            ..base_config()
+        })
+        .unwrap()
+        .run();
+        assert!(report.per_second.len() >= 2, "{}", report.per_second.len());
+    }
+}

@@ -1,0 +1,191 @@
+//! Partitioned Bloom filter (§4.4.3).
+//!
+//! "We add a Bloom filter after the Count-Min sketch, so that each uncached
+//! hot key would only be reported to the controller once." The prototype
+//! uses 3 register arrays of 256K 1-bit slots — i.e. a *partitioned* Bloom
+//! filter: one hash function per array, each array its own partition. That
+//! is the layout a match-action pipeline forces (one register array access
+//! per stage), and this module reproduces it exactly.
+
+use crate::HashFamily;
+
+/// A partitioned Bloom filter with one hash function per partition.
+///
+/// # Examples
+///
+/// ```
+/// use netcache_sketch::BloomFilter;
+///
+/// let mut bf = BloomFilter::new(3, 1024, 99);
+/// assert!(!bf.contains(b"k"));
+/// assert!(bf.insert(b"k"));   // newly inserted
+/// assert!(!bf.insert(b"k"));  // duplicate
+/// assert!(bf.contains(b"k"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    partitions: usize,
+    bits_per_partition: usize,
+    words: Vec<Box<[u64]>>,
+    hashes: HashFamily,
+}
+
+impl BloomFilter {
+    /// Prototype partition count (3 register arrays).
+    pub const DEFAULT_PARTITIONS: usize = 3;
+
+    /// Prototype bits per partition (256K 1-bit slots).
+    pub const DEFAULT_BITS: usize = 262_144;
+
+    /// Creates a filter with `partitions` arrays of `bits_per_partition`
+    /// bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(partitions: usize, bits_per_partition: usize, seed: u64) -> Self {
+        assert!(partitions > 0, "partition count must be positive");
+        assert!(bits_per_partition > 0, "partition size must be positive");
+        let words_per = bits_per_partition.div_ceil(64);
+        BloomFilter {
+            partitions,
+            bits_per_partition,
+            words: (0..partitions)
+                .map(|_| vec![0u64; words_per].into_boxed_slice())
+                .collect(),
+            hashes: HashFamily::new(seed, partitions),
+        }
+    }
+
+    /// Creates a filter with the prototype's dimensions (3 × 256K bits).
+    pub fn prototype(seed: u64) -> Self {
+        Self::new(Self::DEFAULT_PARTITIONS, Self::DEFAULT_BITS, seed)
+    }
+
+    /// Total memory in bytes (for the resource report).
+    pub fn memory_bytes(&self) -> usize {
+        self.partitions * self.bits_per_partition.div_ceil(64) * 8
+    }
+
+    /// Inserts `key`; returns `true` if at least one bit was newly set
+    /// (i.e. the key was definitely not present before).
+    ///
+    /// The switch uses this return value as "first report": a `false`
+    /// means the key (or a colliding one) was already reported.
+    pub fn insert(&mut self, key: &[u8]) -> bool {
+        let mut newly_set = false;
+        for p in 0..self.partitions {
+            let bit = self.hashes.index(p, key, self.bits_per_partition);
+            let (word, mask) = (bit / 64, 1u64 << (bit % 64));
+            if self.words[p][word] & mask == 0 {
+                self.words[p][word] |= mask;
+                newly_set = true;
+            }
+        }
+        newly_set
+    }
+
+    /// Whether `key` may have been inserted. `false` is definitive
+    /// (no false negatives); `true` may be a false positive.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        (0..self.partitions).all(|p| {
+            let bit = self.hashes.index(p, key, self.bits_per_partition);
+            self.words[p][bit / 64] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Clears all bits (the controller's periodic statistics reset).
+    pub fn clear(&mut self) {
+        for partition in &mut self.words {
+            partition.fill(0);
+        }
+    }
+
+    /// The bit index `key` maps to in partition `p` — exposed so the
+    /// register-array implementation in the data plane uses identical
+    /// placement.
+    pub fn bit(&self, p: usize, key: &[u8]) -> usize {
+        self.hashes.index(p, key, self.bits_per_partition)
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Bits per partition.
+    pub fn bits_per_partition(&self) -> usize {
+        self.bits_per_partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> [u8; 8] {
+        i.to_be_bytes()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(3, 4096, 1);
+        for i in 0..200u64 {
+            bf.insert(&key(i));
+        }
+        for i in 0..200u64 {
+            assert!(bf.contains(&key(i)), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn insert_reports_first_occurrence() {
+        let mut bf = BloomFilter::new(3, 65_536, 2);
+        assert!(bf.insert(b"a"));
+        assert!(!bf.insert(b"a"));
+        assert!(bf.insert(b"b"));
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_at_prototype_scale() {
+        let mut bf = BloomFilter::prototype(3);
+        // The paper expects at most tens of thousands of hot-key reports
+        // per statistics epoch; insert 10K.
+        for i in 0..10_000u64 {
+            bf.insert(&key(i));
+        }
+        let mut fp = 0usize;
+        for i in 10_000..110_000u64 {
+            if bf.contains(&key(i)) {
+                fp += 1;
+            }
+        }
+        // Expected FP rate ≈ (10_000/262_144)^3 ≈ 5.6e-5 → ≈5.6 in 100K.
+        assert!(fp < 60, "false positive count too high: {fp}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bf = BloomFilter::new(3, 1024, 4);
+        bf.insert(b"x");
+        bf.clear();
+        assert!(!bf.contains(b"x"));
+        assert!(bf.insert(b"x"));
+    }
+
+    #[test]
+    fn memory_matches_prototype_claim() {
+        // 3 arrays × 256K bits = 96 KiB.
+        let bf = BloomFilter::prototype(0);
+        assert_eq!(bf.memory_bytes(), 3 * 262_144 / 8);
+    }
+
+    #[test]
+    fn non_multiple_of_64_bits_work() {
+        let mut bf = BloomFilter::new(2, 100, 5);
+        for i in 0..50u64 {
+            bf.insert(&key(i));
+            assert!(bf.contains(&key(i)));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Count-Min sketch (§4.4.3).
+//!
+//! "The Count-Min sketch component consists of four register arrays. It maps
+//! a query to different locations in these arrays by hashing the key with
+//! four independent hash functions. It increases the values in those
+//! locations by one, uses the smallest value among the four as the key's
+//! approximate query frequency, and marks it as hot if the frequency is
+//! above the threshold configured by the controller."
+//!
+//! Counters are 16-bit and saturate rather than wrap: an overflowing hot
+//! counter must stay hot until the controller resets the sketch.
+
+use crate::HashFamily;
+
+/// A Count-Min sketch with 16-bit saturating counters.
+///
+/// # Examples
+///
+/// ```
+/// use netcache_sketch::CountMinSketch;
+///
+/// let mut cms = CountMinSketch::new(4, 1024, 7);
+/// for _ in 0..10 {
+///     cms.increment(b"hot-key");
+/// }
+/// assert!(cms.estimate(b"hot-key") >= 10); // never underestimates
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    depth: usize,
+    width: usize,
+    rows: Vec<Box<[u16]>>,
+    hashes: HashFamily,
+}
+
+impl CountMinSketch {
+    /// Default depth used by the prototype (4 register arrays).
+    pub const DEFAULT_DEPTH: usize = 4;
+
+    /// Default width used by the prototype (64K slots per array).
+    pub const DEFAULT_WIDTH: usize = 65_536;
+
+    /// Creates a sketch with `depth` rows of `width` counters each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `width` is zero.
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth > 0, "sketch depth must be positive");
+        assert!(width > 0, "sketch width must be positive");
+        CountMinSketch {
+            depth,
+            width,
+            rows: (0..depth)
+                .map(|_| vec![0u16; width].into_boxed_slice())
+                .collect(),
+            hashes: HashFamily::new(seed, depth),
+        }
+    }
+
+    /// Creates a sketch with the prototype's dimensions (4 × 64K).
+    pub fn prototype(seed: u64) -> Self {
+        Self::new(Self::DEFAULT_DEPTH, Self::DEFAULT_WIDTH, seed)
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Slots per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total memory in bytes (for the resource report).
+    pub fn memory_bytes(&self) -> usize {
+        self.depth * self.width * core::mem::size_of::<u16>()
+    }
+
+    /// Increments the counters for `key` and returns the new estimate
+    /// (the minimum over rows, computed in the same pass as on the switch).
+    pub fn increment(&mut self, key: &[u8]) -> u16 {
+        let mut min = u16::MAX;
+        for (row_idx, row) in self.rows.iter_mut().enumerate() {
+            let slot = self.hashes.index(row_idx, key, self.width);
+            row[slot] = row[slot].saturating_add(1);
+            min = min.min(row[slot]);
+        }
+        min
+    }
+
+    /// Returns the approximate frequency of `key` without modifying it.
+    ///
+    /// Count-Min guarantees `estimate(k) >= true_count(k)` (no
+    /// underestimation), with overestimation bounded by collisions.
+    pub fn estimate(&self, key: &[u8]) -> u16 {
+        let mut min = u16::MAX;
+        for (row_idx, row) in self.rows.iter().enumerate() {
+            let slot = self.hashes.index(row_idx, key, self.width);
+            min = min.min(row[slot]);
+        }
+        min
+    }
+
+    /// Clears all counters (the controller's periodic statistics reset).
+    pub fn clear(&mut self) {
+        for row in &mut self.rows {
+            row.fill(0);
+        }
+    }
+
+    /// Read-only access to a row, for the data-plane equivalence tests.
+    pub fn row(&self, i: usize) -> &[u16] {
+        &self.rows[i]
+    }
+
+    /// The slot index function `key` maps to in row `i` — exposed so the
+    /// register-array implementation in the data plane can use identical
+    /// placement.
+    pub fn slot(&self, i: usize, key: &[u8]) -> usize {
+        self.hashes.index(i, key, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> [u8; 8] {
+        i.to_be_bytes()
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut cms = CountMinSketch::new(4, 256, 1);
+        let mut truth = std::collections::HashMap::new();
+        // Heavy collisions on purpose (small width, many keys).
+        for i in 0..500u64 {
+            let k = key(i % 50);
+            cms.increment(&k);
+            *truth.entry(i % 50).or_insert(0u16) += 1;
+        }
+        for (k, &count) in &truth {
+            assert!(cms.estimate(&key(*k)) >= count, "key {k}");
+        }
+    }
+
+    #[test]
+    fn exact_when_no_collisions() {
+        let mut cms = CountMinSketch::new(4, 65_536, 2);
+        for _ in 0..37 {
+            cms.increment(b"only-key");
+        }
+        assert_eq!(cms.estimate(b"only-key"), 37);
+        assert_eq!(cms.estimate(b"other-key"), 0);
+    }
+
+    #[test]
+    fn increment_returns_estimate() {
+        let mut cms = CountMinSketch::new(4, 1024, 3);
+        for expect in 1..=20u16 {
+            assert_eq!(cms.increment(b"k"), expect);
+        }
+    }
+
+    #[test]
+    fn clear_resets_all() {
+        let mut cms = CountMinSketch::new(2, 64, 4);
+        for i in 0..100u64 {
+            cms.increment(&key(i));
+        }
+        cms.clear();
+        for i in 0..100u64 {
+            assert_eq!(cms.estimate(&key(i)), 0);
+        }
+    }
+
+    #[test]
+    fn counters_saturate_not_wrap() {
+        let mut cms = CountMinSketch::new(1, 1, 5);
+        for _ in 0..70_000u32 {
+            cms.increment(b"x");
+        }
+        assert_eq!(cms.estimate(b"x"), u16::MAX);
+    }
+
+    #[test]
+    fn memory_matches_prototype_claim() {
+        // 4 arrays × 64K × 16-bit = 512 KiB.
+        let cms = CountMinSketch::prototype(0);
+        assert_eq!(cms.memory_bytes(), 4 * 65_536 * 2);
+    }
+
+    #[test]
+    fn overestimate_bounded_with_prototype_width() {
+        // With width 64K and a few thousand distinct keys, the typical
+        // overestimate should be tiny.
+        let mut cms = CountMinSketch::new(4, 65_536, 6);
+        for i in 0..5_000u64 {
+            cms.increment(&key(i));
+        }
+        let mut over = 0usize;
+        for i in 0..5_000u64 {
+            if cms.estimate(&key(i)) > 1 {
+                over += 1;
+            }
+        }
+        assert!(over < 50, "too many overestimates: {over}");
+    }
+}

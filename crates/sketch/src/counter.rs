@@ -1,0 +1,128 @@
+//! Per-key hit counters for cached items (§4.4.3).
+//!
+//! "The per-key counter is just a single register array. Each cached key is
+//! mapped to a counter index given by the lookup table. A cache hit simply
+//! increases the counter value of the cached key-value item in the
+//! corresponding slot by one."
+//!
+//! Counters are 16-bit (the sampler in front keeps them from overflowing)
+//! and saturate defensively.
+
+/// A register array of 16-bit saturating hit counters, indexed by the
+/// per-key `key_index` assigned by the cache lookup table.
+#[derive(Debug, Clone)]
+pub struct CounterArray {
+    slots: Box<[u16]>,
+}
+
+impl CounterArray {
+    /// Creates an array of `size` zeroed counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "counter array must be non-empty");
+        CounterArray {
+            slots: vec![0u16; size].into_boxed_slice(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the array is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Memory in bytes (for the resource report).
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * core::mem::size_of::<u16>()
+    }
+
+    /// Increments the counter at `index`, saturating; returns the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds — the lookup table only hands out
+    /// indexes it owns, so an out-of-range index is a controller bug.
+    pub fn increment(&mut self, index: usize) -> u16 {
+        let slot = &mut self.slots[index];
+        *slot = slot.saturating_add(1);
+        *slot
+    }
+
+    /// Reads the counter at `index`.
+    pub fn get(&self, index: usize) -> u16 {
+        self.slots[index]
+    }
+
+    /// Zeroes the counter at `index` (done when a new key takes the slot).
+    pub fn reset(&mut self, index: usize) {
+        self.slots[index] = 0;
+    }
+
+    /// Zeroes every counter (periodic statistics reset).
+    pub fn clear(&mut self) {
+        self.slots.fill(0);
+    }
+
+    /// Iterates `(index, count)` pairs — the controller uses this to sample
+    /// candidate victims for eviction.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u16)> + '_ {
+        self.slots.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increment_and_get() {
+        let mut c = CounterArray::new(8);
+        assert_eq!(c.increment(3), 1);
+        assert_eq!(c.increment(3), 2);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn reset_single_slot() {
+        let mut c = CounterArray::new(4);
+        c.increment(1);
+        c.increment(2);
+        c.reset(1);
+        assert_eq!(c.get(1), 0);
+        assert_eq!(c.get(2), 1);
+    }
+
+    #[test]
+    fn clear_all() {
+        let mut c = CounterArray::new(4);
+        for i in 0..4 {
+            c.increment(i);
+        }
+        c.clear();
+        assert!(c.iter().all(|(_, v)| v == 0));
+    }
+
+    #[test]
+    fn saturates_at_max() {
+        let mut c = CounterArray::new(1);
+        for _ in 0..70_000u32 {
+            c.increment(0);
+        }
+        assert_eq!(c.get(0), u16::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut c = CounterArray::new(2);
+        c.increment(2);
+    }
+}

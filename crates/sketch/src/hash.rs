@@ -1,0 +1,186 @@
+//! Seeded tabulation hashing.
+//!
+//! Tofino's hash engines compute hashes by "random XORing of bits of the key
+//! field" (§6) — which is exactly tabulation hashing: for each input byte
+//! position there is a table of 256 random words, and the hash is the XOR of
+//! the looked-up words. Tabulation hashing is 3-independent, more than
+//! enough for Count-Min sketches and Bloom filters.
+//!
+//! [`HashFamily`] bundles several independent tabulation hash functions
+//! derived from a single seed, one per sketch row / Bloom partition.
+
+/// Number of byte positions a tabulation table covers. 16 matches the
+/// NetCache key length; longer inputs wrap around with a position salt.
+const TABLE_POSITIONS: usize = 16;
+
+/// A single seeded tabulation hash function over byte strings.
+#[derive(Debug, Clone)]
+pub struct TabulationHash {
+    tables: Box<[[u64; 256]]>,
+}
+
+/// SplitMix64 step, used to expand a seed into table entries.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TabulationHash {
+    /// Creates a hash function whose tables are filled from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut state = seed ^ 0xc2b2_ae3d_27d4_eb4f;
+        let mut tables = Vec::with_capacity(TABLE_POSITIONS);
+        for _ in 0..TABLE_POSITIONS {
+            let mut table = [0u64; 256];
+            for entry in table.iter_mut() {
+                *entry = splitmix64(&mut state);
+            }
+            tables.push(table);
+        }
+        TabulationHash {
+            tables: tables.into_boxed_slice(),
+        }
+    }
+
+    /// Hashes `data` to a 64-bit value.
+    ///
+    /// Inputs longer than the table count (16 positions) reuse tables with a
+    /// rotation salt so that positions remain distinguishable.
+    pub fn hash(&self, data: &[u8]) -> u64 {
+        let mut h: u64 = 0x8422_2325_cbf2_9ce4;
+        for (i, &byte) in data.iter().enumerate() {
+            let word = self.tables[i % TABLE_POSITIONS][byte as usize];
+            h ^= word.rotate_left(((i / TABLE_POSITIONS) as u32) & 63);
+        }
+        // Mix in the length so prefixes differ.
+        h ^ (data.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Hashes `data` into the range `0..len`.
+    pub fn index(&self, data: &[u8], len: usize) -> usize {
+        debug_assert!(len > 0);
+        // Multiply-shift reduction avoids modulo bias for power-of-two and
+        // non-power-of-two lengths alike.
+        ((u128::from(self.hash(data)) * len as u128) >> 64) as usize
+    }
+}
+
+/// A family of independent tabulation hash functions.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    functions: Vec<TabulationHash>,
+}
+
+impl HashFamily {
+    /// Creates `count` independent hash functions from `seed`.
+    pub fn new(seed: u64, count: usize) -> Self {
+        let mut state = seed;
+        let functions = (0..count)
+            .map(|_| TabulationHash::new(splitmix64(&mut state)))
+            .collect();
+        HashFamily { functions }
+    }
+
+    /// Number of functions in the family.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Hashes `data` with function `i` into `0..len`.
+    pub fn index(&self, i: usize, data: &[u8], len: usize) -> usize {
+        self.functions[i].index(data, len)
+    }
+
+    /// Hashes `data` with function `i` to a raw 64-bit value.
+    pub fn hash(&self, i: usize, data: &[u8]) -> u64 {
+        self.functions[i].hash(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = TabulationHash::new(42);
+        let b = TabulationHash::new(42);
+        for input in [&b"abc"[..], b"", b"0123456789abcdef0123"] {
+            assert_eq!(a.hash(input), b.hash(input));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TabulationHash::new(1);
+        let b = TabulationHash::new(2);
+        assert_ne!(a.hash(b"hello"), b.hash(b"hello"));
+    }
+
+    #[test]
+    fn index_in_range() {
+        let h = TabulationHash::new(7);
+        for len in [1usize, 2, 3, 64, 65536, 1_000_003] {
+            for i in 0..100u64 {
+                let idx = h.index(&i.to_be_bytes(), len);
+                assert!(idx < len, "len={len} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let h = TabulationHash::new(3);
+        let buckets = 16;
+        let mut counts = vec![0usize; buckets];
+        let n = 16_000;
+        for i in 0..n as u64 {
+            counts[h.index(&i.to_be_bytes(), buckets)] += 1;
+        }
+        let expected = n / buckets;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "bucket {b} has {c}, expected ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn long_inputs_distinguish_positions() {
+        let h = TabulationHash::new(9);
+        // Two 20-byte inputs differing only at position 17 (> TABLE_POSITIONS).
+        let mut a = [0u8; 20];
+        let mut b = [0u8; 20];
+        a[17] = 1;
+        b[17] = 2;
+        assert_ne!(h.hash(&a), h.hash(&b));
+    }
+
+    #[test]
+    fn prefix_inputs_differ() {
+        let h = TabulationHash::new(11);
+        assert_ne!(h.hash(b"ab"), h.hash(b"ab\0"));
+    }
+
+    #[test]
+    fn family_functions_are_independent() {
+        let fam = HashFamily::new(5, 4);
+        assert_eq!(fam.len(), 4);
+        let data = b"some key bytes!!";
+        let hashes: Vec<u64> = (0..4).map(|i| fam.hash(i, data)).collect();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert_ne!(hashes[i], hashes[j]);
+            }
+        }
+    }
+}

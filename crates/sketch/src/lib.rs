@@ -1,0 +1,35 @@
+//! Query-statistics data structures for NetCache (§4.4.3, Fig. 7).
+//!
+//! The switch data plane identifies hot keys with three space-efficient
+//! components, all of which this crate implements as standalone, reusable
+//! structures:
+//!
+//! - a [`CountMinSketch`] (4 rows × 64K 16-bit slots in the prototype) that
+//!   approximates per-key query frequency for *uncached* keys,
+//! - a partitioned [`BloomFilter`] (3 arrays × 256K bits) that deduplicates
+//!   hot-key reports to the controller,
+//! - a [`CounterArray`] of per-key hit counters for *cached* keys, and
+//! - a [`Sampler`] placed in front of the statistics path so that small
+//!   (16-bit) counters do not overflow and sketch collisions stay rare.
+//!
+//! Hashing uses seeded tabulation hashing ([`hash::HashFamily`]), which is
+//! the software analogue of the Tofino hash engines ("random XORing of bits
+//! of the key field", §6).
+//!
+//! The switch program in `netcache-dataplane` re-implements the same logic
+//! over its bounded register arrays; equivalence between the two is covered
+//! by integration tests.
+
+pub mod bloom;
+pub mod cms;
+pub mod counter;
+pub mod hash;
+pub mod sampler;
+pub mod spacesaving;
+
+pub use bloom::BloomFilter;
+pub use cms::CountMinSketch;
+pub use counter::CounterArray;
+pub use hash::HashFamily;
+pub use sampler::Sampler;
+pub use spacesaving::SpaceSaving;

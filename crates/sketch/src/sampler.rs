@@ -1,0 +1,130 @@
+//! Packet sampler (§4.4.3).
+//!
+//! "We add a sampling component in front of other components. Only sampled
+//! queries are counted for statistics. The sampling component acts as a
+//! high-pass filter for the Count-Min sketch ... It also allows us to use
+//! small (16-bit) slot size for cache counters and the Count-Min sketch.
+//! Same as the heavy-hitter threshold, the sample rate can be dynamically
+//! configured by the controller."
+//!
+//! The sampler is a cheap xorshift PRNG compared against a threshold — the
+//! same structure a data plane realizes with a hash of packet metadata and
+//! a range match.
+
+/// A probabilistic packet sampler with a controller-configurable rate.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    state: u64,
+    /// Inclusive threshold on the PRNG's 32-bit output: sample iff
+    /// `next_u32 <= threshold`.
+    threshold: u32,
+    rate: f64,
+}
+
+impl Sampler {
+    /// Creates a sampler taking each packet with probability `rate`
+    /// (clamped to `[0, 1]`), seeded deterministically.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        let mut s = Sampler {
+            state: seed | 1, // xorshift state must be non-zero
+            threshold: 0,
+            rate: 0.0,
+        };
+        s.set_rate(rate);
+        s
+    }
+
+    /// A sampler that samples every packet (rate 1.0).
+    pub fn always(seed: u64) -> Self {
+        Self::new(1.0, seed)
+    }
+
+    /// Reconfigures the sampling rate (a controller action).
+    pub fn set_rate(&mut self, rate: f64) {
+        let rate = rate.clamp(0.0, 1.0);
+        self.rate = rate;
+        self.threshold = if rate >= 1.0 {
+            u32::MAX
+        } else {
+            // Map [0,1) onto [0, 2^32); rate 0 gives threshold 0 which
+            // still passes value 0 with probability 2^-32 — treat exact
+            // zero specially below.
+            (rate * f64::from(u32::MAX)) as u32
+        };
+    }
+
+    /// The configured sampling rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Decides whether to sample the next packet.
+    pub fn should_sample(&mut self) -> bool {
+        if self.rate <= 0.0 {
+            return false;
+        }
+        // Xorshift64*.
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        let out = (self.state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as u32;
+        out <= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_one_samples_everything() {
+        let mut s = Sampler::always(1);
+        assert!((0..1000).all(|_| s.should_sample()));
+    }
+
+    #[test]
+    fn rate_zero_samples_nothing() {
+        let mut s = Sampler::new(0.0, 2);
+        assert!((0..1000).all(|_| !s.should_sample()));
+    }
+
+    #[test]
+    fn empirical_rate_close_to_configured() {
+        for &rate in &[0.1, 0.25, 0.5, 0.9] {
+            let mut s = Sampler::new(rate, 42);
+            let n = 200_000;
+            let hits = (0..n).filter(|_| s.should_sample()).count();
+            let observed = hits as f64 / n as f64;
+            assert!(
+                (observed - rate).abs() < 0.01,
+                "rate {rate}: observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Sampler::new(0.5, 7);
+        let mut b = Sampler::new(0.5, 7);
+        for _ in 0..100 {
+            assert_eq!(a.should_sample(), b.should_sample());
+        }
+    }
+
+    #[test]
+    fn reconfiguration_takes_effect() {
+        let mut s = Sampler::new(0.0, 9);
+        assert!(!s.should_sample());
+        s.set_rate(1.0);
+        assert!(s.should_sample());
+        assert_eq!(s.rate(), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_rates_clamped() {
+        let s = Sampler::new(7.5, 1);
+        assert_eq!(s.rate(), 1.0);
+        let s = Sampler::new(-2.0, 1);
+        assert_eq!(s.rate(), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The Space-Saving top-k algorithm (Metwally et al., ICDT 2005).
+//!
+//! This is the classical *server-side* heavy-hitter machinery a
+//! SwitchKV-style design runs on every storage node: a bounded set of
+//! counters that tracks approximate top-k keys of the stream each server
+//! sees. NetCache's contribution is making this unnecessary — the switch
+//! counts on-path (§1: the in-switch detector "obviates the need for
+//! building, deploying, and managing a separate monitoring component in
+//! the servers") — so this module exists for the comparison ablation.
+//!
+//! Guarantees: every key with true frequency > N/capacity is tracked, and
+//! each reported count overestimates the truth by at most the recorded
+//! error term.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+/// A Space-Saving sketch over keys of type `K`.
+///
+/// # Examples
+///
+/// ```
+/// use netcache_sketch::SpaceSaving;
+///
+/// let mut ss: SpaceSaving<u64> = SpaceSaving::new(4);
+/// for _ in 0..10 { ss.observe(1); }
+/// for _ in 0..5 { ss.observe(2); }
+/// let top = ss.top(2);
+/// assert_eq!(top[0].0, 1);
+/// assert_eq!(top[1].0, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K: Eq + Hash + Ord + Clone> {
+    capacity: usize,
+    /// key → (count, error).
+    counters: HashMap<K, (u64, u64)>,
+    /// (count, key) ordered set for O(log n) minimum lookup.
+    order: BTreeSet<(u64, K)>,
+    observed: u64,
+}
+
+impl<K: Eq + Hash + Ord + Clone> SpaceSaving<K> {
+    /// Creates a sketch tracking at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SpaceSaving {
+            capacity,
+            counters: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+            observed: 0,
+        }
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no key is tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Total observations fed to the sketch.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Approximate state size in bytes (for the ablation's memory
+    /// comparison; assumes 8-byte keys).
+    pub fn memory_bytes(&self) -> usize {
+        // count + error + key in the map, (count, key) in the order set.
+        self.capacity * (8 + 8 + 8 + 16)
+    }
+
+    /// Feeds one observation of `key`.
+    pub fn observe(&mut self, key: K) {
+        self.observed += 1;
+        if let Some(&(count, error)) = self.counters.get(&key) {
+            self.order.remove(&(count, key.clone()));
+            self.counters.insert(key.clone(), (count + 1, error));
+            self.order.insert((count + 1, key));
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key.clone(), (1, 0));
+            self.order.insert((1, key));
+            return;
+        }
+        // Replace the minimum: the newcomer inherits its count as error.
+        let (min_count, min_key) = self
+            .order
+            .first()
+            .cloned()
+            .expect("capacity > 0 and map full");
+        self.order.remove(&(min_count, min_key.clone()));
+        self.counters.remove(&min_key);
+        self.counters
+            .insert(key.clone(), (min_count + 1, min_count));
+        self.order.insert((min_count + 1, key));
+    }
+
+    /// The estimated count and error bound for `key`, if tracked.
+    pub fn estimate(&self, key: &K) -> Option<(u64, u64)> {
+        self.counters.get(key).copied()
+    }
+
+    /// The top `k` keys by estimated count, descending.
+    pub fn top(&self, k: usize) -> Vec<(K, u64)> {
+        self.order
+            .iter()
+            .rev()
+            .take(k)
+            .map(|(count, key)| (key.clone(), *count))
+            .collect()
+    }
+
+    /// Clears all counters (periodic epoch reset).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.order.clear();
+        self.observed = 0;
+    }
+
+    /// Merges another sketch into an aggregate view (the controller-side
+    /// aggregation a server-side design needs): counts for common keys
+    /// add; the result is trimmed back to `capacity`.
+    pub fn merge(&mut self, other: &SpaceSaving<K>) {
+        let snapshot: Vec<(K, u64)> = other
+            .counters
+            .iter()
+            .map(|(k, (c, _))| (k.clone(), *c))
+            .collect();
+        for (key, count) in snapshot {
+            for _ in 0..count {
+                self.observe(key.clone());
+            }
+        }
+        // `observe` already maintains the capacity bound.
+        self.observed = self.observed.saturating_sub(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut ss: SpaceSaving<u32> = SpaceSaving::new(8);
+        for i in 0..4u32 {
+            for _ in 0..=i {
+                ss.observe(i);
+            }
+        }
+        assert_eq!(ss.estimate(&3), Some((4, 0)));
+        assert_eq!(ss.estimate(&0), Some((1, 0)));
+        let top = ss.top(2);
+        assert_eq!(top[0], (3, 4));
+        assert_eq!(top[1], (2, 3));
+    }
+
+    #[test]
+    fn heavy_keys_survive_eviction_pressure() {
+        let mut ss: SpaceSaving<u32> = SpaceSaving::new(16);
+        // One heavy key amid a long tail of singletons.
+        for i in 0..2_000u32 {
+            ss.observe(1_000_000);
+            ss.observe(i);
+        }
+        let top = ss.top(1);
+        assert_eq!(top[0].0, 1_000_000);
+        let (count, error) = ss.estimate(&1_000_000).expect("tracked");
+        assert!(count >= 2_000, "count {count}");
+        assert!(count - error <= 2_000, "lower bound must not exceed truth");
+    }
+
+    #[test]
+    fn overestimates_bounded_by_error_term() {
+        let mut ss: SpaceSaving<u32> = SpaceSaving::new(4);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        let stream: Vec<u32> = (0..500).map(|i| (i * 7 % 23) as u32).collect();
+        for &k in &stream {
+            ss.observe(k);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        for (key, (count, error)) in ss.counters.iter() {
+            let t = truth[key];
+            assert!(*count >= t, "never underestimates");
+            assert!(count - error <= t, "error bound violated for {key}");
+        }
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut ss: SpaceSaving<u32> = SpaceSaving::new(8);
+        for i in 0..1_000u32 {
+            ss.observe(i);
+        }
+        assert_eq!(ss.len(), 8);
+    }
+
+    #[test]
+    fn merge_aggregates_shards() {
+        let mut a: SpaceSaving<u32> = SpaceSaving::new(8);
+        let mut b: SpaceSaving<u32> = SpaceSaving::new(8);
+        for _ in 0..10 {
+            a.observe(1);
+            b.observe(1);
+            b.observe(2);
+        }
+        a.merge(&b);
+        let top = a.top(2);
+        assert_eq!(top[0].0, 1);
+        assert!(top[0].1 >= 20);
+        assert_eq!(top[1].0, 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ss: SpaceSaving<u32> = SpaceSaving::new(4);
+        ss.observe(1);
+        ss.clear();
+        assert!(ss.is_empty());
+        assert_eq!(ss.observed(), 0);
+        assert_eq!(ss.estimate(&1), None);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests of the sketch guarantees the switch program relies on.
+
+use netcache_sketch::{BloomFilter, CountMinSketch, Sampler};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Count-Min never underestimates, for any stream over any geometry.
+    #[test]
+    fn cms_never_underestimates(
+        stream in proptest::collection::vec(0u16..64, 1..500),
+        depth in 1usize..=4,
+        width in 1usize..256,
+    ) {
+        let mut cms = CountMinSketch::new(depth, width, 7);
+        let mut truth: HashMap<u16, u16> = HashMap::new();
+        for k in stream {
+            cms.increment(&k.to_be_bytes());
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        for (k, count) in truth {
+            prop_assert!(
+                cms.estimate(&k.to_be_bytes()) >= count,
+                "key {} underestimated", k
+            );
+        }
+    }
+
+    /// Bloom filters have no false negatives, for any geometry.
+    #[test]
+    fn bloom_no_false_negatives(
+        inserted in proptest::collection::hash_set(any::<u32>(), 0..200),
+        partitions in 1usize..=4,
+        bits in 1usize..4096,
+    ) {
+        let mut bf = BloomFilter::new(partitions, bits, 3);
+        for k in &inserted {
+            bf.insert(&k.to_be_bytes());
+        }
+        for k in &inserted {
+            prop_assert!(bf.contains(&k.to_be_bytes()), "false negative for {}", k);
+        }
+    }
+
+    /// `insert` returns `true` at most once per distinct element between
+    /// clears (the report-dedup property the controller depends on).
+    #[test]
+    fn bloom_insert_true_at_most_once(
+        stream in proptest::collection::vec(0u32..32, 1..300),
+    ) {
+        let mut bf = BloomFilter::new(3, 4096, 5);
+        let mut first_reports: HashMap<u32, usize> = HashMap::new();
+        for k in stream {
+            if bf.insert(&k.to_be_bytes()) {
+                *first_reports.entry(k).or_insert(0) += 1;
+            }
+        }
+        for (k, times) in first_reports {
+            prop_assert!(times <= 1, "key {} reported {} times", k, times);
+        }
+    }
+
+    /// The sampler's long-run acceptance rate tracks the configured rate.
+    #[test]
+    fn sampler_rate_tracks_configuration(rate in 0.05f64..0.95, seed in any::<u64>()) {
+        let mut s = Sampler::new(rate, seed);
+        let n = 50_000;
+        let accepted = (0..n).filter(|_| s.should_sample()).count();
+        let observed = accepted as f64 / n as f64;
+        prop_assert!(
+            (observed - rate).abs() < 0.03,
+            "configured {} observed {}", rate, observed
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! The in-memory key-value store substrate.
+//!
+//! The paper's evaluation uses "a simple (not optimized) in-memory
+//! key-value store with TommyDS" (§6) behind the server agent. This crate
+//! is the equivalent substrate, built from scratch:
+//!
+//! - [`ChainedHashTable`] — a separate-chaining hash table in the spirit of
+//!   TommyDS's fixed-size chained tables, with incremental growth;
+//! - [`ShardedStore`] — per-core sharding over the table ("Our server agent
+//!   supports per-core sharding with Receive Side Scaling", §6);
+//! - [`Partitioner`] — the rack-level hash partitioning of the keyspace
+//!   across storage servers ("the key-value items are hash-partitioned to
+//!   the storage servers", §3).
+
+pub mod hashtable;
+pub mod partition;
+pub mod shard;
+
+pub use hashtable::ChainedHashTable;
+pub use partition::Partitioner;
+pub use shard::{ShardedStore, StoredItem};

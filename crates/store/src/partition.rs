@@ -1,0 +1,114 @@
+//! Rack-level hash partitioning of the keyspace (§3).
+//!
+//! "We assume the rack is dedicated for key-value storage and the key-value
+//! items are hash-partitioned to the storage servers." Clients compute the
+//! partition locally (they set the destination IP of the home server,
+//! §4.1), so the partitioner must be a pure deterministic function shared
+//! by clients, servers, the controller and the simulator.
+
+use netcache_proto::Key;
+
+/// A deterministic hash partitioner over a fixed number of partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioner {
+    partitions: u32,
+    seed: u64,
+}
+
+impl Partitioner {
+    /// Creates a partitioner over `partitions` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn new(partitions: u32, seed: u64) -> Self {
+        assert!(partitions > 0, "at least one partition required");
+        Partitioner { partitions, seed }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// The partition that owns `key`.
+    pub fn partition_of(&self, key: &Key) -> u32 {
+        let b = key.as_bytes();
+        let mut h = self.seed ^ 0x2545_f491_4f6c_dd1d;
+        for half in [&b[..8], &b[8..]] {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(half);
+            let mut v = u64::from_le_bytes(lane);
+            v ^= v >> 33;
+            v = v.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h = (h ^ v)
+                .rotate_left(27)
+                .wrapping_mul(5)
+                .wrapping_add(0x52dc_e729);
+        }
+        h ^= h >> 32;
+        // Multiply-shift reduction onto the partition range.
+        ((u128::from(h) * u128::from(self.partitions)) >> 64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = Partitioner::new(128, 9);
+        for i in 0..100u64 {
+            let k = Key::from_u64(i);
+            assert_eq!(p.partition_of(&k), p.partition_of(&k));
+        }
+    }
+
+    #[test]
+    fn in_range() {
+        let p = Partitioner::new(7, 3);
+        for i in 0..10_000u64 {
+            assert!(p.partition_of(&Key::from_u64(i)) < 7);
+        }
+    }
+
+    #[test]
+    fn roughly_balanced_for_uniform_keys() {
+        let n_parts = 128u32;
+        let p = Partitioner::new(n_parts, 1);
+        let n_keys = 128_000u64;
+        let mut counts = vec![0usize; n_parts as usize];
+        for i in 0..n_keys {
+            counts[p.partition_of(&Key::from_u64(i)) as usize] += 1;
+        }
+        let expected = (n_keys / u64::from(n_parts)) as usize;
+        for (part, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "partition {part}: {c} vs expected ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_partition_owns_all() {
+        let p = Partitioner::new(1, 5);
+        for i in 0..100u64 {
+            assert_eq!(p.partition_of(&Key::from_u64(i)), 0);
+        }
+    }
+
+    #[test]
+    fn seed_changes_assignment() {
+        let a = Partitioner::new(16, 1);
+        let b = Partitioner::new(16, 2);
+        let moved = (0..1000u64)
+            .filter(|&i| {
+                let k = Key::from_u64(i);
+                a.partition_of(&k) != b.partition_of(&k)
+            })
+            .count();
+        assert!(moved > 500, "only {moved} keys moved between seeds");
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-core sharded storage (§6).
+//!
+//! "Our server agent supports per-core sharding with Receive Side Scaling
+//! or DPDK Flow Director to handle highly concurrent workloads." A
+//! [`ShardedStore`] splits the key space across `shards` independently
+//! locked hash tables, hashed the way an RSS NIC would spread flows.
+
+use netcache_proto::{Key, Value};
+use parking_lot::Mutex;
+
+use crate::hashtable::ChainedHashTable;
+
+/// A stored item: the value plus its version (the SEQ of the write that
+/// produced it, used by the coherence protocol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredItem {
+    /// The value bytes.
+    pub value: Value,
+    /// Version of the last applied write.
+    pub version: u32,
+}
+
+/// A sharded, thread-safe key-value store.
+///
+/// # Examples
+///
+/// ```
+/// use netcache_store::ShardedStore;
+/// use netcache_proto::{Key, Value};
+///
+/// let store = ShardedStore::new(4);
+/// store.put(Key::from_u64(1), Value::filled(7, 16), 1);
+/// assert_eq!(store.get(&Key::from_u64(1)).unwrap().version, 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Mutex<ChainedHashTable<StoredItem>>>,
+}
+
+impl ShardedStore {
+    /// Creates a store with `shards` shards (one per core, typically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard required");
+        ShardedStore {
+            shards: (0..shards)
+                .map(|i| Mutex::new(ChainedHashTable::with_seed(0xabcd ^ i as u64)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index for `key` (RSS-style hash of the key bytes).
+    pub fn shard_of(&self, key: &Key) -> usize {
+        let b = key.as_bytes();
+        let mut h: u64 = 0x9747_b28c_8a65_4e3d;
+        for &byte in b {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // FNV's high bits are weak; finish with an avalanche so the
+        // multiply-shift reduction below sees well-mixed bits.
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        ((u128::from(h) * self.shards.len() as u128) >> 64) as usize
+    }
+
+    /// Reads the item for `key`.
+    pub fn get(&self, key: &Key) -> Option<StoredItem> {
+        self.shards[self.shard_of(key)].lock().get(key).cloned()
+    }
+
+    /// Writes `value` with `version`, returning the previous item.
+    pub fn put(&self, key: Key, value: Value, version: u32) -> Option<StoredItem> {
+        self.shards[self.shard_of(&key)]
+            .lock()
+            .insert(key, StoredItem { value, version })
+    }
+
+    /// Deletes `key`, returning the removed item.
+    pub fn delete(&self, key: &Key) -> Option<StoredItem> {
+        self.shards[self.shard_of(key)].lock().remove(key)
+    }
+
+    /// Total item count across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_delete() {
+        let s = ShardedStore::new(4);
+        assert!(s.put(Key::from_u64(1), Value::filled(1, 16), 1).is_none());
+        let item = s.get(&Key::from_u64(1)).unwrap();
+        assert_eq!(item.value, Value::filled(1, 16));
+        assert_eq!(item.version, 1);
+        let old = s.put(Key::from_u64(1), Value::filled(2, 16), 2).unwrap();
+        assert_eq!(old.version, 1);
+        assert_eq!(s.delete(&Key::from_u64(1)).unwrap().version, 2);
+        assert!(s.get(&Key::from_u64(1)).is_none());
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        let s = ShardedStore::new(16);
+        for i in 0..1000u64 {
+            let k = Key::from_u64(i);
+            let shard = s.shard_of(&k);
+            assert!(shard < 16);
+            assert_eq!(shard, s.shard_of(&k));
+        }
+    }
+
+    #[test]
+    fn shards_spread_keys() {
+        let s = ShardedStore::new(8);
+        let mut counts = [0usize; 8];
+        for i in 0..8000u64 {
+            counts[s.shard_of(&Key::from_u64(i))] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 500 && c < 2000, "shard {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let s = Arc::new(ShardedStore::new(8));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let k = Key::from_u64(t * 1000 + i);
+                    s.put(k, Value::for_item(i, 32), 1);
+                    assert!(s.get(&k).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 8000);
+    }
+}

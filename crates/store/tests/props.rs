@@ -1,0 +1,82 @@
+//! Model-based property tests: the chained hash table against
+//! `std::collections::HashMap`, and partitioner stability.
+
+use netcache_proto::Key;
+use netcache_store::{ChainedHashTable, Partitioner};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Update(u16, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        any::<u16>().prop_map(Op::Remove),
+        any::<u16>().prop_map(Op::Get),
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Update(k, v)),
+    ]
+}
+
+proptest! {
+    /// The chained table behaves exactly like `HashMap` under arbitrary
+    /// operation sequences (including growth).
+    #[test]
+    fn hashtable_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let mut table: ChainedHashTable<u32> = ChainedHashTable::new();
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let old = table.insert(Key::from_u64(u64::from(k)), v);
+                    prop_assert_eq!(old, model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(
+                        table.remove(&Key::from_u64(u64::from(k))),
+                        model.remove(&k)
+                    );
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(
+                        table.get(&Key::from_u64(u64::from(k))).copied(),
+                        model.get(&k).copied()
+                    );
+                }
+                Op::Update(k, v) => {
+                    let table_slot = table.get_mut(&Key::from_u64(u64::from(k)));
+                    let model_slot = model.get_mut(&k);
+                    prop_assert_eq!(table_slot.is_some(), model_slot.is_some());
+                    if let (Some(t), Some(m)) = (table_slot, model_slot) {
+                        *t = v;
+                        *m = v;
+                    }
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        // Full-content comparison at the end.
+        let mut contents: Vec<(u64, u32)> =
+            table.iter().map(|(k, v)| (k.low_u64(), *v)).collect();
+        contents.sort_unstable();
+        let mut expected: Vec<(u64, u32)> =
+            model.iter().map(|(k, v)| (u64::from(*k), *v)).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(contents, expected);
+    }
+
+    /// Partitioning is a pure function of (key, count, seed).
+    #[test]
+    fn partitioner_is_stable(key in any::<u64>(), parts in 1u32..4096, seed in any::<u64>()) {
+        let p1 = Partitioner::new(parts, seed);
+        let p2 = Partitioner::new(parts, seed);
+        let k = Key::from_u64(key);
+        prop_assert_eq!(p1.partition_of(&k), p2.partition_of(&k));
+        prop_assert!(p1.partition_of(&k) < parts);
+    }
+}

@@ -1,0 +1,236 @@
+//! Dynamic workloads (§7.1, §7.4): hot-in, random, hot-out.
+//!
+//! The Zipf sampler draws a popularity *rank*; a [`PopularityMap`] is the
+//! permutation from rank to key id. Workload changes permute the map:
+//!
+//! - **Hot-in** — "the N coldest keys are moved to the top of the
+//!   popularity ranks; other keys decrease their popularity ranks
+//!   accordingly" (a radical change: the new hot keys are not cached);
+//! - **Random** — "N hot keys are randomly selected from the top M hottest
+//!   keys, and are replaced with random N cold keys" (moderate);
+//! - **Hot-out** — "the N hottest keys are moved to the bottom of the
+//!   popularity ranks" (small: the next M−N keys are already cached).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The three dynamic workload patterns of §7.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicWorkload {
+    /// Coldest `n` keys become the hottest.
+    HotIn {
+        /// Change size N.
+        n: usize,
+    },
+    /// `n` random keys within the top `m` swap with random cold keys.
+    Random {
+        /// Change size N.
+        n: usize,
+        /// Cache size M (the band hot keys are drawn from).
+        m: usize,
+    },
+    /// Hottest `n` keys become the coldest.
+    HotOut {
+        /// Change size N.
+        n: usize,
+    },
+}
+
+/// A permutation from popularity rank to key id.
+///
+/// Starts as a virtual identity (rank `i` ↔ key `i`) that costs no memory
+/// — important for the 100M-key static workloads — and materializes into
+/// an explicit permutation only when a dynamic change first mutates it.
+///
+/// # Examples
+///
+/// ```
+/// use netcache_workload::PopularityMap;
+///
+/// let mut map = PopularityMap::identity(10);
+/// assert_eq!(map.key_of_rank(0), 0);
+/// map.hot_in(2); // the two coldest keys (8, 9) become hottest
+/// assert_eq!(map.key_of_rank(0), 8);
+/// assert_eq!(map.key_of_rank(1), 9);
+/// assert_eq!(map.key_of_rank(2), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PopularityMap {
+    /// Number of keys (authoritative for the identity representation).
+    n: usize,
+    /// `ranks[r]` is the key id at popularity rank `r`; empty while the
+    /// map is still the identity.
+    ranks: Option<Vec<u64>>,
+}
+
+impl PopularityMap {
+    /// The identity map: key `i` has rank `i`.
+    pub fn identity(n: usize) -> Self {
+        PopularityMap { n, ranks: None }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The key id at popularity rank `rank`.
+    pub fn key_of_rank(&self, rank: u64) -> u64 {
+        match &self.ranks {
+            Some(ranks) => ranks[rank as usize],
+            None => rank,
+        }
+    }
+
+    /// The hottest `count` key ids (rank order).
+    pub fn hottest(&self, count: usize) -> Vec<u64> {
+        let count = count.min(self.n);
+        match &self.ranks {
+            Some(ranks) => ranks[..count].to_vec(),
+            None => (0..count as u64).collect(),
+        }
+    }
+
+    fn materialize(&mut self) -> &mut Vec<u64> {
+        self.ranks
+            .get_or_insert_with(|| (0..self.n as u64).collect())
+    }
+
+    /// Applies a hot-in change of size `n`.
+    pub fn hot_in(&mut self, n: usize) {
+        let n = n.min(self.n);
+        self.materialize().rotate_right(n);
+    }
+
+    /// Applies a hot-out change of size `n`.
+    pub fn hot_out(&mut self, n: usize) {
+        let n = n.min(self.n);
+        self.materialize().rotate_left(n);
+    }
+
+    /// Applies a random change: `n` keys sampled from the top `m` swap
+    /// places with `n` keys sampled from the cold remainder.
+    pub fn random_replace<R: Rng + ?Sized>(&mut self, n: usize, m: usize, rng: &mut R) {
+        let len = self.n;
+        let m = m.min(len);
+        if m == 0 || m == len {
+            return;
+        }
+        let n = n.min(m).min(len - m);
+        // Choose n distinct hot ranks in 0..m and n distinct cold ranks in
+        // m..len, then swap them pairwise.
+        let mut hot: Vec<usize> = (0..m).collect();
+        hot.shuffle(rng);
+        let mut cold: Vec<usize> = (m..len).collect();
+        cold.shuffle(rng);
+        let ranks = self.materialize();
+        for i in 0..n {
+            ranks.swap(hot[i], cold[i]);
+        }
+    }
+
+    /// Applies `change` once.
+    pub fn apply<R: Rng + ?Sized>(&mut self, change: DynamicWorkload, rng: &mut R) {
+        match change {
+            DynamicWorkload::HotIn { n } => self.hot_in(n),
+            DynamicWorkload::Random { n, m } => self.random_replace(n, m, rng),
+            DynamicWorkload::HotOut { n } => self.hot_out(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    fn is_permutation(map: &PopularityMap) -> bool {
+        let mut seen = vec![false; map.len()];
+        for r in 0..map.len() as u64 {
+            let k = map.key_of_rank(r) as usize;
+            if seen[k] {
+                return false;
+            }
+            seen[k] = true;
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    #[test]
+    fn identity_maps_rank_to_key() {
+        let map = PopularityMap::identity(5);
+        for r in 0..5 {
+            assert_eq!(map.key_of_rank(r), r);
+        }
+    }
+
+    #[test]
+    fn hot_in_moves_coldest_to_top() {
+        let mut map = PopularityMap::identity(10);
+        map.hot_in(3);
+        assert_eq!(map.hottest(4), &[7, 8, 9, 0]);
+        assert!(is_permutation(&map));
+    }
+
+    #[test]
+    fn hot_out_moves_hottest_to_bottom() {
+        let mut map = PopularityMap::identity(10);
+        map.hot_out(3);
+        assert_eq!(map.hottest(3), &[3, 4, 5]);
+        assert_eq!(map.key_of_rank(9), 2);
+        assert!(is_permutation(&map));
+    }
+
+    #[test]
+    fn random_replace_keeps_permutation_and_moves_n_keys() {
+        let mut map = PopularityMap::identity(100);
+        let before: Vec<u64> = map.hottest(20).to_vec();
+        map.random_replace(5, 20, &mut rng());
+        assert!(is_permutation(&map));
+        let after = map.hottest(20);
+        let moved = before.iter().filter(|k| !after.contains(k)).count();
+        assert_eq!(moved, 5);
+    }
+
+    #[test]
+    fn repeated_hot_in_cycles() {
+        let mut map = PopularityMap::identity(6);
+        for _ in 0..6 {
+            map.hot_in(1);
+        }
+        // Six single rotations return to identity.
+        for r in 0..6 {
+            assert_eq!(map.key_of_rank(r), r);
+        }
+    }
+
+    #[test]
+    fn oversized_changes_clamped() {
+        let mut map = PopularityMap::identity(4);
+        map.hot_in(100);
+        assert!(is_permutation(&map));
+        map.hot_out(100);
+        assert!(is_permutation(&map));
+        map.random_replace(100, 100, &mut rng());
+        assert!(is_permutation(&map));
+    }
+
+    #[test]
+    fn apply_dispatches() {
+        let mut map = PopularityMap::identity(10);
+        map.apply(DynamicWorkload::HotIn { n: 2 }, &mut rng());
+        assert_eq!(map.key_of_rank(0), 8);
+        map.apply(DynamicWorkload::HotOut { n: 2 }, &mut rng());
+        map.apply(DynamicWorkload::Random { n: 2, m: 5 }, &mut rng());
+        assert!(is_permutation(&map));
+    }
+}

@@ -1,0 +1,19 @@
+//! Workload generation for the NetCache evaluation (§7.1).
+//!
+//! - [`ZipfGenerator`] — a fast approximate Zipf sampler ("Our client uses
+//!   approximation techniques to quickly generate queries under a Zipf
+//!   distribution", after Gray et al. SIGMOD'94, the same method YCSB
+//!   uses), with exact per-rank probabilities for the analytical models;
+//! - [`PopularityMap`] — the rank→key permutation, mutated by the three
+//!   dynamic workloads of §7.4 (hot-in, random, hot-out);
+//! - [`QueryMix`] — read/write mixes with independently skewed read and
+//!   write key distributions (Fig. 10(d) uses zipf reads with uniform or
+//!   zipf writes).
+
+pub mod dynamics;
+pub mod mix;
+pub mod zipf;
+
+pub use dynamics::{DynamicWorkload, PopularityMap};
+pub use mix::{QueryKind, QueryMix, WriteSkew};
+pub use zipf::ZipfGenerator;

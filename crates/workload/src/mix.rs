@@ -1,0 +1,186 @@
+//! Read/write query mixes (§7.1, Fig. 10(d)).
+//!
+//! Reads follow a Zipf distribution over popularity ranks; writes follow
+//! either a uniform distribution ("with uniform write queries, load across
+//! the storage servers is balanced") or the same skewed distribution as
+//! reads (the adversarial case where "the effect of caching would
+//! disappear").
+
+use rand::{Rng, RngExt};
+
+use crate::dynamics::PopularityMap;
+use crate::zipf::ZipfGenerator;
+
+/// How write keys are distributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteSkew {
+    /// Writes pick keys uniformly at random.
+    Uniform,
+    /// Writes follow the same Zipf distribution as reads.
+    SameAsReads,
+}
+
+/// One generated query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// A read of key id.
+    Get(u64),
+    /// A write of key id.
+    Put(u64),
+}
+
+impl QueryKind {
+    /// The key id this query targets.
+    pub fn key_id(&self) -> u64 {
+        match self {
+            QueryKind::Get(k) | QueryKind::Put(k) => *k,
+        }
+    }
+
+    /// Whether this is a write.
+    pub fn is_write(&self) -> bool {
+        matches!(self, QueryKind::Put(_))
+    }
+}
+
+/// A query generator combining a Zipf rank sampler, a popularity map and a
+/// write mix.
+#[derive(Debug, Clone)]
+pub struct QueryMix {
+    zipf: ZipfGenerator,
+    popularity: PopularityMap,
+    write_ratio: f64,
+    write_skew: WriteSkew,
+}
+
+impl QueryMix {
+    /// Creates a mix over `num_keys` keys with read skew `theta`,
+    /// `write_ratio ∈ [0,1]` writes, distributed per `write_skew`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_ratio` is outside `[0, 1]` (via assert) or `theta`
+    /// outside `[0, 1)` (via [`ZipfGenerator::new`]).
+    pub fn new(num_keys: u64, theta: f64, write_ratio: f64, write_skew: WriteSkew) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&write_ratio),
+            "write_ratio {write_ratio} outside [0,1]"
+        );
+        QueryMix {
+            zipf: ZipfGenerator::new(num_keys, theta),
+            popularity: PopularityMap::identity(num_keys as usize),
+            write_ratio,
+            write_skew,
+        }
+    }
+
+    /// A read-only mix (most experiments).
+    pub fn read_only(num_keys: u64, theta: f64) -> Self {
+        Self::new(num_keys, theta, 0.0, WriteSkew::Uniform)
+    }
+
+    /// The underlying Zipf sampler.
+    pub fn zipf(&self) -> &ZipfGenerator {
+        &self.zipf
+    }
+
+    /// The popularity map (mutable, for dynamic workloads).
+    pub fn popularity_mut(&mut self) -> &mut PopularityMap {
+        &mut self.popularity
+    }
+
+    /// The popularity map.
+    pub fn popularity(&self) -> &PopularityMap {
+        &self.popularity
+    }
+
+    /// Draws the next query.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> QueryKind {
+        let is_write = self.write_ratio > 0.0 && rng.random::<f64>() < self.write_ratio;
+        if is_write {
+            let key = match self.write_skew {
+                WriteSkew::Uniform => rng.random_range(0..self.zipf.n()),
+                WriteSkew::SameAsReads => self.popularity.key_of_rank(self.zipf.sample(rng)),
+            };
+            QueryKind::Put(key)
+        } else {
+            QueryKind::Get(self.popularity.key_of_rank(self.zipf.sample(rng)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn read_only_produces_only_gets() {
+        let mix = QueryMix::read_only(100, 0.99);
+        let mut r = rng();
+        assert!((0..1000).all(|_| !mix.sample(&mut r).is_write()));
+    }
+
+    #[test]
+    fn write_ratio_respected() {
+        let mix = QueryMix::new(1000, 0.9, 0.3, WriteSkew::Uniform);
+        let mut r = rng();
+        let n = 100_000;
+        let writes = (0..n).filter(|_| mix.sample(&mut r).is_write()).count();
+        let ratio = writes as f64 / n as f64;
+        assert!((ratio - 0.3).abs() < 0.01, "observed write ratio {ratio}");
+    }
+
+    #[test]
+    fn uniform_writes_are_spread() {
+        let mix = QueryMix::new(100, 0.99, 1.0, WriteSkew::Uniform);
+        let mut r = rng();
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[mix.sample(&mut r).key_id() as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            max < 2000,
+            "uniform writes should not concentrate: max {max}"
+        );
+    }
+
+    #[test]
+    fn skewed_writes_concentrate_on_hot_keys() {
+        let mix = QueryMix::new(10_000, 0.99, 1.0, WriteSkew::SameAsReads);
+        let mut r = rng();
+        let hot = (0..100_000)
+            .filter(|_| mix.sample(&mut r).key_id() < 100)
+            .count();
+        assert!(
+            hot > 50_000,
+            "zipf-.99 writes should mostly hit the head: {hot}/100000"
+        );
+    }
+
+    #[test]
+    fn popularity_map_reroutes_reads() {
+        let mut mix = QueryMix::read_only(1000, 0.99);
+        mix.popularity_mut().hot_in(10);
+        let mut r = rng();
+        // The most frequent keys must now be the formerly-coldest ids.
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(mix.sample(&mut r).key_id()).or_insert(0u64) += 1;
+        }
+        let top = counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&k, _)| k)
+            .unwrap();
+        assert!(
+            top >= 990,
+            "hottest key should be a rotated-in id, got {top}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Real-sockets cluster: the rack as separate threads exchanging NetCache
+//! frames over loopback UDP — the reproduction's analogue of the paper's
+//! DPDK client/server processes around a Tofino.
+//!
+//! Run with: `cargo run --release --example udp_cluster`
+
+use std::time::{Duration, Instant};
+
+use netcache::udp::UdpRack;
+use netcache::RackConfig;
+use netcache_client::Response;
+use netcache_proto::{Key, Value};
+use netcache_workload::QueryMix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut config = RackConfig::small(4);
+    config.controller.cache_capacity = 64;
+    let rack = UdpRack::start(config).expect("sockets bind on loopback");
+    println!("UDP rack up: switch at {}", rack.switch_addr());
+
+    rack.load_dataset(2_000, 64);
+    rack.populate_cache((0..64).map(Key::from_u64));
+    println!("dataset loaded, 64 hottest keys cached in the switch thread");
+
+    let mut client = rack.client(0);
+
+    // Round-trip a cached read and an uncached read over real sockets.
+    match client.get(Key::from_u64(3)) {
+        Some(Response::Value {
+            from_cache, value, ..
+        }) => {
+            println!(
+                "GET 3   -> {} bytes via {}",
+                value.len(),
+                if from_cache { "switch cache" } else { "server" }
+            )
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+    match client.get(Key::from_u64(1500)) {
+        Some(Response::Value { from_cache, .. }) => {
+            println!(
+                "GET 1500 -> via {}",
+                if from_cache { "switch cache" } else { "server" }
+            )
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    // Write-through coherence across threads and sockets.
+    client
+        .put(Key::from_u64(3), Value::filled(0x77, 64))
+        .expect("put acked");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match client.get(Key::from_u64(3)) {
+            Some(Response::Value {
+                value, from_cache, ..
+            }) if value == Value::filled(0x77, 64) => {
+                println!(
+                    "PUT 3 then GET -> new value via {} (coherent over UDP)",
+                    if from_cache { "switch cache" } else { "server" }
+                );
+                break;
+            }
+            _ if Instant::now() > deadline => panic!("cache update never landed"),
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+
+    // A short throughput burst with a skewed workload.
+    let mix = QueryMix::read_only(2_000, 0.99);
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 5_000;
+    let start = Instant::now();
+    let mut hits = 0;
+    for _ in 0..n {
+        let q = mix.sample(&mut rng);
+        if let Some(Response::Value {
+            from_cache: true, ..
+        }) = client.get(Key::from_u64(q.key_id()))
+        {
+            hits += 1;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "{n} zipf-0.99 reads in {secs:.2}s ({:.0} QPS over loopback), {:.1}% cache hits",
+        n as f64 / secs,
+        hits as f64 / n as f64 * 100.0
+    );
+
+    let stats = rack.switch_stats();
+    println!(
+        "switch thread stats: {} packets, {} hits, {} misses",
+        stats.packets, stats.cache_hits, stats.cache_misses
+    );
+    rack.stop();
+    println!("rack stopped cleanly");
+}

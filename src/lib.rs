@@ -1,0 +1,1 @@
+//! Workspace-level integration test host for the NetCache reproduction.

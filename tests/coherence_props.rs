@@ -1,0 +1,200 @@
+//! Property-based tests of the cache-coherence protocol and cross-crate
+//! invariants.
+//!
+//! The central property (§4.3): **a read acknowledged after a write never
+//! returns a value older than that write**, regardless of which packets
+//! the network drops. NetCache's write-through-with-invalidation makes
+//! this hold by construction — writes invalidate before they commit, and
+//! only the server (the serialization point) re-validates.
+
+use netcache::{Rack, RackConfig};
+use netcache_proto::{Key, Op, Value};
+use proptest::prelude::*;
+
+/// A scripted step in a coherence scenario.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Write `fill` (32-byte value) to key `k`.
+    Put { k: u8, fill: u8 },
+    /// Read key `k` and check freshness.
+    Get { k: u8 },
+    /// Drop the next cache-update packet.
+    DropUpdate,
+    /// Drop the next cache-update ack.
+    DropAck,
+    /// Advance time and run retransmission timers.
+    Tick,
+    /// Run a controller cycle.
+    Controller,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..8, any::<u8>()).prop_map(|(k, fill)| Step::Put { k, fill }),
+        (0u8..8).prop_map(|k| Step::Get { k }),
+        Just(Step::DropUpdate),
+        Just(Step::DropAck),
+        Just(Step::Tick),
+        Just(Step::Controller),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Reads never go backwards, under arbitrary interleavings of writes,
+    /// reads, scripted packet loss, timer ticks and controller cycles.
+    ///
+    /// Writes to a key whose cache update is in flight are *blocked* at
+    /// the server (§4.3) and commit later in FIFO order, so the visibility
+    /// contract is:
+    ///
+    /// - a read returns the value of some issued write (or the initial
+    ///   value before any write commits),
+    /// - reads are monotone: once a write's value has been observed (or
+    ///   its Put synchronously acknowledged), no older value reappears,
+    /// - after all retransmission timers drain, the *last issued* write is
+    ///   visible (blocked writes were released in order).
+    #[test]
+    fn reads_never_stale(steps in proptest::collection::vec(step_strategy(), 1..60)) {
+        let mut config = RackConfig::small(4);
+        config.controller.cache_capacity = 8;
+        let rack = Rack::new(config).expect("valid config");
+        rack.load_dataset(8, 32);
+        rack.populate_cache((0..8).map(Key::from_u64));
+        let mut client = rack.client(0);
+
+        // Per key: fills issued so far (unique: 1, 2, 3, ...) and the
+        // newest index known committed (observed or synchronously acked).
+        let mut issued: [Vec<u8>; 8] = Default::default();
+        let mut floor: [Option<usize>; 8] = [None; 8];
+
+        for step in steps {
+            match step {
+                Step::Put { k, fill: _ } => {
+                    let fill = (issued[k as usize].len() + 1) as u8;
+                    issued[k as usize].push(fill);
+                    // A blocked write (§4.3) produces no synchronous
+                    // reply; it commits later, in order.
+                    let resp = client.put(Key::from_u64(u64::from(k)), Value::filled(fill, 32));
+                    let acked = resp.is_some_and(|r| matches!(
+                        r.response(),
+                        netcache_client::Response::PutAck { .. }
+                    ));
+                    if acked {
+                        // A synchronous ack means this write committed.
+                        let idx = issued[k as usize].len() - 1;
+                        floor[k as usize] = Some(floor[k as usize].map_or(idx, |f| f.max(idx)));
+                    }
+                }
+                Step::Get { k } => {
+                    let resp = client
+                        .get(Key::from_u64(u64::from(k)))
+                        .expect("queries themselves are lossless here");
+                    let value = resp.value().expect("key always exists").clone();
+                    let ku = k as usize;
+                    if value == Value::for_item(u64::from(k), 32) {
+                        // Initial value: only valid before any commit.
+                        prop_assert!(
+                            floor[ku].is_none(),
+                            "key {}: initial value reappeared after commit",
+                            k
+                        );
+                    } else {
+                        let fill = value.as_bytes()[0];
+                        let idx = issued[ku].iter().position(|&f| f == fill);
+                        let idx = match idx {
+                            Some(i) => i,
+                            None => {
+                                prop_assert!(false, "key {}: unknown value {:#04x}", k, fill);
+                                unreachable!()
+                            }
+                        };
+                        prop_assert_eq!(
+                            value,
+                            Value::filled(fill, 32),
+                            "key {}: torn value",
+                            k
+                        );
+                        if let Some(f) = floor[ku] {
+                            prop_assert!(
+                                idx >= f,
+                                "key {}: stale read (index {} < committed floor {})",
+                                k, idx, f
+                            );
+                        }
+                        floor[ku] = Some(floor[ku].map_or(idx, |f| f.max(idx)));
+                    }
+                }
+                Step::DropUpdate => rack.faults().drop_next(Op::CacheUpdate, 1),
+                Step::DropAck => rack.faults().drop_next(Op::CacheUpdateAck, 1),
+                Step::Tick => {
+                    rack.advance(1_000_000);
+                    rack.tick();
+                }
+                Step::Controller => {
+                    rack.advance(100_000_000);
+                    rack.run_controller();
+                }
+            }
+        }
+        // Drain retransmissions and blocked-write releases; afterwards the
+        // last issued write must be visible for every key.
+        for _ in 0..8 {
+            rack.advance(1_000_000);
+            rack.tick();
+        }
+        for k in 0..8u64 {
+            let resp = client.get(Key::from_u64(k)).expect("reply");
+            let expected = match issued[k as usize].last() {
+                Some(&fill) => Value::filled(fill, 32),
+                None => Value::for_item(k, 32),
+            };
+            prop_assert_eq!(resp.value().expect("value"), &expected, "final key {}", k);
+        }
+    }
+
+    /// The wire format round-trips arbitrary packets end-to-end.
+    #[test]
+    fn packet_roundtrip(
+        op_idx in 0usize..5,
+        seq in any::<u32>(),
+        key in any::<u64>(),
+        // Zero-length values are documented to decode as "no value"; the
+        // round-trip property holds for 1..=128.
+        len in 1usize..=128,
+        fill in any::<u8>(),
+    ) {
+        use netcache_proto::Packet;
+        let key = Key::from_u64(key);
+        let pkt = match op_idx {
+            0 => Packet::get_query(1, 0x0a000001, 0x0a000101, key, seq),
+            1 => Packet::put_query(1, 0x0a000001, 0x0a000101, key, seq, Value::filled(fill, len)),
+            2 => Packet::delete_query(1, 0x0a000001, 0x0a000101, key, seq),
+            3 => Packet::cache_update(0x0a000101, 0x0a0000fe, key, seq, Value::filled(fill, len)),
+            _ => Packet::get_query(1, 0x0a000001, 0x0a000101, key, seq)
+                .into_reply(Op::GetReplyHit, Some(Value::filled(fill, len))),
+        };
+        let parsed = Packet::parse(&pkt.deparse()).expect("round trip parses");
+        prop_assert_eq!(parsed, pkt);
+    }
+
+    /// The partitioner, client and controller agree on key homes.
+    #[test]
+    fn partitioning_agrees_across_components(key_id in any::<u64>(), servers in 1u32..64) {
+        let mut config = RackConfig::small(servers.min(56));
+        config.servers = servers.min(56);
+        let rack = Rack::new(config).expect("valid config");
+        let key = Key::from_u64(key_id);
+        let home = rack.addressing().home_of(&key);
+        prop_assert!(home.server < servers.min(56));
+        prop_assert_eq!(u32::from(home.egress_port), home.server);
+        // The client library must target the same server IP.
+        let mut client = rack.client(0);
+        let pkt = client.inner_mut().get(key);
+        prop_assert_eq!(pkt.ipv4.dst, home.server_ip);
+    }
+}

@@ -1,0 +1,114 @@
+//! Concurrency soak: many client threads, a controller thread and a timer
+//! thread hammer one rack. Checks for deadlocks, lost updates on disjoint
+//! keyspaces and internal consistency under contention.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use netcache::{Rack, RackConfig};
+use netcache_proto::{Key, Value};
+
+#[test]
+fn threads_hammering_one_rack() {
+    let mut config = RackConfig::small(8);
+    config.controller.cache_capacity = 32;
+    config.switch.hot_threshold = 8;
+    let rack = Arc::new(Rack::new(config).expect("valid config"));
+    rack.load_dataset(1_000, 64);
+    rack.populate_cache((0..32).map(Key::from_u64));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // Four client threads, each owning a disjoint key range for writes
+    // and reading shared hot keys.
+    for t in 0..4u32 {
+        let rack = Arc::clone(&rack);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut client = rack.client(t);
+            let base = 2_000 + u64::from(t) * 100;
+            let mut round = 0u8;
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                round = round.wrapping_add(1);
+                for k in 0..10u64 {
+                    let key = Key::from_u64(base + k);
+                    let value = Value::filled(round ^ k as u8, 32);
+                    client.put(key, value.clone()).expect("put ack");
+                    let read = client.get(key).expect("reply");
+                    assert_eq!(
+                        read.value().expect("value"),
+                        &value,
+                        "thread {t} lost its own write"
+                    );
+                    // Shared hot read.
+                    let hot = client.get(Key::from_u64(k)).expect("reply");
+                    assert_eq!(
+                        hot.value().expect("value"),
+                        &Value::for_item(k, 64),
+                        "hot key corrupted"
+                    );
+                    ops += 3;
+                }
+            }
+            ops
+        }));
+    }
+
+    // Controller thread: cycles + occasional reorganization.
+    {
+        let rack = Arc::clone(&rack);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut cycles = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                rack.advance(10_000_000);
+                rack.run_controller();
+                if cycles % 7 == 0 {
+                    rack.reorganize_cache();
+                }
+                cycles += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            cycles
+        }));
+    }
+
+    // Timer thread: retransmissions.
+    {
+        let rack = Arc::clone(&rack);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut ticks = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                rack.advance(1_000_000);
+                rack.tick();
+                ticks += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            ticks
+        }));
+    }
+
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    stop.store(true, Ordering::Relaxed);
+    let mut total_ops = 0u64;
+    for h in handles {
+        total_ops += h.join().expect("no thread panicked");
+    }
+    assert!(total_ops > 1_000, "soak did almost no work: {total_ops}");
+
+    // Post-mortem consistency: every hot key still serves its dataset
+    // value, and the switch still serves cache hits.
+    let mut client = rack.client(0);
+    let mut hits = 0;
+    for k in 0..32u64 {
+        let resp = client.get(Key::from_u64(k)).expect("reply");
+        assert_eq!(resp.value().expect("value"), &Value::for_item(k, 64));
+        if resp.served_by_cache() {
+            hits += 1;
+        }
+    }
+    assert!(hits > 0, "cache should still be serving after the soak");
+}

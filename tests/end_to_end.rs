@@ -1,0 +1,241 @@
+//! Workspace integration tests: full-rack behaviour across crates.
+
+use netcache::{Rack, RackConfig};
+use netcache_proto::{Key, Op, Value};
+use netcache_workload::QueryMix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rack(servers: u32, cache: usize) -> Rack {
+    let mut config = RackConfig::small(servers);
+    config.controller.cache_capacity = cache;
+    let rack = Rack::new(config).expect("valid rack config");
+    rack.load_dataset(2_000, 64);
+    rack
+}
+
+#[test]
+fn every_loaded_key_is_readable() {
+    let r = rack(8, 32);
+    let mut c = r.client(0);
+    for id in (0..2_000).step_by(97) {
+        let resp = c.get(Key::from_u64(id)).expect("reply");
+        assert_eq!(
+            resp.value().expect("value"),
+            &Value::for_item(id, 64),
+            "key {id}"
+        );
+    }
+}
+
+#[test]
+fn crud_lifecycle() {
+    let r = rack(4, 16);
+    let mut c = r.client(0);
+    let key = Key::from_u64(5_000); // not in the loaded dataset
+    assert!(c.get(key).expect("reply").not_found());
+    c.put(key, Value::filled(1, 32)).expect("put ack");
+    assert_eq!(
+        c.get(key).expect("reply").value().expect("value"),
+        &Value::filled(1, 32)
+    );
+    c.put(key, Value::filled(2, 32)).expect("put ack");
+    assert_eq!(
+        c.get(key).expect("reply").value().expect("value"),
+        &Value::filled(2, 32)
+    );
+    c.delete(key).expect("delete ack");
+    assert!(c.get(key).expect("reply").not_found());
+}
+
+#[test]
+fn cache_hits_bypass_servers_entirely() {
+    let r = rack(8, 32);
+    r.populate_cache((0..32).map(Key::from_u64));
+    let mut c = r.client(0);
+    let gets_before: u64 = (0..8).map(|i| r.server_stats(i).gets).sum();
+    for id in 0..32 {
+        assert!(c.get(Key::from_u64(id)).expect("reply").served_by_cache());
+    }
+    let gets_after: u64 = (0..8).map(|i| r.server_stats(i).gets).sum();
+    assert_eq!(
+        gets_before, gets_after,
+        "cached reads must not touch servers"
+    );
+}
+
+#[test]
+fn write_heavy_churn_stays_coherent() {
+    // Interleave writes and reads on cached keys; the cache must never
+    // return a value other than the most recently acknowledged write.
+    let r = rack(4, 16);
+    r.populate_cache((0..16).map(Key::from_u64));
+    let mut c = r.client(0);
+    for round in 0u8..20 {
+        for id in 0..16u64 {
+            let value = Value::filled(round.wrapping_mul(16).wrapping_add(id as u8), 48);
+            c.put(Key::from_u64(id), value.clone()).expect("put ack");
+            let read = c.get(Key::from_u64(id)).expect("reply");
+            assert_eq!(
+                read.value().expect("value"),
+                &value,
+                "round {round} key {id}"
+            );
+        }
+    }
+    // After the churn, reads are served by the cache again (updates
+    // re-validated the entries).
+    let resp = c.get(Key::from_u64(3)).expect("reply");
+    assert!(
+        resp.served_by_cache(),
+        "cache should be valid after updates"
+    );
+}
+
+#[test]
+fn coherence_survives_scripted_update_loss() {
+    let r = rack(4, 16);
+    r.populate_cache((0..16).map(Key::from_u64));
+    let mut c = r.client(0);
+    // Lose every first transmission: retries (driven by tick) must heal.
+    for id in 0..8u64 {
+        r.faults().drop_next(Op::CacheUpdate, 1);
+        c.put(Key::from_u64(id), Value::for_item(id + 100, 64))
+            .expect("ack");
+    }
+    // Reads must serve the new values from the servers meanwhile.
+    for id in 0..8u64 {
+        let resp = c.get(Key::from_u64(id)).expect("reply");
+        assert_eq!(resp.value().expect("value"), &Value::for_item(id + 100, 64));
+    }
+    // Heal and verify cache serves the new values.
+    r.advance(1_000_000);
+    r.tick();
+    for id in 0..8u64 {
+        let resp = c.get(Key::from_u64(id)).expect("reply");
+        assert!(resp.served_by_cache(), "key {id} not healed");
+        assert_eq!(resp.value().expect("value"), &Value::for_item(id + 100, 64));
+    }
+}
+
+#[test]
+fn controller_tracks_changing_popularity() {
+    let mut config = RackConfig::small(8);
+    config.controller.cache_capacity = 8;
+    config.switch.hot_threshold = 8;
+    let r = Rack::new(config).expect("valid config");
+    r.load_dataset(1_000, 32);
+    r.populate_cache((0..8).map(Key::from_u64));
+    let mut c = r.client(0);
+
+    // Shift the hotspot to keys 500..508.
+    for _ in 0..40 {
+        for id in 500..508u64 {
+            c.get(Key::from_u64(id)).expect("reply");
+        }
+    }
+    r.advance(1_100_000_000);
+    r.run_controller();
+    let cached_new = (500..508u64)
+        .filter(|&id| r.is_cached(&Key::from_u64(id)))
+        .count();
+    assert!(
+        cached_new >= 4,
+        "only {cached_new} of the new hot keys cached"
+    );
+}
+
+#[test]
+fn zipf_traffic_mostly_hits_with_warm_cache() {
+    let mut config = RackConfig::small(8);
+    config.controller.cache_capacity = 64;
+    let r = Rack::new(config).expect("valid config");
+    r.load_dataset(2_000, 64);
+    r.populate_cache((0..64).map(Key::from_u64));
+    let mix = QueryMix::read_only(2_000, 0.99);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut c = r.client(0);
+    let n = 5_000;
+    let mut hits = 0;
+    for _ in 0..n {
+        let q = mix.sample(&mut rng);
+        if c.get(Key::from_u64(q.key_id()))
+            .expect("reply")
+            .served_by_cache()
+        {
+            hits += 1;
+        }
+    }
+    let ratio = hits as f64 / n as f64;
+    // Top-64 of 2000 at zipf-.99 is roughly half the mass.
+    assert!(ratio > 0.35, "hit ratio {ratio}");
+}
+
+#[test]
+fn per_client_isolation() {
+    // Two clients with interleaved writes to disjoint keys never observe
+    // each other's values.
+    let r = rack(4, 16);
+    let mut c0 = r.client(0);
+    let mut c1 = r.client(1);
+    for round in 0u8..10 {
+        c0.put(Key::from_u64(3_000), Value::filled(round, 16))
+            .expect("ack");
+        c1.put(Key::from_u64(3_001), Value::filled(round ^ 0xff, 16))
+            .expect("ack");
+        assert_eq!(
+            c0.get(Key::from_u64(3_000))
+                .expect("reply")
+                .value()
+                .expect("v"),
+            &Value::filled(round, 16)
+        );
+        assert_eq!(
+            c1.get(Key::from_u64(3_001))
+                .expect("reply")
+                .value()
+                .expect("v"),
+            &Value::filled(round ^ 0xff, 16)
+        );
+    }
+}
+
+#[test]
+fn switch_reboot_then_full_recovery() {
+    let mut config = RackConfig::small(4);
+    config.controller.cache_capacity = 16;
+    config.switch.hot_threshold = 8;
+    let r = Rack::new(config).expect("valid config");
+    r.load_dataset(500, 64);
+    r.populate_cache((0..16).map(Key::from_u64));
+    let mut c = r.client(0);
+    assert!(c.get(Key::from_u64(1)).expect("reply").served_by_cache());
+
+    r.reboot_switch();
+    // Data still served (by servers), values intact.
+    let resp = c.get(Key::from_u64(1)).expect("reply");
+    assert!(!resp.served_by_cache());
+    assert_eq!(resp.value().expect("v"), &Value::for_item(1, 64));
+
+    // The cache refills through the normal heavy-hitter path.
+    for _ in 0..40 {
+        c.get(Key::from_u64(1)).expect("reply");
+    }
+    r.run_controller();
+    assert!(c.get(Key::from_u64(1)).expect("reply").served_by_cache());
+}
+
+#[test]
+fn values_of_every_size_round_trip_through_cache() {
+    let r = rack(4, 16);
+    let mut c = r.client(0);
+    for (i, len) in [1usize, 15, 16, 17, 33, 64, 127, 128].iter().enumerate() {
+        let key = Key::from_u64(9_000 + i as u64);
+        let value = Value::for_item(i as u64, *len);
+        c.put(key, value.clone()).expect("ack");
+        r.populate_cache([key]);
+        let resp = c.get(key).expect("reply");
+        assert!(resp.served_by_cache(), "len {len}");
+        assert_eq!(resp.value().expect("v"), &value, "len {len}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Multi-pipe integration: the paper places value tables per egress pipe
+//! ("Each egress pipe only stores the cached values for servers that
+//! connect to it", §4.4.4) and replicates the lookup table per ingress
+//! pipe. These tests run a rack on a 2-pipe and a 4-pipe switch and check
+//! that caching, coherence and the controller work across pipes.
+
+use netcache::{Rack, RackConfig};
+use netcache_proto::{Key, Value};
+
+fn multi_pipe_rack(pipes: usize, servers: u32) -> Rack {
+    let mut config = RackConfig::small(servers);
+    config.switch.pipes = pipes;
+    config.switch.ports = (servers + 8) as usize;
+    config.controller.cache_capacity = 32;
+    let rack = Rack::new(config).expect("valid config");
+    rack.load_dataset(1_000, 64);
+    rack
+}
+
+/// Finds keys homed in each pipe so tests can target them deliberately.
+fn keys_per_pipe(rack: &Rack, pipes: usize, per_pipe: usize) -> Vec<Vec<Key>> {
+    let mut buckets: Vec<Vec<Key>> = vec![Vec::new(); pipes];
+    for id in 0..1_000u64 {
+        let key = Key::from_u64(id);
+        let home = rack.addressing().home_of(&key);
+        if buckets[home.pipe].len() < per_pipe {
+            buckets[home.pipe].push(key);
+        }
+        if buckets.iter().all(|b| b.len() >= per_pipe) {
+            break;
+        }
+    }
+    buckets
+}
+
+#[test]
+fn values_cached_and_served_in_both_pipes() {
+    let rack = multi_pipe_rack(2, 12);
+    let buckets = keys_per_pipe(&rack, 2, 4);
+    assert!(
+        buckets.iter().all(|b| !b.is_empty()),
+        "dataset must span both pipes"
+    );
+    for bucket in &buckets {
+        rack.populate_cache(bucket.iter().copied());
+    }
+    let mut client = rack.client(0);
+    for (pipe, bucket) in buckets.iter().enumerate() {
+        for key in bucket {
+            let resp = client.get(*key).expect("reply");
+            assert!(resp.served_by_cache(), "pipe {pipe} key {key} not cached");
+            assert_eq!(
+                resp.value().expect("value"),
+                &Value::for_item(key.low_u64(), 64)
+            );
+        }
+    }
+}
+
+#[test]
+fn coherence_works_across_pipes() {
+    let rack = multi_pipe_rack(2, 12);
+    let buckets = keys_per_pipe(&rack, 2, 2);
+    for bucket in &buckets {
+        rack.populate_cache(bucket.iter().copied());
+    }
+    let mut client = rack.client(0);
+    for bucket in &buckets {
+        for key in bucket {
+            client.put(*key, Value::filled(0x5a, 64)).expect("ack");
+            let resp = client.get(*key).expect("reply");
+            assert!(resp.served_by_cache(), "update must land in the right pipe");
+            assert_eq!(resp.value().expect("value"), &Value::filled(0x5a, 64));
+        }
+    }
+}
+
+#[test]
+fn controller_learns_hot_keys_in_every_pipe() {
+    let mut config = RackConfig::small(12);
+    config.switch.pipes = 2;
+    config.switch.ports = 20;
+    config.controller.cache_capacity = 16;
+    config.switch.hot_threshold = 8;
+    let rack = Rack::new(config).expect("valid config");
+    rack.load_dataset(1_000, 64);
+    let buckets = keys_per_pipe(&rack, 2, 1);
+    let mut client = rack.client(0);
+    for bucket in &buckets {
+        for key in bucket {
+            for _ in 0..40 {
+                client.get(*key).expect("reply");
+            }
+        }
+    }
+    rack.run_controller();
+    for (pipe, bucket) in buckets.iter().enumerate() {
+        for key in bucket {
+            assert!(
+                client.get(*key).expect("reply").served_by_cache(),
+                "pipe {pipe} hot key not inserted"
+            );
+        }
+    }
+}
+
+#[test]
+fn four_pipes_full_stack() {
+    let rack = multi_pipe_rack(4, 28);
+    let buckets = keys_per_pipe(&rack, 4, 2);
+    assert!(buckets.iter().all(|b| !b.is_empty()), "keys in all 4 pipes");
+    for bucket in &buckets {
+        rack.populate_cache(bucket.iter().copied());
+    }
+    let mut client = rack.client(0);
+    let mut hits = 0;
+    for bucket in &buckets {
+        for key in bucket {
+            if client.get(*key).expect("reply").served_by_cache() {
+                hits += 1;
+            }
+        }
+    }
+    assert_eq!(hits, 8, "all cached keys served from their pipes");
+}

@@ -1,0 +1,112 @@
+//! Memory reorganization end-to-end (§4.4.2).
+//!
+//! Consolidation itself (stranded free units becoming a whole bin) is
+//! covered at the allocator level in `netcache-controller`'s unit and
+//! property tests, where item counts can exceed bin counts. At rack level
+//! the critical property is *safety*: a reorganization moves live values
+//! between register slots while queries fly, and must never corrupt a
+//! value, lose cache residency of a valid entry, or resurrect an invalid
+//! one.
+
+use netcache::{Rack, RackConfig};
+use netcache_proto::{Key, Value};
+
+/// A rack whose value memory is small (8 arrays × 8 indexes = 64 units)
+/// so reorganizations actually move things.
+fn tiny_memory_rack() -> Rack {
+    let mut config = RackConfig::small(4);
+    config.switch.value_slots = 8;
+    config.switch.cache_capacity = 8;
+    config.controller.cache_capacity = 8;
+    Rack::new(config).expect("valid config")
+}
+
+/// Fills the cache with mixed-size items and fragments it by eviction.
+fn fragmented_rack() -> (Rack, Vec<(u64, usize)>) {
+    let r = tiny_memory_rack();
+    let mut c = r.client(0);
+    let sizes = [48usize, 80, 16, 128, 48, 80, 16, 48];
+    let mut live = Vec::new();
+    for (id, &len) in sizes.iter().enumerate() {
+        let id = id as u64;
+        c.put(Key::from_u64(id), Value::for_item(id, len))
+            .expect("ack");
+        live.push((id, len));
+    }
+    r.populate_cache((0..8).map(Key::from_u64));
+    // Evict a couple of mid-bin items to scatter free units.
+    r.with_switch(|sw| {
+        r.with_controller(|ctl| {
+            ctl.evict_key(sw, &Key::from_u64(1));
+            ctl.evict_key(sw, &Key::from_u64(4));
+        })
+    });
+    live.retain(|(id, _)| *id != 1 && *id != 4);
+    (r, live)
+}
+
+#[test]
+fn moves_preserve_every_value_and_residency() {
+    let (r, live) = fragmented_rack();
+    let moved = r.reorganize_cache();
+    assert!(moved > 0, "fragmented memory should produce moves");
+    let mut c = r.client(0);
+    for (id, len) in live {
+        let resp = c.get(Key::from_u64(id)).expect("reply");
+        assert!(resp.served_by_cache(), "key {id} lost cache residency");
+        assert_eq!(
+            resp.value().expect("value"),
+            &Value::for_item(id, len),
+            "key {id} corrupted by the move"
+        );
+    }
+}
+
+#[test]
+fn reorganization_is_idempotent() {
+    let (r, live) = fragmented_rack();
+    r.reorganize_cache();
+    let second = r.reorganize_cache();
+    assert_eq!(second, 0, "a freshly packed cache has nothing to move");
+    let mut c = r.client(0);
+    for (id, len) in live {
+        assert_eq!(
+            c.get(Key::from_u64(id)).expect("reply").value().expect("v"),
+            &Value::for_item(id, len)
+        );
+    }
+}
+
+#[test]
+fn invalid_entries_stay_invalid_across_moves() {
+    let (r, _) = fragmented_rack();
+    let mut c = r.client(0);
+    // Make key 2 invalid: drop its update and all retries.
+    r.faults().drop_next(netcache_proto::Op::CacheUpdate, 6);
+    c.put(Key::from_u64(2), Value::filled(0x99, 16))
+        .expect("ack");
+    r.reorganize_cache();
+    // Key 2 must still be served by the server with the new value — the
+    // moved stale copy must not have been revalidated.
+    let resp = c.get(Key::from_u64(2)).expect("reply");
+    assert!(!resp.served_by_cache(), "invalid entry resurrected by move");
+    assert_eq!(resp.value().expect("v"), &Value::filled(0x99, 16));
+}
+
+#[test]
+fn writes_after_reorganization_stay_coherent() {
+    let (r, live) = fragmented_rack();
+    r.reorganize_cache();
+    let mut c = r.client(0);
+    // Write-through must target the *new* slots.
+    for (id, len) in &live {
+        c.put(Key::from_u64(*id), Value::filled(*id as u8, *len))
+            .expect("ack");
+        let resp = c.get(Key::from_u64(*id)).expect("reply");
+        assert!(
+            resp.served_by_cache(),
+            "key {id} update missed the moved slots"
+        );
+        assert_eq!(resp.value().expect("v"), &Value::filled(*id as u8, *len));
+    }
+}

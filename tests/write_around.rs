@@ -1,0 +1,94 @@
+//! Write-around ablation (§4.3): why NetCache updates the cache in the
+//! data plane rather than letting the control plane refresh it.
+
+use netcache::{Rack, RackConfig};
+use netcache_proto::{Key, Value};
+
+fn rack(dataplane_updates: bool) -> Rack {
+    let mut config = RackConfig::small(4);
+    config.controller.cache_capacity = 16;
+    config.dataplane_updates = dataplane_updates;
+    let rack = Rack::new(config).expect("valid config");
+    rack.load_dataset(100, 64);
+    rack.populate_cache((0..16).map(Key::from_u64));
+    rack
+}
+
+#[test]
+fn write_around_leaves_entry_invalid_until_controller_repairs() {
+    let r = rack(false);
+    let mut c = r.client(0);
+    c.put(Key::from_u64(3), Value::filled(0x33, 64))
+        .expect("ack");
+    // No data-plane update: reads keep falling through to the server.
+    let resp = c.get(Key::from_u64(3)).expect("reply");
+    assert!(
+        !resp.served_by_cache(),
+        "write-around must not heal in-band"
+    );
+    assert_eq!(resp.value().expect("v"), &Value::filled(0x33, 64));
+    assert_eq!(
+        r.server_stats(r.addressing().home_of(&Key::from_u64(3)).server)
+            .updates_sent,
+        0
+    );
+
+    // The controller's repair pass refreshes the entry.
+    r.advance(100_000_000);
+    r.run_controller();
+    assert!(
+        r.controller_stats().repairs >= 1,
+        "{:?}",
+        r.controller_stats()
+    );
+    let resp = c.get(Key::from_u64(3)).expect("reply");
+    assert!(resp.served_by_cache());
+    assert_eq!(resp.value().expect("v"), &Value::filled(0x33, 64));
+}
+
+#[test]
+fn write_through_heals_immediately_no_repairs_needed() {
+    let r = rack(true);
+    let mut c = r.client(0);
+    c.put(Key::from_u64(3), Value::filled(0x33, 64))
+        .expect("ack");
+    assert!(c.get(Key::from_u64(3)).expect("reply").served_by_cache());
+    r.advance(100_000_000);
+    r.run_controller();
+    assert_eq!(r.controller_stats().repairs, 0);
+}
+
+#[test]
+fn repair_evicts_oversized_values() {
+    // A write grows the value beyond its allocated slots: the data plane
+    // refuses the update; the repair pass must evict rather than corrupt.
+    let r = rack(true);
+    let mut c = r.client(0);
+    // Key 3 was cached with 64 B (4 units); write 128 B (8 units).
+    c.put(Key::from_u64(3), Value::filled(0x44, 128))
+        .expect("ack");
+    let resp = c.get(Key::from_u64(3)).expect("reply");
+    assert!(!resp.served_by_cache(), "oversized update cannot apply");
+    assert_eq!(resp.value().expect("v"), &Value::filled(0x44, 128));
+
+    r.advance(100_000_000);
+    r.run_controller();
+    // The repair pass could not reuse 4 slots for 8 units: entry evicted
+    // (and possibly re-inserted later by the HH path with a fresh slot).
+    let resp = c.get(Key::from_u64(3)).expect("reply");
+    assert_eq!(resp.value().expect("v"), &Value::filled(0x44, 128));
+}
+
+#[test]
+fn repair_pass_handles_deleted_keys() {
+    let r = rack(false);
+    let mut c = r.client(0);
+    c.delete(Key::from_u64(5)).expect("ack");
+    r.advance(100_000_000);
+    r.run_controller();
+    assert!(
+        !r.is_cached(&Key::from_u64(5)),
+        "deleted key must be evicted"
+    );
+    assert!(c.get(Key::from_u64(5)).expect("reply").not_found());
+}
