@@ -50,10 +50,8 @@ fn bench_alloc(c: &mut Criterion) {
     // Reorganization cost at prototype-ish scale.
     group.bench_function("reorganize_4k_items", |b| {
         let mut frag = SlotAllocator::new(8, 4_096);
-        let mut id = 0u64;
-        for _ in 0..4_096 {
+        for id in 0..4_096u64 {
             frag.insert(Key::from_u64(id), (id % 4 + 1) as usize);
-            id += 1;
         }
         b.iter(|| {
             let mut copy = frag.clone();

@@ -139,6 +139,19 @@ impl NetCacheClient {
         }
     }
 
+    /// Starts sequence numbering at `seq` (0 is promoted to 1 — the wire
+    /// format reserves seq 0 for "untracked").
+    ///
+    /// Servers deduplicate retransmitted writes by `(source IP, seq)`, so
+    /// two client instances that share an IP must not reuse each other's
+    /// recent sequence numbers — the second instance's fresh writes would
+    /// be mistaken for retransmissions of the first's. Hosts that recreate
+    /// clients give each instance a disjoint epoch (cf. TCP initial
+    /// sequence numbers).
+    pub fn start_seq_at(&mut self, seq: u32) {
+        self.next_seq = seq.max(1);
+    }
+
     /// The partition that owns `key`.
     pub fn partition_of(&self, key: &Key) -> u32 {
         self.partitioner.partition_of(key)

@@ -40,6 +40,16 @@ pub trait ServerBackend {
     fn lock_writes(&mut self, home: &KeyHome, key: Key);
     /// Unblocks writes to `key`.
     fn unlock_writes(&mut self, home: &KeyHome, key: Key);
+    /// Tells the home server that `key` is now in the switch cache, so
+    /// writes it sees without the switch's cached-op rewrite (e.g. ones
+    /// blocked during the insertion) still emit cache updates. Default:
+    /// no-op, for backends that don't track membership.
+    fn mark_cached(&mut self, _home: &KeyHome, _key: Key) {}
+    /// Tells the home server that `key` left the switch cache. Called
+    /// lazily (evictions queue the notification until the next backend
+    /// call); a stale mark is safe — the switch acks updates for keys it
+    /// no longer caches without applying them.
+    fn unmark_cached(&mut self, _home: &KeyHome, _key: Key) {}
 }
 
 /// Controller configuration.
@@ -167,6 +177,10 @@ pub struct Controller {
     /// All cached keys (global sampling when at capacity).
     all_cached: SampleSet,
     cached: HashMap<Key, CachedMeta>,
+    /// Evicted keys whose home servers have not yet been told (evictions
+    /// can happen without a backend at hand; see
+    /// [`ServerBackend::unmark_cached`]).
+    pending_unmarks: Vec<(KeyHome, Key)>,
     rng_state: u64,
     last_reset_ns: u64,
     window_start_ns: u64,
@@ -205,6 +219,7 @@ impl Controller {
             per_pipe: (0..pipes).map(|_| SampleSet::default()).collect(),
             all_cached: SampleSet::default(),
             cached: HashMap::new(),
+            pending_unmarks: Vec::new(),
             last_reset_ns: 0,
             window_start_ns: 0,
             window_updates: 0,
@@ -260,6 +275,14 @@ impl Controller {
         }
         self.repair_invalid(driver, backend, now_ns);
         self.maybe_reset_stats(driver, now_ns);
+        self.drain_unmarks(backend);
+    }
+
+    /// Flushes queued eviction notifications to the servers.
+    fn drain_unmarks<B: ServerBackend>(&mut self, backend: &mut B) {
+        for (home, key) in self.pending_unmarks.drain(..) {
+            backend.unmark_cached(&home, key);
+        }
     }
 
     /// Control-plane repair pass: re-fetches and re-installs cached keys
@@ -400,11 +423,14 @@ impl Controller {
         best
     }
 
-    /// Evicts `key` from the cache, releasing all resources.
+    /// Evicts `key` from the cache, releasing all resources. The home
+    /// server's membership notification is queued and delivered on the
+    /// next backend interaction.
     pub fn evict_key<D: SwitchDriver>(&mut self, driver: &mut D, key: &Key) -> bool {
         let Some(meta) = self.cached.remove(key) else {
             return false;
         };
+        self.pending_unmarks.push((meta.home, *key));
         let pipe = meta.home.pipe;
         let _ = driver.remove_entry(key);
         driver.evict_status(pipe, meta.key_index);
@@ -495,6 +521,13 @@ impl Controller {
         driver.reset_counter(pipe, key_index);
         driver.install_value_len(pipe, key_index, value.len() as u16);
         driver.install_status(pipe, key_index, version.max(1));
+        // Flush queued eviction notifications (including this insertion's
+        // victim) before marking, so an old unmark for this key cannot
+        // land after the fresh mark. Mark before releasing blocked writes,
+        // so a write that queued during the insertion still refreshes the
+        // cache.
+        self.drain_unmarks(backend);
+        backend.mark_cached(&home, key);
         backend.unlock_writes(&home, key);
 
         self.cached.insert(

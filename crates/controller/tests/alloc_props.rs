@@ -64,7 +64,7 @@ proptest! {
                     }
                 }
             }
-            a.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            a.check_invariants().map_err(TestCaseError::fail)?;
             prop_assert_eq!(
                 a.capacity_units() - a.free_units(),
                 live_units,

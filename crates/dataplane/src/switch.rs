@@ -252,31 +252,37 @@ impl NetCacheSwitch {
                 vec![(egress_port, phv.pkt)]
             }
             Op::CacheUpdate => {
+                // The status stage precedes the value stages: the version
+                // check (one read-modify-write on the status register)
+                // decides whether the update is fresh *before* any value
+                // unit is written. A stale retransmission arriving after a
+                // newer update has been applied must not clobber the valid
+                // entry's bytes on its way to being ignored. The size check
+                // uses only lookup action data (bitmap popcount), so it
+                // costs no register access.
                 let applied = match (phv.meta.cache, &phv.pkt.netcache.value) {
-                    (Some(entry), Some(value)) => {
-                        if pipe
-                            .values
-                            .write_value(epoch, entry.bitmap, entry.value_index, value)
-                        {
-                            let ok = pipe.status.apply_update(
+                    (Some(entry), Some(value))
+                        if value.units() <= entry.bitmap.count_ones() as usize
+                            && (entry.bitmap as usize) < (1usize << pipe.values.stage_count()) =>
+                    {
+                        let ok =
+                            pipe.status
+                                .apply_update(epoch, entry.key_index, phv.pkt.netcache.seq);
+                        if ok {
+                            let wrote = pipe.values.write_value(
                                 epoch,
-                                entry.key_index,
-                                phv.pkt.netcache.seq,
+                                entry.bitmap,
+                                entry.value_index,
+                                value,
                             );
-                            if ok {
-                                pipe.value_len.write(
-                                    epoch,
-                                    entry.key_index as usize,
-                                    value.len() as u16,
-                                );
-                            }
-                            ok
-                        } else {
-                            // Value larger than the allocated slots: the
-                            // data plane cannot apply it (§4.3); the entry
-                            // stays invalid until the controller reallocates.
-                            false
+                            debug_assert!(wrote, "size was prechecked against the bitmap");
+                            pipe.value_len.write(
+                                epoch,
+                                entry.key_index as usize,
+                                value.len() as u16,
+                            );
                         }
+                        ok
                     }
                     _ => false,
                 };
@@ -671,6 +677,40 @@ mod tests {
         assert_eq!(
             out[0].1.netcache.value.as_ref().unwrap(),
             &Value::filled(9, 32)
+        );
+    }
+
+    /// A stale (already superseded) update replayed at a *valid* entry —
+    /// e.g. a server retransmission whose original was acked late — must
+    /// not write a single value byte: the version check gates the value
+    /// stages. (Regression: the value was written before the check, so a
+    /// replay served old bytes under a valid entry until the next write.)
+    #[test]
+    fn stale_cache_update_does_not_clobber_valid_value() {
+        let mut sw = switch();
+        let key = Key::from_u64(1);
+        install(&mut sw, key, &Value::filled(1, 16), 0, 0); // version 1
+
+        // Write → update(v2) → applied: entry valid with v2's value.
+        let put = Packet::put_query(1, CLIENT_IP, SERVER_IP, key, 2, Value::filled(2, 16));
+        sw.process(put, CLIENT_PORT);
+        let update = Packet::cache_update(SERVER_IP, SWITCH_IP, key, 2, Value::filled(2, 16));
+        sw.process(update, SERVER_PORT);
+        assert_eq!(sw.stats().updates_applied, 1);
+
+        // A duplicate of the v2 update (same version = not newer) arrives
+        // while the entry is valid, carrying different bytes.
+        let replay = Packet::cache_update(SERVER_IP, SWITCH_IP, key, 2, Value::filled(0x66, 16));
+        sw.process(replay, SERVER_PORT);
+        assert_eq!(sw.stats().updates_ignored, 1);
+
+        let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 3);
+        let out = sw.process(get, CLIENT_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::GetReplyHit, "entry stays valid");
+        assert_eq!(
+            out[0].1.netcache.value.as_ref().unwrap(),
+            &Value::filled(2, 16),
+            "replayed stale update must not overwrite the live value"
         );
     }
 

@@ -39,10 +39,10 @@ fn register_array_cms_equals_standalone_cms() {
     // Row-by-row, slot-by-slot equality.
     for row in 0..config.cms_depth {
         let reference = standalone.row(row);
-        for slot in 0..config.cms_width {
+        for (slot, &want) in reference.iter().enumerate() {
             assert_eq!(
                 stats.cms_row(row).peek(slot),
-                reference[slot],
+                want,
                 "row {row} slot {slot} diverged"
             );
         }

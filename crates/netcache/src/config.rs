@@ -3,6 +3,8 @@
 use netcache_controller::ControllerConfig;
 use netcache_dataplane::SwitchConfig;
 
+use crate::fault::FaultConfig;
+
 /// Configuration of a NetCache storage rack (switch + servers + controller).
 #[derive(Debug, Clone)]
 pub struct RackConfig {
@@ -27,6 +29,9 @@ pub struct RackConfig {
     /// write-around ablation: invalid entries wait for the controller's
     /// control-plane repair pass.
     pub dataplane_updates: bool,
+    /// Probabilistic network fault model (loss / duplication / reordering /
+    /// delay); disabled by default.
+    pub faults: FaultConfig,
 }
 
 impl RackConfig {
@@ -47,6 +52,7 @@ impl RackConfig {
             partition_seed: 0x7061_7274,
             agent_retry_timeout_ns: 100_000,
             dataplane_updates: true,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -64,6 +70,7 @@ impl RackConfig {
             partition_seed: 0x7061_7274,
             agent_retry_timeout_ns: 100_000,
             dataplane_updates: true,
+            faults: FaultConfig::default(),
         }
     }
 

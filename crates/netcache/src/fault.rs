@@ -1,13 +1,95 @@
-//! Deterministic fault injection for coherence testing.
+//! The unified network fault model.
 //!
-//! The coherence protocol's interesting behaviours only show up under loss
-//! (retransmitted cache updates, abandoned updates, reordered acks). The
-//! [`FaultInjector`] drops a configurable number of upcoming packets
-//! matching an opcode filter — deterministic, so tests can script exact
-//! loss patterns.
+//! The coherence protocol's interesting behaviours only show up under
+//! imperfect networks (retransmitted cache updates, abandoned updates,
+//! reordered acks, duplicated writes). [`NetworkModel`] provides two
+//! complementary fault sources behind one `transmit` call:
+//!
+//! - **Scripted drops** ([`NetworkModel::drop_next`]): drop the next `n`
+//!   packets matching an opcode — deterministic, so tests can script exact
+//!   loss patterns (the original `FaultInjector` API, kept as a special
+//!   case).
+//! - **Probabilistic faults** ([`FaultConfig`]): per-transmission loss,
+//!   duplication, reordering and bounded delay, driven by a deterministic
+//!   seeded RNG. The same seed always produces the same fault sequence,
+//!   so chaos tests are exactly reproducible.
+//!
+//! Every transport consults the model at link-crossing points: the
+//! in-process [`crate::Rack`] forwarding loop, the [`crate::udp::UdpRack`]
+//! switch thread, and `netcache-sim`'s event dispatch. A transmission
+//! yields zero or more [`Delivery`]s; a `deliver_at_ns` in the future means
+//! the transport must hold the packet until its clock reaches that time —
+//! which is also how reordering is realized (a delayed packet overtaken by
+//! later traffic).
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use netcache_proto::{Op, Packet};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Probabilistic fault configuration for one rack network.
+///
+/// All probabilities are per *transmission* (per link crossing, not per
+/// end-to-end query). The default disables every fault.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Probability that a transmission is lost.
+    pub loss: f64,
+    /// Probability that a transmission is duplicated (two deliveries).
+    pub duplicate: f64,
+    /// Probability that a delivery is held back long enough for later
+    /// traffic to overtake it.
+    pub reorder: f64,
+    /// Upper bound of the uniform per-delivery delay, nanoseconds.
+    /// `0` means deliveries are immediate (unless reordered).
+    pub max_delay_ns: u64,
+    /// Seed of the model's RNG; the same seed replays the same faults.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            max_delay_ns: 0,
+            seed: 0x6661_756c_7473, // "faults"
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether any probabilistic fault is enabled.
+    pub fn is_active(&self) -> bool {
+        self.loss > 0.0 || self.duplicate > 0.0 || self.reorder > 0.0 || self.max_delay_ns > 0
+    }
+}
+
+/// Counters of injected faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transmissions dropped (scripted + probabilistic).
+    pub dropped: u64,
+    /// Transmissions duplicated.
+    pub duplicated: u64,
+    /// Deliveries held back past later traffic (reordering).
+    pub reordered: u64,
+    /// Deliveries given a nonzero delay.
+    pub delayed: u64,
+}
+
+/// One outcome of a transmission: the packet and when it arrives.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// The delivered packet.
+    pub pkt: Packet,
+    /// Arrival time; transports hold the packet until their clock reaches
+    /// this (equal to "now" for immediate delivery).
+    pub deliver_at_ns: u64,
+}
 
 /// A scripted packet-drop rule.
 #[derive(Debug, Clone, Copy)]
@@ -16,21 +98,50 @@ struct DropRule {
     remaining: u32,
 }
 
-/// Deterministic packet dropper, shared by the rack's forwarding loop.
+/// The shared fault model consulted on every link crossing.
 #[derive(Debug, Default)]
-pub struct FaultInjector {
+pub struct NetworkModel {
+    config: FaultConfig,
     rules: Mutex<Vec<DropRule>>,
-    dropped: Mutex<u64>,
+    rng: Mutex<Option<StdRng>>,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    reordered: AtomicU64,
+    delayed: AtomicU64,
 }
 
-impl FaultInjector {
-    /// Creates an injector with no rules (drops nothing).
-    pub fn new() -> Self {
-        Self::default()
+/// When a reordered delivery has no configured delay bound to stretch, it
+/// is held back by up to this long — enough for several retry timeouts'
+/// worth of later traffic to overtake it.
+const REORDER_HOLD_NS: u64 = 1_000_000;
+
+impl NetworkModel {
+    /// Creates a model from `config`. An all-zero config behaves exactly
+    /// like the scripted-only injector (every transmission is an immediate
+    /// single delivery unless a scripted rule drops it).
+    pub fn new(config: FaultConfig) -> Self {
+        let rng = config
+            .is_active()
+            .then(|| StdRng::seed_from_u64(config.seed));
+        NetworkModel {
+            config,
+            rng: Mutex::new(rng),
+            ..NetworkModel::default()
+        }
+    }
+
+    /// A model with no faults at all (scripted rules may still be added).
+    pub fn disabled() -> Self {
+        Self::new(FaultConfig::default())
+    }
+
+    /// The probabilistic configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
     }
 
     /// Arranges for the next `count` packets with opcode `op` to be
-    /// dropped.
+    /// dropped (scripted, deterministic; consulted before the dice roll).
     pub fn drop_next(&self, op: Op, count: u32) {
         self.rules.lock().push(DropRule {
             op,
@@ -38,13 +149,15 @@ impl FaultInjector {
         });
     }
 
-    /// Decides whether to drop `pkt` (consuming one drop credit if so).
+    /// Decides whether a scripted rule drops `pkt` (consuming one drop
+    /// credit if so). Probabilistic faults are *not* consulted — use
+    /// [`NetworkModel::transmit`] for the full model.
     pub fn should_drop(&self, pkt: &Packet) -> bool {
         let mut rules = self.rules.lock();
         for rule in rules.iter_mut() {
             if rule.op == pkt.netcache.op && rule.remaining > 0 {
                 rule.remaining -= 1;
-                *self.dropped.lock() += 1;
+                self.dropped.fetch_add(1, Ordering::Relaxed);
                 rules.retain(|r| r.remaining > 0);
                 return true;
             }
@@ -52,15 +165,97 @@ impl FaultInjector {
         false
     }
 
-    /// Total packets dropped so far.
-    pub fn dropped(&self) -> u64 {
-        *self.dropped.lock()
+    /// Sends `pkt` across one link at `now_ns`, appending the resulting
+    /// deliveries to `out`: none (lost), one (normal), or two (duplicated);
+    /// each possibly in the future (delayed / reordered).
+    pub fn transmit(&self, pkt: Packet, now_ns: u64, out: &mut Vec<Delivery>) {
+        if self.should_drop(&pkt) {
+            return;
+        }
+        let mut guard = self.rng.lock();
+        let Some(rng) = guard.as_mut() else {
+            // Fault-free fast path: immediate single delivery.
+            out.push(Delivery {
+                pkt,
+                deliver_at_ns: now_ns,
+            });
+            return;
+        };
+        let cfg = &self.config;
+        if cfg.loss > 0.0 && rng.random_bool(cfg.loss) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let copies = if cfg.duplicate > 0.0 && rng.random_bool(cfg.duplicate) {
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let mut delay = 0;
+            if cfg.max_delay_ns > 0 {
+                delay += rng.random_range(0..=cfg.max_delay_ns);
+            }
+            if cfg.reorder > 0.0 && rng.random_bool(cfg.reorder) {
+                self.reordered.fetch_add(1, Ordering::Relaxed);
+                delay += cfg.max_delay_ns.max(REORDER_HOLD_NS);
+            }
+            if delay > 0 {
+                self.delayed.fetch_add(1, Ordering::Relaxed);
+            }
+            out.push(Delivery {
+                pkt: pkt.clone(),
+                deliver_at_ns: now_ns + delay,
+            });
+        }
     }
 
-    /// Clears all rules.
+    /// Total packets dropped so far (scripted + probabilistic).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all fault counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            reordered: self.reordered.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clears all scripted rules (probabilistic faults keep running).
     pub fn clear(&self) {
         self.rules.lock().clear();
     }
+}
+
+/// The original scripted-only injector, now an alias: [`NetworkModel`]
+/// with a default (all-zero) [`FaultConfig`] behaves identically.
+pub type FaultInjector = NetworkModel;
+
+/// Reads the chaos/property-test seed override from the environment:
+/// `NETCACHE_TEST_SEED` (or `PROPTEST_SEED`), decimal or `0x`-prefixed
+/// hex; `default` otherwise. Randomized tests and examples route their
+/// seeds through this so any logged failure is reproducible by exporting
+/// the printed seed.
+pub fn seed_from_env(default: u64) -> u64 {
+    for var in ["NETCACHE_TEST_SEED", "PROPTEST_SEED"] {
+        if let Ok(raw) = std::env::var(var) {
+            let raw = raw.trim();
+            let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                raw.parse().ok()
+            };
+            if let Some(seed) = parsed {
+                return seed;
+            }
+        }
+    }
+    default
 }
 
 #[cfg(test)]
@@ -78,7 +273,7 @@ mod tests {
 
     #[test]
     fn drops_only_matching_ops_up_to_count() {
-        let f = FaultInjector::new();
+        let f = NetworkModel::disabled();
         f.drop_next(Op::CacheUpdate, 2);
         assert!(!f.should_drop(&get()));
         assert!(f.should_drop(&update()));
@@ -89,7 +284,7 @@ mod tests {
 
     #[test]
     fn clear_removes_rules() {
-        let f = FaultInjector::new();
+        let f = NetworkModel::disabled();
         f.drop_next(Op::Get, 5);
         f.clear();
         assert!(!f.should_drop(&get()));
@@ -97,11 +292,119 @@ mod tests {
 
     #[test]
     fn multiple_rules_coexist() {
-        let f = FaultInjector::new();
+        let f = NetworkModel::disabled();
         f.drop_next(Op::Get, 1);
         f.drop_next(Op::CacheUpdate, 1);
         assert!(f.should_drop(&get()));
         assert!(f.should_drop(&update()));
         assert!(!f.should_drop(&get()));
+    }
+
+    #[test]
+    fn disabled_model_is_transparent() {
+        let f = NetworkModel::disabled();
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            f.transmit(get(), 42, &mut out);
+        }
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|d| d.deliver_at_ns == 42));
+        assert_eq!(f.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn scripted_rules_apply_inside_transmit() {
+        let f = NetworkModel::disabled();
+        f.drop_next(Op::CacheUpdate, 1);
+        let mut out = Vec::new();
+        f.transmit(update(), 0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(f.dropped(), 1);
+    }
+
+    #[test]
+    fn loss_is_seeded_and_deterministic() {
+        let cfg = FaultConfig {
+            loss: 0.3,
+            seed: 7,
+            ..FaultConfig::default()
+        };
+        let runs: Vec<usize> = (0..2)
+            .map(|_| {
+                let f = NetworkModel::new(cfg.clone());
+                let mut out = Vec::new();
+                for _ in 0..200 {
+                    f.transmit(get(), 0, &mut out);
+                }
+                out.len()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "same seed, same outcome");
+        assert!(runs[0] < 200, "some packets must be lost");
+        assert!(runs[0] > 100, "loss must stay near its probability");
+        let different = {
+            let f = NetworkModel::new(FaultConfig { seed: 8, ..cfg });
+            let mut out = Vec::new();
+            for _ in 0..200 {
+                f.transmit(get(), 0, &mut out);
+            }
+            out.len()
+        };
+        // With 200 draws at p=0.3 a different seed virtually never drops
+        // exactly the same packets; lengths may still coincide, so compare
+        // the drop counter only loosely.
+        assert!(different < 200 && different > 100);
+    }
+
+    #[test]
+    fn duplication_yields_two_deliveries() {
+        let f = NetworkModel::new(FaultConfig {
+            duplicate: 1.0,
+            seed: 3,
+            ..FaultConfig::default()
+        });
+        let mut out = Vec::new();
+        f.transmit(get(), 5, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(f.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn delay_is_bounded() {
+        let f = NetworkModel::new(FaultConfig {
+            max_delay_ns: 1_000,
+            seed: 9,
+            ..FaultConfig::default()
+        });
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            f.transmit(get(), 10_000, &mut out);
+        }
+        assert!(out
+            .iter()
+            .all(|d| (10_000..=11_000).contains(&d.deliver_at_ns)));
+        assert!(f.stats().delayed > 0);
+    }
+
+    #[test]
+    fn reorder_holds_back_deliveries() {
+        let f = NetworkModel::new(FaultConfig {
+            reorder: 1.0,
+            seed: 11,
+            ..FaultConfig::default()
+        });
+        let mut out = Vec::new();
+        f.transmit(get(), 0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].deliver_at_ns >= REORDER_HOLD_NS);
+        assert_eq!(f.stats().reordered, 1);
+    }
+
+    #[test]
+    fn seed_from_env_parses_formats() {
+        // Can't mutate the environment safely in parallel tests; exercise
+        // only the fallback path (the parser itself is covered by the
+        // proptest runner's identical logic).
+        assert_eq!(seed_from_env(123), 123);
     }
 }

@@ -44,6 +44,6 @@ pub mod udp;
 
 pub use addressing::Addressing;
 pub use config::RackConfig;
-pub use fault::FaultInjector;
+pub use fault::{seed_from_env, FaultConfig, FaultInjector, FaultStats, NetworkModel};
 pub use metrics::RackReport;
-pub use rack::{ClientResponse, Rack, RackClient};
+pub use rack::{ClientResponse, Rack, RackClient, RetryOutcome, RetryPolicy};

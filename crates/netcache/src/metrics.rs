@@ -8,6 +8,7 @@ use netcache_controller::ControllerStats;
 use netcache_dataplane::SwitchStats;
 use netcache_server::ServerStats;
 
+use crate::fault::FaultStats;
 use crate::rack::Rack;
 
 /// A point-in-time snapshot of every counter in the rack.
@@ -23,6 +24,14 @@ pub struct RackReport {
     pub cached_keys: usize,
     /// Control-plane updates performed on the switch.
     pub control_updates: u64,
+    /// Faults injected by the network model.
+    pub faults: FaultStats,
+    /// Client retransmissions (requests re-sent under a retry policy).
+    pub client_retries: u64,
+    /// Replies clients discarded as stale or duplicate.
+    pub stale_replies: u64,
+    /// Requests abandoned after exhausting a retry budget.
+    pub abandoned_requests: u64,
 }
 
 impl RackReport {
@@ -37,6 +46,10 @@ impl RackReport {
             controller: rack.controller_stats(),
             cached_keys: rack.cached_keys(),
             control_updates: rack.with_switch(|sw| sw.control_updates()),
+            faults: rack.faults().stats(),
+            client_retries: rack.client_retries(),
+            stale_replies: rack.stale_replies(),
+            abandoned_requests: rack.abandoned_requests(),
         }
     }
 
@@ -103,7 +116,23 @@ impl fmt::Display for RackReport {
             self.controller.reorganized,
             self.controller.stats_resets,
         )?;
-        writeln!(f, "  switch control-plane updates: {}", self.control_updates)
+        writeln!(
+            f,
+            "  switch control-plane updates: {}",
+            self.control_updates
+        )?;
+        writeln!(
+            f,
+            "  network: {} dropped / {} duplicated / {} reordered / {} delayed; \
+             {} client retries, {} stale replies, {} abandoned",
+            self.faults.dropped,
+            self.faults.duplicated,
+            self.faults.reordered,
+            self.faults.delayed,
+            self.client_retries,
+            self.stale_replies,
+            self.abandoned_requests,
+        )
     }
 }
 

@@ -4,13 +4,24 @@
 //! [`Rack::execute`] injects a packet at a port and runs it — and every
 //! packet it spawns (server replies, cache updates, acks, released blocked
 //! writes) — through the switch until only client-bound packets remain.
-//! This models a lossless rack network with deterministic ordering, which
-//! is what unit/integration tests and the quickstart want. Timing-accurate
-//! behaviour (queueing, loss, saturation) lives in `netcache-sim`, which
-//! drives these same components from a discrete-event loop.
+//! With the default (disabled) fault model this is a lossless rack network
+//! with deterministic ordering, which is what unit/integration tests and
+//! the quickstart want. With a [`crate::fault::FaultConfig`] enabled, every link crossing
+//! runs through the seeded [`NetworkModel`]: packets may be lost,
+//! duplicated, or delayed past the current rack time — delayed traffic
+//! parks in a pending set and is delivered by a later [`Rack::execute`] or
+//! [`Rack::tick`] once [`Rack::advance`] moves the clock past its due time,
+//! which is how reordering becomes visible to clients. Timing-accurate
+//! behaviour (queueing, saturation) lives in `netcache-sim`, which drives
+//! these same components from a discrete-event loop.
+//!
+//! The switch lock is held across the *entire* forwarding loop, and the
+//! controller holds it across an entire cycle, so a query can never
+//! interleave with a concurrent cache insertion halfway through its journey
+//! (the classification a packet received at the switch stays valid when it
+//! reaches the server).
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use netcache_client::{ClientConfig, NetCacheClient, Response};
@@ -19,10 +30,12 @@ use netcache_dataplane::{NetCacheSwitch, PortId, SwitchDriver, SwitchStats};
 use netcache_proto::{Key, Packet, Value};
 use netcache_server::{AgentConfig, ServerAgent, ServerStats};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::addressing::{Addressing, Attachment, SWITCH_IP};
 use crate::config::RackConfig;
-use crate::fault::FaultInjector;
+use crate::fault::NetworkModel;
 
 /// A client-visible response plus provenance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +74,21 @@ impl ClientResponse {
     }
 }
 
+/// A packet in flight toward its next processing point.
+enum Hop {
+    /// Arriving at the switch on `port`.
+    Switch { port: PortId, pkt: Packet },
+    /// Arriving at server `index` (whose switch port is `port`, where any
+    /// packets it produces re-enter the network).
+    Server {
+        index: usize,
+        port: PortId,
+        pkt: Packet,
+    },
+    /// Arriving at client `index`.
+    Client { index: u32, pkt: Packet },
+}
+
 /// The in-process rack.
 pub struct Rack {
     config: RackConfig,
@@ -68,8 +96,22 @@ pub struct Rack {
     switch: Mutex<NetCacheSwitch>,
     servers: Vec<Arc<ServerAgent>>,
     controller: Mutex<Controller>,
-    faults: FaultInjector,
+    faults: NetworkModel,
     now_ns: AtomicU64,
+    /// Deliveries due after the current rack time, waiting for the clock:
+    /// `(deliver_at_ns, hop)`.
+    pending: Mutex<Vec<(u64, Hop)>>,
+    /// Client retransmissions performed by [`RackClient`]s with a
+    /// [`RetryPolicy`].
+    client_retries: AtomicU64,
+    /// Replies discarded by clients because their sequence number did not
+    /// match the outstanding request (late duplicates, reordered traffic).
+    stale_replies: AtomicU64,
+    /// Requests abandoned after exhausting a [`RetryPolicy`]'s budget.
+    abandoned_requests: AtomicU64,
+    /// Client instances created so far; numbers sequence-number epochs
+    /// (see [`Rack::client`]).
+    client_epochs: AtomicU32,
 }
 
 impl Rack {
@@ -116,8 +158,13 @@ impl Rack {
             switch: Mutex::new(switch),
             servers,
             controller: Mutex::new(controller),
-            faults: FaultInjector::new(),
+            faults: NetworkModel::new(config.faults.clone()),
             now_ns: AtomicU64::new(0),
+            pending: Mutex::new(Vec::new()),
+            client_retries: AtomicU64::new(0),
+            stale_replies: AtomicU64::new(0),
+            abandoned_requests: AtomicU64::new(0),
+            client_epochs: AtomicU32::new(0),
             config,
         })
     }
@@ -132,9 +179,25 @@ impl Rack {
         &self.addressing
     }
 
-    /// The fault injector (deterministic packet drops).
-    pub fn faults(&self) -> &FaultInjector {
+    /// The network fault model (scripted drops + seeded probabilistic
+    /// faults).
+    pub fn faults(&self) -> &NetworkModel {
         &self.faults
+    }
+
+    /// Client retransmissions performed so far (by [`RetryPolicy`] clients).
+    pub fn client_retries(&self) -> u64 {
+        self.client_retries.load(Ordering::Relaxed)
+    }
+
+    /// Replies clients discarded for a stale sequence number.
+    pub fn stale_replies(&self) -> u64 {
+        self.stale_replies.load(Ordering::Relaxed)
+    }
+
+    /// Requests abandoned after exhausting a retry budget.
+    pub fn abandoned_requests(&self) -> u64 {
+        self.abandoned_requests.load(Ordering::Relaxed)
     }
 
     /// Current rack time in nanoseconds.
@@ -147,64 +210,138 @@ impl Rack {
         self.now_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Sends `pkt` across one link at `now`, converting each resulting
+    /// delivery into an event via `hop` (deliveries may land in the
+    /// future, realizing delay and reordering).
+    fn link(
+        &self,
+        pkt: Packet,
+        now: u64,
+        hop: impl Fn(Packet) -> Hop,
+        events: &mut Vec<(u64, Hop)>,
+    ) {
+        let mut out = Vec::new();
+        self.faults.transmit(pkt, now, &mut out);
+        for d in out {
+            events.push((d.deliver_at_ns, hop(d.pkt)));
+        }
+    }
+
     /// Injects `pkt` at `in_port` and runs the forwarding loop to
     /// completion; returns packets that exited toward clients, as
-    /// `(client_index, packet)`.
+    /// `(client_index, packet)`. Deliveries due after the current rack
+    /// time park in the pending set and are drained by a later call once
+    /// [`Rack::advance`] catches up.
     pub fn execute(&self, pkt: Packet, in_port: PortId) -> Vec<(u32, Packet)> {
+        let mut events = Vec::new();
+        self.link(
+            pkt,
+            self.now(),
+            |pkt| Hop::Switch { port: in_port, pkt },
+            &mut events,
+        );
+        self.drive(events)
+    }
+
+    /// Runs `events` (and everything they spawn) to completion, in
+    /// delivery-time order, holding the switch lock throughout.
+    fn drive(&self, mut events: Vec<(u64, Hop)>) -> Vec<(u32, Packet)> {
         let now = self.now();
+        // Pull in previously delayed traffic that has matured.
+        {
+            let mut pending = self.pending.lock();
+            let mut i = 0;
+            while i < pending.len() {
+                if pending[i].0 <= now {
+                    events.push(pending.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
         let mut to_clients = Vec::new();
-        let mut queue: VecDeque<(PortId, Packet)> = VecDeque::new();
-        queue.push_back((in_port, pkt));
+        let mut deferred = Vec::new();
+        let mut switch = self.switch.lock();
         // Bounded loop: coherence traffic is finite, but a bug must not
         // hang tests.
         let mut hops = 0usize;
-        while let Some((port, pkt)) = queue.pop_front() {
-            hops += 1;
-            assert!(hops < 10_000, "forwarding loop did not converge");
-            let outs = self.switch.lock().process(pkt, port);
-            for (out_port, out_pkt) in outs {
-                if self.faults.should_drop(&out_pkt) {
-                    continue;
-                }
-                match self.addressing.attachment(out_port) {
-                    Attachment::Server(i) => {
-                        for produced in self.servers[i as usize].handle_packet(out_pkt, now) {
-                            // Packets a server emits cross the network too
-                            // and are subject to the same faults.
-                            if self.faults.should_drop(&produced) {
-                                continue;
-                            }
-                            queue.push_back((out_port, produced));
-                        }
-                    }
-                    Attachment::Client(j) => to_clients.push((j, out_pkt)),
-                    Attachment::Unused => {}
+        while !events.is_empty() {
+            // Earliest delivery first (stable on ties: first pushed wins).
+            let mut best = 0;
+            for (i, e) in events.iter().enumerate().skip(1) {
+                if e.0 < events[best].0 {
+                    best = i;
                 }
             }
+            let (at, hop) = events.remove(best);
+            if at > now {
+                // Not due yet: wait for the clock.
+                deferred.push((at, hop));
+                continue;
+            }
+            hops += 1;
+            assert!(hops < 10_000, "forwarding loop did not converge");
+            match hop {
+                Hop::Switch { port, pkt } => {
+                    for (out_port, out_pkt) in switch.process(pkt, port) {
+                        match self.addressing.attachment(out_port) {
+                            Attachment::Server(i) => self.link(
+                                out_pkt,
+                                now,
+                                |pkt| Hop::Server {
+                                    index: i as usize,
+                                    port: out_port,
+                                    pkt,
+                                },
+                                &mut events,
+                            ),
+                            Attachment::Client(j) => self.link(
+                                out_pkt,
+                                now,
+                                |pkt| Hop::Client { index: j, pkt },
+                                &mut events,
+                            ),
+                            Attachment::Unused => {}
+                        }
+                    }
+                }
+                Hop::Server { index, port, pkt } => {
+                    for produced in self.servers[index].handle_packet(pkt, now) {
+                        // Packets a server emits cross the network too and
+                        // are subject to the same faults.
+                        self.link(produced, now, |pkt| Hop::Switch { port, pkt }, &mut events);
+                    }
+                }
+                Hop::Client { index, pkt } => to_clients.push((index, pkt)),
+            }
+        }
+        drop(switch);
+        if !deferred.is_empty() {
+            self.pending.lock().extend(deferred);
         }
         to_clients
     }
 
-    /// Drives server-agent retransmission timers at the current rack time;
-    /// any retransmitted cache updates run through the forwarding loop.
+    /// Drives server-agent retransmission timers at the current rack time
+    /// and delivers any matured delayed traffic; retransmitted cache
+    /// updates run through the forwarding loop.
     pub fn tick(&self) -> Vec<(u32, Packet)> {
         let now = self.now();
-        let mut to_clients = Vec::new();
+        let mut events = Vec::new();
         for (i, server) in self.servers.iter().enumerate() {
+            let port = self.addressing.server_port(i as u32);
             for pkt in server.tick(now) {
-                if self.faults.should_drop(&pkt) {
-                    continue;
-                }
-                let port = self.addressing.server_port(i as u32);
-                to_clients.extend(self.execute(pkt, port));
+                self.link(pkt, now, |pkt| Hop::Switch { port, pkt }, &mut events);
             }
         }
-        to_clients
+        self.drive(events)
     }
 
     /// Runs one controller cycle (heavy-hitter intake, cache updates,
-    /// periodic statistics reset) at the current rack time.
-    pub fn run_controller(&self) {
+    /// periodic statistics reset) at the current rack time. Returns any
+    /// client-bound packets produced by writes the cycle released (their
+    /// acks), so callers can route them.
+    pub fn run_controller(&self) -> Vec<(u32, Packet)> {
         let now = self.now();
         let mut backend = RackBackend {
             servers: &self.servers,
@@ -217,9 +354,11 @@ impl Rack {
             controller.run_cycle(&mut *switch, &mut backend, now);
         }
         // Writes released by controller unlocks re-enter the network.
+        let mut to_clients = Vec::new();
         for (port, pkt) in backend.released {
-            self.execute(pkt, port);
+            to_clients.extend(self.execute(pkt, port));
         }
+        to_clients
     }
 
     /// Pre-populates the switch cache with `keys` (up to the controller's
@@ -262,16 +401,24 @@ impl Rack {
     /// Panics if `j` is out of range.
     pub fn client(&self, j: u32) -> RackClient<'_> {
         assert!(j < self.config.clients, "client index out of range");
+        let mut client = NetCacheClient::new(ClientConfig {
+            client_id: (j + 1) as u8,
+            ip: self.addressing.client_ip(j),
+            partitions: self.config.servers,
+            partition_seed: self.config.partition_seed,
+            server_ip_base: self.addressing.server_ip(0),
+        });
+        // Successive client instances on the same port share an IP; give
+        // each a disjoint sequence-number epoch so the servers'
+        // `(src, seq)` write dedup never mistakes a new instance's writes
+        // for retransmissions of an old one's.
+        let epoch = self.client_epochs.fetch_add(1, Ordering::Relaxed);
+        client.start_seq_at(epoch.wrapping_shl(24) | 1);
         RackClient {
             rack: self,
             index: j,
-            client: NetCacheClient::new(ClientConfig {
-                client_id: (j + 1) as u8,
-                ip: self.addressing.client_ip(j),
-                partitions: self.config.servers,
-                partition_seed: self.config.partition_seed,
-                server_ip_base: self.addressing.server_ip(0),
-            }),
+            client,
+            policy: RetryPolicy::default(),
         }
     }
 
@@ -382,6 +529,75 @@ impl ServerBackend for RackBackend<'_> {
         self.released
             .extend(released.into_iter().map(|p| (home.egress_port, p)));
     }
+
+    fn mark_cached(&mut self, home: &KeyHome, key: Key) {
+        self.servers[home.server as usize].mark_cached(key);
+    }
+
+    fn unmark_cached(&mut self, home: &KeyHome, key: Key) {
+        self.servers[home.server as usize].unmark_cached(&key);
+    }
+}
+
+/// Client-side retransmission policy: per-request timeout with exponential
+/// backoff and deterministic jitter.
+///
+/// The in-process rack has no wall clock; a "timeout" advances the rack
+/// clock by the computed interval and runs [`Rack::tick`], which drives
+/// server retransmission timers and delivers matured delayed traffic —
+/// exactly what elapsing real time does on the UDP transport.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retransmissions allowed per request (0 = single attempt).
+    pub max_retries: u32,
+    /// Timeout before the first retransmission, nanoseconds.
+    pub base_timeout_ns: u64,
+    /// Cap on the backed-off timeout, nanoseconds.
+    pub max_timeout_ns: u64,
+    /// Jitter added to each timeout, as a fraction of the backoff
+    /// (derived deterministically from the request sequence number and
+    /// attempt, so runs stay reproducible).
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 16,
+            base_timeout_ns: 200_000,
+            max_timeout_ns: 10_000_000,
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The timeout before retransmission number `attempt + 1` of the
+    /// request with sequence number `seq`.
+    pub fn timeout_ns(&self, seq: u32, attempt: u32) -> u64 {
+        let backoff = self
+            .base_timeout_ns
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_timeout_ns);
+        if self.jitter <= 0.0 {
+            return backoff;
+        }
+        let span = (backoff as f64 * self.jitter) as u64;
+        if span == 0 {
+            return backoff;
+        }
+        let mut rng = StdRng::seed_from_u64(((seq as u64) << 32) | attempt as u64);
+        backoff + rng.random_range(0..=span)
+    }
+}
+
+/// Outcome of one request issued under a [`RetryPolicy`].
+#[derive(Debug, Clone)]
+pub struct RetryOutcome {
+    /// The reply, or `None` if the retry budget was exhausted.
+    pub response: Option<ClientResponse>,
+    /// Retransmissions performed (0 = first attempt succeeded).
+    pub retries: u32,
 }
 
 /// A synchronous client handle: builds a query, runs it through the rack,
@@ -390,12 +606,19 @@ pub struct RackClient<'a> {
     rack: &'a Rack,
     index: u32,
     client: NetCacheClient,
+    policy: RetryPolicy,
 }
 
 impl RackClient<'_> {
     /// The underlying packet-building client.
     pub fn inner_mut(&mut self) -> &mut NetCacheClient {
         &mut self.client
+    }
+
+    /// Sets the retransmission policy used by the `*_with_retry` methods.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     fn run(&mut self, pkt: Packet) -> Option<ClientResponse> {
@@ -406,6 +629,82 @@ impl RackClient<'_> {
                 .then(|| Response::from_packet(&pkt).map(|inner| ClientResponse { inner }))
                 .flatten()
         })
+    }
+
+    /// Scans `replies` for the one answering sequence number `seq`,
+    /// counting (and discarding) replies for earlier requests and
+    /// duplicate deliveries.
+    fn take_matching(&self, replies: Vec<(u32, Packet)>, seq: u32) -> Option<ClientResponse> {
+        let mut found: Option<ClientResponse> = None;
+        for (j, pkt) in replies {
+            if j != self.index {
+                continue;
+            }
+            if pkt.netcache.seq != seq || found.is_some() {
+                // A late reply to a request we've moved past, or a
+                // duplicate delivery of the current one: suppress.
+                self.rack.stale_replies.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            found = Response::from_packet(&pkt).map(|inner| ClientResponse { inner });
+        }
+        found
+    }
+
+    /// Issues `pkt`, retransmitting it (same sequence number) per the
+    /// client's [`RetryPolicy`] until a matching reply arrives or the
+    /// budget is exhausted.
+    fn run_with_retry(&mut self, pkt: Packet) -> RetryOutcome {
+        let port = self.rack.addressing.client_port(self.index);
+        let seq = pkt.netcache.seq;
+        let mut retries = 0u32;
+        loop {
+            let replies = self.rack.execute(pkt.clone(), port);
+            if let Some(resp) = self.take_matching(replies, seq) {
+                return RetryOutcome {
+                    response: Some(resp),
+                    retries,
+                };
+            }
+            // Timeout: advance the clock and let server retransmission
+            // timers fire and delayed traffic mature — the reply may have
+            // merely been slow rather than lost.
+            self.rack.advance(self.policy.timeout_ns(seq, retries));
+            let late = self.rack.tick();
+            if let Some(resp) = self.take_matching(late, seq) {
+                return RetryOutcome {
+                    response: Some(resp),
+                    retries,
+                };
+            }
+            if retries >= self.policy.max_retries {
+                self.rack.abandoned_requests.fetch_add(1, Ordering::Relaxed);
+                return RetryOutcome {
+                    response: None,
+                    retries,
+                };
+            }
+            retries += 1;
+            self.rack.client_retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads `key` under the retry policy.
+    pub fn get_with_retry(&mut self, key: Key) -> RetryOutcome {
+        let pkt = self.client.get(key);
+        self.run_with_retry(pkt)
+    }
+
+    /// Writes `value` under `key` under the retry policy.
+    pub fn put_with_retry(&mut self, key: Key, value: Value) -> RetryOutcome {
+        let pkt = self.client.put(key, value);
+        self.run_with_retry(pkt)
+    }
+
+    /// Deletes `key` under the retry policy.
+    pub fn delete_with_retry(&mut self, key: Key) -> RetryOutcome {
+        let pkt = self.client.delete(key);
+        self.run_with_retry(pkt)
     }
 
     /// Reads `key`. `None` means the query (or its reply) was dropped.
@@ -626,6 +925,28 @@ mod tests {
                 "client {j}"
             );
         }
+    }
+
+    /// A recreated client (same port, same IP) must not have its fresh
+    /// writes mistaken for retransmissions of the previous instance's —
+    /// each instance gets a disjoint sequence-number epoch.
+    #[test]
+    fn recreated_client_writes_are_not_deduplicated() {
+        let r = rack();
+        r.load_dataset(8, 32);
+        r.populate_cache([Key::from_u64(0)]);
+        let k = Key::from_u64(0);
+        {
+            let mut first = r.client(0);
+            first.put(k, Value::filled(0x11, 32)).expect("ack");
+        }
+        // Same seq counter start would collide with the first instance's
+        // put in the server's (src, seq) dedup memory.
+        let mut second = r.client(0);
+        second.put(k, Value::filled(0x22, 32)).expect("ack");
+        let resp = second.get(k).expect("reply");
+        assert_eq!(resp.value().expect("value"), &Value::filled(0x22, 32));
+        assert!(resp.served_by_cache(), "write-through missed the cache");
     }
 
     #[test]

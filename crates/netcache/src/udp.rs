@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 
 use crate::addressing::{Addressing, SWITCH_IP};
 use crate::config::RackConfig;
+use crate::fault::NetworkModel;
 
 const RECV_TIMEOUT: Duration = Duration::from_millis(20);
 const MAX_FRAME: usize = 2048;
@@ -47,6 +48,9 @@ pub struct UdpRack {
     servers: Vec<Arc<ServerAgent>>,
     switch: Arc<Mutex<NetCacheSwitch>>,
     controller: Arc<Mutex<Controller>>,
+    faults: Arc<NetworkModel>,
+    /// Client instances handed out; numbers sequence-number epochs.
+    client_epochs: AtomicU32,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -63,6 +67,7 @@ impl UdpRack {
             &config.switch,
         );
         let shutdown = Arc::new(AtomicBool::new(false));
+        let faults = Arc::new(NetworkModel::new(config.faults.clone()));
 
         // Build the switch with routes, as in the in-process rack.
         let mut switch = NetCacheSwitch::new(config.switch.clone())?;
@@ -116,10 +121,15 @@ impl UdpRack {
 
         let mut threads = Vec::new();
 
-        // Switch forwarding thread.
+        // Switch forwarding thread. The fault model is applied on switch
+        // egress: every forwarded frame passes through `transmit`, which may
+        // drop, duplicate or delay it. Delayed copies sit in a stash that is
+        // drained on each loop iteration (the receive timeout bounds how
+        // long a matured delivery can wait).
         {
             let switch = Arc::clone(&switch);
             let shutdown = Arc::clone(&shutdown);
+            let faults = Arc::clone(&faults);
             let switch_socket = switch_socket.try_clone().map_err(|e| e.to_string())?;
             let port_to_addr = port_to_addr.clone();
             let addr_to_port = addr_to_port.clone();
@@ -127,8 +137,31 @@ impl UdpRack {
                 std::thread::Builder::new()
                     .name("netcache-switch".into())
                     .spawn(move || {
+                        let start = std::time::Instant::now();
                         let mut buf = [0u8; MAX_FRAME];
+                        let mut delayed: Vec<(u64, SocketAddr, Vec<u8>)> = Vec::new();
+                        let mut deliveries = Vec::new();
                         while !shutdown.load(Ordering::Relaxed) {
+                            let now = start.elapsed().as_nanos() as u64;
+                            let mut i = 0;
+                            while i < delayed.len() {
+                                if delayed[i].0 <= now {
+                                    let (_, addr, frame) = delayed.swap_remove(i);
+                                    let _ = switch_socket.send_to(&frame, addr);
+                                } else {
+                                    i += 1;
+                                }
+                            }
+                            // Wake up for the earliest pending delivery
+                            // rather than sitting out the full timeout.
+                            let wait = delayed
+                                .iter()
+                                .map(|&(at, _, _)| Duration::from_nanos(at.saturating_sub(now)))
+                                .min()
+                                .map_or(RECV_TIMEOUT, |d| {
+                                    d.clamp(Duration::from_micros(50), RECV_TIMEOUT)
+                                });
+                            let _ = switch_socket.set_read_timeout(Some(wait));
                             let (len, src) = match switch_socket.recv_from(&mut buf) {
                                 Ok(ok) => ok,
                                 Err(_) => continue, // timeout / interrupted
@@ -138,8 +171,22 @@ impl UdpRack {
                             };
                             let outs = switch.lock().process_bytes(&buf[..len], in_port);
                             for (out_port, frame) in outs {
-                                if let Some(addr) = port_to_addr.get(&out_port) {
+                                let Some(&addr) = port_to_addr.get(&out_port) else {
+                                    continue;
+                                };
+                                let Ok(pkt) = Packet::parse(&frame) else {
+                                    // Non-NetCache frames bypass the model.
                                     let _ = switch_socket.send_to(&frame, addr);
+                                    continue;
+                                };
+                                deliveries.clear();
+                                faults.transmit(pkt, now, &mut deliveries);
+                                for d in deliveries.drain(..) {
+                                    if d.deliver_at_ns <= now {
+                                        let _ = switch_socket.send_to(&d.pkt.deparse(), addr);
+                                    } else {
+                                        delayed.push((d.deliver_at_ns, addr, d.pkt.deparse()));
+                                    }
                                 }
                             }
                         }
@@ -200,9 +247,17 @@ impl UdpRack {
             servers,
             switch,
             controller,
+            faults,
+            client_epochs: AtomicU32::new(0),
             shutdown,
             threads,
         })
+    }
+
+    /// The network fault model applied on switch egress (inject scripted
+    /// drops or read fault counters through this).
+    pub fn faults(&self) -> &NetworkModel {
+        &self.faults
     }
 
     /// The switch's socket address (where clients send frames).
@@ -298,16 +353,24 @@ impl UdpRack {
     /// Panics if `j` is out of range.
     pub fn client(&self, j: u32) -> UdpClient {
         assert!(j < self.config.clients, "client index out of range");
+        let mut client = NetCacheClient::new(ClientConfig {
+            client_id: (j + 1) as u8,
+            ip: self.addressing.client_ip(j),
+            partitions: self.config.servers,
+            partition_seed: self.config.partition_seed,
+            server_ip_base: self.addressing.server_ip(0),
+        });
+        // Disjoint sequence-number epoch per client instance: the servers
+        // dedup retransmitted writes by `(src, seq)`, and successive
+        // instances on the same port share a source IP.
+        let epoch = self.client_epochs.fetch_add(1, Ordering::Relaxed);
+        client.start_seq_at(epoch.wrapping_shl(24) | 1);
         UdpClient {
             socket: Arc::clone(&self.client_sockets[j as usize]),
             switch_addr: self.switch_addr,
-            client: NetCacheClient::new(ClientConfig {
-                client_id: (j + 1) as u8,
-                ip: self.addressing.client_ip(j),
-                partitions: self.config.servers,
-                partition_seed: self.config.partition_seed,
-                server_ip_base: self.addressing.server_ip(0),
-            }),
+            client,
+            retries: 0,
+            stale_replies: 0,
         }
     }
 
@@ -329,50 +392,77 @@ impl Drop for UdpRack {
     }
 }
 
-/// A blocking client over a real UDP socket.
+/// A blocking client over a real UDP socket, with per-request
+/// retransmission: exponential backoff on the receive window, reply
+/// matching by sequence number, and duplicate/stale reply suppression.
 pub struct UdpClient {
     socket: Arc<UdpSocket>,
     switch_addr: SocketAddr,
     client: NetCacheClient,
+    retries: u64,
+    stale_replies: u64,
 }
 
 impl UdpClient {
     fn request(&mut self, pkt: Packet, retries: u32) -> Option<Response> {
-        let key = pkt.netcache.key;
+        let seq = pkt.netcache.seq;
         let frame = pkt.deparse();
         let mut buf = [0u8; MAX_FRAME];
-        for _ in 0..=retries {
+        for attempt in 0..=retries {
+            // Exponential backoff: each attempt waits twice as long for a
+            // reply, so a transiently congested loopback gets headroom.
+            let window = RECV_TIMEOUT * (1u32 << attempt.min(4));
+            let _ = self.socket.set_read_timeout(Some(window));
+            if attempt > 0 {
+                self.retries += 1;
+            }
             self.socket.send_to(&frame, self.switch_addr).ok()?;
-            // Collect until a matching reply or timeout.
+            // Collect until a matching reply or timeout. Replies to earlier
+            // attempts of this request carry the same seq and are accepted;
+            // anything else (stale replies to prior requests, duplicated
+            // frames after the first match) is discarded.
             while let Ok((len, _)) = self.socket.recv_from(&mut buf) {
-                if let Ok(reply) = Packet::parse(&buf[..len]) {
-                    if reply.netcache.key == key {
-                        if let Some(resp) = Response::from_packet(&reply) {
-                            return Some(resp);
-                        }
-                    }
+                let Ok(reply) = Packet::parse(&buf[..len]) else {
+                    continue;
+                };
+                if reply.netcache.seq != seq {
+                    self.stale_replies += 1;
+                    continue;
+                }
+                if let Some(resp) = Response::from_packet(&reply) {
+                    return Some(resp);
                 }
             }
         }
         None
     }
 
-    /// Reads `key`, retrying a few times on loss.
+    /// Retransmissions performed so far (attempts beyond the first send).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Replies discarded as stale or duplicate.
+    pub fn stale_replies(&self) -> u64 {
+        self.stale_replies
+    }
+
+    /// Reads `key`, retransmitting on loss.
     pub fn get(&mut self, key: Key) -> Option<Response> {
         let pkt = self.client.get(key);
-        self.request(pkt, 3)
+        self.request(pkt, 5)
     }
 
     /// Writes `value` under `key`.
     pub fn put(&mut self, key: Key, value: Value) -> Option<Response> {
         let pkt = self.client.put(key, value);
-        self.request(pkt, 3)
+        self.request(pkt, 5)
     }
 
     /// Deletes `key`.
     pub fn delete(&mut self, key: Key) -> Option<Response> {
         let pkt = self.client.delete(key);
-        self.request(pkt, 3)
+        self.request(pkt, 5)
     }
 }
 
@@ -418,6 +508,44 @@ mod tests {
                 _ => std::thread::sleep(Duration::from_millis(10)),
             }
         }
+        rack.stop();
+    }
+
+    #[test]
+    fn udp_rack_survives_lossy_network() {
+        let mut config = RackConfig::small(2);
+        config.faults = crate::fault::FaultConfig {
+            loss: 0.1,
+            duplicate: 0.1,
+            reorder: 0.05,
+            max_delay_ns: 2_000_000, // 2 ms, well under a receive window
+            seed: 0xbad_1157,
+        };
+        let rack = UdpRack::start(config).unwrap();
+        rack.load_dataset(20, 32);
+        rack.populate_cache([Key::from_u64(1)]);
+
+        let mut client = rack.client(0);
+        let mut ok = 0;
+        for round in 0..10u64 {
+            if matches!(
+                client.put(Key::from_u64(round % 4), Value::filled(round as u8, 32)),
+                Some(Response::PutAck { .. })
+            ) {
+                ok += 1;
+            }
+            if client.get(Key::from_u64(round % 4)).is_some() {
+                ok += 1;
+            }
+        }
+        // Retransmission must ride out the injected faults for most
+        // requests (each has 6 attempts at ≥90% per-crossing delivery).
+        assert!(ok >= 15, "only {ok}/20 requests succeeded");
+        let stats = rack.faults().stats();
+        assert!(
+            stats.dropped + stats.duplicated + stats.delayed > 0,
+            "{stats:?}"
+        );
         rack.stop();
     }
 }

@@ -60,13 +60,16 @@ impl NetCacheHdr {
         }
     }
 
-    /// Builds a Put query header carrying `value`.
+    /// Builds a Put query header carrying `value`. An empty value is
+    /// normalized to `None` — the wire format (`VLEN = 0`) cannot tell
+    /// them apart, so in-memory headers never hold `Some(empty)` either
+    /// and every header round-trips through encoding unchanged.
     pub fn put(key: Key, seq: u32, value: Value) -> Self {
         NetCacheHdr {
             op: Op::Put,
             seq,
             key,
-            value: Some(value),
+            value: Self::normalize(value),
         }
     }
 
@@ -80,13 +83,23 @@ impl NetCacheHdr {
         }
     }
 
-    /// Builds a server→switch data-plane cache update.
+    /// Builds a server→switch data-plane cache update. An empty value is
+    /// normalized to `None`, as in [`NetCacheHdr::put`].
     pub fn cache_update(key: Key, version: u32, value: Value) -> Self {
         NetCacheHdr {
             op: Op::CacheUpdate,
             seq: version,
             key,
-            value: Some(value),
+            value: Self::normalize(value),
+        }
+    }
+
+    /// Maps an empty value to `None` (the wire representation of both).
+    pub fn normalize(value: Value) -> Option<Value> {
+        if value.is_empty() {
+            None
+        } else {
+            Some(value)
         }
     }
 
@@ -228,6 +241,21 @@ mod tests {
             NetCacheHdr::decode(&bytes).unwrap_err(),
             ParseError::ValueTooLong(MAX_VALUE_LEN + 1)
         );
+    }
+
+    #[test]
+    fn constructors_normalize_empty_values() {
+        // `Some(empty)` and `None` share one wire encoding (VLEN = 0), so
+        // the constructors must never produce `Some(empty)` — otherwise a
+        // header would not round-trip through encode/decode.
+        let empty = Value::new(vec![]).unwrap();
+        let put = NetCacheHdr::put(Key::from_u64(1), 3, empty.clone());
+        assert_eq!(put.value, None);
+        let upd = NetCacheHdr::cache_update(Key::from_u64(1), 3, empty);
+        assert_eq!(upd.value, None);
+        let bytes = put.encode_to_vec();
+        let (decoded, _) = NetCacheHdr::decode(&bytes).unwrap();
+        assert_eq!(decoded, put);
     }
 
     #[test]

@@ -6,8 +6,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Length of a NetCache key in bytes.
 pub const KEY_LEN: usize = 16;
 
@@ -26,7 +24,7 @@ pub const KEY_LEN: usize = 16;
 /// let b = Key::from_bytes(*a.as_bytes());
 /// assert_eq!(a, b);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Key([u8; KEY_LEN]);
 
 impl Key {

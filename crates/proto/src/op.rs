@@ -11,12 +11,10 @@
 //!   [`Op::CacheUpdate`] packet, which the switch acknowledges with
 //!   [`Op::CacheUpdateAck`] (the reliable-update mechanism of §6).
 
-use serde::{Deserialize, Serialize};
-
 use crate::ParseError;
 
 /// Operation field of a NetCache packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Op {
     /// Read query from a client (UDP).

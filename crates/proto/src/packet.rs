@@ -126,12 +126,13 @@ impl Packet {
     }
 
     /// Turns this query into its in-place reply: op becomes `reply_op`,
-    /// value replaced by `value`, and L2-L4 source/destination swapped
-    /// (§4.2 "the switch updates the packet header by swapping the source
-    /// and destination addresses and ports").
+    /// value replaced by `value` (an empty value normalizes to `None`, as
+    /// on the wire), and L2-L4 source/destination swapped (§4.2 "the
+    /// switch updates the packet header by swapping the source and
+    /// destination addresses and ports").
     pub fn into_reply(mut self, reply_op: Op, value: Option<Value>) -> Packet {
         self.netcache.op = reply_op;
-        self.netcache.value = value;
+        self.netcache.value = value.and_then(NetCacheHdr::normalize);
         self.eth.swap();
         self.ipv4.swap();
         self.l4.swap();

@@ -8,8 +8,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum value length in bytes (8 stages × 16-byte slots).
 pub const MAX_VALUE_LEN: usize = 128;
 
@@ -34,7 +32,7 @@ pub const VALUE_STAGES: usize = MAX_VALUE_LEN / VALUE_UNIT;
 /// assert_eq!(v.len(), 5);
 /// assert_eq!(v.units(), 1); // rounds up to one 16-byte unit
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Value(Vec<u8>);
 
 impl Value {

@@ -1,11 +1,58 @@
 //! Robustness: the parser must never panic, whatever bytes arrive — a
-//! switch faces arbitrary traffic on its ports.
+//! switch faces arbitrary traffic on its ports — and every rejection is a
+//! *typed* [`ParseError`], so transports can distinguish "not ours" from
+//! "corrupt".
 
-use netcache_proto::{NetCacheHdr, Packet};
+use netcache_proto::{
+    EthernetHdr, Ipv4Hdr, Key, L4Hdr, MacAddr, NetCacheHdr, Op, Packet, ParseError, TcpHdr, UdpHdr,
+    Value, MAX_VALUE_LEN, NETCACHE_PORT,
+};
 use proptest::prelude::*;
 
+/// Every opcode of the protocol, in wire order.
+const ALL_OPS: [Op; 12] = [
+    Op::Get,
+    Op::GetReplyHit,
+    Op::GetReplyMiss,
+    Op::GetReplyNotFound,
+    Op::Put,
+    Op::PutCached,
+    Op::PutReply,
+    Op::Delete,
+    Op::DeleteCached,
+    Op::DeleteReply,
+    Op::CacheUpdate,
+    Op::CacheUpdateAck,
+];
+
+/// Builds a well-formed packet carrying `op` over UDP or TCP.
+fn packet_for(op: Op, seq: u32, key: u64, len: usize, fill: u8, udp: bool) -> Packet {
+    let l4 = if udp {
+        L4Hdr::Udp(UdpHdr::new(NETCACHE_PORT, NETCACHE_PORT, 0))
+    } else {
+        L4Hdr::Tcp(TcpHdr::new(NETCACHE_PORT, NETCACHE_PORT, seq))
+    };
+    let value = if len == 0 {
+        None
+    } else {
+        Some(Value::filled(fill, len))
+    };
+    Packet::new(
+        EthernetHdr::ipv4(MacAddr::host(1), MacAddr::host(0)),
+        0x0a00_0001,
+        0x0a00_0101,
+        l4,
+        NetCacheHdr {
+            op,
+            seq,
+            key: Key::from_u64(key),
+            value,
+        },
+    )
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 512 })]
 
     /// Arbitrary bytes never panic the full-packet parser.
     #[test]
@@ -19,18 +66,34 @@ proptest! {
         let _ = NetCacheHdr::decode(&bytes);
     }
 
-    /// Truncating a valid packet at any point yields an error, not a panic
-    /// or a bogus success.
+    /// Every opcode round-trips through deparse/parse over both L4
+    /// carriers, with and without a VALUE.
     #[test]
-    fn truncation_is_detected(cut in 0usize..100) {
-        use netcache_proto::{Key, Value};
-        let pkt = Packet::put_query(
-            1, 0x0a000001, 0x0a000101,
-            Key::from_u64(7), 3, Value::filled(0xee, 32),
-        );
+    fn every_op_round_trips(
+        op_i in 0usize..12,
+        seq in any::<u32>(),
+        key in any::<u64>(),
+        len in 0usize..=128,
+        fill in any::<u8>(),
+        udp in any::<bool>(),
+    ) {
+        let pkt = packet_for(ALL_OPS[op_i], seq, key, len, fill, udp);
+        let parsed = Packet::parse(&pkt.deparse()).expect("well-formed packet parses");
+        prop_assert_eq!(parsed, pkt);
+    }
+
+    /// Truncating a valid packet at any point (in any layer: Ethernet,
+    /// IPv4, L4, NetCache header, VALUE) yields a typed `Truncated` error —
+    /// not a panic and not a bogus success.
+    #[test]
+    fn truncation_is_detected(cut in 0usize..128, udp in any::<bool>()) {
+        let pkt = packet_for(Op::Put, 3, 7, 32, 0xee, udp);
         let bytes = pkt.deparse();
         let cut = cut.min(bytes.len().saturating_sub(1));
-        prop_assert!(Packet::parse(&bytes[..cut]).is_err());
+        match Packet::parse(&bytes[..cut]) {
+            Err(ParseError::Truncated { needed, .. }) => prop_assert!(needed > 0),
+            other => prop_assert!(false, "cut={} gave {:?}", cut, other),
+        }
     }
 
     /// Flipping any single byte is either detected (parse error), or
@@ -39,14 +102,85 @@ proptest! {
     /// silently while claiming the same identity.
     #[test]
     fn bitflips_never_panic(pos in 0usize..80, bit in 0u8..8) {
-        use netcache_proto::{Key, Value};
-        let pkt = Packet::put_query(
-            1, 0x0a000001, 0x0a000101,
-            Key::from_u64(7), 3, Value::filled(0xee, 16),
-        );
+        let pkt = packet_for(Op::Put, 3, 7, 16, 0xee, false);
         let mut bytes = pkt.deparse();
         let pos = pos.min(bytes.len() - 1);
         bytes[pos] ^= 1 << bit;
         let _ = Packet::parse(&bytes);
     }
+}
+
+// Byte offsets inside a deparsed UDP NetCache frame.
+const ETHERTYPE_OFF: usize = 12;
+const IP_VERSION_IHL_OFF: usize = 14;
+const OP_OFF: usize = EthernetHdr::LEN + Ipv4Hdr::LEN + UdpHdr::LEN;
+const VLEN_OFF: usize = OP_OFF + 1 + 4 + 16;
+
+#[test]
+fn unsupported_ethertype_is_typed() {
+    let mut bytes = packet_for(Op::Get, 1, 2, 0, 0, true).deparse();
+    bytes[ETHERTYPE_OFF] = 0x86;
+    bytes[ETHERTYPE_OFF + 1] = 0xdd; // IPv6
+    assert_eq!(
+        Packet::parse(&bytes).unwrap_err(),
+        ParseError::UnsupportedEtherType(0x86dd)
+    );
+}
+
+#[test]
+fn bad_ip_header_len_is_typed() {
+    let mut bytes = packet_for(Op::Get, 1, 2, 0, 0, true).deparse();
+    bytes[IP_VERSION_IHL_OFF] = 0x46; // IHL = 6: options are not supported
+    assert_eq!(
+        Packet::parse(&bytes).unwrap_err(),
+        ParseError::BadIpHeaderLen(0x46)
+    );
+}
+
+#[test]
+fn unsupported_ip_proto_is_typed() {
+    // Hand-assemble an ICMP frame (proto 1) with a correct IP checksum —
+    // corrupting the proto byte of a finished frame would trip the
+    // checksum first.
+    let eth = EthernetHdr::ipv4(MacAddr::host(1), MacAddr::host(0));
+    let ipv4 = Ipv4Hdr::new(0x0a00_0001, 0x0a00_0101, 1, 8);
+    let mut bytes = Vec::new();
+    eth.encode(&mut bytes);
+    ipv4.encode(&mut bytes);
+    bytes.extend_from_slice(&[0u8; 8]);
+    assert_eq!(
+        Packet::parse(&bytes).unwrap_err(),
+        ParseError::UnsupportedIpProto(1)
+    );
+}
+
+#[test]
+fn unknown_op_is_typed() {
+    let mut bytes = packet_for(Op::Get, 1, 2, 0, 0, true).deparse();
+    bytes[OP_OFF] = 0xff;
+    assert_eq!(
+        Packet::parse(&bytes).unwrap_err(),
+        ParseError::UnknownOp(0xff)
+    );
+}
+
+#[test]
+fn oversized_vlen_is_typed() {
+    let mut bytes = packet_for(Op::Get, 1, 2, 0, 0, true).deparse();
+    bytes[VLEN_OFF] = (MAX_VALUE_LEN + 72) as u8;
+    bytes.extend(std::iter::repeat_n(0u8, MAX_VALUE_LEN + 72));
+    assert_eq!(
+        Packet::parse(&bytes).unwrap_err(),
+        ParseError::ValueTooLong(MAX_VALUE_LEN + 72)
+    );
+}
+
+#[test]
+fn corrupted_ip_checksum_is_typed() {
+    let mut bytes = packet_for(Op::Get, 1, 2, 0, 0, true).deparse();
+    bytes[IP_VERSION_IHL_OFF + 12] ^= 0x01; // source IP, covered by checksum
+    assert!(matches!(
+        Packet::parse(&bytes).unwrap_err(),
+        ParseError::LengthMismatch { .. }
+    ));
 }

@@ -5,7 +5,7 @@
 //! cluster example and the discrete-event simulator all drive the same
 //! code.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use netcache_proto::{Key, Op, Packet, Value};
 use netcache_store::{ShardedStore, StoredItem};
@@ -70,6 +70,9 @@ pub struct ServerStats {
     /// Write queries that had to wait behind a pending cache update or a
     /// controller-initiated insertion.
     pub writes_blocked: u64,
+    /// Retransmitted writes recognized as duplicates (the original's reply
+    /// was resent instead of recommitting).
+    pub dup_writes_ignored: u64,
 }
 
 /// A cache update awaiting acknowledgement from the switch.
@@ -102,10 +105,43 @@ impl KeyState {
     }
 }
 
+/// Bound on the duplicate-write suppression table (FIFO eviction). A
+/// retransmission arriving after its entry was evicted recommits the
+/// write — safe for the value (puts are absolute), at worst bumping the
+/// version once more.
+const RECENT_WRITES_CAP: usize = 1024;
+
 #[derive(Debug, Default)]
 struct Inner {
     keys: HashMap<Key, KeyState>,
+    /// Keys this server believes are in the switch cache (maintained by
+    /// the controller via [`ServerAgent::mark_cached`]). Writes to these
+    /// keys emit cache updates even if the query arrived without the
+    /// switch's cached-op rewrite — e.g. a write that was blocked while
+    /// the controller was inserting the key, then released after the
+    /// insertion finished. A stale entry is harmless: the switch ignores
+    /// (but still acks) updates for keys it no longer caches.
+    cached_keys: HashSet<Key>,
+    /// Replies to recently committed writes, by `(client ip, seq)`; a
+    /// retransmitted or duplicated write resends the stored reply instead
+    /// of recommitting. Sequence number 0 is exempt (unsequenced traffic).
+    recent_writes: HashMap<(u32, u32), Packet>,
+    /// FIFO of `recent_writes` keys for bounded eviction.
+    recent_order: VecDeque<(u32, u32)>,
     stats: ServerStats,
+}
+
+impl Inner {
+    fn remember_write(&mut self, id: (u32, u32), reply: Packet) {
+        if self.recent_writes.insert(id, reply).is_none() {
+            self.recent_order.push_back(id);
+            if self.recent_order.len() > RECENT_WRITES_CAP {
+                if let Some(old) = self.recent_order.pop_front() {
+                    self.recent_writes.remove(&old);
+                }
+            }
+        }
+    }
 }
 
 /// The server agent: store + coherence state machine.
@@ -233,6 +269,18 @@ impl ServerAgent {
         self.store.get(key)
     }
 
+    /// Records that `key` is now in the switch cache: subsequent writes to
+    /// it emit cache updates even if they arrive without the switch's
+    /// cached-op rewrite (e.g. writes blocked during the insertion itself).
+    pub fn mark_cached(&self, key: Key) {
+        self.inner.lock().cached_keys.insert(key);
+    }
+
+    /// Records that `key` left the switch cache.
+    pub fn unmark_cached(&self, key: &Key) {
+        self.inner.lock().cached_keys.remove(key);
+    }
+
     // ---- Query handlers ----
 
     fn handle_get(&self, pkt: Packet) -> Vec<Packet> {
@@ -253,17 +301,37 @@ impl ServerAgent {
 
     fn handle_write(&self, pkt: Packet, cached: bool, now_ns: u64) -> Vec<Packet> {
         let key = pkt.netcache.key;
-        {
-            let mut inner = self.inner.lock();
-            let state = inner.keys.entry(key).or_default();
-            if state.is_blocked() {
-                // §4.3: serialize writes behind the in-flight cache update
-                // or controller insertion.
-                state.blocked.push_back(pkt);
-                inner.stats.writes_blocked += 1;
-                return Vec::new();
-            }
-        }
+        let cached =
+            {
+                let mut inner = self.inner.lock();
+                if pkt.netcache.seq != 0 {
+                    let id = (pkt.ipv4.src, pkt.netcache.seq);
+                    // Retransmission of a committed write: resend its reply.
+                    if let Some(reply) = inner.recent_writes.get(&id) {
+                        let reply = reply.clone();
+                        inner.stats.dup_writes_ignored += 1;
+                        return vec![reply];
+                    }
+                    // Duplicate of a write already waiting in the blocked
+                    // queue: drop it (the queued original will answer).
+                    if inner.keys.get(&key).is_some_and(|s| {
+                        s.blocked.iter().any(|b| (b.ipv4.src, b.netcache.seq) == id)
+                    }) {
+                        inner.stats.dup_writes_ignored += 1;
+                        return Vec::new();
+                    }
+                }
+                let cached = cached || inner.cached_keys.contains(&key);
+                let state = inner.keys.entry(key).or_default();
+                if state.is_blocked() {
+                    // §4.3: serialize writes behind the in-flight cache update
+                    // or controller insertion.
+                    state.blocked.push_back(pkt);
+                    inner.stats.writes_blocked += 1;
+                    return Vec::new();
+                }
+                cached
+            };
         self.commit_write(pkt, cached, now_ns)
     }
 
@@ -309,7 +377,11 @@ impl ServerAgent {
         let Some(next) = state.blocked.pop_front() else {
             return Vec::new();
         };
-        let cached = matches!(next.netcache.op, Op::PutCached | Op::DeleteCached);
+        // A write can arrive *before* the key becomes cached (plain op) and
+        // be released *after* — the membership set catches that, so the
+        // switch still gets its update.
+        let cached = matches!(next.netcache.op, Op::PutCached | Op::DeleteCached)
+            || inner.cached_keys.contains(&key);
         self.commit_write_locked(inner, next, cached, now_ns)
     }
 
@@ -330,6 +402,7 @@ impl ServerAgent {
     ) -> Vec<Packet> {
         let key = pkt.netcache.key;
         let is_delete = matches!(pkt.netcache.op, Op::Delete | Op::DeleteCached);
+        let write_id = (pkt.ipv4.src, pkt.netcache.seq);
         let next_version = self
             .store
             .get(&key)
@@ -368,6 +441,9 @@ impl ServerAgent {
                     value,
                 ));
             }
+        }
+        if write_id.1 != 0 {
+            inner.remember_write(write_id, out[0].clone());
         }
         out
     }
@@ -602,6 +678,69 @@ mod tests {
         assert_eq!(item.value, Value::filled(9, 32));
         assert_eq!(item.version, 1);
         assert!(a.fetch(&Key::from_u64(2)).is_none());
+    }
+
+    #[test]
+    fn retransmitted_write_resends_reply_without_recommit() {
+        let a = agent();
+        let mut p = put(1, 1);
+        p.netcache.seq = 7;
+        let out1 = a.handle_packet(p.clone(), 0);
+        assert_eq!(out1[0].netcache.op, Op::PutReply);
+        let v1 = a.store().get(&Key::from_u64(1)).unwrap().version;
+        let out2 = a.handle_packet(p, 1);
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].netcache.op, Op::PutReply, "stored reply resent");
+        assert_eq!(
+            a.store().get(&Key::from_u64(1)).unwrap().version,
+            v1,
+            "duplicate must not bump the version"
+        );
+        assert_eq!(a.stats().dup_writes_ignored, 1);
+        assert_eq!(a.stats().puts, 1);
+    }
+
+    #[test]
+    fn duplicate_of_blocked_write_is_dropped() {
+        let a = agent();
+        a.handle_packet(put_cached(1, 1), 0); // pending update blocks key 1
+        let mut p = put_cached(1, 2);
+        p.netcache.seq = 9;
+        assert!(a.handle_packet(p.clone(), 1).is_empty());
+        assert!(a.handle_packet(p, 2).is_empty());
+        assert_eq!(a.stats().dup_writes_ignored, 1);
+        assert_eq!(a.stats().writes_blocked, 1, "only queued once");
+    }
+
+    #[test]
+    fn marked_key_write_emits_update_without_rewrite() {
+        let a = agent();
+        a.mark_cached(Key::from_u64(1));
+        // Plain Put (no switch rewrite) still refreshes the cache.
+        let out = a.handle_packet(put(1, 5), 0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].netcache.op, Op::CacheUpdate);
+        a.handle_packet(ack_for(&out[1]), 1);
+        a.unmark_cached(&Key::from_u64(1));
+        let out = a.handle_packet(put(1, 6), 2);
+        assert_eq!(out.len(), 1, "unmarked key: plain write again");
+    }
+
+    #[test]
+    fn blocked_plain_write_released_after_mark_emits_update() {
+        // A write arrives while the controller is inserting the key (so it
+        // carries the plain op), and is released after the insertion
+        // finished — the membership set must still produce the update.
+        let a = agent();
+        a.handle_packet(put(1, 1), 0);
+        a.controller_lock(Key::from_u64(1));
+        assert!(a.handle_packet(put(1, 2), 1).is_empty());
+        a.mark_cached(Key::from_u64(1));
+        let out = a.controller_unlock(Key::from_u64(1), 2);
+        assert!(
+            out.iter().any(|p| p.netcache.op == Op::CacheUpdate),
+            "released write must refresh the now-cached key"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! hardware exactly like the paper's own 64-queue server emulation scaled
 //! them — ratios, not absolute numbers, are the observable.
 
-use netcache::{Rack, RackConfig};
+use netcache::{FaultConfig, FaultStats, NetworkModel, Rack, RackConfig};
 use netcache_client::{ClientConfig, NetCacheClient, RateController};
 use netcache_controller::{ControllerConfig, KeyHome, ServerBackend};
 use netcache_dataplane::{PortId, SwitchConfig};
@@ -103,6 +103,10 @@ pub struct SimConfig {
     pub latency: LatencyModel,
     /// Collect per-query latency samples (1-in-16 sampled).
     pub collect_latency: bool,
+    /// Network fault model applied on every simulated link crossing
+    /// (loss, duplication, reordering, bounded delay). Defaults to a
+    /// perfect network.
+    pub faults: FaultConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -133,6 +137,7 @@ impl Default for SimConfig {
             sample_rate: 1.0,
             latency: LatencyModel::default(),
             collect_latency: false,
+            faults: FaultConfig::default(),
             seed: 0x5eed,
         }
     }
@@ -215,6 +220,8 @@ pub struct SimReport {
     pub latency: LatencyStats,
     /// Per-second series (Fig. 11).
     pub per_second: Vec<SecondStats>,
+    /// Faults injected by the network model over the whole run.
+    pub faults: FaultStats,
 }
 
 enum Event {
@@ -246,6 +253,7 @@ pub struct RackSim {
     client: NetCacheClient,
     client_port: PortId,
     rng: StdRng,
+    faults: NetworkModel,
     queue: EventQueue<Event>,
     rate: RateController,
     // Server state.
@@ -308,6 +316,10 @@ impl RackSim {
             partition_seed: config.partition_seed,
             agent_retry_timeout_ns: 200_000,
             dataplane_updates,
+            // The sim routes every packet through its own latency-modelled
+            // links, so the rack-internal fault model stays off and the
+            // sim applies `config.faults` itself in `dispatch`.
+            faults: FaultConfig::default(),
         };
         let rack = Rack::new(rack_config)?;
         let loaded = config
@@ -346,6 +358,7 @@ impl RackSim {
         let end_ns = warmup_end_ns + (config.duration_s * 1e9) as u64;
         Ok(RackSim {
             rng: StdRng::seed_from_u64(config.seed),
+            faults: NetworkModel::new(config.faults.clone()),
             mix,
             client,
             client_port,
@@ -452,22 +465,38 @@ impl RackSim {
         self.dispatch(at_switch, outs);
     }
 
-    /// Routes switch outputs to their attached nodes with latency.
+    /// Passes one packet through the fault model for a link crossing,
+    /// returning the surviving copies and their departure times.
+    fn link(&mut self, pkt: Packet, now: u64) -> Vec<(u64, Packet)> {
+        let mut deliveries = Vec::new();
+        self.faults.transmit(pkt, now, &mut deliveries);
+        deliveries
+            .into_iter()
+            .map(|d| (d.deliver_at_ns, d.pkt))
+            .collect()
+    }
+
+    /// Routes switch outputs to their attached nodes with latency, applying
+    /// the fault model per link crossing.
     fn dispatch(&mut self, now: u64, outs: Vec<(PortId, Packet)>) {
         for (port, pkt) in outs {
             match self.rack.addressing().attachment(port) {
                 netcache::addressing::Attachment::Client(_) => {
-                    let from_cache = pkt.netcache.op == Op::GetReplyHit;
-                    self.queue.schedule(
-                        now + self.config.latency.hop_ns,
-                        Event::ClientRecv {
-                            seq: pkt.netcache.seq,
-                            from_cache,
-                        },
-                    );
+                    for (at, pkt) in self.link(pkt, now) {
+                        let from_cache = pkt.netcache.op == Op::GetReplyHit;
+                        self.queue.schedule(
+                            at + self.config.latency.hop_ns,
+                            Event::ClientRecv {
+                                seq: pkt.netcache.seq,
+                                from_cache,
+                            },
+                        );
+                    }
                 }
                 netcache::addressing::Attachment::Server(i) => {
-                    self.deliver_to_server(now, i, pkt);
+                    for (at, pkt) in self.link(pkt, now) {
+                        self.deliver_to_server(at, i, pkt);
+                    }
                 }
                 netcache::addressing::Attachment::Unused => {}
             }
@@ -515,9 +544,14 @@ impl RackSim {
     fn forward_from_server(&mut self, now: u64, server: u32, outs: Vec<Packet>) {
         let port = self.rack.addressing().server_port(server);
         for pkt in outs {
-            let at_switch = now + self.config.latency.hop_ns + self.config.latency.switch_ns;
-            let outs = self.rack.with_switch(|sw| sw.process(pkt, port));
-            self.dispatch(at_switch, outs);
+            // Server → switch is a link crossing of its own; copies that
+            // survive it traverse the switch at their (possibly delayed)
+            // arrival time.
+            for (at, pkt) in self.link(pkt, now) {
+                let at_switch = at + self.config.latency.hop_ns + self.config.latency.switch_ns;
+                let outs = self.rack.with_switch(|sw| sw.process(pkt, port));
+                self.dispatch(at_switch, outs);
+            }
         }
     }
 
@@ -543,7 +577,7 @@ impl RackSim {
             }
             if self.config.collect_latency {
                 self.latency_decimator = self.latency_decimator.wrapping_add(1);
-                if self.latency_decimator % 16 == 0 {
+                if self.latency_decimator.is_multiple_of(16) {
                     if let Some(sent) = sent_at {
                         self.latencies
                             .push(now - sent + self.config.latency.client_overhead_ns);
@@ -675,6 +709,7 @@ impl RackSim {
                 .collect(),
             latency,
             per_second: self.per_second,
+            faults: self.faults.stats(),
         }
     }
 }
@@ -810,6 +845,32 @@ mod tests {
             assert_eq!(line.split(',').count(), 5, "bad row: {line}");
         }
         assert_eq!(report.summary_csv_row().split(',').count(), 6);
+    }
+
+    #[test]
+    fn lossy_network_degrades_but_does_not_kill_goodput() {
+        let clean = RackSim::new(base_config()).unwrap().run();
+        let lossy = RackSim::new(SimConfig {
+            faults: FaultConfig {
+                loss: 0.05,
+                duplicate: 0.02,
+                reorder: 0.02,
+                max_delay_ns: 50_000,
+                seed: 0xc4a05,
+            },
+            ..base_config()
+        })
+        .unwrap()
+        .run();
+        assert_eq!(clean.faults, FaultStats::default());
+        assert!(lossy.faults.dropped > 0, "{:?}", lossy.faults);
+        assert!(lossy.faults.duplicated > 0, "{:?}", lossy.faults);
+        assert!(
+            lossy.goodput_qps > 0.0 && lossy.goodput_qps < clean.offered_qps,
+            "lossy {} vs clean {}",
+            lossy.goodput_qps,
+            clean.offered_qps
+        );
     }
 
     #[test]

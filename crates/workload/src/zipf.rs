@@ -158,7 +158,7 @@ mod tests {
         let z = ZipfGenerator::new(n, 0.99);
         let mut r = rng();
         let draws = 500_000;
-        let mut counts = vec![0u64; 16];
+        let mut counts = [0u64; 16];
         for _ in 0..draws {
             let rank = z.sample(&mut r);
             if rank < 16 {

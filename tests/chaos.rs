@@ -1,0 +1,273 @@
+//! Chaos suite: mixed read/write workloads replayed across many seeds of
+//! the probabilistic network fault model (loss + duplication + reordering
+//! + delay), asserting the §4.3 coherence guarantees end to end:
+//!
+//! - **Freshness**: every acked read reflects at least the latest acked
+//!   write to its key at the moment the read was issued, and never a value
+//!   newer than anything issued.
+//! - **Bounded retries**: no request exceeds its [`RetryPolicy`] budget,
+//!   and below heavy loss no request is abandoned at all.
+//! - **Observability**: the injected faults and the client's reaction
+//!   (retransmissions, suppressed duplicates) surface in [`RackReport`].
+//!
+//! Every scenario is exactly reproducible: the fault sequence and the
+//! workload derive from one seed, adjustable via `NETCACHE_TEST_SEED`.
+
+use netcache::{seed_from_env, FaultConfig, Rack, RackConfig, RackReport, RetryPolicy};
+use netcache_client::Response;
+use netcache_proto::{Key, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Distinct keys in the workload; the cache covers the first half.
+const KEYS: u64 = 16;
+/// Mixed operations per scenario, after the initial seeding puts.
+const OPS: usize = 200;
+/// Scenarios per loss level (3 levels × 12 = 36 distinct seeds).
+const SEEDS_PER_LEVEL: u64 = 12;
+
+/// Values carry a big-endian write counter so reads can be checked for
+/// staleness against the issue/ack history.
+fn val(counter: u64) -> Value {
+    Value::new(counter.to_be_bytes().to_vec()).expect("8 bytes fits")
+}
+
+fn counter_of(v: &Value) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&v.as_bytes()[..8]);
+    u64::from_be_bytes(b)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The scenario seed for case `i` of the level with the given index. All
+/// seeds across all levels are distinct; the base comes from
+/// `NETCACHE_TEST_SEED` when set.
+fn scenario_seed(level: u64, i: u64) -> u64 {
+    splitmix64(seed_from_env(0xc4a0_5eed) ^ (level << 32) ^ i)
+}
+
+/// Per-key ground truth maintained by the (single, sequential) client.
+#[derive(Clone, Copy, Default)]
+struct KeyState {
+    /// Highest write counter ever issued for this key (acked or not).
+    max_issued: u64,
+    /// Counter of the latest *acked* put, cleared by an acked delete.
+    floor: Option<u64>,
+}
+
+/// What one scenario observed, for aggregate assertions and determinism
+/// checks.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    acked: u64,
+    abandoned: u64,
+    dropped: u64,
+    duplicated: u64,
+    reordered: u64,
+    delayed: u64,
+    client_retries: u64,
+    stale_replies: u64,
+}
+
+fn run_scenario(seed: u64, loss: f64) -> Outcome {
+    let mut config = RackConfig::small(4);
+    config.controller.cache_capacity = 8;
+    config.faults = FaultConfig {
+        loss,
+        duplicate: 0.05,
+        reorder: 0.05,
+        max_delay_ns: 300_000,
+        seed,
+    };
+    let rack = Rack::new(config).expect("valid config");
+    let policy = RetryPolicy::default();
+    let mut client = rack.client(0).with_policy(policy.clone());
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed));
+
+    let mut keys = [KeyState::default(); KEYS as usize];
+    let mut next_counter = 0u64;
+    let mut acked = 0u64;
+    let mut abandoned = 0u64;
+
+    // Seed every key with an initial value (under faults too), then cache
+    // the first half of the keyspace so the workload mixes switch-served
+    // and server-served reads.
+    for k in 0..KEYS {
+        next_counter += 1;
+        keys[k as usize].max_issued = next_counter;
+        let out = client.put_with_retry(Key::from_u64(k), val(next_counter));
+        assert!(out.retries <= policy.max_retries);
+        match out.response {
+            Some(_) => keys[k as usize].floor = Some(next_counter),
+            None => abandoned += 1,
+        }
+    }
+    rack.populate_cache(
+        (0..KEYS / 2).filter_map(|k| keys[k as usize].floor.map(|_| Key::from_u64(k))),
+    );
+
+    for _ in 0..OPS {
+        let k = rng.random_range(0..KEYS);
+        let key = Key::from_u64(k);
+        let roll: f64 = rng.random();
+        if roll < 0.6 {
+            let out = client.get_with_retry(key);
+            assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+            let Some(resp) = out.response else {
+                abandoned += 1;
+                continue;
+            };
+            acked += 1;
+            let st = keys[k as usize];
+            match resp.response() {
+                Response::Value { value, .. } => {
+                    let c = counter_of(value);
+                    assert!(
+                        c <= st.max_issued,
+                        "read counter {c} was never issued for this key \
+                         (max {}, seed {seed:#x})",
+                        st.max_issued
+                    );
+                    if let Some(f) = st.floor {
+                        assert!(
+                            c >= f,
+                            "stale read: counter {c} < acked floor {f} (seed {seed:#x})"
+                        );
+                    }
+                }
+                Response::NotFound { .. } => {
+                    assert!(
+                        st.floor.is_none(),
+                        "acked write {:?} vanished: read NotFound (seed {seed:#x})",
+                        st.floor
+                    );
+                }
+                other => panic!("unexpected get response {other:?}"),
+            }
+        } else if roll < 0.9 {
+            next_counter += 1;
+            keys[k as usize].max_issued = next_counter;
+            let out = client.put_with_retry(key, val(next_counter));
+            assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+            match out.response {
+                Some(resp) => {
+                    assert!(matches!(resp.response(), Response::PutAck { .. }));
+                    keys[k as usize].floor = Some(next_counter);
+                    acked += 1;
+                }
+                None => abandoned += 1,
+            }
+        } else {
+            let out = client.delete_with_retry(key);
+            assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+            match out.response {
+                Some(resp) => {
+                    assert!(matches!(resp.response(), Response::DeleteAck { .. }));
+                    keys[k as usize].floor = None;
+                    acked += 1;
+                }
+                None => abandoned += 1,
+            }
+        }
+    }
+
+    let report = RackReport::capture(&rack);
+    assert_eq!(report.abandoned_requests, abandoned);
+    Outcome {
+        acked,
+        abandoned,
+        dropped: report.faults.dropped,
+        duplicated: report.faults.duplicated,
+        reordered: report.faults.reordered,
+        delayed: report.faults.delayed,
+        client_retries: report.client_retries,
+        stale_replies: report.stale_replies,
+    }
+}
+
+/// Runs every seed of one loss level and checks the aggregate: faults were
+/// actually injected, the client actually retried, and the abandoned
+/// fraction stays within `max_abandoned_frac`.
+fn run_level(level: u64, loss: f64, max_abandoned_frac: f64) {
+    let mut total = Outcome {
+        acked: 0,
+        abandoned: 0,
+        dropped: 0,
+        duplicated: 0,
+        reordered: 0,
+        delayed: 0,
+        client_retries: 0,
+        stale_replies: 0,
+    };
+    for i in 0..SEEDS_PER_LEVEL {
+        let out = run_scenario(scenario_seed(level, i), loss);
+        total.acked += out.acked;
+        total.abandoned += out.abandoned;
+        total.dropped += out.dropped;
+        total.duplicated += out.duplicated;
+        total.reordered += out.reordered;
+        total.delayed += out.delayed;
+        total.client_retries += out.client_retries;
+        total.stale_replies += out.stale_replies;
+    }
+    let requests = total.acked + total.abandoned;
+    assert!(total.dropped > 0, "no loss injected: {total:?}");
+    assert!(total.duplicated > 0, "no duplication injected: {total:?}");
+    assert!(
+        total.reordered + total.delayed > 0,
+        "no reordering/delay injected: {total:?}"
+    );
+    assert!(total.client_retries > 0, "client never retried: {total:?}");
+    assert!(
+        total.stale_replies > 0,
+        "no duplicate replies suppressed: {total:?}"
+    );
+    assert!(
+        (total.abandoned as f64) <= (requests as f64) * max_abandoned_frac,
+        "{} of {} requests abandoned (budget {:.1}%)",
+        total.abandoned,
+        requests,
+        max_abandoned_frac * 100.0
+    );
+}
+
+#[test]
+fn chaos_light_loss() {
+    run_level(1, 0.01, 0.0);
+}
+
+#[test]
+fn chaos_moderate_loss() {
+    run_level(2, 0.05, 0.0);
+}
+
+#[test]
+fn chaos_heavy_loss() {
+    // At 20% per-crossing loss a server round trip survives one attempt
+    // with probability ≈ 0.8⁴ ≈ 0.41, so a 16-retry budget still abandons
+    // ~0.59¹⁷ ≈ 10⁻⁴ of requests; allow 1% for headroom.
+    run_level(3, 0.20, 0.01);
+}
+
+#[test]
+fn chaos_is_deterministic_per_seed() {
+    let seed = scenario_seed(4, 0);
+    let a = run_scenario(seed, 0.10);
+    let b = run_scenario(seed, 0.10);
+    assert_eq!(a, b, "same seed must replay the same faults and outcomes");
+}
+
+#[test]
+fn clean_network_needs_no_retries() {
+    let out = run_scenario(scenario_seed(5, 0), 0.0);
+    // duplicate/reorder/delay are still enabled; only loss is off, so
+    // every request must succeed on some attempt without abandonment.
+    assert_eq!(out.abandoned, 0);
+    assert_eq!(out.dropped, 0);
+}

@@ -14,8 +14,14 @@ use proptest::prelude::*;
 /// A scripted step in a coherence scenario.
 #[derive(Debug, Clone)]
 enum Step {
-    /// Write `fill` (32-byte value) to key `k`.
-    Put { k: u8, fill: u8 },
+    /// Write to key `k`. The scenario substitutes its own per-key fill
+    /// counter so every write is distinguishable; the generated `fill` is
+    /// kept so the checked-in regression seeds keep their exact shape.
+    Put {
+        k: u8,
+        #[allow(dead_code)]
+        fill: u8,
+    },
     /// Read key `k` and check freshness.
     Get { k: u8 },
     /// Drop the next cache-update packet.
@@ -39,147 +45,137 @@ fn step_strategy() -> impl Strategy<Value = Step> {
     ]
 }
 
+/// Runs one coherence scenario and checks every §4.3 visibility invariant.
+///
+/// Writes to a key whose cache update is in flight are *blocked* at the
+/// server (§4.3) and commit later in FIFO order, so the contract is:
+///
+/// - a read returns the value of some issued write (or the initial value
+///   before any write commits),
+/// - reads are monotone: once a write's value has been observed (or its
+///   Put synchronously acknowledged), no older value reappears,
+/// - after all retransmission timers drain, the *last issued* write is
+///   visible (blocked writes were released in order).
+///
+/// Shared by the property test and the deterministic regressions below.
+fn check_coherence(steps: &[Step]) -> Result<(), TestCaseError> {
+    let mut config = RackConfig::small(4);
+    config.controller.cache_capacity = 8;
+    let rack = Rack::new(config).expect("valid config");
+    rack.load_dataset(8, 32);
+    rack.populate_cache((0..8).map(Key::from_u64));
+    let mut client = rack.client(0);
+
+    // Per key: fills issued so far (unique: 1, 2, 3, ...) and the
+    // newest index known committed (observed or synchronously acked).
+    let mut issued: [Vec<u8>; 8] = Default::default();
+    let mut floor: [Option<usize>; 8] = [None; 8];
+
+    for step in steps {
+        match *step {
+            Step::Put { k, fill: _ } => {
+                let fill = (issued[k as usize].len() + 1) as u8;
+                issued[k as usize].push(fill);
+                // A blocked write (§4.3) produces no synchronous
+                // reply; it commits later, in order.
+                let resp = client.put(Key::from_u64(u64::from(k)), Value::filled(fill, 32));
+                let acked = resp.is_some_and(|r| {
+                    matches!(r.response(), netcache_client::Response::PutAck { .. })
+                });
+                if acked {
+                    // A synchronous ack means this write committed.
+                    let idx = issued[k as usize].len() - 1;
+                    floor[k as usize] = Some(floor[k as usize].map_or(idx, |f| f.max(idx)));
+                }
+            }
+            Step::Get { k } => {
+                let resp = client
+                    .get(Key::from_u64(u64::from(k)))
+                    .expect("queries themselves are lossless here");
+                let value = resp.value().expect("key always exists").clone();
+                let ku = k as usize;
+                if value == Value::for_item(u64::from(k), 32) {
+                    // Initial value: only valid before any commit.
+                    prop_assert!(
+                        floor[ku].is_none(),
+                        "key {}: initial value reappeared after commit",
+                        k
+                    );
+                } else {
+                    let fill = value.as_bytes()[0];
+                    let idx = issued[ku].iter().position(|&f| f == fill);
+                    let idx = match idx {
+                        Some(i) => i,
+                        None => {
+                            prop_assert!(false, "key {}: unknown value {:#04x}", k, fill);
+                            unreachable!()
+                        }
+                    };
+                    prop_assert_eq!(value, Value::filled(fill, 32), "key {}: torn value", k);
+                    if let Some(f) = floor[ku] {
+                        prop_assert!(
+                            idx >= f,
+                            "key {}: stale read (index {} < committed floor {})",
+                            k,
+                            idx,
+                            f
+                        );
+                    }
+                    floor[ku] = Some(floor[ku].map_or(idx, |f| f.max(idx)));
+                }
+            }
+            Step::DropUpdate => rack.faults().drop_next(Op::CacheUpdate, 1),
+            Step::DropAck => rack.faults().drop_next(Op::CacheUpdateAck, 1),
+            Step::Tick => {
+                rack.advance(1_000_000);
+                rack.tick();
+            }
+            Step::Controller => {
+                rack.advance(100_000_000);
+                rack.run_controller();
+            }
+        }
+    }
+    // Drain retransmissions and blocked-write releases; afterwards the
+    // last issued write must be visible for every key.
+    for _ in 0..8 {
+        rack.advance(1_000_000);
+        rack.tick();
+    }
+    for k in 0..8u64 {
+        let resp = client.get(Key::from_u64(k)).expect("reply");
+        let expected = match issued[k as usize].last() {
+            Some(&fill) => Value::filled(fill, 32),
+            None => Value::for_item(k, 32),
+        };
+        prop_assert_eq!(resp.value().expect("value"), &expected, "final key {}", k);
+    }
+    Ok(())
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     /// Reads never go backwards, under arbitrary interleavings of writes,
     /// reads, scripted packet loss, timer ticks and controller cycles.
-    ///
-    /// Writes to a key whose cache update is in flight are *blocked* at
-    /// the server (§4.3) and commit later in FIFO order, so the visibility
-    /// contract is:
-    ///
-    /// - a read returns the value of some issued write (or the initial
-    ///   value before any write commits),
-    /// - reads are monotone: once a write's value has been observed (or
-    ///   its Put synchronously acknowledged), no older value reappears,
-    /// - after all retransmission timers drain, the *last issued* write is
-    ///   visible (blocked writes were released in order).
     #[test]
     fn reads_never_stale(steps in proptest::collection::vec(step_strategy(), 1..60)) {
-        let mut config = RackConfig::small(4);
-        config.controller.cache_capacity = 8;
-        let rack = Rack::new(config).expect("valid config");
-        rack.load_dataset(8, 32);
-        rack.populate_cache((0..8).map(Key::from_u64));
-        let mut client = rack.client(0);
-
-        // Per key: fills issued so far (unique: 1, 2, 3, ...) and the
-        // newest index known committed (observed or synchronously acked).
-        let mut issued: [Vec<u8>; 8] = Default::default();
-        let mut floor: [Option<usize>; 8] = [None; 8];
-
-        for step in steps {
-            match step {
-                Step::Put { k, fill: _ } => {
-                    let fill = (issued[k as usize].len() + 1) as u8;
-                    issued[k as usize].push(fill);
-                    // A blocked write (§4.3) produces no synchronous
-                    // reply; it commits later, in order.
-                    let resp = client.put(Key::from_u64(u64::from(k)), Value::filled(fill, 32));
-                    let acked = resp.is_some_and(|r| matches!(
-                        r.response(),
-                        netcache_client::Response::PutAck { .. }
-                    ));
-                    if acked {
-                        // A synchronous ack means this write committed.
-                        let idx = issued[k as usize].len() - 1;
-                        floor[k as usize] = Some(floor[k as usize].map_or(idx, |f| f.max(idx)));
-                    }
-                }
-                Step::Get { k } => {
-                    let resp = client
-                        .get(Key::from_u64(u64::from(k)))
-                        .expect("queries themselves are lossless here");
-                    let value = resp.value().expect("key always exists").clone();
-                    let ku = k as usize;
-                    if value == Value::for_item(u64::from(k), 32) {
-                        // Initial value: only valid before any commit.
-                        prop_assert!(
-                            floor[ku].is_none(),
-                            "key {}: initial value reappeared after commit",
-                            k
-                        );
-                    } else {
-                        let fill = value.as_bytes()[0];
-                        let idx = issued[ku].iter().position(|&f| f == fill);
-                        let idx = match idx {
-                            Some(i) => i,
-                            None => {
-                                prop_assert!(false, "key {}: unknown value {:#04x}", k, fill);
-                                unreachable!()
-                            }
-                        };
-                        prop_assert_eq!(
-                            value,
-                            Value::filled(fill, 32),
-                            "key {}: torn value",
-                            k
-                        );
-                        if let Some(f) = floor[ku] {
-                            prop_assert!(
-                                idx >= f,
-                                "key {}: stale read (index {} < committed floor {})",
-                                k, idx, f
-                            );
-                        }
-                        floor[ku] = Some(floor[ku].map_or(idx, |f| f.max(idx)));
-                    }
-                }
-                Step::DropUpdate => rack.faults().drop_next(Op::CacheUpdate, 1),
-                Step::DropAck => rack.faults().drop_next(Op::CacheUpdateAck, 1),
-                Step::Tick => {
-                    rack.advance(1_000_000);
-                    rack.tick();
-                }
-                Step::Controller => {
-                    rack.advance(100_000_000);
-                    rack.run_controller();
-                }
-            }
-        }
-        // Drain retransmissions and blocked-write releases; afterwards the
-        // last issued write must be visible for every key.
-        for _ in 0..8 {
-            rack.advance(1_000_000);
-            rack.tick();
-        }
-        for k in 0..8u64 {
-            let resp = client.get(Key::from_u64(k)).expect("reply");
-            let expected = match issued[k as usize].last() {
-                Some(&fill) => Value::filled(fill, 32),
-                None => Value::for_item(k, 32),
-            };
-            prop_assert_eq!(resp.value().expect("value"), &expected, "final key {}", k);
-        }
+        check_coherence(&steps)?;
     }
 
-    /// The wire format round-trips arbitrary packets end-to-end.
+    /// The wire format round-trips arbitrary packets end-to-end. Empty
+    /// values are included: constructors normalize `Some(empty)` to
+    /// `None` (the shared wire encoding), so every constructed packet
+    /// round-trips exactly.
     #[test]
     fn packet_roundtrip(
         op_idx in 0usize..5,
         seq in any::<u32>(),
         key in any::<u64>(),
-        // Zero-length values are documented to decode as "no value"; the
-        // round-trip property holds for 1..=128.
-        len in 1usize..=128,
+        len in 0usize..=128,
         fill in any::<u8>(),
     ) {
-        use netcache_proto::Packet;
-        let key = Key::from_u64(key);
-        let pkt = match op_idx {
-            0 => Packet::get_query(1, 0x0a000001, 0x0a000101, key, seq),
-            1 => Packet::put_query(1, 0x0a000001, 0x0a000101, key, seq, Value::filled(fill, len)),
-            2 => Packet::delete_query(1, 0x0a000001, 0x0a000101, key, seq),
-            3 => Packet::cache_update(0x0a000101, 0x0a0000fe, key, seq, Value::filled(fill, len)),
-            _ => Packet::get_query(1, 0x0a000001, 0x0a000101, key, seq)
-                .into_reply(Op::GetReplyHit, Some(Value::filled(fill, len))),
-        };
-        let parsed = Packet::parse(&pkt.deparse()).expect("round trip parses");
-        prop_assert_eq!(parsed, pkt);
+        check_packet_roundtrip(op_idx, seq, key, len, fill)?;
     }
 
     /// The partitioner, client and controller agree on key homes.
@@ -197,4 +193,61 @@ proptest! {
         let pkt = client.inner_mut().get(key);
         prop_assert_eq!(pkt.ipv4.dst, home.server_ip);
     }
+}
+
+fn check_packet_roundtrip(
+    op_idx: usize,
+    seq: u32,
+    key: u64,
+    len: usize,
+    fill: u8,
+) -> Result<(), TestCaseError> {
+    use netcache_proto::Packet;
+    let key = Key::from_u64(key);
+    let pkt = match op_idx {
+        0 => Packet::get_query(1, 0x0a000001, 0x0a000101, key, seq),
+        1 => Packet::put_query(
+            1,
+            0x0a000001,
+            0x0a000101,
+            key,
+            seq,
+            Value::filled(fill, len),
+        ),
+        2 => Packet::delete_query(1, 0x0a000001, 0x0a000101, key, seq),
+        3 => Packet::cache_update(0x0a000101, 0x0a0000fe, key, seq, Value::filled(fill, len)),
+        _ => Packet::get_query(1, 0x0a000001, 0x0a000101, key, seq)
+            .into_reply(Op::GetReplyHit, Some(Value::filled(fill, len))),
+    };
+    let parsed = Packet::parse(&pkt.deparse()).expect("round trip parses");
+    prop_assert_eq!(parsed, pkt);
+    Ok(())
+}
+
+/// Deterministic replay of the first committed regression
+/// (`coherence_props.proptest-regressions`): a dropped cache update for a
+/// blocked key, interleaved with writes to another key, then a second
+/// write to the blocked key. The second write queues behind the pending
+/// update; after the drain it must be the visible value — historically
+/// the release path recommitted it *without* marking the key cached, so
+/// the switch kept serving the first write's value.
+#[test]
+fn regression_drop_update_before_interleaved_puts() {
+    check_coherence(&[
+        Step::DropUpdate,
+        Step::Put { k: 4, fill: 0 },
+        Step::Put { k: 0, fill: 0 },
+        Step::Put { k: 0, fill: 0 },
+        Step::Put { k: 4, fill: 0 },
+    ])
+    .unwrap();
+}
+
+/// Deterministic replay of the second committed regression: a Put with an
+/// *empty* value. `Some(empty)` and `None` share the wire encoding
+/// `VLEN = 0`, so the constructors must normalize — otherwise the parsed
+/// packet compares unequal to the built one.
+#[test]
+fn regression_empty_value_put_roundtrip() {
+    check_packet_roundtrip(1, 0, 0, 0, 0).unwrap();
 }

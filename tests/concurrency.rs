@@ -65,7 +65,7 @@ fn threads_hammering_one_rack() {
             while !stop.load(Ordering::Relaxed) {
                 rack.advance(10_000_000);
                 rack.run_controller();
-                if cycles % 7 == 0 {
+                if cycles.is_multiple_of(7) {
                     rack.reorganize_cache();
                 }
                 cycles += 1;

@@ -153,7 +153,7 @@ fn zipf_traffic_mostly_hits_with_warm_cache() {
     r.load_dataset(2_000, 64);
     r.populate_cache((0..64).map(Key::from_u64));
     let mix = QueryMix::read_only(2_000, 0.99);
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = StdRng::seed_from_u64(netcache::seed_from_env(11));
     let mut c = r.client(0);
     let n = 5_000;
     let mut hits = 0;

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter` / `iter_batched`, `BatchSize`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple median-of-samples wall-clock harness instead of
+//! criterion's full statistical machinery. Output is one line per
+//! benchmark: `name  time: [median ns/iter]`.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub runs one routine call
+/// per setup call regardless of variant, so these are distinctions without
+/// a difference here — kept for source compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    samples: u64,
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    fn measure(&mut self, mut one_iter: impl FnMut() -> Duration) {
+        // Warmup.
+        for _ in 0..3 {
+            let _ = one_iter();
+        }
+        let mut times: Vec<u128> = (0..self.samples).map(|_| one_iter().as_nanos()).collect();
+        times.sort_unstable();
+        self.median_ns = times[times.len() / 2] as f64;
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.measure(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.measure(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+}
+
+/// Top-level benchmark registry/configuration.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        println!("{name:<48} time: [{:.1} ns/iter]", bencher.median_ns);
+    }
+
+    /// Runs a single named benchmark. Accepts any string-ish name, as the
+    /// real criterion does (`String` from `format!`, `&str`, …).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(name.as_ref(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group (and the parent — the
+    /// stub keeps one knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        self.parent.run_one(&full, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group; supports both the list form
+/// `criterion_group!(benches, f1, f2)` and the braced config form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("t", |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+        assert!(calls >= 5);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut criterion = Criterion::default().sample_size(4);
+        let mut group = criterion.benchmark_group("g");
+        let mut seen = Vec::new();
+        let mut next = 0u32;
+        group.bench_function("b", |b| {
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |v| seen.push(v),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(seen.len() >= 4);
+        assert!(seen.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+}

@@ -1,0 +1,24 @@
+//! `any::<T>()` — uniform generation for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::{RngExt, Standard};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Strategy producing uniformly distributed `T`s.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Uniform strategy over all values of `T` (primitives only here).
+pub fn any<T: Standard + fmt::Debug>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Standard + fmt::Debug> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random::<T>()
+    }
+}

@@ -1,0 +1,133 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// Accepted size specifications for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_inclusive: n,
+        }
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        rng.random_range(self.min as u64..=self.max_inclusive as u64) as usize
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// Generates vectors of elements from `elem`, sized within `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<S::Value>`; `size` bounds the number of insert
+/// attempts, so duplicates may yield a slightly smaller set (the real
+/// crate retries — callers here only rely on the upper bound).
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// Generates hash sets of elements from `elem`.
+pub fn hash_set<S>(elem: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let attempts = self.size.draw(rng);
+        (0..attempts).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_length_within_range() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = vec(any::<u8>(), 2..10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..10).contains(&v.len()), "len={}", v.len());
+        }
+    }
+
+    #[test]
+    fn hash_set_respects_upper_bound() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let s = hash_set(any::<u32>(), 0..200);
+        for _ in 0..20 {
+            assert!(s.generate(&mut rng).len() < 200);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a small generate-and-check property runner with proptest's macro and
+//! strategy surface (the subset the test suites use). Differences from the
+//! real crate:
+//!
+//! - **No shrinking.** A failing case is reported with its full generated
+//!   input and the per-case seed that regenerates it.
+//! - **Seeding is explicit.** Every run derives its case seeds from a base
+//!   seed taken from `NETCACHE_TEST_SEED` (or `PROPTEST_SEED`), so any
+//!   failure in a log is reproducible by exporting the printed value.
+//! - **Regression files.** `cc <16-hex>` entries in
+//!   `<file>.proptest-regressions` are replayed as literal per-case seeds
+//!   before the random cases. Longer (foreign-format) hashes are folded to
+//!   a deterministic seed so checked-in files from the real proptest still
+//!   contribute coverage. New failures are appended in the 16-hex format.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import the tests use: strategies, `any`, config, macros.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares seeded property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a normal
+/// `#[test]`-annotated fn (the attribute is written explicitly by callers)
+/// that replays regression seeds and then runs `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Internal recursion for [`proptest!`]; do not use directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(
+                file!(),
+                stringify!($name),
+                $config,
+                ($($strat,)+),
+                // The inner closure returns a Result so `?` on
+                // TestCaseError works inside bodies, like real proptest.
+                |($($arg,)+)| {
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = result {
+                        panic!("{}", err);
+                    }
+                },
+            );
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics like `assert!`; the
+/// runner catches the panic and reports the generating seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}

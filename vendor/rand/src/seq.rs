@@ -1,0 +1,60 @@
+//! Sequence-related randomness (`shuffle`, `choose`).
+
+use crate::{Rng, RngExt};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Picks a uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=(i as u64)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // With 100 elements a fixed seed virtually never yields identity.
+        assert_ne!(v, sorted);
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v: Vec<u32> = Vec::new();
+        assert!(v.choose(&mut rng).is_none());
+    }
+}
