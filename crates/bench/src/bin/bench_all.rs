@@ -1,0 +1,197 @@
+//! The unified bench harness: drives the scenario set behind the figure
+//! binaries (Fig. 10 family) through one config and writes a
+//! machine-readable summary (`BENCH_netcache.json` by default) with
+//! per-scenario throughput, latency quantiles, hit ratio and per-server
+//! load imbalance.
+//!
+//! `--quick` shrinks the runs to a smoke test (CI runs exactly that);
+//! `--json <path>` redirects the output. After writing, the harness
+//! re-reads and validates its own output — missing fields or a
+//! non-finite p99 make it exit nonzero, so the CI job is just the run.
+
+use netcache::{seed_from_env, Json};
+use netcache_bench::scenario::{apply_quick, named_report_json, parse_cli, write_json_file};
+use netcache_bench::{banner, base_sim, fmt_qps, run_saturated, to_paper_scale};
+use netcache_sim::SimConfig;
+use netcache_workload::WriteSkew;
+
+const DEFAULT_OUT: &str = "BENCH_netcache.json";
+
+struct Scenario {
+    /// Stable scenario id (`figure/workload`).
+    name: &'static str,
+    theta: f64,
+    cache_items: usize,
+    write_ratio: f64,
+    write_skew: WriteSkew,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "fig10a/uniform-nocache",
+        theta: 0.0,
+        cache_items: 0,
+        write_ratio: 0.0,
+        write_skew: WriteSkew::Uniform,
+    },
+    Scenario {
+        name: "fig10a/zipf99-nocache",
+        theta: 0.99,
+        cache_items: 0,
+        write_ratio: 0.0,
+        write_skew: WriteSkew::Uniform,
+    },
+    Scenario {
+        name: "fig10a/zipf90-netcache",
+        theta: 0.90,
+        cache_items: 10_000,
+        write_ratio: 0.0,
+        write_skew: WriteSkew::Uniform,
+    },
+    Scenario {
+        name: "fig10a/zipf99-netcache",
+        theta: 0.99,
+        cache_items: 10_000,
+        write_ratio: 0.0,
+        write_skew: WriteSkew::Uniform,
+    },
+    Scenario {
+        name: "fig10d/zipf99-netcache-writes20",
+        theta: 0.99,
+        cache_items: 10_000,
+        write_ratio: 0.2,
+        write_skew: WriteSkew::Uniform,
+    },
+];
+
+fn config_for(s: &Scenario, quick: bool) -> SimConfig {
+    let servers = if quick { 16 } else { 128 };
+    let cache = if quick {
+        s.cache_items.min(1_000)
+    } else {
+        s.cache_items
+    };
+    let mut config = base_sim(servers, s.theta, cache);
+    config.write_ratio = s.write_ratio;
+    config.write_skew = s.write_skew;
+    config.collect_latency = true;
+    if quick {
+        apply_quick(&mut config);
+    }
+    config
+}
+
+/// Validates the written document; returns every problem found.
+fn validate(payload: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let doc = match Json::parse(payload) {
+        Ok(doc) => doc,
+        Err(e) => return vec![format!("output is not valid JSON: {e}")],
+    };
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("netcache-bench/v1") => {}
+        other => problems.push(format!("bad schema field: {other:?}")),
+    }
+    let Some(scenarios) = doc.get("scenarios").and_then(Json::as_array) else {
+        problems.push("missing scenarios array".into());
+        return problems;
+    };
+    if scenarios.len() != SCENARIOS.len() {
+        problems.push(format!(
+            "expected {} scenarios, found {}",
+            SCENARIOS.len(),
+            scenarios.len()
+        ));
+    }
+    for s in scenarios {
+        let name = s
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>")
+            .to_string();
+        for field in ["goodput_qps", "hit_ratio", "load_imbalance"] {
+            if let Err(e) = s.get_finite(field) {
+                problems.push(format!("{name}: {e}"));
+            }
+        }
+        match s.get("latency") {
+            None => problems.push(format!("{name}: missing latency section")),
+            Some(lat) => {
+                for field in ["p50_ns", "p99_ns"] {
+                    if let Err(e) = lat.get_finite(field) {
+                        problems.push(format!("{name}: latency {e}"));
+                    }
+                }
+                match lat.get_u64("samples") {
+                    Ok(0) => problems.push(format!("{name}: no latency samples")),
+                    Ok(_) => {}
+                    Err(e) => problems.push(format!("{name}: latency {e}")),
+                }
+            }
+        }
+    }
+    problems
+}
+
+fn main() {
+    let cli = parse_cli("bench_all", true, "");
+    if !cli.positional.is_empty() {
+        eprintln!("error: unexpected argument {:?}", cli.positional[0]);
+        eprintln!("usage: bench_all [--json <path>] [--quick]");
+        std::process::exit(2);
+    }
+    let out = cli.json.as_deref().unwrap_or(DEFAULT_OUT);
+    let seed = seed_from_env(0x5eed);
+    banner(
+        "bench_all",
+        &format!(
+            "unified scenario harness ({} mode, seed {seed:#x}) -> {out}",
+            if cli.quick { "quick" } else { "full" }
+        ),
+    );
+
+    println!(
+        "{:>32} {:>14} {:>8} {:>11} {:>11} {:>8}",
+        "scenario", "throughput", "hit%", "p50", "p99", "imbal"
+    );
+    let mut rows = Vec::new();
+    for s in SCENARIOS {
+        let report = run_saturated(config_for(s, cli.quick));
+        println!(
+            "{:>32} {:>14} {:>7.1}% {:>8.1} µs {:>8.1} µs {:>7.2}x",
+            s.name,
+            fmt_qps(to_paper_scale(report.goodput_qps)),
+            report.hit_ratio * 100.0,
+            report.latency.p50_ns as f64 / 1e3 / netcache_bench::SCALE,
+            report.latency.p99_ns as f64 / 1e3 / netcache_bench::SCALE,
+            report.load_imbalance(),
+        );
+        rows.push(named_report_json(s.name, &report));
+    }
+    let payload = format!(
+        "{{\"schema\":\"netcache-bench/v1\",\"quick\":{},\"seed\":{},\"scenarios\":[{}]}}",
+        cli.quick,
+        seed,
+        rows.join(",")
+    );
+    write_json_file(out, &payload);
+
+    // Self-check: re-read what was written and fail loudly on schema
+    // drift, missing fields, or non-finite statistics.
+    let written = match std::fs::read_to_string(out) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot re-read {out}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let problems = validate(&written);
+    if !problems.is_empty() {
+        eprintln!("error: {out} failed validation:");
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        std::process::exit(1);
+    }
+    println!("validated {out}: {} scenarios ok", SCENARIOS.len());
+}

@@ -16,6 +16,8 @@
 
 use std::time::Instant;
 
+use netcache::json::fmt_f64;
+use netcache_bench::scenario::{fig_json, parse_cli, write_json_file};
 use netcache_bench::{banner, fmt_qps};
 use netcache_dataplane::{LookupEntry, NetCacheSwitch, SwitchConfig, SwitchDriver};
 use netcache_proto::{Key, Packet, Value};
@@ -107,6 +109,10 @@ fn snake_model_qps(sender_mqps: f64, loop_ports: u64) -> f64 {
 }
 
 fn main() {
+    // This figure is deterministic (no workload RNG); NETCACHE_TEST_SEED
+    // is recorded in the JSON envelope for provenance only.
+    let cli = parse_cli("fig09_microbench", false, "");
+    let mut rows = Vec::new();
     banner(
         "Figure 9(a)",
         "switch throughput vs value size (read and update)",
@@ -131,6 +137,14 @@ fn main() {
             read,
             update
         );
+        rows.push(format!(
+            "{{\"name\":\"value-{value_len}\",\"panel\":\"a\",\
+             \"value_len\":{value_len},\"modelled_qps\":{},\
+             \"read_mqps\":{},\"update_mqps\":{}}}",
+            fmt_f64(modelled),
+            fmt_f64(read),
+            fmt_f64(update),
+        ));
     }
     let spread = read_rates.iter().cloned().fold(f64::MIN, f64::max)
         / read_rates.iter().cloned().fold(f64::MAX, f64::min);
@@ -158,6 +172,12 @@ fn main() {
             fmt_qps(snake_model_qps(35.0, 32)),
             read
         );
+        rows.push(format!(
+            "{{\"name\":\"items-{items}\",\"panel\":\"b\",\"items\":{items},\
+             \"modelled_qps\":{},\"read_mqps\":{}}}",
+            fmt_f64(snake_model_qps(35.0, 32)),
+            fmt_f64(read),
+        ));
     }
     let spread = rates.iter().cloned().fold(f64::MIN, f64::max)
         / rates.iter().cloned().fold(f64::MAX, f64::min);
@@ -168,4 +188,10 @@ fn main() {
          (paper: 2.24 BQPS; ASIC capable of >4 BQPS)",
         fmt_qps(snake_model_qps(35.0, 32))
     );
+    if let Some(path) = cli.json {
+        write_json_file(
+            &path,
+            &fig_json("fig09", netcache::seed_from_env(0x5eed), &rows),
+        );
+    }
 }

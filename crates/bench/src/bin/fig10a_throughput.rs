@@ -7,16 +7,20 @@
 //! - NetCache improves throughput 3.6× / 6.5× / 10× over NoCache at
 //!   zipf 0.9 / 0.95 / 0.99, with the switch cache serving a large share.
 
+use netcache::json::fmt_f64;
+use netcache_bench::scenario::{fig_json, parse_cli, report_json, write_json_file};
 use netcache_bench::{banner, base_sim, fmt_qps, run_saturated, to_paper_scale, PARTITION_SEED};
 use netcache_sim::AnalyticModel;
 
 fn main() {
+    let cli = parse_cli("fig10a_throughput", false, "");
     banner(
         "Figure 10(a)",
         "throughput vs skew: NoCache vs NetCache (10K items cached)",
     );
     let servers = 128;
     let cache_items = 10_000;
+    let mut rows = Vec::new();
     println!(
         "{:>9} {:>14} {:>14} {:>9} {:>14} {:>14} {:>10}",
         "skew", "NoCache", "NetCache", "speedup", "cache part", "server part", "hit%"
@@ -33,6 +37,14 @@ fn main() {
         if theta == 0.0 {
             uniform_nocache = Some(nocache.goodput_qps);
         }
+        rows.push(format!(
+            "{{\"name\":\"{label}\",\"theta\":{},\"speedup\":{},\
+             \"nocache\":{},\"netcache\":{}}}",
+            fmt_f64(theta),
+            fmt_f64(netcache.goodput_qps / nocache.goodput_qps),
+            report_json(&nocache),
+            report_json(&netcache),
+        ));
         println!(
             "{:>9} {:>14} {:>14} {:>8.1}x {:>14} {:>14} {:>9.1}%",
             label,
@@ -88,4 +100,10 @@ fn main() {
         );
     }
     println!("(paper: 3.6x / 6.5x / 10x at zipf 0.9 / 0.95 / 0.99)");
+    if let Some(path) = cli.json {
+        write_json_file(
+            &path,
+            &fig_json("fig10a", netcache::seed_from_env(0x5eed), &rows),
+        );
+    }
 }

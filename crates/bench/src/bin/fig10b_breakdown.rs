@@ -5,7 +5,10 @@
 //! skew; with the NetCache switch cache enabled at zipf-0.99 the load on
 //! all 128 servers is "effectively balanced".
 
+use netcache::json::{escape, fmt_f64};
+use netcache_bench::scenario::{fig_json, parse_cli, report_json, write_json_file};
 use netcache_bench::{banner, base_sim, run_saturated, to_paper_scale};
+use netcache_sim::SimReport;
 
 /// Renders a compact distribution summary of per-server loads.
 fn summarize(label: &str, per_server: &[f64], server_capacity: f64) {
@@ -37,13 +40,32 @@ fn summarize(label: &str, per_server: &[f64], server_capacity: f64) {
     println!("{:>16}  sorted loads: [{line}]", "");
 }
 
+/// One machine-readable row: the load-distribution summary plus the full
+/// per-server vector (paper-scale MQPS) the figure plots.
+fn row_json(label: &str, report: &SimReport) -> String {
+    let loads = report
+        .per_server_qps
+        .iter()
+        .map(|&q| fmt_f64(to_paper_scale(q) / 1e6))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"name\":{},\"per_server_mqps\":[{}],\"report\":{}}}",
+        escape(label),
+        loads,
+        report_json(report),
+    )
+}
+
 fn main() {
+    let cli = parse_cli("fig10b_breakdown", false, "");
     banner(
         "Figure 10(b)",
         "per-server throughput: cache disabled (3 skews) vs enabled (zipf-.99)",
     );
     let servers = 128;
     let capacity = 2_000.0; // scaled per-server rate
+    let mut rows = Vec::new();
     for (label, theta, cache) in [
         ("NoCache z-0.90", 0.90, 0usize),
         ("NoCache z-0.95", 0.95, 0),
@@ -52,10 +74,17 @@ fn main() {
     ] {
         let report = run_saturated(base_sim(servers, theta, cache));
         summarize(label, &report.per_server_qps, capacity);
+        rows.push(row_json(label, &report));
     }
     println!();
     println!(
         "Paper: NoCache leaves most servers idle while a few saturate; \
          NetCache's switch cache absorbs the head and balances the rest."
     );
+    if let Some(path) = cli.json {
+        write_json_file(
+            &path,
+            &fig_json("fig10b", netcache::seed_from_env(0x5eed), &rows),
+        );
+    }
 }

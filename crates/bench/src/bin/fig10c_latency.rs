@@ -11,11 +11,14 @@
 //! shim overhead for ~15 µs; queueing appears as the load approaches
 //! saturation.
 
+use netcache::json::fmt_f64;
+use netcache_bench::scenario::{fig_json, parse_cli, report_json, write_json_file};
 use netcache_bench::{banner, base_sim, fmt_qps, to_paper_scale, PARTITION_SEED, SCALE};
 use netcache_sim::rack_sim::LatencyModel;
 use netcache_sim::{AnalyticModel, RackSim};
 
 fn main() {
+    let cli = parse_cli("fig10c_latency", false, "");
     banner(
         "Figure 10(c)",
         "average latency vs throughput (zipf-.99 reads)",
@@ -48,8 +51,10 @@ fn main() {
         "{:>6} | {:>14} {:>11} | {:>14} {:>11}",
         "load", "NoCache tput", "avg lat", "NetCache tput", "avg lat"
     );
+    let mut rows = Vec::new();
     for frac in [0.1, 0.3, 0.5, 0.7, 0.85, 0.95, 1.05] {
         let mut row = format!("{:>5.0}% |", frac * 100.0);
+        let mut reports = Vec::new();
         for (cache_items, sat) in [(0usize, no_sat), (10_000, cache_sat)] {
             let mut config = base_sim(servers, 0.99, cache_items);
             config.fixed_rate_qps = Some(sat * frac);
@@ -66,12 +71,27 @@ fn main() {
             if cache_items == 0 {
                 row.push_str(" |");
             }
+            reports.push(report);
         }
         println!("{row}");
+        rows.push(format!(
+            "{{\"name\":\"load-{:.0}%\",\"load_fraction\":{},\
+             \"nocache\":{},\"netcache\":{}}}",
+            frac * 100.0,
+            fmt_f64(frac),
+            report_json(&reports[0]),
+            report_json(&reports[1]),
+        ));
     }
     println!();
     println!(
         "Paper: NoCache flat at ~15 µs until 0.2 BQPS then saturates; \
          NetCache 11-12 µs steady to 2 BQPS (hits ~7 µs)."
     );
+    if let Some(path) = cli.json {
+        write_json_file(
+            &path,
+            &fig_json("fig10c", netcache::seed_from_env(0x5eed), &rows),
+        );
+    }
 }

@@ -6,10 +6,13 @@
 //! (log-scale x-axis); with small caches zipf-0.9 outperforms zipf-0.99,
 //! with large caches 0.99 overtakes (its head is more cacheable).
 
+use netcache::json::fmt_f64;
+use netcache_bench::scenario::{fig_json, parse_cli, write_json_file};
 use netcache_bench::{banner, base_sim, run_saturated, to_paper_scale, PARTITION_SEED, SCALE};
 use netcache_sim::AnalyticModel;
 
 fn main() {
+    let cli = parse_cli("fig10e_cache_size", false, "");
     banner(
         "Figure 10(e)",
         "throughput vs cache size (zipf-.90 and zipf-.99)",
@@ -28,6 +31,7 @@ fn main() {
         "z.99 server",
         "z.99 cache"
     );
+    let mut rows = Vec::new();
     for &size in &sizes {
         let mut cells = Vec::new();
         for theta in [0.90, 0.99] {
@@ -42,6 +46,17 @@ fn main() {
             "{:>8} | {:>11.0} {:>12.0} {:>11.0} | {:>11.0} {:>12.0} {:>11.0}",
             size, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
         );
+        rows.push(format!(
+            "{{\"name\":\"items-{size}\",\"cache_items\":{size},\
+             \"z90_total_mqps\":{},\"z90_server_mqps\":{},\"z90_cache_mqps\":{},\
+             \"z99_total_mqps\":{},\"z99_server_mqps\":{},\"z99_cache_mqps\":{}}}",
+            fmt_f64(cells[0]),
+            fmt_f64(cells[1]),
+            fmt_f64(cells[2]),
+            fmt_f64(cells[3]),
+            fmt_f64(cells[4]),
+            fmt_f64(cells[5]),
+        ));
     }
 
     println!();
@@ -70,4 +85,10 @@ fn main() {
         "Paper: ~1,000 items already restore the uniform-workload level \
          (≈1.28 BQPS server side); growth beyond is sublinear (log x-axis)."
     );
+    if let Some(path) = cli.json {
+        write_json_file(
+            &path,
+            &fig_json("fig10e", netcache::seed_from_env(0x5eed), &rows),
+        );
+    }
 }

@@ -6,10 +6,13 @@
 //! inter-rack imbalance remains; caching in spine switches as well
 //! (Leaf-Spine-Cache) grows linearly with the number of servers.
 
+use netcache::json::fmt_f64;
+use netcache_bench::scenario::{fig_json, parse_cli, write_json_file};
 use netcache_bench::{banner, fmt_qps};
 use netcache_sim::{MultiRackConfig, MultiRackModel, ScaleOutScheme};
 
 fn main() {
+    let cli = parse_cli("fig10f_scalability", false, "");
     banner(
         "Figure 10(f)",
         "scale-out simulation: NoCache vs Leaf-Cache vs Leaf-Spine-Cache",
@@ -30,6 +33,7 @@ fn main() {
         "racks", "servers", "NoCache", "Leaf-Cache", "Leaf-Spine-Cache"
     );
     let mut first = None;
+    let mut rows = Vec::new();
     for &r in &racks {
         let no = model.throughput(r, ScaleOutScheme::NoCache);
         let leaf = model.throughput(r, ScaleOutScheme::LeafCache);
@@ -45,6 +49,14 @@ fn main() {
             fmt_qps(leaf),
             fmt_qps(spine)
         );
+        rows.push(format!(
+            "{{\"name\":\"racks-{r}\",\"racks\":{r},\"servers\":{},\
+             \"nocache_qps\":{},\"leaf_cache_qps\":{},\"leaf_spine_qps\":{}}}",
+            r * 128,
+            fmt_f64(no),
+            fmt_f64(leaf),
+            fmt_f64(spine),
+        ));
     }
     let (n0, l0, s0) = first.expect("at least one rack count");
     let n = model.throughput(32, ScaleOutScheme::NoCache) / n0;
@@ -55,4 +67,10 @@ fn main() {
         "Scaling 1→32 racks: NoCache {n:.1}x (paper: flat), Leaf {l:.1}x \
          (paper: limited), Leaf-Spine {s:.1}x (paper: ~linear, 32x)"
     );
+    if let Some(path) = cli.json {
+        write_json_file(
+            &path,
+            &fig_json("fig10f", netcache::seed_from_env(0x5eed), &rows),
+        );
+    }
 }

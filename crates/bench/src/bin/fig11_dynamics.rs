@@ -15,10 +15,12 @@
 //! Run with an argument to select: `hot-in`, `random`, `hot-out`, or
 //! `all` (default).
 
+use netcache::json::escape;
+use netcache_bench::scenario::{fig_json, parse_cli, write_json_file};
 use netcache_bench::{banner, base_sim, to_paper_scale};
 use netcache_workload::DynamicWorkload;
 
-fn run_dynamic(name: &str, change: DynamicWorkload, period_s: f64, seconds: f64) {
+fn run_dynamic(name: &str, change: DynamicWorkload, period_s: f64, seconds: f64) -> String {
     banner(
         &format!("Figure 11 ({name})"),
         "per-second throughput under workload dynamics (zipf-.99, 10K cache)",
@@ -86,23 +88,70 @@ fn run_dynamic(name: &str, change: DynamicWorkload, period_s: f64, seconds: f64)
         min as f64 / max.max(1) as f64
     );
     println!();
+    let series = report
+        .per_second
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"offered\":{},\"delivered\":{},\"cache_hits\":{},\"drops\":{}}}",
+                s.offered, s.delivered, s.cache_hits, s.drops
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"name\":{},\"min_delivered\":{min},\"max_delivered\":{max},\
+         \"per_second\":[{series}]}}",
+        escape(name)
+    )
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let cli = parse_cli("fig11_dynamics", false, " [hot-in|random|hot-out|all]");
+    let which = match cli.positional.as_slice() {
+        [] => "all".to_string(),
+        [w] if ["hot-in", "random", "hot-out", "all"].contains(&w.as_str()) => w.clone(),
+        other => {
+            eprintln!("error: unknown workload {:?}", other[0]);
+            eprintln!("usage: fig11_dynamics [--json <path>] [hot-in|random|hot-out|all]");
+            std::process::exit(2);
+        }
+    };
     let n = 200;
     let m = 10_000;
+    let mut rows = Vec::new();
     if which == "hot-in" || which == "all" {
-        run_dynamic("hot-in", DynamicWorkload::HotIn { n }, 10.0, 30.0);
+        rows.push(run_dynamic(
+            "hot-in",
+            DynamicWorkload::HotIn { n },
+            10.0,
+            30.0,
+        ));
     }
     if which == "random" || which == "all" {
-        run_dynamic("random", DynamicWorkload::Random { n, m }, 1.0, 20.0);
+        rows.push(run_dynamic(
+            "random",
+            DynamicWorkload::Random { n, m },
+            1.0,
+            20.0,
+        ));
     }
     if which == "hot-out" || which == "all" {
-        run_dynamic("hot-out", DynamicWorkload::HotOut { n }, 1.0, 20.0);
+        rows.push(run_dynamic(
+            "hot-out",
+            DynamicWorkload::HotOut { n },
+            1.0,
+            20.0,
+        ));
     }
     println!(
         "Paper: hot-in recovers within seconds thanks to in-network HH \
          detection; random barely dips; hot-out is steady."
     );
+    if let Some(path) = cli.json {
+        write_json_file(
+            &path,
+            &fig_json("fig11", netcache::seed_from_env(0x5eed), &rows),
+        );
+    }
 }

@@ -7,6 +7,8 @@
 
 use netcache_sim::{AnalyticModel, RackSim, SimConfig, SimReport};
 
+pub mod scenario;
+
 /// The scaled-down stand-ins for the paper's hardware rates.
 ///
 /// The paper: 128 servers × 10 MQPS, switch pipes at 1 BQPS (4 BQPS
@@ -51,6 +53,8 @@ pub fn base_sim(servers: u32, theta: f64, cache_items: usize) -> SimConfig {
         warmup_s: 1.5,
         initial_rate_qps: 4_000.0,
         hot_threshold: 64,
+        // Every figure binary honors NETCACHE_TEST_SEED through this seed.
+        seed: netcache::seed_from_env(0x5eed),
         ..SimConfig::default()
     }
 }

@@ -299,12 +299,16 @@ impl Controller {
         backend: &mut B,
         now_ns: u64,
     ) -> usize {
-        let invalid: Vec<Key> = self
+        let mut invalid: Vec<Key> = self
             .cached
             .iter()
             .filter(|(_, meta)| !driver.peek_valid(meta.home.pipe, meta.key_index))
             .map(|(key, _)| *key)
             .collect();
+        // HashMap iteration order varies per instance; sort so repair
+        // order (and thus the whole controller cycle) is a pure function
+        // of the state, keeping seeded runs reproducible.
+        invalid.sort_unstable();
         let mut repaired = 0;
         for key in invalid {
             if !self.budget_allows(now_ns, 3) {

@@ -1,0 +1,450 @@
+//! Fixed-memory log-bucketed latency histogram (HDR-style).
+//!
+//! The paper's evaluation reports latency *distributions* (Fig. 10(c),
+//! §7.3), not just means; reproducing that needs a recorder cheap enough
+//! to sit on every hot path. [`Histogram`] is a classic HDR-style
+//! logarithmic histogram: values up to `2 * SUB_BUCKETS` land in exact
+//! unit-width buckets, and every further power-of-two octave is split
+//! into [`SUB_BUCKETS`] linear sub-buckets, so the *relative* quantile
+//! error is bounded by `1 / SUB_BUCKETS` (3.125%) across the full `u64`
+//! range — while the memory footprint stays fixed at [`BUCKETS`] `u64`
+//! counters (~15 KiB), independent of how many samples are recorded.
+//!
+//! Histograms [`merge`](Histogram::merge) losslessly (bucket-wise
+//! addition), which is how per-client and per-thread recorders roll up
+//! into one [`crate::RackReport`], and serialize to a compact sparse JSON
+//! form (`to_json`/`from_json`) for the machine-readable bench harness
+//! (`BENCH_netcache.json`).
+
+use crate::json::Json;
+
+/// log2 of the per-octave sub-bucket count.
+pub const SUB_BITS: u32 = 5;
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the whole `u64` range.
+pub const BUCKETS: usize = ((65 - SUB_BITS as u64) * SUB_BUCKETS) as usize;
+
+/// A fixed-memory latency histogram with bounded relative error.
+///
+/// # Examples
+///
+/// ```
+/// use netcache::hist::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [100, 200, 300, 400_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.min(), 100);
+/// assert_eq!(h.max(), 400_000);
+/// assert!(h.quantile(0.5) >= 100 && h.quantile(0.5) <= 400_000);
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+            && self.counts[..] == other.counts[..]
+    }
+}
+impl Eq for Histogram {}
+
+impl core::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish_non_exhaustive()
+    }
+}
+
+/// The bucket index holding `v`.
+pub fn bucket_of(v: u64) -> usize {
+    if v < 2 * SUB_BUCKETS {
+        return v as usize;
+    }
+    // 2^h <= v < 2^(h+1), with h >= SUB_BITS + 1.
+    let h = 63 - v.leading_zeros();
+    let sub = (v >> (h - SUB_BITS)) - SUB_BUCKETS;
+    (((h - SUB_BITS + 1) as u64) * SUB_BUCKETS + sub) as usize
+}
+
+/// The smallest value stored in bucket `index`.
+pub fn bucket_low(index: usize) -> u64 {
+    let index = index as u64;
+    if index < 2 * SUB_BUCKETS {
+        return index;
+    }
+    let octave = index / SUB_BUCKETS - 1; // = h - SUB_BITS
+    let sub = index % SUB_BUCKETS;
+    (SUB_BUCKETS + sub) << octave
+}
+
+/// The largest value stored in bucket `index`.
+pub fn bucket_high(index: usize) -> u64 {
+    if (index as u64) < 2 * SUB_BUCKETS {
+        return index as u64;
+    }
+    let octave = index as u64 / SUB_BUCKETS - 1;
+    // Ordered to avoid overflow in the last bucket (which ends at
+    // `u64::MAX`): the width minus one is added to the lower bound.
+    bucket_low(index) + ((1u64 << octave) - 1)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0u64; BUCKETS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("BUCKETS-sized box"),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` samples of value `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Saturating sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` (clamped to `0.0..=1.0`): the lower bound
+    /// of the bucket containing the `ceil(q * count)`-th smallest sample,
+    /// clamped into `[min, max]` so quantiles never leave the recorded
+    /// range. Relative error is bounded by `1 / SUB_BUCKETS` (3.125%).
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if target == self.count {
+            // The largest sample is tracked exactly.
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_low(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Adds every sample of `other` into `self` (lossless: the result is
+    /// identical to having recorded both sample streams into one
+    /// histogram).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.is_empty() {
+            return;
+        }
+        for (c, &o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs (the sparse form used
+    /// by the JSON encoding).
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Compact JSON: summary statistics, quantiles, and the sparse bucket
+    /// list. The quantiles are derived (redundant with `buckets`) but make
+    /// the file directly consumable by plotting scripts.
+    pub fn to_json(&self) -> String {
+        let mut buckets = String::from("[");
+        for (n, (i, c)) in self.nonzero_buckets().into_iter().enumerate() {
+            if n > 0 {
+                buckets.push(',');
+            }
+            buckets.push_str(&format!("[{i},{c}]"));
+        }
+        buckets.push(']');
+        format!(
+            "{{\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"mean\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":{}}}",
+            self.count,
+            self.min(),
+            self.max,
+            self.sum,
+            crate::json::fmt_f64(self.mean()),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.p999(),
+            buckets,
+        )
+    }
+
+    /// Parses the JSON form produced by [`Histogram::to_json`]. Quantiles
+    /// are recomputed from the buckets, so `from_json(to_json(h)) == h`.
+    pub fn from_json(s: &str) -> Result<Histogram, String> {
+        let v = Json::parse(s)?;
+        Self::from_json_value(&v)
+    }
+
+    /// Like [`Histogram::from_json`], from an already-parsed [`Json`].
+    pub fn from_json_value(v: &Json) -> Result<Histogram, String> {
+        let mut h = Histogram::new();
+        let count = v.get_u64("count")?;
+        if count == 0 {
+            return Ok(h);
+        }
+        h.count = count;
+        h.sum = v.get_u64("sum")?;
+        h.min = v.get_u64("min")?;
+        h.max = v.get_u64("max")?;
+        let buckets = v
+            .get("buckets")
+            .and_then(Json::as_array)
+            .ok_or("histogram: missing buckets array")?;
+        for pair in buckets {
+            let pair = pair.as_array().ok_or("histogram: bucket not a pair")?;
+            if pair.len() != 2 {
+                return Err("histogram: bucket pair length != 2".into());
+            }
+            let i = pair[0].as_u64().ok_or("histogram: bad bucket index")? as usize;
+            let c = pair[1].as_u64().ok_or("histogram: bad bucket count")?;
+            if i >= BUCKETS {
+                return Err(format!("histogram: bucket index {i} out of range"));
+            }
+            h.counts[i] += c;
+        }
+        let total: u64 = h.counts.iter().sum();
+        if total != h.count {
+            return Err(format!(
+                "histogram: bucket counts sum to {total}, header says {}",
+                h.count
+            ));
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // Spot-check boundary values: every v maps to a bucket whose
+        // bounds contain it, and consecutive buckets tile without gaps.
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1 << 20,
+            (1 << 20) + 12345,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_of(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(bucket_low(i) <= v && v <= bucket_high(i), "v={v} i={i}");
+        }
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_high(i).wrapping_add(1),
+                bucket_low(i + 1),
+                "gap after bucket {i}"
+            );
+        }
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 999, 12_345, 1 << 30, (1 << 40) + 7] {
+            let i = bucket_of(v);
+            let width = bucket_high(i) - bucket_low(i);
+            assert!(
+                width <= bucket_low(i) >> SUB_BITS,
+                "bucket width {width} exceeds bound at v={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_below_two_m() {
+        let mut h = Histogram::new();
+        for v in 0..2 * SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 2 * SUB_BUCKETS - 1);
+        // Unit buckets: the median is exact.
+        assert_eq!(h.p50(), SUB_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        let p99 = h.p99();
+        assert!((469..=531).contains(&p50), "p50={p50}"); // 500 ± 1/32
+        assert!((959..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_matches_concatenation() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [3u64, 70, 7_000, 1 << 33] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [9u64, 9, 90_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+        let rt = Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(rt, h);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 1000, 1_000_000, 123_456_789_000] {
+            h.record(v);
+        }
+        h.record_n(42, 1000);
+        let rt = Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(rt, h);
+        assert_eq!(rt.p99(), h.p99());
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent_counts() {
+        let s = r#"{"count":5,"min":1,"max":2,"sum":7,"buckets":[[1,1]]}"#;
+        assert!(Histogram::from_json(s).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! A minimal dependency-free JSON value: enough writer and parser for the
+//! measurement subsystem's machine-readable reports.
+//!
+//! The build environment has no crates.io access (every external dep is a
+//! vendored stub), so the bench harness carries its own tiny JSON layer:
+//! [`Json::parse`] for validation and round-trip tests, [`fmt_f64`] /
+//! [`escape`] for writers. Serialization of the reports themselves lives
+//! next to each report type ([`crate::hist::Histogram::to_json`],
+//! [`crate::RackReport::to_json`]) and emits keys in a fixed order so
+//! golden-snapshot tests can pin the schema.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal (no sign, fraction, or exponent),
+    /// kept exact across the full `u64` range — counters above 2^53 would
+    /// lose precision through `f64`.
+    Int(u64),
+    /// Any other number (parsed as `f64`).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses `s` as one JSON document (rejecting trailing garbage).
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one (integers above 2^53 round).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Required `u64` field of an object, with a descriptive error.
+    pub fn get_u64(&self, key: &str) -> Result<u64, String> {
+        self.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+    }
+
+    /// Required finite-number field of an object, with a descriptive
+    /// error (rejects `null`, strings, and anything non-numeric — the
+    /// check CI uses to refuse NaN quantiles, which serialize as `null`).
+    pub fn get_finite(&self, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(Json::Int(n)) => Ok(*n as f64),
+            Some(Json::Num(n)) if n.is_finite() => Ok(*n),
+            Some(other) => Err(format!("field {key:?} is not a finite number: {other:?}")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') if self.literal("null") => Ok(Json::Null),
+            Some(b't') if self.literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Json::Bool(false)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let ch = s.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        // Plain non-negative integer literals stay exact as `u64`; `f64`
+        // would round anything above 2^53 (e.g. large `sum` counters).
+        if raw.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = raw.parse::<u64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        raw.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {raw:?}: {e}"))
+    }
+}
+
+/// Formats an `f64` for a JSON document: finite numbers in shortest
+/// round-trip form, non-finite values as `null` (JSON has no NaN — and
+/// emitting `null` makes a NaN quantile *detectable* by schema checks
+/// instead of silently producing an unparsable file).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = Json::parse(
+            r#"{"a": 1, "b": [1, 2.5, -3e2], "c": {"d": "x\ny"}, "e": null, "f": true}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get_u64("a").unwrap(), 1);
+        let b = v.get("b").unwrap().as_array().unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[2].as_f64(), Some(-300.0));
+        assert_eq!(v.get("c").unwrap().get("d").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("e"), Some(&Json::Null));
+        assert_eq!(v.get("f"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("\"abc").is_err());
+    }
+
+    #[test]
+    fn get_finite_rejects_null_and_missing() {
+        let v = Json::parse(r#"{"ok": 1.5, "bad": null}"#).unwrap();
+        assert_eq!(v.get_finite("ok").unwrap(), 1.5);
+        assert!(v.get_finite("bad").is_err());
+        assert!(v.get_finite("absent").is_err());
+    }
+
+    #[test]
+    fn fmt_f64_handles_nan() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        // A formatted finite number must re-parse to itself.
+        let v = Json::parse(&fmt_f64(0.1)).unwrap();
+        assert_eq!(v.as_f64(), Some(0.1));
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let s = "he said \"hi\\there\"\nnew\tline";
+        let parsed = Json::parse(&escape(s)).unwrap();
+        assert_eq!(parsed.as_str(), Some(s));
+    }
+
+    #[test]
+    fn u64_precision_guard() {
+        let v = Json::parse("9007199254740993").unwrap(); // 2^53 + 1
+                                                          // f64 cannot hold it exactly; the parse still yields *a* number.
+        assert!(v.as_u64().is_some());
+        assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
+    }
+}

@@ -38,6 +38,8 @@
 pub mod addressing;
 pub mod config;
 pub mod fault;
+pub mod hist;
+pub mod json;
 pub mod metrics;
 pub mod rack;
 pub mod udp;
@@ -45,5 +47,7 @@ pub mod udp;
 pub use addressing::Addressing;
 pub use config::RackConfig;
 pub use fault::{seed_from_env, FaultConfig, FaultInjector, FaultStats, NetworkModel};
+pub use hist::Histogram;
+pub use json::Json;
 pub use metrics::RackReport;
 pub use rack::{ClientResponse, Rack, RackClient, RetryOutcome, RetryPolicy};

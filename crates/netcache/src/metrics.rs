@@ -1,6 +1,7 @@
-//! Consolidated rack metrics: one structure aggregating the counters of
-//! every component, with a human-readable rendering for operations
-//! tooling and the examples.
+//! Consolidated rack metrics: one structure aggregating the counters and
+//! latency distributions of every component, with a human-readable
+//! rendering for operations tooling and a stable JSON snapshot
+//! ([`RackReport::to_json`]) for the bench harness.
 
 use core::fmt;
 
@@ -9,6 +10,8 @@ use netcache_dataplane::SwitchStats;
 use netcache_server::ServerStats;
 
 use crate::fault::FaultStats;
+use crate::hist::Histogram;
+use crate::json::fmt_f64;
 use crate::rack::Rack;
 
 /// A point-in-time snapshot of every counter in the rack.
@@ -32,6 +35,13 @@ pub struct RackReport {
     pub stale_replies: u64,
     /// Requests abandoned after exhausting a retry budget.
     pub abandoned_requests: u64,
+    /// End-to-end per-operation client latency (wall clock, nanoseconds;
+    /// includes retransmission rounds).
+    pub op_latency: Histogram,
+    /// Switch per-packet service time (wall clock, nanoseconds).
+    pub switch_latency: Histogram,
+    /// Server per-packet service time (wall clock, nanoseconds).
+    pub server_latency: Histogram,
 }
 
 impl RackReport {
@@ -50,6 +60,9 @@ impl RackReport {
             client_retries: rack.client_retries(),
             stale_replies: rack.stale_replies(),
             abandoned_requests: rack.abandoned_requests(),
+            op_latency: rack.op_latency(),
+            switch_latency: rack.switch_service(),
+            server_latency: rack.server_service(),
         }
     }
 
@@ -72,6 +85,106 @@ impl RackReport {
             self.switch.cache_hits as f64 / reads as f64
         }
     }
+
+    /// Per-server load: queries each storage server actually served
+    /// (gets + puts + deletes) — the distribution the paper's Fig. 10(b)
+    /// plots, and the quantity DistCache-style balance claims are stated
+    /// over.
+    pub fn server_loads(&self) -> Vec<u64> {
+        self.servers
+            .iter()
+            .map(|s| s.gets + s.puts + s.deletes)
+            .collect()
+    }
+
+    /// Load-imbalance factor: max over mean of [`RackReport::server_loads`]
+    /// (1.0 = perfectly balanced; 0.0 when no server served anything).
+    pub fn load_imbalance(&self) -> f64 {
+        load_imbalance_of(&self.server_loads())
+    }
+
+    /// A stable machine-readable snapshot (schema
+    /// `netcache-rack-report/v1`). Key order is fixed; a golden test pins
+    /// it so the bench schema cannot drift silently.
+    pub fn to_json(&self) -> String {
+        let loads = self.server_loads();
+        let loads_json = loads
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"schema\":\"netcache-rack-report/v1\",\
+             \"switch\":{{\"packets\":{},\"netcache_packets\":{},\"cache_hits\":{},\
+             \"invalid_hits\":{},\"cache_misses\":{},\"write_invalidations\":{},\
+             \"updates_applied\":{},\"updates_ignored\":{},\"drops\":{},\"hit_ratio\":{}}},\
+             \"servers\":{{\"count\":{},\"gets\":{},\"writes\":{},\"not_found\":{},\
+             \"updates_sent\":{},\"update_retries\":{},\"updates_abandoned\":{},\
+             \"writes_blocked\":{},\"loads\":[{}],\"load_imbalance\":{}}},\
+             \"controller\":{{\"reports\":{},\"insertions\":{},\"evictions\":{},\
+             \"repairs\":{},\"reorganized\":{},\"stats_resets\":{}}},\
+             \"cache\":{{\"cached_keys\":{},\"control_updates\":{}}},\
+             \"network\":{{\"dropped\":{},\"duplicated\":{},\"reordered\":{},\"delayed\":{},\
+             \"client_retries\":{},\"stale_replies\":{},\"abandoned_requests\":{}}},\
+             \"latency\":{{\"op\":{},\"switch\":{},\"server\":{}}}}}",
+            self.switch.packets,
+            self.switch.netcache_packets,
+            self.switch.cache_hits,
+            self.switch.invalid_hits,
+            self.switch.cache_misses,
+            self.switch.write_invalidations,
+            self.switch.updates_applied,
+            self.switch.updates_ignored,
+            self.switch.drops,
+            fmt_f64(self.hit_ratio()),
+            self.servers.len(),
+            self.server_gets(),
+            self.server_writes(),
+            self.servers.iter().map(|s| s.not_found).sum::<u64>(),
+            self.servers.iter().map(|s| s.updates_sent).sum::<u64>(),
+            self.servers.iter().map(|s| s.update_retries).sum::<u64>(),
+            self.servers
+                .iter()
+                .map(|s| s.updates_abandoned)
+                .sum::<u64>(),
+            self.servers.iter().map(|s| s.writes_blocked).sum::<u64>(),
+            loads_json,
+            fmt_f64(load_imbalance_of(&loads)),
+            self.controller.reports,
+            self.controller.insertions,
+            self.controller.evictions,
+            self.controller.repairs,
+            self.controller.reorganized,
+            self.controller.stats_resets,
+            self.cached_keys,
+            self.control_updates,
+            self.faults.dropped,
+            self.faults.duplicated,
+            self.faults.reordered,
+            self.faults.delayed,
+            self.client_retries,
+            self.stale_replies,
+            self.abandoned_requests,
+            self.op_latency.to_json(),
+            self.switch_latency.to_json(),
+            self.server_latency.to_json(),
+        )
+    }
+}
+
+/// Max-over-mean load imbalance of a per-server load vector (0.0 when the
+/// total load is zero, 1.0 when perfectly balanced).
+pub fn load_imbalance_of(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = loads.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / loads.len() as f64;
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    max / mean
 }
 
 impl fmt::Display for RackReport {
@@ -132,7 +245,21 @@ impl fmt::Display for RackReport {
             self.client_retries,
             self.stale_replies,
             self.abandoned_requests,
-        )
+        )?;
+        if !self.op_latency.is_empty() {
+            writeln!(
+                f,
+                "  latency: op p50 {} / p99 {} ns ({} ops); switch svc p50 {} ns, \
+                 server svc p50 {} ns; load imbalance {:.2}x",
+                self.op_latency.p50(),
+                self.op_latency.p99(),
+                self.op_latency.count(),
+                self.switch_latency.p50(),
+                self.server_latency.p50(),
+                self.load_imbalance(),
+            )?;
+        }
+        Ok(())
     }
 }
 

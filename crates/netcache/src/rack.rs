@@ -36,6 +36,7 @@ use rand::{RngExt, SeedableRng};
 use crate::addressing::{Addressing, Attachment, SWITCH_IP};
 use crate::config::RackConfig;
 use crate::fault::NetworkModel;
+use crate::hist::Histogram;
 
 /// A client-visible response plus provenance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +113,13 @@ pub struct Rack {
     /// Client instances created so far; numbers sequence-number epochs
     /// (see [`Rack::client`]).
     client_epochs: AtomicU32,
+    /// End-to-end per-operation client latency (wall clock, ns; a retried
+    /// request contributes one sample covering all its attempts).
+    op_latency: Mutex<Histogram>,
+    /// Switch service time per ingress packet (wall clock, ns).
+    switch_latency: Mutex<Histogram>,
+    /// Server service time per delivered packet (wall clock, ns).
+    server_latency: Mutex<Histogram>,
 }
 
 impl Rack {
@@ -165,6 +173,9 @@ impl Rack {
             stale_replies: AtomicU64::new(0),
             abandoned_requests: AtomicU64::new(0),
             client_epochs: AtomicU32::new(0),
+            op_latency: Mutex::new(Histogram::new()),
+            switch_latency: Mutex::new(Histogram::new()),
+            server_latency: Mutex::new(Histogram::new()),
             config,
         })
     }
@@ -198,6 +209,30 @@ impl Rack {
     /// Requests abandoned after exhausting a retry budget.
     pub fn abandoned_requests(&self) -> u64 {
         self.abandoned_requests.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the end-to-end per-operation client latency
+    /// distribution (wall clock, ns).
+    pub fn op_latency(&self) -> Histogram {
+        self.op_latency.lock().clone()
+    }
+
+    /// Snapshot of the switch per-packet service-time distribution
+    /// (wall clock, ns).
+    pub fn switch_service(&self) -> Histogram {
+        self.switch_latency.lock().clone()
+    }
+
+    /// Snapshot of the server per-packet service-time distribution
+    /// (wall clock, ns).
+    pub fn server_service(&self) -> Histogram {
+        self.server_latency.lock().clone()
+    }
+
+    /// Records one end-to-end operation latency sample (used by clients on
+    /// both the in-process and UDP transports).
+    pub(crate) fn record_op_latency(&self, ns: u64) {
+        self.op_latency.lock().record(ns);
     }
 
     /// Current rack time in nanoseconds.
@@ -261,6 +296,10 @@ impl Rack {
         }
         let mut to_clients = Vec::new();
         let mut deferred = Vec::new();
+        // Service-time samples, recorded in one batch after the loop so
+        // the histogram locks are not taken per packet.
+        let mut switch_ns = Vec::new();
+        let mut server_ns = Vec::new();
         let mut switch = self.switch.lock();
         // Bounded loop: coherence traffic is finite, but a bug must not
         // hang tests.
@@ -283,7 +322,10 @@ impl Rack {
             assert!(hops < 10_000, "forwarding loop did not converge");
             match hop {
                 Hop::Switch { port, pkt } => {
-                    for (out_port, out_pkt) in switch.process(pkt, port) {
+                    let t0 = std::time::Instant::now();
+                    let outputs = switch.process(pkt, port);
+                    switch_ns.push(t0.elapsed().as_nanos() as u64);
+                    for (out_port, out_pkt) in outputs {
                         match self.addressing.attachment(out_port) {
                             Attachment::Server(i) => self.link(
                                 out_pkt,
@@ -306,7 +348,10 @@ impl Rack {
                     }
                 }
                 Hop::Server { index, port, pkt } => {
-                    for produced in self.servers[index].handle_packet(pkt, now) {
+                    let t0 = std::time::Instant::now();
+                    let outputs = self.servers[index].handle_packet(pkt, now);
+                    server_ns.push(t0.elapsed().as_nanos() as u64);
+                    for produced in outputs {
                         // Packets a server emits cross the network too and
                         // are subject to the same faults.
                         self.link(produced, now, |pkt| Hop::Switch { port, pkt }, &mut events);
@@ -316,6 +361,18 @@ impl Rack {
             }
         }
         drop(switch);
+        if !switch_ns.is_empty() {
+            let mut h = self.switch_latency.lock();
+            for ns in switch_ns {
+                h.record(ns);
+            }
+        }
+        if !server_ns.is_empty() {
+            let mut h = self.server_latency.lock();
+            for ns in server_ns {
+                h.record(ns);
+            }
+        }
         if !deferred.is_empty() {
             self.pending.lock().extend(deferred);
         }
@@ -623,12 +680,17 @@ impl RackClient<'_> {
 
     fn run(&mut self, pkt: Packet) -> Option<ClientResponse> {
         let port = self.rack.addressing.client_port(self.index);
+        let t0 = std::time::Instant::now();
         let replies = self.rack.execute(pkt, port);
-        replies.into_iter().find_map(|(j, pkt)| {
+        let found = replies.into_iter().find_map(|(j, pkt)| {
             (j == self.index)
                 .then(|| Response::from_packet(&pkt).map(|inner| ClientResponse { inner }))
                 .flatten()
-        })
+        });
+        if found.is_some() {
+            self.rack.record_op_latency(t0.elapsed().as_nanos() as u64);
+        }
+        found
     }
 
     /// Scans `replies` for the one answering sequence number `seq`,
@@ -658,9 +720,11 @@ impl RackClient<'_> {
         let port = self.rack.addressing.client_port(self.index);
         let seq = pkt.netcache.seq;
         let mut retries = 0u32;
+        let t0 = std::time::Instant::now();
         loop {
             let replies = self.rack.execute(pkt.clone(), port);
             if let Some(resp) = self.take_matching(replies, seq) {
+                self.rack.record_op_latency(t0.elapsed().as_nanos() as u64);
                 return RetryOutcome {
                     response: Some(resp),
                     retries,
@@ -672,6 +736,7 @@ impl RackClient<'_> {
             self.rack.advance(self.policy.timeout_ns(seq, retries));
             let late = self.rack.tick();
             if let Some(resp) = self.take_matching(late, seq) {
+                self.rack.record_op_latency(t0.elapsed().as_nanos() as u64);
                 return RetryOutcome {
                     response: Some(resp),
                     retries,

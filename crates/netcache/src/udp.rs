@@ -29,6 +29,7 @@ use parking_lot::Mutex;
 use crate::addressing::{Addressing, SWITCH_IP};
 use crate::config::RackConfig;
 use crate::fault::NetworkModel;
+use crate::hist::Histogram;
 
 const RECV_TIMEOUT: Duration = Duration::from_millis(20);
 const MAX_FRAME: usize = 2048;
@@ -51,6 +52,13 @@ pub struct UdpRack {
     faults: Arc<NetworkModel>,
     /// Client instances handed out; numbers sequence-number epochs.
     client_epochs: AtomicU32,
+    /// End-to-end per-request client latency (wall clock, ns), shared with
+    /// every [`UdpClient`] this rack hands out.
+    op_latency: Arc<Mutex<Histogram>>,
+    /// Switch thread service time per ingress frame (wall clock, ns).
+    switch_latency: Arc<Mutex<Histogram>>,
+    /// Server thread service time per delivered frame (wall clock, ns).
+    server_latency: Arc<Mutex<Histogram>>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -68,6 +76,9 @@ impl UdpRack {
         );
         let shutdown = Arc::new(AtomicBool::new(false));
         let faults = Arc::new(NetworkModel::new(config.faults.clone()));
+        let op_latency = Arc::new(Mutex::new(Histogram::new()));
+        let switch_latency = Arc::new(Mutex::new(Histogram::new()));
+        let server_latency = Arc::new(Mutex::new(Histogram::new()));
 
         // Build the switch with routes, as in the in-process rack.
         let mut switch = NetCacheSwitch::new(config.switch.clone())?;
@@ -130,6 +141,7 @@ impl UdpRack {
             let switch = Arc::clone(&switch);
             let shutdown = Arc::clone(&shutdown);
             let faults = Arc::clone(&faults);
+            let switch_latency = Arc::clone(&switch_latency);
             let switch_socket = switch_socket.try_clone().map_err(|e| e.to_string())?;
             let port_to_addr = port_to_addr.clone();
             let addr_to_port = addr_to_port.clone();
@@ -169,7 +181,9 @@ impl UdpRack {
                             let Some(&in_port) = addr_to_port.get(&src) else {
                                 continue; // unknown sender
                             };
+                            let t0 = std::time::Instant::now();
                             let outs = switch.lock().process_bytes(&buf[..len], in_port);
+                            switch_latency.lock().record(t0.elapsed().as_nanos() as u64);
                             for (out_port, frame) in outs {
                                 let Some(&addr) = port_to_addr.get(&out_port) else {
                                     continue;
@@ -201,6 +215,7 @@ impl UdpRack {
             let agent = Arc::clone(agent);
             let sock = Arc::clone(&server_sockets[i]);
             let shutdown = Arc::clone(&shutdown);
+            let server_latency = Arc::clone(&server_latency);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("netcache-server-{i}"))
@@ -212,7 +227,12 @@ impl UdpRack {
                             match sock.recv_from(&mut buf) {
                                 Ok((len, src)) => {
                                     if let Ok(pkt) = Packet::parse(&buf[..len]) {
-                                        for out in agent.handle_packet(pkt, now) {
+                                        let t0 = std::time::Instant::now();
+                                        let outs = agent.handle_packet(pkt, now);
+                                        server_latency
+                                            .lock()
+                                            .record(t0.elapsed().as_nanos() as u64);
+                                        for out in outs {
                                             let _ = sock.send_to(&out.deparse(), src);
                                         }
                                     }
@@ -249,6 +269,9 @@ impl UdpRack {
             controller,
             faults,
             client_epochs: AtomicU32::new(0),
+            op_latency,
+            switch_latency,
+            server_latency,
             shutdown,
             threads,
         })
@@ -346,6 +369,24 @@ impl UdpRack {
         self.switch.lock().stats()
     }
 
+    /// Snapshot of the end-to-end per-request client latency distribution
+    /// (wall clock, ns; merged across all this rack's clients).
+    pub fn op_latency(&self) -> Histogram {
+        self.op_latency.lock().clone()
+    }
+
+    /// Snapshot of the switch thread's per-frame service-time distribution
+    /// (wall clock, ns).
+    pub fn switch_service(&self) -> Histogram {
+        self.switch_latency.lock().clone()
+    }
+
+    /// Snapshot of the server threads' per-frame service-time distribution
+    /// (wall clock, ns; merged across all servers).
+    pub fn server_service(&self) -> Histogram {
+        self.server_latency.lock().clone()
+    }
+
     /// A blocking UDP client bound to client port `j`.
     ///
     /// # Panics
@@ -371,6 +412,7 @@ impl UdpRack {
             client,
             retries: 0,
             stale_replies: 0,
+            op_latency: Arc::clone(&self.op_latency),
         }
     }
 
@@ -401,6 +443,9 @@ pub struct UdpClient {
     client: NetCacheClient,
     retries: u64,
     stale_replies: u64,
+    /// Shared with the owning [`UdpRack`]; one sample per completed
+    /// request, covering all its retransmission rounds.
+    op_latency: Arc<Mutex<Histogram>>,
 }
 
 impl UdpClient {
@@ -408,6 +453,7 @@ impl UdpClient {
         let seq = pkt.netcache.seq;
         let frame = pkt.deparse();
         let mut buf = [0u8; MAX_FRAME];
+        let t0 = std::time::Instant::now();
         for attempt in 0..=retries {
             // Exponential backoff: each attempt waits twice as long for a
             // reply, so a transiently congested loopback gets headroom.
@@ -430,6 +476,9 @@ impl UdpClient {
                     continue;
                 }
                 if let Some(resp) = Response::from_packet(&reply) {
+                    self.op_latency
+                        .lock()
+                        .record(t0.elapsed().as_nanos() as u64);
                     return Some(resp);
                 }
             }

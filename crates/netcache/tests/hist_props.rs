@@ -1,0 +1,96 @@
+//! Property tests of the log-bucketed latency histogram: the guarantees
+//! every consumer (RackReport, the simulator, bench_all) relies on.
+
+use netcache::hist::{bucket_high, bucket_low, bucket_of, Histogram, SUB_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every quantile lies within the exact recorded [min, max], and the
+    /// quantile function is monotone in q — for any stream.
+    #[test]
+    fn quantiles_bounded_and_monotone(
+        stream in proptest::collection::vec(any::<u64>(), 1..500),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &stream {
+            h.record(v);
+        }
+        let lo = *stream.iter().min().expect("non-empty");
+        let hi = *stream.iter().max().expect("non-empty");
+        prop_assert_eq!(h.min(), lo);
+        prop_assert_eq!(h.max(), hi);
+        let mut prev = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= lo && v <= hi, "q={} -> {} outside [{}, {}]", q, v, lo, hi);
+            prop_assert!(v >= prev, "quantile not monotone at q={}", q);
+            prev = v;
+        }
+    }
+
+    /// Merging histograms is exactly equivalent to recording the
+    /// concatenated stream into one.
+    #[test]
+    fn merge_equals_concatenated_recording(
+        a in proptest::collection::vec(any::<u64>(), 0..300),
+        b in proptest::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.sum(), hc.sum());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        prop_assert_eq!(ha.nonzero_buckets(), hc.nonzero_buckets());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q));
+        }
+    }
+
+    /// The bucket containing `v` brackets it, and its width stays within
+    /// the documented relative-error bound: the bucket spans at most
+    /// `low / SUB_BUCKETS` (≤ 1/32 relative error at the lower edge), with
+    /// values below `2 * SUB_BUCKETS²` recorded exactly.
+    #[test]
+    fn bucket_error_within_documented_bound(v in any::<u64>()) {
+        let i = bucket_of(v);
+        let lo = bucket_low(i);
+        let hi = bucket_high(i);
+        prop_assert!(lo <= v && v <= hi, "bucket [{}, {}] misses {}", lo, hi, v);
+        if v < 2 * SUB_BUCKETS {
+            prop_assert_eq!(lo, hi, "small value {} not exact", v);
+        }
+        let width = hi - lo;
+        prop_assert!(
+            width <= lo / SUB_BUCKETS,
+            "bucket width {} exceeds {}/{} at {}", width, lo, SUB_BUCKETS, v
+        );
+    }
+
+    /// JSON round-trip preserves the histogram exactly.
+    #[test]
+    fn json_round_trip_is_lossless(
+        stream in proptest::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &stream {
+            h.record(v);
+        }
+        let back = Histogram::from_json(&h.to_json()).expect("own output parses");
+        prop_assert_eq!(back.count(), h.count());
+        prop_assert_eq!(back.sum(), h.sum());
+        prop_assert_eq!(back.min(), h.min());
+        prop_assert_eq!(back.max(), h.max());
+        prop_assert_eq!(back.nonzero_buckets(), h.nonzero_buckets());
+    }
+}

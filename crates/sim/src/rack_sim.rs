@@ -8,7 +8,7 @@
 //! hardware exactly like the paper's own 64-queue server emulation scaled
 //! them — ratios, not absolute numbers, are the observable.
 
-use netcache::{FaultConfig, FaultStats, NetworkModel, Rack, RackConfig};
+use netcache::{FaultConfig, FaultStats, Histogram, NetworkModel, Rack, RackConfig};
 use netcache_client::{ClientConfig, NetCacheClient, RateController};
 use netcache_controller::{ControllerConfig, KeyHome, ServerBackend};
 use netcache_dataplane::{PortId, SwitchConfig};
@@ -101,7 +101,8 @@ pub struct SimConfig {
     pub sample_rate: f64,
     /// Latency model constants.
     pub latency: LatencyModel,
-    /// Collect per-query latency samples (1-in-16 sampled).
+    /// Collect per-query latency samples (every delivered reply is
+    /// recorded into a fixed-memory [`Histogram`]).
     pub collect_latency: bool,
     /// Network fault model applied on every simulated link crossing
     /// (loss, duplication, reordering, bounded delay). Defaults to a
@@ -163,13 +164,49 @@ pub struct LatencyStats {
     pub mean_ns: f64,
     /// Median.
     pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
     /// 99th percentile.
     pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
     /// Number of samples.
     pub samples: usize,
 }
 
+impl LatencyStats {
+    /// Summarizes a latency [`Histogram`] (all zeros when empty).
+    pub fn from_histogram(h: &Histogram) -> Self {
+        if h.is_empty() {
+            return LatencyStats::default();
+        }
+        LatencyStats {
+            mean_ns: h.mean(),
+            p50_ns: h.p50(),
+            p90_ns: h.p90(),
+            p99_ns: h.p99(),
+            p999_ns: h.p999(),
+            samples: h.count() as usize,
+        }
+    }
+}
+
 impl SimReport {
+    /// Max-over-mean imbalance of the per-server delivered load (1.0 =
+    /// perfectly balanced, 0.0 when no server served anything).
+    pub fn load_imbalance(&self) -> f64 {
+        if self.per_server_qps.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.per_server_qps.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mean = total / self.per_server_qps.len() as f64;
+        let max = self.per_server_qps.iter().cloned().fold(0.0, f64::max);
+        max / mean
+    }
+
     /// Renders the per-second series as CSV (`second,offered,delivered,
     /// cache_hits,drops`), ready for external plotting of the Fig. 11
     /// time series.
@@ -218,6 +255,9 @@ pub struct SimReport {
     pub per_server_qps: Vec<f64>,
     /// Latency summary (if collection was enabled).
     pub latency: LatencyStats,
+    /// Full latency distribution (virtual time, ns; empty unless
+    /// `collect_latency` was set).
+    pub latency_hist: Histogram,
     /// Per-second series (Fig. 11).
     pub per_second: Vec<SecondStats>,
     /// Faults injected by the network model over the whole run.
@@ -275,8 +315,7 @@ pub struct RackSim {
     delivered_hits: u64,
     offered: u64,
     drops: u64,
-    latencies: Vec<u64>,
-    latency_decimator: u8,
+    latencies: Histogram,
 }
 
 impl RackSim {
@@ -380,8 +419,7 @@ impl RackSim {
             delivered_hits: 0,
             offered: 0,
             drops: 0,
-            latencies: Vec::new(),
-            latency_decimator: 0,
+            latencies: Histogram::new(),
             rack,
             config,
         })
@@ -576,12 +614,9 @@ impl RackSim {
                 self.current_second.cache_hits += 1;
             }
             if self.config.collect_latency {
-                self.latency_decimator = self.latency_decimator.wrapping_add(1);
-                if self.latency_decimator.is_multiple_of(16) {
-                    if let Some(sent) = sent_at {
-                        self.latencies
-                            .push(now - sent + self.config.latency.client_overhead_ns);
-                    }
+                if let Some(sent) = sent_at {
+                    self.latencies
+                        .record(now - sent + self.config.latency.client_overhead_ns);
                 }
             }
         }
@@ -679,18 +714,7 @@ impl RackSim {
         let window_s = self.config.duration_s;
         let goodput = self.delivered as f64 / window_s;
         let cache_qps = self.delivered_hits as f64 / window_s;
-        let latency = if self.latencies.is_empty() {
-            LatencyStats::default()
-        } else {
-            self.latencies.sort_unstable();
-            let n = self.latencies.len();
-            LatencyStats {
-                mean_ns: self.latencies.iter().sum::<u64>() as f64 / n as f64,
-                p50_ns: self.latencies[n / 2],
-                p99_ns: self.latencies[(n * 99 / 100).min(n - 1)],
-                samples: n,
-            }
-        };
+        let latency = LatencyStats::from_histogram(&self.latencies);
         SimReport {
             goodput_qps: goodput,
             offered_qps: self.offered as f64 / window_s,
@@ -708,6 +732,7 @@ impl RackSim {
                 .map(|&c| c as f64 / window_s)
                 .collect(),
             latency,
+            latency_hist: self.latencies,
             per_second: self.per_second,
             faults: self.faults.stats(),
         }

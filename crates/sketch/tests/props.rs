@@ -60,6 +60,66 @@ proptest! {
         }
     }
 
+    /// Accuracy bound, lower side: with a single distinct key there are no
+    /// collisions to inflate any counter, so the estimate is *exact* for
+    /// any geometry — the over-estimate comes only from collisions.
+    #[test]
+    fn cms_exact_for_single_distinct_key(
+        key in any::<u32>(),
+        n in 1u16..500,
+        depth in 1usize..=4,
+        width in 1usize..256,
+    ) {
+        let mut cms = CountMinSketch::new(depth, width, 7);
+        for _ in 0..n {
+            cms.increment(&key.to_be_bytes());
+        }
+        prop_assert_eq!(cms.estimate(&key.to_be_bytes()), n);
+    }
+
+    /// Accuracy bound, upper side: no estimate — even for a key never
+    /// inserted — can exceed the total stream length, since every counter
+    /// is incremented at most once per stream element.
+    #[test]
+    fn cms_estimate_bounded_by_stream_length(
+        stream in proptest::collection::vec(0u16..64, 0..400),
+        probe in any::<u16>(),
+        depth in 1usize..=4,
+        width in 1usize..256,
+    ) {
+        let mut cms = CountMinSketch::new(depth, width, 7);
+        for k in &stream {
+            cms.increment(&k.to_be_bytes());
+        }
+        prop_assert!(
+            cms.estimate(&probe.to_be_bytes()) as usize <= stream.len(),
+            "estimate for {} exceeds stream length {}", probe, stream.len()
+        );
+    }
+
+    /// Estimates are monotone under stream growth: appending elements can
+    /// only raise (never lower) any key's estimate.
+    #[test]
+    fn cms_estimates_monotone_under_growth(
+        stream in proptest::collection::vec(0u16..64, 1..300),
+        extra in proptest::collection::vec(0u16..64, 1..100),
+    ) {
+        let mut cms = CountMinSketch::new(3, 64, 7);
+        for k in &stream {
+            cms.increment(&k.to_be_bytes());
+        }
+        let before: Vec<u16> = (0u16..64).map(|k| cms.estimate(&k.to_be_bytes())).collect();
+        for k in &extra {
+            cms.increment(&k.to_be_bytes());
+        }
+        for (k, &b) in before.iter().enumerate() {
+            prop_assert!(
+                cms.estimate(&(k as u16).to_be_bytes()) >= b,
+                "estimate for {} decreased after growth", k
+            );
+        }
+    }
+
     /// The sampler's long-run acceptance rate tracks the configured rate.
     #[test]
     fn sampler_rate_tracks_configuration(rate in 0.05f64..0.95, seed in any::<u64>()) {

@@ -1,0 +1,314 @@
+//! Model-based differential suite: the full rack (switch cache + servers +
+//! controller + faulty network) replayed against a naive single-map
+//! reference model over seeded random operation sequences.
+//!
+//! The reference model is deliberately trivial — one map from key to the
+//! set of values the key may legally hold. On a clean network every
+//! operation acks, the set is always a singleton, and the check degenerates
+//! to exact equality with a `HashMap`. Under faults an abandoned write may
+//! or may not have been applied (and a delayed duplicate may apply it
+//! *later*), so the model widens the set until the next acked write or
+//! delete collapses it again. Every acked read must land inside the set.
+//!
+//! Cache-plane mutations (controller inserts and evictions) are injected
+//! mid-stream: they must never change what any read observes, only where
+//! it is served from.
+//!
+//! Seeds derive from one base, adjustable via `NETCACHE_TEST_SEED`.
+
+use std::collections::HashMap;
+
+use netcache::{seed_from_env, FaultConfig, Rack, RackConfig, RetryPolicy};
+use netcache_client::Response;
+use netcache_proto::{Key, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Distinct keys in the workload; the cache (capacity 8) covers a third.
+const KEYS: u64 = 24;
+/// Mixed operations per scenario, after the initial seeding puts.
+const OPS: usize = 300;
+
+/// Values carry a big-endian write counter; counters are unique across the
+/// whole run, so a read unambiguously identifies which write it observed.
+fn val(counter: u64) -> Value {
+    Value::new(counter.to_be_bytes().to_vec()).expect("8 bytes fits")
+}
+
+fn counter_of(v: &Value) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&v.as_bytes()[..8]);
+    u64::from_be_bytes(b)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Scenario seed for case `i` of test `level`; disjoint from the chaos
+/// suite's seeds (different base constant).
+fn scenario_seed(level: u64, i: u64) -> u64 {
+    splitmix64(seed_from_env(0x30de_1c4e) ^ (level << 32) ^ i)
+}
+
+/// What one key may legally hold: each element is either `Some(counter)`
+/// or `None` (absent). A singleton means the model is certain.
+#[derive(Clone, Debug, PartialEq)]
+struct Admissible(Vec<Option<u64>>);
+
+impl Admissible {
+    fn certain(v: Option<u64>) -> Self {
+        Admissible(vec![v])
+    }
+
+    /// An acked write resolves all uncertainty.
+    fn commit(&mut self, v: Option<u64>) {
+        self.0 = vec![v];
+    }
+
+    /// An abandoned write may or may not have been applied — and a delayed
+    /// duplicate may still apply it later — so *both* outcomes stay
+    /// admissible until the next acked write.
+    fn admit(&mut self, v: Option<u64>) {
+        if !self.0.contains(&v) {
+            self.0.push(v);
+        }
+    }
+
+    fn allows(&self, v: Option<u64>) -> bool {
+        self.0.contains(&v)
+    }
+
+    fn is_certain(&self) -> bool {
+        self.0.len() == 1
+    }
+}
+
+/// The naive reference model: one map, no cache, no network.
+type Model = HashMap<u64, Admissible>;
+
+/// One observed operation, for the determinism check. `Abandoned` means
+/// the client exhausted its retry budget.
+#[derive(Clone, Debug, PartialEq)]
+enum Observed {
+    Got(Option<u64>),
+    PutAck(u64),
+    DeleteAck(u64),
+    Abandoned,
+    CachePopulated(bool),
+    CacheEvicted(bool),
+}
+
+struct ScenarioResult {
+    trace: Vec<Observed>,
+    abandoned: u64,
+    /// Reads answered while the model was certain (exact-equality checks).
+    certain_reads: u64,
+    cache_inserts: u64,
+    cache_evictions: u64,
+}
+
+/// Replays one seeded operation sequence against the rack and the model in
+/// lockstep, asserting every acked read lands inside the model's
+/// admissible set.
+fn run_scenario(seed: u64, faults: FaultConfig) -> ScenarioResult {
+    let mut config = RackConfig::small(4);
+    config.controller.cache_capacity = 8;
+    config.faults = faults;
+    let rack = Rack::new(config).expect("valid config");
+    let policy = RetryPolicy::default();
+    let mut client = rack.client(0).with_policy(policy.clone());
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed));
+
+    let mut model: Model = (0..KEYS).map(|k| (k, Admissible::certain(None))).collect();
+    let mut next_counter = 0u64;
+    let mut result = ScenarioResult {
+        trace: Vec::new(),
+        abandoned: 0,
+        certain_reads: 0,
+        cache_inserts: 0,
+        cache_evictions: 0,
+    };
+
+    // Seed every key (under faults too), then cache the first third so the
+    // stream mixes switch-served and server-served reads from the start.
+    for k in 0..KEYS {
+        next_counter += 1;
+        let out = client.put_with_retry(Key::from_u64(k), val(next_counter));
+        assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+        let entry = model.get_mut(&k).expect("pre-seeded key");
+        match out.response {
+            Some(_) => {
+                entry.commit(Some(next_counter));
+                result.trace.push(Observed::PutAck(next_counter));
+            }
+            None => {
+                entry.admit(Some(next_counter));
+                result.abandoned += 1;
+                result.trace.push(Observed::Abandoned);
+            }
+        }
+    }
+    rack.populate_cache((0..KEYS / 3).map(Key::from_u64));
+
+    for _ in 0..OPS {
+        let k = rng.random_range(0..KEYS);
+        let key = Key::from_u64(k);
+        let roll: f64 = rng.random();
+        if roll < 0.55 {
+            // Read, checked against the model.
+            let out = client.get_with_retry(key);
+            assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+            let Some(resp) = out.response else {
+                result.abandoned += 1;
+                result.trace.push(Observed::Abandoned);
+                continue;
+            };
+            let entry = &model[&k];
+            let observed = match resp.response() {
+                Response::Value { value, .. } => Some(counter_of(value)),
+                Response::NotFound { .. } => None,
+                other => panic!("unexpected get response {other:?}"),
+            };
+            assert!(
+                entry.allows(observed),
+                "divergence on key {k}: rack returned {observed:?}, model \
+                 allows {entry:?} (seed {seed:#x})"
+            );
+            if entry.is_certain() {
+                result.certain_reads += 1;
+            }
+            result.trace.push(Observed::Got(observed));
+        } else if roll < 0.80 {
+            // Write, applied to both rack and model.
+            next_counter += 1;
+            let out = client.put_with_retry(key, val(next_counter));
+            assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+            let entry = model.get_mut(&k).expect("pre-seeded key");
+            match out.response {
+                Some(resp) => {
+                    assert!(matches!(resp.response(), Response::PutAck { .. }));
+                    entry.commit(Some(next_counter));
+                    result.trace.push(Observed::PutAck(next_counter));
+                }
+                None => {
+                    entry.admit(Some(next_counter));
+                    result.abandoned += 1;
+                    result.trace.push(Observed::Abandoned);
+                }
+            }
+        } else if roll < 0.90 {
+            // Delete, applied to both rack and model.
+            let out = client.delete_with_retry(key);
+            assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+            let entry = model.get_mut(&k).expect("pre-seeded key");
+            match out.response {
+                Some(resp) => {
+                    assert!(matches!(resp.response(), Response::DeleteAck { .. }));
+                    entry.commit(None);
+                    result.trace.push(Observed::DeleteAck(next_counter));
+                }
+                None => {
+                    entry.admit(None);
+                    result.abandoned += 1;
+                    result.trace.push(Observed::Abandoned);
+                }
+            }
+        } else if roll < 0.95 {
+            // Cache-plane mutation: controller insertion. Must not change
+            // any observable value — the model is untouched.
+            let inserted = rack.populate_cache([key]) == 1;
+            result.cache_inserts += u64::from(inserted);
+            result.trace.push(Observed::CachePopulated(inserted));
+        } else {
+            // Cache-plane mutation: controller eviction (same invariant).
+            let evicted = rack.with_switch(|sw| rack.with_controller(|c| c.evict_key(sw, &key)));
+            result.cache_evictions += u64::from(evicted);
+            result.trace.push(Observed::CacheEvicted(evicted));
+            // Flush the queued membership unmark through the backend, as
+            // the production control loop would.
+            rack.run_controller();
+        }
+    }
+    result
+}
+
+fn clean() -> FaultConfig {
+    FaultConfig::default()
+}
+
+fn faulty(loss: f64, seed: u64) -> FaultConfig {
+    FaultConfig {
+        loss,
+        duplicate: 0.05,
+        reorder: 0.05,
+        max_delay_ns: 300_000,
+        seed,
+    }
+}
+
+/// Clean network: the model never widens, so every read is an exact
+/// equality check against the naive map, across cache churn included.
+#[test]
+fn model_check_clean_network() {
+    for i in 0..4 {
+        let seed = scenario_seed(1, i);
+        let out = run_scenario(seed, clean());
+        assert_eq!(
+            out.abandoned, 0,
+            "clean network abandoned ops (seed {seed:#x})"
+        );
+        let reads = out
+            .trace
+            .iter()
+            .filter(|o| matches!(o, Observed::Got(_)))
+            .count() as u64;
+        assert_eq!(
+            out.certain_reads, reads,
+            "clean network left the model uncertain (seed {seed:#x})"
+        );
+        assert!(
+            out.cache_inserts > 0 && out.cache_evictions > 0,
+            "scenario exercised no cache churn (seed {seed:#x}): {} inserts, {} evictions",
+            out.cache_inserts,
+            out.cache_evictions
+        );
+    }
+}
+
+/// Light faults: most writes still ack, so most reads remain exact checks;
+/// the rest are membership checks in a widened set.
+#[test]
+fn model_check_light_faults() {
+    for i in 0..3 {
+        let seed = scenario_seed(2, i);
+        let out = run_scenario(seed, faulty(0.02, seed));
+        assert!(
+            out.certain_reads > 0,
+            "no exact-equality reads at 2% loss (seed {seed:#x})"
+        );
+    }
+}
+
+/// Heavy faults: the uncertainty machinery earns its keep — scenarios must
+/// still never diverge from the admissible set.
+#[test]
+fn model_check_heavy_faults() {
+    for i in 0..3 {
+        let seed = scenario_seed(3, i);
+        run_scenario(seed, faulty(0.15, seed));
+    }
+}
+
+/// The whole scenario — faults, workload, cache churn, observations — is a
+/// pure function of the seed.
+#[test]
+fn model_check_is_deterministic_per_seed() {
+    let seed = scenario_seed(4, 0);
+    let a = run_scenario(seed, faulty(0.10, seed));
+    let b = run_scenario(seed, faulty(0.10, seed));
+    assert_eq!(a.trace, b.trace, "same seed must replay the same trace");
+}
