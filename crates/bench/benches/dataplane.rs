@@ -41,7 +41,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("switch_pipeline");
 
     for &len in &[32usize, 128] {
-        let mut sw = switch_with_items(1024, len);
+        let sw = switch_with_items(1024, len);
         let pkt = Packet::get_query(1, CLIENT_IP, SERVER_IP, Key::from_u64(7), 0);
         group.bench_function(format!("get_hit_{len}B"), |b| {
             b.iter_batched(
@@ -52,7 +52,7 @@ fn bench_pipeline(c: &mut Criterion) {
         });
     }
 
-    let mut sw = switch_with_items(1024, 128);
+    let sw = switch_with_items(1024, 128);
     let miss = Packet::get_query(1, CLIENT_IP, SERVER_IP, Key::from_u64(999_999), 0);
     group.bench_function("get_miss_with_stats", |b| {
         b.iter_batched(

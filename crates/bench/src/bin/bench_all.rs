@@ -11,11 +11,15 @@
 
 use netcache::{seed_from_env, Json};
 use netcache_bench::scenario::{apply_quick, named_report_json, parse_cli, write_json_file};
+use netcache_bench::threaded::{available_cores, result_json, run_threaded};
 use netcache_bench::{banner, base_sim, fmt_qps, run_saturated, to_paper_scale};
 use netcache_sim::SimConfig;
 use netcache_workload::WriteSkew;
 
 const DEFAULT_OUT: &str = "BENCH_netcache.json";
+
+/// Pipes (= max worker threads) for the wall-clock pipe-scaling scenario.
+const THREADED_PIPES: usize = 4;
 
 struct Scenario {
     /// Stable scenario id (`figure/workload`).
@@ -103,6 +107,44 @@ fn validate(payload: &str) -> Vec<String> {
             scenarios.len()
         ));
     }
+    match doc.get("threaded") {
+        None => problems.push("missing threaded section".into()),
+        Some(threaded) => {
+            for field in ["cores", "pipes"] {
+                match threaded.get_u64(field) {
+                    Ok(0) => problems.push(format!("threaded: zero {field}")),
+                    Ok(_) => {}
+                    Err(e) => problems.push(format!("threaded: {e}")),
+                }
+            }
+            if let Err(e) = threaded.get_finite("speedup") {
+                problems.push(format!("threaded: {e}"));
+            }
+            match threaded.get("scenarios").and_then(Json::as_array) {
+                None => problems.push("threaded: missing scenarios array".into()),
+                Some(rows) => {
+                    if rows.is_empty() {
+                        problems.push("threaded: empty scenarios array".into());
+                    }
+                    for row in rows {
+                        let name = row
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .unwrap_or("<unnamed>")
+                            .to_string();
+                        if let Err(e) = row.get_finite("qps") {
+                            problems.push(format!("{name}: {e}"));
+                        }
+                        match row.get_u64("total_ops") {
+                            Ok(0) => problems.push(format!("{name}: zero total_ops")),
+                            Ok(_) => {}
+                            Err(e) => problems.push(format!("{name}: {e}")),
+                        }
+                    }
+                }
+            }
+        }
+    }
     for s in scenarios {
         let name = s
             .get("name")
@@ -168,11 +210,44 @@ fn main() {
         );
         rows.push(named_report_json(s.name, &report));
     }
+
+    // Wall-clock pipe-scaling scenario: worker threads on disjoint pipes
+    // through one shared rack. Unlike the virtual-time rows above, these
+    // numbers depend on the machine (see `cores`); bench_compare only
+    // enforces the speedup on multi-core runners.
+    let ops_per_thread = if cli.quick { 3_000 } else { 30_000 };
+    let cores = available_cores();
+    println!(
+        "{:>32} {:>14} {:>8} (wall clock, {cores} cores)",
+        "threaded scenario", "throughput", "speedup"
+    );
+    let mut threaded_rows = Vec::new();
+    let mut baseline_qps = 0.0;
+    for threads in [1, THREADED_PIPES] {
+        let r = run_threaded(THREADED_PIPES, threads, ops_per_thread);
+        if threads == 1 {
+            baseline_qps = r.qps;
+        }
+        println!(
+            "{:>32} {:>14} {:>7.2}x",
+            r.name,
+            fmt_qps(r.qps),
+            r.qps / baseline_qps
+        );
+        threaded_rows.push(result_json(&r));
+    }
+    let speedup = Json::parse(threaded_rows.last().expect("two rows"))
+        .ok()
+        .and_then(|row| row.get_finite("qps").ok())
+        .map_or(0.0, |qps| qps / baseline_qps);
+
     let payload = format!(
-        "{{\"schema\":\"netcache-bench/v1\",\"quick\":{},\"seed\":{},\"scenarios\":[{}]}}",
+        "{{\"schema\":\"netcache-bench/v1\",\"quick\":{},\"seed\":{},\"scenarios\":[{}],\"threaded\":{{\"cores\":{cores},\"pipes\":{THREADED_PIPES},\"speedup\":{},\"scenarios\":[{}]}}}}",
         cli.quick,
         seed,
-        rows.join(",")
+        rows.join(","),
+        netcache::json::fmt_f64(speedup),
+        threaded_rows.join(",")
     );
     write_json_file(out, &payload);
 

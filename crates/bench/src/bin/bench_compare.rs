@@ -1,0 +1,133 @@
+//! Regression gate over two `bench_all` outputs: compares a freshly
+//! generated `BENCH_netcache.json` against the committed baseline and
+//! exits nonzero on a real regression.
+//!
+//! Usage: `bench_compare <baseline.json> <current.json>`
+//!
+//! Rules:
+//! - Simulator scenarios are virtual-time and deterministic for a given
+//!   seed, so their `goodput_qps` must stay within 30% of the baseline
+//!   (matched by scenario name). Only documents produced in the same mode
+//!   are comparable — on a `quick`-flag mismatch the comparison is
+//!   skipped with a warning instead of failing spuriously.
+//! - Threaded scenarios are wall-clock and machine-dependent, so they are
+//!   never compared against the baseline. Instead, when the current run
+//!   had at least 4 cores, the 4-thread pipe-scaling speedup must reach
+//!   2x; on smaller machines (where wall-clock parallel speedup is
+//!   physically impossible) the check is skipped with a note.
+
+use netcache::Json;
+
+/// Relative throughput loss tolerated on deterministic sim scenarios.
+const TOLERANCE: f64 = 0.30;
+
+/// Minimum 4-thread speedup demanded on machines with >= 4 cores.
+const MIN_SPEEDUP: f64 = 2.0;
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `(name, goodput_qps)` for every sim scenario in the document.
+fn sim_rows(doc: &Json, path: &str) -> Vec<(String, f64)> {
+    let Some(scenarios) = doc.get("scenarios").and_then(Json::as_array) else {
+        eprintln!("error: {path} has no scenarios array");
+        std::process::exit(2);
+    };
+    scenarios
+        .iter()
+        .filter_map(|s| {
+            let name = s.get("name").and_then(Json::as_str)?.to_string();
+            let qps = s.get_finite("goodput_qps").ok()?;
+            Some((name, qps))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <current.json>");
+        std::process::exit(2);
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let mut failures = Vec::new();
+
+    // --- Deterministic sim scenarios: 30% goodput tolerance. ---
+    let base_quick = baseline
+        .get("quick")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let cur_quick = current
+        .get("quick")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if base_quick != cur_quick {
+        println!(
+            "skip: baseline quick={base_quick} vs current quick={cur_quick} \
+             (modes differ; sim throughput not comparable)"
+        );
+    } else {
+        let base_rows = sim_rows(&baseline, baseline_path);
+        for (name, cur_qps) in sim_rows(&current, current_path) {
+            let Some((_, base_qps)) = base_rows.iter().find(|(n, _)| *n == name) else {
+                println!("note: {name} has no baseline row (new scenario)");
+                continue;
+            };
+            let floor = base_qps * (1.0 - TOLERANCE);
+            let verdict = if cur_qps >= floor { "ok" } else { "FAIL" };
+            println!(
+                "{verdict}: {name}: goodput {cur_qps:.0} qps vs baseline {base_qps:.0} \
+                 (floor {floor:.0})"
+            );
+            if cur_qps < floor {
+                failures.push(name);
+            }
+        }
+    }
+
+    // --- Threaded pipe scaling: absolute speedup gate, core-gated. ---
+    match current.get("threaded") {
+        None => {
+            println!("FAIL: current document has no threaded section");
+            failures.push("threaded".into());
+        }
+        Some(threaded) => {
+            let cores = threaded.get_u64("cores").unwrap_or(1);
+            let speedup = threaded.get_finite("speedup").unwrap_or(0.0);
+            if cores >= 4 {
+                let verdict = if speedup >= MIN_SPEEDUP { "ok" } else { "FAIL" };
+                println!(
+                    "{verdict}: threaded: 4-thread speedup {speedup:.2}x \
+                     (need >= {MIN_SPEEDUP:.1}x on {cores} cores)"
+                );
+                if speedup < MIN_SPEEDUP {
+                    failures.push("threaded speedup".into());
+                }
+            } else {
+                println!(
+                    "skip: threaded speedup gate ({cores} core(s); wall-clock \
+                     parallel speedup needs >= 4) — measured {speedup:.2}x"
+                );
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_compare: no regressions");
+    } else {
+        eprintln!(
+            "bench_compare: {} regression(s): {failures:?}",
+            failures.len()
+        );
+        std::process::exit(1);
+    }
+}

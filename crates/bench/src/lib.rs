@@ -8,6 +8,7 @@
 use netcache_sim::{AnalyticModel, RackSim, SimConfig, SimReport};
 
 pub mod scenario;
+pub mod threaded;
 
 /// The scaled-down stand-ins for the paper's hardware rates.
 ///

@@ -1,0 +1,157 @@
+//! Pipe-scaling throughput scenario: N client threads drive cached GETs
+//! through one in-process [`Rack`] whose switch has N pipes, each thread
+//! targeting keys homed in a different pipe.
+//!
+//! Since the switch data plane runs under `&self` with one mutex per
+//! egress pipe (DESIGN.md §10), threads touching disjoint pipes share
+//! nothing on the hot path but lock-free match state — throughput should
+//! scale with threads up to the pipe/core count. This module measures
+//! that scaling in wall-clock time (unlike the virtual-time simulator
+//! scenarios) and reports the machine's core count alongside, because a
+//! single-core machine cannot show wall-clock speedup no matter how
+//! contention-free the code is.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use netcache::{Rack, RackConfig};
+use netcache_proto::Key;
+
+/// One threaded run: `threads` workers, `total_ops` completed GETs.
+#[derive(Debug, Clone)]
+pub struct ThreadedResult {
+    /// Stable scenario id (`rack-cached-get/threadsN`).
+    pub name: String,
+    /// Worker threads (each bound to one pipe's key bucket).
+    pub threads: usize,
+    /// Switch pipes in the rack under test.
+    pub pipes: usize,
+    /// Total completed GET operations across all threads.
+    pub total_ops: u64,
+    /// Wall-clock time from the start barrier to the last thread done.
+    pub elapsed_ns: u64,
+    /// Aggregate throughput (`total_ops / elapsed`).
+    pub qps: f64,
+    /// Cache hits observed (sanity: should equal `total_ops`).
+    pub cache_hits: u64,
+}
+
+/// Cores visible to this process (1 when detection fails).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Builds a rack with `pipes` pipes whose ports span every pipe, with a
+/// dataset loaded and `per_pipe` keys from each pipe's bucket cached.
+fn build_rack(pipes: usize, per_pipe: usize) -> (Rack, Vec<Vec<Key>>) {
+    let servers = (pipes * 7) as u32;
+    let mut config = RackConfig::small(servers);
+    config.switch.pipes = pipes;
+    config.switch.ports = (servers + 8) as usize;
+    config.controller.cache_capacity = (pipes * per_pipe).max(32);
+    let rack = Rack::new(config).expect("valid config");
+    rack.load_dataset(2_000, 64);
+
+    // Bucket keys by home pipe so each worker can stay inside one pipe.
+    let mut buckets: Vec<Vec<Key>> = vec![Vec::new(); pipes];
+    for id in 0..2_000u64 {
+        let key = Key::from_u64(id);
+        let home = rack.addressing().home_of(&key);
+        if buckets[home.pipe].len() < per_pipe {
+            buckets[home.pipe].push(key);
+        }
+        if buckets.iter().all(|b| b.len() >= per_pipe) {
+            break;
+        }
+    }
+    assert!(
+        buckets.iter().all(|b| !b.is_empty()),
+        "dataset must span all {pipes} pipes"
+    );
+    for bucket in &buckets {
+        rack.populate_cache(bucket.iter().copied());
+    }
+    (rack, buckets)
+}
+
+/// Runs `threads` workers for `ops_per_thread` cached GETs each; worker
+/// `t` reads only keys homed in pipe `t % pipes`, so with
+/// `threads == pipes` the per-pipe egress locks never contend.
+pub fn run_threaded(pipes: usize, threads: usize, ops_per_thread: u64) -> ThreadedResult {
+    let (rack, buckets) = build_rack(pipes, 16);
+    let barrier = Barrier::new(threads + 1);
+    let hits = AtomicU64::new(0);
+
+    let t0 = std::thread::scope(|scope| {
+        for t in 0..threads {
+            let rack = &rack;
+            let bucket = &buckets[t % pipes];
+            let barrier = &barrier;
+            let hits = &hits;
+            scope.spawn(move || {
+                let mut client = rack.client(t as u32 % rack.config().clients);
+                barrier.wait();
+                let mut local_hits = 0u64;
+                for i in 0..ops_per_thread {
+                    let key = bucket[(i as usize) % bucket.len()];
+                    let resp = client.get(key).expect("cached GET must get a reply");
+                    if resp.served_by_cache() {
+                        local_hits += 1;
+                    }
+                }
+                hits.fetch_add(local_hits, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        std::time::Instant::now()
+    });
+    // Scope exit joins every worker; measure from the release barrier.
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+
+    let total_ops = threads as u64 * ops_per_thread;
+    ThreadedResult {
+        name: format!("rack-cached-get/threads{threads}"),
+        threads,
+        pipes,
+        total_ops,
+        elapsed_ns,
+        qps: total_ops as f64 / (elapsed_ns as f64 / 1e9),
+        cache_hits: hits.load(Ordering::Relaxed),
+    }
+}
+
+/// Serializes one result as a JSON object (schema `netcache-bench/v1`,
+/// `threaded.scenarios[]` entries).
+pub fn result_json(r: &ThreadedResult) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"threads\":{},\"pipes\":{},\"total_ops\":{},\"elapsed_ns\":{},\"qps\":{},\"cache_hits\":{}}}",
+        r.name,
+        r.threads,
+        r.pipes,
+        r.total_ops,
+        r.elapsed_ns,
+        netcache::json::fmt_f64(r.qps),
+        r.cache_hits
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threaded_run_counts_and_hits() {
+        let r = run_threaded(2, 2, 50);
+        assert_eq!(r.total_ops, 100);
+        assert_eq!(r.cache_hits, 100, "every GET must be a cache hit");
+        assert!(r.qps > 0.0 && r.qps.is_finite());
+    }
+
+    #[test]
+    fn result_json_parses() {
+        let r = run_threaded(1, 1, 10);
+        let doc = netcache::Json::parse(&result_json(&r)).expect("valid JSON");
+        assert_eq!(doc.get("threads").and_then(netcache::Json::as_u64), Some(1));
+        assert!(doc.get_finite("qps").is_ok());
+    }
+}

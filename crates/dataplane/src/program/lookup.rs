@@ -56,8 +56,11 @@ impl LookupTables {
         }
     }
 
-    /// Data-plane lookup on the replica of ingress pipe `pipe`.
-    pub fn lookup(&mut self, pipe: usize, key: &Key) -> Option<LookupEntry> {
+    /// Data-plane lookup on the replica of ingress pipe `pipe`. `&self`:
+    /// every pipe reads its own replica concurrently, exactly as the
+    /// replicated SRAM blocks do on the ASIC; replica mutation is a
+    /// control-plane (`&mut self`) operation that cannot overlap.
+    pub fn lookup(&self, pipe: usize, key: &Key) -> Option<LookupEntry> {
         self.replicas[pipe].lookup(key)
     }
 

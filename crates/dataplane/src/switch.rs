@@ -14,8 +14,23 @@
 //! the generated Thrift APIs (§6). Control-plane operations are counted so
 //! higher layers can model the bounded table-update rate (§4.3: "commodity
 //! switches are able to update more than 10K table entries per second").
+//!
+//! # Concurrency model (§6, Fig. 8: "pipes process packets concurrently")
+//!
+//! [`NetCacheSwitch::process`] takes `&self`: packets steered to *different*
+//! egress pipes execute genuinely in parallel, while packets landing in the
+//! *same* pipe serialize in arrival order behind that pipe's mutex — the
+//! hardware-faithful invariant (a pipeline is a sequential machine; the
+//! chip's parallelism is across pipes). Shared read-only match state
+//! (lookup replicas, routing) is searched without locks: mutating it needs
+//! `&mut self` (control plane), which Rust's aliasing rules guarantee cannot
+//! overlap a data-plane `&self` borrow. Global telemetry counters are
+//! relaxed atomics. See `DESIGN.md` §10.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use netcache_proto::{Key, Op, Packet, Value};
+use parking_lot::Mutex;
 
 use crate::config::SwitchConfig;
 use crate::phv::{Phv, PortId};
@@ -78,15 +93,52 @@ pub struct SwitchStats {
     pub drops: u64,
 }
 
+/// [`SwitchStats`] with atomic fields: data-plane counters bumped from
+/// `&self` by concurrently executing pipes (relaxed ordering — they are
+/// telemetry, not synchronization).
+#[derive(Debug, Default)]
+struct AtomicSwitchStats {
+    packets: AtomicU64,
+    netcache_packets: AtomicU64,
+    cache_hits: AtomicU64,
+    invalid_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    write_invalidations: AtomicU64,
+    updates_applied: AtomicU64,
+    updates_ignored: AtomicU64,
+    drops: AtomicU64,
+}
+
+impl AtomicSwitchStats {
+    fn snapshot(&self) -> SwitchStats {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        SwitchStats {
+            packets: load(&self.packets),
+            netcache_packets: load(&self.netcache_packets),
+            cache_hits: load(&self.cache_hits),
+            invalid_hits: load(&self.invalid_hits),
+            cache_misses: load(&self.cache_misses),
+            write_invalidations: load(&self.write_invalidations),
+            updates_applied: load(&self.updates_applied),
+            updates_ignored: load(&self.updates_ignored),
+            drops: load(&self.drops),
+        }
+    }
+}
+
 /// The NetCache switch data plane.
+///
+/// Per-pipe state (`egress`) sits behind one mutex per pipe; global match
+/// state (`lookup`, `router`) is read lock-free from the data plane and
+/// mutated only through `&mut self` control-plane calls.
 #[derive(Debug)]
 pub struct NetCacheSwitch {
     config: SwitchConfig,
     lookup: LookupTables,
     router: Router,
-    egress: Vec<EgressPipe>,
-    epoch: u64,
-    stats: SwitchStats,
+    egress: Vec<Mutex<EgressPipe>>,
+    epoch: AtomicU64,
+    stats: AtomicSwitchStats,
     control_updates: u64,
 }
 
@@ -99,10 +151,10 @@ impl NetCacheSwitch {
             lookup: LookupTables::new(config.pipes, config.cache_capacity),
             router: Router::new(),
             egress: (0..config.pipes)
-                .map(|_| EgressPipe::new(&config))
+                .map(|_| Mutex::new(EgressPipe::new(&config)))
                 .collect(),
-            epoch: 0,
-            stats: SwitchStats::default(),
+            epoch: AtomicU64::new(0),
+            stats: AtomicSwitchStats::default(),
             control_updates: 0,
             config,
         };
@@ -117,9 +169,10 @@ impl NetCacheSwitch {
         &self.config
     }
 
-    /// Data-plane counters.
+    /// Data-plane counters (a consistent-enough snapshot of the relaxed
+    /// atomics; exact once the data plane is quiescent).
     pub fn stats(&self) -> SwitchStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Number of control-plane updates performed (table entries + register
@@ -137,21 +190,31 @@ impl NetCacheSwitch {
         let config = self.config.clone();
         self.lookup = LookupTables::new(config.pipes, config.cache_capacity);
         self.egress = (0..config.pipes)
-            .map(|_| EgressPipe::new(&config))
+            .map(|_| Mutex::new(EgressPipe::new(&config)))
             .collect();
-        self.stats = SwitchStats::default();
+        self.stats = AtomicSwitchStats::default();
     }
 
     /// Processes one packet arriving on `in_port`, returning the packets to
     /// emit as `(egress_port, packet)` pairs.
-    pub fn process(&mut self, pkt: Packet, in_port: PortId) -> Vec<(PortId, Packet)> {
-        self.epoch += 1;
-        self.stats.packets += 1;
-        let mut phv = Phv::new(pkt, in_port, self.epoch);
+    ///
+    /// `&self`: callers in different threads proceed concurrently. Two
+    /// packets steered to the same egress pipe serialize behind that pipe's
+    /// mutex in lock-acquisition order (= arrival order at the pipe);
+    /// packets in different pipes share nothing but lock-free match state
+    /// and relaxed counters.
+    pub fn process(&self, pkt: Packet, in_port: PortId) -> Vec<(PortId, Packet)> {
+        // Epochs are allocated globally, so they are unique per packet but
+        // not necessarily monotone *within* a pipe — the register access
+        // discipline (one access per array per packet) only needs
+        // uniqueness, and the pipe mutex orders the actual state changes.
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.packets.fetch_add(1, Ordering::Relaxed);
+        let mut phv = Phv::new(pkt, in_port, epoch);
 
         // ---- Ingress pipeline ----
         if phv.pkt.is_netcache() {
-            self.stats.netcache_packets += 1;
+            self.stats.netcache_packets.fetch_add(1, Ordering::Relaxed);
             let ingress_pipe = self.config.pipe_of_port(in_port as usize);
             // The cache lookup table matches queries and cache updates; it
             // must not match replies (their key may be cached, but replies
@@ -176,7 +239,7 @@ impl NetCacheSwitch {
             self.router.route(&mut phv);
         }
         if phv.meta.drop {
-            self.stats.drops += 1;
+            self.stats.drops.fetch_add(1, Ordering::Relaxed);
             return Vec::new();
         }
         let egress_port = phv
@@ -191,7 +254,11 @@ impl NetCacheSwitch {
         if !phv.pkt.is_netcache() {
             return vec![(egress_port, phv.pkt)];
         }
-        let pipe = &mut self.egress[egress_pipe_idx];
+        // One lock per packet, held for the duration of the egress pipeline:
+        // this is the per-pipe serialization point. No other lock is taken
+        // while it is held, so lock ordering is trivially acyclic.
+        let mut pipe = self.egress[egress_pipe_idx].lock();
+        let pipe = &mut *pipe;
         let epoch = phv.epoch;
         match phv.pkt.netcache.op {
             Op::Get => {
@@ -211,7 +278,7 @@ impl NetCacheSwitch {
                             len as u8,
                         ) {
                             Some(value) => {
-                                self.stats.cache_hits += 1;
+                                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                                 let reply_port = phv
                                     .meta
                                     .reply_port
@@ -223,23 +290,25 @@ impl NetCacheSwitch {
                             None => {
                                 // Inconsistent controller state; fail safe by
                                 // sending the query to the server.
-                                self.stats.invalid_hits += 1;
+                                self.stats.invalid_hits.fetch_add(1, Ordering::Relaxed);
                                 return vec![(egress_port, phv.pkt)];
                             }
                         }
                     }
-                    self.stats.invalid_hits += 1;
+                    self.stats.invalid_hits.fetch_add(1, Ordering::Relaxed);
                     return vec![(egress_port, phv.pkt)];
                 }
                 // Cache miss: heavy-hitter detection on the uncached key.
-                self.stats.cache_misses += 1;
+                self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
                 pipe.stats.on_cache_miss(epoch, &phv.pkt.netcache.key);
                 vec![(egress_port, phv.pkt)]
             }
             Op::Put | Op::Delete => {
                 if let Some(entry) = phv.meta.cache {
                     pipe.status.invalidate(epoch, entry.key_index);
-                    self.stats.write_invalidations += 1;
+                    self.stats
+                        .write_invalidations
+                        .fetch_add(1, Ordering::Relaxed);
                     // Tell the server the key is cached (§4.3: "modifies
                     // the operation field in the packet header").
                     phv.pkt.netcache.op = phv
@@ -287,9 +356,9 @@ impl NetCacheSwitch {
                     _ => false,
                 };
                 if applied {
-                    self.stats.updates_applied += 1;
+                    self.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
                 } else {
-                    self.stats.updates_ignored += 1;
+                    self.stats.updates_ignored.fetch_add(1, Ordering::Relaxed);
                 }
                 // Always acknowledge: the ack means "processed", and a
                 // non-applied update leaves the entry invalid, which is
@@ -305,16 +374,36 @@ impl NetCacheSwitch {
     /// Processes a raw frame, parsing it first. Unparseable frames are
     /// dropped; non-NetCache frames would be forwarded by a real switch,
     /// but the reproduction's transports only carry NetCache traffic.
-    pub fn process_bytes(&mut self, frame: &[u8], in_port: PortId) -> Vec<(PortId, Vec<u8>)> {
+    pub fn process_bytes(&self, frame: &[u8], in_port: PortId) -> Vec<(PortId, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.process_frame_with(frame, in_port, &mut scratch, |port, bytes| {
+            out.push((port, bytes.to_vec()));
+        });
+        out
+    }
+
+    /// Allocation-free variant of [`process_bytes`](Self::process_bytes):
+    /// each output frame is deparsed into the caller-owned `scratch` buffer
+    /// (reused across calls) and handed to `emit` as a borrowed slice. This
+    /// is the transport hot path — the UDP switch workers send straight
+    /// from `scratch` without per-packet `Vec` churn.
+    pub fn process_frame_with(
+        &self,
+        frame: &[u8],
+        in_port: PortId,
+        scratch: &mut Vec<u8>,
+        mut emit: impl FnMut(PortId, &[u8]),
+    ) {
         match Packet::parse(frame) {
-            Ok(pkt) => self
-                .process(pkt, in_port)
-                .into_iter()
-                .map(|(port, pkt)| (port, pkt.deparse()))
-                .collect(),
+            Ok(pkt) => {
+                for (port, out) in self.process(pkt, in_port) {
+                    out.deparse_into(scratch);
+                    emit(port, scratch);
+                }
+            }
             Err(_) => {
-                self.stats.drops += 1;
-                Vec::new()
+                self.stats.drops.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -342,7 +431,7 @@ impl NetCacheSwitch {
         ingress.place(lookup_stage + 1, alloc("l3_routing", 512 * 1024, 0))?;
 
         let mut egress = StageMap::new(profile, Direction::Egress);
-        let pipe = &self.egress[0];
+        let pipe = self.egress[0].lock();
         let status_stage = egress.place(0, alloc("cache_status", pipe.status.sram_bytes(), 0))?;
         egress.place(0, alloc("value_len", self.config.value_slots * 2, 0))?;
         // Statistics: counters + CMS rows may share a stage (independent
@@ -454,62 +543,79 @@ impl SwitchDriver for NetCacheSwitch {
 
     fn write_value(&mut self, pipe: usize, bitmap: u8, index: u32, value: &Value) -> bool {
         self.control_updates += 1;
-        self.egress[pipe].values.poke_value(bitmap, index, value)
+        self.egress[pipe]
+            .get_mut()
+            .values
+            .poke_value(bitmap, index, value)
     }
 
     fn peek_value(&self, pipe: usize, bitmap: u8, index: u32, value_len: u8) -> Option<Value> {
         self.egress[pipe]
+            .lock()
             .values
             .peek_value(bitmap, index, value_len)
     }
 
     fn install_status(&mut self, pipe: usize, key_index: u32, version: u32) {
         self.control_updates += 1;
-        self.egress[pipe].status.install(key_index, version);
+        self.egress[pipe]
+            .get_mut()
+            .status
+            .install(key_index, version);
     }
 
     fn install_value_len(&mut self, pipe: usize, key_index: u32, len: u16) {
         self.control_updates += 1;
-        self.egress[pipe].value_len.poke(key_index as usize, len);
+        self.egress[pipe]
+            .get_mut()
+            .value_len
+            .poke(key_index as usize, len);
     }
 
     fn evict_status(&mut self, pipe: usize, key_index: u32) {
         self.control_updates += 1;
-        self.egress[pipe].status.evict(key_index);
-        self.egress[pipe].value_len.poke(key_index as usize, 0);
+        let p = self.egress[pipe].get_mut();
+        p.status.evict(key_index);
+        p.value_len.poke(key_index as usize, 0);
     }
 
     fn peek_valid(&self, pipe: usize, key_index: u32) -> bool {
-        self.egress[pipe].status.peek_valid(key_index)
+        self.egress[pipe].lock().status.peek_valid(key_index)
     }
 
     fn invalidate_status(&mut self, pipe: usize, key_index: u32) {
         self.control_updates += 1;
-        self.egress[pipe].status.set_valid(key_index, false);
+        self.egress[pipe]
+            .get_mut()
+            .status
+            .set_valid(key_index, false);
     }
 
     fn revalidate_status(&mut self, pipe: usize, key_index: u32) {
         self.control_updates += 1;
-        self.egress[pipe].status.set_valid(key_index, true);
+        self.egress[pipe]
+            .get_mut()
+            .status
+            .set_valid(key_index, true);
     }
 
     fn peek_value_len(&self, pipe: usize, key_index: u32) -> u16 {
-        self.egress[pipe].value_len.peek(key_index as usize)
+        self.egress[pipe].lock().value_len.peek(key_index as usize)
     }
 
     fn read_counter(&self, pipe: usize, key_index: u32) -> u16 {
-        self.egress[pipe].stats.read_counter(key_index)
+        self.egress[pipe].lock().stats.read_counter(key_index)
     }
 
     fn reset_counter(&mut self, pipe: usize, key_index: u32) {
         self.control_updates += 1;
-        self.egress[pipe].stats.reset_counter(key_index);
+        self.egress[pipe].get_mut().stats.reset_counter(key_index);
     }
 
     fn drain_reports(&mut self) -> Vec<HotReport> {
         let mut all = Vec::new();
         for pipe in &mut self.egress {
-            all.extend(pipe.stats.drain_reports());
+            all.extend(pipe.get_mut().stats.drain_reports());
         }
         all
     }
@@ -517,21 +623,21 @@ impl SwitchDriver for NetCacheSwitch {
     fn reset_statistics(&mut self) {
         self.control_updates += 1;
         for pipe in &mut self.egress {
-            pipe.stats.reset_all();
+            pipe.get_mut().stats.reset_all();
         }
     }
 
     fn set_sample_rate(&mut self, rate: f64) {
         self.control_updates += 1;
         for pipe in &mut self.egress {
-            pipe.stats.set_sample_rate(rate);
+            pipe.get_mut().stats.set_sample_rate(rate);
         }
     }
 
     fn set_hot_threshold(&mut self, threshold: u16) {
         self.control_updates += 1;
         for pipe in &mut self.egress {
-            pipe.stats.set_hot_threshold(threshold);
+            pipe.get_mut().stats.set_hot_threshold(threshold);
         }
     }
 
@@ -607,7 +713,7 @@ mod tests {
 
     #[test]
     fn cache_miss_forwarded_to_server() {
-        let mut sw = switch();
+        let sw = switch();
         let query = Packet::get_query(1, CLIENT_IP, SERVER_IP, Key::from_u64(9), 0);
         let out = sw.process(query.clone(), CLIENT_PORT);
         assert_eq!(out.len(), 1);
@@ -638,7 +744,7 @@ mod tests {
 
     #[test]
     fn write_to_uncached_key_passes_through() {
-        let mut sw = switch();
+        let sw = switch();
         let put = Packet::put_query(
             1,
             CLIENT_IP,
@@ -752,7 +858,7 @@ mod tests {
 
     #[test]
     fn update_for_evicted_key_acked_without_write() {
-        let mut sw = switch();
+        let sw = switch();
         let update = Packet::cache_update(
             SERVER_IP,
             SWITCH_IP,
@@ -825,7 +931,7 @@ mod tests {
 
     #[test]
     fn malformed_frames_dropped() {
-        let mut sw = switch();
+        let sw = switch();
         assert!(sw.process_bytes(&[0u8; 10], CLIENT_PORT).is_empty());
         assert_eq!(sw.stats().drops, 1);
     }

@@ -9,6 +9,7 @@
 //!   based on destination IP address", §6).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use core::hash::Hash;
 
@@ -39,14 +40,28 @@ impl std::error::Error for TableError {}
 ///
 /// Entry insertion/removal is a *control-plane* operation (bounded rate on
 /// real hardware — the controller models that); lookup is the data-plane
-/// operation.
-#[derive(Debug, Clone)]
+/// operation. Lookup takes `&self` — the match stage is read-only from the
+/// packet's point of view, so concurrent pipes may search the same SRAM
+/// block; only the telemetry counters are touched, and those are atomics.
+#[derive(Debug)]
 pub struct ExactMatchTable<K: Eq + Hash + Clone, A: Clone> {
     name: &'static str,
     capacity: usize,
     entries: HashMap<K, A>,
-    lookups: u64,
-    hits: u64,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, A: Clone> Clone for ExactMatchTable<K, A> {
+    fn clone(&self) -> Self {
+        ExactMatchTable {
+            name: self.name,
+            capacity: self.capacity,
+            entries: self.entries.clone(),
+            lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl<K: Eq + Hash + Clone, A: Clone> ExactMatchTable<K, A> {
@@ -61,8 +76,8 @@ impl<K: Eq + Hash + Clone, A: Clone> ExactMatchTable<K, A> {
             name,
             capacity,
             entries: HashMap::with_capacity(capacity.min(1 << 16)),
-            lookups: 0,
-            hits: 0,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
         }
     }
 
@@ -86,12 +101,14 @@ impl<K: Eq + Hash + Clone, A: Clone> ExactMatchTable<K, A> {
         self.entries.is_empty()
     }
 
-    /// Data-plane lookup.
-    pub fn lookup(&mut self, key: &K) -> Option<A> {
-        self.lookups += 1;
+    /// Data-plane lookup. `&self`: safe under concurrent pipes — entry
+    /// mutation requires `&mut self` (control plane), which Rust's
+    /// exclusivity guarantees cannot overlap with data-plane lookups.
+    pub fn lookup(&self, key: &K) -> Option<A> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         let hit = self.entries.get(key).cloned();
         if hit.is_some() {
-            self.hits += 1;
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
         hit
     }
@@ -120,7 +137,10 @@ impl<K: Eq + Hash + Clone, A: Clone> ExactMatchTable<K, A> {
 
     /// `(lookups, hits)` counters, for switch statistics.
     pub fn stats(&self) -> (u64, u64) {
-        (self.lookups, self.hits)
+        (
+            self.lookups.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+        )
     }
 
     /// Iterates over installed entries (control plane).
@@ -220,6 +240,7 @@ mod tests {
     fn exact_match_basic() {
         let mut t: ExactMatchTable<u64, u32> = ExactMatchTable::new("t", 4);
         t.insert(1, 100).unwrap();
+        let t = t; // lookup is a data-plane read: `&self` suffices
         assert_eq!(t.lookup(&1), Some(100));
         assert_eq!(t.lookup(&2), None);
         assert_eq!(t.stats(), (2, 1));

@@ -22,7 +22,7 @@
 //! which is also how reordering is realized (a delayed packet overtaken by
 //! later traffic).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use netcache_proto::{Op, Packet};
 use parking_lot::Mutex;
@@ -103,6 +103,9 @@ struct DropRule {
 pub struct NetworkModel {
     config: FaultConfig,
     rules: Mutex<Vec<DropRule>>,
+    /// Mirrors `!rules.is_empty()`, so the hot path can skip the rules
+    /// mutex entirely when nothing is scripted (see `is_passthrough`).
+    has_rules: AtomicBool,
     rng: Mutex<Option<StdRng>>,
     dropped: AtomicU64,
     duplicated: AtomicU64,
@@ -147,6 +150,7 @@ impl NetworkModel {
             op,
             remaining: count,
         });
+        self.has_rules.store(true, Ordering::Release);
     }
 
     /// Decides whether a scripted rule drops `pkt` (consuming one drop
@@ -159,10 +163,22 @@ impl NetworkModel {
                 rule.remaining -= 1;
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 rules.retain(|r| r.remaining > 0);
+                if rules.is_empty() {
+                    self.has_rules.store(false, Ordering::Release);
+                }
                 return true;
             }
         }
         false
+    }
+
+    /// Whether this model is currently a no-op: no probabilistic fault is
+    /// configured and no scripted rule is pending, so every `transmit`
+    /// would be exactly one immediate delivery. Lock-free — concurrent
+    /// forwarding threads consult this per packet to bypass the model's
+    /// mutexes on the (common) fault-free configuration.
+    pub fn is_passthrough(&self) -> bool {
+        !self.config.is_active() && !self.has_rules.load(Ordering::Acquire)
     }
 
     /// Sends `pkt` across one link at `now_ns`, appending the resulting
@@ -229,6 +245,7 @@ impl NetworkModel {
     /// Clears all scripted rules (probabilistic faults keep running).
     pub fn clear(&self) {
         self.rules.lock().clear();
+        self.has_rules.store(false, Ordering::Release);
     }
 }
 

@@ -327,6 +327,81 @@ impl Histogram {
     }
 }
 
+/// A [`Histogram`] striped across per-thread shards, for concurrent
+/// recording without a single hot mutex.
+///
+/// Each recording thread is pinned (on first use, process-wide) to one of
+/// [`ShardedHistogram::SHARDS`] shards, so with up to that many threads a
+/// `record` call never contends with another thread. Reads merge every
+/// shard into one snapshot. Used by the rack's latency telemetry, which
+/// would otherwise re-serialize the parallel data plane on three mutexes.
+#[derive(Debug)]
+pub struct ShardedHistogram {
+    shards: Vec<parking_lot::Mutex<Histogram>>,
+}
+
+impl Default for ShardedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedHistogram {
+    /// Number of stripes. More threads than shards still work — they
+    /// share, in round-robin assignment order.
+    pub const SHARDS: usize = 16;
+
+    /// Creates an empty sharded histogram.
+    pub fn new() -> Self {
+        ShardedHistogram {
+            shards: (0..Self::SHARDS)
+                .map(|_| parking_lot::Mutex::new(Histogram::new()))
+                .collect(),
+        }
+    }
+
+    /// The calling thread's shard index (assigned round-robin at first
+    /// use and stable for the thread's lifetime).
+    fn shard_index() -> usize {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static INDEX: usize = NEXT.fetch_add(1, Ordering::Relaxed) % ShardedHistogram::SHARDS;
+        }
+        INDEX.with(|i| *i)
+    }
+
+    /// Records one value into the calling thread's shard.
+    pub fn record(&self, v: u64) {
+        self.shards[Self::shard_index()].lock().record(v);
+    }
+
+    /// Records a batch of values under one shard-lock acquisition.
+    pub fn record_batch(&self, values: &[u64]) {
+        if values.is_empty() {
+            return;
+        }
+        let mut shard = self.shards[Self::shard_index()].lock();
+        for &v in values {
+            shard.record(v);
+        }
+    }
+
+    /// Merges every shard into one [`Histogram`] snapshot.
+    pub fn snapshot(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for shard in &self.shards {
+            merged.merge(&shard.lock());
+        }
+        merged
+    }
+
+    /// Total samples recorded across all shards.
+    pub fn count(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().count()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,5 +521,41 @@ mod tests {
     fn from_json_rejects_inconsistent_counts() {
         let s = r#"{"count":5,"min":1,"max":2,"sum":7,"buckets":[[1,1]]}"#;
         assert!(Histogram::from_json(s).is_err());
+    }
+
+    #[test]
+    fn sharded_histogram_merges_across_threads() {
+        let sharded = std::sync::Arc::new(ShardedHistogram::new());
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let h = sharded.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i + 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let merged = sharded.snapshot();
+        assert_eq!(merged.count(), 8_000);
+        assert_eq!(sharded.count(), 8_000);
+        assert_eq!(merged.min(), 1);
+        // Exact sum survives sharding: sum of 1..=8000.
+        assert_eq!(merged.sum(), 8_000 * 8_001 / 2);
+    }
+
+    #[test]
+    fn sharded_record_batch_matches_serial_recording() {
+        let sharded = ShardedHistogram::new();
+        let mut serial = Histogram::new();
+        let values: Vec<u64> = (1..=500).map(|i| i * 37).collect();
+        sharded.record_batch(&values);
+        for &v in &values {
+            serial.record(v);
+        }
+        assert_eq!(sharded.snapshot(), serial);
     }
 }

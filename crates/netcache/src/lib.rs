@@ -47,7 +47,7 @@ pub mod udp;
 pub use addressing::Addressing;
 pub use config::RackConfig;
 pub use fault::{seed_from_env, FaultConfig, FaultInjector, FaultStats, NetworkModel};
-pub use hist::Histogram;
+pub use hist::{Histogram, ShardedHistogram};
 pub use json::Json;
 pub use metrics::RackReport;
 pub use rack::{ClientResponse, Rack, RackClient, RetryOutcome, RetryPolicy};

@@ -15,12 +15,20 @@
 //! behaviour (queueing, saturation) lives in `netcache-sim`, which drives
 //! these same components from a discrete-event loop.
 //!
-//! The switch lock is held across the *entire* forwarding loop, and the
-//! controller holds it across an entire cycle, so a query can never
-//! interleave with a concurrent cache insertion halfway through its journey
-//! (the classification a packet received at the switch stays valid when it
-//! reaches the server).
+//! The switch sits behind a reader-writer lock. Data-plane forwarding
+//! loops ([`Rack::execute`], [`Rack::tick`]) take the *read* lock: any
+//! number of client threads drive packets concurrently, serializing only
+//! per egress pipe inside [`NetCacheSwitch::process`] — the hardware
+//! concurrency model (see `DESIGN.md` §10). Control-plane paths (the
+//! controller cycle, cache population, reboot, [`Rack::with_switch`]) take
+//! the *write* lock, so a query still can never interleave with a cache
+//! insertion halfway through its journey (the classification a packet
+//! received at the switch stays valid when it reaches the server), and
+//! single-threaded callers — the simulator, seeded tests — observe exactly
+//! the serial semantics they did when the switch sat behind a mutex.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -29,14 +37,14 @@ use netcache_controller::{Controller, KeyHome, ServerBackend};
 use netcache_dataplane::{NetCacheSwitch, PortId, SwitchDriver, SwitchStats};
 use netcache_proto::{Key, Packet, Value};
 use netcache_server::{AgentConfig, ServerAgent, ServerStats};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::addressing::{Addressing, Attachment, SWITCH_IP};
 use crate::config::RackConfig;
 use crate::fault::NetworkModel;
-use crate::hist::Histogram;
+use crate::hist::{Histogram, ShardedHistogram};
 
 /// A client-visible response plus provenance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,11 +98,69 @@ enum Hop {
     Client { index: u32, pkt: Packet },
 }
 
+/// One scheduled delivery in the forwarding loop's event queue.
+struct Event {
+    at: u64,
+    /// Push order, used as the tiebreak for equal delivery times so the
+    /// heap preserves the pre-heap linear scan's "first pushed wins"
+    /// semantics and seeded runs stay byte-identical.
+    seq: u64,
+    hop: Hop,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    /// `BinaryHeap` is a max-heap: the *earliest* `(at, seq)` must compare
+    /// greatest so `pop` yields deliveries in time order.
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        Reverse((self.at, self.seq)).cmp(&Reverse((other.at, other.seq)))
+    }
+}
+
+/// Min-heap of scheduled deliveries with a stable insertion-order tiebreak.
+/// Replaces the O(n²) `Vec` + linear-scan-and-remove selection.
+#[derive(Default)]
+struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    fn new() -> Self {
+        EventQueue::default()
+    }
+
+    fn push(&mut self, at: u64, hop: Hop) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, hop });
+    }
+
+    fn pop(&mut self) -> Option<(u64, Hop)> {
+        self.heap.pop().map(|e| (e.at, e.hop))
+    }
+}
+
 /// The in-process rack.
 pub struct Rack {
     config: RackConfig,
     addressing: Addressing,
-    switch: Mutex<NetCacheSwitch>,
+    /// Read lock = data-plane forwarding (concurrent, per-pipe serialized
+    /// inside the switch); write lock = control plane (exclusive).
+    switch: RwLock<NetCacheSwitch>,
     servers: Vec<Arc<ServerAgent>>,
     controller: Mutex<Controller>,
     faults: NetworkModel,
@@ -115,11 +181,12 @@ pub struct Rack {
     client_epochs: AtomicU32,
     /// End-to-end per-operation client latency (wall clock, ns; a retried
     /// request contributes one sample covering all its attempts).
-    op_latency: Mutex<Histogram>,
+    /// Per-thread shards: recording must not re-serialize parallel drives.
+    op_latency: ShardedHistogram,
     /// Switch service time per ingress packet (wall clock, ns).
-    switch_latency: Mutex<Histogram>,
+    switch_latency: ShardedHistogram,
     /// Server service time per delivered packet (wall clock, ns).
-    server_latency: Mutex<Histogram>,
+    server_latency: ShardedHistogram,
 }
 
 impl Rack {
@@ -163,7 +230,7 @@ impl Rack {
         );
         Ok(Rack {
             addressing,
-            switch: Mutex::new(switch),
+            switch: RwLock::new(switch),
             servers,
             controller: Mutex::new(controller),
             faults: NetworkModel::new(config.faults.clone()),
@@ -173,9 +240,9 @@ impl Rack {
             stale_replies: AtomicU64::new(0),
             abandoned_requests: AtomicU64::new(0),
             client_epochs: AtomicU32::new(0),
-            op_latency: Mutex::new(Histogram::new()),
-            switch_latency: Mutex::new(Histogram::new()),
-            server_latency: Mutex::new(Histogram::new()),
+            op_latency: ShardedHistogram::new(),
+            switch_latency: ShardedHistogram::new(),
+            server_latency: ShardedHistogram::new(),
             config,
         })
     }
@@ -212,27 +279,27 @@ impl Rack {
     }
 
     /// Snapshot of the end-to-end per-operation client latency
-    /// distribution (wall clock, ns).
+    /// distribution (wall clock, ns; merged across recording threads).
     pub fn op_latency(&self) -> Histogram {
-        self.op_latency.lock().clone()
+        self.op_latency.snapshot()
     }
 
     /// Snapshot of the switch per-packet service-time distribution
-    /// (wall clock, ns).
+    /// (wall clock, ns; merged across recording threads).
     pub fn switch_service(&self) -> Histogram {
-        self.switch_latency.lock().clone()
+        self.switch_latency.snapshot()
     }
 
     /// Snapshot of the server per-packet service-time distribution
-    /// (wall clock, ns).
+    /// (wall clock, ns; merged across recording threads).
     pub fn server_service(&self) -> Histogram {
-        self.server_latency.lock().clone()
+        self.server_latency.snapshot()
     }
 
     /// Records one end-to-end operation latency sample (used by clients on
     /// both the in-process and UDP transports).
     pub(crate) fn record_op_latency(&self, ns: u64) {
-        self.op_latency.lock().record(ns);
+        self.op_latency.record(ns);
     }
 
     /// Current rack time in nanoseconds.
@@ -248,17 +315,18 @@ impl Rack {
     /// Sends `pkt` across one link at `now`, converting each resulting
     /// delivery into an event via `hop` (deliveries may land in the
     /// future, realizing delay and reordering).
-    fn link(
-        &self,
-        pkt: Packet,
-        now: u64,
-        hop: impl Fn(Packet) -> Hop,
-        events: &mut Vec<(u64, Hop)>,
-    ) {
+    fn link(&self, pkt: Packet, now: u64, hop: impl Fn(Packet) -> Hop, events: &mut EventQueue) {
+        // Fault-free fast path: `transmit` would produce exactly one
+        // immediate delivery, so skip its mutexes (they serialize
+        // concurrent forwarding threads) and the Vec round-trip.
+        if self.faults.is_passthrough() {
+            events.push(now, hop(pkt));
+            return;
+        }
         let mut out = Vec::new();
         self.faults.transmit(pkt, now, &mut out);
         for d in out {
-            events.push((d.deliver_at_ns, hop(d.pkt)));
+            events.push(d.deliver_at_ns, hop(d.pkt));
         }
     }
 
@@ -268,7 +336,7 @@ impl Rack {
     /// time park in the pending set and are drained by a later call once
     /// [`Rack::advance`] catches up.
     pub fn execute(&self, pkt: Packet, in_port: PortId) -> Vec<(u32, Packet)> {
-        let mut events = Vec::new();
+        let mut events = EventQueue::new();
         self.link(
             pkt,
             self.now(),
@@ -279,16 +347,22 @@ impl Rack {
     }
 
     /// Runs `events` (and everything they spawn) to completion, in
-    /// delivery-time order, holding the switch lock throughout.
-    fn drive(&self, mut events: Vec<(u64, Hop)>) -> Vec<(u32, Packet)> {
+    /// delivery-time order, holding the switch *read* lock throughout:
+    /// concurrent `drive` calls in other threads forward in parallel
+    /// (serializing per egress pipe inside the switch), while the control
+    /// plane's write lock still excludes whole forwarding loops.
+    fn drive(&self, mut events: EventQueue) -> Vec<(u32, Packet)> {
         let now = self.now();
-        // Pull in previously delayed traffic that has matured.
+        // Pull in previously delayed traffic that has matured. Drain order
+        // (swap_remove scan) matches the pre-heap code: matured pending
+        // traffic sorts after same-time events already in the queue.
         {
             let mut pending = self.pending.lock();
             let mut i = 0;
             while i < pending.len() {
                 if pending[i].0 <= now {
-                    events.push(pending.swap_remove(i));
+                    let (at, hop) = pending.swap_remove(i);
+                    events.push(at, hop);
                 } else {
                     i += 1;
                 }
@@ -297,22 +371,14 @@ impl Rack {
         let mut to_clients = Vec::new();
         let mut deferred = Vec::new();
         // Service-time samples, recorded in one batch after the loop so
-        // the histogram locks are not taken per packet.
+        // the histogram shards are not locked per packet.
         let mut switch_ns = Vec::new();
         let mut server_ns = Vec::new();
-        let mut switch = self.switch.lock();
+        let switch = self.switch.read();
         // Bounded loop: coherence traffic is finite, but a bug must not
         // hang tests.
         let mut hops = 0usize;
-        while !events.is_empty() {
-            // Earliest delivery first (stable on ties: first pushed wins).
-            let mut best = 0;
-            for (i, e) in events.iter().enumerate().skip(1) {
-                if e.0 < events[best].0 {
-                    best = i;
-                }
-            }
-            let (at, hop) = events.remove(best);
+        while let Some((at, hop)) = events.pop() {
             if at > now {
                 // Not due yet: wait for the clock.
                 deferred.push((at, hop));
@@ -361,18 +427,8 @@ impl Rack {
             }
         }
         drop(switch);
-        if !switch_ns.is_empty() {
-            let mut h = self.switch_latency.lock();
-            for ns in switch_ns {
-                h.record(ns);
-            }
-        }
-        if !server_ns.is_empty() {
-            let mut h = self.server_latency.lock();
-            for ns in server_ns {
-                h.record(ns);
-            }
-        }
+        self.switch_latency.record_batch(&switch_ns);
+        self.server_latency.record_batch(&server_ns);
         if !deferred.is_empty() {
             self.pending.lock().extend(deferred);
         }
@@ -384,7 +440,7 @@ impl Rack {
     /// updates run through the forwarding loop.
     pub fn tick(&self) -> Vec<(u32, Packet)> {
         let now = self.now();
-        let mut events = Vec::new();
+        let mut events = EventQueue::new();
         for (i, server) in self.servers.iter().enumerate() {
             let port = self.addressing.server_port(i as u32);
             for pkt in server.tick(now) {
@@ -406,7 +462,7 @@ impl Rack {
             now,
         };
         {
-            let mut switch = self.switch.lock();
+            let mut switch = self.switch.write();
             let mut controller = self.controller.lock();
             controller.run_cycle(&mut *switch, &mut backend, now);
         }
@@ -428,7 +484,7 @@ impl Rack {
             now,
         };
         let inserted = {
-            let mut switch = self.switch.lock();
+            let mut switch = self.switch.write();
             let mut controller = self.controller.lock();
             controller.populate(&mut *switch, &mut backend, keys)
         };
@@ -481,7 +537,7 @@ impl Rack {
 
     /// Switch data-plane counters.
     pub fn switch_stats(&self) -> SwitchStats {
-        self.switch.lock().stats()
+        self.switch.read().stats()
     }
 
     /// Server agent counters.
@@ -496,7 +552,7 @@ impl Rack {
 
     /// Number of keys currently in the switch cache.
     pub fn cached_keys(&self) -> usize {
-        self.switch.lock().cached_keys()
+        self.switch.read().cached_keys()
     }
 
     /// Whether `key` is currently cached (controller's view).
@@ -509,9 +565,12 @@ impl Rack {
         &self.servers[i as usize]
     }
 
-    /// Locked access to the switch (tests, simulator, resource report).
+    /// Exclusive (write-locked) access to the switch — the serial wrapper
+    /// used by tests, the single-threaded simulator, and the resource
+    /// report. Excludes all concurrent forwarding, so callers observe the
+    /// same serial semantics as before the data plane went concurrent.
     pub fn with_switch<T>(&self, f: impl FnOnce(&mut NetCacheSwitch) -> T) -> T {
-        f(&mut self.switch.lock())
+        f(&mut self.switch.write())
     }
 
     /// Locked access to the controller (tests, simulator).
@@ -523,7 +582,7 @@ impl Rack {
     /// (Algorithm 2's "periodic memory reorganization"); returns keys
     /// moved.
     pub fn reorganize_cache(&self) -> usize {
-        let mut switch = self.switch.lock();
+        let mut switch = self.switch.write();
         let mut controller = self.controller.lock();
         let pipes = self.config.switch.pipes;
         let mut moved = 0;
@@ -537,7 +596,7 @@ impl Rack {
     /// resets the controller's view to match — the failure-recovery story
     /// of §3.
     pub fn reboot_switch(&self) {
-        let mut switch = self.switch.lock();
+        let mut switch = self.switch.write();
         let mut controller = self.controller.lock();
         switch.reboot();
         let cfg = &self.config;

@@ -7,10 +7,14 @@
 //! agents — different I/O. Loopback UDP can drop under load, which
 //! exercises the retransmission machinery for real.
 //!
-//! Topology: each switch port maps to one socket address. The switch
-//! thread receives frames, identifies the ingress port by the sender's
-//! address, runs the data-plane program, and forwards the outputs to the
-//! sockets of the chosen egress ports.
+//! Topology: each switch port maps to one socket address. The switch runs
+//! a worker pool with one thread per pipe: each worker receives frames
+//! from the shared switch socket, identifies the ingress port by the
+//! sender's address, runs the data-plane program under a shared read lock
+//! (per-pipe serialization happens inside [`NetCacheSwitch`]; see
+//! DESIGN.md §10), and forwards the outputs to the sockets of the chosen
+//! egress ports. Workers reuse a scratch buffer for deparsing, so the
+//! fault-free hot path performs no per-frame heap allocation.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
@@ -24,12 +28,12 @@ use netcache_controller::{Controller, KeyHome, ServerBackend};
 use netcache_dataplane::{NetCacheSwitch, PortId, SwitchDriver};
 use netcache_proto::{Key, Packet, Value};
 use netcache_server::{AgentConfig, ServerAgent};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::addressing::{Addressing, SWITCH_IP};
 use crate::config::RackConfig;
 use crate::fault::NetworkModel;
-use crate::hist::Histogram;
+use crate::hist::{Histogram, ShardedHistogram};
 
 const RECV_TIMEOUT: Duration = Duration::from_millis(20);
 const MAX_FRAME: usize = 2048;
@@ -47,18 +51,19 @@ pub struct UdpRack {
     switch_addr: SocketAddr,
     client_sockets: Vec<Arc<UdpSocket>>,
     servers: Vec<Arc<ServerAgent>>,
-    switch: Arc<Mutex<NetCacheSwitch>>,
+    switch: Arc<RwLock<NetCacheSwitch>>,
     controller: Arc<Mutex<Controller>>,
     faults: Arc<NetworkModel>,
     /// Client instances handed out; numbers sequence-number epochs.
     client_epochs: AtomicU32,
     /// End-to-end per-request client latency (wall clock, ns), shared with
     /// every [`UdpClient`] this rack hands out.
-    op_latency: Arc<Mutex<Histogram>>,
-    /// Switch thread service time per ingress frame (wall clock, ns).
-    switch_latency: Arc<Mutex<Histogram>>,
+    op_latency: Arc<ShardedHistogram>,
+    /// Switch worker service time per ingress frame (wall clock, ns),
+    /// merged across the per-pipe worker pool.
+    switch_latency: Arc<ShardedHistogram>,
     /// Server thread service time per delivered frame (wall clock, ns).
-    server_latency: Arc<Mutex<Histogram>>,
+    server_latency: Arc<ShardedHistogram>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -76,9 +81,9 @@ impl UdpRack {
         );
         let shutdown = Arc::new(AtomicBool::new(false));
         let faults = Arc::new(NetworkModel::new(config.faults.clone()));
-        let op_latency = Arc::new(Mutex::new(Histogram::new()));
-        let switch_latency = Arc::new(Mutex::new(Histogram::new()));
-        let server_latency = Arc::new(Mutex::new(Histogram::new()));
+        let op_latency = Arc::new(ShardedHistogram::new());
+        let switch_latency = Arc::new(ShardedHistogram::new());
+        let server_latency = Arc::new(ShardedHistogram::new());
 
         // Build the switch with routes, as in the in-process rack.
         let mut switch = NetCacheSwitch::new(config.switch.clone())?;
@@ -88,7 +93,7 @@ impl UdpRack {
         for j in 0..config.clients {
             switch.add_route(addressing.client_ip(j), 32, addressing.client_port(j));
         }
-        let switch = Arc::new(Mutex::new(switch));
+        let switch = Arc::new(RwLock::new(switch));
 
         // Sockets: one per server, one per client, one for the switch.
         let switch_socket = bound_socket().map_err(|e| e.to_string())?;
@@ -132,12 +137,23 @@ impl UdpRack {
 
         let mut threads = Vec::new();
 
-        // Switch forwarding thread. The fault model is applied on switch
-        // egress: every forwarded frame passes through `transmit`, which may
-        // drop, duplicate or delay it. Delayed copies sit in a stash that is
-        // drained on each loop iteration (the receive timeout bounds how
-        // long a matured delivery can wait).
-        {
+        // Switch forwarding workers, one per pipe. All workers block on
+        // clones of the same switch socket — the kernel hands each datagram
+        // to exactly one blocked receiver — and run the data plane under a
+        // shared read lock; packets steered to the same egress pipe
+        // serialize on that pipe's lock inside the switch, packets on
+        // different pipes run genuinely in parallel. Each worker owns a
+        // reusable deparse scratch buffer, so the fault-free path sends the
+        // switch output without any per-frame allocation.
+        //
+        // The fault model is applied on switch egress: every forwarded
+        // frame passes through `transmit`, which may drop, duplicate or
+        // delay it. Delayed copies sit in a per-worker stash drained on
+        // each loop iteration (the receive timeout bounds how long a
+        // matured delivery can wait). When the model is pass-through the
+        // parse→transmit→deparse round-trip is skipped entirely.
+        let workers = config.switch.pipes.max(1);
+        for w in 0..workers {
             let switch = Arc::clone(&switch);
             let shutdown = Arc::clone(&shutdown);
             let faults = Arc::clone(&faults);
@@ -147,10 +163,12 @@ impl UdpRack {
             let addr_to_port = addr_to_port.clone();
             threads.push(
                 std::thread::Builder::new()
-                    .name("netcache-switch".into())
+                    .name(format!("netcache-switch-{w}"))
                     .spawn(move || {
                         let start = std::time::Instant::now();
                         let mut buf = [0u8; MAX_FRAME];
+                        let mut scratch: Vec<u8> = Vec::with_capacity(MAX_FRAME);
+                        let mut fault_buf: Vec<u8> = Vec::with_capacity(MAX_FRAME);
                         let mut delayed: Vec<(u64, SocketAddr, Vec<u8>)> = Vec::new();
                         let mut deliveries = Vec::new();
                         while !shutdown.load(Ordering::Relaxed) {
@@ -166,6 +184,9 @@ impl UdpRack {
                             }
                             // Wake up for the earliest pending delivery
                             // rather than sitting out the full timeout.
+                            // (Clones share the fd, so this also nudges the
+                            // other workers' timeouts — harmless, every
+                            // value is within the same bounded window.)
                             let wait = delayed
                                 .iter()
                                 .map(|&(at, _, _)| Duration::from_nanos(at.saturating_sub(now)))
@@ -182,27 +203,36 @@ impl UdpRack {
                                 continue; // unknown sender
                             };
                             let t0 = std::time::Instant::now();
-                            let outs = switch.lock().process_bytes(&buf[..len], in_port);
-                            switch_latency.lock().record(t0.elapsed().as_nanos() as u64);
-                            for (out_port, frame) in outs {
-                                let Some(&addr) = port_to_addr.get(&out_port) else {
-                                    continue;
-                                };
-                                let Ok(pkt) = Packet::parse(&frame) else {
-                                    // Non-NetCache frames bypass the model.
-                                    let _ = switch_socket.send_to(&frame, addr);
-                                    continue;
-                                };
-                                deliveries.clear();
-                                faults.transmit(pkt, now, &mut deliveries);
-                                for d in deliveries.drain(..) {
-                                    if d.deliver_at_ns <= now {
-                                        let _ = switch_socket.send_to(&d.pkt.deparse(), addr);
-                                    } else {
-                                        delayed.push((d.deliver_at_ns, addr, d.pkt.deparse()));
+                            switch.read().process_frame_with(
+                                &buf[..len],
+                                in_port,
+                                &mut scratch,
+                                |out_port, bytes| {
+                                    let Some(&addr) = port_to_addr.get(&out_port) else {
+                                        return;
+                                    };
+                                    if faults.is_passthrough() {
+                                        let _ = switch_socket.send_to(bytes, addr);
+                                        return;
                                     }
-                                }
-                            }
+                                    let Ok(pkt) = Packet::parse(bytes) else {
+                                        // Non-NetCache frames bypass the model.
+                                        let _ = switch_socket.send_to(bytes, addr);
+                                        return;
+                                    };
+                                    deliveries.clear();
+                                    faults.transmit(pkt, now, &mut deliveries);
+                                    for d in deliveries.drain(..) {
+                                        if d.deliver_at_ns <= now {
+                                            d.pkt.deparse_into(&mut fault_buf);
+                                            let _ = switch_socket.send_to(&fault_buf, addr);
+                                        } else {
+                                            delayed.push((d.deliver_at_ns, addr, d.pkt.deparse()));
+                                        }
+                                    }
+                                },
+                            );
+                            switch_latency.record(t0.elapsed().as_nanos() as u64);
                         }
                     })
                     .map_err(|e| e.to_string())?,
@@ -229,9 +259,7 @@ impl UdpRack {
                                     if let Ok(pkt) = Packet::parse(&buf[..len]) {
                                         let t0 = std::time::Instant::now();
                                         let outs = agent.handle_packet(pkt, now);
-                                        server_latency
-                                            .lock()
-                                            .record(t0.elapsed().as_nanos() as u64);
+                                        server_latency.record(t0.elapsed().as_nanos() as u64);
                                         for out in outs {
                                             let _ = sock.send_to(&out.deparse(), src);
                                         }
@@ -331,7 +359,7 @@ impl UdpRack {
             servers: &self.servers,
             now: now_ns,
         };
-        let mut switch = self.switch.lock();
+        let mut switch = self.switch.write();
         self.controller
             .lock()
             .run_cycle(&mut *switch, &mut backend, now_ns);
@@ -358,7 +386,7 @@ impl UdpRack {
         let mut backend = Backend {
             servers: &self.servers,
         };
-        let mut switch = self.switch.lock();
+        let mut switch = self.switch.write();
         self.controller
             .lock()
             .populate(&mut *switch, &mut backend, keys)
@@ -366,25 +394,25 @@ impl UdpRack {
 
     /// Switch statistics snapshot.
     pub fn switch_stats(&self) -> netcache_dataplane::SwitchStats {
-        self.switch.lock().stats()
+        self.switch.read().stats()
     }
 
     /// Snapshot of the end-to-end per-request client latency distribution
     /// (wall clock, ns; merged across all this rack's clients).
     pub fn op_latency(&self) -> Histogram {
-        self.op_latency.lock().clone()
+        self.op_latency.snapshot()
     }
 
-    /// Snapshot of the switch thread's per-frame service-time distribution
-    /// (wall clock, ns).
+    /// Snapshot of the switch workers' per-frame service-time distribution
+    /// (wall clock, ns; merged across the per-pipe pool).
     pub fn switch_service(&self) -> Histogram {
-        self.switch_latency.lock().clone()
+        self.switch_latency.snapshot()
     }
 
     /// Snapshot of the server threads' per-frame service-time distribution
     /// (wall clock, ns; merged across all servers).
     pub fn server_service(&self) -> Histogram {
-        self.server_latency.lock().clone()
+        self.server_latency.snapshot()
     }
 
     /// A blocking UDP client bound to client port `j`.
@@ -445,7 +473,7 @@ pub struct UdpClient {
     stale_replies: u64,
     /// Shared with the owning [`UdpRack`]; one sample per completed
     /// request, covering all its retransmission rounds.
-    op_latency: Arc<Mutex<Histogram>>,
+    op_latency: Arc<ShardedHistogram>,
 }
 
 impl UdpClient {
@@ -476,9 +504,7 @@ impl UdpClient {
                     continue;
                 }
                 if let Some(resp) = Response::from_packet(&reply) {
-                    self.op_latency
-                        .lock()
-                        .record(t0.elapsed().as_nanos() as u64);
+                    self.op_latency.record(t0.elapsed().as_nanos() as u64);
                     return Some(resp);
                 }
             }

@@ -157,14 +157,24 @@ impl Packet {
     /// Serializes the packet to wire bytes.
     pub fn deparse(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.wire_len());
-        self.eth.encode(&mut buf);
-        self.ipv4.encode(&mut buf);
-        match &self.l4 {
-            L4Hdr::Udp(u) => u.encode(&mut buf),
-            L4Hdr::Tcp(t) => t.encode(&mut buf),
-        }
-        self.netcache.encode(&mut buf);
+        self.deparse_into(&mut buf);
         buf
+    }
+
+    /// Serializes the packet into `buf`, clearing it first. Reusing one
+    /// buffer across packets keeps the transport hot path free of
+    /// per-packet heap allocation (the buffer's capacity converges to the
+    /// largest frame seen).
+    pub fn deparse_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(self.wire_len());
+        self.eth.encode(buf);
+        self.ipv4.encode(buf);
+        match &self.l4 {
+            L4Hdr::Udp(u) => u.encode(buf),
+            L4Hdr::Tcp(t) => t.encode(buf),
+        }
+        self.netcache.encode(buf);
     }
 
     /// Parses a packet from wire bytes.

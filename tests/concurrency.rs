@@ -112,3 +112,147 @@ fn threads_hammering_one_rack() {
     }
     assert!(hits > 0, "cache should still be serving after the soak");
 }
+
+/// The multi-pipe determinism contract (DESIGN.md §10): the switch only
+/// serializes packets *within* an egress pipe, so a parallel run whose
+/// threads each own one pipe's keys must leave the rack in exactly the
+/// state a serial replay of the same per-pipe op sequences produces —
+/// same per-op replies, same final values, same cache population, same
+/// switch counters.
+#[test]
+fn parallel_pipes_match_serial_replay() {
+    use netcache_proto::Op;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    const PIPES: usize = 4;
+    const OPS_PER_THREAD: usize = 200;
+
+    fn build_rack() -> Rack {
+        let mut config = RackConfig::small(28);
+        config.switch.pipes = PIPES;
+        config.switch.ports = 36;
+        config.controller.cache_capacity = 64;
+        let rack = Rack::new(config).expect("valid config");
+        rack.load_dataset(1_000, 64);
+        rack
+    }
+
+    /// Keys homed in each pipe (disjoint pipes = disjoint egress locks
+    /// *and* disjoint home servers).
+    fn keys_per_pipe(rack: &Rack) -> Vec<Vec<Key>> {
+        let mut buckets: Vec<Vec<Key>> = vec![Vec::new(); PIPES];
+        for id in 0..1_000u64 {
+            let key = Key::from_u64(id);
+            let home = rack.addressing().home_of(&key);
+            if buckets[home.pipe].len() < 8 {
+                buckets[home.pipe].push(key);
+            }
+            if buckets.iter().all(|b| b.len() >= 8) {
+                break;
+            }
+        }
+        assert!(buckets.iter().all(|b| !b.is_empty()), "keys in all pipes");
+        buckets
+    }
+
+    // Seeded per-thread op scripts, generated once and replayed on both
+    // racks. Honors NETCACHE_TEST_SEED like the sim and chaos suites.
+    let seed = netcache::seed_from_env(0x91e4);
+    let scripts: Vec<Vec<(usize, Op, u8)>> = (0..PIPES)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9e37));
+            (0..OPS_PER_THREAD)
+                .map(|_| {
+                    let r = rng.next_u64();
+                    let op = if r % 4 == 0 { Op::Put } else { Op::Get };
+                    ((r >> 8) as usize, op, (r >> 32) as u8)
+                })
+                .collect()
+        })
+        .collect();
+
+    type OpResult = (bool, Option<Value>);
+    fn run_script(
+        client: &mut netcache::RackClient<'_>,
+        bucket: &[Key],
+        script: &[(usize, Op, u8)],
+    ) -> Vec<OpResult> {
+        script
+            .iter()
+            .map(|&(idx, op, byte)| {
+                let key = bucket[idx % bucket.len()];
+                let resp = match op {
+                    Op::Put => client.put(key, Value::filled(byte, 64)),
+                    _ => client.get(key),
+                }
+                .expect("reply");
+                (resp.served_by_cache(), resp.value().cloned())
+            })
+            .collect()
+    }
+
+    // Parallel run: one thread per pipe. Clients are created on the main
+    // thread so sequence-number epochs are assigned in a fixed order.
+    let parallel = build_rack();
+    let buckets = keys_per_pipe(&parallel);
+    for bucket in &buckets {
+        parallel.populate_cache(bucket.iter().take(4).copied());
+    }
+    let parallel_results: Vec<Vec<OpResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..PIPES)
+            .map(|t| {
+                let mut client = parallel.client(t as u32);
+                let bucket = &buckets[t];
+                let script = &scripts[t];
+                scope.spawn(move || run_script(&mut client, bucket, script))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let parallel_stats = parallel.switch_stats();
+
+    // Serial replay: identical rack, same scripts, one pipe at a time.
+    let serial = build_rack();
+    let serial_buckets = keys_per_pipe(&serial);
+    assert_eq!(buckets, serial_buckets, "identical racks, identical homes");
+    for bucket in &serial_buckets {
+        serial.populate_cache(bucket.iter().take(4).copied());
+    }
+    let serial_results: Vec<Vec<OpResult>> = (0..PIPES)
+        .map(|t| {
+            run_script(
+                &mut serial.client(t as u32),
+                &serial_buckets[t],
+                &scripts[t],
+            )
+        })
+        .collect();
+    let serial_stats = serial.switch_stats();
+
+    // Per-op replies match: same hit/miss classification, same values.
+    assert_eq!(parallel_results, serial_results);
+
+    // Final state matches: every touched key serves the same value from
+    // the same place, and the cache population and counters agree.
+    let mut pclient = parallel.client(0);
+    let mut sclient = serial.client(0);
+    for bucket in &buckets {
+        for key in bucket {
+            let p = pclient.get(*key).expect("reply");
+            let s = sclient.get(*key).expect("reply");
+            assert_eq!(p.value(), s.value(), "key {key} diverged");
+            assert_eq!(p.served_by_cache(), s.served_by_cache(), "key {key}");
+        }
+    }
+    assert_eq!(parallel.cached_keys(), serial.cached_keys());
+    assert_eq!(parallel_stats.cache_hits, serial_stats.cache_hits);
+    assert_eq!(parallel_stats.cache_misses, serial_stats.cache_misses);
+    assert_eq!(
+        parallel_stats.write_invalidations,
+        serial_stats.write_invalidations
+    );
+    assert_eq!(parallel_stats.updates_applied, serial_stats.updates_applied);
+}

@@ -1,12 +1,17 @@
 //! Offline stand-in for `parking_lot`.
 //!
-//! Wraps `std::sync::Mutex` behind parking_lot's poison-free API surface
-//! (the subset this workspace uses: `Mutex::new`, `lock`, `try_lock`,
-//! `into_inner`, `get_mut`). A poisoned std mutex means a thread panicked
-//! while holding the lock; parking_lot ignores poisoning, so we recover the
-//! guard in that case rather than propagating the poison error.
+//! Wraps `std::sync::Mutex` / `std::sync::RwLock` behind parking_lot's
+//! poison-free API surface (the subset this workspace uses: `Mutex::new`,
+//! `lock`, `try_lock`, `into_inner`, `get_mut`; `RwLock::new`, `read`,
+//! `write`, `try_read`, `try_write`, `into_inner`, `get_mut`). A poisoned
+//! std lock means a thread panicked while holding it; parking_lot ignores
+//! poisoning, so we recover the guard in that case rather than propagating
+//! the poison error.
 
-use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, TryLockError};
+use std::sync::{
+    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard, TryLockError,
+};
 
 /// Poison-free mutex with parking_lot's API shape.
 #[derive(Debug, Default)]
@@ -58,6 +63,74 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Poison-free reader-writer lock with parking_lot's API shape.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+/// RAII shared-read guard; the lock is released on drop.
+pub type RwLockReadGuard<'a, T> = StdRwLockReadGuard<'a, T>;
+/// RAII exclusive-write guard; the lock is released on drop.
+pub type RwLockWriteGuard<'a, T> = StdRwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available. Never poisons.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Attempts shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(poison)) => Some(poison.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(poison)) => Some(poison.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +156,32 @@ mod tests {
         // parking_lot semantics: no poisoning, the lock is usable again.
         *m.lock() = 7;
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn rwlock_shared_reads_exclusive_writes() {
+        let l = RwLock::new(5u32);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (5, 5));
+            assert!(l.try_write().is_none(), "readers exclude writers");
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn rwlock_survives_panicked_writer() {
+        let l = Arc::new(RwLock::new(0u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison the std rwlock");
+        })
+        .join();
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
     }
 }
