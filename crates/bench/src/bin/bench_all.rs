@@ -12,6 +12,7 @@
 use netcache::{seed_from_env, Json};
 use netcache_bench::scenario::{apply_quick, named_report_json, parse_cli, write_json_file};
 use netcache_bench::threaded::{available_cores, result_json, run_threaded};
+use netcache_bench::transports::{run_transport_comparison, transport_result_json};
 use netcache_bench::{banner, base_sim, fmt_qps, run_saturated, to_paper_scale};
 use netcache_sim::SimConfig;
 use netcache_workload::WriteSkew;
@@ -145,6 +146,34 @@ fn validate(payload: &str) -> Vec<String> {
             }
         }
     }
+    match doc.get("transports") {
+        None => problems.push("missing transports section".into()),
+        Some(transports) => match transports.get("scenarios").and_then(Json::as_array) {
+            None => problems.push("transports: missing scenarios array".into()),
+            Some(rows) => {
+                if rows.len() != 3 {
+                    problems.push(format!("transports: expected 3 rows, found {}", rows.len()));
+                }
+                for row in rows {
+                    let name = row
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("<unnamed>")
+                        .to_string();
+                    for field in ["qps", "hit_ratio"] {
+                        if let Err(e) = row.get_finite(field) {
+                            problems.push(format!("{name}: {e}"));
+                        }
+                    }
+                    match row.get_u64("replies") {
+                        Ok(0) => problems.push(format!("{name}: zero replies")),
+                        Ok(_) => {}
+                        Err(e) => problems.push(format!("{name}: {e}")),
+                    }
+                }
+            }
+        },
+    }
     for s in scenarios {
         let name = s
             .get("name")
@@ -241,13 +270,33 @@ fn main() {
         .and_then(|row| row.get_finite("qps").ok())
         .map_or(0.0, |qps| qps / baseline_qps);
 
+    // Transport-comparison scenario: one workload, three transport
+    // drivers over the same fabric (in-process, loopback UDP, simulated).
+    let transport_ops = if cli.quick { 2_000 } else { 20_000 };
+    println!(
+        "{:>32} {:>14} {:>8} {:>8} (wall clock, {transport_ops} ops)",
+        "transport scenario", "throughput", "hit%", "replies"
+    );
+    let mut transport_rows = Vec::new();
+    for r in run_transport_comparison(transport_ops, seed) {
+        println!(
+            "{:>32} {:>14} {:>7.1}% {:>8}",
+            r.name,
+            fmt_qps(r.qps),
+            r.hit_ratio * 100.0,
+            r.replies,
+        );
+        transport_rows.push(transport_result_json(&r));
+    }
+
     let payload = format!(
-        "{{\"schema\":\"netcache-bench/v1\",\"quick\":{},\"seed\":{},\"scenarios\":[{}],\"threaded\":{{\"cores\":{cores},\"pipes\":{THREADED_PIPES},\"speedup\":{},\"scenarios\":[{}]}}}}",
+        "{{\"schema\":\"netcache-bench/v1\",\"quick\":{},\"seed\":{},\"scenarios\":[{}],\"threaded\":{{\"cores\":{cores},\"pipes\":{THREADED_PIPES},\"speedup\":{},\"scenarios\":[{}]}},\"transports\":{{\"ops\":{transport_ops},\"scenarios\":[{}]}}}}",
         cli.quick,
         seed,
         rows.join(","),
         netcache::json::fmt_f64(speedup),
-        threaded_rows.join(",")
+        threaded_rows.join(","),
+        transport_rows.join(",")
     );
     write_json_file(out, &payload);
 

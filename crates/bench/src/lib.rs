@@ -9,6 +9,7 @@ use netcache_sim::{AnalyticModel, RackSim, SimConfig, SimReport};
 
 pub mod scenario;
 pub mod threaded;
+pub mod transports;
 
 /// The scaled-down stand-ins for the paper's hardware rates.
 ///

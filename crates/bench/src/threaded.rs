@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
-use netcache::{Rack, RackConfig};
+use netcache::{Rack, RackConfig, RackHandle};
 use netcache_proto::Key;
 
 /// One threaded run: `threads` workers, `total_ops` completed GETs.

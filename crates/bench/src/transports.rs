@@ -1,0 +1,234 @@
+//! Transport-comparison scenario: the *same* deterministic workload runs
+//! on identically assembled racks behind each transport driver — the
+//! in-process [`Rack`], the loopback-UDP [`UdpRack`] and the
+//! discrete-event [`RackSim`] — and reports wall-clock throughput and
+//! hit ratio per transport.
+//!
+//! All three racks are built from the same [`rack_config_for`] output
+//! (same switch program and seed, same partitioning, same dataset, same
+//! cache population), so logical outcomes match (the `fabric_differential`
+//! suite pins that); what this scenario measures is what each *transport*
+//! costs: function calls, loopback sockets, or simulated time.
+
+use std::time::Instant;
+
+use netcache::udp::UdpRack;
+use netcache::{Rack, RackHandle};
+use netcache_proto::{Key, Value};
+use netcache_sim::{rack_config_for, RackSim, ScriptOp, SimConfig};
+use netcache_workload::QueryMix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One transport's run of the shared workload.
+#[derive(Debug, Clone)]
+pub struct TransportResult {
+    /// Stable scenario id (`transport/rack`, `transport/udp`,
+    /// `transport/sim`).
+    pub name: String,
+    /// Operations executed.
+    pub ops: u64,
+    /// Replies received (equals `ops` on a healthy run).
+    pub replies: u64,
+    /// Wall-clock time for the whole workload.
+    pub elapsed_ns: u64,
+    /// Wall-clock throughput (`ops / elapsed`).
+    pub qps: f64,
+    /// Cache hit ratio among classified reads, from the switch counters.
+    pub hit_ratio: f64,
+}
+
+/// The shared experiment: a small rack with a hot head kept cached.
+fn transport_sim_config(seed: u64) -> SimConfig {
+    SimConfig {
+        servers: 8,
+        num_keys: 2_000,
+        value_len: 64,
+        cache_items: 64,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// The shared workload: mostly-hot reads with a 10% write mix.
+fn build_ops(count: usize, seed: u64) -> Vec<ScriptOp> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7a4a);
+    let mut ops = Vec::with_capacity(count);
+    for i in 0..count as u64 {
+        let id = if rng.random::<f64>() < 0.8 {
+            rng.random::<u64>() % 64
+        } else {
+            64 + rng.random::<u64>() % 500
+        };
+        if rng.random::<f64>() < 0.9 {
+            ops.push(ScriptOp::Get(id));
+        } else {
+            ops.push(ScriptOp::Put(id, (i % 251) as u8 + 1));
+        }
+    }
+    ops
+}
+
+/// Loads and warms any rack exactly like [`RackSim::new`] warms its own.
+fn prepare<H: RackHandle>(rack: &H, config: &SimConfig) -> Vec<Key> {
+    rack.load_dataset(config.num_keys, config.value_len);
+    let mix = QueryMix::new(
+        config.num_keys,
+        config.theta,
+        config.write_ratio,
+        config.write_skew,
+    );
+    mix.popularity()
+        .hottest(config.cache_items)
+        .iter()
+        .map(|&id| Key::from_u64(id))
+        .collect()
+}
+
+fn hit_ratio<H: RackHandle>(rack: &H) -> f64 {
+    let s = rack.switch_stats();
+    let reads = s.cache_hits + s.invalid_hits + s.cache_misses;
+    if reads == 0 {
+        0.0
+    } else {
+        s.cache_hits as f64 / reads as f64
+    }
+}
+
+fn result(name: &str, ops: u64, replies: u64, elapsed_ns: u64, hit_ratio: f64) -> TransportResult {
+    TransportResult {
+        name: format!("transport/{name}"),
+        ops,
+        replies,
+        elapsed_ns,
+        qps: ops as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+        hit_ratio,
+    }
+}
+
+/// Runs the shared workload on all three transports and reports each.
+pub fn run_transport_comparison(op_count: usize, seed: u64) -> Vec<TransportResult> {
+    let config = transport_sim_config(seed);
+    let ops = build_ops(op_count, seed);
+    let mut results = Vec::new();
+
+    // In-process rack: direct function calls, virtual clock.
+    {
+        let rack = Rack::new(rack_config_for(&config, true)).expect("valid config");
+        let hottest = prepare(&rack, &config);
+        rack.populate_cache(hottest);
+        let mut client = rack.client(0);
+        let mut replies = 0u64;
+        let start = Instant::now();
+        for op in &ops {
+            let outcome = match *op {
+                ScriptOp::Get(id) => client.get_with_retry(Key::from_u64(id)),
+                ScriptOp::Put(id, fill) => {
+                    client.put_with_retry(Key::from_u64(id), Value::filled(fill, config.value_len))
+                }
+                _ => continue,
+            };
+            replies += u64::from(outcome.response.is_some());
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        results.push(result(
+            "rack",
+            ops.len() as u64,
+            replies,
+            elapsed,
+            hit_ratio(&rack),
+        ));
+    }
+
+    // Loopback UDP: real sockets, one thread per node.
+    {
+        let udp = UdpRack::start(rack_config_for(&config, true)).expect("loopback rack");
+        let hottest = prepare(&udp, &config);
+        udp.populate_cache(hottest);
+        let mut client = udp.client(0);
+        let mut replies = 0u64;
+        let start = Instant::now();
+        for op in &ops {
+            let outcome = match *op {
+                ScriptOp::Get(id) => client.get_with_retry(Key::from_u64(id)),
+                ScriptOp::Put(id, fill) => {
+                    client.put_with_retry(Key::from_u64(id), Value::filled(fill, config.value_len))
+                }
+                _ => continue,
+            };
+            replies += u64::from(outcome.response.is_some());
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        results.push(result(
+            "udp",
+            ops.len() as u64,
+            replies,
+            elapsed,
+            hit_ratio(&udp),
+        ));
+    }
+
+    // Discrete-event sim: the same script in virtual time; wall clock
+    // measures the simulator's own execution cost.
+    {
+        let mut sim = RackSim::new(config.clone()).expect("valid config");
+        let start = Instant::now();
+        let script_replies = sim.run_script(&ops);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let replies = script_replies.iter().filter(|r| r.is_some()).count() as u64;
+        results.push(result(
+            "sim",
+            ops.len() as u64,
+            replies,
+            elapsed,
+            hit_ratio(&sim),
+        ));
+    }
+
+    results
+}
+
+/// Renders one row as a JSON object for `BENCH_netcache.json`.
+pub fn transport_result_json(r: &TransportResult) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ops\":{},\"replies\":{},\"elapsed_ns\":{},\"qps\":{},\"hit_ratio\":{}}}",
+        r.name,
+        r.ops,
+        r.replies,
+        r.elapsed_ns,
+        netcache::json::fmt_f64(r.qps),
+        netcache::json::fmt_f64(r.hit_ratio),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transports_complete_the_workload_identically() {
+        let results = run_transport_comparison(300, 0xbe7c);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.replies, r.ops, "{}: lost replies", r.name);
+            assert!(r.qps > 0.0, "{}: zero throughput", r.name);
+            assert!(r.hit_ratio > 0.0, "{}: no cache hits", r.name);
+        }
+        // Identically assembled racks over an identical workload: the
+        // logical outcome (hit ratio) must agree between the in-process
+        // rack and the sim, which share a deterministic clock.
+        assert_eq!(results[0].hit_ratio, results[2].hit_ratio);
+    }
+
+    #[test]
+    fn json_rows_parse() {
+        let r = result("rack", 10, 10, 1_000, 0.5);
+        let row = transport_result_json(&r);
+        let doc = netcache::Json::parse(&row).expect("valid JSON");
+        assert_eq!(
+            doc.get("name").and_then(netcache::Json::as_str),
+            Some("transport/rack")
+        );
+        assert_eq!(doc.get_u64("ops").unwrap(), 10);
+    }
+}

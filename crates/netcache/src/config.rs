@@ -3,6 +3,7 @@
 use netcache_controller::ControllerConfig;
 use netcache_dataplane::SwitchConfig;
 
+use crate::fabric::RackError;
 use crate::fault::FaultConfig;
 
 /// Configuration of a NetCache storage rack (switch + servers + controller).
@@ -75,20 +76,24 @@ impl RackConfig {
     }
 
     /// Validates internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), RackError> {
         if self.servers == 0 {
-            return Err("at least one server required".into());
-        }
-        if self.clients == 0 {
-            return Err("at least one client port required".into());
-        }
-        if (self.servers + self.clients) as usize > self.switch.ports {
-            return Err(format!(
-                "{} servers + {} clients exceed {} switch ports",
-                self.servers, self.clients, self.switch.ports
+            return Err(RackError::InvalidConfig(
+                "at least one server required".into(),
             ));
         }
-        self.switch.validate()
+        if self.clients == 0 {
+            return Err(RackError::InvalidConfig(
+                "at least one client port required".into(),
+            ));
+        }
+        if (self.servers + self.clients) as usize > self.switch.ports {
+            return Err(RackError::InvalidConfig(format!(
+                "{} servers + {} clients exceed {} switch ports",
+                self.servers, self.clients, self.switch.ports
+            )));
+        }
+        self.switch.validate().map_err(RackError::Switch)
     }
 }
 

@@ -1,0 +1,71 @@
+//! Typed construction errors for rack deployments.
+
+use core::fmt;
+
+/// Why a rack deployment could not be built or started.
+///
+/// Every deployment constructor ([`crate::Rack::new`],
+/// [`crate::udp::UdpRack::start`], `netcache_sim::RackSim::new`) returns
+/// this enum, so callers can match on the failure class instead of
+/// parsing strings.
+#[derive(Debug)]
+pub enum RackError {
+    /// The rack configuration is internally inconsistent (no servers, no
+    /// client ports, port budget exceeded, ...).
+    InvalidConfig(String),
+    /// The switch program rejected its configuration or could not be laid
+    /// out within the modeled ASIC resources.
+    Switch(String),
+    /// Socket setup failed (UDP deployment: bind, clone, local_addr).
+    Io(std::io::Error),
+    /// An OS worker thread could not be spawned (UDP deployment).
+    Spawn(std::io::Error),
+}
+
+impl fmt::Display for RackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RackError::InvalidConfig(msg) => write!(f, "invalid rack configuration: {msg}"),
+            RackError::Switch(msg) => write!(f, "switch program rejected: {msg}"),
+            RackError::Io(e) => write!(f, "socket setup failed: {e}"),
+            RackError::Spawn(e) => write!(f, "worker thread spawn failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RackError::Io(e) | RackError::Spawn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RackError {
+    fn from(e: std::io::Error) -> Self {
+        RackError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        let e = RackError::InvalidConfig("at least one server required".into());
+        assert!(e.to_string().contains("at least one server"));
+        let e = RackError::Switch("too many stages".into());
+        assert!(e.to_string().contains("switch program"));
+    }
+
+    #[test]
+    fn io_errors_expose_a_source() {
+        use std::error::Error;
+        let e = RackError::Io(std::io::Error::new(std::io::ErrorKind::AddrInUse, "busy"));
+        assert!(e.source().is_some());
+        let e = RackError::InvalidConfig("x".into());
+        assert!(e.source().is_none());
+    }
+}

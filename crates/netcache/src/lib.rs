@@ -9,10 +9,15 @@
 //! `netcache-server`), the controller (`netcache-controller`) and the
 //! client library (`netcache-client`) into a runnable [`Rack`].
 //!
+//! All three deployments — the in-process [`Rack`], the loopback-UDP
+//! [`udp::UdpRack`], and `netcache-sim`'s `RackSim` — are thin transport
+//! drivers over the shared [`fabric`] layer, and expose the common
+//! [`RackHandle`] read-side API.
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use netcache::{Rack, RackConfig};
+//! use netcache::{Rack, RackConfig, RackHandle};
 //! use netcache_proto::{Key, Value};
 //!
 //! // A small rack: 4 storage servers behind one NetCache ToR switch.
@@ -37,6 +42,7 @@
 
 pub mod addressing;
 pub mod config;
+pub mod fabric;
 pub mod fault;
 pub mod hist;
 pub mod json;
@@ -46,8 +52,12 @@ pub mod udp;
 
 pub use addressing::Addressing;
 pub use config::RackConfig;
+pub use fabric::{
+    AgentTiming, ClientCounters, ClientResponse, Clock, FabricCore, Link, RackError, RackHandle,
+    RequestEngine, RetryOutcome, RetryPolicy, WallClock,
+};
 pub use fault::{seed_from_env, FaultConfig, FaultInjector, FaultStats, NetworkModel};
 pub use hist::{Histogram, ShardedHistogram};
 pub use json::Json;
 pub use metrics::RackReport;
-pub use rack::{ClientResponse, Rack, RackClient, RetryOutcome, RetryPolicy};
+pub use rack::{Rack, RackClient};

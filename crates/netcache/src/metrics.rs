@@ -9,10 +9,10 @@ use netcache_controller::ControllerStats;
 use netcache_dataplane::SwitchStats;
 use netcache_server::ServerStats;
 
+use crate::fabric::RackHandle;
 use crate::fault::FaultStats;
 use crate::hist::Histogram;
 use crate::json::fmt_f64;
-use crate::rack::Rack;
 
 /// A point-in-time snapshot of every counter in the rack.
 #[derive(Debug, Clone)]
@@ -45,11 +45,13 @@ pub struct RackReport {
 }
 
 impl RackReport {
-    /// Captures a snapshot from `rack`.
-    pub fn capture(rack: &Rack) -> Self {
+    /// Captures a snapshot from any rack deployment (in-process, UDP, or
+    /// simulated — anything implementing [`RackHandle`]).
+    pub fn capture<H: RackHandle + ?Sized>(rack: &H) -> Self {
         let servers = (0..rack.config().servers)
             .map(|i| rack.server_stats(i))
             .collect();
+        let counters = rack.client_counters();
         RackReport {
             switch: rack.switch_stats(),
             servers,
@@ -57,9 +59,9 @@ impl RackReport {
             cached_keys: rack.cached_keys(),
             control_updates: rack.with_switch(|sw| sw.control_updates()),
             faults: rack.faults().stats(),
-            client_retries: rack.client_retries(),
-            stale_replies: rack.stale_replies(),
-            abandoned_requests: rack.abandoned_requests(),
+            client_retries: counters.retries(),
+            stale_replies: counters.stale_replies(),
+            abandoned_requests: counters.abandoned(),
             op_latency: rack.op_latency(),
             switch_latency: rack.switch_service(),
             server_latency: rack.server_service(),
@@ -266,7 +268,7 @@ impl fmt::Display for RackReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::RackConfig;
+    use crate::{Rack, RackConfig};
     use netcache_proto::{Key, Value};
 
     #[test]

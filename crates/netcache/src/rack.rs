@@ -1,5 +1,5 @@
-//! The in-process NetCache rack: switch + servers + controller, wired by a
-//! synchronous forwarding loop.
+//! The in-process NetCache rack: a synchronous-forwarding-loop driver
+//! over the shared [`FabricCore`].
 //!
 //! [`Rack::execute`] injects a packet at a port and runs it — and every
 //! packet it spawns (server replies, cache updates, acks, released blocked
@@ -18,70 +18,37 @@
 //! The switch sits behind a reader-writer lock. Data-plane forwarding
 //! loops ([`Rack::execute`], [`Rack::tick`]) take the *read* lock: any
 //! number of client threads drive packets concurrently, serializing only
-//! per egress pipe inside [`NetCacheSwitch::process`] — the hardware
+//! per egress pipe inside [`netcache_dataplane::NetCacheSwitch::process`]
+//! — the hardware
 //! concurrency model (see `DESIGN.md` §10). Control-plane paths (the
-//! controller cycle, cache population, reboot, [`Rack::with_switch`]) take
-//! the *write* lock, so a query still can never interleave with a cache
+//! controller cycle, cache population, reboot, `with_switch`) take the
+//! *write* lock, so a query still can never interleave with a cache
 //! insertion halfway through its journey (the classification a packet
 //! received at the switch stays valid when it reaches the server), and
 //! single-threaded callers — the simulator, seeded tests — observe exactly
 //! the serial semantics they did when the switch sat behind a mutex.
+//!
+//! Everything deployment-independent — rack assembly, the controller
+//! backend, client retry/backoff, stats aggregation — lives in
+//! [`crate::fabric`]; this file is only the transport.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use netcache_client::{ClientConfig, NetCacheClient, Response};
-use netcache_controller::{Controller, KeyHome, ServerBackend};
-use netcache_dataplane::{NetCacheSwitch, PortId, SwitchDriver, SwitchStats};
+use netcache_client::{NetCacheClient, Response};
+use netcache_dataplane::PortId;
 use netcache_proto::{Key, Packet, Value};
-use netcache_server::{AgentConfig, ServerAgent, ServerStats};
-use parking_lot::{Mutex, RwLock};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use parking_lot::Mutex;
 
-use crate::addressing::{Addressing, Attachment, SWITCH_IP};
+use crate::addressing::Attachment;
 use crate::config::RackConfig;
+use crate::fabric::{
+    AgentTiming, ClientResponse, Clock, FabricCore, Link, RackError, RackHandle, RequestEngine,
+    RetryOutcome, RetryPolicy,
+};
+#[allow(unused_imports)] // rustdoc links
 use crate::fault::NetworkModel;
-use crate::hist::{Histogram, ShardedHistogram};
-
-/// A client-visible response plus provenance.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ClientResponse {
-    inner: Response,
-}
-
-impl ClientResponse {
-    /// The decoded response.
-    pub fn response(&self) -> &Response {
-        &self.inner
-    }
-
-    /// The value, if this is a successful read.
-    pub fn value(&self) -> Option<&Value> {
-        match &self.inner {
-            Response::Value { value, .. } => Some(value),
-            _ => None,
-        }
-    }
-
-    /// Whether the switch cache served this read.
-    pub fn served_by_cache(&self) -> bool {
-        matches!(
-            self.inner,
-            Response::Value {
-                from_cache: true,
-                ..
-            }
-        )
-    }
-
-    /// Whether the key was absent.
-    pub fn not_found(&self) -> bool {
-        matches!(self.inner, Response::NotFound { .. })
-    }
-}
 
 /// A packet in flight toward its next processing point.
 enum Hop {
@@ -156,150 +123,23 @@ impl EventQueue {
 
 /// The in-process rack.
 pub struct Rack {
-    config: RackConfig,
-    addressing: Addressing,
-    /// Read lock = data-plane forwarding (concurrent, per-pipe serialized
-    /// inside the switch); write lock = control plane (exclusive).
-    switch: RwLock<NetCacheSwitch>,
-    servers: Vec<Arc<ServerAgent>>,
-    controller: Mutex<Controller>,
-    faults: NetworkModel,
+    core: FabricCore,
     now_ns: AtomicU64,
     /// Deliveries due after the current rack time, waiting for the clock:
     /// `(deliver_at_ns, hop)`.
     pending: Mutex<Vec<(u64, Hop)>>,
-    /// Client retransmissions performed by [`RackClient`]s with a
-    /// [`RetryPolicy`].
-    client_retries: AtomicU64,
-    /// Replies discarded by clients because their sequence number did not
-    /// match the outstanding request (late duplicates, reordered traffic).
-    stale_replies: AtomicU64,
-    /// Requests abandoned after exhausting a [`RetryPolicy`]'s budget.
-    abandoned_requests: AtomicU64,
-    /// Client instances created so far; numbers sequence-number epochs
-    /// (see [`Rack::client`]).
-    client_epochs: AtomicU32,
-    /// End-to-end per-operation client latency (wall clock, ns; a retried
-    /// request contributes one sample covering all its attempts).
-    /// Per-thread shards: recording must not re-serialize parallel drives.
-    op_latency: ShardedHistogram,
-    /// Switch service time per ingress packet (wall clock, ns).
-    switch_latency: ShardedHistogram,
-    /// Server service time per delivered packet (wall clock, ns).
-    server_latency: ShardedHistogram,
 }
 
 impl Rack {
     /// Builds the rack: switch program compiled, routes installed, servers
     /// started, controller initialized.
-    pub fn new(config: RackConfig) -> Result<Self, String> {
-        config.validate()?;
-        let addressing = Addressing::new(
-            config.servers,
-            config.clients,
-            config.partition_seed,
-            &config.switch,
-        );
-        let mut switch = NetCacheSwitch::new(config.switch.clone())?;
-        // L3 routes: one host route per server and per client port.
-        for i in 0..config.servers {
-            switch.add_route(addressing.server_ip(i), 32, addressing.server_port(i));
-        }
-        for j in 0..config.clients {
-            switch.add_route(addressing.client_ip(j), 32, addressing.client_port(j));
-        }
-        let servers: Vec<Arc<ServerAgent>> = (0..config.servers)
-            .map(|i| {
-                Arc::new(ServerAgent::new(AgentConfig {
-                    ip: addressing.server_ip(i),
-                    switch_ip: SWITCH_IP,
-                    shards: config.shards_per_server,
-                    update_retry_timeout_ns: config.agent_retry_timeout_ns,
-                    update_max_retries: 5,
-                    dataplane_updates: config.dataplane_updates,
-                }))
-            })
-            .collect();
-        let topo = addressing.clone();
-        let controller = Controller::new(
-            config.controller.clone(),
-            config.switch.pipes,
-            config.switch.value_stages,
-            config.switch.value_slots,
-            move |key| topo.home_of(key),
-        );
+    pub fn new(config: RackConfig) -> Result<Self, RackError> {
+        let timing = AgentTiming::in_process(config.agent_retry_timeout_ns);
         Ok(Rack {
-            addressing,
-            switch: RwLock::new(switch),
-            servers,
-            controller: Mutex::new(controller),
-            faults: NetworkModel::new(config.faults.clone()),
+            core: FabricCore::new(config, timing)?,
             now_ns: AtomicU64::new(0),
             pending: Mutex::new(Vec::new()),
-            client_retries: AtomicU64::new(0),
-            stale_replies: AtomicU64::new(0),
-            abandoned_requests: AtomicU64::new(0),
-            client_epochs: AtomicU32::new(0),
-            op_latency: ShardedHistogram::new(),
-            switch_latency: ShardedHistogram::new(),
-            server_latency: ShardedHistogram::new(),
-            config,
         })
-    }
-
-    /// The rack configuration.
-    pub fn config(&self) -> &RackConfig {
-        &self.config
-    }
-
-    /// The rack addressing plan.
-    pub fn addressing(&self) -> &Addressing {
-        &self.addressing
-    }
-
-    /// The network fault model (scripted drops + seeded probabilistic
-    /// faults).
-    pub fn faults(&self) -> &NetworkModel {
-        &self.faults
-    }
-
-    /// Client retransmissions performed so far (by [`RetryPolicy`] clients).
-    pub fn client_retries(&self) -> u64 {
-        self.client_retries.load(Ordering::Relaxed)
-    }
-
-    /// Replies clients discarded for a stale sequence number.
-    pub fn stale_replies(&self) -> u64 {
-        self.stale_replies.load(Ordering::Relaxed)
-    }
-
-    /// Requests abandoned after exhausting a retry budget.
-    pub fn abandoned_requests(&self) -> u64 {
-        self.abandoned_requests.load(Ordering::Relaxed)
-    }
-
-    /// Snapshot of the end-to-end per-operation client latency
-    /// distribution (wall clock, ns; merged across recording threads).
-    pub fn op_latency(&self) -> Histogram {
-        self.op_latency.snapshot()
-    }
-
-    /// Snapshot of the switch per-packet service-time distribution
-    /// (wall clock, ns; merged across recording threads).
-    pub fn switch_service(&self) -> Histogram {
-        self.switch_latency.snapshot()
-    }
-
-    /// Snapshot of the server per-packet service-time distribution
-    /// (wall clock, ns; merged across recording threads).
-    pub fn server_service(&self) -> Histogram {
-        self.server_latency.snapshot()
-    }
-
-    /// Records one end-to-end operation latency sample (used by clients on
-    /// both the in-process and UDP transports).
-    pub(crate) fn record_op_latency(&self, ns: u64) {
-        self.op_latency.record(ns);
     }
 
     /// Current rack time in nanoseconds.
@@ -319,12 +159,12 @@ impl Rack {
         // Fault-free fast path: `transmit` would produce exactly one
         // immediate delivery, so skip its mutexes (they serialize
         // concurrent forwarding threads) and the Vec round-trip.
-        if self.faults.is_passthrough() {
+        if self.core.faults.is_passthrough() {
             events.push(now, hop(pkt));
             return;
         }
         let mut out = Vec::new();
-        self.faults.transmit(pkt, now, &mut out);
+        self.core.faults.transmit(pkt, now, &mut out);
         for d in out {
             events.push(d.deliver_at_ns, hop(d.pkt));
         }
@@ -374,7 +214,7 @@ impl Rack {
         // the histogram shards are not locked per packet.
         let mut switch_ns = Vec::new();
         let mut server_ns = Vec::new();
-        let switch = self.switch.read();
+        let switch = self.core.switch.read();
         // Bounded loop: coherence traffic is finite, but a bug must not
         // hang tests.
         let mut hops = 0usize;
@@ -392,7 +232,7 @@ impl Rack {
                     let outputs = switch.process(pkt, port);
                     switch_ns.push(t0.elapsed().as_nanos() as u64);
                     for (out_port, out_pkt) in outputs {
-                        match self.addressing.attachment(out_port) {
+                        match self.core.addressing.attachment(out_port) {
                             Attachment::Server(i) => self.link(
                                 out_pkt,
                                 now,
@@ -415,7 +255,7 @@ impl Rack {
                 }
                 Hop::Server { index, port, pkt } => {
                     let t0 = std::time::Instant::now();
-                    let outputs = self.servers[index].handle_packet(pkt, now);
+                    let outputs = self.core.servers[index].handle_packet(pkt, now);
                     server_ns.push(t0.elapsed().as_nanos() as u64);
                     for produced in outputs {
                         // Packets a server emits cross the network too and
@@ -427,8 +267,8 @@ impl Rack {
             }
         }
         drop(switch);
-        self.switch_latency.record_batch(&switch_ns);
-        self.server_latency.record_batch(&server_ns);
+        self.core.switch_latency.record_batch(&switch_ns);
+        self.core.server_latency.record_batch(&server_ns);
         if !deferred.is_empty() {
             self.pending.lock().extend(deferred);
         }
@@ -441,8 +281,8 @@ impl Rack {
     pub fn tick(&self) -> Vec<(u32, Packet)> {
         let now = self.now();
         let mut events = EventQueue::new();
-        for (i, server) in self.servers.iter().enumerate() {
-            let port = self.addressing.server_port(i as u32);
+        for (i, server) in self.core.servers.iter().enumerate() {
+            let port = self.core.addressing.server_port(i as u32);
             for pkt in server.tick(now) {
                 self.link(pkt, now, |pkt| Hop::Switch { port, pkt }, &mut events);
             }
@@ -455,20 +295,9 @@ impl Rack {
     /// client-bound packets produced by writes the cycle released (their
     /// acks), so callers can route them.
     pub fn run_controller(&self) -> Vec<(u32, Packet)> {
-        let now = self.now();
-        let mut backend = RackBackend {
-            servers: &self.servers,
-            released: Vec::new(),
-            now,
-        };
-        {
-            let mut switch = self.switch.write();
-            let mut controller = self.controller.lock();
-            controller.run_cycle(&mut *switch, &mut backend, now);
-        }
         // Writes released by controller unlocks re-enter the network.
         let mut to_clients = Vec::new();
-        for (port, pkt) in backend.released {
+        for (port, pkt) in self.core.run_controller_cycle(self.now()) {
             to_clients.extend(self.execute(pkt, port));
         }
         to_clients
@@ -477,34 +306,11 @@ impl Rack {
     /// Pre-populates the switch cache with `keys` (up to the controller's
     /// capacity), e.g. the hottest items of a static workload.
     pub fn populate_cache(&self, keys: impl IntoIterator<Item = Key>) -> usize {
-        let now = self.now();
-        let mut backend = RackBackend {
-            servers: &self.servers,
-            released: Vec::new(),
-            now,
-        };
-        let inserted = {
-            let mut switch = self.switch.write();
-            let mut controller = self.controller.lock();
-            controller.populate(&mut *switch, &mut backend, keys)
-        };
-        for (port, pkt) in backend.released {
+        let (inserted, released) = self.core.populate(keys, self.now());
+        for (port, pkt) in released {
             self.execute(pkt, port);
         }
         inserted
-    }
-
-    /// Loads `num_keys` items of `value_len` bytes directly into the
-    /// stores (dataset setup, bypassing the protocol), with key ids
-    /// `0..num_keys` and deterministic per-key values.
-    pub fn load_dataset(&self, num_keys: u64, value_len: usize) {
-        for id in 0..num_keys {
-            let key = Key::from_u64(id);
-            let home = self.addressing.home_of(&key);
-            self.servers[home.server as usize]
-                .store()
-                .put(key, Value::for_item(id, value_len), 1);
-        }
     }
 
     /// A synchronous client handle attached to client port `j`.
@@ -513,207 +319,74 @@ impl Rack {
     ///
     /// Panics if `j` is out of range.
     pub fn client(&self, j: u32) -> RackClient<'_> {
-        assert!(j < self.config.clients, "client index out of range");
-        let mut client = NetCacheClient::new(ClientConfig {
-            client_id: (j + 1) as u8,
-            ip: self.addressing.client_ip(j),
-            partitions: self.config.servers,
-            partition_seed: self.config.partition_seed,
-            server_ip_base: self.addressing.server_ip(0),
-        });
-        // Successive client instances on the same port share an IP; give
-        // each a disjoint sequence-number epoch so the servers'
-        // `(src, seq)` write dedup never mistakes a new instance's writes
-        // for retransmissions of an old one's.
-        let epoch = self.client_epochs.fetch_add(1, Ordering::Relaxed);
-        client.start_seq_at(epoch.wrapping_shl(24) | 1);
         RackClient {
             rack: self,
             index: j,
-            client,
+            client: self.core.make_client(j),
             policy: RetryPolicy::default(),
         }
     }
+}
 
-    /// Switch data-plane counters.
-    pub fn switch_stats(&self) -> SwitchStats {
-        self.switch.read().stats()
+impl RackHandle for Rack {
+    fn fabric(&self) -> &FabricCore {
+        &self.core
     }
 
-    /// Server agent counters.
-    pub fn server_stats(&self, i: u32) -> ServerStats {
-        self.servers[i as usize].stats()
+    fn populate_cache(&self, keys: Vec<Key>) -> usize {
+        Rack::populate_cache(self, keys)
+    }
+}
+
+impl Clock for Rack {
+    fn now_ns(&self) -> u64 {
+        self.now()
     }
 
-    /// Controller counters.
-    pub fn controller_stats(&self) -> netcache_controller::ControllerStats {
-        self.controller.lock().stats()
-    }
-
-    /// Number of keys currently in the switch cache.
-    pub fn cached_keys(&self) -> usize {
-        self.switch.read().cached_keys()
-    }
-
-    /// Whether `key` is currently cached (controller's view).
-    pub fn is_cached(&self, key: &Key) -> bool {
-        self.controller.lock().is_cached(key)
-    }
-
-    /// Direct access to a server agent (tests, simulator).
-    pub fn server(&self, i: u32) -> &Arc<ServerAgent> {
-        &self.servers[i as usize]
-    }
-
-    /// Exclusive (write-locked) access to the switch — the serial wrapper
-    /// used by tests, the single-threaded simulator, and the resource
-    /// report. Excludes all concurrent forwarding, so callers observe the
-    /// same serial semantics as before the data plane went concurrent.
-    pub fn with_switch<T>(&self, f: impl FnOnce(&mut NetCacheSwitch) -> T) -> T {
-        f(&mut self.switch.write())
-    }
-
-    /// Locked access to the controller (tests, simulator).
-    pub fn with_controller<T>(&self, f: impl FnOnce(&mut Controller) -> T) -> T {
-        f(&mut self.controller.lock())
-    }
-
-    /// Runs the controller's memory reorganization over all pipes
-    /// (Algorithm 2's "periodic memory reorganization"); returns keys
-    /// moved.
-    pub fn reorganize_cache(&self) -> usize {
-        let mut switch = self.switch.write();
-        let mut controller = self.controller.lock();
-        let pipes = self.config.switch.pipes;
-        let mut moved = 0;
-        for pipe in 0..pipes {
-            moved += controller.reorganize_pipe(&mut *switch, pipe);
-        }
-        moved
-    }
-
-    /// Reboots the switch (cache and statistics lost, routes survive) and
-    /// resets the controller's view to match — the failure-recovery story
-    /// of §3.
-    pub fn reboot_switch(&self) {
-        let mut switch = self.switch.write();
-        let mut controller = self.controller.lock();
-        switch.reboot();
-        let cfg = &self.config;
-        let topo = self.addressing.clone();
-        *controller = Controller::new(
-            cfg.controller.clone(),
-            cfg.switch.pipes,
-            cfg.switch.value_stages,
-            cfg.switch.value_slots,
-            move |key| topo.home_of(key),
-        );
+    fn advance_ns(&self, ns: u64) {
+        self.advance(ns)
     }
 }
 
 impl core::fmt::Debug for Rack {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Rack")
-            .field("servers", &self.servers.len())
-            .field("cached_keys", &self.cached_keys())
+            .field("servers", &self.core.servers.len())
+            .field("cached_keys", &self.core.cached_keys())
             .finish_non_exhaustive()
     }
 }
 
-/// Controller backend over the rack's in-process server agents.
-struct RackBackend<'a> {
-    servers: &'a [Arc<ServerAgent>],
-    /// Packets released by unlocks, to be injected after the controller
-    /// releases its locks: `(ingress_port, packet)`.
-    released: Vec<(PortId, Packet)>,
-    now: u64,
+/// The in-process client's attachment: transmitting runs the whole
+/// synchronous forwarding loop; waiting advances the virtual clock and
+/// ticks the server agents.
+struct RackLink<'a> {
+    rack: &'a Rack,
+    index: u32,
+    port: PortId,
 }
 
-impl ServerBackend for RackBackend<'_> {
-    fn fetch(&mut self, home: &KeyHome, key: &Key) -> Option<(Value, u32)> {
-        self.servers[home.server as usize]
-            .fetch(key)
-            .map(|item| (item.value, item.version))
-    }
-
-    fn lock_writes(&mut self, home: &KeyHome, key: Key) {
-        self.servers[home.server as usize].controller_lock(key);
-    }
-
-    fn unlock_writes(&mut self, home: &KeyHome, key: Key) {
-        let released = self.servers[home.server as usize].controller_unlock(key, self.now);
-        self.released
-            .extend(released.into_iter().map(|p| (home.egress_port, p)));
-    }
-
-    fn mark_cached(&mut self, home: &KeyHome, key: Key) {
-        self.servers[home.server as usize].mark_cached(key);
-    }
-
-    fn unmark_cached(&mut self, home: &KeyHome, key: Key) {
-        self.servers[home.server as usize].unmark_cached(&key);
+impl RackLink<'_> {
+    /// Keeps this client's packets, discarding traffic for other ports.
+    fn collect(&self, out: Vec<(u32, Packet)>, replies: &mut Vec<Packet>) {
+        replies.extend(
+            out.into_iter()
+                .filter_map(|(j, pkt)| (j == self.index).then_some(pkt)),
+        );
     }
 }
 
-/// Client-side retransmission policy: per-request timeout with exponential
-/// backoff and deterministic jitter.
-///
-/// The in-process rack has no wall clock; a "timeout" advances the rack
-/// clock by the computed interval and runs [`Rack::tick`], which drives
-/// server retransmission timers and delivers matured delayed traffic —
-/// exactly what elapsing real time does on the UDP transport.
-#[derive(Debug, Clone)]
-pub struct RetryPolicy {
-    /// Retransmissions allowed per request (0 = single attempt).
-    pub max_retries: u32,
-    /// Timeout before the first retransmission, nanoseconds.
-    pub base_timeout_ns: u64,
-    /// Cap on the backed-off timeout, nanoseconds.
-    pub max_timeout_ns: u64,
-    /// Jitter added to each timeout, as a fraction of the backoff
-    /// (derived deterministically from the request sequence number and
-    /// attempt, so runs stay reproducible).
-    pub jitter: f64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_retries: 16,
-            base_timeout_ns: 200_000,
-            max_timeout_ns: 10_000_000,
-            jitter: 0.25,
-        }
+impl Link for RackLink<'_> {
+    fn transmit(&mut self, pkt: &Packet, replies: &mut Vec<Packet>) {
+        let out = self.rack.execute(pkt.clone(), self.port);
+        self.collect(out, replies);
     }
-}
 
-impl RetryPolicy {
-    /// The timeout before retransmission number `attempt + 1` of the
-    /// request with sequence number `seq`.
-    pub fn timeout_ns(&self, seq: u32, attempt: u32) -> u64 {
-        let backoff = self
-            .base_timeout_ns
-            .saturating_mul(1u64 << attempt.min(16))
-            .min(self.max_timeout_ns);
-        if self.jitter <= 0.0 {
-            return backoff;
-        }
-        let span = (backoff as f64 * self.jitter) as u64;
-        if span == 0 {
-            return backoff;
-        }
-        let mut rng = StdRng::seed_from_u64(((seq as u64) << 32) | attempt as u64);
-        backoff + rng.random_range(0..=span)
+    fn wait(&mut self, timeout_ns: u64, _want_seq: u32, replies: &mut Vec<Packet>) {
+        self.rack.advance(timeout_ns);
+        let late = self.rack.tick();
+        self.collect(late, replies);
     }
-}
-
-/// Outcome of one request issued under a [`RetryPolicy`].
-#[derive(Debug, Clone)]
-pub struct RetryOutcome {
-    /// The reply, or `None` if the retry budget was exhausted.
-    pub response: Option<ClientResponse>,
-    /// Retransmissions performed (0 = first attempt succeeded).
-    pub retries: u32,
 }
 
 /// A synchronous client handle: builds a query, runs it through the rack,
@@ -738,79 +411,38 @@ impl RackClient<'_> {
     }
 
     fn run(&mut self, pkt: Packet) -> Option<ClientResponse> {
-        let port = self.rack.addressing.client_port(self.index);
+        let port = self.rack.core.addressing.client_port(self.index);
         let t0 = std::time::Instant::now();
         let replies = self.rack.execute(pkt, port);
         let found = replies.into_iter().find_map(|(j, pkt)| {
             (j == self.index)
-                .then(|| Response::from_packet(&pkt).map(|inner| ClientResponse { inner }))
+                .then(|| Response::from_packet(&pkt).map(ClientResponse::new))
                 .flatten()
         });
         if found.is_some() {
-            self.rack.record_op_latency(t0.elapsed().as_nanos() as u64);
+            self.rack
+                .core
+                .op_latency
+                .record(t0.elapsed().as_nanos() as u64);
         }
         found
     }
 
-    /// Scans `replies` for the one answering sequence number `seq`,
-    /// counting (and discarding) replies for earlier requests and
-    /// duplicate deliveries.
-    fn take_matching(&self, replies: Vec<(u32, Packet)>, seq: u32) -> Option<ClientResponse> {
-        let mut found: Option<ClientResponse> = None;
-        for (j, pkt) in replies {
-            if j != self.index {
-                continue;
-            }
-            if pkt.netcache.seq != seq || found.is_some() {
-                // A late reply to a request we've moved past, or a
-                // duplicate delivery of the current one: suppress.
-                self.rack.stale_replies.fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
-            found = Response::from_packet(&pkt).map(|inner| ClientResponse { inner });
-        }
-        found
-    }
-
-    /// Issues `pkt`, retransmitting it (same sequence number) per the
-    /// client's [`RetryPolicy`] until a matching reply arrives or the
-    /// budget is exhausted.
+    /// Issues `pkt` through the shared request engine, retransmitting it
+    /// (same sequence number) per the client's [`RetryPolicy`] until a
+    /// matching reply arrives or the budget is exhausted.
     fn run_with_retry(&mut self, pkt: Packet) -> RetryOutcome {
-        let port = self.rack.addressing.client_port(self.index);
-        let seq = pkt.netcache.seq;
-        let mut retries = 0u32;
-        let t0 = std::time::Instant::now();
-        loop {
-            let replies = self.rack.execute(pkt.clone(), port);
-            if let Some(resp) = self.take_matching(replies, seq) {
-                self.rack.record_op_latency(t0.elapsed().as_nanos() as u64);
-                return RetryOutcome {
-                    response: Some(resp),
-                    retries,
-                };
-            }
-            // Timeout: advance the clock and let server retransmission
-            // timers fire and delayed traffic mature — the reply may have
-            // merely been slow rather than lost.
-            self.rack.advance(self.policy.timeout_ns(seq, retries));
-            let late = self.rack.tick();
-            if let Some(resp) = self.take_matching(late, seq) {
-                self.rack.record_op_latency(t0.elapsed().as_nanos() as u64);
-                return RetryOutcome {
-                    response: Some(resp),
-                    retries,
-                };
-            }
-            if retries >= self.policy.max_retries {
-                self.rack.abandoned_requests.fetch_add(1, Ordering::Relaxed);
-                return RetryOutcome {
-                    response: None,
-                    retries,
-                };
-            }
-            retries += 1;
-            self.rack.client_retries.fetch_add(1, Ordering::Relaxed);
+        let mut link = RackLink {
+            rack: self.rack,
+            index: self.index,
+            port: self.rack.core.addressing.client_port(self.index),
+        };
+        RequestEngine {
+            policy: &self.policy,
+            counters: &self.rack.core.counters,
+            latency: &self.rack.core.op_latency,
         }
+        .run(&mut link, pkt)
     }
 
     /// Reads `key` under the retry policy.

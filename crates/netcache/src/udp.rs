@@ -7,33 +7,38 @@
 //! agents — different I/O. Loopback UDP can drop under load, which
 //! exercises the retransmission machinery for real.
 //!
+//! The rack itself — switch, agents, controller, fault model, stats —
+//! comes from the shared [`FabricCore`]; this file contributes only the
+//! socket topology, the node threads, and a [`Link`] implementation so
+//! [`UdpClient`] runs the same request engine as the in-process rack.
+//!
 //! Topology: each switch port maps to one socket address. The switch runs
 //! a worker pool with one thread per pipe: each worker receives frames
 //! from the shared switch socket, identifies the ingress port by the
 //! sender's address, runs the data-plane program under a shared read lock
-//! (per-pipe serialization happens inside [`NetCacheSwitch`]; see
+//! (per-pipe serialization happens inside
+//! [`netcache_dataplane::NetCacheSwitch`]; see
 //! DESIGN.md §10), and forwards the outputs to the sockets of the chosen
 //! egress ports. Workers reuse a scratch buffer for deparsing, so the
 //! fault-free hot path performs no per-frame heap allocation.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use netcache_client::{ClientConfig, NetCacheClient, Response};
-use netcache_controller::{Controller, KeyHome, ServerBackend};
-use netcache_dataplane::{NetCacheSwitch, PortId, SwitchDriver};
+use netcache_client::{NetCacheClient, Response};
+use netcache_dataplane::PortId;
 use netcache_proto::{Key, Packet, Value};
-use netcache_server::{AgentConfig, ServerAgent};
-use parking_lot::{Mutex, RwLock};
+use netcache_server::ServerAgent;
 
-use crate::addressing::{Addressing, SWITCH_IP};
 use crate::config::RackConfig;
-use crate::fault::NetworkModel;
-use crate::hist::{Histogram, ShardedHistogram};
+use crate::fabric::{
+    AgentTiming, ClientResponse, FabricCore, Link, RackError, RackHandle, RequestEngine,
+    RetryOutcome, RetryPolicy, WallClock,
+};
 
 const RECV_TIMEOUT: Duration = Duration::from_millis(20);
 const MAX_FRAME: usize = 2048;
@@ -44,96 +49,57 @@ fn bound_socket() -> std::io::Result<UdpSocket> {
     Ok(sock)
 }
 
+fn spawn_thread(
+    name: String,
+    body: impl FnOnce() + Send + 'static,
+) -> Result<JoinHandle<()>, RackError> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(body)
+        .map_err(RackError::Spawn)
+}
+
 /// A NetCache rack running over real UDP sockets on loopback.
 pub struct UdpRack {
-    addressing: Addressing,
-    config: RackConfig,
+    core: Arc<FabricCore>,
     switch_addr: SocketAddr,
     client_sockets: Vec<Arc<UdpSocket>>,
-    servers: Vec<Arc<ServerAgent>>,
-    switch: Arc<RwLock<NetCacheSwitch>>,
-    controller: Arc<Mutex<Controller>>,
-    faults: Arc<NetworkModel>,
-    /// Client instances handed out; numbers sequence-number epochs.
-    client_epochs: AtomicU32,
-    /// End-to-end per-request client latency (wall clock, ns), shared with
-    /// every [`UdpClient`] this rack hands out.
-    op_latency: Arc<ShardedHistogram>,
-    /// Switch worker service time per ingress frame (wall clock, ns),
-    /// merged across the per-pipe worker pool.
-    switch_latency: Arc<ShardedHistogram>,
-    /// Server thread service time per delivered frame (wall clock, ns).
-    server_latency: Arc<ShardedHistogram>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl UdpRack {
     /// Starts the rack: binds all sockets, spawns the switch and server
-    /// threads, and loads nothing (use [`UdpRack::load_dataset`]).
-    pub fn start(config: RackConfig) -> Result<UdpRack, String> {
-        config.validate()?;
-        let addressing = Addressing::new(
-            config.servers,
-            config.clients,
-            config.partition_seed,
-            &config.switch,
-        );
+    /// threads, and loads nothing (use `load_dataset`).
+    pub fn start(config: RackConfig) -> Result<UdpRack, RackError> {
+        let core = Arc::new(FabricCore::new(config, AgentTiming::loopback())?);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let faults = Arc::new(NetworkModel::new(config.faults.clone()));
-        let op_latency = Arc::new(ShardedHistogram::new());
-        let switch_latency = Arc::new(ShardedHistogram::new());
-        let server_latency = Arc::new(ShardedHistogram::new());
-
-        // Build the switch with routes, as in the in-process rack.
-        let mut switch = NetCacheSwitch::new(config.switch.clone())?;
-        for i in 0..config.servers {
-            switch.add_route(addressing.server_ip(i), 32, addressing.server_port(i));
-        }
-        for j in 0..config.clients {
-            switch.add_route(addressing.client_ip(j), 32, addressing.client_port(j));
-        }
-        let switch = Arc::new(RwLock::new(switch));
 
         // Sockets: one per server, one per client, one for the switch.
-        let switch_socket = bound_socket().map_err(|e| e.to_string())?;
-        let switch_addr = switch_socket.local_addr().map_err(|e| e.to_string())?;
+        let switch_socket = bound_socket()?;
+        let switch_addr = switch_socket.local_addr()?;
 
         let mut port_to_addr: HashMap<PortId, SocketAddr> = HashMap::new();
         let mut addr_to_port: HashMap<SocketAddr, PortId> = HashMap::new();
 
         let mut server_sockets = Vec::new();
-        for i in 0..config.servers {
-            let sock = Arc::new(bound_socket().map_err(|e| e.to_string())?);
-            let addr = sock.local_addr().map_err(|e| e.to_string())?;
-            let port = addressing.server_port(i);
+        for i in 0..core.config().servers {
+            let sock = Arc::new(bound_socket()?);
+            let addr = sock.local_addr()?;
+            let port = core.addressing().server_port(i);
             port_to_addr.insert(port, addr);
             addr_to_port.insert(addr, port);
             server_sockets.push(sock);
         }
         let mut client_sockets = Vec::new();
-        for j in 0..config.clients {
-            let sock = Arc::new(bound_socket().map_err(|e| e.to_string())?);
-            let addr = sock.local_addr().map_err(|e| e.to_string())?;
-            let port = addressing.client_port(j);
+        for j in 0..core.config().clients {
+            let sock = Arc::new(bound_socket()?);
+            let addr = sock.local_addr()?;
+            let port = core.addressing().client_port(j);
             port_to_addr.insert(port, addr);
             addr_to_port.insert(addr, port);
             client_sockets.push(sock);
         }
-
-        // Server agents.
-        let servers: Vec<Arc<ServerAgent>> = (0..config.servers)
-            .map(|i| {
-                Arc::new(ServerAgent::new(AgentConfig {
-                    ip: addressing.server_ip(i),
-                    switch_ip: SWITCH_IP,
-                    shards: config.shards_per_server,
-                    update_retry_timeout_ns: 5_000_000, // 5 ms over loopback
-                    update_max_retries: 10,
-                    dataplane_updates: config.dataplane_updates,
-                }))
-            })
-            .collect();
 
         let mut threads = Vec::new();
 
@@ -152,163 +118,127 @@ impl UdpRack {
         // each loop iteration (the receive timeout bounds how long a
         // matured delivery can wait). When the model is pass-through the
         // parse→transmit→deparse round-trip is skipped entirely.
-        let workers = config.switch.pipes.max(1);
+        let workers = core.config().switch.pipes.max(1);
         for w in 0..workers {
-            let switch = Arc::clone(&switch);
+            let core = Arc::clone(&core);
             let shutdown = Arc::clone(&shutdown);
-            let faults = Arc::clone(&faults);
-            let switch_latency = Arc::clone(&switch_latency);
-            let switch_socket = switch_socket.try_clone().map_err(|e| e.to_string())?;
+            let switch_socket = switch_socket.try_clone()?;
             let port_to_addr = port_to_addr.clone();
             let addr_to_port = addr_to_port.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("netcache-switch-{w}"))
-                    .spawn(move || {
-                        let start = std::time::Instant::now();
-                        let mut buf = [0u8; MAX_FRAME];
-                        let mut scratch: Vec<u8> = Vec::with_capacity(MAX_FRAME);
-                        let mut fault_buf: Vec<u8> = Vec::with_capacity(MAX_FRAME);
-                        let mut delayed: Vec<(u64, SocketAddr, Vec<u8>)> = Vec::new();
-                        let mut deliveries = Vec::new();
-                        while !shutdown.load(Ordering::Relaxed) {
-                            let now = start.elapsed().as_nanos() as u64;
-                            let mut i = 0;
-                            while i < delayed.len() {
-                                if delayed[i].0 <= now {
-                                    let (_, addr, frame) = delayed.swap_remove(i);
-                                    let _ = switch_socket.send_to(&frame, addr);
+            threads.push(spawn_thread(format!("netcache-switch-{w}"), move || {
+                let clock = WallClock::start();
+                let mut buf = [0u8; MAX_FRAME];
+                let mut scratch: Vec<u8> = Vec::with_capacity(MAX_FRAME);
+                let mut fault_buf: Vec<u8> = Vec::with_capacity(MAX_FRAME);
+                let mut delayed: Vec<(u64, SocketAddr, Vec<u8>)> = Vec::new();
+                let mut deliveries = Vec::new();
+                while !shutdown.load(Ordering::Relaxed) {
+                    let now = crate::fabric::Clock::now_ns(&clock);
+                    let mut i = 0;
+                    while i < delayed.len() {
+                        if delayed[i].0 <= now {
+                            let (_, addr, frame) = delayed.swap_remove(i);
+                            let _ = switch_socket.send_to(&frame, addr);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    // Wake up for the earliest pending delivery
+                    // rather than sitting out the full timeout.
+                    // (Clones share the fd, so this also nudges the
+                    // other workers' timeouts — harmless, every
+                    // value is within the same bounded window.)
+                    let wait = delayed
+                        .iter()
+                        .map(|&(at, _, _)| Duration::from_nanos(at.saturating_sub(now)))
+                        .min()
+                        .map_or(RECV_TIMEOUT, |d| {
+                            d.clamp(Duration::from_micros(50), RECV_TIMEOUT)
+                        });
+                    let _ = switch_socket.set_read_timeout(Some(wait));
+                    let (len, src) = match switch_socket.recv_from(&mut buf) {
+                        Ok(ok) => ok,
+                        Err(_) => continue, // timeout / interrupted
+                    };
+                    let Some(&in_port) = addr_to_port.get(&src) else {
+                        continue; // unknown sender
+                    };
+                    let t0 = std::time::Instant::now();
+                    core.switch.read().process_frame_with(
+                        &buf[..len],
+                        in_port,
+                        &mut scratch,
+                        |out_port, bytes| {
+                            let Some(&addr) = port_to_addr.get(&out_port) else {
+                                return;
+                            };
+                            if core.faults.is_passthrough() {
+                                let _ = switch_socket.send_to(bytes, addr);
+                                return;
+                            }
+                            let Ok(pkt) = Packet::parse(bytes) else {
+                                // Non-NetCache frames bypass the model.
+                                let _ = switch_socket.send_to(bytes, addr);
+                                return;
+                            };
+                            deliveries.clear();
+                            core.faults.transmit(pkt, now, &mut deliveries);
+                            for d in deliveries.drain(..) {
+                                if d.deliver_at_ns <= now {
+                                    d.pkt.deparse_into(&mut fault_buf);
+                                    let _ = switch_socket.send_to(&fault_buf, addr);
                                 } else {
-                                    i += 1;
+                                    delayed.push((d.deliver_at_ns, addr, d.pkt.deparse()));
                                 }
                             }
-                            // Wake up for the earliest pending delivery
-                            // rather than sitting out the full timeout.
-                            // (Clones share the fd, so this also nudges the
-                            // other workers' timeouts — harmless, every
-                            // value is within the same bounded window.)
-                            let wait = delayed
-                                .iter()
-                                .map(|&(at, _, _)| Duration::from_nanos(at.saturating_sub(now)))
-                                .min()
-                                .map_or(RECV_TIMEOUT, |d| {
-                                    d.clamp(Duration::from_micros(50), RECV_TIMEOUT)
-                                });
-                            let _ = switch_socket.set_read_timeout(Some(wait));
-                            let (len, src) = match switch_socket.recv_from(&mut buf) {
-                                Ok(ok) => ok,
-                                Err(_) => continue, // timeout / interrupted
-                            };
-                            let Some(&in_port) = addr_to_port.get(&src) else {
-                                continue; // unknown sender
-                            };
-                            let t0 = std::time::Instant::now();
-                            switch.read().process_frame_with(
-                                &buf[..len],
-                                in_port,
-                                &mut scratch,
-                                |out_port, bytes| {
-                                    let Some(&addr) = port_to_addr.get(&out_port) else {
-                                        return;
-                                    };
-                                    if faults.is_passthrough() {
-                                        let _ = switch_socket.send_to(bytes, addr);
-                                        return;
-                                    }
-                                    let Ok(pkt) = Packet::parse(bytes) else {
-                                        // Non-NetCache frames bypass the model.
-                                        let _ = switch_socket.send_to(bytes, addr);
-                                        return;
-                                    };
-                                    deliveries.clear();
-                                    faults.transmit(pkt, now, &mut deliveries);
-                                    for d in deliveries.drain(..) {
-                                        if d.deliver_at_ns <= now {
-                                            d.pkt.deparse_into(&mut fault_buf);
-                                            let _ = switch_socket.send_to(&fault_buf, addr);
-                                        } else {
-                                            delayed.push((d.deliver_at_ns, addr, d.pkt.deparse()));
-                                        }
-                                    }
-                                },
-                            );
-                            switch_latency.record(t0.elapsed().as_nanos() as u64);
-                        }
-                    })
-                    .map_err(|e| e.to_string())?,
-            );
+                        },
+                    );
+                    core.switch_latency.record(t0.elapsed().as_nanos() as u64);
+                }
+            })?);
         }
 
         // Server threads: receive frames, run the agent, reply via the
         // switch; drive retransmission timers on receive timeouts.
-        for (i, agent) in servers.iter().enumerate() {
-            let agent = Arc::clone(agent);
-            let sock = Arc::clone(&server_sockets[i]);
+        for i in 0..core.config().servers {
+            let agent: Arc<ServerAgent> = Arc::clone(core.server(i));
+            let core = Arc::clone(&core);
+            let sock = Arc::clone(&server_sockets[i as usize]);
             let shutdown = Arc::clone(&shutdown);
-            let server_latency = Arc::clone(&server_latency);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("netcache-server-{i}"))
-                    .spawn(move || {
-                        let start = std::time::Instant::now();
-                        let mut buf = [0u8; MAX_FRAME];
-                        while !shutdown.load(Ordering::Relaxed) {
-                            let now = start.elapsed().as_nanos() as u64;
-                            match sock.recv_from(&mut buf) {
-                                Ok((len, src)) => {
-                                    if let Ok(pkt) = Packet::parse(&buf[..len]) {
-                                        let t0 = std::time::Instant::now();
-                                        let outs = agent.handle_packet(pkt, now);
-                                        server_latency.record(t0.elapsed().as_nanos() as u64);
-                                        for out in outs {
-                                            let _ = sock.send_to(&out.deparse(), src);
-                                        }
-                                    }
-                                }
-                                Err(_) => {
-                                    // Timeout: retransmit pending updates.
-                                    for out in agent.tick(now) {
-                                        let _ = sock.send_to(&out.deparse(), switch_addr);
-                                    }
+            threads.push(spawn_thread(format!("netcache-server-{i}"), move || {
+                let clock = WallClock::start();
+                let mut buf = [0u8; MAX_FRAME];
+                while !shutdown.load(Ordering::Relaxed) {
+                    let now = crate::fabric::Clock::now_ns(&clock);
+                    match sock.recv_from(&mut buf) {
+                        Ok((len, src)) => {
+                            if let Ok(pkt) = Packet::parse(&buf[..len]) {
+                                let t0 = std::time::Instant::now();
+                                let outs = agent.handle_packet(pkt, now);
+                                core.server_latency.record(t0.elapsed().as_nanos() as u64);
+                                for out in outs {
+                                    let _ = sock.send_to(&out.deparse(), src);
                                 }
                             }
                         }
-                    })
-                    .map_err(|e| e.to_string())?,
-            );
+                        Err(_) => {
+                            // Timeout: retransmit pending updates.
+                            for out in agent.tick(now) {
+                                let _ = sock.send_to(&out.deparse(), switch_addr);
+                            }
+                        }
+                    }
+                }
+            })?);
         }
 
-        let topo = addressing.clone();
-        let controller = Arc::new(Mutex::new(Controller::new(
-            config.controller.clone(),
-            config.switch.pipes,
-            config.switch.value_stages,
-            config.switch.value_slots,
-            move |key| topo.home_of(key),
-        )));
-
         Ok(UdpRack {
-            addressing,
-            config,
+            core,
             switch_addr,
             client_sockets,
-            servers,
-            switch,
-            controller,
-            faults,
-            client_epochs: AtomicU32::new(0),
-            op_latency,
-            switch_latency,
-            server_latency,
             shutdown,
             threads,
         })
-    }
-
-    /// The network fault model applied on switch egress (inject scripted
-    /// drops or read fault counters through this).
-    pub fn faults(&self) -> &NetworkModel {
-        &self.faults
     }
 
     /// The switch's socket address (where clients send frames).
@@ -316,103 +246,19 @@ impl UdpRack {
         self.switch_addr
     }
 
-    /// The addressing plan.
-    pub fn addressing(&self) -> &Addressing {
-        &self.addressing
-    }
-
-    /// Loads a dataset directly into the stores.
-    pub fn load_dataset(&self, num_keys: u64, value_len: usize) {
-        for id in 0..num_keys {
-            let key = Key::from_u64(id);
-            let home = self.addressing.home_of(&key);
-            self.servers[home.server as usize]
-                .store()
-                .put(key, Value::for_item(id, value_len), 1);
-        }
-    }
-
     /// Runs one controller cycle (call periodically from the application
-    /// thread; released writes are rare in examples and sent via the
-    /// owning server's next tick).
+    /// thread; released writes are rare in examples and re-committed by
+    /// the owning agent, whose replies go out with its next packet I/O).
     pub fn run_controller(&self, now_ns: u64) {
-        struct Backend<'a> {
-            servers: &'a [Arc<ServerAgent>],
-            now: u64,
-        }
-        impl ServerBackend for Backend<'_> {
-            fn fetch(&mut self, home: &KeyHome, key: &Key) -> Option<(Value, u32)> {
-                self.servers[home.server as usize]
-                    .fetch(key)
-                    .map(|item| (item.value, item.version))
-            }
-            fn lock_writes(&mut self, home: &KeyHome, key: Key) {
-                self.servers[home.server as usize].controller_lock(key);
-            }
-            fn unlock_writes(&mut self, home: &KeyHome, key: Key) {
-                // Released writes are re-committed by the agent on unlock;
-                // their replies go out with the server's next packet I/O.
-                let _ = self.servers[home.server as usize].controller_unlock(key, self.now);
-            }
-        }
-        let mut backend = Backend {
-            servers: &self.servers,
-            now: now_ns,
-        };
-        let mut switch = self.switch.write();
-        self.controller
-            .lock()
-            .run_cycle(&mut *switch, &mut backend, now_ns);
+        let _released = self.core.run_controller_cycle(now_ns);
     }
 
     /// Pre-populates the cache with `keys`.
     pub fn populate_cache(&self, keys: impl IntoIterator<Item = Key>) -> usize {
-        struct Backend<'a> {
-            servers: &'a [Arc<ServerAgent>],
-        }
-        impl ServerBackend for Backend<'_> {
-            fn fetch(&mut self, home: &KeyHome, key: &Key) -> Option<(Value, u32)> {
-                self.servers[home.server as usize]
-                    .fetch(key)
-                    .map(|item| (item.value, item.version))
-            }
-            fn lock_writes(&mut self, home: &KeyHome, key: Key) {
-                self.servers[home.server as usize].controller_lock(key);
-            }
-            fn unlock_writes(&mut self, home: &KeyHome, key: Key) {
-                let _ = self.servers[home.server as usize].controller_unlock(key, 0);
-            }
-        }
-        let mut backend = Backend {
-            servers: &self.servers,
-        };
-        let mut switch = self.switch.write();
-        self.controller
-            .lock()
-            .populate(&mut *switch, &mut backend, keys)
-    }
-
-    /// Switch statistics snapshot.
-    pub fn switch_stats(&self) -> netcache_dataplane::SwitchStats {
-        self.switch.read().stats()
-    }
-
-    /// Snapshot of the end-to-end per-request client latency distribution
-    /// (wall clock, ns; merged across all this rack's clients).
-    pub fn op_latency(&self) -> Histogram {
-        self.op_latency.snapshot()
-    }
-
-    /// Snapshot of the switch workers' per-frame service-time distribution
-    /// (wall clock, ns; merged across the per-pipe pool).
-    pub fn switch_service(&self) -> Histogram {
-        self.switch_latency.snapshot()
-    }
-
-    /// Snapshot of the server threads' per-frame service-time distribution
-    /// (wall clock, ns; merged across all servers).
-    pub fn server_service(&self) -> Histogram {
-        self.server_latency.snapshot()
+        // Released writes (rare during setup) are re-committed by the
+        // owning agent; their replies ride the server's next I/O.
+        let (inserted, _released) = self.core.populate(keys, 0);
+        inserted
     }
 
     /// A blocking UDP client bound to client port `j`.
@@ -421,26 +267,14 @@ impl UdpRack {
     ///
     /// Panics if `j` is out of range.
     pub fn client(&self, j: u32) -> UdpClient {
-        assert!(j < self.config.clients, "client index out of range");
-        let mut client = NetCacheClient::new(ClientConfig {
-            client_id: (j + 1) as u8,
-            ip: self.addressing.client_ip(j),
-            partitions: self.config.servers,
-            partition_seed: self.config.partition_seed,
-            server_ip_base: self.addressing.server_ip(0),
-        });
-        // Disjoint sequence-number epoch per client instance: the servers
-        // dedup retransmitted writes by `(src, seq)`, and successive
-        // instances on the same port share a source IP.
-        let epoch = self.client_epochs.fetch_add(1, Ordering::Relaxed);
-        client.start_seq_at(epoch.wrapping_shl(24) | 1);
         UdpClient {
+            core: Arc::clone(&self.core),
             socket: Arc::clone(&self.client_sockets[j as usize]),
             switch_addr: self.switch_addr,
-            client,
+            client: self.core.make_client(j),
+            policy: RetryPolicy::loopback(),
             retries: 0,
             stale_replies: 0,
-            op_latency: Arc::clone(&self.op_latency),
         }
     }
 
@@ -453,6 +287,16 @@ impl UdpRack {
     }
 }
 
+impl RackHandle for UdpRack {
+    fn fabric(&self) -> &FabricCore {
+        &self.core
+    }
+
+    fn populate_cache(&self, keys: Vec<Key>) -> usize {
+        UdpRack::populate_cache(self, keys)
+    }
+}
+
 impl Drop for UdpRack {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
@@ -462,54 +306,84 @@ impl Drop for UdpRack {
     }
 }
 
-/// A blocking client over a real UDP socket, with per-request
-/// retransmission: exponential backoff on the receive window, reply
-/// matching by sequence number, and duplicate/stale reply suppression.
+/// The UDP client's attachment: transmit sends the deparsed frame to the
+/// switch socket; waiting blocks on the client socket for up to the
+/// timeout, returning early once the wanted reply arrives.
+struct UdpLink<'a> {
+    socket: &'a UdpSocket,
+    switch_addr: SocketAddr,
+}
+
+impl Link for UdpLink<'_> {
+    fn transmit(&mut self, pkt: &Packet, _replies: &mut Vec<Packet>) {
+        let _ = self.socket.send_to(&pkt.deparse(), self.switch_addr);
+    }
+
+    fn wait(&mut self, timeout_ns: u64, want_seq: u32, replies: &mut Vec<Packet>) {
+        let deadline = std::time::Instant::now() + Duration::from_nanos(timeout_ns);
+        let mut buf = [0u8; MAX_FRAME];
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return;
+            }
+            let _ = self.socket.set_read_timeout(Some(remaining));
+            let Ok((len, _)) = self.socket.recv_from(&mut buf) else {
+                return; // timeout / interrupted
+            };
+            let Ok(reply) = Packet::parse(&buf[..len]) else {
+                continue;
+            };
+            let done = reply.netcache.seq == want_seq;
+            replies.push(reply);
+            if done {
+                return;
+            }
+        }
+    }
+}
+
+/// A blocking client over a real UDP socket, driven by the shared request
+/// engine: per-request retransmission with exponential backoff on the
+/// receive window, reply matching by sequence number, and duplicate/stale
+/// reply suppression. Defaults to [`RetryPolicy::loopback`].
 pub struct UdpClient {
+    core: Arc<FabricCore>,
     socket: Arc<UdpSocket>,
     switch_addr: SocketAddr,
     client: NetCacheClient,
+    policy: RetryPolicy,
     retries: u64,
     stale_replies: u64,
-    /// Shared with the owning [`UdpRack`]; one sample per completed
-    /// request, covering all its retransmission rounds.
-    op_latency: Arc<ShardedHistogram>,
 }
 
 impl UdpClient {
-    fn request(&mut self, pkt: Packet, retries: u32) -> Option<Response> {
-        let seq = pkt.netcache.seq;
-        let frame = pkt.deparse();
-        let mut buf = [0u8; MAX_FRAME];
-        let t0 = std::time::Instant::now();
-        for attempt in 0..=retries {
-            // Exponential backoff: each attempt waits twice as long for a
-            // reply, so a transiently congested loopback gets headroom.
-            let window = RECV_TIMEOUT * (1u32 << attempt.min(4));
-            let _ = self.socket.set_read_timeout(Some(window));
-            if attempt > 0 {
-                self.retries += 1;
-            }
-            self.socket.send_to(&frame, self.switch_addr).ok()?;
-            // Collect until a matching reply or timeout. Replies to earlier
-            // attempts of this request carry the same seq and are accepted;
-            // anything else (stale replies to prior requests, duplicated
-            // frames after the first match) is discarded.
-            while let Ok((len, _)) = self.socket.recv_from(&mut buf) {
-                let Ok(reply) = Packet::parse(&buf[..len]) else {
-                    continue;
-                };
-                if reply.netcache.seq != seq {
-                    self.stale_replies += 1;
-                    continue;
-                }
-                if let Some(resp) = Response::from_packet(&reply) {
-                    self.op_latency.record(t0.elapsed().as_nanos() as u64);
-                    return Some(resp);
-                }
-            }
+    /// Sets the retransmission policy used by every request.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn request_with_retry(&mut self, pkt: Packet) -> RetryOutcome {
+        let mut link = UdpLink {
+            socket: &self.socket,
+            switch_addr: self.switch_addr,
+        };
+        let outcome = RequestEngine {
+            policy: &self.policy,
+            counters: self.core.counters(),
+            latency: &self.core.op_latency,
         }
-        None
+        .run(&mut link, pkt);
+        self.retries += outcome.retries as u64;
+        self.stale_replies += outcome.stale_replies as u64;
+        outcome
+    }
+
+    fn request(&mut self, pkt: Packet) -> Option<Response> {
+        self.request_with_retry(pkt)
+            .response
+            .map(ClientResponse::into_response)
     }
 
     /// Retransmissions performed so far (attempts beyond the first send).
@@ -525,19 +399,38 @@ impl UdpClient {
     /// Reads `key`, retransmitting on loss.
     pub fn get(&mut self, key: Key) -> Option<Response> {
         let pkt = self.client.get(key);
-        self.request(pkt, 5)
+        self.request(pkt)
     }
 
     /// Writes `value` under `key`.
     pub fn put(&mut self, key: Key, value: Value) -> Option<Response> {
         let pkt = self.client.put(key, value);
-        self.request(pkt, 5)
+        self.request(pkt)
     }
 
     /// Deletes `key`.
     pub fn delete(&mut self, key: Key) -> Option<Response> {
         let pkt = self.client.delete(key);
-        self.request(pkt, 5)
+        self.request(pkt)
+    }
+
+    /// Reads `key` under the retry policy, reporting retries and
+    /// suppressed replies.
+    pub fn get_with_retry(&mut self, key: Key) -> RetryOutcome {
+        let pkt = self.client.get(key);
+        self.request_with_retry(pkt)
+    }
+
+    /// Writes `value` under `key` under the retry policy.
+    pub fn put_with_retry(&mut self, key: Key, value: Value) -> RetryOutcome {
+        let pkt = self.client.put(key, value);
+        self.request_with_retry(pkt)
+    }
+
+    /// Deletes `key` under the retry policy.
+    pub fn delete_with_retry(&mut self, key: Key) -> RetryOutcome {
+        let pkt = self.client.delete(key);
+        self.request_with_retry(pkt)
     }
 }
 
@@ -621,6 +514,25 @@ mod tests {
             stats.dropped + stats.duplicated + stats.delayed > 0,
             "{stats:?}"
         );
+        rack.stop();
+    }
+
+    #[test]
+    fn udp_client_reports_retry_outcomes() {
+        let config = RackConfig::small(2);
+        let rack = UdpRack::start(config).unwrap();
+        rack.load_dataset(8, 32);
+        let mut client = rack.client(0).with_policy(RetryPolicy {
+            max_retries: 3,
+            base_timeout_ns: 50_000_000,
+            max_timeout_ns: 400_000_000,
+            jitter: 0.0,
+        });
+        let out = client.get_with_retry(Key::from_u64(3));
+        let resp = out.response.expect("loopback get should succeed");
+        assert!(resp.value().is_some());
+        let out = client.put_with_retry(Key::from_u64(3), Value::filled(0x5a, 32));
+        assert!(out.response.is_some());
         rack.stop();
     }
 }

@@ -27,4 +27,6 @@ pub mod rack_sim;
 pub use analytic::AnalyticModel;
 pub use engine::EventQueue;
 pub use multirack::{MultiRackConfig, MultiRackModel, ScaleOutScheme};
-pub use rack_sim::{LatencyStats, RackSim, SecondStats, SimConfig, SimReport};
+pub use rack_sim::{
+    rack_config_for, LatencyStats, RackSim, ScriptOp, SecondStats, SimConfig, SimReport,
+};

@@ -8,9 +8,13 @@
 //! hardware exactly like the paper's own 64-queue server emulation scaled
 //! them — ratios, not absolute numbers, are the observable.
 
-use netcache::{FaultConfig, FaultStats, Histogram, NetworkModel, Rack, RackConfig};
-use netcache_client::{ClientConfig, NetCacheClient, RateController};
-use netcache_controller::{ControllerConfig, KeyHome, ServerBackend};
+use netcache::addressing::Attachment;
+use netcache::{
+    FabricCore, FaultConfig, FaultStats, Histogram, NetworkModel, Rack, RackConfig, RackError,
+    RackHandle,
+};
+use netcache_client::{NetCacheClient, RateController, Response};
+use netcache_controller::ControllerConfig;
 use netcache_dataplane::{PortId, SwitchConfig};
 use netcache_proto::{Key, Op, Packet, Value};
 use netcache_workload::{DynamicWorkload, QueryMix, WriteSkew};
@@ -283,6 +287,64 @@ enum Event {
     AgentTick,
     /// Periodic dynamic-workload change.
     WorkloadChange,
+    /// One-shot agent-timer tick used by scripted runs (never
+    /// reschedules itself, so [`RackSim::run_script`] can drain the
+    /// queue to empty).
+    ScriptTick,
+}
+
+/// One step of a scripted workload, used by the cross-transport
+/// differential tests: the same script run on the in-process `Rack` and
+/// on [`RackSim::run_script`] must produce identical logical outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Read key id.
+    Get(u64),
+    /// Write key id with a value filled with the given byte.
+    Put(u64, u8),
+    /// Delete key id.
+    Delete(u64),
+    /// Run one controller cycle.
+    Controller,
+    /// Advance virtual time (drives agent retransmission timers).
+    AdvanceMs(u64),
+}
+
+/// The rack configuration a [`SimConfig`] maps onto: the real switch
+/// program, partitioning and controller settings the simulator drives.
+///
+/// Public so the cross-transport differential tests can build an
+/// in-process [`Rack`] that is assembled *identically* to the simulated
+/// one (same switch seed, same partitioning, same cache sizing).
+pub fn rack_config_for(config: &SimConfig, dataplane_updates: bool) -> RackConfig {
+    let mut switch = SwitchConfig::prototype();
+    switch.ports = (config.servers + 8) as usize;
+    // Size the value arrays to the experiment: enough slots for the
+    // target cache size, 8 stages as in the prototype.
+    switch.value_slots = config.cache_items.max(1024).next_power_of_two();
+    switch.cache_capacity = switch.value_slots;
+    switch.hot_threshold = config.hot_threshold;
+    switch.sample_rate = config.sample_rate;
+    switch.seed = config.seed ^ 0x5717c4;
+
+    RackConfig {
+        servers: config.servers,
+        shards_per_server: 1,
+        switch,
+        controller: ControllerConfig {
+            cache_capacity: config.cache_items,
+            stats_reset_interval_ns: 1_000_000_000,
+            ..ControllerConfig::default()
+        },
+        clients: 1,
+        partition_seed: config.partition_seed,
+        agent_retry_timeout_ns: 200_000,
+        dataplane_updates,
+        // The sim routes every packet through its own latency-modelled
+        // links, so the rack-internal fault model stays off and the
+        // sim applies `config.faults` itself in `dispatch`.
+        faults: FaultConfig::default(),
+    }
 }
 
 /// The simulator.
@@ -292,6 +354,10 @@ pub struct RackSim {
     mix: QueryMix,
     client: NetCacheClient,
     client_port: PortId,
+    // Scripted mode (see `run_script`): when set, replies delivered to
+    // the client are also captured whole for decoding.
+    capture_replies: bool,
+    script_replies: Vec<Packet>,
     rng: StdRng,
     faults: NetworkModel,
     queue: EventQueue<Event>,
@@ -321,7 +387,7 @@ pub struct RackSim {
 impl RackSim {
     /// Builds the simulator (rack constructed, dataset loaded, cache
     /// pre-populated with the hottest `cache_items` keys).
-    pub fn new(config: SimConfig) -> Result<Self, String> {
+    pub fn new(config: SimConfig) -> Result<Self, RackError> {
         Self::with_dataplane_updates(config, true)
     }
 
@@ -331,36 +397,8 @@ impl RackSim {
     pub fn with_dataplane_updates(
         config: SimConfig,
         dataplane_updates: bool,
-    ) -> Result<Self, String> {
-        let mut switch = SwitchConfig::prototype();
-        switch.ports = (config.servers + 8) as usize;
-        // Size the value arrays to the experiment: enough slots for the
-        // target cache size, 8 stages as in the prototype.
-        switch.value_slots = config.cache_items.max(1024).next_power_of_two();
-        switch.cache_capacity = switch.value_slots;
-        switch.hot_threshold = config.hot_threshold;
-        switch.sample_rate = config.sample_rate;
-        switch.seed = config.seed ^ 0x5717c4;
-
-        let rack_config = RackConfig {
-            servers: config.servers,
-            shards_per_server: 1,
-            switch,
-            controller: ControllerConfig {
-                cache_capacity: config.cache_items,
-                stats_reset_interval_ns: 1_000_000_000,
-                ..ControllerConfig::default()
-            },
-            clients: 1,
-            partition_seed: config.partition_seed,
-            agent_retry_timeout_ns: 200_000,
-            dataplane_updates,
-            // The sim routes every packet through its own latency-modelled
-            // links, so the rack-internal fault model stays off and the
-            // sim applies `config.faults` itself in `dispatch`.
-            faults: FaultConfig::default(),
-        };
-        let rack = Rack::new(rack_config)?;
+    ) -> Result<Self, RackError> {
+        let rack = Rack::new(rack_config_for(&config, dataplane_updates))?;
         let loaded = config
             .loaded_keys
             .map_or(config.num_keys, |k| k.min(config.num_keys));
@@ -381,13 +419,7 @@ impl RackSim {
                 .collect();
             rack.populate_cache(hottest);
         }
-        let client = NetCacheClient::new(ClientConfig {
-            client_id: 1,
-            ip: rack.addressing().client_ip(0),
-            partitions: config.servers,
-            partition_seed: config.partition_seed,
-            server_ip_base: rack.addressing().server_ip(0),
-        });
+        let client = rack.fabric().make_client(0);
         let client_port = rack.addressing().client_port(0);
         let service_ns = 1_000_000_000 / config.server_rate_qps;
         let initial = config.fixed_rate_qps.unwrap_or(config.initial_rate_qps);
@@ -401,6 +433,8 @@ impl RackSim {
             mix,
             client,
             client_port,
+            capture_replies: false,
+            script_replies: Vec::new(),
             queue: EventQueue::new(),
             rate,
             server_free_at: vec![0; config.servers as usize],
@@ -428,6 +462,71 @@ impl RackSim {
     /// Access to the underlying rack (inspection in tests).
     pub fn rack(&self) -> &Rack {
         &self.rack
+    }
+
+    /// Runs a deterministic scripted workload through the full simulated
+    /// data path (real switch, latency-modelled links, rate-limited
+    /// servers), one operation at a time, returning the decoded reply of
+    /// each data operation. The cross-transport differential tests run
+    /// the same script on the in-process [`Rack`] and assert identical
+    /// logical outcomes.
+    pub fn run_script(&mut self, ops: &[ScriptOp]) -> Vec<Option<Response>> {
+        self.capture_replies = true;
+        let mut results = Vec::new();
+        for op in ops {
+            match *op {
+                ScriptOp::Get(id) => {
+                    let pkt = self.client.get(Key::from_u64(id));
+                    results.push(self.script_request(pkt));
+                }
+                ScriptOp::Put(id, fill) => {
+                    let value = Value::filled(fill, self.config.value_len);
+                    let pkt = self.client.put(Key::from_u64(id), value);
+                    results.push(self.script_request(pkt));
+                }
+                ScriptOp::Delete(id) => {
+                    let pkt = self.client.delete(Key::from_u64(id));
+                    results.push(self.script_request(pkt));
+                }
+                ScriptOp::Controller => {
+                    let now = self.queue.now();
+                    self.controller_cycle_at(now);
+                    self.drain();
+                }
+                ScriptOp::AdvanceMs(ms) => {
+                    let target = self.queue.now() + ms * 1_000_000;
+                    self.queue.schedule(target, Event::ScriptTick);
+                    self.drain();
+                }
+            }
+        }
+        self.capture_replies = false;
+        results
+    }
+
+    /// Injects one client packet at the switch, drains the event queue to
+    /// quiescence, and decodes the reply matching the request's sequence
+    /// number (retransmission-free: scripts run over a perfect network).
+    fn script_request(&mut self, pkt: Packet) -> Option<Response> {
+        let seq = pkt.netcache.seq;
+        self.script_replies.clear();
+        let now = self.queue.now();
+        let at_switch = now + self.config.latency.hop_ns + self.config.latency.switch_ns;
+        let outs = self
+            .rack
+            .with_switch(|sw| sw.process(pkt, self.client_port));
+        self.dispatch(at_switch, outs);
+        self.drain();
+        let reply = self.script_replies.iter().find(|p| p.netcache.seq == seq)?;
+        Response::from_packet(reply)
+    }
+
+    /// Runs the event queue dry (scripted mode only: no periodic events
+    /// reschedule themselves, so quiescence is reached).
+    fn drain(&mut self) {
+        while let Some((now, event)) = self.queue.pop() {
+            self.handle(now, event);
+        }
     }
 
     fn exp_interarrival_ns(&mut self, rate_qps: f64) -> u64 {
@@ -473,6 +572,7 @@ impl RackSim {
             Event::ControllerCycle => self.on_controller(now),
             Event::AgentTick => self.on_agent_tick(now),
             Event::WorkloadChange => self.on_workload_change(now),
+            Event::ScriptTick => self.tick_agents(now),
         }
     }
 
@@ -519,7 +619,7 @@ impl RackSim {
     fn dispatch(&mut self, now: u64, outs: Vec<(PortId, Packet)>) {
         for (port, pkt) in outs {
             match self.rack.addressing().attachment(port) {
-                netcache::addressing::Attachment::Client(_) => {
+                Attachment::Client(_) => {
                     for (at, pkt) in self.link(pkt, now) {
                         let from_cache = pkt.netcache.op == Op::GetReplyHit;
                         self.queue.schedule(
@@ -529,14 +629,17 @@ impl RackSim {
                                 from_cache,
                             },
                         );
+                        if self.capture_replies {
+                            self.script_replies.push(pkt);
+                        }
                     }
                 }
-                netcache::addressing::Attachment::Server(i) => {
+                Attachment::Server(i) => {
                     for (at, pkt) in self.link(pkt, now) {
                         self.deliver_to_server(at, i, pkt);
                     }
                 }
-                netcache::addressing::Attachment::Unused => {}
+                Attachment::Unused => {}
             }
         }
     }
@@ -648,49 +751,28 @@ impl RackSim {
         let controller_ns = self.config.controller_interval_ms * 1_000_000;
         self.queue
             .schedule(now + controller_ns, Event::ControllerCycle);
-        // Run the real controller against the real switch and servers.
-        struct Backend<'a> {
-            rack: &'a Rack,
-            now: u64,
-            released: Vec<(u32, Vec<Packet>)>,
-        }
-        impl ServerBackend for Backend<'_> {
-            fn fetch(&mut self, home: &KeyHome, key: &Key) -> Option<(Value, u32)> {
-                self.rack
-                    .server(home.server)
-                    .fetch(key)
-                    .map(|i| (i.value, i.version))
+        self.controller_cycle_at(now);
+    }
+
+    /// One controller cycle against the real switch and servers, run by
+    /// the shared fabric core; packets the agents release (write
+    /// unblocking after cache insertion) re-enter the simulated network
+    /// at the owning server's link.
+    fn controller_cycle_at(&mut self, now: u64) {
+        let released = self.rack.fabric().run_controller_cycle(now);
+        for (port, pkt) in released {
+            if let Attachment::Server(i) = self.rack.addressing().attachment(port) {
+                self.forward_from_server(now, i, vec![pkt]);
             }
-            fn lock_writes(&mut self, home: &KeyHome, key: Key) {
-                self.rack.server(home.server).controller_lock(key);
-            }
-            fn unlock_writes(&mut self, home: &KeyHome, key: Key) {
-                let out = self
-                    .rack
-                    .server(home.server)
-                    .controller_unlock(key, self.now);
-                if !out.is_empty() {
-                    self.released.push((home.server, out));
-                }
-            }
-        }
-        let mut backend = Backend {
-            rack: &self.rack,
-            now,
-            released: Vec::new(),
-        };
-        let rack = &self.rack;
-        rack.with_switch(|sw| {
-            rack.with_controller(|ctl| ctl.run_cycle(sw, &mut backend, now));
-        });
-        let released = backend.released;
-        for (server, outs) in released {
-            self.forward_from_server(now, server, outs);
         }
     }
 
     fn on_agent_tick(&mut self, now: u64) {
         self.queue.schedule(now + 1_000_000, Event::AgentTick);
+        self.tick_agents(now);
+    }
+
+    fn tick_agents(&mut self, now: u64) {
         for i in 0..self.config.servers {
             let outs = self.rack.server(i).tick(now);
             if !outs.is_empty() {
@@ -736,6 +818,16 @@ impl RackSim {
             per_second: self.per_second,
             faults: self.faults.stats(),
         }
+    }
+}
+
+impl RackHandle for RackSim {
+    fn fabric(&self) -> &FabricCore {
+        self.rack.fabric()
+    }
+
+    fn populate_cache(&self, keys: Vec<Key>) -> usize {
+        RackHandle::populate_cache(&self.rack, keys)
     }
 }
 

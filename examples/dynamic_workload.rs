@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example dynamic_workload`
 
-use netcache::{Rack, RackConfig};
+use netcache::{Rack, RackConfig, RackHandle};
 use netcache_proto::Key;
 use netcache_workload::QueryMix;
 use rand::rngs::StdRng;

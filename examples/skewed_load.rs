@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example skewed_load`
 
-use netcache::{Rack, RackConfig};
+use netcache::{Rack, RackConfig, RackHandle};
 use netcache_proto::Key;
 use netcache_workload::QueryMix;
 use rand::rngs::StdRng;

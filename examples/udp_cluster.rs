@@ -12,7 +12,7 @@
 use std::time::{Duration, Instant};
 
 use netcache::udp::UdpRack;
-use netcache::{seed_from_env, FaultConfig, RackConfig};
+use netcache::{seed_from_env, FaultConfig, RackConfig, RackHandle};
 use netcache_client::Response;
 use netcache_proto::{Key, Value};
 use netcache_workload::QueryMix;

@@ -7,7 +7,7 @@
 //! this hold by construction — writes invalidate before they commit, and
 //! only the server (the serialization point) re-validates.
 
-use netcache::{Rack, RackConfig};
+use netcache::{Rack, RackConfig, RackHandle};
 use netcache_proto::{Key, Op, Value};
 use proptest::prelude::*;
 

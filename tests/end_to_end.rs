@@ -1,6 +1,6 @@
 //! Workspace integration tests: full-rack behaviour across crates.
 
-use netcache::{Rack, RackConfig};
+use netcache::{Rack, RackConfig, RackHandle};
 use netcache_proto::{Key, Op, Value};
 use netcache_workload::QueryMix;
 use rand::rngs::StdRng;

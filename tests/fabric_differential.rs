@@ -1,0 +1,323 @@
+//! Cross-transport differential tests: the payoff of the fabric layer.
+//!
+//! All rack deployments are thin transport drivers over the same
+//! `netcache::fabric` core, so the same seed and workload must produce
+//! the *same logical outcome* everywhere:
+//!
+//! - in-process [`Rack`] vs discrete-event [`RackSim`]: both are
+//!   deterministic and fault-free here, so the comparison is exact —
+//!   identical replies, identical final store contents, identical cache
+//!   membership, identical switch/server/controller counters.
+//! - loopback-UDP [`UdpRack`] vs in-process [`Rack`]: real sockets and
+//!   threads make packet-level timing non-deterministic, so the
+//!   comparison is aggregate — same replies, same final values, same
+//!   cache membership.
+//!
+//! Seeded via `NETCACHE_TEST_SEED` (see `netcache::seed_from_env`).
+
+use netcache::udp::UdpRack;
+use netcache::{seed_from_env, Rack, RackHandle};
+use netcache_client::Response;
+use netcache_proto::{Key, Value};
+use netcache_sim::{rack_config_for, RackSim, ScriptOp, SimConfig};
+use netcache_workload::QueryMix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A small, fully deterministic experiment: fault-free network, 8
+/// servers, a 64-item cache over a 2000-key Zipf workload.
+fn sim_config(seed: u64) -> SimConfig {
+    SimConfig {
+        servers: 8,
+        num_keys: 2_000,
+        value_len: 64,
+        cache_items: 64,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// Builds an in-process rack assembled *identically* to what
+/// [`RackSim::new`] builds internally: same switch program and seed, same
+/// partitioning, same dataset, same hottest-keys cache population.
+fn build_rack(config: &SimConfig) -> Rack {
+    let rack = Rack::new(rack_config_for(config, true)).expect("valid sim rack config");
+    let loaded = config
+        .loaded_keys
+        .map_or(config.num_keys, |k| k.min(config.num_keys));
+    rack.load_dataset(loaded, config.value_len);
+    let mix = QueryMix::new(
+        config.num_keys,
+        config.theta,
+        config.write_ratio,
+        config.write_skew,
+    );
+    if config.cache_items > 0 {
+        let hottest: Vec<Key> = mix
+            .popularity()
+            .hottest(config.cache_items)
+            .iter()
+            .map(|&id| Key::from_u64(id))
+            .collect();
+        rack.populate_cache(hottest);
+    }
+    rack
+}
+
+/// A deterministic script: mostly-hot reads, a write mix, occasional
+/// deletes, controller cycles and time advances. Total virtual time stays
+/// far below the controller's 1-second budget/stats windows on both
+/// transports, so clock-scale differences between them cannot change
+/// control-plane decisions.
+fn script(seed: u64, config: &SimConfig) -> Vec<ScriptOp> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd1ff);
+    let hot = config.cache_items as u64;
+    let mut ops = Vec::new();
+    for i in 0..300u64 {
+        let id = if rng.random::<f64>() < 0.7 {
+            rng.random::<u64>() % hot
+        } else {
+            hot + rng.random::<u64>() % 200
+        };
+        let r = rng.random::<f64>();
+        if r < 0.60 {
+            ops.push(ScriptOp::Get(id));
+        } else if r < 0.85 {
+            ops.push(ScriptOp::Put(id, (i % 251) as u8 + 1));
+        } else if r < 0.93 {
+            ops.push(ScriptOp::Delete(id));
+        } else {
+            ops.push(ScriptOp::Controller);
+        }
+        if i % 41 == 0 {
+            ops.push(ScriptOp::AdvanceMs(1));
+        }
+    }
+    ops.push(ScriptOp::Controller);
+    ops
+}
+
+/// Runs a script against the in-process rack, mirroring
+/// [`RackSim::run_script`] op for op.
+fn run_script_on_rack(rack: &Rack, ops: &[ScriptOp], value_len: usize) -> Vec<Option<Response>> {
+    let mut client = rack.client(0);
+    let mut results = Vec::new();
+    for op in ops {
+        match *op {
+            ScriptOp::Get(id) => {
+                results.push(client.get(Key::from_u64(id)).map(|r| r.into_response()));
+            }
+            ScriptOp::Put(id, fill) => {
+                let value = Value::filled(fill, value_len);
+                results.push(
+                    client
+                        .put(Key::from_u64(id), value)
+                        .map(|r| r.into_response()),
+                );
+            }
+            ScriptOp::Delete(id) => {
+                results.push(client.delete(Key::from_u64(id)).map(|r| r.into_response()));
+            }
+            ScriptOp::Controller => {
+                rack.run_controller();
+            }
+            ScriptOp::AdvanceMs(ms) => {
+                rack.advance(ms * 1_000_000);
+                rack.tick();
+            }
+        }
+    }
+    results
+}
+
+/// Snapshot of every store item, in key-id order, for exact comparison.
+fn store_contents<H: RackHandle>(rack: &H, num_keys: u64) -> Vec<Option<(Value, u32)>> {
+    (0..num_keys)
+        .map(|id| {
+            let key = Key::from_u64(id);
+            let home = rack.addressing().home_of(&key);
+            rack.server(home.server)
+                .fetch(&key)
+                .map(|item| (item.value, item.version))
+        })
+        .collect()
+}
+
+fn cache_membership<H: RackHandle>(rack: &H, num_keys: u64) -> Vec<u64> {
+    (0..num_keys)
+        .filter(|&id| rack.is_cached(&Key::from_u64(id)))
+        .collect()
+}
+
+#[test]
+fn rack_and_sim_agree_exactly() {
+    let seed = seed_from_env(0x5eed_d1ff);
+    let config = sim_config(seed);
+    let ops = script(seed, &config);
+
+    let mut sim = RackSim::new(config.clone()).expect("valid sim config");
+    let rack = build_rack(&config);
+
+    // Identically assembled: same pre-script state on both transports.
+    assert_eq!(sim.switch_stats(), rack.switch_stats(), "seed {seed:#x}");
+    assert_eq!(
+        cache_membership(&sim, config.num_keys),
+        cache_membership(&rack, config.num_keys),
+        "initial cache membership diverged (seed {seed:#x})"
+    );
+
+    let sim_replies = sim.run_script(&ops);
+    let rack_replies = run_script_on_rack(&rack, &ops, config.value_len);
+
+    // Same replies, element-wise.
+    assert_eq!(sim_replies.len(), rack_replies.len());
+    for (i, (s, r)) in sim_replies.iter().zip(rack_replies.iter()).enumerate() {
+        assert_eq!(s, r, "reply {i} diverged (seed {seed:#x}, op {:?})", ops[i]);
+    }
+
+    // Same final logical state: store contents, cache membership,
+    // switch/server/controller counters.
+    assert_eq!(
+        store_contents(&sim, config.num_keys),
+        store_contents(&rack, config.num_keys),
+        "final store contents diverged (seed {seed:#x})"
+    );
+    assert_eq!(
+        cache_membership(&sim, config.num_keys),
+        cache_membership(&rack, config.num_keys),
+        "final cache membership diverged (seed {seed:#x})"
+    );
+    assert_eq!(sim.cached_keys(), rack.cached_keys());
+    assert_eq!(
+        sim.switch_stats(),
+        rack.switch_stats(),
+        "switch counters diverged (seed {seed:#x})"
+    );
+    assert_eq!(
+        sim.controller_stats(),
+        rack.controller_stats(),
+        "controller counters diverged (seed {seed:#x})"
+    );
+    for i in 0..config.servers {
+        assert_eq!(
+            sim.server_stats(i),
+            rack.server_stats(i),
+            "server {i} counters diverged (seed {seed:#x})"
+        );
+    }
+}
+
+#[test]
+fn rack_and_sim_agree_in_write_around_mode() {
+    let seed = seed_from_env(0x5eed_d1fe);
+    let config = sim_config(seed);
+    let ops = script(seed, &config);
+
+    let mut sim = RackSim::with_dataplane_updates(config.clone(), false).expect("valid config");
+    let rack = Rack::new(rack_config_for(&config, false)).expect("valid config");
+    let loaded = config
+        .loaded_keys
+        .map_or(config.num_keys, |k| k.min(config.num_keys));
+    rack.load_dataset(loaded, config.value_len);
+    let mix = QueryMix::new(
+        config.num_keys,
+        config.theta,
+        config.write_ratio,
+        config.write_skew,
+    );
+    let hottest: Vec<Key> = mix
+        .popularity()
+        .hottest(config.cache_items)
+        .iter()
+        .map(|&id| Key::from_u64(id))
+        .collect();
+    rack.populate_cache(hottest);
+
+    let sim_replies = sim.run_script(&ops);
+    let rack_replies = run_script_on_rack(&rack, &ops, config.value_len);
+    assert_eq!(sim_replies, rack_replies, "seed {seed:#x}");
+    assert_eq!(
+        store_contents(&sim, config.num_keys),
+        store_contents(&rack, config.num_keys),
+        "seed {seed:#x}"
+    );
+    assert_eq!(sim.switch_stats(), rack.switch_stats(), "seed {seed:#x}");
+}
+
+/// Strips the serving-path flag from a reply: over real loopback sockets
+/// a Get can race the post-write `CacheUpdate` and be served by the
+/// server instead of the (momentarily invalid) switch entry. The *value*
+/// must still match; where it came from is transport timing.
+fn logical(reply: Option<Response>) -> Option<Response> {
+    reply.map(|r| match r {
+        Response::Value { key, value, .. } => Response::Value {
+            key,
+            value,
+            from_cache: false,
+        },
+        other => other,
+    })
+}
+
+/// Over real loopback sockets timing is non-deterministic, so the UDP
+/// comparison is aggregate: the same ops must yield the same logical
+/// replies (same values, cache-vs-server path normalized away), the same
+/// final store contents and the same cache membership as the in-process
+/// rack, even though per-packet counters may differ by retransmissions.
+#[test]
+fn udp_matches_in_process_outcomes() {
+    let seed = seed_from_env(0x5eed_0d1f);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut config = netcache::RackConfig::small(4);
+    config.controller.cache_capacity = 16;
+
+    let udp = UdpRack::start(config.clone()).expect("loopback rack");
+    let rack = Rack::new(config.clone()).expect("valid config");
+    udp.load_dataset(500, 32);
+    udp.populate_cache((0..16).map(Key::from_u64));
+    rack.load_dataset(500, 32);
+    rack.populate_cache((0..16).map(Key::from_u64));
+
+    let mut udp_client = udp.client(0);
+    let mut rack_client = rack.client(0);
+    for i in 0..200u64 {
+        let id = if rng.random::<f64>() < 0.7 {
+            rng.random::<u64>() % 16
+        } else {
+            16 + rng.random::<u64>() % 100
+        };
+        let key = Key::from_u64(id);
+        let r = rng.random::<f64>();
+        let (udp_outcome, rack_outcome) = if r < 0.6 {
+            (
+                udp_client.get_with_retry(key),
+                rack_client.get_with_retry(key),
+            )
+        } else if r < 0.9 {
+            let value = Value::filled((i % 251) as u8 + 1, 32);
+            (
+                udp_client.put_with_retry(key, value.clone()),
+                rack_client.put_with_retry(key, value),
+            )
+        } else {
+            (
+                udp_client.delete_with_retry(key),
+                rack_client.delete_with_retry(key),
+            )
+        };
+        let udp_reply = logical(udp_outcome.response.map(|c| c.into_response()));
+        let rack_reply = logical(rack_outcome.response.map(|c| c.into_response()));
+        assert_eq!(udp_reply, rack_reply, "op {i} diverged (seed {seed:#x})");
+    }
+
+    assert_eq!(
+        store_contents(&udp, 500),
+        store_contents(&rack, 500),
+        "final store contents diverged (seed {seed:#x})"
+    );
+    assert_eq!(
+        cache_membership(&udp, 500),
+        cache_membership(&rack, 500),
+        "cache membership diverged (seed {seed:#x})"
+    );
+}

@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use netcache::{seed_from_env, FaultConfig, Rack, RackConfig, RetryPolicy};
+use netcache::{seed_from_env, FaultConfig, Rack, RackConfig, RackHandle, RetryPolicy};
 use netcache_client::Response;
 use netcache_proto::{Key, Value};
 use rand::rngs::StdRng;

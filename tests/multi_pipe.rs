@@ -4,7 +4,7 @@
 //! pipe. These tests run a rack on a 2-pipe and a 4-pipe switch and check
 //! that caching, coherence and the controller work across pipes.
 
-use netcache::{Rack, RackConfig};
+use netcache::{Rack, RackConfig, RackHandle};
 use netcache_proto::{Key, Value};
 
 fn multi_pipe_rack(pipes: usize, servers: u32) -> Rack {

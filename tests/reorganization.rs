@@ -8,7 +8,7 @@
 //! value, lose cache residency of a valid entry, or resurrect an invalid
 //! one.
 
-use netcache::{Rack, RackConfig};
+use netcache::{Rack, RackConfig, RackHandle};
 use netcache_proto::{Key, Value};
 
 /// A rack whose value memory is small (8 arrays × 8 indexes = 64 units)

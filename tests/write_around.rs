@@ -1,7 +1,7 @@
 //! Write-around ablation (§4.3): why NetCache updates the cache in the
 //! data plane rather than letting the control plane refresh it.
 
-use netcache::{Rack, RackConfig};
+use netcache::{Rack, RackConfig, RackHandle};
 use netcache_proto::{Key, Value};
 
 fn rack(dataplane_updates: bool) -> Rack {
