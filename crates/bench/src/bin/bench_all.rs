@@ -272,7 +272,10 @@ fn main() {
 
     // Transport-comparison scenario: one workload, three transport
     // drivers over the same fabric (in-process, loopback UDP, simulated).
-    let transport_ops = if cli.quick { 2_000 } else { 20_000 };
+    // Enough ops that the loopback leg's steady-state rate dominates the
+    // measurement even in quick mode (short windows under-report the UDP
+    // transport and destabilize the bench_compare transport-ratio gate).
+    let transport_ops = if cli.quick { 6_000 } else { 20_000 };
     println!(
         "{:>32} {:>14} {:>8} {:>8} (wall clock, {transport_ops} ops)",
         "transport scenario", "throughput", "hit%", "replies"

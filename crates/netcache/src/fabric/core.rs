@@ -23,6 +23,7 @@ use crate::fabric::engine::ClientCounters;
 use crate::fabric::error::RackError;
 use crate::fault::NetworkModel;
 use crate::hist::{Histogram, ShardedHistogram};
+use crate::runtime::{TransportCounters, TransportStats};
 
 /// Server-agent retransmission timing, the one assembly knob that differs
 /// per transport (virtual-time racks tick fast; loopback UDP gives the
@@ -80,6 +81,10 @@ pub struct FabricCore {
     pub(crate) switch_latency: ShardedHistogram,
     /// Server service time per delivered packet (wall clock, ns).
     pub(crate) server_latency: ShardedHistogram,
+    /// Socket-transport I/O accounting (syscalls, datagrams, batch
+    /// occupancy). Zero for deployments that move packets without
+    /// sockets (in-process rack, simulator).
+    pub(crate) transport: TransportCounters,
 }
 
 impl FabricCore {
@@ -132,6 +137,7 @@ impl FabricCore {
             op_latency: ShardedHistogram::new(),
             switch_latency: ShardedHistogram::new(),
             server_latency: ShardedHistogram::new(),
+            transport: TransportCounters::default(),
             config,
         })
     }
@@ -213,6 +219,22 @@ impl FabricCore {
     /// Snapshot of the server per-packet service-time distribution.
     pub fn server_service(&self) -> Histogram {
         self.server_latency.snapshot()
+    }
+
+    /// The socket-transport I/O counters (live; socket deployments record
+    /// into these from every worker, agent and client).
+    pub fn transport(&self) -> &TransportCounters {
+        &self.transport
+    }
+
+    /// Snapshot of the socket-transport syscall/datagram counters.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.snapshot()
+    }
+
+    /// Snapshot of the receive batch-occupancy distribution.
+    pub fn batch_occupancy(&self) -> Histogram {
+        self.transport.occupancy()
     }
 
     /// Loads `num_keys` items of `value_len` bytes directly into the

@@ -145,6 +145,18 @@ pub trait RackHandle {
         self.fabric().server_service()
     }
 
+    /// Socket-transport syscall/datagram counters (zero on deployments
+    /// that move packets without sockets).
+    fn transport_stats(&self) -> crate::runtime::TransportStats {
+        self.fabric().transport_stats()
+    }
+
+    /// Receive batch-occupancy distribution of the socket transport
+    /// (empty on non-socket deployments).
+    fn batch_occupancy(&self) -> Histogram {
+        self.fabric().batch_occupancy()
+    }
+
     /// Direct access to a server agent (tests, simulator).
     fn server(&self, i: u32) -> &Arc<ServerAgent> {
         self.fabric().server(i)

@@ -48,6 +48,7 @@ pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod rack;
+pub mod runtime;
 pub mod udp;
 
 pub use addressing::Addressing;
@@ -61,3 +62,4 @@ pub use hist::{Histogram, ShardedHistogram};
 pub use json::Json;
 pub use metrics::RackReport;
 pub use rack::{Rack, RackClient};
+pub use runtime::{RuntimeKind, TransportStats};

@@ -13,6 +13,7 @@ use crate::fabric::RackHandle;
 use crate::fault::FaultStats;
 use crate::hist::Histogram;
 use crate::json::fmt_f64;
+use crate::runtime::TransportStats;
 
 /// A point-in-time snapshot of every counter in the rack.
 #[derive(Debug, Clone)]
@@ -42,6 +43,12 @@ pub struct RackReport {
     pub switch_latency: Histogram,
     /// Server per-packet service time (wall clock, nanoseconds).
     pub server_latency: Histogram,
+    /// Socket-transport syscall/datagram counters (all zero on
+    /// deployments that move packets without sockets).
+    pub transport: TransportStats,
+    /// Datagrams per non-empty receive batch on the socket transport
+    /// (empty on non-socket deployments).
+    pub batch_occupancy: Histogram,
 }
 
 impl RackReport {
@@ -65,6 +72,8 @@ impl RackReport {
             op_latency: rack.op_latency(),
             switch_latency: rack.switch_service(),
             server_latency: rack.server_service(),
+            transport: rack.transport_stats(),
+            batch_occupancy: rack.batch_occupancy(),
         }
     }
 
@@ -128,7 +137,10 @@ impl RackReport {
              \"cache\":{{\"cached_keys\":{},\"control_updates\":{}}},\
              \"network\":{{\"dropped\":{},\"duplicated\":{},\"reordered\":{},\"delayed\":{},\
              \"client_retries\":{},\"stale_replies\":{},\"abandoned_requests\":{}}},\
-             \"latency\":{{\"op\":{},\"switch\":{},\"server\":{}}}}}",
+             \"latency\":{{\"op\":{},\"switch\":{},\"server\":{}}},\
+             \"transport\":{{\"recv_syscalls\":{},\"recv_packets\":{},\
+             \"send_syscalls\":{},\"send_packets\":{},\"syscalls_per_packet\":{},\
+             \"batch_occupancy\":{}}}}}",
             self.switch.packets,
             self.switch.netcache_packets,
             self.switch.cache_hits,
@@ -170,6 +182,12 @@ impl RackReport {
             self.op_latency.to_json(),
             self.switch_latency.to_json(),
             self.server_latency.to_json(),
+            self.transport.recv_syscalls,
+            self.transport.recv_packets,
+            self.transport.send_syscalls,
+            self.transport.send_packets,
+            fmt_f64(self.transport.syscalls_per_packet()),
+            self.batch_occupancy.to_json(),
         )
     }
 }
@@ -248,6 +266,18 @@ impl fmt::Display for RackReport {
             self.stale_replies,
             self.abandoned_requests,
         )?;
+        if self.transport.packets() > 0 {
+            writeln!(
+                f,
+                "  transport: {} syscalls / {} datagrams ({:.2} per datagram), \
+                 batch occupancy p50 {} / max {}",
+                self.transport.syscalls(),
+                self.transport.packets(),
+                self.transport.syscalls_per_packet(),
+                self.batch_occupancy.p50(),
+                self.batch_occupancy.max(),
+            )?;
+        }
         if !self.op_latency.is_empty() {
             writeln!(
                 f,

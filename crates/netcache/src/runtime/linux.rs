@@ -1,0 +1,725 @@
+//! The Linux batched backend: `ppoll` readiness waits, `recvmmsg` /
+//! `sendmmsg` batch syscalls, and `SO_REUSEPORT` socket groups.
+//!
+//! The workspace vendors no FFI crate, so the handful of syscalls and C
+//! structs this backend needs are declared locally. Layouts match the
+//! x86_64/aarch64 Linux ABI: `#[repr(C)]` reproduces the kernel's field
+//! padding from the same field order and widths glibc uses.
+
+use std::io;
+use std::mem;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
+use std::time::Duration;
+
+use super::{IoOutcome, RecvRing, SendRing, SocketDriver};
+
+const AF_INET: i32 = 2;
+const SOCK_DGRAM: i32 = 2;
+const SOL_SOCKET: i32 = 1;
+const SO_REUSEPORT: i32 = 15;
+const SOL_UDP: i32 = 17;
+const UDP_SEGMENT: i32 = 103;
+const UDP_GRO: i32 = 104;
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const MSG_DONTWAIT: i32 = 0x40;
+const EINTR: i32 = 4;
+const EAGAIN: i32 = 11;
+const EINVAL: i32 = 22;
+
+/// Kernel limit on segments per GSO super-datagram (`UDP_MAX_SEGMENTS`).
+const MAX_GSO_SEGMENTS: usize = 64;
+/// Stay safely under the 65507-byte UDP payload ceiling.
+const MAX_GSO_BYTES: usize = 60_000;
+/// Staging size for one GRO super-datagram (the 16-bit UDP ceiling).
+const GRO_BUF: usize = 1 << 16;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct SockaddrIn {
+    sin_family: u16,
+    /// Network byte order.
+    sin_port: u16,
+    /// Network byte order.
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+impl SockaddrIn {
+    fn zeroed() -> SockaddrIn {
+        SockaddrIn {
+            sin_family: 0,
+            sin_port: 0,
+            sin_addr: 0,
+            sin_zero: [0; 8],
+        }
+    }
+
+    fn from_addr(addr: &SocketAddrV4) -> SockaddrIn {
+        SockaddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: addr.port().to_be(),
+            sin_addr: u32::from(*addr.ip()).to_be(),
+            sin_zero: [0; 8],
+        }
+    }
+
+    fn to_addr(self) -> SocketAddr {
+        SocketAddr::V4(SocketAddrV4::new(
+            Ipv4Addr::from(u32::from_be(self.sin_addr)),
+            u16::from_be(self.sin_port),
+        ))
+    }
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct IoVec {
+    base: *mut u8,
+    len: usize,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct MsgHdr {
+    name: *mut SockaddrIn,
+    namelen: u32,
+    iov: *mut IoVec,
+    iovlen: usize,
+    control: *mut u8,
+    controllen: usize,
+    flags: i32,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct MMsgHdr {
+    hdr: MsgHdr,
+    /// Bytes transferred for this message, filled by the kernel.
+    len: u32,
+}
+
+impl MMsgHdr {
+    fn zeroed() -> MMsgHdr {
+        MMsgHdr {
+            hdr: MsgHdr {
+                name: std::ptr::null_mut(),
+                namelen: 0,
+                iov: std::ptr::null_mut(),
+                iovlen: 0,
+                control: std::ptr::null_mut(),
+                controllen: 0,
+                flags: 0,
+            },
+            len: 0,
+        }
+    }
+}
+
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+impl Timespec {
+    fn from_duration(d: Duration) -> Timespec {
+        Timespec {
+            tv_sec: d.as_secs() as i64,
+            tv_nsec: d.subsec_nanos() as i64,
+        }
+    }
+}
+
+/// `struct cmsghdr` followed by its aligned payload — sized exactly
+/// `CMSG_SPACE(sizeof(u16))` for the one control message we ever send:
+/// `UDP_SEGMENT`, the GSO segment size.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct GsoCmsg {
+    /// `cmsg_len`: header plus payload, unpadded (`CMSG_LEN(2)`).
+    len: usize,
+    level: i32,
+    ty: i32,
+    gso_size: u16,
+    _pad: [u8; 6],
+}
+
+impl GsoCmsg {
+    fn new(gso_size: u16) -> GsoCmsg {
+        GsoCmsg {
+            len: mem::size_of::<usize>() + 2 * mem::size_of::<i32>() + mem::size_of::<u16>(),
+            level: SOL_UDP,
+            ty: UDP_SEGMENT,
+            gso_size,
+            _pad: [0; 6],
+        }
+    }
+}
+
+#[repr(C)]
+struct SchedParam {
+    priority: i32,
+}
+
+const SCHED_OTHER: i32 = 0;
+const SCHED_BATCH: i32 = 3;
+
+extern "C" {
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn bind(fd: i32, addr: *const SockaddrIn, addrlen: u32) -> i32;
+    fn getsockname(fd: i32, addr: *mut SockaddrIn, addrlen: *mut u32) -> i32;
+    fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+    fn ppoll(fds: *mut PollFd, nfds: u64, timeout: *const Timespec, sigmask: *const u8) -> i32;
+    fn recvmmsg(
+        fd: i32,
+        msgvec: *mut MMsgHdr,
+        vlen: u32,
+        flags: i32,
+        timeout: *mut Timespec,
+    ) -> i32;
+    fn sendmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
+    fn sched_getscheduler(pid: i32) -> i32;
+    fn sched_setscheduler(pid: i32, policy: i32, param: *const SchedParam) -> i32;
+}
+
+/// Moves the calling thread to `SCHED_BATCH`, disabling wakeup
+/// preemption: a thread woken by an incoming batch no longer preempts
+/// the sender mid-`sendmmsg`, so bursts stay intact instead of
+/// degenerating into one-datagram ping-pong when cores are scarce.
+/// Returns the previous policy for [`restore_scheduling`], or `None` if
+/// the kernel refused (nothing changed).
+pub(crate) fn enter_batch_scheduling() -> Option<i32> {
+    let prev = unsafe { sched_getscheduler(0) };
+    if prev < 0 || prev == SCHED_BATCH {
+        return None;
+    }
+    let param = SchedParam { priority: 0 };
+    let rc = unsafe { sched_setscheduler(0, SCHED_BATCH, &param) };
+    (rc == 0).then_some(prev)
+}
+
+/// Restores the scheduling policy saved by [`enter_batch_scheduling`].
+pub(crate) fn restore_scheduling(policy: i32) {
+    let param = SchedParam { priority: 0 };
+    let policy = if policy == SCHED_BATCH {
+        SCHED_OTHER
+    } else {
+        policy
+    };
+    unsafe { sched_setscheduler(0, policy, &param) };
+}
+
+fn last_errno() -> i32 {
+    io::Error::last_os_error().raw_os_error().unwrap_or(0)
+}
+
+/// Waits for readability on any of `fds`, appending the indices of ready
+/// descriptors to `ready`. One `ppoll` regardless of the set size;
+/// `EINTR` counts as "none ready".
+pub(crate) fn wait_ready_many(
+    fds: &[RawFd],
+    timeout: Duration,
+    ready: &mut Vec<usize>,
+) -> io::Result<()> {
+    let mut pfds: Vec<PollFd> = fds
+        .iter()
+        .map(|&fd| PollFd {
+            fd,
+            events: POLLIN,
+            revents: 0,
+        })
+        .collect();
+    let ts = Timespec::from_duration(timeout);
+    let rc = unsafe { ppoll(pfds.as_mut_ptr(), pfds.len() as u64, &ts, std::ptr::null()) };
+    if rc < 0 {
+        let errno = last_errno();
+        if errno == EINTR {
+            return Ok(());
+        }
+        return Err(io::Error::last_os_error());
+    }
+    for (i, pfd) in pfds.iter().enumerate() {
+        if pfd.revents & POLLIN != 0 {
+            ready.push(i);
+        }
+    }
+    Ok(())
+}
+
+/// Waits for `events` on `fd` with nanosecond precision. Returns whether
+/// the fd is ready; `EINTR` counts as "not ready" (the caller's loop
+/// re-enters). Exactly one syscall.
+fn wait_ready(fd: RawFd, events: i16, timeout: Duration) -> io::Result<bool> {
+    let mut pfd = PollFd {
+        fd,
+        events,
+        revents: 0,
+    };
+    let ts = Timespec::from_duration(timeout);
+    let rc = unsafe { ppoll(&mut pfd, 1, &ts, std::ptr::null()) };
+    if rc < 0 {
+        let errno = last_errno();
+        if errno == EINTR {
+            return Ok(false);
+        }
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc > 0)
+}
+
+/// The `ppoll` + `recvmmsg`/`sendmmsg` driver. Holds the scatter-gather
+/// scratch arrays (message headers, iovecs, address slots) so no call
+/// allocates once the arrays reach the ring size.
+pub(crate) struct BatchedDriver {
+    addrs: Vec<SockaddrIn>,
+    iovecs: Vec<IoVec>,
+    msgs: Vec<MMsgHdr>,
+    /// Whether sends may coalesce same-destination equal-size runs into
+    /// GSO super-datagrams (`UDP_SEGMENT`). Probed once per process;
+    /// cleared if the kernel ever rejects a GSO send.
+    gso: bool,
+    /// Send-plan scratch: ring indices in (destination, length) order.
+    order: Vec<usize>,
+    /// Send-plan scratch: datagrams carried by each planned message.
+    segs: Vec<u32>,
+    /// Concatenated payloads of GSO messages (reused across flushes).
+    staging: Vec<Vec<u8>>,
+    /// One `UDP_SEGMENT` control message per GSO message; doubles as the
+    /// `UDP_GRO` control space on receive (same wire layout).
+    controls: Vec<GsoCmsg>,
+    /// Whether this driver's socket has `UDP_GRO` coalescing enabled —
+    /// `None` until the first receive probes the kernel.
+    gro: Option<bool>,
+    /// GRO staging: one [`GRO_BUF`] buffer per message, split into ring
+    /// frames after the syscall.
+    gro_bufs: Vec<Vec<u8>>,
+    /// Segments that arrived in a GRO super-datagram but did not fit the
+    /// ring; served (oldest first, zero syscalls) by the next call.
+    spill: std::collections::VecDeque<(Vec<u8>, SocketAddr)>,
+    /// Retired spill buffers, reused so steady-state spilling is
+    /// allocation-free.
+    spill_pool: Vec<Vec<u8>>,
+}
+
+/// Whether this kernel supports `UDP_SEGMENT` (one probe per process).
+fn gso_supported() -> bool {
+    static SUPPORTED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SUPPORTED.get_or_init(|| {
+        let Ok(sock) = UdpSocket::bind("127.0.0.1:0") else {
+            return false;
+        };
+        let zero: i32 = 0;
+        unsafe { setsockopt(sock.as_raw_fd(), SOL_UDP, UDP_SEGMENT, &zero, 4) == 0 }
+    })
+}
+
+// The raw pointers inside `msgs` are scratch: they are (re)pointed at the
+// driver's own `addrs`/`iovecs` and the caller's ring buffers at the top of
+// every `recv_batch`/`send_batch` call and never escape it, so moving the
+// driver between threads cannot leave a pointer dangling across uses.
+unsafe impl Send for BatchedDriver {}
+
+impl BatchedDriver {
+    pub(crate) fn new() -> BatchedDriver {
+        BatchedDriver {
+            addrs: Vec::new(),
+            iovecs: Vec::new(),
+            msgs: Vec::new(),
+            gso: gso_supported(),
+            order: Vec::new(),
+            segs: Vec::new(),
+            staging: Vec::new(),
+            controls: Vec::new(),
+            gro: None,
+            gro_bufs: Vec::new(),
+            spill: std::collections::VecDeque::new(),
+            spill_pool: Vec::new(),
+        }
+    }
+
+    /// Grows the scratch arrays to hold `n` messages. Everything is sized
+    /// up-front so the planning pass in `send_batch` never reallocates a
+    /// vector that raw message pointers already point into.
+    fn reserve(&mut self, n: usize) {
+        if self.addrs.len() < n {
+            self.addrs.resize(n, SockaddrIn::zeroed());
+            self.iovecs.resize(
+                n,
+                IoVec {
+                    base: std::ptr::null_mut(),
+                    len: 0,
+                },
+            );
+            self.msgs.resize(n, MMsgHdr::zeroed());
+            self.staging.resize_with(n, Vec::new);
+            self.controls.resize(n, GsoCmsg::new(0));
+        }
+    }
+}
+
+impl SocketDriver for BatchedDriver {
+    fn backend(&self) -> &'static str {
+        "batched"
+    }
+
+    fn recv_batch(
+        &mut self,
+        sock: &UdpSocket,
+        ring: &mut RecvRing,
+        timeout: Duration,
+    ) -> io::Result<IoOutcome> {
+        ring.set_len(0);
+        // Serve segments spilled by an earlier GRO split before touching
+        // the socket again: they are already in user space.
+        if !self.spill.is_empty() {
+            let mut got = 0usize;
+            while got < ring.capacity() {
+                let Some((buf, src)) = self.spill.pop_front() else {
+                    break;
+                };
+                let len = buf.len().min(ring.slot_mut(got).len());
+                ring.slot_mut(got)[..len].copy_from_slice(&buf[..len]);
+                ring.commit(got, len, src);
+                got += 1;
+                self.spill_pool.push(buf);
+            }
+            ring.set_len(got);
+            return Ok(IoOutcome {
+                packets: got,
+                syscalls: 0,
+            });
+        }
+        let fd = sock.as_raw_fd();
+        if self.gro.is_none() {
+            // First receive on this socket: ask the kernel to hand GSO
+            // super-datagrams up intact (one skb and one `UDP_GRO` cmsg
+            // for a whole same-flow burst) instead of re-segmenting them.
+            let one: i32 = 1;
+            let rc = unsafe { setsockopt(fd, SOL_UDP, UDP_GRO, &one, 4) };
+            self.gro = Some(rc == 0);
+        }
+        if !wait_ready(fd, POLLIN, timeout)? {
+            return Ok(IoOutcome {
+                packets: 0,
+                syscalls: 1,
+            });
+        }
+        let n = ring.capacity();
+        self.reserve(n);
+        let gro = self.gro == Some(true);
+        if gro && self.gro_bufs.len() < n {
+            self.gro_bufs.resize_with(n, || vec![0u8; GRO_BUF]);
+        }
+        for i in 0..n {
+            let (base, len, control, controllen) = if gro {
+                self.controls[i] = GsoCmsg::new(0);
+                (
+                    self.gro_bufs[i].as_mut_ptr(),
+                    GRO_BUF,
+                    (&mut self.controls[i]) as *mut GsoCmsg as *mut u8,
+                    mem::size_of::<GsoCmsg>(),
+                )
+            } else {
+                let buf = ring.slot_mut(i);
+                (buf.as_mut_ptr(), buf.len(), std::ptr::null_mut(), 0)
+            };
+            self.iovecs[i] = IoVec { base, len };
+            self.addrs[i] = SockaddrIn::zeroed();
+            self.msgs[i] = MMsgHdr {
+                hdr: MsgHdr {
+                    name: &mut self.addrs[i],
+                    namelen: mem::size_of::<SockaddrIn>() as u32,
+                    iov: &mut self.iovecs[i],
+                    iovlen: 1,
+                    control,
+                    controllen,
+                    flags: 0,
+                },
+                len: 0,
+            };
+        }
+        let rc = unsafe {
+            recvmmsg(
+                fd,
+                self.msgs.as_mut_ptr(),
+                n as u32,
+                MSG_DONTWAIT,
+                std::ptr::null_mut(),
+            )
+        };
+        if rc < 0 {
+            let errno = last_errno();
+            if errno == EAGAIN || errno == EINTR {
+                // Raced another shard to the queue: readable when polled,
+                // empty by the time we drained.
+                return Ok(IoOutcome {
+                    packets: 0,
+                    syscalls: 2,
+                });
+            }
+            return Err(io::Error::last_os_error());
+        }
+        let got = rc as usize;
+        if !gro {
+            for i in 0..got {
+                ring.commit(i, self.msgs[i].len as usize, self.addrs[i].to_addr());
+            }
+            ring.set_len(got);
+            return Ok(IoOutcome {
+                packets: got,
+                syscalls: 2,
+            });
+        }
+        // GRO split: each message may carry a whole burst; the `UDP_GRO`
+        // cmsg gives the segment size to cut it back into datagrams.
+        let mut out = 0usize;
+        for i in 0..got {
+            let len = self.msgs[i].len as usize;
+            let src = self.addrs[i].to_addr();
+            let c = &self.controls[i];
+            let seg = if self.msgs[i].hdr.controllen >= GsoCmsg::new(0).len
+                && c.level == SOL_UDP
+                && c.ty == UDP_GRO
+                && c.gso_size > 0
+            {
+                c.gso_size as usize
+            } else {
+                len.max(1)
+            };
+            let mut off = 0usize;
+            while off < len {
+                let end = (off + seg).min(len);
+                if out < ring.capacity() {
+                    let slot = ring.slot_mut(out);
+                    let take = (end - off).min(slot.len());
+                    slot[..take].copy_from_slice(&self.gro_bufs[i][off..off + take]);
+                    ring.commit(out, take, src);
+                    out += 1;
+                } else {
+                    let mut buf = self.spill_pool.pop().unwrap_or_default();
+                    buf.clear();
+                    buf.extend_from_slice(&self.gro_bufs[i][off..end]);
+                    self.spill.push_back((buf, src));
+                }
+                off = end;
+            }
+        }
+        ring.set_len(out);
+        Ok(IoOutcome {
+            packets: out,
+            syscalls: 2,
+        })
+    }
+
+    fn send_batch(&mut self, sock: &UdpSocket, ring: &mut SendRing) -> io::Result<IoOutcome> {
+        let count = ring.len();
+        if count == 0 {
+            return Ok(IoOutcome::default());
+        }
+        let fd = sock.as_raw_fd();
+        self.reserve(count);
+
+        // Plan the flush: visit frames in (destination, length) order so
+        // equal-size same-destination runs coalesce into one GSO
+        // super-datagram — one kernel traversal for the whole run
+        // instead of one per datagram. Reordering across destinations
+        // (and across sizes within one) is plain UDP behavior the
+        // sequence-matching machinery above already absorbs; per-run
+        // order is preserved.
+        self.order.clear();
+        self.order.extend(0..count);
+        if self.gso {
+            self.order.sort_by(|&a, &b| {
+                let (fa, da) = ring.frame(a);
+                let (fb, db) = ring.frame(b);
+                (da, fa.len()).cmp(&(db, fb.len())).then(a.cmp(&b))
+            });
+        }
+        self.segs.clear();
+        let mut staged = 0usize;
+        let mut messages = 0usize;
+        let mut i = 0usize;
+        while i < count {
+            let (first, dst) = ring.frame(self.order[i]);
+            let flen = first.len();
+            let mut j = i + 1;
+            if self.gso && flen > 0 {
+                while j < count && j - i < MAX_GSO_SEGMENTS && (j - i + 1) * flen <= MAX_GSO_BYTES {
+                    let (f, d) = ring.frame(self.order[j]);
+                    if d != dst || f.len() != flen {
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            let SocketAddr::V4(dst) = dst else {
+                unreachable!("rack transports are IPv4-loopback only");
+            };
+            self.addrs[messages] = SockaddrIn::from_addr(&dst);
+            let (control, controllen): (*mut u8, usize) = if j - i == 1 {
+                // Lone frame: gather straight from the ring, no GSO.
+                self.iovecs[messages] = IoVec {
+                    base: first.as_ptr() as *mut u8,
+                    len: flen,
+                };
+                (std::ptr::null_mut(), 0)
+            } else {
+                // A run: concatenate into a reused staging buffer and
+                // let the kernel segment it back at `flen` boundaries.
+                self.staging[staged].clear();
+                for &k in &self.order[i..j] {
+                    let (f, _) = ring.frame(k);
+                    self.staging[staged].extend_from_slice(f);
+                }
+                self.controls[staged] = GsoCmsg::new(flen as u16);
+                self.iovecs[messages] = IoVec {
+                    base: self.staging[staged].as_ptr() as *mut u8,
+                    len: self.staging[staged].len(),
+                };
+                let control = (&mut self.controls[staged]) as *mut GsoCmsg as *mut u8;
+                staged += 1;
+                (control, mem::size_of::<GsoCmsg>())
+            };
+            self.segs.push((j - i) as u32);
+            self.msgs[messages] = MMsgHdr {
+                hdr: MsgHdr {
+                    name: &mut self.addrs[messages],
+                    namelen: mem::size_of::<SockaddrIn>() as u32,
+                    iov: &mut self.iovecs[messages],
+                    iovlen: 1,
+                    control,
+                    controllen,
+                    flags: 0,
+                },
+                len: 0,
+            };
+            messages += 1;
+            i = j;
+        }
+
+        let mut sent = 0usize;
+        let mut syscalls = 0u64;
+        let mut stalls = 0u32;
+        while sent < messages {
+            let rc = unsafe {
+                sendmmsg(
+                    fd,
+                    self.msgs.as_mut_ptr().wrapping_add(sent),
+                    (messages - sent) as u32,
+                    MSG_DONTWAIT,
+                )
+            };
+            syscalls += 1;
+            if rc > 0 {
+                sent += rc as usize;
+                continue;
+            }
+            let errno = last_errno();
+            if errno == EINTR {
+                continue;
+            }
+            if errno == EAGAIN && stalls < 3 {
+                // Socket buffer full: wait briefly for drain, then retry.
+                stalls += 1;
+                syscalls += 1;
+                let _ = wait_ready(fd, POLLOUT, Duration::from_millis(1))?;
+                continue;
+            }
+            if self.gso && staged > 0 && errno == EINVAL {
+                // An exotic kernel took the probe but rejects real GSO
+                // sends: never coalesce again. The rest of this batch is
+                // dropped (UDP semantics; retransmission recovers).
+                self.gso = false;
+            }
+            // Persistent backpressure or a real error: drop the rest of
+            // the batch (UDP semantics; retransmission recovers).
+            break;
+        }
+        ring.clear();
+        let packets = self.segs[..sent].iter().map(|&s| s as usize).sum();
+        Ok(IoOutcome { packets, syscalls })
+    }
+}
+
+/// Binds `shards` UDP sockets to one loopback address via an
+/// `SO_REUSEPORT` group: the kernel hashes each flow to one member, so
+/// every worker drains a private queue with no cross-worker wakeups.
+pub(crate) fn bind_reuseport_group(shards: usize) -> io::Result<(SocketAddr, Vec<UdpSocket>)> {
+    let mut sockets: Vec<UdpSocket> = Vec::with_capacity(shards);
+    let mut port: u16 = 0;
+    for _ in 0..shards.max(1) {
+        let fd = unsafe { socket(AF_INET, SOCK_DGRAM, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // From here the fd is owned by a UdpSocket, so error paths close it.
+        let sock = unsafe { UdpSocket::from_raw_fd(fd) };
+        let one: i32 = 1;
+        if unsafe { setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, 4) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let want = SockaddrIn::from_addr(&SocketAddrV4::new(Ipv4Addr::LOCALHOST, port));
+        if unsafe { bind(fd, &want, mem::size_of::<SockaddrIn>() as u32) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if port == 0 {
+            let mut bound = SockaddrIn::zeroed();
+            let mut len = mem::size_of::<SockaddrIn>() as u32;
+            if unsafe { getsockname(fd, &mut bound, &mut len) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let SocketAddr::V4(v4) = bound.to_addr() else {
+                unreachable!("bound AF_INET");
+            };
+            port = v4.port();
+        }
+        sockets.push(sock);
+    }
+    Ok((
+        SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port)),
+        sockets,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_layouts_match_the_kernel() {
+        // x86_64/aarch64 Linux: msghdr 56 bytes, mmsghdr padded to 64,
+        // sockaddr_in 16, iovec 16, pollfd 8, timespec 16. A drift here
+        // means the FFI structs no longer match what the kernel reads.
+        assert_eq!(mem::size_of::<MsgHdr>(), 56);
+        assert_eq!(mem::size_of::<MMsgHdr>(), 64);
+        assert_eq!(mem::size_of::<SockaddrIn>(), 16);
+        assert_eq!(mem::size_of::<IoVec>(), 16);
+        assert_eq!(mem::size_of::<PollFd>(), 8);
+        assert_eq!(mem::size_of::<Timespec>(), 16);
+    }
+
+    #[test]
+    fn sockaddr_round_trips() {
+        let addr = SocketAddrV4::new(Ipv4Addr::new(127, 0, 0, 1), 0xbeef);
+        let raw = SockaddrIn::from_addr(&addr);
+        assert_eq!(raw.to_addr(), SocketAddr::V4(addr));
+    }
+
+    #[test]
+    fn reuseport_group_members_share_a_port() {
+        let (addr, sockets) = bind_reuseport_group(4).expect("SO_REUSEPORT group");
+        assert_eq!(sockets.len(), 4);
+        for s in &sockets {
+            assert_eq!(s.local_addr().unwrap(), addr);
+        }
+    }
+}

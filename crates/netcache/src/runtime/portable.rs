@@ -1,0 +1,123 @@
+//! The portable fallback backend: plain `recv_from`/`send_to`, one
+//! datagram per call, with a cached read timeout.
+//!
+//! This is the pre-runtime I/O model behind the runtime trait, kept for
+//! non-Linux builds and as a control in the fabric differential suite
+//! (batched and portable runtimes must produce the same logical rack
+//! outcomes). Two refinements over the old loop: the read timeout is
+//! only re-set when the requested wait actually changes, and after the
+//! first (blocking) datagram the rest of the ring is filled from the
+//! socket without blocking — the run-to-completion rack host visits
+//! each socket once per sweep, so a one-datagram-per-visit backend
+//! would starve it under a pipelined client.
+
+use std::io;
+use std::net::UdpSocket;
+use std::time::Duration;
+
+use super::{IoOutcome, RecvRing, SendRing, SocketDriver};
+
+pub(crate) struct PortableDriver {
+    /// Last timeout applied to the socket; `set_read_timeout` is skipped
+    /// while the requested wait stays the same.
+    last_timeout: Option<Duration>,
+}
+
+impl PortableDriver {
+    pub(crate) fn new() -> PortableDriver {
+        PortableDriver { last_timeout: None }
+    }
+}
+
+impl SocketDriver for PortableDriver {
+    fn backend(&self) -> &'static str {
+        "portable"
+    }
+
+    fn recv_batch(
+        &mut self,
+        sock: &UdpSocket,
+        ring: &mut RecvRing,
+        timeout: Duration,
+    ) -> io::Result<IoOutcome> {
+        ring.set_len(0);
+        // Zero disables the timeout entirely in std; clamp away from it.
+        let timeout = timeout.max(Duration::from_micros(1));
+        let mut syscalls = 0u64;
+        if self.last_timeout != Some(timeout) {
+            sock.set_read_timeout(Some(timeout))?;
+            self.last_timeout = Some(timeout);
+            syscalls += 1;
+        }
+        syscalls += 1;
+        match sock.recv_from(ring.slot_mut(0)) {
+            Ok((len, src)) => {
+                ring.commit(0, len, src);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                return Ok(IoOutcome {
+                    packets: 0,
+                    syscalls,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+        // Drain whatever else is already queued without blocking again.
+        let mut count = 1usize;
+        if count < ring.capacity() {
+            sock.set_nonblocking(true)?;
+            syscalls += 1;
+            while count < ring.capacity() {
+                syscalls += 1;
+                match sock.recv_from(ring.slot_mut(count)) {
+                    Ok((len, src)) => {
+                        ring.commit(count, len, src);
+                        count += 1;
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) || e.kind() == io::ErrorKind::Interrupted =>
+                    {
+                        break;
+                    }
+                    Err(e) => {
+                        let _ = sock.set_nonblocking(false);
+                        return Err(e);
+                    }
+                }
+            }
+            sock.set_nonblocking(false)?;
+            syscalls += 1;
+        }
+        ring.set_len(count);
+        Ok(IoOutcome {
+            packets: count,
+            syscalls,
+        })
+    }
+
+    fn send_batch(&mut self, sock: &UdpSocket, ring: &mut SendRing) -> io::Result<IoOutcome> {
+        let count = ring.len();
+        let mut sent = 0usize;
+        for i in 0..count {
+            let (frame, dst) = ring.frame(i);
+            // Per-datagram delivery failures are UDP business as usual;
+            // the retransmission machinery above owns recovery.
+            if sock.send_to(frame, dst).is_ok() {
+                sent += 1;
+            }
+        }
+        ring.clear();
+        Ok(IoOutcome {
+            packets: sent,
+            syscalls: count as u64,
+        })
+    }
+}

@@ -12,22 +12,37 @@
 //! socket topology, the node threads, and a [`Link`] implementation so
 //! [`UdpClient`] runs the same request engine as the in-process rack.
 //!
-//! Topology: each switch port maps to one socket address. The switch runs
-//! a worker pool with one thread per pipe: each worker receives frames
-//! from the shared switch socket, identifies the ingress port by the
-//! sender's address, runs the data-plane program under a shared read lock
-//! (per-pipe serialization happens inside
-//! [`netcache_dataplane::NetCacheSwitch`]; see
-//! DESIGN.md §10), and forwards the outputs to the sockets of the chosen
-//! egress ports. Workers reuse a scratch buffer for deparsing, so the
-//! fault-free hot path performs no per-frame heap allocation.
+//! All packet I/O goes through the [`crate::runtime`] event-loop layer:
+//! a [`SocketDriver`] moves whole batches of datagrams per syscall
+//! (`recvmmsg`/`sendmmsg` on Linux, plain `recv_from`/`send_to` on the
+//! portable fallback) between reusable [`RecvRing`]/[`SendRing`] buffer
+//! rings, so the steady-state hot path performs no per-frame heap
+//! allocation and spends ~2 syscalls per *batch* instead of ~2 per
+//! packet. [`UdpRack::start`] picks the backend via
+//! [`RuntimeKind::detect`]; [`UdpRack::start_with_runtime`] pins one.
+//!
+//! Topology: each switch port maps to one socket address. The switch
+//! binds a [`bind_sharded`] socket group — on Linux an `SO_REUSEPORT`
+//! group sharing one address, so the kernel shards flows across per-pipe
+//! queues — and the servers bind one socket each. All of those sockets
+//! are served by a *single* run-to-completion host thread: one `ppoll`
+//! ([`wait_any`]) covers the whole set, and each wakeup sweeps every
+//! ready socket — switch shards run the data-plane program under a
+//! shared read lock (per-pipe serialization happens inside
+//! [`netcache_dataplane::NetCacheSwitch`]; see DESIGN.md §10), server
+//! indices run their [`ServerAgent`] — then re-polls at zero timeout
+//! until the rack is quiet. Loopback delivers inline, so a whole
+//! request chain (client → switch → server → switch → client) completes
+//! within one scheduling visit instead of one thread-rotation per hop;
+//! on a single core that is what closes most of the gap to the
+//! in-process rack (see DESIGN.md §12).
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use netcache_client::{NetCacheClient, Response};
 use netcache_dataplane::PortId;
@@ -39,15 +54,22 @@ use crate::fabric::{
     AgentTiming, ClientResponse, FabricCore, Link, RackError, RackHandle, RequestEngine,
     RetryOutcome, RetryPolicy, WallClock,
 };
+use crate::runtime::{
+    bind_sharded, enter_io_scheduling, make_driver, wait_any, RecvRing, RuntimeKind, SendRing,
+    SocketDriver, DEFAULT_BATCH,
+};
 
+/// Upper bound on an idle wait: long enough to sleep cheaply, short
+/// enough that shutdown and retransmission timers stay responsive.
 const RECV_TIMEOUT: Duration = Duration::from_millis(20);
-const MAX_FRAME: usize = 2048;
-
-fn bound_socket() -> std::io::Result<UdpSocket> {
-    let sock = UdpSocket::bind("127.0.0.1:0")?;
-    sock.set_read_timeout(Some(RECV_TIMEOUT))?;
-    Ok(sock)
-}
+/// Lower bound on a wait (don't busy-spin on an imminent deadline).
+const MIN_WAIT: Duration = Duration::from_micros(50);
+/// How often the rack host sweeps agent retransmission timers.
+const TICK_EVERY_NS: u64 = 5_000_000;
+/// Upper bound on back-to-back run-to-completion sweeps before the rack
+/// host re-enters its blocking wait (keeps a saturating sender from
+/// pinning the host on a starved scheduler).
+const MAX_HOST_PASSES: usize = 8;
 
 fn spawn_thread(
     name: String,
@@ -59,9 +81,23 @@ fn spawn_thread(
         .map_err(RackError::Spawn)
 }
 
+/// Flushes `tx` through `driver`, rolling the outcome into the rack's
+/// transport counters.
+fn flush(core: &FabricCore, driver: &mut dyn SocketDriver, sock: &UdpSocket, tx: &mut SendRing) {
+    if tx.is_empty() {
+        return;
+    }
+    if let Ok(out) = driver.send_batch(sock, tx) {
+        core.transport().note_send(out);
+    } else {
+        tx.clear();
+    }
+}
+
 /// A NetCache rack running over real UDP sockets on loopback.
 pub struct UdpRack {
     core: Arc<FabricCore>,
+    runtime: RuntimeKind,
     switch_addr: SocketAddr,
     client_sockets: Vec<Arc<UdpSocket>>,
     shutdown: Arc<AtomicBool>,
@@ -69,22 +105,34 @@ pub struct UdpRack {
 }
 
 impl UdpRack {
-    /// Starts the rack: binds all sockets, spawns the switch and server
-    /// threads, and loads nothing (use `load_dataset`).
+    /// Starts the rack on the auto-detected runtime backend
+    /// ([`RuntimeKind::detect`]): binds all sockets, spawns the switch
+    /// and server threads, and loads nothing (use `load_dataset`).
     pub fn start(config: RackConfig) -> Result<UdpRack, RackError> {
+        UdpRack::start_with_runtime(config, RuntimeKind::detect())
+    }
+
+    /// Starts the rack on a specific runtime backend. The fabric
+    /// differential suite uses this to pin the batched and portable
+    /// event loops to identical rack outcomes.
+    pub fn start_with_runtime(
+        config: RackConfig,
+        runtime: RuntimeKind,
+    ) -> Result<UdpRack, RackError> {
         let core = Arc::new(FabricCore::new(config, AgentTiming::loopback())?);
         let shutdown = Arc::new(AtomicBool::new(false));
 
-        // Sockets: one per server, one per client, one for the switch.
-        let switch_socket = bound_socket()?;
-        let switch_addr = switch_socket.local_addr()?;
+        // Sockets: one per server, one per client, and a sharded group
+        // (one socket per pipe worker) for the switch.
+        let workers = core.config().switch.pipes.max(1);
+        let (switch_addr, switch_shards) = bind_sharded(workers, runtime)?;
 
         let mut port_to_addr: HashMap<PortId, SocketAddr> = HashMap::new();
         let mut addr_to_port: HashMap<SocketAddr, PortId> = HashMap::new();
 
         let mut server_sockets = Vec::new();
         for i in 0..core.config().servers {
-            let sock = Arc::new(bound_socket()?);
+            let sock = Arc::new(UdpSocket::bind("127.0.0.1:0")?);
             let addr = sock.local_addr()?;
             let port = core.addressing().server_port(i);
             port_to_addr.insert(port, addr);
@@ -93,7 +141,7 @@ impl UdpRack {
         }
         let mut client_sockets = Vec::new();
         for j in 0..core.config().clients {
-            let sock = Arc::new(bound_socket()?);
+            let sock = Arc::new(UdpSocket::bind("127.0.0.1:0")?);
             let addr = sock.local_addr()?;
             let port = core.addressing().client_port(j);
             port_to_addr.insert(port, addr);
@@ -103,129 +151,215 @@ impl UdpRack {
 
         let mut threads = Vec::new();
 
-        // Switch forwarding workers, one per pipe. All workers block on
-        // clones of the same switch socket — the kernel hands each datagram
-        // to exactly one blocked receiver — and run the data plane under a
-        // shared read lock; packets steered to the same egress pipe
-        // serialize on that pipe's lock inside the switch, packets on
-        // different pipes run genuinely in parallel. Each worker owns a
-        // reusable deparse scratch buffer, so the fault-free path sends the
-        // switch output without any per-frame allocation.
+        // The rack host: one run-to-completion event-loop thread drives
+        // the switch shards and every storage agent. Each node keeps its
+        // own socket and address — every frame still crosses the
+        // loopback network — but readiness is polled across the whole
+        // set with one `wait_any`, and after a sweep the host re-polls
+        // without blocking: loopback delivers inline, so a request's
+        // chained switch→server→switch legs complete within one visit
+        // instead of threading through a scheduler hand-off per hop.
+        // (With one thread per node, a write's invalidate→store→update→
+        // ack chain crossed ~5 thread-visit cycles; on machines with few
+        // cores each cycle is a full rotation of every busy thread.)
+        //
+        // Per-socket work is unchanged from the per-thread layout: drain
+        // a receive batch, run the data plane / agent on each frame,
+        // serialize outputs in place (`deparse_into`) on the transmit
+        // ring, flush with one batched send. Ring buffers and drivers
+        // are reused for the life of the thread, so the fault-free hot
+        // path performs no per-frame heap allocation.
         //
         // The fault model is applied on switch egress: every forwarded
         // frame passes through `transmit`, which may drop, duplicate or
-        // delay it. Delayed copies sit in a per-worker stash drained on
-        // each loop iteration (the receive timeout bounds how long a
-        // matured delivery can wait). When the model is pass-through the
-        // parse→transmit→deparse round-trip is skipped entirely.
-        let workers = core.config().switch.pipes.max(1);
-        for w in 0..workers {
+        // delay it. Delayed copies sit in a stash drained each loop;
+        // the idle wait shrinks to the earliest pending delivery.
+        // Server retransmission timers tick on a fixed cadence so a
+        // busy host cannot starve them.
+        {
+            let agents: Vec<Arc<ServerAgent>> = (0..core.config().servers)
+                .map(|i| Arc::clone(core.server(i)))
+                .collect();
             let core = Arc::clone(&core);
             let shutdown = Arc::clone(&shutdown);
-            let switch_socket = switch_socket.try_clone()?;
-            let port_to_addr = port_to_addr.clone();
-            let addr_to_port = addr_to_port.clone();
-            threads.push(spawn_thread(format!("netcache-switch-{w}"), move || {
+            let shards = switch_shards;
+            let socks = server_sockets.clone();
+            threads.push(spawn_thread("netcache-rack".into(), move || {
+                let _sched = enter_io_scheduling(runtime);
                 let clock = WallClock::start();
-                let mut buf = [0u8; MAX_FRAME];
-                let mut scratch: Vec<u8> = Vec::with_capacity(MAX_FRAME);
-                let mut fault_buf: Vec<u8> = Vec::with_capacity(MAX_FRAME);
+                let n_shards = shards.len();
+                let refs: Vec<&UdpSocket> =
+                    shards.iter().chain(socks.iter().map(Arc::as_ref)).collect();
+                let mut drivers: Vec<_> = refs.iter().map(|_| make_driver(runtime)).collect();
+                let mut rx = RecvRing::new(DEFAULT_BATCH);
+                let mut tx = SendRing::new(DEFAULT_BATCH);
+                let mut scratch: Vec<u8> = Vec::with_capacity(crate::runtime::MAX_FRAME);
                 let mut delayed: Vec<(u64, SocketAddr, Vec<u8>)> = Vec::new();
                 let mut deliveries = Vec::new();
+                let mut ready: Vec<usize> = Vec::with_capacity(refs.len());
+                let mut last_tick = 0u64;
                 while !shutdown.load(Ordering::Relaxed) {
-                    let now = crate::fabric::Clock::now_ns(&clock);
+                    let mut now = crate::fabric::Clock::now_ns(&clock);
+                    // Mature fault-model deliveries (sent via shard 0:
+                    // the shard group shares one source address).
                     let mut i = 0;
                     while i < delayed.len() {
                         if delayed[i].0 <= now {
                             let (_, addr, frame) = delayed.swap_remove(i);
-                            let _ = switch_socket.send_to(&frame, addr);
+                            if tx.is_full() {
+                                flush(&core, drivers[0].as_mut(), refs[0], &mut tx);
+                            }
+                            tx.push_frame(addr, &frame);
                         } else {
                             i += 1;
                         }
                     }
-                    // Wake up for the earliest pending delivery
-                    // rather than sitting out the full timeout.
-                    // (Clones share the fd, so this also nudges the
-                    // other workers' timeouts — harmless, every
-                    // value is within the same bounded window.)
+                    flush(&core, drivers[0].as_mut(), refs[0], &mut tx);
+                    // Wake for the earliest pending delivery rather than
+                    // sitting out the full idle timeout.
                     let wait = delayed
                         .iter()
                         .map(|&(at, _, _)| Duration::from_nanos(at.saturating_sub(now)))
                         .min()
-                        .map_or(RECV_TIMEOUT, |d| {
-                            d.clamp(Duration::from_micros(50), RECV_TIMEOUT)
-                        });
-                    let _ = switch_socket.set_read_timeout(Some(wait));
-                    let (len, src) = match switch_socket.recv_from(&mut buf) {
-                        Ok(ok) => ok,
-                        Err(_) => continue, // timeout / interrupted
-                    };
-                    let Some(&in_port) = addr_to_port.get(&src) else {
-                        continue; // unknown sender
-                    };
-                    let t0 = std::time::Instant::now();
-                    core.switch.read().process_frame_with(
-                        &buf[..len],
-                        in_port,
-                        &mut scratch,
-                        |out_port, bytes| {
-                            let Some(&addr) = port_to_addr.get(&out_port) else {
-                                return;
-                            };
-                            if core.faults.is_passthrough() {
-                                let _ = switch_socket.send_to(bytes, addr);
-                                return;
+                        .map_or(RECV_TIMEOUT, |d| d.clamp(MIN_WAIT, RECV_TIMEOUT));
+                    if wait_any(&refs, wait, runtime, &mut ready).is_err() {
+                        continue;
+                    }
+                    // Run to completion: sweep every ready socket, then
+                    // re-poll without blocking until the rack is quiet
+                    // (bounded so a saturating client cannot pin us).
+                    let mut passes = 0;
+                    loop {
+                        now = crate::fabric::Clock::now_ns(&clock);
+                        let mut moved = 0usize;
+                        for &i in &ready {
+                            // The portable backend cannot poll a set, so
+                            // `wait_any` marked everything ready and the
+                            // sweep waits on the sockets instead: the
+                            // full wait lands on shard 0 and the rest get
+                            // a short probe. Portable shards are clones of
+                            // one socket (one shared queue, one shared
+                            // read timeout), so shard 0 sees all switch
+                            // traffic and the other clones are skipped —
+                            // probing them would also alias the cached
+                            // timeout across their drivers.
+                            let portable = runtime.effective() != RuntimeKind::Batched;
+                            if portable && i > 0 && i < n_shards {
+                                continue;
                             }
-                            let Ok(pkt) = Packet::parse(bytes) else {
-                                // Non-NetCache frames bypass the model.
-                                let _ = switch_socket.send_to(bytes, addr);
-                                return;
+                            let probe = if !portable {
+                                Duration::ZERO
+                            } else if passes == 0 && i == 0 {
+                                wait
+                            } else {
+                                MIN_WAIT
                             };
-                            deliveries.clear();
-                            core.faults.transmit(pkt, now, &mut deliveries);
-                            for d in deliveries.drain(..) {
-                                if d.deliver_at_ns <= now {
-                                    d.pkt.deparse_into(&mut fault_buf);
-                                    let _ = switch_socket.send_to(&fault_buf, addr);
-                                } else {
-                                    delayed.push((d.deliver_at_ns, addr, d.pkt.deparse()));
+                            let Ok(got) = drivers[i].recv_batch(refs[i], &mut rx, probe) else {
+                                continue;
+                            };
+                            core.transport().note_recv(got);
+                            moved += got.packets;
+                            if i < n_shards {
+                                // Switch data plane, under the shared
+                                // read lock (per-pipe serialization
+                                // happens inside the switch program).
+                                for f in 0..rx.len() {
+                                    let (frame, src) = rx.frame(f);
+                                    let Some(&in_port) = addr_to_port.get(&src) else {
+                                        continue; // unknown sender
+                                    };
+                                    let t0 = Instant::now();
+                                    core.switch.read().process_frame_with(
+                                        frame,
+                                        in_port,
+                                        &mut scratch,
+                                        |out_port, bytes| {
+                                            let Some(&addr) = port_to_addr.get(&out_port) else {
+                                                return;
+                                            };
+                                            if tx.is_full() {
+                                                flush(&core, drivers[i].as_mut(), refs[i], &mut tx);
+                                            }
+                                            if core.faults.is_passthrough() {
+                                                tx.push_frame(addr, bytes);
+                                                return;
+                                            }
+                                            let Ok(pkt) = Packet::parse(bytes) else {
+                                                // Non-NetCache frames
+                                                // bypass the model.
+                                                tx.push_frame(addr, bytes);
+                                                return;
+                                            };
+                                            deliveries.clear();
+                                            core.faults.transmit(pkt, now, &mut deliveries);
+                                            for d in deliveries.drain(..) {
+                                                if d.deliver_at_ns <= now {
+                                                    if tx.is_full() {
+                                                        flush(
+                                                            &core,
+                                                            drivers[i].as_mut(),
+                                                            refs[i],
+                                                            &mut tx,
+                                                        );
+                                                    }
+                                                    tx.push_with(addr, |buf| {
+                                                        d.pkt.deparse_into(buf)
+                                                    });
+                                                } else {
+                                                    delayed.push((
+                                                        d.deliver_at_ns,
+                                                        addr,
+                                                        d.pkt.deparse(),
+                                                    ));
+                                                }
+                                            }
+                                        },
+                                    );
+                                    core.switch_latency.record(t0.elapsed().as_nanos() as u64);
+                                }
+                            } else {
+                                // Storage agent for this server socket.
+                                let agent = &agents[i - n_shards];
+                                for f in 0..rx.len() {
+                                    let (frame, src) = rx.frame(f);
+                                    let Ok(pkt) = Packet::parse(frame) else {
+                                        continue;
+                                    };
+                                    let t0 = Instant::now();
+                                    let outs = agent.handle_packet(pkt, now);
+                                    core.server_latency.record(t0.elapsed().as_nanos() as u64);
+                                    for out in outs {
+                                        if tx.is_full() {
+                                            flush(&core, drivers[i].as_mut(), refs[i], &mut tx);
+                                        }
+                                        tx.push_with(src, |buf| out.deparse_into(buf));
+                                    }
                                 }
                             }
-                        },
-                    );
-                    core.switch_latency.record(t0.elapsed().as_nanos() as u64);
-                }
-            })?);
-        }
-
-        // Server threads: receive frames, run the agent, reply via the
-        // switch; drive retransmission timers on receive timeouts.
-        for i in 0..core.config().servers {
-            let agent: Arc<ServerAgent> = Arc::clone(core.server(i));
-            let core = Arc::clone(&core);
-            let sock = Arc::clone(&server_sockets[i as usize]);
-            let shutdown = Arc::clone(&shutdown);
-            threads.push(spawn_thread(format!("netcache-server-{i}"), move || {
-                let clock = WallClock::start();
-                let mut buf = [0u8; MAX_FRAME];
-                while !shutdown.load(Ordering::Relaxed) {
-                    let now = crate::fabric::Clock::now_ns(&clock);
-                    match sock.recv_from(&mut buf) {
-                        Ok((len, src)) => {
-                            if let Ok(pkt) = Packet::parse(&buf[..len]) {
-                                let t0 = std::time::Instant::now();
-                                let outs = agent.handle_packet(pkt, now);
-                                core.server_latency.record(t0.elapsed().as_nanos() as u64);
-                                for out in outs {
-                                    let _ = sock.send_to(&out.deparse(), src);
-                                }
-                            }
+                            flush(&core, drivers[i].as_mut(), refs[i], &mut tx);
                         }
-                        Err(_) => {
-                            // Timeout: retransmit pending updates.
+                        passes += 1;
+                        if moved == 0 || passes >= MAX_HOST_PASSES {
+                            break;
+                        }
+                        if wait_any(&refs, Duration::ZERO, runtime, &mut ready).is_err()
+                            || ready.is_empty()
+                        {
+                            break;
+                        }
+                    }
+                    // Retransmit pending update acks on a fixed cadence.
+                    if now.saturating_sub(last_tick) >= TICK_EVERY_NS {
+                        last_tick = now;
+                        for (s, agent) in agents.iter().enumerate() {
+                            let i = n_shards + s;
                             for out in agent.tick(now) {
-                                let _ = sock.send_to(&out.deparse(), switch_addr);
+                                if tx.is_full() {
+                                    flush(&core, drivers[i].as_mut(), refs[i], &mut tx);
+                                }
+                                tx.push_with(switch_addr, |buf| out.deparse_into(buf));
                             }
+                            flush(&core, drivers[i].as_mut(), refs[i], &mut tx);
                         }
                     }
                 }
@@ -234,6 +368,7 @@ impl UdpRack {
 
         Ok(UdpRack {
             core,
+            runtime,
             switch_addr,
             client_sockets,
             shutdown,
@@ -244,6 +379,11 @@ impl UdpRack {
     /// The switch's socket address (where clients send frames).
     pub fn switch_addr(&self) -> SocketAddr {
         self.switch_addr
+    }
+
+    /// The runtime backend this rack was started on.
+    pub fn runtime_kind(&self) -> RuntimeKind {
+        self.runtime
     }
 
     /// Runs one controller cycle (call periodically from the application
@@ -273,6 +413,10 @@ impl UdpRack {
             switch_addr: self.switch_addr,
             client: self.core.make_client(j),
             policy: RetryPolicy::loopback(),
+            runtime: self.runtime,
+            driver: make_driver(self.runtime),
+            rx: RecvRing::new(DEFAULT_BATCH),
+            tx: SendRing::new(DEFAULT_BATCH),
             retries: 0,
             stale_replies: 0,
         }
@@ -306,53 +450,112 @@ impl Drop for UdpRack {
     }
 }
 
-/// The UDP client's attachment: transmit sends the deparsed frame to the
-/// switch socket; waiting blocks on the client socket for up to the
-/// timeout, returning early once the wanted reply arrives.
+/// The UDP client's attachment: transmit serializes the frame into the
+/// transmit ring (`deparse_into`, no allocation) and flushes it to the
+/// switch; waiting drives batched receives on the client socket for up to
+/// the timeout, returning early once the wanted reply arrives.
 struct UdpLink<'a> {
+    core: &'a FabricCore,
     socket: &'a UdpSocket,
     switch_addr: SocketAddr,
+    driver: &'a mut dyn SocketDriver,
+    rx: &'a mut RecvRing,
+    tx: &'a mut SendRing,
+}
+
+impl UdpLink<'_> {
+    fn drain_rx(&mut self, replies: &mut Vec<Packet>, want_seq: u32) -> bool {
+        let mut done = false;
+        for i in 0..self.rx.len() {
+            let (frame, _) = self.rx.frame(i);
+            let Ok(reply) = Packet::parse(frame) else {
+                continue;
+            };
+            done |= reply.netcache.seq == want_seq;
+            replies.push(reply);
+        }
+        done
+    }
 }
 
 impl Link for UdpLink<'_> {
     fn transmit(&mut self, pkt: &Packet, _replies: &mut Vec<Packet>) {
-        let _ = self.socket.send_to(&pkt.deparse(), self.switch_addr);
+        self.tx
+            .push_with(self.switch_addr, |buf| pkt.deparse_into(buf));
+        flush(self.core, self.driver, self.socket, self.tx);
     }
 
     fn wait(&mut self, timeout_ns: u64, want_seq: u32, replies: &mut Vec<Packet>) {
-        let deadline = std::time::Instant::now() + Duration::from_nanos(timeout_ns);
-        let mut buf = [0u8; MAX_FRAME];
+        let deadline = Instant::now() + Duration::from_nanos(timeout_ns);
         loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 return;
             }
-            let _ = self.socket.set_read_timeout(Some(remaining));
-            let Ok((len, _)) = self.socket.recv_from(&mut buf) else {
-                return; // timeout / interrupted
+            let Ok(got) = self.driver.recv_batch(self.socket, self.rx, remaining) else {
+                return;
             };
-            let Ok(reply) = Packet::parse(&buf[..len]) else {
-                continue;
-            };
-            let done = reply.netcache.seq == want_seq;
-            replies.push(reply);
-            if done {
+            self.core.transport().note_recv(got);
+            if self.drain_rx(replies, want_seq) {
                 return;
             }
         }
     }
 }
 
+/// One operation of a pipelined batch (see [`UdpClient::run_pipelined`]).
+#[derive(Debug, Clone)]
+pub enum PipelineOp {
+    /// Read a key.
+    Get(Key),
+    /// Write a value under a key.
+    Put(Key, Value),
+    /// Delete a key.
+    Delete(Key),
+}
+
+/// What a [`UdpClient::run_pipelined`] run accomplished.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineReport {
+    /// Operations that received a seq-matching reply.
+    pub completed: u64,
+    /// Operations abandoned after exhausting the retry budget.
+    pub abandoned: u64,
+    /// Retransmissions performed across all operations.
+    pub retries: u64,
+    /// Replies discarded as stale or duplicate.
+    pub stale_replies: u64,
+    /// Completed reads served by the switch cache.
+    pub cache_hits: u64,
+}
+
+/// One in-flight pipelined request.
+struct InFlight {
+    pkt: Packet,
+    attempt: u32,
+    deadline: Instant,
+    started: Instant,
+}
+
 /// A blocking client over a real UDP socket, driven by the shared request
 /// engine: per-request retransmission with exponential backoff on the
 /// receive window, reply matching by sequence number, and duplicate/stale
 /// reply suppression. Defaults to [`RetryPolicy::loopback`].
+///
+/// [`run_pipelined`](UdpClient::run_pipelined) additionally drives a
+/// sliding window of concurrent requests over the same socket — the mode
+/// that actually exercises the batched runtime (a single blocking
+/// round-trip has nothing to batch).
 pub struct UdpClient {
     core: Arc<FabricCore>,
     socket: Arc<UdpSocket>,
     switch_addr: SocketAddr,
     client: NetCacheClient,
     policy: RetryPolicy,
+    runtime: RuntimeKind,
+    driver: Box<dyn SocketDriver>,
+    rx: RecvRing,
+    tx: SendRing,
     retries: u64,
     stale_replies: u64,
 }
@@ -366,8 +569,12 @@ impl UdpClient {
 
     fn request_with_retry(&mut self, pkt: Packet) -> RetryOutcome {
         let mut link = UdpLink {
+            core: &self.core,
             socket: &self.socket,
             switch_addr: self.switch_addr,
+            driver: self.driver.as_mut(),
+            rx: &mut self.rx,
+            tx: &mut self.tx,
         };
         let outcome = RequestEngine {
             policy: &self.policy,
@@ -432,6 +639,136 @@ impl UdpClient {
         let pkt = self.client.delete(key);
         self.request_with_retry(pkt)
     }
+
+    /// Issues `ops` with up to `window` requests in flight at once.
+    ///
+    /// Each request individually follows the client's [`RetryPolicy`]
+    /// (per-request deadline, exponential backoff, same sequence number
+    /// on retransmit, stale/duplicate suppression), exactly like the
+    /// one-at-a-time path — but the window keeps the socket full, so
+    /// sends coalesce into batched syscalls at every hop and the
+    /// round-trip latency of one request overlaps the service of the
+    /// others. Completion latency per op is recorded in the rack's
+    /// op-latency histogram; retries/stale/abandoned roll into the
+    /// rack-wide client counters.
+    pub fn run_pipelined(&mut self, ops: &[PipelineOp], window: usize) -> PipelineReport {
+        // Batch scheduling for the duration of the run (restored on
+        // return): without it, window-sized bursts degenerate into
+        // one-datagram ping-pong whenever runnable threads outnumber
+        // cores. See [`enter_io_scheduling`].
+        let _sched = enter_io_scheduling(self.runtime);
+        let window = window.max(1);
+        let mut report = PipelineReport::default();
+        let mut inflight: HashMap<u32, InFlight> = HashMap::new();
+        let mut next = 0usize;
+        let mut expired: Vec<u32> = Vec::new();
+        let counters = self.core.counters();
+        while next < ops.len() || !inflight.is_empty() {
+            // Fill the window, serializing each frame straight into the
+            // transmit ring; one flush sends the whole refill.
+            while inflight.len() < window && next < ops.len() {
+                let pkt = match &ops[next] {
+                    PipelineOp::Get(key) => self.client.get(*key),
+                    PipelineOp::Put(key, value) => self.client.put(*key, value.clone()),
+                    PipelineOp::Delete(key) => self.client.delete(*key),
+                };
+                next += 1;
+                let now = Instant::now();
+                if self.tx.is_full() {
+                    flush(&self.core, self.driver.as_mut(), &self.socket, &mut self.tx);
+                }
+                self.tx
+                    .push_with(self.switch_addr, |buf| pkt.deparse_into(buf));
+                let seq = pkt.netcache.seq;
+                inflight.insert(
+                    seq,
+                    InFlight {
+                        pkt,
+                        attempt: 0,
+                        deadline: now + Duration::from_nanos(self.policy.timeout_ns(seq, 0)),
+                        started: now,
+                    },
+                );
+            }
+            flush(&self.core, self.driver.as_mut(), &self.socket, &mut self.tx);
+
+            // Sleep until the earliest per-request deadline (bounded so
+            // a full window never waits past its first retransmission).
+            let now = Instant::now();
+            let wait = inflight
+                .values()
+                .map(|r| r.deadline.saturating_duration_since(now))
+                .min()
+                .map_or(MIN_WAIT, |d| d.clamp(MIN_WAIT, RECV_TIMEOUT));
+            if let Ok(got) = self.driver.recv_batch(&self.socket, &mut self.rx, wait) {
+                self.core.transport().note_recv(got);
+            }
+            for i in 0..self.rx.len() {
+                let (frame, _) = self.rx.frame(i);
+                let Ok(reply) = Packet::parse(frame) else {
+                    continue;
+                };
+                let seq = reply.netcache.seq;
+                let response = Response::from_packet(&reply);
+                let Some(entry) = inflight.get(&seq) else {
+                    report.stale_replies += 1;
+                    counters.stale_replies.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                let Some(response) = response else {
+                    continue; // not a reply to our query; keep waiting
+                };
+                self.core
+                    .op_latency
+                    .record(entry.started.elapsed().as_nanos() as u64);
+                inflight.remove(&seq);
+                report.completed += 1;
+                if matches!(
+                    response,
+                    Response::Value {
+                        from_cache: true,
+                        ..
+                    }
+                ) {
+                    report.cache_hits += 1;
+                }
+            }
+
+            // Retransmit (or abandon) every request past its deadline.
+            let now = Instant::now();
+            expired.clear();
+            expired.extend(
+                inflight
+                    .iter()
+                    .filter(|(_, r)| r.deadline <= now)
+                    .map(|(&seq, _)| seq),
+            );
+            for &seq in &expired {
+                let entry = inflight.get_mut(&seq).expect("expired seq is in flight");
+                if entry.attempt >= self.policy.max_retries {
+                    inflight.remove(&seq);
+                    report.abandoned += 1;
+                    counters.abandoned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                entry.attempt += 1;
+                entry.deadline =
+                    now + Duration::from_nanos(self.policy.timeout_ns(seq, entry.attempt));
+                report.retries += 1;
+                counters.retries.fetch_add(1, Ordering::Relaxed);
+                if self.tx.is_full() {
+                    flush(&self.core, self.driver.as_mut(), &self.socket, &mut self.tx);
+                }
+                let pkt = &entry.pkt;
+                self.tx
+                    .push_with(self.switch_addr, |buf| pkt.deparse_into(buf));
+            }
+            flush(&self.core, self.driver.as_mut(), &self.socket, &mut self.tx);
+        }
+        self.retries += report.retries;
+        self.stale_replies += report.stale_replies;
+        report
+    }
 }
 
 #[cfg(test)]
@@ -476,6 +813,10 @@ mod tests {
                 _ => std::thread::sleep(Duration::from_millis(10)),
             }
         }
+        // The batched transport accounted its work.
+        let stats = rack.transport_stats();
+        assert!(stats.recv_packets > 0, "{stats:?}");
+        assert!(stats.send_packets > 0, "{stats:?}");
         rack.stop();
     }
 
@@ -533,6 +874,59 @@ mod tests {
         assert!(resp.value().is_some());
         let out = client.put_with_retry(Key::from_u64(3), Value::filled(0x5a, 32));
         assert!(out.response.is_some());
+        rack.stop();
+    }
+
+    #[test]
+    fn pipelined_client_completes_mixed_workload() {
+        let mut config = RackConfig::small(2);
+        config.controller.cache_capacity = 8;
+        let rack = UdpRack::start(config).unwrap();
+        rack.load_dataset(64, 32);
+        rack.populate_cache((0..4).map(Key::from_u64));
+
+        let mut ops = Vec::new();
+        for i in 0..200u64 {
+            match i % 5 {
+                0 => ops.push(PipelineOp::Put(
+                    Key::from_u64(i % 16),
+                    Value::filled(i as u8, 32),
+                )),
+                _ => ops.push(PipelineOp::Get(Key::from_u64(i % 16))),
+            }
+        }
+        let mut client = rack.client(0);
+        let report = client.run_pipelined(&ops, 32);
+        assert_eq!(
+            report.completed + report.abandoned,
+            ops.len() as u64,
+            "{report:?}"
+        );
+        assert_eq!(report.abandoned, 0, "loopback should not abandon");
+        assert!(report.cache_hits > 0, "cached keys are in the mix");
+        // The whole point: far fewer syscalls than packets.
+        let stats = rack.transport_stats();
+        assert!(stats.packets() > 0);
+        if rack.runtime_kind().effective() == RuntimeKind::Batched {
+            assert!(
+                stats.syscalls_per_packet() < 2.0,
+                "batching should beat the 2-syscalls-per-packet baseline: {stats:?}"
+            );
+        }
+        rack.stop();
+    }
+
+    #[test]
+    fn pipelined_client_on_portable_runtime_matches() {
+        let config = RackConfig::small(2);
+        let rack = UdpRack::start_with_runtime(config, RuntimeKind::Portable).unwrap();
+        rack.load_dataset(32, 32);
+        let ops: Vec<PipelineOp> = (0..50u64)
+            .map(|i| PipelineOp::Get(Key::from_u64(i % 8)))
+            .collect();
+        let mut client = rack.client(0);
+        let report = client.run_pipelined(&ops, 8);
+        assert_eq!(report.completed, 50, "{report:?}");
         rack.stop();
     }
 }

@@ -9,7 +9,7 @@
 
 use netcache::hist::Histogram;
 use netcache::json::Json;
-use netcache::{FaultStats, RackReport};
+use netcache::{FaultStats, RackReport, TransportStats};
 use netcache_controller::ControllerStats;
 use netcache_dataplane::SwitchStats;
 use netcache_server::ServerStats;
@@ -19,8 +19,12 @@ fn sample_report() -> RackReport {
     let mut op_latency = Histogram::new();
     let mut switch_latency = Histogram::new();
     let mut server_latency = Histogram::new();
+    let mut batch_occupancy = Histogram::new();
     for v in [1_000u64, 2_000, 4_000, 150_000] {
         op_latency.record(v);
+    }
+    for v in [8u64, 8, 16, 32] {
+        batch_occupancy.record(v);
     }
     for v in [40u64, 50, 60] {
         switch_latency.record(v);
@@ -89,6 +93,13 @@ fn sample_report() -> RackReport {
         op_latency,
         switch_latency,
         server_latency,
+        transport: TransportStats {
+            recv_syscalls: 50,
+            recv_packets: 400,
+            send_syscalls: 30,
+            send_packets: 380,
+        },
+        batch_occupancy,
     }
 }
 
@@ -115,7 +126,13 @@ const GOLDEN: &str = "{\"schema\":\"netcache-rack-report/v1\",\
 \"buckets\":[[40,1],[50,1],[60,1]]},\
 \"server\":{\"count\":2,\"min\":900,\"max\":1100,\"sum\":2000,\"mean\":1000.0,\
 \"p50\":900,\"p90\":1100,\"p99\":1100,\"p999\":1100,\
-\"buckets\":[[184,1],[194,1]]}}}";
+\"buckets\":[[184,1],[194,1]]}},\
+\"transport\":{\"recv_syscalls\":50,\"recv_packets\":400,\
+\"send_syscalls\":30,\"send_packets\":380,\
+\"syscalls_per_packet\":0.10256410256410256,\
+\"batch_occupancy\":{\"count\":4,\"min\":8,\"max\":32,\"sum\":64,\"mean\":16.0,\
+\"p50\":8,\"p90\":32,\"p99\":32,\"p999\":32,\
+\"buckets\":[[8,2],[16,1],[32,1]]}}}";
 
 #[test]
 fn rack_report_json_matches_golden_snapshot() {
@@ -148,4 +165,19 @@ fn rack_report_json_round_trips_through_parser() {
     assert_eq!(hist.count(), report.op_latency.count());
     assert_eq!(hist.p50(), report.op_latency.p50());
     assert_eq!(hist.nonzero_buckets(), report.op_latency.nonzero_buckets());
+    let transport = parsed.get("transport").expect("transport section");
+    assert_eq!(
+        transport.get_u64("recv_packets"),
+        Ok(report.transport.recv_packets)
+    );
+    assert_eq!(
+        transport.get_finite("syscalls_per_packet"),
+        Ok(report.transport.syscalls_per_packet())
+    );
+    let occ = transport
+        .get("batch_occupancy")
+        .expect("occupancy histogram");
+    let occ = Histogram::from_json_value(occ).expect("embedded histogram parses");
+    assert_eq!(occ.count(), report.batch_occupancy.count());
+    assert_eq!(occ.max(), report.batch_occupancy.max());
 }

@@ -271,3 +271,98 @@ fn clean_network_needs_no_retries() {
     assert_eq!(out.abandoned, 0);
     assert_eq!(out.dropped, 0);
 }
+
+/// The same §4.3 freshness contract over the *real* loopback transport
+/// with the batched runtime underneath: a seeded fault model drops,
+/// duplicates, reorders and delays real datagrams while a sequential
+/// client interleaves writes and reads. Every acked put must be visible
+/// to every subsequent acked get — the write-through invalidation means
+/// no stale switch entry may answer once the server has committed — and
+/// abandonment stays bounded by the retry budget.
+#[test]
+fn chaos_udp_batched_write_freshness() {
+    use netcache::runtime::RuntimeKind;
+    use netcache::udp::UdpRack;
+    use netcache::RackHandle;
+
+    let seed = scenario_seed(6, 0);
+    let mut config = RackConfig::small(2);
+    config.controller.cache_capacity = 8;
+    config.faults = FaultConfig {
+        loss: 0.05,
+        duplicate: 0.05,
+        reorder: 0.05,
+        max_delay_ns: 2_000_000, // 2 ms, well inside the client timeout
+        seed,
+    };
+    let rack = UdpRack::start_with_runtime(config, RuntimeKind::detect()).expect("loopback rack");
+    rack.load_dataset(KEYS, 32);
+    rack.populate_cache((0..KEYS / 2).map(Key::from_u64));
+
+    let policy = RetryPolicy::loopback();
+    let mut client = rack.client(0).with_policy(policy.clone());
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed));
+
+    // Latest *acked* counter per key; None until the first acked put.
+    let mut floor = [None::<u64>; KEYS as usize];
+    let mut next_counter = 0u64;
+    let mut abandoned = 0u64;
+    let mut checked_reads = 0u64;
+
+    for _ in 0..150 {
+        let k = rng.random::<u64>() % KEYS;
+        if rng.random::<f64>() < 0.4 {
+            next_counter += 1;
+            let out = client.put_with_retry(Key::from_u64(k), val(next_counter));
+            assert!(out.retries <= policy.max_retries);
+            match out.response {
+                Some(c) => {
+                    assert!(
+                        matches!(c.clone().into_response(), Response::PutAck { .. }),
+                        "put answered with {c:?} (seed {seed:#x})"
+                    );
+                    floor[k as usize] = Some(next_counter);
+                }
+                None => abandoned += 1,
+            }
+        } else {
+            let out = client.get_with_retry(Key::from_u64(k));
+            assert!(out.retries <= policy.max_retries);
+            match out.response.map(|c| c.into_response()) {
+                Some(Response::Value { value, .. }) => {
+                    // One sequential writer: an acked read must carry
+                    // exactly the latest acked write (retransmitted
+                    // duplicates of older puts are deduplicated by the
+                    // server and must not resurface).
+                    if let Some(expect) = floor[k as usize] {
+                        checked_reads += 1;
+                        assert_eq!(
+                            counter_of(&value),
+                            expect,
+                            "stale read on key {k} (seed {seed:#x})"
+                        );
+                    }
+                }
+                Some(Response::NotFound { .. }) => {
+                    assert!(
+                        floor[k as usize].is_none(),
+                        "acked value for key {k} vanished (seed {seed:#x})"
+                    );
+                }
+                Some(other) => panic!("get answered with {other:?} (seed {seed:#x})"),
+                None => abandoned += 1,
+            }
+        }
+    }
+
+    // 5% per-crossing loss with a 6-attempt budget abandons almost
+    // nothing; allow a small fraction for scheduling jitter on top.
+    assert!(abandoned <= 7, "{abandoned}/150 requests abandoned");
+    assert!(checked_reads > 20, "only {checked_reads} checked reads");
+    let stats = rack.faults().stats();
+    assert!(
+        stats.dropped + stats.duplicated + stats.delayed > 0,
+        "fault model never fired: {stats:?}"
+    );
+    rack.stop();
+}

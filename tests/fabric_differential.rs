@@ -321,3 +321,101 @@ fn udp_matches_in_process_outcomes() {
         "cache membership diverged (seed {seed:#x})"
     );
 }
+
+/// The runtime layer must be invisible to rack semantics: the same
+/// seeded workload driven over the batched (`recvmmsg`/`sendmmsg`,
+/// SO_REUSEPORT shards) and the portable (`recv_from`/`send_to`)
+/// backends must produce the same logical replies, the same final store
+/// contents and the same cache membership. Per-packet counters are free
+/// to differ — that is the point of the abstraction — so the comparison
+/// is aggregate, exactly like the UDP-vs-in-process case above.
+#[test]
+fn batched_and_portable_runtimes_agree() {
+    use netcache::runtime::RuntimeKind;
+    use netcache::udp::PipelineOp;
+
+    let seed = seed_from_env(0xfab_0d1f);
+    let mut config = netcache::RackConfig::small(4);
+    config.controller.cache_capacity = 16;
+
+    let racks = [
+        UdpRack::start_with_runtime(config.clone(), RuntimeKind::Batched).expect("batched rack"),
+        UdpRack::start_with_runtime(config.clone(), RuntimeKind::Portable).expect("portable rack"),
+    ];
+    for rack in &racks {
+        rack.load_dataset(400, 32);
+        rack.populate_cache((0..16).map(Key::from_u64));
+    }
+
+    // Phase 1: sequential ops, reply-for-reply equality (values only;
+    // cache-vs-server serving path is transport timing, normalized by
+    // `logical`).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clients = [racks[0].client(0), racks[1].client(0)];
+    for i in 0..120u64 {
+        let id = if rng.random::<f64>() < 0.7 {
+            rng.random::<u64>() % 16
+        } else {
+            16 + rng.random::<u64>() % 80
+        };
+        let key = Key::from_u64(id);
+        let replies: Vec<_> = if rng.random::<f64>() < 0.65 {
+            clients.iter_mut().map(|c| c.get_with_retry(key)).collect()
+        } else {
+            let value = Value::filled((i % 251) as u8 + 1, 32);
+            clients
+                .iter_mut()
+                .map(|c| c.put_with_retry(key, value.clone()))
+                .collect()
+        };
+        let logical_replies: Vec<_> = replies
+            .into_iter()
+            .map(|out| logical(out.response.map(|c| c.into_response())))
+            .collect();
+        assert_eq!(
+            logical_replies[0], logical_replies[1],
+            "op {i} diverged between runtimes (seed {seed:#x})"
+        );
+    }
+
+    // Phase 2: a pipelined burst — the window is what actually fills the
+    // batched runtime's rings. Puts land on distinct keys so the final
+    // store state is independent of in-flight completion order.
+    let ops: Vec<PipelineOp> = (0..300u64)
+        .map(|i| {
+            if i % 5 == 4 {
+                PipelineOp::Put(
+                    Key::from_u64(200 + i),
+                    Value::filled((i % 251) as u8 + 1, 32),
+                )
+            } else if i % 3 == 0 {
+                PipelineOp::Get(Key::from_u64(i % 16))
+            } else {
+                PipelineOp::Get(Key::from_u64(16 + i % 80))
+            }
+        })
+        .collect();
+    for (rack, name) in racks.iter().zip(["batched", "portable"]) {
+        let report = rack.client(1).run_pipelined(&ops, 32);
+        assert_eq!(
+            report.completed,
+            ops.len() as u64,
+            "{name}: pipelined ops lost (seed {seed:#x}, {report:?})"
+        );
+        assert_eq!(report.abandoned, 0, "{name}: {report:?}");
+    }
+
+    assert_eq!(
+        store_contents(&racks[0], 400),
+        store_contents(&racks[1], 400),
+        "final store contents diverged (seed {seed:#x})"
+    );
+    assert_eq!(
+        cache_membership(&racks[0], 400),
+        cache_membership(&racks[1], 400),
+        "cache membership diverged (seed {seed:#x})"
+    );
+    let [batched, portable] = racks;
+    batched.stop();
+    portable.stop();
+}
