@@ -10,6 +10,7 @@
 //! non-finite p99 make it exit nonzero, so the CI job is just the run.
 
 use netcache::{seed_from_env, Json};
+use netcache_bench::failover::{failover_result_json, run_failover};
 use netcache_bench::scenario::{apply_quick, named_report_json, parse_cli, write_json_file};
 use netcache_bench::threaded::{available_cores, result_json, run_threaded};
 use netcache_bench::transports::{run_transport_comparison, transport_result_json};
@@ -143,6 +144,31 @@ fn validate(payload: &str) -> Vec<String> {
                         }
                     }
                 }
+            }
+        }
+    }
+    match doc.get("failover") {
+        None => problems.push("missing failover section".into()),
+        Some(fo) => {
+            for field in ["qps_before", "qps_degraded", "qps_recovered"] {
+                if let Err(e) = fo.get_finite(field) {
+                    problems.push(format!("failover: {e}"));
+                }
+            }
+            for field in ["repair_ns", "resync_ns", "unavailable_ops"] {
+                if let Err(e) = fo.get_u64(field) {
+                    problems.push(format!("failover: {e}"));
+                }
+            }
+            match fo.get_u64("failovers") {
+                Ok(0) => problems.push("failover: no chain member was spliced".into()),
+                Ok(_) => {}
+                Err(e) => problems.push(format!("failover: {e}")),
+            }
+            match fo.get_u64("resyncs") {
+                Ok(0) => problems.push("failover: restarted node never re-synced".into()),
+                Ok(_) => {}
+                Err(e) => problems.push(format!("failover: {e}")),
             }
         }
     }
@@ -292,14 +318,31 @@ fn main() {
         transport_rows.push(transport_result_json(&r));
     }
 
+    // Failover scenario: a chain-replicated rack loses a replica
+    // mid-workload; report the availability gap, the repair/re-sync cost
+    // and the goodput on either side of the event.
+    let failover_ops = if cli.quick { 400 } else { 4_000 };
+    let fo = run_failover(failover_ops, seed);
+    println!(
+        "{:>32} {:>14} {:>14} {:>14} ({} ops gap, repair {:.1} µs, re-sync {:.1} µs)",
+        format!("failover/chain-rf{}", fo.factor),
+        fmt_qps(fo.qps_before),
+        fmt_qps(fo.qps_degraded),
+        fmt_qps(fo.qps_recovered),
+        fo.unavailable_ops,
+        fo.repair_ns as f64 / 1e3,
+        fo.resync_ns as f64 / 1e3,
+    );
+
     let payload = format!(
-        "{{\"schema\":\"netcache-bench/v1\",\"quick\":{},\"seed\":{},\"scenarios\":[{}],\"threaded\":{{\"cores\":{cores},\"pipes\":{THREADED_PIPES},\"speedup\":{},\"scenarios\":[{}]}},\"transports\":{{\"ops\":{transport_ops},\"scenarios\":[{}]}}}}",
+        "{{\"schema\":\"netcache-bench/v1\",\"quick\":{},\"seed\":{},\"scenarios\":[{}],\"threaded\":{{\"cores\":{cores},\"pipes\":{THREADED_PIPES},\"speedup\":{},\"scenarios\":[{}]}},\"transports\":{{\"ops\":{transport_ops},\"scenarios\":[{}]}},\"failover\":{}}}",
         cli.quick,
         seed,
         rows.join(","),
         netcache::json::fmt_f64(speedup),
         threaded_rows.join(","),
-        transport_rows.join(",")
+        transport_rows.join(","),
+        failover_result_json(&fo)
     );
     write_json_file(out, &payload);
 

@@ -1,0 +1,193 @@
+//! Failover-latency scenario: a chain-replicated rack loses a replica
+//! mid-workload and the harness measures what that failure costs —
+//! the availability gap until the controller splices the dead node out
+//! (abandoned ops under a bounded retry budget), the wall-clock price of
+//! the repair itself, and the cost of wiping, re-syncing and rejoining
+//! the node afterwards. Goodput is reported in virtual time on either
+//! side of the event, so a regression in the repaired chain's serving
+//! path shows up as a before/after gap.
+
+use std::time::Instant;
+
+use netcache::{Rack, RackConfig, RackHandle, RackReport, RetryPolicy};
+use netcache_proto::{Key, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Keys in the workload; small enough that every chain sees traffic.
+const KEYS: u64 = 256;
+
+/// What the failover scenario measured.
+#[derive(Debug, Clone)]
+pub struct FailoverResult {
+    /// Replication factor (replicas per partition).
+    pub factor: u32,
+    pub servers: u32,
+    /// Workload ops per measured phase.
+    pub ops: u64,
+    /// Virtual-time goodput with every chain at full strength.
+    pub qps_before: f64,
+    /// Virtual-time goodput after the failover (degraded chains).
+    pub qps_degraded: f64,
+    /// Virtual-time goodput after the node re-synced and rejoined.
+    pub qps_recovered: f64,
+    /// Ops abandoned in the detection window between the kill and the
+    /// repairing controller cycle (bounded retry budget).
+    pub unavailable_ops: u64,
+    /// Wall-clock nanoseconds of the controller cycle that detects the
+    /// failure and splices the chains.
+    pub repair_ns: u64,
+    /// Wall-clock nanoseconds of the controller cycle that re-syncs the
+    /// restarted node and rejoins it as tail.
+    pub resync_ns: u64,
+    /// Chain members spliced out by the repair.
+    pub failovers: u64,
+    /// Store re-syncs performed when the node rejoined.
+    pub resyncs: u64,
+}
+
+/// One measured phase: `ops` mixed get/put ops, wall-clock goodput.
+fn run_phase(rack: &Rack, rng: &mut StdRng, ops: u64) -> (f64, u64) {
+    let mut client = rack.client(0);
+    let start = Instant::now();
+    let mut abandoned = 0u64;
+    for i in 0..ops {
+        let k = rng.random_range(0..KEYS);
+        let key = Key::from_u64(k);
+        if rng.random::<f64>() < 0.8 {
+            if client.get_with_retry(key).response.is_none() {
+                abandoned += 1;
+            }
+        } else {
+            let value = Value::filled((i % 251) as u8 + 1, 64);
+            if client.put_with_retry(key, value).response.is_none() {
+                abandoned += 1;
+            }
+        }
+    }
+    let elapsed_ns = (start.elapsed().as_nanos() as u64).max(1);
+    let good = ops - abandoned;
+    (good as f64 / (elapsed_ns as f64 / 1e9), abandoned)
+}
+
+/// Runs the failover scenario on an in-process rack: measure, kill a
+/// replica, probe the availability gap, repair, measure degraded, bring
+/// the node back, re-sync, measure recovered.
+pub fn run_failover(ops: u64, seed: u64) -> FailoverResult {
+    let servers = 8u32;
+    let factor = 2u32;
+    let mut config = RackConfig::small(servers);
+    config.replication_factor = factor;
+    config.controller.cache_capacity = 64;
+    let rack = Rack::new(config).expect("valid failover config");
+    rack.load_dataset(KEYS, 64);
+    rack.populate_cache((0..64).map(Key::from_u64));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfa11);
+
+    let (qps_before, _) = run_phase(&rack, &mut rng, ops);
+
+    // Kill the tail of a populated partition (the hash partitioner can
+    // leave small-keyspace partitions empty, so anchor on a real key's
+    // chain). Until the controller notices, reads of that partition
+    // dead-end at the killed tail and burn their (small) retry budget:
+    // that window is the availability gap.
+    let anchor = rack.addressing().partition_of(&Key::from_u64(0));
+    let victim = (anchor + factor - 1) % servers;
+    rack.kill_server(victim);
+    let gap_policy = RetryPolicy {
+        max_retries: 2,
+        ..RetryPolicy::default()
+    };
+    let mut gap_client = rack.client(0).with_policy(gap_policy);
+    let mut unavailable_ops = 0u64;
+    // Cached keys (ids < 64) keep serving from the switch even with the
+    // tail dead — probe the uncached remainder of the victim's partition.
+    for k in 64..KEYS {
+        if rack.addressing().partition_of(&Key::from_u64(k)) != anchor {
+            continue;
+        }
+        if gap_client
+            .get_with_retry(Key::from_u64(k))
+            .response
+            .is_none()
+        {
+            unavailable_ops += 1;
+        }
+    }
+
+    let t = Instant::now();
+    rack.run_controller();
+    let repair_ns = t.elapsed().as_nanos() as u64;
+
+    let (qps_degraded, _) = run_phase(&rack, &mut rng, ops);
+
+    rack.restart_server(victim);
+    let t = Instant::now();
+    rack.run_controller();
+    let resync_ns = t.elapsed().as_nanos() as u64;
+
+    let (qps_recovered, _) = run_phase(&rack, &mut rng, ops);
+
+    let report = RackReport::capture(&rack);
+    assert!(
+        report.controller.chain_failovers >= 1,
+        "failover scenario never spliced the victim: {:?}",
+        report.controller
+    );
+    assert_eq!(
+        report.replication.full_chains, servers as usize,
+        "failover scenario did not recover to full chains: {:?}",
+        report.replication
+    );
+    FailoverResult {
+        factor,
+        servers,
+        ops,
+        qps_before,
+        qps_degraded,
+        qps_recovered,
+        unavailable_ops,
+        repair_ns,
+        resync_ns,
+        failovers: report.controller.chain_failovers,
+        resyncs: report.controller.chain_resyncs,
+    }
+}
+
+/// Serializes one failover result as a JSON object.
+pub fn failover_result_json(r: &FailoverResult) -> String {
+    format!(
+        "{{\"factor\":{},\"servers\":{},\"ops\":{},\"qps_before\":{},\
+         \"qps_degraded\":{},\"qps_recovered\":{},\"unavailable_ops\":{},\
+         \"repair_ns\":{},\"resync_ns\":{},\"failovers\":{},\"resyncs\":{}}}",
+        r.factor,
+        r.servers,
+        r.ops,
+        netcache::json::fmt_f64(r.qps_before),
+        netcache::json::fmt_f64(r.qps_degraded),
+        netcache::json::fmt_f64(r.qps_recovered),
+        r.unavailable_ops,
+        r.repair_ns,
+        r.resync_ns,
+        r.failovers,
+        r.resyncs
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcache::Json;
+
+    #[test]
+    fn failover_scenario_runs_and_serializes() {
+        let r = run_failover(200, 7);
+        assert!(r.qps_before > 0.0 && r.qps_recovered > 0.0);
+        assert!(r.failovers >= 1);
+        assert!(r.resyncs >= 1);
+        let doc = Json::parse(&failover_result_json(&r)).expect("valid json");
+        assert_eq!(doc.get_u64("factor"), Ok(2));
+        assert!(doc.get_finite("qps_before").unwrap() > 0.0);
+        assert_eq!(doc.get_u64("failovers"), Ok(r.failovers));
+    }
+}

@@ -7,6 +7,7 @@
 
 use netcache_sim::{AnalyticModel, RackSim, SimConfig, SimReport};
 
+pub mod failover;
 pub mod scenario;
 pub mod threaded;
 pub mod transports;

@@ -1,0 +1,376 @@
+//! Chain-replication membership and repair (the NetChain direction:
+//! *NetChain: Scale-Free Sub-RTT Coordination*, NSDI'18, by the NetCache
+//! authors).
+//!
+//! Each partition is served by a **chain** of `factor` server agents in
+//! head→tail order. The switch routes writes head-to-tail and reads to the
+//! tail, so a value is only visible once every replica has applied it.
+//! This module owns the membership side of that protocol:
+//!
+//! - the static *candidate* layout — partition `p`'s candidates are servers
+//!   `[p, p+1, …, p+factor-1] mod S`, so every server tails some chains and
+//!   heads others and load spreads evenly;
+//! - failure repair — dead members are spliced out (promoting the successor:
+//!   the remaining prefix order is unchanged, which preserves the chain
+//!   invariant that every node has applied at least the writes of its
+//!   successor);
+//! - recovery — a restarted node lost its memory state, so it is re-synced
+//!   from each chain's current **tail** and re-joined as the new tail. The
+//!   tail is the commit point: its state is exactly the acked prefix, so a
+//!   copy of it can never lead the members upstream. (Re-syncing from the
+//!   head would leak writes that died mid-chain — applied at the head but
+//!   never committed — into the new tail; a later failover could then serve
+//!   the unacked value and subsequently un-serve it, a new→old inversion.)
+
+use std::collections::BTreeSet;
+
+use crate::controller::ServerBackend;
+
+/// How to reach one server agent through the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeAddr {
+    /// The server's IP address.
+    pub ip: u32,
+    /// Switch port that connects to the server.
+    pub port: u16,
+    /// Egress pipe of that port.
+    pub pipe: usize,
+}
+
+/// What a repair pass changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Partitions whose chain membership changed in any way (the switch
+    /// needs a fresh hop list for each).
+    pub changed: Vec<u32>,
+    /// Partitions whose **tail** changed (cached entries for these point at
+    /// the old tail's pipe and must be evicted).
+    pub tail_changed: Vec<u32>,
+    /// Dead or unsynced members spliced out.
+    pub failovers: u64,
+    /// Recovered nodes re-synced and re-joined.
+    pub resyncs: u64,
+}
+
+/// Chain membership for every partition of a rack.
+///
+/// Partition `p`'s *home* stays server `p`'s static IP — clients keep
+/// addressing the partition the same way regardless of which replicas are
+/// currently up; the switch's chain table redirects.
+#[derive(Debug, Clone)]
+pub struct ChainManager {
+    factor: u32,
+    nodes: Vec<NodeAddr>,
+    /// Per-partition live chain, head→tail, as server indices.
+    chains: Vec<Vec<u32>>,
+}
+
+impl ChainManager {
+    /// Builds the initial full-strength layout for `nodes.len()` partitions
+    /// replicated `factor` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ factor ≤ nodes.len()`.
+    pub fn new(factor: u32, nodes: Vec<NodeAddr>) -> Self {
+        let s = nodes.len() as u32;
+        assert!(
+            factor >= 1 && factor <= s,
+            "replication factor {factor} not in 1..={s}"
+        );
+        let chains = (0..s)
+            .map(|p| (0..factor).map(|i| (p + i) % s).collect())
+            .collect();
+        ChainManager {
+            factor,
+            nodes,
+            chains,
+        }
+    }
+
+    /// The replication factor.
+    pub fn factor(&self) -> u32 {
+        self.factor
+    }
+
+    /// Number of servers (= partitions).
+    pub fn servers(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// The address of server `server`.
+    pub fn node(&self, server: u32) -> NodeAddr {
+        self.nodes[server as usize]
+    }
+
+    /// Partition `p`'s static home IP (server `p`'s address — the IP
+    /// clients send to, whoever currently serves the partition).
+    pub fn home_ip(&self, partition: u32) -> u32 {
+        self.nodes[partition as usize].ip
+    }
+
+    /// The current live chain of `partition`, head→tail. Empty means every
+    /// candidate replica is down.
+    pub fn chain(&self, partition: u32) -> &[u32] {
+        &self.chains[partition as usize]
+    }
+
+    /// The current tail of `partition`, if any member is alive.
+    pub fn tail(&self, partition: u32) -> Option<u32> {
+        self.chains[partition as usize].last().copied()
+    }
+
+    /// The partitions server `n` is a static candidate for:
+    /// `{n, n-1, …, n-factor+1} mod S`.
+    fn candidate_partitions(&self, n: u32) -> impl Iterator<Item = u32> + '_ {
+        let s = self.servers();
+        (0..self.factor).map(move |i| (n + s - i) % s)
+    }
+
+    /// One repair pass: splice out members that are dead (or back up but
+    /// not yet re-synced), then re-sync and re-join recovered nodes as
+    /// tails. Idempotent when nothing changed.
+    pub fn repair<B: ServerBackend>(&mut self, backend: &mut B) -> RepairOutcome {
+        let s = self.servers();
+        let mut serving = vec![false; s as usize];
+        let mut recovering = Vec::new();
+        for n in 0..s {
+            let alive = backend.is_alive(n);
+            let resync = alive && backend.needs_resync(n);
+            serving[n as usize] = alive && !resync;
+            if resync {
+                recovering.push(n);
+            }
+        }
+
+        let mut changed = BTreeSet::new();
+        let mut tail_changed = BTreeSet::new();
+        let mut out = RepairOutcome::default();
+
+        // Phase 1: drop members that can no longer serve. The surviving
+        // prefix keeps its order, so the successor of a dead head is
+        // promoted without any data movement.
+        for p in 0..s {
+            let chain = &mut self.chains[p as usize];
+            let old_len = chain.len();
+            let old_tail = chain.last().copied();
+            chain.retain(|&n| serving[n as usize]);
+            if chain.len() != old_len {
+                out.failovers += (old_len - chain.len()) as u64;
+                changed.insert(p);
+                if chain.last().copied() != old_tail {
+                    tail_changed.insert(p);
+                }
+            }
+        }
+
+        // Phase 2: recovered nodes wiped their state on restart; copy each
+        // of their partitions back from the current *tail* (the commit
+        // point — the head may hold writes that dead-ended mid-chain and
+        // were never acked, which must not surface at the new tail), then
+        // re-join as tail. If the whole chain died, the node re-seeds it
+        // empty (the partition's unreplicated data is lost — factor-1
+        // failures is the protocol's tolerance bound).
+        for n in recovering {
+            let mut parts: Vec<u32> = self.candidate_partitions(n).collect();
+            parts.sort_unstable();
+            for p in parts {
+                let chain = &mut self.chains[p as usize];
+                if chain.contains(&n) {
+                    continue;
+                }
+                if let Some(&tail) = chain.last() {
+                    backend.resync(tail, n, p);
+                }
+                chain.push(n);
+                changed.insert(p);
+                tail_changed.insert(p);
+            }
+            backend.mark_synced(n);
+            out.resyncs += 1;
+        }
+
+        out.changed = changed.into_iter().collect();
+        out.tail_changed = tail_changed.into_iter().collect();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::KeyHome;
+    use netcache_proto::{Key, Value};
+
+    /// A backend that only answers liveness questions.
+    #[derive(Default)]
+    struct Liveness {
+        dead: Vec<u32>,
+        resyncing: Vec<u32>,
+        resyncs: Vec<(u32, u32, u32)>,
+        synced: Vec<u32>,
+    }
+
+    impl ServerBackend for Liveness {
+        fn fetch(&mut self, _home: &KeyHome, _key: &Key) -> Option<(Value, u32)> {
+            None
+        }
+        fn lock_writes(&mut self, _home: &KeyHome, _key: Key) {}
+        fn unlock_writes(&mut self, _home: &KeyHome, _key: Key) {}
+        fn is_alive(&mut self, server: u32) -> bool {
+            !self.dead.contains(&server)
+        }
+        fn needs_resync(&mut self, server: u32) -> bool {
+            self.resyncing.contains(&server)
+        }
+        fn resync(&mut self, from: u32, to: u32, partition: u32) -> usize {
+            self.resyncs.push((from, to, partition));
+            1
+        }
+        fn mark_synced(&mut self, server: u32) {
+            self.synced.push(server);
+        }
+    }
+
+    fn nodes(n: u32) -> Vec<NodeAddr> {
+        (0..n)
+            .map(|i| NodeAddr {
+                ip: 0x0a00_0101 + i,
+                port: (i + 1) as u16,
+                pipe: (i % 2) as usize,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_layout_is_staggered() {
+        let cm = ChainManager::new(2, nodes(4));
+        assert_eq!(cm.chain(0), &[0, 1]);
+        assert_eq!(cm.chain(3), &[3, 0]);
+        assert_eq!(cm.tail(0), Some(1));
+        assert_eq!(cm.home_ip(2), 0x0a00_0103);
+    }
+
+    #[test]
+    fn factor_one_is_singleton_chains() {
+        let cm = ChainManager::new(1, nodes(3));
+        for p in 0..3 {
+            assert_eq!(cm.chain(p), &[p]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn factor_above_servers_rejected() {
+        ChainManager::new(5, nodes(4));
+    }
+
+    #[test]
+    fn repair_noop_when_all_alive() {
+        let mut cm = ChainManager::new(2, nodes(4));
+        let out = cm.repair(&mut Liveness::default());
+        assert_eq!(out, RepairOutcome::default());
+    }
+
+    #[test]
+    fn dead_tail_is_spliced_and_head_promoted() {
+        let mut cm = ChainManager::new(2, nodes(4));
+        let mut b = Liveness {
+            dead: vec![1],
+            ..Default::default()
+        };
+        let out = cm.repair(&mut b);
+        // Server 1 tails partition 0 and heads partition 1.
+        assert_eq!(cm.chain(0), &[0], "tail spliced out");
+        assert_eq!(cm.chain(1), &[2], "successor promoted to head");
+        assert_eq!(out.changed, vec![0, 1]);
+        assert_eq!(
+            out.tail_changed,
+            vec![0],
+            "partition 1's tail was already 2"
+        );
+        assert_eq!(out.failovers, 2);
+        assert_eq!(out.resyncs, 0);
+    }
+
+    #[test]
+    fn recovered_node_resyncs_and_rejoins_as_tail() {
+        let mut cm = ChainManager::new(2, nodes(4));
+        // Kill server 1, repair, then bring it back needing resync.
+        cm.repair(&mut Liveness {
+            dead: vec![1],
+            ..Default::default()
+        });
+        let mut b = Liveness {
+            resyncing: vec![1],
+            ..Default::default()
+        };
+        let out = cm.repair(&mut b);
+        assert_eq!(cm.chain(0), &[0, 1]);
+        assert_eq!(cm.chain(1), &[2, 1], "rejoins as tail, not head");
+        assert_eq!(b.resyncs, vec![(0, 1, 0), (2, 1, 1)], "copied from tails");
+        assert_eq!(b.synced, vec![1]);
+        assert_eq!(out.tail_changed, vec![0, 1]);
+        assert_eq!(out.resyncs, 1);
+    }
+
+    #[test]
+    fn recovery_copies_from_the_tail_not_the_head() {
+        // With a multi-member surviving chain, the resync source must be
+        // the commit point (the tail) — the head may hold writes that
+        // dead-ended mid-chain and were never acked.
+        let mut cm = ChainManager::new(3, nodes(4));
+        cm.repair(&mut Liveness {
+            dead: vec![2],
+            ..Default::default()
+        });
+        assert_eq!(cm.chain(0), &[0, 1], "two survivors, head != tail");
+        let mut b = Liveness {
+            resyncing: vec![2],
+            ..Default::default()
+        };
+        cm.repair(&mut b);
+        assert_eq!(cm.chain(0), &[0, 1, 2]);
+        assert!(
+            b.resyncs.contains(&(1, 2, 0)),
+            "partition 0 must re-sync 2 from tail 1, got {:?}",
+            b.resyncs
+        );
+        assert!(
+            !b.resyncs.contains(&(0, 2, 0)),
+            "must not copy from the head: {:?}",
+            b.resyncs
+        );
+    }
+
+    #[test]
+    fn node_up_but_unsynced_is_not_a_member() {
+        let mut cm = ChainManager::new(2, nodes(4));
+        // A node that is alive but still resyncing must first be spliced
+        // out (it cannot serve), then re-added in the same pass.
+        let mut b = Liveness {
+            resyncing: vec![0],
+            ..Default::default()
+        };
+        cm.repair(&mut b);
+        assert_eq!(cm.chain(0), &[1, 0], "demoted from head to tail");
+        assert_eq!(cm.chain(3), &[3, 0]);
+    }
+
+    #[test]
+    fn whole_chain_dead_then_one_recovers_empty() {
+        let mut cm = ChainManager::new(2, nodes(4));
+        cm.repair(&mut Liveness {
+            dead: vec![0, 1],
+            ..Default::default()
+        });
+        assert_eq!(cm.chain(0), &[] as &[u32], "partition 0 unserved");
+        let mut b = Liveness {
+            resyncing: vec![0],
+            ..Default::default()
+        };
+        cm.repair(&mut b);
+        assert_eq!(cm.chain(0), &[0], "re-seeded without a resync source");
+        assert!(b.resyncs.iter().all(|&(_, _, p)| p != 0));
+    }
+}

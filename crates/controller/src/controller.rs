@@ -14,6 +14,8 @@ use netcache_dataplane::{HotReport, LookupEntry, SwitchDriver};
 use netcache_proto::{Key, Value};
 
 use crate::alloc::{SlotAllocator, SlotAssignment};
+use crate::chain::ChainManager;
+use netcache_dataplane::ChainHop;
 
 /// Where a key lives: its home server and the switch resources serving it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +52,23 @@ pub trait ServerBackend {
     /// call); a stale mark is safe — the switch acks updates for keys it
     /// no longer caches without applying them.
     fn unmark_cached(&mut self, _home: &KeyHome, _key: Key) {}
+    /// Whether server `server` responds at all (chain-repair failure
+    /// detection). Default: always, for unreplicated backends.
+    fn is_alive(&mut self, _server: u32) -> bool {
+        true
+    }
+    /// Whether server `server` restarted and is waiting for its state to
+    /// be copied back before serving.
+    fn needs_resync(&mut self, _server: u32) -> bool {
+        false
+    }
+    /// Copies `partition`'s items from server `from` to server `to`
+    /// (chain recovery). Returns the number of items copied.
+    fn resync(&mut self, _from: u32, _to: u32, _partition: u32) -> usize {
+        0
+    }
+    /// Tells server `server` its resync is complete and it may serve.
+    fn mark_synced(&mut self, _server: u32) {}
 }
 
 /// Controller configuration.
@@ -113,6 +132,10 @@ pub struct ControllerStats {
     pub repairs: u64,
     /// Keys moved by memory reorganization.
     pub reorganized: u64,
+    /// Chain members spliced out after a failure (dead or awaiting resync).
+    pub chain_failovers: u64,
+    /// Recovered chain members re-synced and re-joined as tails.
+    pub chain_resyncs: u64,
 }
 
 /// Metadata the controller keeps per cached key.
@@ -176,6 +199,9 @@ pub struct Controller {
     per_pipe: Vec<SampleSet>,
     /// All cached keys (global sampling when at capacity).
     all_cached: SampleSet,
+    /// Chain membership when replication is enabled; `None` = the legacy
+    /// unreplicated deployment.
+    chains: Option<ChainManager>,
     cached: HashMap<Key, CachedMeta>,
     /// Evicted keys whose home servers have not yet been told (evictions
     /// can happen without a backend at hand; see
@@ -218,6 +244,7 @@ impl Controller {
                 .collect(),
             per_pipe: (0..pipes).map(|_| SampleSet::default()).collect(),
             all_cached: SampleSet::default(),
+            chains: None,
             cached: HashMap::new(),
             pending_unmarks: Vec::new(),
             last_reset_ns: 0,
@@ -260,15 +287,126 @@ impl Controller {
         self.allocators[pipe].free_units()
     }
 
-    /// One control cycle: drain heavy-hitter reports, update the cache,
-    /// repair entries left invalid by abandoned or disabled data-plane
-    /// updates, and reset statistics if the reset interval elapsed.
+    /// Turns on chain replication: `manager` describes the per-partition
+    /// chains. From here on, cache insertions target each partition's
+    /// **tail** (writes commit at the tail, so only its version is safe to
+    /// serve), and [`Self::run_cycle`] repairs chains before anything else.
+    /// The caller is responsible for installing the matching chain tables
+    /// in the switch (see [`Self::install_chains`]).
+    pub fn enable_replication(&mut self, manager: ChainManager) {
+        self.chains = Some(manager);
+    }
+
+    /// The chain membership, when replication is enabled.
+    pub fn chain_manager(&self) -> Option<&ChainManager> {
+        self.chains.as_ref()
+    }
+
+    /// Installs every partition's current chain hop list in the switch.
+    /// Also used after a switch reboot to restore the chain tables.
+    pub fn install_chains<D: SwitchDriver>(&self, driver: &mut D) {
+        let Some(cm) = &self.chains else {
+            return;
+        };
+        for p in 0..cm.servers() {
+            match Self::hops_of(cm, p) {
+                hops if hops.is_empty() => driver.clear_chain(cm.home_ip(p)),
+                hops => driver.set_chain(cm.home_ip(p), hops),
+            }
+        }
+    }
+
+    fn hops_of(cm: &ChainManager, partition: u32) -> Vec<ChainHop> {
+        cm.chain(partition)
+            .iter()
+            .map(|&n| {
+                let a = cm.node(n);
+                ChainHop {
+                    ip: a.ip,
+                    port: a.port,
+                }
+            })
+            .collect()
+    }
+
+    /// Where the cacheable copy of `key` lives: the partition's home in an
+    /// unreplicated rack, the current **tail** of its chain otherwise.
+    fn effective_home(&self, key: &Key) -> KeyHome {
+        let home = (self.topology)(key);
+        let Some(cm) = &self.chains else {
+            return home;
+        };
+        match cm.tail(home.server) {
+            Some(t) if t != home.server => {
+                let a = cm.node(t);
+                KeyHome {
+                    server: t,
+                    server_ip: a.ip,
+                    egress_port: a.port,
+                    pipe: a.pipe,
+                }
+            }
+            _ => home,
+        }
+    }
+
+    /// Detects failed replicas, splices chains around them, re-syncs
+    /// recovered nodes, and pushes the updated chain tables to the switch.
+    /// Cached keys of partitions whose tail moved are evicted (their switch
+    /// entries point at the old tail's pipe); reinsertion against the new
+    /// tail happens through the normal heavy-hitter path.
+    ///
+    /// Runs **before** the budget-gated work in [`Self::run_cycle`]:
+    /// repairing availability cannot wait behind cache churn.
+    ///
+    /// Returns the number of partitions whose chain changed.
+    pub fn repair_chains<D: SwitchDriver, B: ServerBackend>(
+        &mut self,
+        driver: &mut D,
+        backend: &mut B,
+    ) -> usize {
+        let Some(cm) = &mut self.chains else {
+            return 0;
+        };
+        let outcome = cm.repair(backend);
+        self.stats.chain_failovers += outcome.failovers;
+        self.stats.chain_resyncs += outcome.resyncs;
+        if outcome.changed.is_empty() {
+            return 0;
+        }
+        let cm = self.chains.as_ref().expect("checked above");
+        for &p in &outcome.changed {
+            match Self::hops_of(cm, p) {
+                hops if hops.is_empty() => driver.clear_chain(cm.home_ip(p)),
+                hops => driver.set_chain(cm.home_ip(p), hops),
+            }
+        }
+        if !outcome.tail_changed.is_empty() {
+            let mut affected: Vec<Key> = self
+                .cached
+                .keys()
+                .copied()
+                .filter(|k| outcome.tail_changed.contains(&(self.topology)(k).server))
+                .collect();
+            affected.sort_unstable();
+            for key in affected {
+                self.evict_key(driver, &key);
+            }
+        }
+        outcome.changed.len()
+    }
+
+    /// One control cycle: repair replica chains, drain heavy-hitter
+    /// reports, update the cache, repair entries left invalid by abandoned
+    /// or disabled data-plane updates, and reset statistics if the reset
+    /// interval elapsed.
     pub fn run_cycle<D: SwitchDriver, B: ServerBackend>(
         &mut self,
         driver: &mut D,
         backend: &mut B,
         now_ns: u64,
     ) {
+        self.repair_chains(driver, backend);
         let reports = driver.drain_reports();
         for report in reports {
             self.process_report(driver, backend, report, now_ns);
@@ -462,7 +600,7 @@ impl Controller {
             self.stats.skipped_cached += 1;
             return false;
         }
-        let home = (self.topology)(&key);
+        let home = self.effective_home(&key);
         backend.lock_writes(&home, key);
         let Some((value, version)) = backend.fetch(&home, &key) else {
             backend.unlock_writes(&home, key);

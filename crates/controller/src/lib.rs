@@ -17,7 +17,9 @@
 //! - periodically clears the statistics structures.
 
 pub mod alloc;
+pub mod chain;
 pub mod controller;
 
 pub use alloc::{SlotAllocator, SlotAssignment};
+pub use chain::{ChainManager, NodeAddr, RepairOutcome};
 pub use controller::{Controller, ControllerConfig, ControllerStats, KeyHome, ServerBackend};

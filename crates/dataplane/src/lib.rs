@@ -36,4 +36,4 @@ pub use config::SwitchConfig;
 pub use phv::{Phv, PortId};
 pub use program::lookup::LookupEntry;
 pub use program::stats::HotReport;
-pub use switch::{NetCacheSwitch, SwitchDriver, SwitchStats};
+pub use switch::{ChainHop, NetCacheSwitch, SwitchDriver, SwitchStats};

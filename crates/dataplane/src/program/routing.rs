@@ -40,6 +40,13 @@ impl Router {
         self.routes.len()
     }
 
+    /// Plain route lookup without PHV side effects, for pipeline stages
+    /// that synthesize a packet mid-flight (the chain tail turning the
+    /// final replica's write back into the client's reply).
+    pub fn lookup(&self, ip: u32) -> Option<PortId> {
+        self.routes.lookup(ip).copied()
+    }
+
     /// Data-plane: routes the packet in `phv`, implementing the cached-read
     /// special case.
     ///

@@ -27,6 +27,7 @@
 //! overlap a data-plane `&self` borrow. Global telemetry counters are
 //! relaxed atomics. See `DESIGN.md` §10.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use netcache_proto::{Key, Op, Packet, Value};
@@ -68,6 +69,16 @@ impl EgressPipe {
     }
 }
 
+/// One replica hop of a partition's replication chain: the server's IP
+/// and the switch port it attaches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainHop {
+    /// The replica server's IP.
+    pub ip: u32,
+    /// The switch port the replica attaches on.
+    pub port: PortId,
+}
+
 /// Data-plane counters, exposed for benchmarks and experiments.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwitchStats {
@@ -91,6 +102,11 @@ pub struct SwitchStats {
     pub updates_ignored: u64,
     /// Packets dropped (unroutable or malformed).
     pub drops: u64,
+    /// Client writes steered into a replication chain.
+    pub chain_writes: u64,
+    /// Chain writes committed at the tail and converted into client
+    /// replies.
+    pub chain_commits: u64,
 }
 
 /// [`SwitchStats`] with atomic fields: data-plane counters bumped from
@@ -107,6 +123,8 @@ struct AtomicSwitchStats {
     updates_applied: AtomicU64,
     updates_ignored: AtomicU64,
     drops: AtomicU64,
+    chain_writes: AtomicU64,
+    chain_commits: AtomicU64,
 }
 
 impl AtomicSwitchStats {
@@ -122,6 +140,8 @@ impl AtomicSwitchStats {
             updates_applied: load(&self.updates_applied),
             updates_ignored: load(&self.updates_ignored),
             drops: load(&self.drops),
+            chain_writes: load(&self.chain_writes),
+            chain_commits: load(&self.chain_commits),
         }
     }
 }
@@ -136,6 +156,13 @@ pub struct NetCacheSwitch {
     config: SwitchConfig,
     lookup: LookupTables,
     router: Router,
+    /// Replication chains keyed by a partition's static home IP (the
+    /// address clients send to): hops in head→tail order. Like `router`,
+    /// read lock-free from the data plane and mutated only via `&mut self`
+    /// control-plane calls; like routes, it survives [`reboot`].
+    ///
+    /// [`reboot`]: NetCacheSwitch::reboot
+    chains: HashMap<u32, Vec<ChainHop>>,
     egress: Vec<Mutex<EgressPipe>>,
     epoch: AtomicU64,
     stats: AtomicSwitchStats,
@@ -150,6 +177,7 @@ impl NetCacheSwitch {
         let switch = NetCacheSwitch {
             lookup: LookupTables::new(config.pipes, config.cache_capacity),
             router: Router::new(),
+            chains: HashMap::new(),
             egress: (0..config.pipes)
                 .map(|_| Mutex::new(EgressPipe::new(&config)))
                 .collect(),
@@ -221,12 +249,88 @@ impl NetCacheSwitch {
             // just get forwarded).
             let wants_lookup = matches!(
                 phv.pkt.netcache.op,
-                Op::Get | Op::Put | Op::Delete | Op::CacheUpdate
+                Op::Get | Op::Put | Op::Delete | Op::ChainPut | Op::ChainDelete | Op::CacheUpdate
             );
             if wants_lookup {
                 phv.meta.cache = self.lookup.lookup(ingress_pipe, &phv.pkt.netcache.key);
             }
         }
+
+        // ---- Chain replication steering (NetChain direction) ----
+        //
+        // Fully handled in ingress: chain packets never reach the generic
+        // egress pipeline below. The cached entry of a replicated partition
+        // lives in the *tail's* egress pipe (reads are served from the
+        // tail), which is not the pipe the packet is forwarded through, so
+        // the entry's pipe is locked explicitly here.
+        if phv.pkt.is_netcache() && !self.chains.is_empty() {
+            let op = phv.pkt.netcache.op;
+            if matches!(op, Op::Put | Op::Delete) {
+                if let Some(chain) = self.chains.get(&phv.pkt.ipv4.dst) {
+                    // Client write to a replicated partition: invalidate
+                    // the cached entry, rewrite to the chain opcode and
+                    // forward to the chain head. The head stamps the
+                    // version (chain_version = 0 means "unstamped").
+                    if let Some(entry) = phv.meta.cache {
+                        let entry_pipe = self.config.pipe_of_port(entry.egress_port as usize);
+                        self.egress[entry_pipe]
+                            .lock()
+                            .status
+                            .invalidate(phv.epoch, entry.key_index);
+                        self.stats
+                            .write_invalidations
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.stats.chain_writes.fetch_add(1, Ordering::Relaxed);
+                    phv.pkt.netcache.op = if op == Op::Put {
+                        Op::ChainPut
+                    } else {
+                        Op::ChainDelete
+                    };
+                    phv.pkt.netcache.chain_version = 0;
+                    phv.pkt.refresh_lengths();
+                    return vec![(chain[0].port, phv.pkt)];
+                }
+            } else if op.is_chain() {
+                let Some(chain) = self.chains.get(&phv.pkt.ipv4.dst) else {
+                    // The chain was torn down (e.g. repair while this
+                    // forward was in flight); the client's retry will be
+                    // re-steered against the current topology.
+                    self.stats.drops.fetch_add(1, Ordering::Relaxed);
+                    return Vec::new();
+                };
+                // The sender's chain position is its ingress port: every
+                // transport re-injects a server's output at that server's
+                // own switch port.
+                let Some(pos) = chain.iter().position(|h| h.port == in_port) else {
+                    // A replica that was spliced out re-emitted a stale
+                    // forward; drop it (client retransmission recovers).
+                    self.stats.drops.fetch_add(1, Ordering::Relaxed);
+                    return Vec::new();
+                };
+                if pos + 1 < chain.len() {
+                    return vec![(chain[pos + 1].port, phv.pkt)];
+                }
+                return self.commit_at_tail(phv);
+            } else if op == Op::Get && phv.meta.cache.is_none() {
+                if let Some(chain) = self.chains.get(&phv.pkt.ipv4.dst) {
+                    // Uncached read of a replicated partition: serve from
+                    // the tail (the only replica guaranteed to hold every
+                    // acknowledged write). Heavy-hitter statistics then
+                    // accumulate in the tail's pipe, matching where the
+                    // controller would install the key.
+                    let tail = chain.last().expect("chains are non-empty");
+                    let egress_pipe_idx = self.config.pipe_of_port(tail.port as usize);
+                    self.egress[egress_pipe_idx]
+                        .lock()
+                        .stats
+                        .on_cache_miss(phv.epoch, &phv.pkt.netcache.key);
+                    self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    return vec![(tail.port, phv.pkt)];
+                }
+            }
+        }
+
         if phv.pkt.is_netcache() && phv.pkt.netcache.op == Op::CacheUpdate {
             // Cache updates are consumed by the switch itself: steer to the
             // egress pipe that stores the value (the home server's port),
@@ -368,6 +472,72 @@ impl NetCacheSwitch {
             }
             // Replies and acks pass through by destination routing.
             _ => vec![(egress_port, phv.pkt)],
+        }
+    }
+
+    /// Final hop of a chain write: the tail replica has committed, so the
+    /// cached copy (if any) is brought up to date with the head-stamped
+    /// version and the forward is converted into the client's reply.
+    ///
+    /// Because the reply is only produced here — after the tail's store
+    /// and the switch cache both hold the write — a client never sees an
+    /// ack for a value the cache could still serve stale (§4.3 freshness,
+    /// extended across replicas).
+    fn commit_at_tail(&self, phv: Phv) -> Vec<(PortId, Packet)> {
+        let op = phv.pkt.netcache.op;
+        let chain_version = phv.pkt.netcache.chain_version;
+        let epoch = phv.epoch;
+        if let Some(entry) = phv.meta.cache {
+            let entry_pipe = self.config.pipe_of_port(entry.egress_port as usize);
+            let mut pipe = self.egress[entry_pipe].lock();
+            let pipe = &mut *pipe;
+            match (op, &phv.pkt.netcache.value) {
+                (Op::ChainPut, Some(value))
+                    if value.units() <= entry.bitmap.count_ones() as usize
+                        && (entry.bitmap as usize) < (1usize << pipe.values.stage_count()) =>
+                {
+                    if pipe
+                        .status
+                        .apply_update(epoch, entry.key_index, chain_version)
+                    {
+                        let wrote =
+                            pipe.values
+                                .write_value(epoch, entry.bitmap, entry.value_index, value);
+                        debug_assert!(wrote, "size was prechecked against the bitmap");
+                        pipe.value_len
+                            .write(epoch, entry.key_index as usize, value.len() as u16);
+                        self.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
+                    } else if pipe.status.peek_version(entry.key_index) == chain_version {
+                        // Duplicate of the committed write (a client
+                        // retransmission the head deduplicated): the value
+                        // bytes are already in place, so just restore the
+                        // valid bit the duplicate's invalidation cleared.
+                        pipe.status.set_valid(entry.key_index, true);
+                        self.stats.updates_ignored.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.stats.updates_ignored.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                (Op::ChainDelete, _) => {
+                    // Deletes leave the entry invalid; the controller's
+                    // repair pass re-fetches or evicts it.
+                    pipe.status.invalidate(epoch, entry.key_index);
+                }
+                _ => {
+                    // ChainPut with no/oversized value: leave invalid.
+                    self.stats.updates_ignored.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.stats.chain_commits.fetch_add(1, Ordering::Relaxed);
+        let reply_op = op.reply_op().expect("chain ops have reply opcodes");
+        let reply = phv.pkt.into_reply(reply_op, None);
+        match self.router.lookup(reply.ipv4.dst) {
+            Some(port) => vec![(port, reply)],
+            None => {
+                self.stats.drops.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
         }
     }
 
@@ -524,6 +694,18 @@ pub trait SwitchDriver {
     fn cached_keys(&self) -> usize;
     /// Cache capacity.
     fn cache_capacity(&self) -> usize;
+    /// Installs (or replaces) the replication chain for the partition whose
+    /// static home IP is `home_ip`. `hops` is in head→tail order and must
+    /// be non-empty.
+    fn set_chain(&mut self, home_ip: u32, hops: Vec<ChainHop>);
+    /// Removes the replication chain for `home_ip`.
+    fn clear_chain(&mut self, home_ip: u32);
+    /// The installed chain for `home_ip`, head→tail (control-plane read).
+    fn chain(&self, home_ip: u32) -> Option<Vec<ChainHop>>;
+    /// The version stored for `key_index` (control-plane read, used by the
+    /// chain-invariant checks: a cached version must never run ahead of
+    /// the tail replica's store).
+    fn peek_version(&self, pipe: usize, key_index: u32) -> u32;
 }
 
 impl SwitchDriver for NetCacheSwitch {
@@ -652,6 +834,25 @@ impl SwitchDriver for NetCacheSwitch {
 
     fn cache_capacity(&self) -> usize {
         self.lookup.capacity()
+    }
+
+    fn set_chain(&mut self, home_ip: u32, hops: Vec<ChainHop>) {
+        assert!(!hops.is_empty(), "a chain needs at least one hop");
+        self.control_updates += 1;
+        self.chains.insert(home_ip, hops);
+    }
+
+    fn clear_chain(&mut self, home_ip: u32) {
+        self.control_updates += 1;
+        self.chains.remove(&home_ip);
+    }
+
+    fn chain(&self, home_ip: u32) -> Option<Vec<ChainHop>> {
+        self.chains.get(&home_ip).cloned()
+    }
+
+    fn peek_version(&self, pipe: usize, key_index: u32) -> u32 {
+        self.egress[pipe].lock().status.peek_version(key_index)
     }
 }
 
@@ -953,5 +1154,227 @@ mod tests {
         let before = sw.control_updates();
         install(&mut sw, Key::from_u64(9), &Value::filled(1, 16), 1, 1);
         assert!(sw.control_updates() > before);
+    }
+
+    const REPLICA_IP: u32 = 0x0a00_0102;
+    const REPLICA_PORT: PortId = 2;
+
+    /// A two-replica chain on the home IP: head = the home server itself,
+    /// tail = the next server over.
+    fn chained_switch() -> NetCacheSwitch {
+        let mut sw = switch();
+        sw.add_route(REPLICA_IP, 32, REPLICA_PORT);
+        sw.set_chain(
+            SERVER_IP,
+            vec![
+                ChainHop {
+                    ip: SERVER_IP,
+                    port: SERVER_PORT,
+                },
+                ChainHop {
+                    ip: REPLICA_IP,
+                    port: REPLICA_PORT,
+                },
+            ],
+        );
+        sw
+    }
+
+    #[test]
+    fn client_write_steered_to_chain_head() {
+        let sw = chained_switch();
+        let put = Packet::put_query(
+            1,
+            CLIENT_IP,
+            SERVER_IP,
+            Key::from_u64(4),
+            2,
+            Value::filled(3, 16),
+        );
+        let out = sw.process(put, CLIENT_PORT);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, SERVER_PORT, "head gets the write first");
+        assert_eq!(out[0].1.netcache.op, Op::ChainPut);
+        assert_eq!(out[0].1.netcache.chain_version, 0, "unstamped until head");
+        assert_eq!(sw.stats().chain_writes, 1);
+    }
+
+    #[test]
+    fn chain_forward_hops_head_to_tail_then_replies() {
+        let sw = chained_switch();
+        // A stamped forward re-emitted by the head arrives on the head's
+        // port: it must hop to the tail.
+        let mut fwd = Packet::put_query(
+            1,
+            CLIENT_IP,
+            SERVER_IP,
+            Key::from_u64(4),
+            2,
+            Value::filled(3, 16),
+        );
+        fwd.netcache.op = Op::ChainPut;
+        fwd.netcache.chain_version = 7;
+        fwd.refresh_lengths();
+        let out = sw.process(fwd.clone(), SERVER_PORT);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, REPLICA_PORT, "mid-chain hop goes to successor");
+        assert_eq!(out[0].1.netcache.op, Op::ChainPut);
+
+        // The same forward re-emitted by the tail converts to the reply.
+        let out = sw.process(fwd, REPLICA_PORT);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, CLIENT_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::PutReply);
+        assert_eq!(out[0].1.ipv4.dst, CLIENT_IP);
+        assert_eq!(out[0].1.netcache.seq, 2);
+        assert_eq!(sw.stats().chain_commits, 1);
+    }
+
+    #[test]
+    fn tail_commit_refreshes_cached_value() {
+        let mut sw = chained_switch();
+        let key = Key::from_u64(4);
+        // The controller caches the key with the entry homed at the TAIL's
+        // port (read-from-tail); the forwarding path still goes through the
+        // head, so the entry's pipe is not the forwarding pipe.
+        let bitmap = 1u8;
+        sw.write_value(0, bitmap, 0, &Value::filled(1, 16));
+        sw.insert_entry(
+            key,
+            LookupEntry {
+                bitmap,
+                value_index: 0,
+                key_index: 0,
+                egress_port: REPLICA_PORT,
+                value_len: 16,
+            },
+        )
+        .unwrap();
+        sw.install_value_len(0, 0, 16);
+        sw.install_status(0, 0, 1);
+
+        // Client write: entry invalidated, write steered to the head.
+        let put = Packet::put_query(1, CLIENT_IP, SERVER_IP, key, 9, Value::filled(7, 16));
+        let out = sw.process(put, CLIENT_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::ChainPut);
+        assert_eq!(sw.stats().write_invalidations, 1);
+        let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 10);
+        let out = sw.process(get.clone(), CLIENT_PORT);
+        assert_eq!(out[0].0, REPLICA_PORT, "invalid entry: read goes to tail");
+
+        // Head stamps version 2, forwards; tail re-emits → cache refreshed
+        // in the same traversal that produces the client reply.
+        let mut fwd = Packet::put_query(1, CLIENT_IP, SERVER_IP, key, 9, Value::filled(7, 16));
+        fwd.netcache.op = Op::ChainPut;
+        fwd.netcache.chain_version = 2;
+        fwd.refresh_lengths();
+        sw.process(fwd.clone(), SERVER_PORT);
+        let out = sw.process(fwd.clone(), REPLICA_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::PutReply);
+        assert_eq!(sw.stats().updates_applied, 1);
+
+        let out = sw.process(get.clone(), CLIENT_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::GetReplyHit);
+        assert_eq!(
+            out[0].1.netcache.value.as_ref().unwrap(),
+            &Value::filled(7, 16)
+        );
+        assert_eq!(sw.peek_version(0, 0), 2);
+
+        // A duplicate of the SAME committed write (client retransmission):
+        // the client-facing invalidation is healed by the equal-version
+        // tail conversion without rewriting the bytes.
+        let dup = Packet::put_query(1, CLIENT_IP, SERVER_IP, key, 9, Value::filled(7, 16));
+        sw.process(dup, CLIENT_PORT); // invalidates again
+        sw.process(fwd.clone(), SERVER_PORT);
+        let out = sw.process(fwd, REPLICA_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::PutReply);
+        let out = sw.process(get, CLIENT_PORT);
+        assert_eq!(
+            out[0].1.netcache.op,
+            Op::GetReplyHit,
+            "equal-version duplicate revalidates the entry"
+        );
+    }
+
+    #[test]
+    fn chain_delete_invalidates_entry_at_tail() {
+        let mut sw = chained_switch();
+        let key = Key::from_u64(4);
+        install(&mut sw, key, &Value::filled(1, 16), 0, 0);
+        let mut fwd = Packet::delete_query(1, CLIENT_IP, SERVER_IP, key, 3);
+        fwd.netcache.op = Op::ChainDelete;
+        fwd.netcache.chain_version = 2;
+        fwd.refresh_lengths();
+        let out = sw.process(fwd, REPLICA_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::DeleteReply);
+        let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 4);
+        let out = sw.process(get, CLIENT_PORT);
+        assert_ne!(out[0].1.netcache.op, Op::GetReplyHit, "entry invalidated");
+    }
+
+    #[test]
+    fn stale_chain_sender_dropped() {
+        let sw = chained_switch();
+        let mut fwd = Packet::put_query(
+            1,
+            CLIENT_IP,
+            SERVER_IP,
+            Key::from_u64(4),
+            2,
+            Value::filled(3, 16),
+        );
+        fwd.netcache.op = Op::ChainPut;
+        fwd.netcache.chain_version = 7;
+        fwd.refresh_lengths();
+        // Arrives on a port that is not part of the chain (a spliced-out
+        // replica flushing a stale forward).
+        let out = sw.process(fwd, CLIENT_PORT);
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().drops, 1);
+    }
+
+    #[test]
+    fn uncached_get_reads_from_tail() {
+        let sw = chained_switch();
+        let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, Key::from_u64(11), 0);
+        let out = sw.process(get, CLIENT_PORT);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, REPLICA_PORT, "reads go to the tail replica");
+        assert_eq!(out[0].1.netcache.op, Op::Get);
+        assert_eq!(sw.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn chains_survive_reboot_and_clear() {
+        let mut sw = chained_switch();
+        sw.reboot();
+        assert!(sw.chain(SERVER_IP).is_some(), "chains survive reboot");
+        let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, Key::from_u64(11), 0);
+        assert_eq!(sw.process(get.clone(), CLIENT_PORT)[0].0, REPLICA_PORT);
+        sw.clear_chain(SERVER_IP);
+        assert!(sw.chain(SERVER_IP).is_none());
+        assert_eq!(
+            sw.process(get, CLIENT_PORT)[0].0,
+            SERVER_PORT,
+            "without a chain the home server serves reads again"
+        );
+    }
+
+    #[test]
+    fn writes_to_unchained_partition_unaffected() {
+        let sw = chained_switch();
+        let put = Packet::put_query(
+            1,
+            CLIENT_IP,
+            0x0a00_0103,
+            Key::from_u64(5),
+            2,
+            Value::filled(2, 16),
+        );
+        // No route for that IP → dropped, but crucially NOT chain-steered.
+        let out = sw.process(put, CLIENT_PORT);
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().chain_writes, 0);
     }
 }

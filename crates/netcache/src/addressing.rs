@@ -112,6 +112,14 @@ impl Addressing {
         self.partitioner.partition_of(key)
     }
 
+    /// The candidate replica set of `partition` under replication
+    /// `factor`: servers `[p, p+1, …, p+factor-1] mod servers`, head
+    /// first. With `factor == 1` this is just the partition's home server.
+    pub fn chain_servers(&self, partition: u32, factor: u32) -> impl Iterator<Item = u32> + '_ {
+        let s = self.servers;
+        (0..factor).map(move |i| (partition + i) % s)
+    }
+
     /// The full home of `key`: server, IP, port, pipe.
     pub fn home_of(&self, key: &Key) -> KeyHome {
         let server = self.partition_of(key);
@@ -173,6 +181,13 @@ mod tests {
             assert_eq!(u32::from(home.egress_port), home.server);
             assert_eq!(home.pipe, a.pipe_of_port(home.egress_port));
         }
+    }
+
+    #[test]
+    fn chain_servers_wrap_around() {
+        let a = addressing();
+        assert_eq!(a.chain_servers(6, 3).collect::<Vec<_>>(), vec![6, 7, 0]);
+        assert_eq!(a.chain_servers(2, 1).collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]

@@ -20,6 +20,13 @@ pub struct RackConfig {
     pub controller: ControllerConfig,
     /// Number of client attachment points (upstream ports).
     pub clients: u32,
+    /// Replicas per partition (the NetChain direction): partition `p` is
+    /// served by the chain of servers `[p, p+1, …, p+factor-1] mod servers`
+    /// in head→tail order, the switch routes writes down the chain and
+    /// reads (and the cacheable copy) to the tail, and the controller
+    /// repairs chains around failures. `1` (the default) is the paper's
+    /// unreplicated rack, bit-for-bit.
+    pub replication_factor: u32,
     /// Seed for the rack's hash partitioner.
     pub partition_seed: u64,
     /// Nanoseconds between server-agent retransmission ticks driven by
@@ -50,6 +57,7 @@ impl RackConfig {
                 ..ControllerConfig::default()
             },
             clients: 4,
+            replication_factor: 1,
             partition_seed: 0x7061_7274,
             agent_retry_timeout_ns: 100_000,
             dataplane_updates: true,
@@ -68,6 +76,7 @@ impl RackConfig {
             switch,
             controller: ControllerConfig::default(),
             clients: 16,
+            replication_factor: 1,
             partition_seed: 0x7061_7274,
             agent_retry_timeout_ns: 100_000,
             dataplane_updates: true,
@@ -87,6 +96,12 @@ impl RackConfig {
                 "at least one client port required".into(),
             ));
         }
+        if self.replication_factor == 0 || self.replication_factor > self.servers {
+            return Err(RackError::InvalidConfig(format!(
+                "replication factor {} not in 1..={} servers",
+                self.replication_factor, self.servers
+            )));
+        }
         if (self.servers + self.clients) as usize > self.switch.ports {
             return Err(RackError::InvalidConfig(format!(
                 "{} servers + {} clients exceed {} switch ports",
@@ -105,6 +120,17 @@ mod tests {
     fn presets_validate() {
         RackConfig::small(4).validate().unwrap();
         RackConfig::paper_rack().validate().unwrap();
+    }
+
+    #[test]
+    fn replication_factor_bounded_by_servers() {
+        let mut c = RackConfig::small(4);
+        c.replication_factor = 4;
+        c.validate().unwrap();
+        c.replication_factor = 5;
+        assert!(c.validate().is_err());
+        c.replication_factor = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

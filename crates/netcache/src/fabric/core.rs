@@ -11,7 +11,9 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use netcache_client::{ClientConfig, NetCacheClient};
-use netcache_controller::{Controller, ControllerStats, KeyHome, ServerBackend};
+use netcache_controller::{
+    ChainManager, Controller, ControllerStats, KeyHome, NodeAddr, ServerBackend,
+};
 use netcache_dataplane::{NetCacheSwitch, PortId, SwitchDriver, SwitchStats};
 use netcache_proto::{Key, Packet, Value};
 use netcache_server::{AgentConfig, ServerAgent, ServerStats};
@@ -119,13 +121,20 @@ impl FabricCore {
             })
             .collect();
         let topo = addressing.clone();
-        let controller = Controller::new(
+        let mut controller = Controller::new(
             config.controller.clone(),
             config.switch.pipes,
             config.switch.value_stages,
             config.switch.value_slots,
             move |key| topo.home_of(key),
         );
+        if config.replication_factor > 1 {
+            controller.enable_replication(ChainManager::new(
+                config.replication_factor,
+                Self::node_addrs(&addressing),
+            ));
+            controller.install_chains(&mut switch);
+        }
         Ok(FabricCore {
             addressing,
             switch: RwLock::new(switch),
@@ -140,6 +149,20 @@ impl FabricCore {
             transport: TransportCounters::default(),
             config,
         })
+    }
+
+    /// One [`NodeAddr`] per server, for the chain manager.
+    fn node_addrs(addressing: &Addressing) -> Vec<NodeAddr> {
+        (0..addressing.servers())
+            .map(|i| {
+                let port = addressing.server_port(i);
+                NodeAddr {
+                    ip: addressing.server_ip(i),
+                    port,
+                    pipe: addressing.pipe_of_port(port),
+                }
+            })
+            .collect()
     }
 
     /// The rack configuration.
@@ -241,13 +264,32 @@ impl FabricCore {
     /// stores (dataset setup, bypassing the protocol), with key ids
     /// `0..num_keys` and deterministic per-key values.
     pub fn load_dataset(&self, num_keys: u64, value_len: usize) {
+        let factor = self.config.replication_factor.max(1);
         for id in 0..num_keys {
             let key = Key::from_u64(id);
             let home = self.addressing.home_of(&key);
-            self.servers[home.server as usize]
-                .store()
-                .put(key, Value::for_item(id, value_len), 1);
+            for server in self.addressing.chain_servers(home.server, factor) {
+                self.servers[server as usize]
+                    .store()
+                    .put(key, Value::for_item(id, value_len), 1);
+            }
         }
+    }
+
+    /// Kills server `i`: it drops every packet and answers no fetches
+    /// until restarted. With `replication_factor > 1` the controller's
+    /// next [`Self::run_controller_cycle`] splices it out of its chains
+    /// and the rack keeps serving its partitions.
+    pub fn kill_server(&self, i: u32) {
+        self.servers[i as usize].kill();
+    }
+
+    /// Restarts server `i` with a wiped store (a crash loses memory
+    /// state). It stays non-serving until the controller's next repair
+    /// pass copies its partitions back from the chain heads and re-joins
+    /// it as a tail.
+    pub fn restart_server(&self, i: u32) {
+        self.servers[i as usize].revive();
     }
 
     /// A packet-building client bound to client port `j`, with a fresh
@@ -282,6 +324,7 @@ impl FabricCore {
     pub fn run_controller_cycle(&self, now: u64) -> Vec<(PortId, Packet)> {
         let mut backend = AgentBackend {
             servers: &self.servers,
+            addressing: &self.addressing,
             released: Vec::new(),
             now,
         };
@@ -303,6 +346,7 @@ impl FabricCore {
     ) -> (usize, Vec<(PortId, Packet)>) {
         let mut backend = AgentBackend {
             servers: &self.servers,
+            addressing: &self.addressing,
             released: Vec::new(),
             now,
         };
@@ -337,6 +381,7 @@ impl FabricCore {
         switch.reboot();
         let cfg = &self.config;
         let topo = self.addressing.clone();
+        let chains = controller.chain_manager().cloned();
         *controller = Controller::new(
             cfg.controller.clone(),
             cfg.switch.pipes,
@@ -344,6 +389,13 @@ impl FabricCore {
             cfg.switch.value_slots,
             move |key| topo.home_of(key),
         );
+        if let Some(cm) = chains {
+            // Chain membership survives the switch reboot (it lives in the
+            // controller, like the routes live in the driver); reinstall
+            // the chain tables the reboot may have cleared.
+            controller.enable_replication(cm);
+            controller.install_chains(&mut *switch);
+        }
     }
 }
 
@@ -361,6 +413,7 @@ impl core::fmt::Debug for FabricCore {
 /// own trimmed copies that silently skipped `mark_cached`).
 struct AgentBackend<'a> {
     servers: &'a [Arc<ServerAgent>],
+    addressing: &'a Addressing,
     /// Packets released by unlocks, to be re-injected by the transport
     /// after the controller releases its locks: `(ingress_port, packet)`.
     released: Vec<(PortId, Packet)>,
@@ -390,6 +443,33 @@ impl ServerBackend for AgentBackend<'_> {
 
     fn unmark_cached(&mut self, home: &KeyHome, key: Key) {
         self.servers[home.server as usize].unmark_cached(&key);
+    }
+
+    fn is_alive(&mut self, server: u32) -> bool {
+        self.servers[server as usize].is_alive()
+    }
+
+    fn needs_resync(&mut self, server: u32) -> bool {
+        self.servers[server as usize].needs_resync()
+    }
+
+    fn resync(&mut self, from: u32, to: u32, partition: u32) -> usize {
+        let mut items = Vec::new();
+        self.servers[from as usize].store().for_each(|key, item| {
+            if self.addressing.partition_of(key) == partition {
+                items.push((*key, item.value.clone(), item.version));
+            }
+        });
+        let dst = self.servers[to as usize].store();
+        let copied = items.len();
+        for (key, value, version) in items {
+            dst.put(key, value, version);
+        }
+        copied
+    }
+
+    fn mark_synced(&mut self, server: u32) {
+        self.servers[server as usize].mark_resynced();
     }
 }
 

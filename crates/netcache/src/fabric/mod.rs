@@ -187,4 +187,18 @@ pub trait RackHandle {
     fn reboot_switch(&self) {
         self.fabric().reboot_switch()
     }
+
+    /// Kills server `i`: it drops every packet until restarted. With
+    /// `replication_factor > 1` the controller's next cycle splices it out
+    /// of its chains and the rack keeps serving its partitions.
+    fn kill_server(&self, i: u32) {
+        self.fabric().kill_server(i)
+    }
+
+    /// Restarts server `i` with a wiped store; the controller's next
+    /// repair pass re-syncs it from the chain heads and re-joins it as a
+    /// tail.
+    fn restart_server(&self, i: u32) {
+        self.fabric().restart_server(i)
+    }
 }

@@ -60,6 +60,6 @@ pub use fabric::{
 pub use fault::{seed_from_env, FaultConfig, FaultInjector, FaultStats, NetworkModel};
 pub use hist::{Histogram, ShardedHistogram};
 pub use json::Json;
-pub use metrics::RackReport;
+pub use metrics::{RackReport, ReplicationReport};
 pub use rack::{Rack, RackClient};
 pub use runtime::{RuntimeKind, TransportStats};

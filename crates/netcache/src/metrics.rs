@@ -49,6 +49,24 @@ pub struct RackReport {
     /// Datagrams per non-empty receive batch on the socket transport
     /// (empty on non-socket deployments).
     pub batch_occupancy: Histogram,
+    /// Chain-replication health (factor 1 with every chain "full" on
+    /// unreplicated racks).
+    pub replication: ReplicationReport,
+}
+
+/// Chain-replication health: how many partitions are at full strength,
+/// running degraded (fewer live replicas than the factor), or unserved
+/// (every replica down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationReport {
+    /// Configured replicas per partition (1 = unreplicated).
+    pub factor: u32,
+    /// Partitions whose chain has all `factor` members.
+    pub full_chains: usize,
+    /// Partitions serving with fewer members than the factor.
+    pub degraded_chains: usize,
+    /// Partitions with no live replica at all.
+    pub unserved_partitions: usize,
 }
 
 impl RackReport {
@@ -59,6 +77,33 @@ impl RackReport {
             .map(|i| rack.server_stats(i))
             .collect();
         let counters = rack.client_counters();
+        let replication = rack.with_controller(|c| match c.chain_manager() {
+            Some(cm) => {
+                let mut r = ReplicationReport {
+                    factor: cm.factor(),
+                    full_chains: 0,
+                    degraded_chains: 0,
+                    unserved_partitions: 0,
+                };
+                for p in 0..cm.servers() {
+                    let members = cm.chain(p).len() as u32;
+                    if members == 0 {
+                        r.unserved_partitions += 1;
+                    } else if members < r.factor {
+                        r.degraded_chains += 1;
+                    } else {
+                        r.full_chains += 1;
+                    }
+                }
+                r
+            }
+            None => ReplicationReport {
+                factor: 1,
+                full_chains: rack.config().servers as usize,
+                degraded_chains: 0,
+                unserved_partitions: 0,
+            },
+        });
         RackReport {
             switch: rack.switch_stats(),
             servers,
@@ -74,6 +119,7 @@ impl RackReport {
             server_latency: rack.server_service(),
             transport: rack.transport_stats(),
             batch_occupancy: rack.batch_occupancy(),
+            replication,
         }
     }
 
@@ -140,7 +186,11 @@ impl RackReport {
              \"latency\":{{\"op\":{},\"switch\":{},\"server\":{}}},\
              \"transport\":{{\"recv_syscalls\":{},\"recv_packets\":{},\
              \"send_syscalls\":{},\"send_packets\":{},\"syscalls_per_packet\":{},\
-             \"batch_occupancy\":{}}}}}",
+             \"batch_occupancy\":{}}},\
+             \"replication\":{{\"factor\":{},\"full_chains\":{},\
+             \"degraded_chains\":{},\"unserved_partitions\":{},\
+             \"chain_writes\":{},\"chain_commits\":{},\
+             \"failovers\":{},\"resyncs\":{}}}}}",
             self.switch.packets,
             self.switch.netcache_packets,
             self.switch.cache_hits,
@@ -188,6 +238,14 @@ impl RackReport {
             self.transport.send_packets,
             fmt_f64(self.transport.syscalls_per_packet()),
             self.batch_occupancy.to_json(),
+            self.replication.factor,
+            self.replication.full_chains,
+            self.replication.degraded_chains,
+            self.replication.unserved_partitions,
+            self.switch.chain_writes,
+            self.switch.chain_commits,
+            self.controller.chain_failovers,
+            self.controller.chain_resyncs,
         )
     }
 }
@@ -276,6 +334,21 @@ impl fmt::Display for RackReport {
                 self.transport.syscalls_per_packet(),
                 self.batch_occupancy.p50(),
                 self.batch_occupancy.max(),
+            )?;
+        }
+        if self.replication.factor > 1 {
+            writeln!(
+                f,
+                "  chains : factor {}, {} full / {} degraded / {} unserved; \
+                 {} chain writes, {} commits, {} failovers, {} resyncs",
+                self.replication.factor,
+                self.replication.full_chains,
+                self.replication.degraded_chains,
+                self.replication.unserved_partitions,
+                self.switch.chain_writes,
+                self.switch.chain_commits,
+                self.controller.chain_failovers,
+                self.controller.chain_resyncs,
             )?;
         }
         if !self.op_latency.is_empty() {

@@ -9,7 +9,7 @@
 
 use netcache::hist::Histogram;
 use netcache::json::Json;
-use netcache::{FaultStats, RackReport, TransportStats};
+use netcache::{FaultStats, RackReport, ReplicationReport, TransportStats};
 use netcache_controller::ControllerStats;
 use netcache_dataplane::SwitchStats;
 use netcache_server::ServerStats;
@@ -43,6 +43,8 @@ fn sample_report() -> RackReport {
             updates_applied: 9,
             updates_ignored: 1,
             drops: 2,
+            chain_writes: 21,
+            chain_commits: 19,
         },
         servers: vec![
             ServerStats {
@@ -56,6 +58,8 @@ fn sample_report() -> RackReport {
                 acks_matched: 4,
                 writes_blocked: 1,
                 dup_writes_ignored: 0,
+                chain_applied: 5,
+                chain_forwarded: 6,
             },
             ServerStats {
                 gets: 8,
@@ -68,6 +72,8 @@ fn sample_report() -> RackReport {
                 acks_matched: 2,
                 writes_blocked: 0,
                 dup_writes_ignored: 1,
+                chain_applied: 3,
+                chain_forwarded: 4,
             },
         ],
         controller: ControllerStats {
@@ -77,6 +83,8 @@ fn sample_report() -> RackReport {
             repairs: 1,
             reorganized: 2,
             stats_resets: 5,
+            chain_failovers: 2,
+            chain_resyncs: 1,
             ..ControllerStats::default()
         },
         cached_keys: 7,
@@ -100,6 +108,12 @@ fn sample_report() -> RackReport {
             send_packets: 380,
         },
         batch_occupancy,
+        replication: ReplicationReport {
+            factor: 2,
+            full_chains: 1,
+            degraded_chains: 1,
+            unserved_partitions: 0,
+        },
     }
 }
 
@@ -132,7 +146,11 @@ const GOLDEN: &str = "{\"schema\":\"netcache-rack-report/v1\",\
 \"syscalls_per_packet\":0.10256410256410256,\
 \"batch_occupancy\":{\"count\":4,\"min\":8,\"max\":32,\"sum\":64,\"mean\":16.0,\
 \"p50\":8,\"p90\":32,\"p99\":32,\"p999\":32,\
-\"buckets\":[[8,2],[16,1],[32,1]]}}}";
+\"buckets\":[[8,2],[16,1],[32,1]]}},\
+\"replication\":{\"factor\":2,\"full_chains\":1,\
+\"degraded_chains\":1,\"unserved_partitions\":0,\
+\"chain_writes\":21,\"chain_commits\":19,\
+\"failovers\":2,\"resyncs\":1}}";
 
 #[test]
 fn rack_report_json_matches_golden_snapshot() {
@@ -180,4 +198,9 @@ fn rack_report_json_round_trips_through_parser() {
     let occ = Histogram::from_json_value(occ).expect("embedded histogram parses");
     assert_eq!(occ.count(), report.batch_occupancy.count());
     assert_eq!(occ.max(), report.batch_occupancy.max());
+    let repl = parsed.get("replication").expect("replication section");
+    assert_eq!(repl.get_u64("factor"), Ok(2));
+    assert_eq!(repl.get_u64("full_chains"), Ok(1));
+    assert_eq!(repl.get_u64("chain_commits"), Ok(19));
+    assert_eq!(repl.get_u64("failovers"), Ok(2));
 }

@@ -12,6 +12,19 @@
 //! `VLEN = 0` and no VALUE bytes. The switch *inserts* the VALUE field when
 //! serving a cache hit, exactly as described in §4.2 — the reply packet is
 //! the query packet with the VALUE appended and addresses swapped.
+//!
+//! Chain-replicated writes ([`Op::is_chain`]) carry one extra big-endian
+//! field after VALUE:
+//!
+//! ```text
+//! +-------------------+
+//! | CHAIN_VERSION (4) |
+//! +-------------------+
+//! ```
+//!
+//! the head-assigned version every replica applies, so mid-chain and tail
+//! nodes converge on exactly the value the head committed. Non-chain
+//! opcodes never encode it, keeping the legacy wire format byte-identical.
 
 use bytes::{Buf, BufMut};
 
@@ -47,6 +60,10 @@ pub struct NetCacheHdr {
     pub key: Key,
     /// The value, if this packet carries one.
     pub value: Option<Value>,
+    /// Head-assigned version of a chain-replicated write. Only on the wire
+    /// for chain opcodes ([`Op::is_chain`]); 0 means "not yet stamped by
+    /// the chain head". Always 0 for non-chain opcodes.
+    pub chain_version: u32,
 }
 
 impl NetCacheHdr {
@@ -57,6 +74,7 @@ impl NetCacheHdr {
             seq,
             key,
             value: None,
+            chain_version: 0,
         }
     }
 
@@ -70,6 +88,7 @@ impl NetCacheHdr {
             seq,
             key,
             value: Self::normalize(value),
+            chain_version: 0,
         }
     }
 
@@ -80,6 +99,7 @@ impl NetCacheHdr {
             seq,
             key,
             value: None,
+            chain_version: 0,
         }
     }
 
@@ -91,6 +111,7 @@ impl NetCacheHdr {
             seq: version,
             key,
             value: Self::normalize(value),
+            chain_version: 0,
         }
     }
 
@@ -105,7 +126,9 @@ impl NetCacheHdr {
 
     /// Encoded size in bytes.
     pub fn encoded_len(&self) -> usize {
-        NETCACHE_HDR_MIN + self.value.as_ref().map_or(0, Value::len)
+        NETCACHE_HDR_MIN
+            + self.value.as_ref().map_or(0, Value::len)
+            + if self.op.is_chain() { 4 } else { 0 }
     }
 
     /// Encodes the header into `buf`.
@@ -120,6 +143,9 @@ impl NetCacheHdr {
                 buf.put_slice(v.as_bytes());
             }
             None => buf.put_u8(0),
+        }
+        if self.op.is_chain() {
+            buf.put_u32(self.chain_version);
         }
     }
 
@@ -162,14 +188,27 @@ impl NetCacheHdr {
         } else {
             Some(Value::new(bytes[..vlen].to_vec()).expect("vlen bounded above"))
         };
+        bytes = &bytes[vlen..];
+        let chain_version = if op.is_chain() {
+            if bytes.len() < 4 {
+                return Err(ParseError::Truncated {
+                    layer: "netcache-chain",
+                    needed: 4 - bytes.len(),
+                });
+            }
+            bytes.get_u32()
+        } else {
+            0
+        };
         Ok((
             NetCacheHdr {
                 op,
                 seq,
                 key: Key::from_bytes(key_bytes),
                 value,
+                chain_version,
             },
-            &bytes[vlen..],
+            bytes,
         ))
     }
 }
@@ -195,6 +234,7 @@ mod tests {
                 seq: 0xdead_beef,
                 key: Key::from_u64(77),
                 value,
+                chain_version: 0,
             };
             let bytes = hdr.encode_to_vec();
             assert_eq!(bytes.len(), hdr.encoded_len());
@@ -265,8 +305,59 @@ mod tests {
             seq: 0,
             key: Key::from_u64(5),
             value: Some(Value::new(vec![]).unwrap()),
+            chain_version: 0,
         };
         let (decoded, _) = NetCacheHdr::decode(&hdr.encode_to_vec()).unwrap();
         assert_eq!(decoded.value, None);
+    }
+
+    #[test]
+    fn chain_version_round_trips() {
+        for (op, value) in [
+            (Op::ChainPut, Some(Value::filled(0x5a, 24))),
+            (Op::ChainPut, None),
+            (Op::ChainDelete, None),
+        ] {
+            let hdr = NetCacheHdr {
+                op,
+                seq: 41,
+                key: Key::from_u64(9),
+                value,
+                chain_version: 0xfeed_0042,
+            };
+            let bytes = hdr.encode_to_vec();
+            assert_eq!(bytes.len(), hdr.encoded_len());
+            let (decoded, rest) = NetCacheHdr::decode(&bytes).unwrap();
+            assert_eq!(decoded, hdr);
+            assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn chain_version_absent_for_non_chain_ops() {
+        // The legacy wire format is byte-identical: a nonzero in-memory
+        // chain_version on a non-chain op is simply not encoded.
+        let mut hdr = NetCacheHdr::put(Key::from_u64(3), 7, Value::filled(1, 8));
+        let baseline = hdr.encode_to_vec();
+        hdr.chain_version = 0xffff_ffff;
+        assert_eq!(hdr.encode_to_vec(), baseline);
+        let (decoded, _) = NetCacheHdr::decode(&baseline).unwrap();
+        assert_eq!(decoded.chain_version, 0);
+    }
+
+    #[test]
+    fn truncated_chain_version_rejected() {
+        let hdr = NetCacheHdr {
+            op: Op::ChainPut,
+            seq: 1,
+            key: Key::from_u64(2),
+            value: Some(Value::filled(3, 10)),
+            chain_version: 77,
+        };
+        let bytes = hdr.encode_to_vec();
+        for cut in 0..bytes.len() {
+            let err = NetCacheHdr::decode(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, ParseError::Truncated { .. }), "cut={cut}");
+        }
     }
 }

@@ -33,12 +33,20 @@ pub enum Op {
     PutCached = 0x12,
     /// Write acknowledgement from the server.
     PutReply = 0x13,
+    /// Chain-replicated write (NetChain direction): a `Put` the switch
+    /// rewrote because the key's partition is replicated. Travels
+    /// head-to-tail through every replica; carries a head-assigned
+    /// `chain_version`. The switch converts the tail's re-emission into the
+    /// client's `PutReply`.
+    ChainPut = 0x14,
     /// Delete query from a client (TCP).
     Delete = 0x21,
     /// Delete query whose key the switch found (and invalidated) in cache.
     DeleteCached = 0x22,
     /// Delete acknowledgement from the server.
     DeleteReply = 0x23,
+    /// Chain-replicated delete, the `Delete` analogue of [`Op::ChainPut`].
+    ChainDelete = 0x24,
     /// Server → switch data-plane cache value update (new value for a
     /// cached key). Carries KEY, VALUE and SEQ (the value version).
     CacheUpdate = 0x31,
@@ -58,9 +66,11 @@ impl Op {
             0x11 => Op::Put,
             0x12 => Op::PutCached,
             0x13 => Op::PutReply,
+            0x14 => Op::ChainPut,
             0x21 => Op::Delete,
             0x22 => Op::DeleteCached,
             0x23 => Op::DeleteReply,
+            0x24 => Op::ChainDelete,
             0x31 => Op::CacheUpdate,
             0x32 => Op::CacheUpdateAck,
             other => return Err(ParseError::UnknownOp(other)),
@@ -77,8 +87,20 @@ impl Op {
     pub fn is_query(self) -> bool {
         matches!(
             self,
-            Op::Get | Op::Put | Op::PutCached | Op::Delete | Op::DeleteCached
+            Op::Get
+                | Op::Put
+                | Op::PutCached
+                | Op::ChainPut
+                | Op::Delete
+                | Op::DeleteCached
+                | Op::ChainDelete
         )
+    }
+
+    /// Whether this is a chain-replicated write operation, which carries
+    /// the extra `chain_version` wire field.
+    pub fn is_chain(self) -> bool {
+        matches!(self, Op::ChainPut | Op::ChainDelete)
     }
 
     /// Whether this is a read(-path) operation.
@@ -93,7 +115,13 @@ impl Op {
     pub fn is_write(self) -> bool {
         matches!(
             self,
-            Op::Put | Op::PutCached | Op::PutReply | Op::Delete | Op::DeleteCached
+            Op::Put
+                | Op::PutCached
+                | Op::ChainPut
+                | Op::PutReply
+                | Op::Delete
+                | Op::DeleteCached
+                | Op::ChainDelete
         )
     }
 
@@ -125,8 +153,8 @@ impl Op {
     pub fn reply_op(self) -> Option<Op> {
         match self {
             Op::Get => Some(Op::GetReplyMiss),
-            Op::Put | Op::PutCached => Some(Op::PutReply),
-            Op::Delete | Op::DeleteCached => Some(Op::DeleteReply),
+            Op::Put | Op::PutCached | Op::ChainPut => Some(Op::PutReply),
+            Op::Delete | Op::DeleteCached | Op::ChainDelete => Some(Op::DeleteReply),
             _ => None,
         }
     }
@@ -136,7 +164,7 @@ impl Op {
 mod tests {
     use super::*;
 
-    const ALL: [Op; 12] = [
+    const ALL: [Op; 14] = [
         Op::Get,
         Op::GetReplyHit,
         Op::GetReplyMiss,
@@ -144,9 +172,11 @@ mod tests {
         Op::Put,
         Op::PutCached,
         Op::PutReply,
+        Op::ChainPut,
         Op::Delete,
         Op::DeleteCached,
         Op::DeleteReply,
+        Op::ChainDelete,
         Op::CacheUpdate,
         Op::CacheUpdateAck,
     ];
@@ -193,5 +223,19 @@ mod tests {
         assert_eq!(Op::Get.reply_op(), Some(Op::GetReplyMiss));
         assert_eq!(Op::PutCached.reply_op(), Some(Op::PutReply));
         assert_eq!(Op::CacheUpdate.reply_op(), None);
+    }
+
+    #[test]
+    fn chain_ops_classified() {
+        for op in [Op::ChainPut, Op::ChainDelete] {
+            assert!(op.is_chain());
+            assert!(op.is_write());
+            assert!(op.is_query());
+            assert!(!op.uses_udp(), "chain ops ride the TCP write path");
+            assert_eq!(op.cached_variant(), None);
+        }
+        assert_eq!(Op::ChainPut.reply_op(), Some(Op::PutReply));
+        assert_eq!(Op::ChainDelete.reply_op(), Some(Op::DeleteReply));
+        assert!(!Op::Put.is_chain());
     }
 }

@@ -133,6 +133,7 @@ impl Packet {
     pub fn into_reply(mut self, reply_op: Op, value: Option<Value>) -> Packet {
         self.netcache.op = reply_op;
         self.netcache.value = value.and_then(NetCacheHdr::normalize);
+        self.netcache.chain_version = 0;
         self.eth.swap();
         self.ipv4.swap();
         self.l4.swap();

@@ -10,7 +10,7 @@ use netcache_proto::{
 use proptest::prelude::*;
 
 /// Every opcode of the protocol, in wire order.
-const ALL_OPS: [Op; 12] = [
+const ALL_OPS: [Op; 14] = [
     Op::Get,
     Op::GetReplyHit,
     Op::GetReplyMiss,
@@ -18,9 +18,11 @@ const ALL_OPS: [Op; 12] = [
     Op::Put,
     Op::PutCached,
     Op::PutReply,
+    Op::ChainPut,
     Op::Delete,
     Op::DeleteCached,
     Op::DeleteReply,
+    Op::ChainDelete,
     Op::CacheUpdate,
     Op::CacheUpdateAck,
 ];
@@ -47,6 +49,7 @@ fn packet_for(op: Op, seq: u32, key: u64, len: usize, fill: u8, udp: bool) -> Pa
             seq,
             key: Key::from_u64(key),
             value,
+            chain_version: if op.is_chain() { seq ^ 0x55aa } else { 0 },
         },
     )
 }
@@ -70,7 +73,7 @@ proptest! {
     /// carriers, with and without a VALUE.
     #[test]
     fn every_op_round_trips(
-        op_i in 0usize..12,
+        op_i in 0usize..14,
         seq in any::<u32>(),
         key in any::<u64>(),
         len in 0usize..=128,

@@ -6,6 +6,7 @@
 //! code.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use netcache_proto::{Key, Op, Packet, Value};
 use netcache_store::{ShardedStore, StoredItem};
@@ -73,6 +74,11 @@ pub struct ServerStats {
     /// Retransmitted writes recognized as duplicates (the original's reply
     /// was resent instead of recommitting).
     pub dup_writes_ignored: u64,
+    /// Chain-replicated writes applied to the store (head, mid or tail).
+    pub chain_applied: u64,
+    /// Chain forwards re-emitted toward the successor (including tail
+    /// re-emissions the switch converts into client replies).
+    pub chain_forwarded: u64,
 }
 
 /// A cache update awaiting acknowledgement from the switch.
@@ -111,6 +117,13 @@ impl KeyState {
 /// version once more.
 const RECENT_WRITES_CAP: usize = 1024;
 
+/// Bound on the per-key applied-chain-version tombstones (FIFO eviction).
+/// The tombstone keeps version monotonicity across deletes: without it, a
+/// chain delete followed by a chain put would restart the key at version 1
+/// and be rejected by replicas (and the switch) still holding the higher
+/// pre-delete version.
+const APPLIED_VERSIONS_CAP: usize = 1024;
+
 #[derive(Debug, Default)]
 struct Inner {
     keys: HashMap<Key, KeyState>,
@@ -128,6 +141,11 @@ struct Inner {
     recent_writes: HashMap<(u32, u32), Packet>,
     /// FIFO of `recent_writes` keys for bounded eviction.
     recent_order: VecDeque<(u32, u32)>,
+    /// Last chain version applied per key, surviving deletes (see
+    /// [`APPLIED_VERSIONS_CAP`]).
+    applied_versions: HashMap<Key, u32>,
+    /// FIFO of `applied_versions` keys for bounded eviction.
+    applied_order: VecDeque<Key>,
     stats: ServerStats,
 }
 
@@ -138,6 +156,17 @@ impl Inner {
             if self.recent_order.len() > RECENT_WRITES_CAP {
                 if let Some(old) = self.recent_order.pop_front() {
                     self.recent_writes.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn remember_applied(&mut self, key: Key, version: u32) {
+        if self.applied_versions.insert(key, version).is_none() {
+            self.applied_order.push_back(key);
+            if self.applied_order.len() > APPLIED_VERSIONS_CAP {
+                if let Some(old) = self.applied_order.pop_front() {
+                    self.applied_versions.remove(&old);
                 }
             }
         }
@@ -153,6 +182,13 @@ pub struct ServerAgent {
     config: AgentConfig,
     store: ShardedStore,
     inner: Mutex<Inner>,
+    /// Cleared by [`kill`](Self::kill): a dead agent drops every packet
+    /// and answers no fetches, exactly like an unplugged machine.
+    alive: AtomicBool,
+    /// Set by [`revive`](Self::revive): the agent is back up but its store
+    /// was wiped, so it must not serve until the controller resyncs it
+    /// from a surviving replica ([`mark_resynced`](Self::mark_resynced)).
+    needs_resync: AtomicBool,
 }
 
 impl ServerAgent {
@@ -162,7 +198,53 @@ impl ServerAgent {
             store: ShardedStore::new(config.shards),
             config,
             inner: Mutex::new(Inner::default()),
+            alive: AtomicBool::new(true),
+            needs_resync: AtomicBool::new(false),
         }
+    }
+
+    // ---- Failure lifecycle (chain replication / chaos harness) ----
+
+    /// Kills the agent: every subsequent packet is dropped and fetches
+    /// return nothing, until [`revive`](Self::revive).
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Restarts a killed agent with an empty store (a crashed machine does
+    /// not keep its memory-resident state). The agent stays out of service
+    /// until the controller resyncs it and calls
+    /// [`mark_resynced`](Self::mark_resynced).
+    pub fn revive(&self) {
+        self.store.clear();
+        {
+            let mut inner = self.inner.lock();
+            let stats = inner.stats;
+            *inner = Inner::default();
+            inner.stats = stats;
+        }
+        self.needs_resync.store(true, Ordering::SeqCst);
+        self.alive.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the agent is up (not killed).
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Whether the agent is awaiting a state resync before serving.
+    pub fn needs_resync(&self) -> bool {
+        self.needs_resync.load(Ordering::SeqCst)
+    }
+
+    /// Marks the resync complete; the agent serves traffic again.
+    pub fn mark_resynced(&self) {
+        self.needs_resync.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the agent processes traffic (alive and synced).
+    pub fn is_serving(&self) -> bool {
+        self.is_alive() && !self.needs_resync()
     }
 
     /// Current statistics snapshot.
@@ -183,12 +265,18 @@ impl ServerAgent {
     /// Handles one incoming packet at time `now_ns`, returning packets to
     /// transmit (client replies and/or switch cache updates).
     pub fn handle_packet(&self, pkt: Packet, now_ns: u64) -> Vec<Packet> {
+        if !self.is_serving() {
+            // Dead or not-yet-resynced: the machine is effectively off the
+            // network; packets to it simply vanish.
+            return Vec::new();
+        }
         match pkt.netcache.op {
             Op::Get => self.handle_get(pkt),
             Op::Put | Op::Delete => self.handle_write(pkt, /*cached=*/ false, now_ns),
             Op::PutCached | Op::DeleteCached => {
                 self.handle_write(pkt, /*cached=*/ true, now_ns)
             }
+            Op::ChainPut | Op::ChainDelete => self.handle_chain(pkt, now_ns),
             Op::CacheUpdateAck => self.handle_ack(pkt, now_ns),
             // Anything else (replies, stray updates) is not for a server.
             _ => Vec::new(),
@@ -198,6 +286,9 @@ impl ServerAgent {
     /// Periodic clock tick: retransmits timed-out cache updates. Returns
     /// packets to transmit.
     pub fn tick(&self, now_ns: u64) -> Vec<Packet> {
+        if !self.is_serving() {
+            return Vec::new();
+        }
         let mut inner = self.inner.lock();
         let mut out = Vec::new();
         let mut give_up: Vec<Key> = Vec::new();
@@ -266,6 +357,9 @@ impl ServerAgent {
     /// Fetches the current item for `key` (the controller reads "the values
     /// of the keys to insert ... from the storage servers").
     pub fn fetch(&self, key: &Key) -> Option<StoredItem> {
+        if !self.is_serving() {
+            return None;
+        }
         self.store.get(key)
     }
 
@@ -368,21 +462,125 @@ impl ServerAgent {
     /// unblocked. Called with the inner lock held; commits outside the
     /// lock via re-entry-safe structure.
     fn release_blocked(&self, inner: &mut Inner, key: Key, now_ns: u64) -> Vec<Packet> {
-        let Some(state) = inner.keys.get_mut(&key) else {
-            return Vec::new();
-        };
-        if state.is_blocked() {
+        let mut out = Vec::new();
+        while let Some(state) = inner.keys.get_mut(&key) {
+            if state.is_blocked() {
+                break;
+            }
+            let Some(next) = state.blocked.pop_front() else {
+                break;
+            };
+            if next.netcache.op.is_chain() {
+                // Chain writes never create a pending update, so keep
+                // draining — every queued forward must leave the node or
+                // its chain stalls forever.
+                out.extend(self.commit_chain_locked(inner, next));
+                continue;
+            }
+            // A write can arrive *before* the key becomes cached (plain op)
+            // and be released *after* — the membership set catches that, so
+            // the switch still gets its update.
+            let cached = matches!(next.netcache.op, Op::PutCached | Op::DeleteCached)
+                || inner.cached_keys.contains(&key);
+            out.extend(self.commit_write_locked(inner, next, cached, now_ns));
+            // Committing a cached put re-blocks the key behind its pending
+            // cache update; the loop condition handles that.
+        }
+        out
+    }
+
+    // ---- Chain replication (NetChain direction) ----
+
+    /// Handles a chain-replicated write: the switch steers these down the
+    /// replica chain, and every hop applies then re-emits the packet
+    /// unchanged (the switch routes by ingress port, and converts the
+    /// tail's re-emission into the client's reply).
+    fn handle_chain(&self, pkt: Packet, _now_ns: u64) -> Vec<Packet> {
+        let key = pkt.netcache.key;
+        let mut inner = self.inner.lock();
+        if pkt.netcache.seq != 0 {
+            let id = (pkt.ipv4.src, pkt.netcache.seq);
+            // Duplicate of a write this node already processed: re-emit the
+            // remembered *stamped forward*. At the head/mid that re-walks
+            // the rest of the chain; at the tail the switch reconverts it
+            // into the client reply. Either way the client's retry is
+            // answered without reapplying.
+            if let Some(fwd) = inner.recent_writes.get(&id) {
+                let fwd = fwd.clone();
+                inner.stats.dup_writes_ignored += 1;
+                inner.stats.chain_forwarded += 1;
+                return vec![fwd];
+            }
+            // Duplicate of a forward still waiting in the blocked queue:
+            // drop it, the queued original will travel when released.
+            if inner
+                .keys
+                .get(&key)
+                .is_some_and(|s| s.blocked.iter().any(|b| (b.ipv4.src, b.netcache.seq) == id))
+            {
+                inner.stats.dup_writes_ignored += 1;
+                return Vec::new();
+            }
+        }
+        if inner.keys.get(&key).is_some_and(KeyState::is_blocked) {
+            // Controller lock (cache insertion at this node): queue the
+            // forward; `release_blocked` drains it on unlock.
+            inner.keys.entry(key).or_default().blocked.push_back(pkt);
+            inner.stats.writes_blocked += 1;
             return Vec::new();
         }
-        let Some(next) = state.blocked.pop_front() else {
-            return Vec::new();
-        };
-        // A write can arrive *before* the key becomes cached (plain op) and
-        // be released *after* — the membership set catches that, so the
-        // switch still gets its update.
-        let cached = matches!(next.netcache.op, Op::PutCached | Op::DeleteCached)
-            || inner.cached_keys.contains(&key);
-        self.commit_write_locked(inner, next, cached, now_ns)
+        self.commit_chain_locked(&mut inner, pkt)
+    }
+
+    /// The newest version this node has applied for `key`, across deletes
+    /// (serial-number arithmetic, 0 = never written).
+    fn last_applied_version(&self, inner: &Inner, key: &Key) -> u32 {
+        let stored = self.store.get(key).map_or(0, |i| i.version);
+        let tomb = inner.applied_versions.get(key).copied().unwrap_or(0);
+        match (stored, tomb) {
+            (0, t) => t,
+            (s, 0) => s,
+            (s, t) if (t.wrapping_sub(s) as i32) > 0 => t,
+            (s, _) => s,
+        }
+    }
+
+    /// Applies a chain write (if it is news to this node) and returns the
+    /// stamped forward to re-emit. The head (recognizable by
+    /// `chain_version == 0`) assigns the version; replicas apply
+    /// iff-newer, which makes duplicates and stale retransmissions
+    /// harmless at every hop.
+    fn commit_chain_locked(&self, inner: &mut Inner, mut pkt: Packet) -> Vec<Packet> {
+        let key = pkt.netcache.key;
+        let last = self.last_applied_version(inner, &key);
+        if pkt.netcache.chain_version == 0 {
+            pkt.netcache.chain_version = last.wrapping_add(1).max(1);
+        }
+        let version = pkt.netcache.chain_version;
+        let newer = last == 0 || (version.wrapping_sub(last) as i32) > 0;
+        if newer {
+            if pkt.netcache.op == Op::ChainDelete {
+                self.store.delete(&key);
+                inner.stats.deletes += 1;
+            } else {
+                let value = pkt
+                    .netcache
+                    .value
+                    .clone()
+                    .unwrap_or_else(|| Value::new(Vec::new()).expect("empty value is valid"));
+                self.store.put(key, value, version);
+                inner.stats.puts += 1;
+            }
+            inner.remember_applied(key, version);
+            inner.stats.chain_applied += 1;
+        }
+        if pkt.netcache.seq != 0 {
+            inner.remember_write((pkt.ipv4.src, pkt.netcache.seq), pkt.clone());
+        }
+        inner.stats.chain_forwarded += 1;
+        // Re-emit unchanged: dst stays the partition's static home IP and
+        // src stays the client, so the tail's reply reaches the client.
+        vec![pkt]
     }
 
     /// Commits a write with the inner lock already held.
@@ -741,6 +939,132 @@ mod tests {
             out.iter().any(|p| p.netcache.op == Op::CacheUpdate),
             "released write must refresh the now-cached key"
         );
+    }
+
+    fn chain_put(key: u64, fill: u8, seq: u32, version: u32) -> Packet {
+        let mut p = Packet::put_query(
+            1,
+            CLIENT_IP,
+            AgentConfig::default().ip,
+            Key::from_u64(key),
+            seq,
+            Value::filled(fill, 32),
+        );
+        p.netcache.op = Op::ChainPut;
+        p.netcache.chain_version = version;
+        p.refresh_lengths();
+        p
+    }
+
+    #[test]
+    fn chain_head_stamps_and_applies() {
+        let a = agent();
+        let out = a.handle_packet(chain_put(1, 7, 5, 0), 0);
+        assert_eq!(out.len(), 1, "one forward, no client reply, no update");
+        assert_eq!(out[0].netcache.op, Op::ChainPut);
+        assert_eq!(out[0].netcache.chain_version, 1, "head stamped v1");
+        assert_eq!(out[0].ipv4.dst, AgentConfig::default().ip, "dst unchanged");
+        let item = a.store().get(&Key::from_u64(1)).unwrap();
+        assert_eq!(item.version, 1);
+        assert_eq!(item.value, Value::filled(7, 32));
+        assert_eq!(a.stats().chain_applied, 1);
+
+        // Next write stamps v2.
+        let out = a.handle_packet(chain_put(1, 8, 6, 0), 1);
+        assert_eq!(out[0].netcache.chain_version, 2);
+    }
+
+    #[test]
+    fn chain_replica_applies_stamped_version() {
+        let a = agent();
+        let out = a.handle_packet(chain_put(1, 7, 5, 9), 0);
+        assert_eq!(out[0].netcache.chain_version, 9, "stamp preserved");
+        assert_eq!(a.store().get(&Key::from_u64(1)).unwrap().version, 9);
+        // A stale forward (lower version) re-emits without applying.
+        let out = a.handle_packet(chain_put(1, 3, 6, 4), 1);
+        assert_eq!(out[0].netcache.chain_version, 4);
+        assert_eq!(
+            a.store().get(&Key::from_u64(1)).unwrap().version,
+            9,
+            "stale version must not clobber"
+        );
+    }
+
+    #[test]
+    fn chain_duplicate_reemits_remembered_forward() {
+        let a = agent();
+        let out1 = a.handle_packet(chain_put(1, 7, 5, 0), 0);
+        let v1 = a.store().get(&Key::from_u64(1)).unwrap().version;
+        // Client retransmission arrives unstamped again.
+        let out2 = a.handle_packet(chain_put(1, 7, 5, 0), 1);
+        assert_eq!(out2, out1, "remembered stamped forward re-emitted");
+        assert_eq!(a.store().get(&Key::from_u64(1)).unwrap().version, v1);
+        assert_eq!(a.stats().dup_writes_ignored, 1);
+        assert_eq!(a.stats().chain_applied, 1, "applied exactly once");
+    }
+
+    #[test]
+    fn chain_delete_keeps_version_monotone() {
+        let a = agent();
+        a.handle_packet(chain_put(1, 7, 5, 0), 0); // v1
+        let mut del =
+            Packet::delete_query(1, CLIENT_IP, AgentConfig::default().ip, Key::from_u64(1), 6);
+        del.netcache.op = Op::ChainDelete;
+        del.netcache.chain_version = 0;
+        del.refresh_lengths();
+        let out = a.handle_packet(del, 1);
+        assert_eq!(out[0].netcache.chain_version, 2, "delete stamped v2");
+        assert!(a.store().get(&Key::from_u64(1)).is_none());
+        // The next put must continue past the tombstone, not restart at 1.
+        let out = a.handle_packet(chain_put(1, 9, 7, 0), 2);
+        assert_eq!(out[0].netcache.chain_version, 3);
+        assert_eq!(a.store().get(&Key::from_u64(1)).unwrap().version, 3);
+    }
+
+    #[test]
+    fn controller_lock_queues_chain_writes_and_unlock_drains_all() {
+        let a = agent();
+        a.controller_lock(Key::from_u64(1));
+        assert!(a.handle_packet(chain_put(1, 1, 5, 0), 0).is_empty());
+        assert!(a.handle_packet(chain_put(1, 2, 6, 0), 1).is_empty());
+        assert_eq!(a.stats().writes_blocked, 2);
+        let out = a.controller_unlock(Key::from_u64(1), 2);
+        assert_eq!(out.len(), 2, "every queued forward drains on unlock");
+        assert_eq!(out[0].netcache.chain_version, 1);
+        assert_eq!(out[1].netcache.chain_version, 2);
+        assert_eq!(a.store().get(&Key::from_u64(1)).unwrap().version, 2);
+    }
+
+    #[test]
+    fn killed_agent_drops_everything() {
+        let a = agent();
+        a.handle_packet(put(1, 1), 0);
+        a.kill();
+        assert!(!a.is_alive());
+        assert!(a.handle_packet(get(1), 1).is_empty());
+        assert!(a.handle_packet(put(1, 2), 2).is_empty());
+        assert!(a.fetch(&Key::from_u64(1)).is_none());
+        assert!(a.tick(100).is_empty());
+    }
+
+    #[test]
+    fn revive_wipes_store_and_waits_for_resync() {
+        let a = agent();
+        a.handle_packet(put(1, 1), 0);
+        a.kill();
+        a.revive();
+        assert!(a.is_alive());
+        assert!(a.needs_resync());
+        assert!(!a.is_serving());
+        assert!(a.handle_packet(get(1), 1).is_empty(), "not serving yet");
+        assert!(a.store().is_empty(), "crash loses memory state");
+        // Resync path: the controller copies items in, then marks synced.
+        a.store().put(Key::from_u64(1), Value::filled(1, 32), 4);
+        a.mark_resynced();
+        assert!(a.is_serving());
+        let out = a.handle_packet(get(1), 2);
+        assert_eq!(out[0].netcache.op, Op::GetReplyMiss);
+        assert_eq!(a.stats().puts, 1, "stats survive the restart");
     }
 
     #[test]

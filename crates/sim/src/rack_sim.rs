@@ -112,6 +112,8 @@ pub struct SimConfig {
     /// (loss, duplication, reordering, bounded delay). Defaults to a
     /// perfect network.
     pub faults: FaultConfig,
+    /// Replicas per partition (chain replication; 1 = unreplicated).
+    pub replication_factor: u32,
     /// RNG seed.
     pub seed: u64,
 }
@@ -143,6 +145,7 @@ impl Default for SimConfig {
             latency: LatencyModel::default(),
             collect_latency: false,
             faults: FaultConfig::default(),
+            replication_factor: 1,
             seed: 0x5eed,
         }
     }
@@ -337,6 +340,7 @@ pub fn rack_config_for(config: &SimConfig, dataplane_updates: bool) -> RackConfi
             ..ControllerConfig::default()
         },
         clients: 1,
+        replication_factor: config.replication_factor,
         partition_seed: config.partition_seed,
         agent_retry_timeout_ns: 200_000,
         dataplane_updates,
@@ -649,7 +653,13 @@ impl RackSim {
         let arrival = now + self.config.latency.hop_ns;
         match pkt.netcache.op {
             // Queries contend for the server's service capacity.
-            Op::Get | Op::Put | Op::PutCached | Op::Delete | Op::DeleteCached => {
+            Op::Get
+            | Op::Put
+            | Op::PutCached
+            | Op::Delete
+            | Op::DeleteCached
+            | Op::ChainPut
+            | Op::ChainDelete => {
                 if self.server_pending[s] >= self.config.queue_capacity {
                     if self.measuring(now) {
                         self.drops += 1;

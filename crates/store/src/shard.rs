@@ -99,6 +99,25 @@ impl ShardedStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Removes every item from every shard (a chain replica wiping its
+    /// state on restart, before resyncing from the chain head).
+    pub fn clear(&self) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            *shard.lock() = ChainedHashTable::with_seed(0xabcd ^ i as u64);
+        }
+    }
+
+    /// Visits every stored `(key, item)` pair, shard by shard. Order is
+    /// arbitrary; each shard's lock is held only while that shard is
+    /// visited, so `f` must not re-enter the store.
+    pub fn for_each(&self, mut f: impl FnMut(&Key, &StoredItem)) {
+        for shard in &self.shards {
+            for (k, v) in shard.lock().iter() {
+                f(k, v);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +159,22 @@ mod tests {
         for (i, &c) in counts.iter().enumerate() {
             assert!(c > 500 && c < 2000, "shard {i}: {c}");
         }
+    }
+
+    #[test]
+    fn clear_and_for_each() {
+        let s = ShardedStore::new(4);
+        for i in 0..100u64 {
+            s.put(Key::from_u64(i), Value::for_item(i, 16), (i + 1) as u32);
+        }
+        let mut seen = Vec::new();
+        s.for_each(|_, item| seen.push(item.version));
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=100).collect::<Vec<u32>>());
+        s.clear();
+        assert!(s.is_empty());
+        s.put(Key::from_u64(1), Value::filled(9, 8), 5);
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

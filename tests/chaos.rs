@@ -13,7 +13,7 @@
 //! Every scenario is exactly reproducible: the fault sequence and the
 //! workload derive from one seed, adjustable via `NETCACHE_TEST_SEED`.
 
-use netcache::{seed_from_env, FaultConfig, Rack, RackConfig, RackReport, RetryPolicy};
+use netcache::{seed_from_env, FaultConfig, Rack, RackConfig, RackHandle, RackReport, RetryPolicy};
 use netcache_client::Response;
 use netcache_proto::{Key, Value};
 use rand::rngs::StdRng;
@@ -172,7 +172,14 @@ fn run_scenario(seed: u64, loss: f64) -> Outcome {
                     keys[k as usize].floor = None;
                     acked += 1;
                 }
-                None => abandoned += 1,
+                None => {
+                    abandoned += 1;
+                    // The delete may have been applied with every ack lost:
+                    // the key's fate is unknown, so the floor no longer
+                    // bounds reads (an abandoned *put* is harmless here —
+                    // it can only raise the counter above the old floor).
+                    keys[k as usize].floor = None;
+                }
             }
         }
     }
@@ -272,6 +279,283 @@ fn clean_network_needs_no_retries() {
     assert_eq!(out.dropped, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Chain-replication chaos (NetChain direction): kill and restart replicas
+// mid-workload while the probabilistic fault model keeps dropping packets.
+// ---------------------------------------------------------------------------
+
+/// Ground truth for one key under replicated writes. A plain "latest acked
+/// counter" floor is not enough here: a chain write the client abandons may
+/// have committed at a *prefix* of the chain (head applied, tail never
+/// reached), and a later failover that promotes the head legitimately
+/// exposes it. So the model keeps the full admissible set — an acked op
+/// collapses it to a singleton, an abandoned op widens it — exactly like
+/// the model-check suite, plus the never-newer-than-issued bound.
+#[derive(Clone)]
+struct ChainKeyState {
+    /// Highest write counter ever issued for this key (acked or not).
+    max_issued: u64,
+    /// Observations a read may legally return: `Some(counter)` or `None`.
+    admissible: Vec<Option<u64>>,
+}
+
+impl ChainKeyState {
+    fn new() -> Self {
+        ChainKeyState {
+            max_issued: 0,
+            admissible: vec![None],
+        }
+    }
+
+    /// An acked op resolves all uncertainty: the tail committed, so every
+    /// chain member applied it and no failover can roll it back.
+    fn commit(&mut self, v: Option<u64>) {
+        self.admissible = vec![v];
+    }
+
+    /// An abandoned op may have been applied at a prefix of the chain and
+    /// survive a failover, or may have been lost entirely.
+    fn admit(&mut self, v: Option<u64>) {
+        if !self.admissible.contains(&v) {
+            self.admissible.push(v);
+        }
+    }
+
+    fn check(&self, observed: Option<u64>, seed: u64, k: u64) {
+        if let Some(c) = observed {
+            assert!(
+                c <= self.max_issued,
+                "read counter {c} was never issued for key {k} (max {}, seed {seed:#x})",
+                self.max_issued
+            );
+        }
+        assert!(
+            self.admissible.contains(&observed),
+            "lost acked write on key {k}: read {observed:?}, admissible \
+             {:?} (seed {seed:#x})",
+            self.admissible
+        );
+    }
+}
+
+/// What one chain scenario observed, for aggregate assertions and the
+/// determinism check.
+#[derive(Debug, PartialEq)]
+struct ChainOutcome {
+    acked: u64,
+    abandoned: u64,
+    failovers: u64,
+    resyncs: u64,
+    full_chains: usize,
+}
+
+/// Replays a mixed workload against a replicated rack while killing a
+/// replica a quarter of the way in and restarting it at the halfway mark,
+/// with a controller cycle every 8 ops so failure detection, chain repair
+/// and re-sync all run mid-stream. Every acked read must land inside the
+/// admissible set — in particular, no acknowledged write may ever be lost
+/// across the failover.
+///
+/// The victim is chosen relative to a partition that actually holds
+/// workload keys (the hash partitioner can leave small-keyspace partitions
+/// empty): `victim_offset` positions it inside that partition's chain —
+/// offset 1 is the tail at factor 2 and the middle replica at factor 3 —
+/// so the kill is guaranteed to land on a chain the workload exercises.
+fn run_chain_scenario(seed: u64, loss: f64, factor: u32, victim_offset: u32) -> ChainOutcome {
+    let mut config = RackConfig::small(4);
+    config.replication_factor = factor;
+    config.controller.cache_capacity = 8;
+    config.faults = FaultConfig {
+        loss,
+        duplicate: 0.05,
+        reorder: 0.05,
+        max_delay_ns: 300_000,
+        seed,
+    };
+    let rack = Rack::new(config).expect("valid config");
+    let policy = RetryPolicy::default();
+    let mut client = rack.client(0).with_policy(policy.clone());
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0xc4a1));
+
+    // Anchor the kill to the chain of key 0's partition, which the
+    // workload definitely hits.
+    let anchor = rack.addressing().partition_of(&Key::from_u64(0));
+    let victim = (anchor + victim_offset) % 4;
+
+    let mut keys: Vec<ChainKeyState> = (0..KEYS).map(|_| ChainKeyState::new()).collect();
+    let mut next_counter = 0u64;
+    let mut acked = 0u64;
+    let mut abandoned = 0u64;
+
+    for k in 0..KEYS {
+        next_counter += 1;
+        keys[k as usize].max_issued = next_counter;
+        let out = client.put_with_retry(Key::from_u64(k), val(next_counter));
+        assert!(out.retries <= policy.max_retries);
+        match out.response {
+            Some(_) => keys[k as usize].commit(Some(next_counter)),
+            None => {
+                keys[k as usize].admit(Some(next_counter));
+                abandoned += 1;
+            }
+        }
+    }
+    rack.populate_cache((0..KEYS / 2).map(Key::from_u64));
+
+    let kill_at = OPS / 4;
+    let restart_at = OPS / 2;
+    for i in 0..OPS {
+        if i == kill_at {
+            rack.kill_server(victim);
+        }
+        if i == restart_at {
+            rack.restart_server(victim);
+        }
+        if i % 8 == 0 {
+            rack.run_controller();
+        }
+        let k = rng.random_range(0..KEYS);
+        let key = Key::from_u64(k);
+        let roll: f64 = rng.random();
+        if roll < 0.6 {
+            let out = client.get_with_retry(key);
+            assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+            let Some(resp) = out.response else {
+                abandoned += 1;
+                continue;
+            };
+            acked += 1;
+            let observed = match resp.response() {
+                Response::Value { value, .. } => Some(counter_of(value)),
+                Response::NotFound { .. } => None,
+                other => panic!("unexpected get response {other:?}"),
+            };
+            keys[k as usize].check(observed, seed, k);
+        } else if roll < 0.9 {
+            next_counter += 1;
+            keys[k as usize].max_issued = next_counter;
+            let out = client.put_with_retry(key, val(next_counter));
+            assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+            match out.response {
+                Some(resp) => {
+                    assert!(matches!(resp.response(), Response::PutAck { .. }));
+                    keys[k as usize].commit(Some(next_counter));
+                    acked += 1;
+                }
+                None => {
+                    keys[k as usize].admit(Some(next_counter));
+                    abandoned += 1;
+                }
+            }
+        } else {
+            let out = client.delete_with_retry(key);
+            assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+            match out.response {
+                Some(resp) => {
+                    assert!(matches!(resp.response(), Response::DeleteAck { .. }));
+                    keys[k as usize].commit(None);
+                    acked += 1;
+                }
+                None => {
+                    keys[k as usize].admit(None);
+                    abandoned += 1;
+                }
+            }
+        }
+    }
+
+    // Let repair finish (re-splice + re-sync the restarted node), then
+    // sweep every key: whatever each read observes must be admissible.
+    rack.run_controller();
+    for k in 0..KEYS {
+        let out = client.get_with_retry(Key::from_u64(k));
+        let Some(resp) = out.response else {
+            abandoned += 1;
+            continue;
+        };
+        acked += 1;
+        let observed = match resp.response() {
+            Response::Value { value, .. } => Some(counter_of(value)),
+            Response::NotFound { .. } => None,
+            other => panic!("unexpected get response {other:?}"),
+        };
+        keys[k as usize].check(observed, seed, k);
+    }
+
+    let report = RackReport::capture(&rack);
+    assert_eq!(report.abandoned_requests, abandoned, "seed {seed:#x}");
+    assert_eq!(report.replication.factor, factor);
+    ChainOutcome {
+        acked,
+        abandoned,
+        failovers: report.controller.chain_failovers,
+        resyncs: report.controller.chain_resyncs,
+        full_chains: report.replication.full_chains,
+    }
+}
+
+/// Runs several seeds of one chain-chaos level. Every scenario must splice
+/// the victim out (failover), re-sync it back in, end with every chain at
+/// full strength, and keep abandonment confined to the detection window
+/// between the kill and the next controller cycle (plus ordinary loss).
+fn run_chain_level(level: u64, factor: u32, victim: u32) {
+    for i in 0..4 {
+        let seed = scenario_seed(level, i);
+        let out = run_chain_scenario(seed, 0.05, factor, victim);
+        assert!(
+            out.failovers >= 1,
+            "victim was never spliced out (seed {seed:#x}): {out:?}"
+        );
+        assert!(
+            out.resyncs >= 1,
+            "restarted victim never re-synced (seed {seed:#x}): {out:?}"
+        );
+        assert_eq!(
+            out.full_chains, 4,
+            "repair did not converge to full chains (seed {seed:#x}): {out:?}"
+        );
+        assert!(
+            out.acked > out.abandoned,
+            "rack mostly unavailable (seed {seed:#x}): {out:?}"
+        );
+        // The kill is detected within 8 ops; everything else is ordinary
+        // 5%-loss attrition that the 16-retry budget absorbs.
+        let requests = out.acked + out.abandoned;
+        assert!(
+            out.abandoned <= requests / 5,
+            "abandonment beyond the detection window (seed {seed:#x}): {out:?}"
+        );
+    }
+}
+
+/// Factor 2, offset 1: the *tail* of a populated partition's chain dies
+/// mid-workload (its reads dead-end until repair promotes the head; the
+/// same server is head of the next chain, killing its writes too). Acked
+/// writes must survive — the head holds everything the tail committed.
+#[test]
+fn chaos_chain_kill_tail_replica_under_loss() {
+    run_chain_level(7, 2, 1);
+}
+
+/// Factor 3, offset 1: a *mid-chain* replica of a populated partition dies
+/// mid-workload (writes stall at the head→mid hop until repair), plus tail
+/// duty for the preceding chain and head duty for the next. Splicing the
+/// middle out must leave head→tail forwarding intact.
+#[test]
+fn chaos_chain_kill_mid_replica_under_loss() {
+    run_chain_level(8, 3, 1);
+}
+
+/// The whole chain scenario — faults, kill/restart schedule, repair,
+/// observations — is a pure function of the seed.
+#[test]
+fn chaos_chain_is_deterministic_per_seed() {
+    let seed = scenario_seed(9, 0);
+    let a = run_chain_scenario(seed, 0.05, 2, 1);
+    let b = run_chain_scenario(seed, 0.05, 2, 1);
+    assert_eq!(a, b, "same seed must replay the same chain outcomes");
+}
+
 /// The same §4.3 freshness contract over the *real* loopback transport
 /// with the batched runtime underneath: a seeded fault model drops,
 /// duplicates, reorders and delays real datagrams while a sequential
@@ -283,7 +567,6 @@ fn clean_network_needs_no_retries() {
 fn chaos_udp_batched_write_freshness() {
     use netcache::runtime::RuntimeKind;
     use netcache::udp::UdpRack;
-    use netcache::RackHandle;
 
     let seed = scenario_seed(6, 0);
     let mut config = RackConfig::small(2);

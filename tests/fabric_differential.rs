@@ -207,6 +207,59 @@ fn rack_and_sim_agree_exactly() {
     }
 }
 
+/// Replication must be transport-invariant too: with `replication_factor
+/// = 2` every write is rewritten to a chain op and crosses switch → head
+/// → tail → switch on both transports, reads steer to the tail, and the
+/// comparison stays exact — replies, stores, cache membership, and every
+/// counter including the chain-write/commit stats.
+#[test]
+fn rack_and_sim_agree_with_replication() {
+    let seed = seed_from_env(0x5eed_d1fc);
+    let mut config = sim_config(seed);
+    config.replication_factor = 2;
+    let ops = script(seed, &config);
+
+    let mut sim = RackSim::new(config.clone()).expect("valid sim config");
+    let rack = build_rack(&config);
+
+    assert_eq!(sim.switch_stats(), rack.switch_stats(), "seed {seed:#x}");
+    let sim_replies = sim.run_script(&ops);
+    let rack_replies = run_script_on_rack(&rack, &ops, config.value_len);
+    assert_eq!(sim_replies.len(), rack_replies.len());
+    for (i, (s, r)) in sim_replies.iter().zip(rack_replies.iter()).enumerate() {
+        assert_eq!(s, r, "reply {i} diverged (seed {seed:#x}, op {:?})", ops[i]);
+    }
+
+    assert_eq!(
+        store_contents(&sim, config.num_keys),
+        store_contents(&rack, config.num_keys),
+        "final store contents diverged (seed {seed:#x})"
+    );
+    assert_eq!(
+        cache_membership(&sim, config.num_keys),
+        cache_membership(&rack, config.num_keys),
+        "final cache membership diverged (seed {seed:#x})"
+    );
+    let sim_switch = sim.switch_stats();
+    assert!(
+        sim_switch.chain_writes > 0 && sim_switch.chain_commits > 0,
+        "replicated script never exercised the chain (seed {seed:#x}): {sim_switch:?}"
+    );
+    assert_eq!(sim_switch, rack.switch_stats(), "seed {seed:#x}");
+    assert_eq!(
+        sim.controller_stats(),
+        rack.controller_stats(),
+        "controller counters diverged (seed {seed:#x})"
+    );
+    for i in 0..config.servers {
+        assert_eq!(
+            sim.server_stats(i),
+            rack.server_stats(i),
+            "server {i} counters diverged (seed {seed:#x})"
+        );
+    }
+}
+
 #[test]
 fn rack_and_sim_agree_in_write_around_mode() {
     let seed = seed_from_env(0x5eed_d1fe);

@@ -115,7 +115,19 @@ struct ScenarioResult {
 /// lockstep, asserting every acked read lands inside the model's
 /// admissible set.
 fn run_scenario(seed: u64, faults: FaultConfig) -> ScenarioResult {
+    run_scenario_replicated(seed, faults, 1)
+}
+
+/// The same lockstep replay against a rack whose partitions are chain-
+/// replicated across `factor` servers. Replication must be invisible to
+/// the model: an acked chain write committed at the tail, so it resolves
+/// uncertainty exactly like a single-replica ack, and an abandoned chain
+/// write may have been applied at a prefix of the chain — precisely the
+/// "may or may not have been applied" case the admissible set already
+/// widens for.
+fn run_scenario_replicated(seed: u64, faults: FaultConfig, factor: u32) -> ScenarioResult {
     let mut config = RackConfig::small(4);
+    config.replication_factor = factor;
     config.controller.cache_capacity = 8;
     config.faults = faults;
     let rack = Rack::new(config).expect("valid config");
@@ -311,4 +323,130 @@ fn model_check_is_deterministic_per_seed() {
     let a = run_scenario(seed, faulty(0.10, seed));
     let b = run_scenario(seed, faulty(0.10, seed));
     assert_eq!(a.trace, b.trace, "same seed must replay the same trace");
+}
+
+/// Chain-replicated rack, clean network: every write travels switch →
+/// head → tail → switch, every op acks, and the model stays an exact
+/// equality check — replication is invisible to clients.
+#[test]
+fn model_check_replicated_clean_network() {
+    for i in 0..3 {
+        let seed = scenario_seed(5, i);
+        let out = run_scenario_replicated(seed, clean(), 2);
+        assert_eq!(
+            out.abandoned, 0,
+            "clean replicated network abandoned ops (seed {seed:#x})"
+        );
+        let reads = out
+            .trace
+            .iter()
+            .filter(|o| matches!(o, Observed::Got(_)))
+            .count() as u64;
+        assert_eq!(
+            out.certain_reads, reads,
+            "clean replicated network left the model uncertain (seed {seed:#x})"
+        );
+    }
+}
+
+/// Chain-replicated rack under heavy loss: chain writes abandoned at any
+/// hop (head never reached, or committed-at-head-but-not-tail) must stay
+/// inside the admissible set, never outside it.
+#[test]
+fn model_check_replicated_heavy_faults() {
+    for i in 0..3 {
+        let seed = scenario_seed(6, i);
+        run_scenario_replicated(seed, faulty(0.15, seed), 2);
+    }
+}
+
+/// The committed-at-head-but-not-tail case, isolated and deterministic: a
+/// chain write whose tail dies mid-chain is abandoned by the client, so
+/// both the old and the new value are admissible — but the new value must
+/// NOT be served from the switch cache, whose entry is only revalidated by
+/// a tail commit (§4.3 extended to chains). Only after the controller
+/// promotes the head may the abandoned write surface, served by the new
+/// tail, and only a fresh controller insertion may cache it.
+#[test]
+fn model_check_chain_write_abandoned_mid_chain() {
+    let mut config = RackConfig::small(4);
+    config.replication_factor = 2;
+    config.controller.cache_capacity = 8;
+    let rack = Rack::new(config).expect("valid config");
+    let policy = RetryPolicy {
+        max_retries: 2,
+        ..RetryPolicy::default()
+    };
+    let mut client = rack.client(0).with_policy(policy);
+    let key = Key::from_u64(0);
+    let mut admissible = Admissible::certain(None);
+
+    // Counter 1 commits through the whole chain and gets cached.
+    client
+        .put_with_retry(key, val(1))
+        .response
+        .expect("clean chain put acks");
+    admissible.commit(Some(1));
+    assert_eq!(rack.populate_cache([key]), 1);
+    let resp = client.get_with_retry(key).response.expect("cached read");
+    assert!(resp.served_by_cache(), "{resp:?}");
+
+    // Kill the tail. Counter 2 is applied by the head, forwarded into the
+    // void, and abandoned by the client: both outcomes become admissible.
+    let home = rack.addressing().home_of(&key);
+    let tail = (home.server + 1) % 4;
+    rack.kill_server(tail);
+    let out = client.put_with_retry(key, val(2));
+    assert!(out.response.is_none(), "the dead tail cannot ack");
+    admissible.admit(Some(2));
+
+    // The write invalidated the cache entry on its way in and no tail
+    // commit followed, so the un-acked value is never served from the
+    // cache — reads chase the dead tail and time out instead.
+    assert!(
+        client.get_with_retry(key).response.is_none(),
+        "reads go to the tail, and the tail is dead until repair"
+    );
+
+    // Failover: the head is promoted to a chain of one, which exposes the
+    // abandoned write — an admissible outcome, served by the new tail, not
+    // from the cache (repair evicted the entry when the tail changed).
+    rack.run_controller();
+    let resp = client
+        .get_with_retry(key)
+        .response
+        .expect("served after failover");
+    let observed = match resp.response() {
+        Response::Value { value, .. } => Some(counter_of(value)),
+        Response::NotFound { .. } => None,
+        other => panic!("unexpected get response {other:?}"),
+    };
+    assert!(
+        admissible.allows(observed),
+        "failover exposed {observed:?}, admissible {admissible:?}"
+    );
+    assert_eq!(
+        observed,
+        Some(2),
+        "the head applied the write before the kill"
+    );
+    assert!(
+        !resp.served_by_cache(),
+        "tail change must evict the cached entry: {resp:?}"
+    );
+
+    // Only a fresh controller insertion — reading from the new tail — may
+    // cache the exposed value.
+    assert_eq!(rack.populate_cache([key]), 1);
+    let resp = client.get_with_retry(key).response.expect("cached again");
+    assert!(resp.served_by_cache(), "{resp:?}");
+    assert_eq!(resp.value().map(counter_of), Some(2));
+
+    // The recovered node is wiped, re-synced from the survivor (sole
+    // member: head and tail at once, so its exposed state *is* the commit
+    // point), and rejoins as tail holding the once-abandoned write.
+    rack.restart_server(tail);
+    rack.run_controller();
+    let item = rack.server(tail).fetch(&key).expect("resynced replica");
+    assert_eq!(counter_of(&item.value), 2);
 }
