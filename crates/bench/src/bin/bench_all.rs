@@ -11,6 +11,7 @@
 
 use netcache::{seed_from_env, Json};
 use netcache_bench::failover::{failover_result_json, run_failover};
+use netcache_bench::scaleout::{run_scaleout, scaleout_result_json, SCALEOUT_RACKS};
 use netcache_bench::scenario::{apply_quick, named_report_json, parse_cli, write_json_file};
 use netcache_bench::threaded::{available_cores, result_json, run_threaded};
 use netcache_bench::transports::{run_transport_comparison, transport_result_json};
@@ -200,6 +201,49 @@ fn validate(payload: &str) -> Vec<String> {
             }
         },
     }
+    let quick = doc.get("quick").and_then(Json::as_bool).unwrap_or(false);
+    match doc.get("scaleout") {
+        None => problems.push("missing scaleout section".into()),
+        Some(so) => match so.get("scenarios").and_then(Json::as_array) {
+            None => problems.push("scaleout: missing scenarios array".into()),
+            Some(rows) => {
+                if rows.len() != SCALEOUT_RACKS.len() {
+                    problems.push(format!(
+                        "scaleout: expected {} rows, found {}",
+                        SCALEOUT_RACKS.len(),
+                        rows.len()
+                    ));
+                }
+                for row in rows {
+                    let name = row
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("<unnamed>")
+                        .to_string();
+                    for field in ["goodput_qps", "ideal_qps", "efficiency"] {
+                        if let Err(e) = row.get_finite(field) {
+                            problems.push(format!("{name}: {e}"));
+                        }
+                    }
+                    // The scale-out acceptance envelope: at 64 racks the
+                    // fabric must deliver at least 0.7x the ideal
+                    // all-servers-saturated goodput. Quick runs use too few
+                    // ops for the load tails to settle, so only full runs
+                    // gate on it.
+                    if !quick && name == "scaleout/racks-64" {
+                        match row.get_finite("efficiency") {
+                            Ok(eff) if eff < 0.7 => problems.push(format!(
+                                "{name}: efficiency {eff:.2} below the 0.7x \
+                                 near-linear-scaling floor"
+                            )),
+                            Ok(_) => {}
+                            Err(e) => problems.push(format!("{name}: {e}")),
+                        }
+                    }
+                }
+            }
+        },
+    }
     for s in scenarios {
         let name = s
             .get("name")
@@ -318,6 +362,30 @@ fn main() {
         transport_rows.push(transport_result_json(&r));
     }
 
+    // Scale-out scenario: the deployed multi-rack fabric (spine caches +
+    // p2c) under zipf-0.99 reads at growing rack counts. Goodput is the
+    // saturation throughput implied by the measured per-component loads;
+    // near-linear scaling means efficiency stays near (or above) 1.0 as
+    // racks grow.
+    let scaleout_ops_per_rack = if cli.quick { 120 } else { 600 };
+    println!(
+        "{:>32} {:>14} {:>14} {:>8} {:>8}",
+        "scale-out scenario", "goodput", "ideal", "eff", "tor-imb"
+    );
+    let mut scaleout_rows = Vec::new();
+    for racks in SCALEOUT_RACKS {
+        let r = run_scaleout(racks, scaleout_ops_per_rack, seed);
+        println!(
+            "{:>32} {:>14} {:>14} {:>7.2}x {:>7.2}x",
+            format!("scaleout/racks-{racks}"),
+            fmt_qps(r.goodput_qps),
+            fmt_qps(r.ideal_qps),
+            r.efficiency,
+            r.tor_imbalance,
+        );
+        scaleout_rows.push(scaleout_result_json(&r));
+    }
+
     // Failover scenario: a chain-replicated rack loses a replica
     // mid-workload; report the availability gap, the repair/re-sync cost
     // and the goodput on either side of the event.
@@ -335,13 +403,14 @@ fn main() {
     );
 
     let payload = format!(
-        "{{\"schema\":\"netcache-bench/v1\",\"quick\":{},\"seed\":{},\"scenarios\":[{}],\"threaded\":{{\"cores\":{cores},\"pipes\":{THREADED_PIPES},\"speedup\":{},\"scenarios\":[{}]}},\"transports\":{{\"ops\":{transport_ops},\"scenarios\":[{}]}},\"failover\":{}}}",
+        "{{\"schema\":\"netcache-bench/v1\",\"quick\":{},\"seed\":{},\"scenarios\":[{}],\"threaded\":{{\"cores\":{cores},\"pipes\":{THREADED_PIPES},\"speedup\":{},\"scenarios\":[{}]}},\"transports\":{{\"ops\":{transport_ops},\"scenarios\":[{}]}},\"scaleout\":{{\"ops_per_rack\":{scaleout_ops_per_rack},\"scenarios\":[{}]}},\"failover\":{}}}",
         cli.quick,
         seed,
         rows.join(","),
         netcache::json::fmt_f64(speedup),
         threaded_rows.join(","),
         transport_rows.join(","),
+        scaleout_rows.join(","),
         failover_result_json(&fo)
     );
     write_json_file(out, &payload);

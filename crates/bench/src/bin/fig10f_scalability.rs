@@ -26,7 +26,9 @@ fn main() {
         server_rate: 10e6,
         leaf_switch_rate: 2e9,
         partition_seed: 42,
-    });
+        ..MultiRackConfig::default()
+    })
+    .expect("valid config");
     let racks = [1u32, 2, 4, 8, 16, 32];
     println!(
         "{:>6} {:>8} | {:>12} {:>14} {:>18}",

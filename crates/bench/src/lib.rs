@@ -8,6 +8,7 @@
 use netcache_sim::{AnalyticModel, RackSim, SimConfig, SimReport};
 
 pub mod failover;
+pub mod scaleout;
 pub mod scenario;
 pub mod threaded;
 pub mod transports;

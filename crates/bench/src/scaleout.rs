@@ -1,0 +1,182 @@
+//! Scale-out goodput scenario (the DistCache direction of §5): drives the
+//! *deployed* multi-rack fabric — spine caches, p2c routing, per-rack
+//! NetCache switches — at increasing rack counts under a zipf-0.99
+//! read-only workload, then converts the measured load distribution into
+//! an aggregate goodput bound.
+//!
+//! Unlike `fig10f_scalability` (which evaluates the closed-form
+//! [`netcache_sim::MultiRackModel`]), every query here crosses the real
+//! packet pipeline: the spine switch's cache and sketch, the p2c choice
+//! between the two cached copies, the leaf ToR and the storage server.
+//! Goodput is then the saturation throughput implied by the measured
+//! per-component loads: the component that carries the largest share of
+//! the run saturates first, so
+//! `goodput = min over components of rate_c * ops / max_load_c`,
+//! and `ideal = servers * server_rate` (every storage server saturated,
+//! perfect balance, no cache help). Efficiency above 1.0 is legitimate —
+//! switch caches answer reads at line rate that servers never see.
+
+use netcache::json::fmt_f64;
+use netcache_proto::Key;
+use netcache_sim::{MultiRack, MultiRackConfig};
+use netcache_workload::ZipfGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Rack counts the bench sweeps, per the scale-out acceptance envelope.
+pub const SCALEOUT_RACKS: [u32; 4] = [16, 32, 64, 128];
+
+/// Storage servers per leaf rack. Small on purpose: the interesting
+/// contention is between racks, and total work is O(racks * ops_per_rack).
+pub const SERVERS_PER_RACK: u32 = 2;
+
+/// What one rack-count sweep point measured.
+#[derive(Debug, Clone)]
+pub struct ScaleOutResult {
+    pub racks: u32,
+    pub spines: u32,
+    pub servers: u32,
+    pub ops: u64,
+    /// Aggregate saturation throughput implied by the measured loads.
+    pub goodput_qps: f64,
+    /// `servers * server_rate`: perfectly balanced, cache-less ceiling.
+    pub ideal_qps: f64,
+    /// `goodput_qps / ideal_qps`.
+    pub efficiency: f64,
+    pub spine_hits: u64,
+    pub leaf_hits: u64,
+    pub tor_imbalance: f64,
+    pub server_imbalance: f64,
+}
+
+fn config_for(racks: u32, seed: u64) -> MultiRackConfig {
+    MultiRackConfig {
+        racks,
+        // One spine per 8 racks keeps the spine layer proportionally
+        // provisioned as the fabric grows (DistCache's constant-factor
+        // guarantee assumes the spine pool scales with the leaf pool).
+        spines: (racks / 8).max(2),
+        servers_per_rack: SERVERS_PER_RACK,
+        num_keys: 16_384,
+        theta: 0.99,
+        value_len: 16,
+        leaf_cache_items: 64,
+        spine_cache_items: 512,
+        seed,
+        ..MultiRackConfig::default()
+    }
+}
+
+/// Runs one sweep point: `ops_per_rack * racks` zipf-0.99 reads through
+/// the deployed fabric, every reply checked against the dataset.
+///
+/// # Panics
+///
+/// Panics if the fabric drops or mis-answers any read — this is a
+/// fault-free run, so goodput is only meaningful if every query is
+/// actually served.
+pub fn run_scaleout(racks: u32, ops_per_rack: u64, seed: u64) -> ScaleOutResult {
+    let config = config_for(racks, seed);
+    let server_rate = config.server_rate;
+    let tor_rate = config.leaf_switch_rate;
+    let spine_rate = config.spine_switch_rate;
+    let num_keys = config.num_keys;
+    let mr = MultiRack::new(config).expect("valid scale-out config");
+    let mut client = mr.client(0);
+    let zipf = ZipfGenerator::new(num_keys, 0.99);
+    let mut rng = StdRng::seed_from_u64(seed ^ u64::from(racks));
+
+    let ops = ops_per_rack * u64::from(racks);
+    for i in 0..ops {
+        let key = Key::from_u64(zipf.sample(&mut rng));
+        let reply = client.get(key);
+        assert!(reply.is_some(), "fault-free read dropped at op {i}");
+        // Reset the p2c windows (and run cache repair) periodically, as a
+        // deployment's controller cadence would.
+        if i % 2_048 == 2_047 {
+            mr.run_controller();
+        }
+    }
+
+    let report = mr.report();
+    let bound = |rate: f64, loads: &[u64]| -> f64 {
+        match loads.iter().max() {
+            Some(&max) if max > 0 => rate * ops as f64 / max as f64,
+            _ => f64::INFINITY,
+        }
+    };
+    let goodput = bound(server_rate, &report.server_loads)
+        .min(bound(tor_rate, &report.tor_loads))
+        .min(bound(spine_rate, &report.spine_loads));
+    let servers = racks * SERVERS_PER_RACK;
+    let ideal = f64::from(servers) * server_rate;
+    ScaleOutResult {
+        racks,
+        spines: report.spines,
+        servers,
+        ops,
+        goodput_qps: goodput,
+        ideal_qps: ideal,
+        efficiency: goodput / ideal,
+        spine_hits: report.spine_hits,
+        leaf_hits: report.leaf_hits,
+        tor_imbalance: report.tor_imbalance(),
+        server_imbalance: report.server_imbalance(),
+    }
+}
+
+/// One JSON row for the `scaleout` section of `BENCH_netcache.json`.
+pub fn scaleout_result_json(r: &ScaleOutResult) -> String {
+    format!(
+        concat!(
+            "{{\"name\":\"scaleout/racks-{}\",\"racks\":{},\"spines\":{},",
+            "\"servers\":{},\"ops\":{},\"goodput_qps\":{},\"ideal_qps\":{},",
+            "\"efficiency\":{},\"spine_hits\":{},\"leaf_hits\":{},",
+            "\"tor_imbalance\":{},\"server_imbalance\":{}}}"
+        ),
+        r.racks,
+        r.racks,
+        r.spines,
+        r.servers,
+        r.ops,
+        fmt_f64(r.goodput_qps),
+        fmt_f64(r.ideal_qps),
+        fmt_f64(r.efficiency),
+        r.spine_hits,
+        r.leaf_hits,
+        fmt_f64(r.tor_imbalance),
+        fmt_f64(r.server_imbalance),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_point_measures_positive_scaling() {
+        let r = run_scaleout(16, 40, 0x5eed);
+        assert_eq!(r.racks, 16);
+        assert_eq!(r.servers, 32);
+        assert_eq!(r.ops, 640);
+        assert!(r.goodput_qps > 0.0 && r.goodput_qps.is_finite());
+        assert!(r.efficiency > 0.0, "efficiency {}", r.efficiency);
+        assert!(
+            r.spine_hits + r.leaf_hits > 0,
+            "no cache layer served a zipf-0.99 read workload"
+        );
+    }
+
+    #[test]
+    fn result_row_is_valid_json() {
+        let r = run_scaleout(16, 10, 0x5eed);
+        let row = scaleout_result_json(&r);
+        let json = netcache::Json::parse(&row).expect("row parses");
+        assert_eq!(
+            json.get("name").and_then(netcache::Json::as_str),
+            Some("scaleout/racks-16")
+        );
+        assert!(json.get_finite("efficiency").is_ok());
+        assert_eq!(json.get_u64("racks"), Ok(16));
+    }
+}

@@ -18,9 +18,16 @@ use crate::chain::ChainManager;
 use netcache_dataplane::ChainHop;
 
 /// Where a key lives: its home server and the switch resources serving it.
+///
+/// `server` is a generic *downstream node* index: for a ToR controller it
+/// is a storage server in the rack, while a spine-layer controller (the
+/// DistCache-style scale-out of `netcache-sim`) uses it as a leaf-rack
+/// index — the controller itself never interprets it beyond handing it to
+/// the topology closure's [`ServerBackend`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KeyHome {
-    /// Server (partition) index in the rack.
+    /// Downstream node (partition) index: a server in a single rack, or a
+    /// leaf rack behind a spine switch.
     pub server: u32,
     /// The server's IP address.
     pub server_ip: u32,
@@ -264,6 +271,11 @@ impl Controller {
     /// Number of cached keys.
     pub fn cached_keys(&self) -> usize {
         self.cached.len()
+    }
+
+    /// The configured cache capacity (target number of cached items).
+    pub fn capacity(&self) -> usize {
+        self.config.cache_capacity
     }
 
     /// Whether `key` is currently cached.

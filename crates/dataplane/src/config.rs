@@ -60,6 +60,32 @@ impl SwitchConfig {
         }
     }
 
+    /// A spine-switch configuration for multi-rack scale-out: `downlinks`
+    /// ports face leaf racks (one per rack, from port 0), `uplinks` ports
+    /// face client attachment points, and the value arrays are sized for
+    /// `cache_items` globally-hot keys. Same pipeline shape as the
+    /// prototype — the spine runs the *same* NetCache program, only its
+    /// ports connect to racks instead of servers.
+    pub fn spine(downlinks: usize, uplinks: usize, cache_items: usize) -> Self {
+        let value_slots = cache_items.max(64).next_power_of_two();
+        SwitchConfig {
+            profile: AsicProfile::TOFINO,
+            pipes: 1,
+            ports: downlinks + uplinks,
+            cache_capacity: value_slots,
+            value_stages: 8,
+            value_slots,
+            cms_depth: 4,
+            cms_width: 65_536,
+            bloom_partitions: 3,
+            bloom_bits: 262_144,
+            hot_threshold: 128,
+            sample_rate: 1.0,
+            report_queue_capacity: 4096,
+            seed: 0x7370_696e_6573, // "spines"
+        }
+    }
+
     /// A small configuration for fast unit tests: same shape, tiny arrays.
     pub fn tiny() -> Self {
         SwitchConfig {
@@ -161,6 +187,15 @@ mod tests {
         assert_eq!(c.pipe_of_port(3), 0);
         assert_eq!(c.pipe_of_port(4), 1);
         assert_eq!(c.pipe_of_port(7), 1);
+    }
+
+    #[test]
+    fn spine_preset_validates_and_sizes_arrays() {
+        let c = SwitchConfig::spine(32, 4, 1_000);
+        c.validate().unwrap();
+        assert_eq!(c.ports, 36);
+        assert!(c.value_slots >= 1_000);
+        assert_eq!(c.cache_capacity, c.value_slots);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! The write-side (packet-moving) rack contract, for assemblies that
+//! stack racks into larger fabrics.
+//!
+//! [`super::RackHandle`] is deliberately read-only: it exposes stats,
+//! latency distributions and cache setup, but not packet movement, so it
+//! can be implemented by transports whose packets move on OS threads
+//! (the UDP rack). A *composition* layer — a spine switch fronting N
+//! leaf racks, as in DistCache-style scale-out — additionally needs to
+//! push packets into a rack, drive its timers and move its clock from
+//! the outside. [`RackDrive`] is that contract: the virtual-time
+//! deployments (`crate::Rack`, and `netcache_sim::RackSim` via its
+//! embedded rack) implement it, and `netcache_sim::multirack::MultiRack`
+//! is written against it.
+
+use netcache_dataplane::PortId;
+use netcache_proto::Packet;
+
+use super::RackHandle;
+
+/// A rack that an enclosing fabric can drive: inject packets at switch
+/// ports, advance virtual time, fire timers, and run control-plane
+/// cycles. Everything returns client-bound packets as
+/// `(client_index, packet)` so the enclosing layer can route replies.
+pub trait RackDrive: RackHandle {
+    /// Injects `pkt` at switch port `in_port` and runs the rack's
+    /// forwarding loop to completion; returns packets that exited toward
+    /// clients.
+    fn inject(&self, pkt: Packet, in_port: PortId) -> Vec<(u32, Packet)>;
+
+    /// Current rack virtual time, nanoseconds.
+    fn now_ns(&self) -> u64;
+
+    /// Advances the rack's virtual clock.
+    fn advance_ns(&self, ns: u64);
+
+    /// Drives server-agent retransmission timers at the current time and
+    /// delivers matured delayed traffic.
+    fn drive_tick(&self) -> Vec<(u32, Packet)>;
+
+    /// Runs one controller cycle at the current time; returns client-bound
+    /// packets produced by writes the cycle released.
+    fn drive_controller(&self) -> Vec<(u32, Packet)>;
+}

@@ -25,8 +25,10 @@ pub struct ClientResponse {
 }
 
 impl ClientResponse {
-    /// Wraps a decoded response.
-    pub(crate) fn new(inner: Response) -> Self {
+    /// Wraps a decoded response. Public so external transport drivers
+    /// (e.g. the simulator's multi-rack fabric) can surface replies
+    /// through the same type the rack clients use.
+    pub fn new(inner: Response) -> Self {
         ClientResponse { inner }
     }
 

@@ -39,10 +39,12 @@
 //!    reports, benches, and differential tests do works unchanged.
 
 pub mod core;
+pub mod drive;
 pub mod engine;
 pub mod error;
 
 pub use self::core::{AgentTiming, FabricCore};
+pub use self::drive::RackDrive;
 pub use self::engine::{
     ClientCounters, ClientResponse, Clock, Link, RequestEngine, RetryOutcome, RetryPolicy,
     WallClock,

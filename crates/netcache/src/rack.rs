@@ -348,6 +348,28 @@ impl Clock for Rack {
     }
 }
 
+impl crate::fabric::RackDrive for Rack {
+    fn inject(&self, pkt: Packet, in_port: PortId) -> Vec<(u32, Packet)> {
+        self.execute(pkt, in_port)
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.now()
+    }
+
+    fn advance_ns(&self, ns: u64) {
+        self.advance(ns)
+    }
+
+    fn drive_tick(&self) -> Vec<(u32, Packet)> {
+        self.tick()
+    }
+
+    fn drive_controller(&self) -> Vec<(u32, Packet)> {
+        self.run_controller()
+    }
+}
+
 impl core::fmt::Debug for Rack {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Rack")

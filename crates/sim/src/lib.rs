@@ -14,10 +14,13 @@
 //!   crossovers, recovery times) are the reproduction targets.
 //! - [`analytic`] — closed-form saturated-throughput models used to
 //!   cross-check the simulator and to sweep large parameter spaces.
-//! - [`multirack`] — the scale-out model of Fig. 10(f) (NoCache /
-//!   LeafCache / Leaf-Spine-Cache over up to 32 racks), mirroring the
-//!   paper's own simulation methodology ("assume the switches can absorb
-//!   queries to hot items").
+//! - [`multirack`] — scale-out beyond one rack, both as the closed-form
+//!   model of Fig. 10(f) (NoCache / LeafCache / Leaf-Spine-Cache over up
+//!   to 32 racks) and as [`MultiRack`], a *deployed* two-layer fabric in
+//!   the DistCache direction: a spine cache layer built from the same
+//!   switch program and controller fronting N in-process leaf racks,
+//!   with independent per-layer hashing and power-of-two-choices read
+//!   routing.
 
 pub mod analytic;
 pub mod engine;
@@ -26,7 +29,9 @@ pub mod rack_sim;
 
 pub use analytic::AnalyticModel;
 pub use engine::EventQueue;
-pub use multirack::{MultiRackConfig, MultiRackModel, ScaleOutScheme};
+pub use multirack::{
+    MultiRack, MultiRackClient, MultiRackConfig, MultiRackModel, MultiRackReport, ScaleOutScheme,
+};
 pub use rack_sim::{
     rack_config_for, LatencyStats, RackSim, ScriptOp, SecondStats, SimConfig, SimReport,
 };

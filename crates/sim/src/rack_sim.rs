@@ -841,6 +841,31 @@ impl RackHandle for RackSim {
     }
 }
 
+/// The simulator can also be driven packet-at-a-time through the fabric
+/// contract (composition layers bypass the Poisson event loop and talk
+/// to the underlying rack directly, like the in-process deployment).
+impl netcache::RackDrive for RackSim {
+    fn inject(&self, pkt: Packet, in_port: PortId) -> Vec<(u32, Packet)> {
+        netcache::RackDrive::inject(&self.rack, pkt, in_port)
+    }
+
+    fn now_ns(&self) -> u64 {
+        netcache::RackDrive::now_ns(&self.rack)
+    }
+
+    fn advance_ns(&self, ns: u64) {
+        netcache::RackDrive::advance_ns(&self.rack, ns)
+    }
+
+    fn drive_tick(&self) -> Vec<(u32, Packet)> {
+        netcache::RackDrive::drive_tick(&self.rack)
+    }
+
+    fn drive_controller(&self) -> Vec<(u32, Packet)> {
+        netcache::RackDrive::drive_controller(&self.rack)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

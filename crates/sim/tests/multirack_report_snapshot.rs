@@ -1,0 +1,110 @@
+//! Golden snapshot of [`MultiRackReport::to_json`]: pins the
+//! `netcache-multirack-report/v1` schema byte for byte, so any field
+//! rename, reorder, or format change is a deliberate, reviewed schema
+//! bump — the scale-out bench scenarios and external plotting scripts
+//! parse this output.
+//!
+//! The report is hand-built (live captures embed seed-dependent load
+//! counts and would drift with any routing change); the values are
+//! arbitrary but distinct, so a swapped pair of fields cannot cancel
+//! out, and the load vectors are chosen so every imbalance renders as an
+//! exact short decimal.
+
+use netcache::json::Json;
+use netcache_sim::MultiRackReport;
+
+/// A fully deterministic report with every field populated.
+fn sample_report() -> MultiRackReport {
+    MultiRackReport {
+        racks: 4,
+        spines: 2,
+        dead_racks: 1,
+        // mean 100, max 140 -> tor_imbalance 1.4
+        tor_loads: vec![100, 140, 90, 70],
+        // mean 40, max 60 -> spine_imbalance 1.5
+        spine_loads: vec![60, 20],
+        // mean 30, max 60 -> server_imbalance 2.0
+        server_loads: vec![30, 10, 25, 35, 45, 15, 20, 60],
+        spine_hits: 180,
+        leaf_hits: 75,
+        leaf_bypass: 33,
+        dead_drops: 12,
+        leaf_cached_keys: 48,
+        spine_cached_keys: 16,
+        client_retries: 21,
+        client_abandoned: 3,
+    }
+}
+
+const GOLDEN: &str = "{\"schema\":\"netcache-multirack-report/v1\",\
+                      \"racks\":4,\"spines\":2,\"dead_racks\":1,\
+                      \"tor_loads\":[100,140,90,70],\"tor_imbalance\":1.4,\
+                      \"spine_loads\":[60,20],\"spine_imbalance\":1.5,\
+                      \"server_loads\":[30,10,25,35,45,15,20,60],\
+                      \"server_imbalance\":2.0,\
+                      \"spine_hits\":180,\"leaf_hits\":75,\"leaf_bypass\":33,\
+                      \"dead_drops\":12,\"leaf_cached_keys\":48,\
+                      \"spine_cached_keys\":16,\"client_retries\":21,\
+                      \"client_abandoned\":3}";
+
+#[test]
+fn multirack_report_json_matches_golden_snapshot() {
+    assert_eq!(sample_report().to_json(), GOLDEN);
+}
+
+#[test]
+fn golden_snapshot_is_valid_json_with_the_expected_fields() {
+    let json = Json::parse(GOLDEN).expect("golden snapshot parses");
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some("netcache-multirack-report/v1")
+    );
+    assert_eq!(json.get("racks").and_then(Json::as_f64), Some(4.0));
+    assert_eq!(json.get("tor_imbalance").and_then(Json::as_f64), Some(1.4));
+    assert_eq!(
+        json.get("spine_imbalance").and_then(Json::as_f64),
+        Some(1.5)
+    );
+    assert_eq!(
+        json.get("server_imbalance").and_then(Json::as_f64),
+        Some(2.0)
+    );
+    let tor = json
+        .get("tor_loads")
+        .and_then(Json::as_array)
+        .expect("array");
+    assert_eq!(tor.len(), 4);
+    assert_eq!(
+        json.get("client_abandoned").and_then(Json::as_f64),
+        Some(3.0)
+    );
+}
+
+/// Degenerate vectors must not divide by zero when rendered.
+#[test]
+fn empty_and_zero_load_reports_render_cleanly() {
+    let report = MultiRackReport {
+        racks: 1,
+        spines: 0,
+        dead_racks: 0,
+        tor_loads: vec![0],
+        spine_loads: vec![],
+        server_loads: vec![0, 0],
+        spine_hits: 0,
+        leaf_hits: 0,
+        leaf_bypass: 0,
+        dead_drops: 0,
+        leaf_cached_keys: 0,
+        spine_cached_keys: 0,
+        client_retries: 0,
+        client_abandoned: 0,
+    };
+    assert_eq!(report.tor_imbalance(), 0.0);
+    assert_eq!(report.spine_imbalance(), 0.0);
+    let json = report.to_json();
+    assert!(Json::parse(&json).is_ok(), "unparseable: {json}");
+    assert!(
+        json.contains("\"spine_loads\":[]"),
+        "bad empty array: {json}"
+    );
+}

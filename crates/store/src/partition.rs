@@ -8,6 +8,17 @@
 
 use netcache_proto::Key;
 
+/// MurmurHash3's 64-bit finaliser: full avalanche, so every input bit
+/// flips every output bit with probability ≈ 1/2.
+fn fmix64(mut v: u64) -> u64 {
+    v ^= v >> 33;
+    v = v.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    v ^= v >> 33;
+    v = v.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    v ^= v >> 33;
+    v
+}
+
 /// A deterministic hash partitioner over a fixed number of partitions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Partitioner {
@@ -38,17 +49,17 @@ impl Partitioner {
         for half in [&b[..8], &b[8..]] {
             let mut lane = [0u8; 8];
             lane.copy_from_slice(half);
-            let mut v = u64::from_le_bytes(lane);
-            v ^= v >> 33;
-            v = v.wrapping_mul(0xff51_afd7_ed55_8ccd);
-            h = (h ^ v)
+            h = (h ^ fmix64(u64::from_le_bytes(lane)))
                 .rotate_left(27)
                 .wrapping_mul(5)
                 .wrapping_add(0x52dc_e729);
         }
-        h ^= h >> 32;
-        // Multiply-shift reduction onto the partition range.
-        ((u128::from(h) * u128::from(self.partitions)) >> 64) as u32
+        // Multiply-shift reduction onto the partition range. Needs the
+        // *high* bits of `h` to be well mixed, hence the full final
+        // avalanche: a plain xor-shift here leaves lattice structure on
+        // sequential key ids, which shows up as multi-sigma ownership
+        // skew across racks and correlated leaf/spine assignments.
+        ((u128::from(fmix64(h)) * u128::from(self.partitions)) >> 64) as u32
     }
 }
 
@@ -88,6 +99,34 @@ mod tests {
                 c > expected / 2 && c < expected * 2,
                 "partition {part}: {c} vs expected ≈{expected}"
             );
+        }
+    }
+
+    #[test]
+    fn sequential_ids_stay_within_multinomial_noise() {
+        // Guards the finaliser's avalanche quality: a weak final mix
+        // leaves lattice structure on sequential key ids (the common
+        // `Key::from_u64(0..n)` datasets), which showed up as multi-sigma
+        // ownership skew across racks. Uniform hashing puts each
+        // partition's count within a few standard deviations of n/p.
+        for seed in [1u64, 2, 3, 0x7261_636b, 0x7370_696e, 0x5eed] {
+            for parts in [4u32, 6, 16, 37] {
+                let p = Partitioner::new(parts, seed);
+                let n = 8_000u64;
+                let mut counts = vec![0.0f64; parts as usize];
+                for i in 0..n {
+                    counts[p.partition_of(&Key::from_u64(i)) as usize] += 1.0;
+                }
+                let mean = n as f64 / f64::from(parts);
+                let sigma = (mean * (1.0 - 1.0 / f64::from(parts))).sqrt();
+                for (part, &c) in counts.iter().enumerate() {
+                    assert!(
+                        (c - mean).abs() < 5.0 * sigma,
+                        "seed {seed:#x} parts {parts} partition {part}: \
+                         {c} keys vs expected {mean:.0} (sigma {sigma:.1})"
+                    );
+                }
+            }
         }
     }
 

@@ -18,8 +18,9 @@ fn main() {
         server_rate: 10e6,
         leaf_switch_rate: 2e9,
         partition_seed: 42,
+        ..MultiRackConfig::default()
     };
-    let model = MultiRackModel::new(config);
+    let model = MultiRackModel::new(config).expect("valid config");
 
     println!("scale-out under zipf-0.99, 128 servers/rack @ 10 MQPS, 2 BQPS ToRs\n");
     println!(
@@ -42,13 +43,17 @@ fn main() {
     println!();
     println!("How big must the leaf caches be? (8 racks, Leaf-Cache only)");
     println!("{:>12} {:>12}", "items/ToR", "throughput");
-    for items in [0usize, 100, 1_000, 10_000, 100_000] {
+    for items in [100usize, 1_000, 10_000, 100_000] {
+        // items = 0 with no spine would be an entirely cache-less fabric,
+        // which the config validation rejects — the NoCache column above
+        // already shows that regime.
         let m = MultiRackModel::new(MultiRackConfig {
             leaf_cache_items: items,
             spine_cache_items: 0,
             num_keys: 10_000_000,
             ..MultiRackConfig::default()
-        });
+        })
+        .expect("valid config");
         println!(
             "{:>12} {:>11.2}B",
             items,

@@ -556,6 +556,276 @@ fn chaos_chain_is_deterministic_per_seed() {
     assert_eq!(a, b, "same seed must replay the same chain outcomes");
 }
 
+// ---------------------------------------------------------------------------
+// Multi-rack chaos (DistCache direction): kill an entire leaf rack
+// mid-workload while the per-rack fault models keep dropping packets, and
+// check that spine-cached reads of the dead rack's keys stay alive and
+// §4.3-fresh while everything that must cross the dead ToR abandons
+// cleanly instead of going stale.
+// ---------------------------------------------------------------------------
+
+/// What one multi-rack chaos scenario observed.
+#[derive(Debug, PartialEq)]
+struct MultiRackOutcome {
+    acked: u64,
+    abandoned: u64,
+    /// Packets the fabric dropped at the dead rack's boundary.
+    dead_drops: u64,
+    /// Acked reads of victim-owned keys *while the victim rack was dead* —
+    /// only the spine layer can have served these.
+    outage_spine_reads: u64,
+    spine_hits: u64,
+    client_retries: u64,
+}
+
+/// Replays a mixed workload against a 4-rack × 2-spine fabric under loss,
+/// killing the leaf rack that owns key 0 a quarter of the way in (so the
+/// victim is guaranteed to own populated, workload-hot partitions) and —
+/// when `restart` is set — bringing it back at the halfway mark.
+///
+/// Ground truth is the same admissible-set model the chain suite uses: an
+/// acked op collapses a key's admissible observations to a singleton, an
+/// abandoned op widens it (a write dropped at the dead ToR never commits,
+/// but a write whose *ack* was lost did — the set covers both). On top of
+/// that, §4.3 demands that a read served by a cache copy is never staler
+/// than the latest acked write, which the admissible check enforces: the
+/// spine invalidates its copy before forwarding any write toward the dead
+/// rack, so a spine-served read is either pre-write-fresh or the read
+/// abandons — it must never answer with the overwritten value.
+fn run_multirack_scenario(seed: u64, loss: f64, restart: bool) -> MultiRackOutcome {
+    use netcache_sim::{MultiRack, MultiRackConfig};
+
+    let mr = MultiRack::new(MultiRackConfig {
+        racks: 4,
+        spines: 2,
+        servers_per_rack: 2,
+        num_keys: KEYS,
+        value_len: 8,
+        leaf_cache_items: 8,
+        // Ample spine capacity: every key fits, so membership churn can
+        // never evict a valid copy the outage assertions depend on.
+        spine_cache_items: 2 * KEYS as usize,
+        faults: FaultConfig {
+            loss,
+            duplicate: 0.05,
+            reorder: 0.05,
+            max_delay_ns: 300_000,
+            seed,
+        },
+        seed,
+        ..MultiRackConfig::default()
+    })
+    .expect("valid multirack config");
+    let policy = RetryPolicy::default();
+    let mut client = mr.client(0).with_policy(policy.clone());
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0xd15c));
+
+    // Victim-anchoring: kill the rack that owns key 0, so the outage is
+    // guaranteed to hit partitions the workload exercises.
+    let victim = mr.rack_of(&Key::from_u64(0));
+
+    let mut keys: Vec<ChainKeyState> = (0..KEYS).map(|_| ChainKeyState::new()).collect();
+    let mut next_counter = 0u64;
+    let mut acked = 0u64;
+    let mut abandoned = 0u64;
+    let mut outage_spine_reads = 0u64;
+
+    for k in 0..KEYS {
+        next_counter += 1;
+        keys[k as usize].max_issued = next_counter;
+        let out = client.put_with_retry(Key::from_u64(k), val(next_counter));
+        assert!(out.retries <= policy.max_retries);
+        match out.response {
+            Some(_) => keys[k as usize].commit(Some(next_counter)),
+            None => {
+                keys[k as usize].admit(Some(next_counter));
+                abandoned += 1;
+            }
+        }
+    }
+    // The seeding writes invalidated the pre-populated spine copies
+    // (write-around, §4.3); a controller cycle re-fetches them so the
+    // spine enters the outage with valid copies of the live values.
+    mr.run_controller();
+
+    let kill_at = OPS / 4;
+    let restart_at = OPS / 2;
+    for i in 0..OPS {
+        if i == kill_at {
+            mr.kill_rack(victim);
+        }
+        if restart && i == restart_at {
+            mr.restart_rack(victim);
+        }
+        if i % 8 == 0 {
+            mr.run_controller();
+        }
+        let k = rng.random_range(0..KEYS);
+        let key = Key::from_u64(k);
+        let roll: f64 = rng.random();
+        // Key 0 — the victim anchor — is pinned read-only: no write ever
+        // invalidates its spine copy, so at least one victim-owned key is
+        // guaranteed to stay servable through the outage (the sweep below
+        // always reads it while the rack is dead in the no-restart
+        // levels). Every other key keeps the full mixed op distribution.
+        if roll < 0.6 || k == 0 {
+            let out = client.get_with_retry(key);
+            assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+            let Some(resp) = out.response else {
+                abandoned += 1;
+                continue;
+            };
+            acked += 1;
+            if mr.is_killed(mr.rack_of(&key)) {
+                // The home ToR is down; only the spine copy can answer.
+                outage_spine_reads += 1;
+            }
+            let observed = match resp.response() {
+                Response::Value { value, .. } => Some(counter_of(value)),
+                Response::NotFound { .. } => None,
+                other => panic!("unexpected get response {other:?}"),
+            };
+            keys[k as usize].check(observed, seed, k);
+        } else if roll < 0.9 {
+            next_counter += 1;
+            keys[k as usize].max_issued = next_counter;
+            let out = client.put_with_retry(key, val(next_counter));
+            assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+            match out.response {
+                Some(resp) => {
+                    assert!(matches!(resp.response(), Response::PutAck { .. }));
+                    keys[k as usize].commit(Some(next_counter));
+                    acked += 1;
+                }
+                None => {
+                    keys[k as usize].admit(Some(next_counter));
+                    abandoned += 1;
+                }
+            }
+        } else {
+            let out = client.delete_with_retry(key);
+            assert!(out.retries <= policy.max_retries, "retry bound exceeded");
+            match out.response {
+                Some(resp) => {
+                    assert!(matches!(resp.response(), Response::DeleteAck { .. }));
+                    keys[k as usize].commit(None);
+                    acked += 1;
+                }
+                None => {
+                    keys[k as usize].admit(None);
+                    abandoned += 1;
+                }
+            }
+        }
+    }
+
+    // Let repair settle (spine re-fetches whatever the outage invalidated),
+    // then sweep every key: acked observations must be admissible. With the
+    // rack restarted the sweep doubles as a recovery check; with it still
+    // dead, victim-owned keys may only answer via the spine or abandon.
+    mr.run_controller();
+    for k in 0..KEYS {
+        let out = client.get_with_retry(Key::from_u64(k));
+        let Some(resp) = out.response else {
+            abandoned += 1;
+            continue;
+        };
+        acked += 1;
+        if mr.is_killed(mr.rack_of(&Key::from_u64(k))) {
+            outage_spine_reads += 1;
+        }
+        let observed = match resp.response() {
+            Response::Value { value, .. } => Some(counter_of(value)),
+            Response::NotFound { .. } => None,
+            other => panic!("unexpected get response {other:?}"),
+        };
+        keys[k as usize].check(observed, seed, k);
+    }
+
+    let report = mr.report();
+    assert_eq!(report.dead_racks, u32::from(!restart));
+    assert_eq!(report.client_abandoned, abandoned, "seed {seed:#x}");
+    MultiRackOutcome {
+        acked,
+        abandoned,
+        dead_drops: report.dead_drops,
+        outage_spine_reads,
+        spine_hits: report.spine_hits,
+        client_retries: report.client_retries,
+    }
+}
+
+/// Runs several seeds of one multi-rack chaos level and checks the
+/// aggregate: the outage actually dropped traffic at the dead boundary,
+/// the spine actually kept some of the dead rack's reads alive, and
+/// abandonment stays confined to what must cross the dead ToR plus
+/// ordinary loss attrition.
+fn run_multirack_level(level: u64, restart: bool, max_abandoned_frac: f64) {
+    let mut total_dead_drops = 0u64;
+    let mut total_outage_reads = 0u64;
+    let mut total_acked = 0u64;
+    let mut total_abandoned = 0u64;
+    for i in 0..4 {
+        let seed = scenario_seed(level, i);
+        let out = run_multirack_scenario(seed, 0.05, restart);
+        assert!(
+            out.acked > out.abandoned,
+            "fabric mostly unavailable (seed {seed:#x}): {out:?}"
+        );
+        assert!(out.spine_hits > 0, "spine never served (seed {seed:#x})");
+        assert!(
+            out.client_retries > 0,
+            "client never retried (seed {seed:#x})"
+        );
+        total_dead_drops += out.dead_drops;
+        total_outage_reads += out.outage_spine_reads;
+        total_acked += out.acked;
+        total_abandoned += out.abandoned;
+    }
+    assert!(
+        total_dead_drops > 0,
+        "no packet ever hit the dead rack's boundary"
+    );
+    assert!(
+        total_outage_reads > 0,
+        "the spine never served a dead rack's key during an outage"
+    );
+    let requests = total_acked + total_abandoned;
+    assert!(
+        (total_abandoned as f64) <= (requests as f64) * max_abandoned_frac,
+        "{total_abandoned} of {requests} requests abandoned \
+         (budget {:.0}%)",
+        max_abandoned_frac * 100.0
+    );
+}
+
+/// A whole leaf rack dies a quarter of the way in and comes back at the
+/// halfway mark, under 5% loss. Spine-cached reads of its keys keep
+/// serving §4.3-fresh values through the outage; writes toward it abandon
+/// (never committing stale state), and recovery restores full service.
+#[test]
+fn chaos_multirack_rack_death_and_recovery_under_loss() {
+    run_multirack_level(10, true, 0.25);
+}
+
+/// The rack never comes back: every surviving read of its keyspace for
+/// the rest of the run — including the final sweep — can only have been
+/// served by the spine layer, and must still be admissible.
+#[test]
+fn chaos_multirack_permanent_rack_death_under_loss() {
+    run_multirack_level(11, false, 0.40);
+}
+
+/// The whole fabric scenario — per-rack fault models, the kill/restart
+/// schedule, spine repair, observations — is a pure function of the seed.
+#[test]
+fn chaos_multirack_is_deterministic_per_seed() {
+    let seed = scenario_seed(12, 0);
+    let a = run_multirack_scenario(seed, 0.05, true);
+    let b = run_multirack_scenario(seed, 0.05, true);
+    assert_eq!(a, b, "same seed must replay the same fabric outcomes");
+}
+
 /// The same §4.3 freshness contract over the *real* loopback transport
 /// with the batched runtime underneath: a seeded fault model drops,
 /// duplicates, reorders and delays real datagrams while a sequential

@@ -1,0 +1,262 @@
+//! Differential test for the multi-rack fabric: a 1-rack [`MultiRack`]
+//! with the spine layer disabled must be *exactly* a single-rack
+//! NetCache deployment.
+//!
+//! With one leaf rack there is no inter-rack layer to exercise — the
+//! rack-level partitioner maps every key to rack 0 and the boundary NAT
+//! rewrites the destination to the same home-server IP a direct rack
+//! client computes — so the same seeded script must produce identical
+//! replies, identical final store contents, identical cache membership
+//! and identical switch/server/controller counters as the discrete-event
+//! [`RackSim`] (which is itself pinned against the in-process [`Rack`]
+//! and the UDP deployment by `fabric_differential`). This anchors the
+//! whole scale-out layer: whatever the spine adds, the leaf racks
+//! underneath are the *same* rack.
+//!
+//! Seeded via `NETCACHE_TEST_SEED` (see `netcache::seed_from_env`).
+
+use netcache::{seed_from_env, RackHandle};
+use netcache_client::Response;
+use netcache_proto::{Key, Value};
+use netcache_sim::{MultiRack, MultiRackConfig, RackSim, ScriptOp, SimConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const NUM_KEYS: u64 = 2_000;
+const VALUE_LEN: usize = 64;
+const CACHE_ITEMS: usize = 64;
+const PARTITION_SEED: u64 = 0x7061_7274;
+
+fn sim_config(seed: u64) -> SimConfig {
+    SimConfig {
+        servers: 8,
+        num_keys: NUM_KEYS,
+        value_len: VALUE_LEN,
+        cache_items: CACHE_ITEMS,
+        partition_seed: PARTITION_SEED,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// The 1-rack scale-out counterpart of [`sim_config`]: same workload
+/// parameters, one leaf rack, spine layer disabled (`spine_cache_items:
+/// 0` — with a single rack there are no globally hot keys for a spine to
+/// absorb that the leaf does not already cache).
+fn multirack_config(seed: u64) -> MultiRackConfig {
+    MultiRackConfig {
+        servers_per_rack: 8,
+        num_keys: NUM_KEYS,
+        value_len: VALUE_LEN,
+        leaf_cache_items: CACHE_ITEMS,
+        spine_cache_items: 0,
+        racks: 1,
+        partition_seed: PARTITION_SEED,
+        seed,
+        ..MultiRackConfig::default()
+    }
+}
+
+/// The same deterministic script shape `fabric_differential` uses:
+/// mostly-hot reads, a write mix, occasional deletes, controller cycles
+/// and time advances.
+fn script(seed: u64) -> Vec<ScriptOp> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd1ff);
+    let hot = CACHE_ITEMS as u64;
+    let mut ops = Vec::new();
+    for i in 0..300u64 {
+        let id = if rng.random::<f64>() < 0.7 {
+            rng.random::<u64>() % hot
+        } else {
+            hot + rng.random::<u64>() % 200
+        };
+        let r = rng.random::<f64>();
+        if r < 0.60 {
+            ops.push(ScriptOp::Get(id));
+        } else if r < 0.85 {
+            ops.push(ScriptOp::Put(id, (i % 251) as u8 + 1));
+        } else if r < 0.93 {
+            ops.push(ScriptOp::Delete(id));
+        } else {
+            ops.push(ScriptOp::Controller);
+        }
+        if i % 41 == 0 {
+            ops.push(ScriptOp::AdvanceMs(1));
+        }
+    }
+    ops.push(ScriptOp::Controller);
+    ops
+}
+
+/// Runs a script through the multi-rack fabric, mirroring
+/// [`RackSim::run_script`] op for op.
+fn run_script_on_multirack(mr: &MultiRack, ops: &[ScriptOp]) -> Vec<Option<Response>> {
+    let mut client = mr.client(0);
+    let mut results = Vec::new();
+    for op in ops {
+        match *op {
+            ScriptOp::Get(id) => {
+                results.push(client.get(Key::from_u64(id)).map(|r| r.into_response()));
+            }
+            ScriptOp::Put(id, fill) => {
+                let value = Value::filled(fill, VALUE_LEN);
+                results.push(
+                    client
+                        .put(Key::from_u64(id), value)
+                        .map(|r| r.into_response()),
+                );
+            }
+            ScriptOp::Delete(id) => {
+                results.push(client.delete(Key::from_u64(id)).map(|r| r.into_response()));
+            }
+            ScriptOp::Controller => {
+                mr.run_controller();
+            }
+            ScriptOp::AdvanceMs(ms) => {
+                mr.advance(ms * 1_000_000);
+                mr.tick();
+            }
+        }
+    }
+    results
+}
+
+fn store_contents<H: RackHandle>(rack: &H) -> Vec<Option<(Value, u32)>> {
+    (0..NUM_KEYS)
+        .map(|id| {
+            let key = Key::from_u64(id);
+            let home = rack.addressing().home_of(&key);
+            rack.server(home.server)
+                .fetch(&key)
+                .map(|item| (item.value, item.version))
+        })
+        .collect()
+}
+
+fn cache_membership<H: RackHandle>(rack: &H) -> Vec<u64> {
+    (0..NUM_KEYS)
+        .filter(|&id| rack.is_cached(&Key::from_u64(id)))
+        .collect()
+}
+
+#[test]
+fn one_rack_multirack_equals_rack_sim_exactly() {
+    let seed = seed_from_env(0x5ca1_d1ff);
+    let ops = script(seed);
+
+    let mut sim = RackSim::new(sim_config(seed)).expect("valid sim config");
+    let mr = MultiRack::new(multirack_config(seed)).expect("valid multirack config");
+    let leaf = mr.leaf(0);
+
+    // Identically assembled: same pre-script switch state and cache fill.
+    assert_eq!(sim.switch_stats(), leaf.switch_stats(), "seed {seed:#x}");
+    assert_eq!(
+        cache_membership(&sim),
+        cache_membership(leaf),
+        "initial cache membership diverged (seed {seed:#x})"
+    );
+    assert_eq!(
+        store_contents(&sim),
+        store_contents(leaf),
+        "initial store contents diverged (seed {seed:#x})"
+    );
+
+    let sim_replies = sim.run_script(&ops);
+    let mr_replies = run_script_on_multirack(&mr, &ops);
+
+    // Same replies, element-wise — including the served-by-cache flag.
+    assert_eq!(sim_replies.len(), mr_replies.len());
+    for (i, (s, m)) in sim_replies.iter().zip(mr_replies.iter()).enumerate() {
+        assert_eq!(s, m, "reply {i} diverged (seed {seed:#x}, op {:?})", ops[i]);
+    }
+
+    // Same final logical state and the same counters, everywhere.
+    assert_eq!(
+        store_contents(&sim),
+        store_contents(leaf),
+        "final store contents diverged (seed {seed:#x})"
+    );
+    assert_eq!(
+        cache_membership(&sim),
+        cache_membership(leaf),
+        "final cache membership diverged (seed {seed:#x})"
+    );
+    assert_eq!(sim.cached_keys(), leaf.cached_keys());
+    assert_eq!(
+        sim.switch_stats(),
+        leaf.switch_stats(),
+        "switch counters diverged (seed {seed:#x})"
+    );
+    assert_eq!(
+        sim.controller_stats(),
+        leaf.controller_stats(),
+        "controller counters diverged (seed {seed:#x})"
+    );
+    for i in 0..8 {
+        assert_eq!(
+            sim.server_stats(i),
+            leaf.server_stats(i),
+            "server {i} counters diverged (seed {seed:#x})"
+        );
+    }
+
+    // The scale-out bookkeeping saw every data packet cross the one ToR,
+    // none spine-served, none dropped.
+    let report = mr.report();
+    assert_eq!(report.racks, 1);
+    assert_eq!(report.spines, 0);
+    assert_eq!(report.spine_hits, 0);
+    assert_eq!(report.dead_drops, 0);
+    let data_ops = ops
+        .iter()
+        .filter(|op| {
+            matches!(
+                op,
+                ScriptOp::Get(_) | ScriptOp::Put(..) | ScriptOp::Delete(_)
+            )
+        })
+        .count() as u64;
+    assert_eq!(report.tor_loads, vec![data_ops], "seed {seed:#x}");
+}
+
+/// Adding the spine layer on top of that same single rack must not change
+/// any *value* a client observes (the serving path may move to the spine,
+/// which is the point), and the final stores must stay identical.
+#[test]
+fn one_rack_spine_layer_is_value_transparent() {
+    let seed = seed_from_env(0x5ca1_d1fe);
+    let ops = script(seed);
+
+    let mut config = multirack_config(seed);
+    config.spine_cache_items = 32;
+    let spined = MultiRack::new(config).expect("valid multirack config");
+    let mut sim = RackSim::new(sim_config(seed)).expect("valid sim config");
+
+    let sim_replies = sim.run_script(&ops);
+    let mr_replies = run_script_on_multirack(&spined, &ops);
+    assert_eq!(sim_replies.len(), mr_replies.len());
+    for (i, (s, m)) in sim_replies.iter().zip(mr_replies.iter()).enumerate() {
+        let logical = |r: &Option<Response>| {
+            r.clone().map(|resp| match resp {
+                Response::Value { key, value, .. } => Response::Value {
+                    key,
+                    value,
+                    from_cache: false,
+                },
+                other => other,
+            })
+        };
+        assert_eq!(
+            logical(s),
+            logical(m),
+            "logical reply {i} diverged (seed {seed:#x}, op {:?})",
+            ops[i]
+        );
+    }
+    assert_eq!(
+        store_contents(&sim),
+        store_contents(spined.leaf(0)),
+        "final store contents diverged (seed {seed:#x})"
+    );
+    assert!(spined.report().spine_hits > 0, "spine never served");
+}
