@@ -178,8 +178,8 @@ fn validate(payload: &str) -> Vec<String> {
         Some(transports) => match transports.get("scenarios").and_then(Json::as_array) {
             None => problems.push("transports: missing scenarios array".into()),
             Some(rows) => {
-                if rows.len() != 3 {
-                    problems.push(format!("transports: expected 3 rows, found {}", rows.len()));
+                if rows.len() != 4 {
+                    problems.push(format!("transports: expected 4 rows, found {}", rows.len()));
                 }
                 for row in rows {
                     let name = row

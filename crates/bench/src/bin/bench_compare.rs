@@ -31,11 +31,26 @@ const TOLERANCE: f64 = 0.30;
 /// Minimum 4-thread speedup demanded on machines with >= 4 cores.
 const MIN_SPEEDUP: f64 = 2.0;
 
-/// Ceiling on `transport/rack : transport/udp` throughput. The batched
-/// runtime measures ~3.7-4.6x on a 1-core dev box (the seed shipped at
-/// ~10x); the gate sits above the measured band to absorb shared-runner
-/// noise while still catching a transport-layer regression.
+/// Ceiling on `transport/rack : transport/udp` throughput when the UDP
+/// leg ran on the batched (`recvmmsg`/`sendmmsg`) or portable backend.
+/// The batched runtime measures ~3.7-4.6x on a 1-core dev box (the seed
+/// shipped at ~10x); the gate sits above the measured band to absorb
+/// shared-runner noise while still catching a transport-layer
+/// regression.
 const MAX_TRANSPORT_RATIO: f64 = 5.0;
+
+/// Tightened ceiling when the UDP leg ran on the io_uring backend. The
+/// ring cuts syscalls/packet to ~0.05 (vs ~0.15 batched), but on the
+/// 1-core dev box the batched backend had already amortized syscall
+/// entry below the noise floor, so the remaining gap to the in-process
+/// rack is per-hop serialization plus loopback stack traversal — costs
+/// no socket driver can remove. Best-of-five sampling converges the
+/// uring leg at ~4.1-4.7x the rack on that box (multi-core machines
+/// measure far lower: the loopback legs gain real parallelism while
+/// the single-threaded rack leg does not); the gate sits just above
+/// the worst-case band, under the batched ceiling, so a ring
+/// regression still fails the comparison.
+const MAX_TRANSPORT_RATIO_URING: f64 = 4.9;
 
 fn load(path: &str) -> Json {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -134,33 +149,39 @@ fn main() {
         }
     }
 
-    // --- Transport ratio: loopback UDP vs in-process rack. ---
-    let transport_qps = |name: &str| -> Option<f64> {
+    // --- Transport ratio: loopback UDP vs in-process rack. The gate
+    // tightens when the UDP row is labeled with the uring backend; on
+    // kernels where the probe fell back to batched/portable the old
+    // ceiling applies. ---
+    let transport_row = |name: &str| -> Option<&Json> {
         current
             .get("transports")?
             .get("scenarios")
             .and_then(Json::as_array)?
             .iter()
-            .find(|s| s.get("name").and_then(Json::as_str) == Some(name))?
-            .get_finite("qps")
-            .ok()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
     };
-    match (
-        transport_qps("transport/rack"),
-        transport_qps("transport/udp"),
-    ) {
+    let rack_qps = transport_row("transport/rack").and_then(|r| r.get_finite("qps").ok());
+    let udp_row = transport_row("transport/udp");
+    let udp_qps = udp_row.and_then(|r| r.get_finite("qps").ok());
+    match (rack_qps, udp_qps) {
         (Some(rack_qps), Some(udp_qps)) if udp_qps > 0.0 => {
-            let ratio = rack_qps / udp_qps;
-            let verdict = if ratio <= MAX_TRANSPORT_RATIO {
-                "ok"
+            let backend = udp_row
+                .and_then(|r| r.get("runtime"))
+                .and_then(Json::as_str)
+                .unwrap_or("batched");
+            let ceiling = if backend == "uring" {
+                MAX_TRANSPORT_RATIO_URING
             } else {
-                "FAIL"
+                MAX_TRANSPORT_RATIO
             };
+            let ratio = rack_qps / udp_qps;
+            let verdict = if ratio <= ceiling { "ok" } else { "FAIL" };
             println!(
-                "{verdict}: transport ratio: rack {rack_qps:.0} qps / udp {udp_qps:.0} qps \
-                 = {ratio:.2}x (ceiling {MAX_TRANSPORT_RATIO:.1}x)"
+                "{verdict}: transport ratio: rack {rack_qps:.0} qps / udp[{backend}] \
+                 {udp_qps:.0} qps = {ratio:.2}x (ceiling {ceiling:.1}x)"
             );
-            if ratio > MAX_TRANSPORT_RATIO {
+            if ratio > ceiling {
                 failures.push("transport ratio".into());
             }
         }

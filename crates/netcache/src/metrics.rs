@@ -161,8 +161,9 @@ impl RackReport {
     }
 
     /// A stable machine-readable snapshot (schema
-    /// `netcache-rack-report/v1`). Key order is fixed; a golden test pins
-    /// it so the bench schema cannot drift silently.
+    /// `netcache-rack-report/v2` — v2 added the transport backend label
+    /// and the io_uring ring counters). Key order is fixed; a golden
+    /// test pins it so the bench schema cannot drift silently.
     pub fn to_json(&self) -> String {
         let loads = self.server_loads();
         let loads_json = loads
@@ -171,7 +172,7 @@ impl RackReport {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema\":\"netcache-rack-report/v1\",\
+            "{{\"schema\":\"netcache-rack-report/v2\",\
              \"switch\":{{\"packets\":{},\"netcache_packets\":{},\"cache_hits\":{},\
              \"invalid_hits\":{},\"cache_misses\":{},\"write_invalidations\":{},\
              \"updates_applied\":{},\"updates_ignored\":{},\"drops\":{},\"hit_ratio\":{}}},\
@@ -184,8 +185,10 @@ impl RackReport {
              \"network\":{{\"dropped\":{},\"duplicated\":{},\"reordered\":{},\"delayed\":{},\
              \"client_retries\":{},\"stale_replies\":{},\"abandoned_requests\":{}}},\
              \"latency\":{{\"op\":{},\"switch\":{},\"server\":{}}},\
-             \"transport\":{{\"recv_syscalls\":{},\"recv_packets\":{},\
+             \"transport\":{{\"backend\":\"{}\",\
+             \"recv_syscalls\":{},\"recv_packets\":{},\
              \"send_syscalls\":{},\"send_packets\":{},\"syscalls_per_packet\":{},\
+             \"cqe_batches\":{},\"zerocopy_sends\":{},\
              \"batch_occupancy\":{}}},\
              \"replication\":{{\"factor\":{},\"full_chains\":{},\
              \"degraded_chains\":{},\"unserved_partitions\":{},\
@@ -232,11 +235,14 @@ impl RackReport {
             self.op_latency.to_json(),
             self.switch_latency.to_json(),
             self.server_latency.to_json(),
+            self.transport.backend,
             self.transport.recv_syscalls,
             self.transport.recv_packets,
             self.transport.send_syscalls,
             self.transport.send_packets,
             fmt_f64(self.transport.syscalls_per_packet()),
+            self.transport.cqe_batches,
+            self.transport.zc_completions,
             self.batch_occupancy.to_json(),
             self.replication.factor,
             self.replication.full_chains,
@@ -327,8 +333,9 @@ impl fmt::Display for RackReport {
         if self.transport.packets() > 0 {
             writeln!(
                 f,
-                "  transport: {} syscalls / {} datagrams ({:.2} per datagram), \
+                "  transport[{}]: {} syscalls / {} datagrams ({:.2} per datagram), \
                  batch occupancy p50 {} / max {}",
+                self.transport.backend,
                 self.transport.syscalls(),
                 self.transport.packets(),
                 self.transport.syscalls_per_packet(),

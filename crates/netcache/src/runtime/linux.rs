@@ -37,7 +37,7 @@ const GRO_BUF: usize = 1 << 16;
 
 #[repr(C)]
 #[derive(Clone, Copy)]
-struct SockaddrIn {
+pub(crate) struct SockaddrIn {
     sin_family: u16,
     /// Network byte order.
     sin_port: u16,
@@ -47,7 +47,7 @@ struct SockaddrIn {
 }
 
 impl SockaddrIn {
-    fn zeroed() -> SockaddrIn {
+    pub(crate) fn zeroed() -> SockaddrIn {
         SockaddrIn {
             sin_family: 0,
             sin_port: 0,
@@ -56,7 +56,7 @@ impl SockaddrIn {
         }
     }
 
-    fn from_addr(addr: &SocketAddrV4) -> SockaddrIn {
+    pub(crate) fn from_addr(addr: &SocketAddrV4) -> SockaddrIn {
         SockaddrIn {
             sin_family: AF_INET as u16,
             sin_port: addr.port().to_be(),
@@ -65,7 +65,7 @@ impl SockaddrIn {
         }
     }
 
-    fn to_addr(self) -> SocketAddr {
+    pub(crate) fn to_addr(self) -> SocketAddr {
         SocketAddr::V4(SocketAddrV4::new(
             Ipv4Addr::from(u32::from_be(self.sin_addr)),
             u16::from_be(self.sin_port),
@@ -75,21 +75,21 @@ impl SockaddrIn {
 
 #[repr(C)]
 #[derive(Clone, Copy)]
-struct IoVec {
-    base: *mut u8,
-    len: usize,
+pub(crate) struct IoVec {
+    pub(crate) base: *mut u8,
+    pub(crate) len: usize,
 }
 
 #[repr(C)]
 #[derive(Clone, Copy)]
-struct MsgHdr {
-    name: *mut SockaddrIn,
-    namelen: u32,
-    iov: *mut IoVec,
-    iovlen: usize,
-    control: *mut u8,
-    controllen: usize,
-    flags: i32,
+pub(crate) struct MsgHdr {
+    pub(crate) name: *mut SockaddrIn,
+    pub(crate) namelen: u32,
+    pub(crate) iov: *mut IoVec,
+    pub(crate) iovlen: usize,
+    pub(crate) control: *mut u8,
+    pub(crate) controllen: usize,
+    pub(crate) flags: i32,
 }
 
 #[repr(C)]
@@ -125,13 +125,13 @@ struct PollFd {
 }
 
 #[repr(C)]
-struct Timespec {
+pub(crate) struct Timespec {
     tv_sec: i64,
     tv_nsec: i64,
 }
 
 impl Timespec {
-    fn from_duration(d: Duration) -> Timespec {
+    pub(crate) fn from_duration(d: Duration) -> Timespec {
         Timespec {
             tv_sec: d.as_secs() as i64,
             tv_nsec: d.subsec_nanos() as i64,
@@ -144,7 +144,7 @@ impl Timespec {
 /// `UDP_SEGMENT`, the GSO segment size.
 #[repr(C)]
 #[derive(Clone, Copy)]
-struct GsoCmsg {
+pub(crate) struct GsoCmsg {
     /// `cmsg_len`: header plus payload, unpadded (`CMSG_LEN(2)`).
     len: usize,
     level: i32,
@@ -154,7 +154,7 @@ struct GsoCmsg {
 }
 
 impl GsoCmsg {
-    fn new(gso_size: u16) -> GsoCmsg {
+    pub(crate) fn new(gso_size: u16) -> GsoCmsg {
         GsoCmsg {
             len: mem::size_of::<usize>() + 2 * mem::size_of::<i32>() + mem::size_of::<u16>(),
             level: SOL_UDP,
@@ -311,7 +311,7 @@ pub(crate) struct BatchedDriver {
 }
 
 /// Whether this kernel supports `UDP_SEGMENT` (one probe per process).
-fn gso_supported() -> bool {
+pub(crate) fn gso_supported() -> bool {
     static SUPPORTED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *SUPPORTED.get_or_init(|| {
         let Ok(sock) = UdpSocket::bind("127.0.0.1:0") else {
@@ -396,6 +396,7 @@ impl SocketDriver for BatchedDriver {
             return Ok(IoOutcome {
                 packets: got,
                 syscalls: 0,
+                ..Default::default()
             });
         }
         let fd = sock.as_raw_fd();
@@ -411,6 +412,7 @@ impl SocketDriver for BatchedDriver {
             return Ok(IoOutcome {
                 packets: 0,
                 syscalls: 1,
+                ..Default::default()
             });
         }
         let n = ring.capacity();
@@ -464,6 +466,7 @@ impl SocketDriver for BatchedDriver {
                 return Ok(IoOutcome {
                     packets: 0,
                     syscalls: 2,
+                    ..Default::default()
                 });
             }
             return Err(io::Error::last_os_error());
@@ -477,6 +480,7 @@ impl SocketDriver for BatchedDriver {
             return Ok(IoOutcome {
                 packets: got,
                 syscalls: 2,
+                ..Default::default()
             });
         }
         // GRO split: each message may carry a whole burst; the `UDP_GRO`
@@ -517,6 +521,7 @@ impl SocketDriver for BatchedDriver {
         Ok(IoOutcome {
             packets: out,
             syscalls: 2,
+            ..Default::default()
         })
     }
 
@@ -646,7 +651,11 @@ impl SocketDriver for BatchedDriver {
         }
         ring.clear();
         let packets = self.segs[..sent].iter().map(|&s| s as usize).sum();
-        Ok(IoOutcome { packets, syscalls })
+        Ok(IoOutcome {
+            packets,
+            syscalls,
+            ..Default::default()
+        })
     }
 }
 

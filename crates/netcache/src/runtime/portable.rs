@@ -63,6 +63,7 @@ impl SocketDriver for PortableDriver {
                 return Ok(IoOutcome {
                     packets: 0,
                     syscalls,
+                    ..Default::default()
                 });
             }
             Err(e) => return Err(e),
@@ -100,6 +101,7 @@ impl SocketDriver for PortableDriver {
         Ok(IoOutcome {
             packets: count,
             syscalls,
+            ..Default::default()
         })
     }
 
@@ -118,6 +120,7 @@ impl SocketDriver for PortableDriver {
         Ok(IoOutcome {
             packets: sent,
             syscalls: count as u64,
+            ..Default::default()
         })
     }
 }

@@ -55,8 +55,8 @@ use crate::fabric::{
     RetryOutcome, RetryPolicy, WallClock,
 };
 use crate::runtime::{
-    bind_sharded, enter_io_scheduling, make_driver, wait_any, RecvRing, RuntimeKind, SendRing,
-    SocketDriver, DEFAULT_BATCH,
+    bind_sharded, enter_io_scheduling, make_driver, make_driver_group, wait_any, RecvRing,
+    RuntimeKind, SendRing, SocketDriver, DEFAULT_BATCH,
 };
 
 /// Upper bound on an idle wait: long enough to sleep cheaply, short
@@ -120,6 +120,7 @@ impl UdpRack {
         runtime: RuntimeKind,
     ) -> Result<UdpRack, RackError> {
         let core = Arc::new(FabricCore::new(config, AgentTiming::loopback())?);
+        core.transport().set_backend(runtime.name());
         let shutdown = Arc::new(AtomicBool::new(false));
 
         // Sockets: one per server, one per client, and a sharded group
@@ -190,7 +191,10 @@ impl UdpRack {
                 let n_shards = shards.len();
                 let refs: Vec<&UdpSocket> =
                     shards.iter().chain(socks.iter().map(Arc::as_ref)).collect();
-                let mut drivers: Vec<_> = refs.iter().map(|_| make_driver(runtime)).collect();
+                // One driver per socket; on the uring backend the whole
+                // group shares a single ring, so `wait_group` below is
+                // one `io_uring_enter` covering every socket.
+                let mut drivers = make_driver_group(runtime, refs.len());
                 let mut rx = RecvRing::new(DEFAULT_BATCH);
                 let mut tx = SendRing::new(DEFAULT_BATCH);
                 let mut scratch: Vec<u8> = Vec::with_capacity(crate::runtime::MAX_FRAME);
@@ -222,8 +226,20 @@ impl UdpRack {
                         .map(|&(at, _, _)| Duration::from_nanos(at.saturating_sub(now)))
                         .min()
                         .map_or(RECV_TIMEOUT, |d| d.clamp(MIN_WAIT, RECV_TIMEOUT));
-                    if wait_any(&refs, wait, runtime, &mut ready).is_err() {
-                        continue;
+                    // Completion-native backends (uring) wait on their
+                    // ring in one kernel entry; `Ok(false)` means the
+                    // driver has no group wait and the `ppoll`-based
+                    // `wait_any` covers the set. (The two are exclusive:
+                    // once a multishot recv is armed, datagrams land in
+                    // the ring's buffers and never show up as `POLLIN`.)
+                    match drivers[0].wait_group(&refs, wait, &mut ready) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            if wait_any(&refs, wait, runtime, &mut ready).is_err() {
+                                continue;
+                            }
+                        }
+                        Err(_) => continue,
                     }
                     // Run to completion: sweep every ready socket, then
                     // re-poll without blocking until the rack is quiet
@@ -243,7 +259,7 @@ impl UdpRack {
                             // traffic and the other clones are skipped —
                             // probing them would also alias the cached
                             // timeout across their drivers.
-                            let portable = runtime.effective() != RuntimeKind::Batched;
+                            let portable = runtime.effective() == RuntimeKind::Portable;
                             if portable && i > 0 && i < n_shards {
                                 continue;
                             }
@@ -342,9 +358,15 @@ impl UdpRack {
                         if moved == 0 || passes >= MAX_HOST_PASSES {
                             break;
                         }
-                        if wait_any(&refs, Duration::ZERO, runtime, &mut ready).is_err()
-                            || ready.is_empty()
-                        {
+                        let more = match drivers[0].wait_group(&refs, Duration::ZERO, &mut ready) {
+                            Ok(true) => !ready.is_empty(),
+                            Ok(false) => {
+                                wait_any(&refs, Duration::ZERO, runtime, &mut ready).is_ok()
+                                    && !ready.is_empty()
+                            }
+                            Err(_) => false,
+                        };
+                        if !more {
                             break;
                         }
                     }
@@ -907,7 +929,7 @@ mod tests {
         // The whole point: far fewer syscalls than packets.
         let stats = rack.transport_stats();
         assert!(stats.packets() > 0);
-        if rack.runtime_kind().effective() == RuntimeKind::Batched {
+        if rack.runtime_kind().effective() != RuntimeKind::Portable {
             assert!(
                 stats.syscalls_per_packet() < 2.0,
                 "batching should beat the 2-syscalls-per-packet baseline: {stats:?}"

@@ -1,5 +1,5 @@
 //! Golden snapshot of [`RackReport::to_json`]: pins the
-//! `netcache-rack-report/v1` schema byte for byte, so any field rename,
+//! `netcache-rack-report/v2` schema byte for byte, so any field rename,
 //! reorder, or format change is a deliberate, reviewed schema bump — the
 //! bench harness and any external plotting scripts parse this output.
 //!
@@ -102,10 +102,13 @@ fn sample_report() -> RackReport {
         switch_latency,
         server_latency,
         transport: TransportStats {
+            backend: "uring",
             recv_syscalls: 50,
             recv_packets: 400,
             send_syscalls: 30,
             send_packets: 380,
+            cqe_batches: 12,
+            zc_completions: 5,
         },
         batch_occupancy,
         replication: ReplicationReport {
@@ -119,7 +122,7 @@ fn sample_report() -> RackReport {
 
 /// The pinned golden output. Regenerate (and bump the schema version) only
 /// on a deliberate schema change.
-const GOLDEN: &str = "{\"schema\":\"netcache-rack-report/v1\",\
+const GOLDEN: &str = "{\"schema\":\"netcache-rack-report/v2\",\
 \"switch\":{\"packets\":120,\"netcache_packets\":100,\"cache_hits\":60,\
 \"invalid_hits\":5,\"cache_misses\":15,\"write_invalidations\":7,\
 \"updates_applied\":9,\"updates_ignored\":1,\"drops\":2,\"hit_ratio\":0.75},\
@@ -141,9 +144,11 @@ const GOLDEN: &str = "{\"schema\":\"netcache-rack-report/v1\",\
 \"server\":{\"count\":2,\"min\":900,\"max\":1100,\"sum\":2000,\"mean\":1000.0,\
 \"p50\":900,\"p90\":1100,\"p99\":1100,\"p999\":1100,\
 \"buckets\":[[184,1],[194,1]]}},\
-\"transport\":{\"recv_syscalls\":50,\"recv_packets\":400,\
+\"transport\":{\"backend\":\"uring\",\
+\"recv_syscalls\":50,\"recv_packets\":400,\
 \"send_syscalls\":30,\"send_packets\":380,\
 \"syscalls_per_packet\":0.10256410256410256,\
+\"cqe_batches\":12,\"zerocopy_sends\":5,\
 \"batch_occupancy\":{\"count\":4,\"min\":8,\"max\":32,\"sum\":64,\"mean\":16.0,\
 \"p50\":8,\"p90\":32,\"p99\":32,\"p999\":32,\
 \"buckets\":[[8,2],[16,1],[32,1]]}},\
@@ -169,7 +174,7 @@ fn rack_report_json_round_trips_through_parser() {
     let parsed = Json::parse(&report.to_json()).expect("own output parses");
     assert_eq!(
         parsed.get("schema").and_then(Json::as_str),
-        Some("netcache-rack-report/v1")
+        Some("netcache-rack-report/v2")
     );
     let switch = parsed.get("switch").expect("switch section");
     assert_eq!(switch.get_u64("cache_hits"), Ok(60));
@@ -185,8 +190,20 @@ fn rack_report_json_round_trips_through_parser() {
     assert_eq!(hist.nonzero_buckets(), report.op_latency.nonzero_buckets());
     let transport = parsed.get("transport").expect("transport section");
     assert_eq!(
+        transport.get("backend").and_then(Json::as_str),
+        Some(report.transport.backend)
+    );
+    assert_eq!(
         transport.get_u64("recv_packets"),
         Ok(report.transport.recv_packets)
+    );
+    assert_eq!(
+        transport.get_u64("cqe_batches"),
+        Ok(report.transport.cqe_batches)
+    );
+    assert_eq!(
+        transport.get_u64("zerocopy_sends"),
+        Ok(report.transport.zc_completions)
     );
     assert_eq!(
         transport.get_finite("syscalls_per_packet"),

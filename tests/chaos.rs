@@ -826,19 +826,20 @@ fn chaos_multirack_is_deterministic_per_seed() {
     assert_eq!(a, b, "same seed must replay the same fabric outcomes");
 }
 
-/// The same §4.3 freshness contract over the *real* loopback transport
-/// with the batched runtime underneath: a seeded fault model drops,
-/// duplicates, reorders and delays real datagrams while a sequential
-/// client interleaves writes and reads. Every acked put must be visible
-/// to every subsequent acked get — the write-through invalidation means
-/// no stale switch entry may answer once the server has committed — and
-/// abandonment stays bounded by the retry budget.
-#[test]
-fn chaos_udp_batched_write_freshness() {
-    use netcache::runtime::RuntimeKind;
+/// The same §4.3 freshness contract over the *real* loopback transport:
+/// a seeded fault model drops, duplicates, reorders and delays real
+/// datagrams while a sequential client interleaves writes and reads.
+/// Every acked put must be visible to every subsequent acked get — the
+/// write-through invalidation means no stale switch entry may answer
+/// once the server has committed — and abandonment stays bounded by the
+/// retry budget. Parameterized over the runtime backend so the uring
+/// ring-buffer reuse path faces the same duplicate/reorder storm as the
+/// batched one (a recycled provided buffer must never leak a stale
+/// payload into a retransmitted reply).
+fn chaos_udp_write_freshness(runtime: netcache::runtime::RuntimeKind, scenario: u64) {
     use netcache::udp::UdpRack;
 
-    let seed = scenario_seed(6, 0);
+    let seed = scenario_seed(6, scenario);
     let mut config = RackConfig::small(2);
     config.controller.cache_capacity = 8;
     config.faults = FaultConfig {
@@ -848,7 +849,7 @@ fn chaos_udp_batched_write_freshness() {
         max_delay_ns: 2_000_000, // 2 ms, well inside the client timeout
         seed,
     };
-    let rack = UdpRack::start_with_runtime(config, RuntimeKind::detect()).expect("loopback rack");
+    let rack = UdpRack::start_with_runtime(config, runtime).expect("loopback rack");
     rack.load_dataset(KEYS, 32);
     rack.populate_cache((0..KEYS / 2).map(Key::from_u64));
 
@@ -918,4 +919,23 @@ fn chaos_udp_batched_write_freshness() {
         "fault model never fired: {stats:?}"
     );
     rack.stop();
+}
+
+#[test]
+fn chaos_udp_batched_write_freshness() {
+    chaos_udp_write_freshness(netcache::runtime::RuntimeKind::Batched, 0);
+}
+
+/// The uring leg of the freshness matrix: multishot recv recycles
+/// provided buffers across packets, so a duplicate/reorder storm is the
+/// sharpest probe for a buffer handed back to the kernel before its
+/// payload was fully copied out. Skips with a notice where the kernel
+/// lacks io_uring so old-kernel CI stays green.
+#[test]
+fn chaos_udp_uring_write_freshness() {
+    if !netcache::runtime::uring_available() {
+        eprintln!("notice: io_uring unavailable on this kernel; uring chaos leg skipped");
+        return;
+    }
+    chaos_udp_write_freshness(netcache::runtime::RuntimeKind::Uring, 1);
 }
