@@ -19,7 +19,13 @@ fn switch_with_items(items: usize, value_len: usize) -> NetCacheSwitch {
     let bitmap = ((1u16 << units) - 1) as u8;
     for i in 0..items {
         let key = Key::from_u64(i as u64);
-        sw.write_value(0, bitmap, i as u32, &Value::for_item(i as u64, value_len));
+        sw.write_value(
+            0,
+            bitmap,
+            i as u32,
+            1,
+            &Value::for_item(i as u64, value_len),
+        );
         sw.insert_entry(
             key,
             LookupEntry {
@@ -27,7 +33,8 @@ fn switch_with_items(items: usize, value_len: usize) -> NetCacheSwitch {
                 value_index: i as u32,
                 key_index: i as u32,
                 egress_port: SERVER_PORT,
-                value_len: value_len as u8,
+                value_len: value_len as u16,
+                passes: 1,
             },
         )
         .expect("capacity");

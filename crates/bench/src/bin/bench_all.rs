@@ -17,12 +17,27 @@ use netcache_bench::threaded::{available_cores, result_json, run_threaded};
 use netcache_bench::transports::{run_transport_comparison, transport_result_json};
 use netcache_bench::{banner, base_sim, fmt_qps, run_saturated, to_paper_scale};
 use netcache_sim::SimConfig;
-use netcache_workload::WriteSkew;
+use netcache_workload::{SizeClass, SizeMix, WriteSkew};
 
 const DEFAULT_OUT: &str = "BENCH_netcache.json";
 
 /// Pipes (= max worker threads) for the wall-clock pipe-scaling scenario.
 const THREADED_PIPES: usize = 4;
+
+/// Key → size-class assignment seed for the size-mixed scenarios. Fixed
+/// like `PARTITION_SEED`: the size distribution is part of the scenario
+/// definition, not of the replayable randomness.
+const SIZE_MIX_SEED: u64 = 0x512e;
+
+/// The size-mixed workload: mostly small items, some one-pass-plus
+/// values, a tail of chunked 4 KB blobs (`(value_len, weight)` pairs).
+const MIXED_SIZES: &[(usize, u32)] = &[(64, 80), (512, 15), (4096, 5)];
+
+/// Relative goodput the all-small size-mix scenario must retain against
+/// the fixed-128 B zipf-0.99 scenario: both are one-pass values through
+/// an identical pipeline, so the variable-length machinery must not tax
+/// the small-value path (line-rate independence).
+const MIN_SMALL_VALUE_RATIO: f64 = 0.9;
 
 struct Scenario {
     /// Stable scenario id (`figure/workload`).
@@ -31,6 +46,8 @@ struct Scenario {
     cache_items: usize,
     write_ratio: f64,
     write_skew: WriteSkew,
+    /// Value-size mixture (`(value_len, weight)`); empty = fixed 128 B.
+    size_mix: &'static [(usize, u32)],
 }
 
 const SCENARIOS: &[Scenario] = &[
@@ -40,6 +57,7 @@ const SCENARIOS: &[Scenario] = &[
         cache_items: 0,
         write_ratio: 0.0,
         write_skew: WriteSkew::Uniform,
+        size_mix: &[],
     },
     Scenario {
         name: "fig10a/zipf99-nocache",
@@ -47,6 +65,7 @@ const SCENARIOS: &[Scenario] = &[
         cache_items: 0,
         write_ratio: 0.0,
         write_skew: WriteSkew::Uniform,
+        size_mix: &[],
     },
     Scenario {
         name: "fig10a/zipf90-netcache",
@@ -54,6 +73,7 @@ const SCENARIOS: &[Scenario] = &[
         cache_items: 10_000,
         write_ratio: 0.0,
         write_skew: WriteSkew::Uniform,
+        size_mix: &[],
     },
     Scenario {
         name: "fig10a/zipf99-netcache",
@@ -61,6 +81,7 @@ const SCENARIOS: &[Scenario] = &[
         cache_items: 10_000,
         write_ratio: 0.0,
         write_skew: WriteSkew::Uniform,
+        size_mix: &[],
     },
     Scenario {
         name: "fig10d/zipf99-netcache-writes20",
@@ -68,6 +89,36 @@ const SCENARIOS: &[Scenario] = &[
         cache_items: 10_000,
         write_ratio: 0.2,
         write_skew: WriteSkew::Uniform,
+        size_mix: &[],
+    },
+    // Size-mixed scenarios: the same zipf-0.99 read workload with each
+    // key's value length drawn from a fixed mixture. `small-only` is the
+    // line-rate-independence control (all one-pass values through the
+    // size-aware machinery); `mixed` adds multi-pass and chunked classes
+    // with and without the cache.
+    Scenario {
+        name: "sizemix/small-only-netcache",
+        theta: 0.99,
+        cache_items: 10_000,
+        write_ratio: 0.0,
+        write_skew: WriteSkew::Uniform,
+        size_mix: &[(64, 1)],
+    },
+    Scenario {
+        name: "sizemix/mixed-netcache",
+        theta: 0.99,
+        cache_items: 10_000,
+        write_ratio: 0.0,
+        write_skew: WriteSkew::Uniform,
+        size_mix: MIXED_SIZES,
+    },
+    Scenario {
+        name: "sizemix/mixed-nocache",
+        theta: 0.99,
+        cache_items: 0,
+        write_ratio: 0.0,
+        write_skew: WriteSkew::Uniform,
+        size_mix: MIXED_SIZES,
     },
 ];
 
@@ -82,6 +133,15 @@ fn config_for(s: &Scenario, quick: bool) -> SimConfig {
     config.write_ratio = s.write_ratio;
     config.write_skew = s.write_skew;
     config.collect_latency = true;
+    if !s.size_mix.is_empty() {
+        config.size_mix = Some(SizeMix::new(
+            s.size_mix
+                .iter()
+                .map(|&(value_len, weight)| SizeClass { value_len, weight })
+                .collect(),
+            SIZE_MIX_SEED,
+        ));
+    }
     if quick {
         apply_quick(&mut config);
     }
@@ -270,6 +330,56 @@ fn validate(payload: &str) -> Vec<String> {
                 }
             }
         }
+        // Size-mixed rows must break their goodput down per class, and
+        // the smallest class must actually have completed operations.
+        if name.starts_with("sizemix/") {
+            match s.get("size_classes").and_then(Json::as_array) {
+                None => problems.push(format!("{name}: missing size_classes array")),
+                Some(classes) => {
+                    if classes.is_empty() {
+                        problems.push(format!("{name}: empty size_classes array"));
+                    }
+                    for class in classes {
+                        let len = class.get_u64("value_len").unwrap_or(0);
+                        for field in ["goodput_qps", "hit_ratio"] {
+                            if let Err(e) = class.get_finite(field) {
+                                problems.push(format!("{name}: class {len} B: {e}"));
+                            }
+                        }
+                        if let Err(e) = class.get_u64("delivered") {
+                            problems.push(format!("{name}: class {len} B: {e}"));
+                        }
+                    }
+                    if classes.first().and_then(|c| c.get_u64("delivered").ok()) == Some(0) {
+                        problems.push(format!("{name}: smallest size class delivered nothing"));
+                    }
+                }
+            }
+        }
+    }
+    // Line-rate independence: all-small values through the size-aware
+    // machinery must keep (within tolerance) the goodput of the fixed
+    // one-pass scenario — large-value support must not tax small values.
+    let row_goodput = |wanted: &str| -> Option<f64> {
+        scenarios
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(wanted))
+            .and_then(|s| s.get_finite("goodput_qps").ok())
+    };
+    match (
+        row_goodput("sizemix/small-only-netcache"),
+        row_goodput("fig10a/zipf99-netcache"),
+    ) {
+        (Some(small), Some(fixed)) if fixed > 0.0 => {
+            if small < fixed * MIN_SMALL_VALUE_RATIO {
+                problems.push(format!(
+                    "sizemix/small-only-netcache: goodput {small:.0} qps below \
+                     {MIN_SMALL_VALUE_RATIO}x the fixed-128 B scenario ({fixed:.0} qps); \
+                     the variable-length machinery is taxing the small-value path"
+                ));
+            }
+        }
+        _ => problems.push("missing size-mix line-rate-independence rows".into()),
     }
     problems
 }
@@ -307,6 +417,14 @@ fn main() {
             report.latency.p99_ns as f64 / 1e3 / netcache_bench::SCALE,
             report.load_imbalance(),
         );
+        for class in &report.size_classes {
+            println!(
+                "{:>32} {:>14} {:>7.1}%",
+                format!("└ {} B", class.value_len),
+                fmt_qps(to_paper_scale(class.goodput_qps)),
+                class.hit_ratio * 100.0,
+            );
+        }
         rows.push(named_report_json(s.name, &report));
     }
 

@@ -39,6 +39,13 @@ const MIN_SPEEDUP: f64 = 2.0;
 /// regression.
 const MAX_TRANSPORT_RATIO: f64 = 5.0;
 
+/// Floor on `sizemix/small-only-netcache : fig10a/zipf99-netcache`
+/// goodput in the current document. Both scenarios serve one-pass values
+/// over the same pipeline and are virtual-time deterministic, so the
+/// ratio is stable: dropping below the floor means the variable-length
+/// value machinery started taxing the small-value fast path.
+const MIN_SMALL_VALUE_RATIO: f64 = 0.9;
+
 /// Tightened ceiling when the UDP leg ran on the io_uring backend. The
 /// ring cuts syscalls/packet to ~0.05 (vs ~0.15 batched), but on the
 /// 1-core dev box the batched backend had already amortized syscall
@@ -187,6 +194,40 @@ fn main() {
         }
         _ => {
             println!("skip: transport ratio gate (current document has no transport rows)");
+        }
+    }
+
+    // --- Small-value line-rate independence: an absolute gate on the
+    // current document. All-small values routed through the size-aware
+    // pipeline must keep the goodput of the fixed-128 B scenario. ---
+    let cur_rows = sim_rows(&current, current_path);
+    let goodput_of = |wanted: &str| -> Option<f64> {
+        cur_rows
+            .iter()
+            .find(|(name, _)| name == wanted)
+            .map(|&(_, qps)| qps)
+    };
+    match (
+        goodput_of("sizemix/small-only-netcache"),
+        goodput_of("fig10a/zipf99-netcache"),
+    ) {
+        (Some(small), Some(fixed)) if fixed > 0.0 => {
+            let ratio = small / fixed;
+            let verdict = if ratio >= MIN_SMALL_VALUE_RATIO {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            println!(
+                "{verdict}: small-value independence: sizemix small-only {small:.0} qps / \
+                 fixed-128B {fixed:.0} qps = {ratio:.2}x (floor {MIN_SMALL_VALUE_RATIO:.1}x)"
+            );
+            if ratio < MIN_SMALL_VALUE_RATIO {
+                failures.push("small-value independence".into());
+            }
+        }
+        _ => {
+            println!("skip: small-value independence gate (no size-mix rows in current document)");
         }
     }
 

@@ -38,7 +38,7 @@ fn build_switch(items: usize, value_len: usize) -> NetCacheSwitch {
     for i in 0..items {
         let key = Key::from_u64(i as u64);
         let value = Value::for_item(i as u64, value_len);
-        sw.write_value(0, bitmap, i as u32, &value);
+        sw.write_value(0, bitmap, i as u32, 1, &value);
         sw.insert_entry(
             key,
             LookupEntry {
@@ -46,7 +46,8 @@ fn build_switch(items: usize, value_len: usize) -> NetCacheSwitch {
                 value_index: i as u32,
                 key_index: i as u32,
                 egress_port: SERVER_PORT,
-                value_len: value_len as u8,
+                value_len: value_len as u16,
+                passes: 1,
             },
         )
         .expect("capacity suffices");

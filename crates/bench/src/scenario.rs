@@ -75,10 +75,12 @@ pub fn named_report_json(name: &str, report: &SimReport) -> String {
     format!("{{\"name\":{},{}}}", escape(name), report_fields(report))
 }
 
-/// The key/value body of [`report_json`] (no surrounding braces).
+/// The key/value body of [`report_json`] (no surrounding braces). Runs
+/// with a value-size mixture additionally carry a `size_classes` array
+/// breaking goodput and hit ratio down per class.
 pub fn report_fields(report: &SimReport) -> String {
     let l = &report.latency;
-    format!(
+    let mut fields = format!(
         "\"goodput_qps\":{},\"offered_qps\":{},\"cache_qps\":{},\
          \"server_qps\":{},\"hit_ratio\":{},\"drops\":{},\
          \"load_imbalance\":{},\"latency\":{{\"mean_ns\":{},\"p50_ns\":{},\
@@ -96,7 +98,27 @@ pub fn report_fields(report: &SimReport) -> String {
         l.p99_ns,
         l.p999_ns,
         l.samples,
-    )
+    );
+    if !report.size_classes.is_empty() {
+        let rows: Vec<String> = report
+            .size_classes
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"value_len\":{},\"offered\":{},\"delivered\":{},\
+                     \"hits\":{},\"goodput_qps\":{},\"hit_ratio\":{}}}",
+                    c.value_len,
+                    c.offered,
+                    c.delivered,
+                    c.hits,
+                    fmt_f64(c.goodput_qps),
+                    fmt_f64(c.hit_ratio),
+                )
+            })
+            .collect();
+        fields.push_str(&format!(",\"size_classes\":[{}]", rows.join(",")));
+    }
+    fields
 }
 
 /// Wraps figure rows in the `netcache-fig/v1` envelope.
@@ -145,6 +167,7 @@ mod tests {
             latency_hist: netcache::Histogram::new(),
             per_second: Vec::new(),
             faults: netcache::FaultStats::default(),
+            size_classes: Vec::new(),
         };
         let doc = Json::parse(&report_json(&report)).expect("valid json");
         doc.get_finite("hit_ratio").expect("finite hit ratio");

@@ -78,7 +78,10 @@ pub fn split(payload: &[u8]) -> Option<Vec<(u32, Value)>> {
     let mut first = Vec::with_capacity(4 + payload.len().min(FIRST_CHUNK_PAYLOAD));
     first.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     first.extend_from_slice(&payload[..payload.len().min(FIRST_CHUNK_PAYLOAD)]);
-    out.push((0, Value::new(first).expect("4 + 124 <= 128")));
+    out.push((
+        0,
+        Value::new(first).expect("4 + FIRST_CHUNK_PAYLOAD == MAX_VALUE_LEN"),
+    ));
     Some(out)
 }
 
@@ -175,8 +178,10 @@ mod tests {
 
     #[test]
     fn reassemble_rejects_inconsistencies() {
-        let p = payload(500);
+        // Past the first-chunk boundary, so continuations exist to lose.
+        let p = payload(FIRST_CHUNK_PAYLOAD + 500);
         let chunks = split(&p).expect("fits");
+        assert!(chunks.len() > 1, "payload must need continuations");
         let manifest = chunks.last().expect("nonempty").1.clone();
         // Missing continuation.
         assert!(reassemble(&manifest, &[]).is_none());

@@ -1,4 +1,4 @@
-//! Switch memory management: Algorithm 2, verbatim.
+//! Switch memory management: Algorithm 2, generalized to recirculation.
 //!
 //! The bins are "slots in register arrays with the same index, e.g., bin 0
 //! includes slots of index 0 in all register arrays", because an item must
@@ -7,19 +7,38 @@
 //! First-Fit; the bitmap is flexible — an item need not occupy consecutive
 //! arrays — which "alleviates the problem of memory fragmentation, though
 //! periodic memory reorganization is still needed".
+//!
+//! Values wider than one bin (more units than there are arrays) are served
+//! by recirculation and span *consecutive* bins: every bin but the last is
+//! fully owned, and the final bin holds the tail units under a flexible
+//! bitmap, exactly mirroring the data plane's multi-pass entry layout.
 
 use std::collections::HashMap;
 
 use netcache_proto::Key;
 
-/// A slot assignment for one cached item: the shared index plus the bitmap
-/// of participating register arrays.
+/// A slot assignment for one cached item: the first bin's index, the pass
+/// count, and the bitmap of register arrays participating in the *final*
+/// pass. A `passes == 1` assignment is the paper's single-bin layout;
+/// `passes > 1` additionally owns bins `index..index + passes - 1` in full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlotAssignment {
-    /// Index shared by all participating arrays.
+    /// Index of the first (or only) participating bin.
     pub index: u32,
-    /// Bit *i* set ⇒ value array *i* holds one 16-byte unit.
+    /// Bit *i* set ⇒ value array *i* holds one 16-byte unit in the final
+    /// pass. Intermediate passes use every array.
     pub bitmap: u8,
+    /// Pipeline passes the entry spans (≥ 1); pass *k* uses bin
+    /// `index + k`.
+    pub passes: u8,
+}
+
+impl SlotAssignment {
+    /// Total 16-byte units the assignment occupies, given the per-bin
+    /// array count: full intermediate bins plus the final bitmap.
+    pub fn units(&self, arrays: usize) -> usize {
+        (self.passes.max(1) as usize - 1) * arrays + self.bitmap.count_ones() as usize
+    }
 }
 
 /// The First-Fit slot allocator of Algorithm 2 (one instance per egress
@@ -34,11 +53,15 @@ pub struct SlotAssignment {
 /// let mut a = SlotAllocator::new(8, 1024);
 /// let slot = a.insert(Key::from_u64(1), 3).expect("fits");
 /// assert_eq!(slot.bitmap.count_ones(), 3);
+/// assert_eq!(slot.passes, 1);
+/// // 19 units exceed one 8-array bin: the item spans 3 consecutive bins.
+/// let wide = a.insert(Key::from_u64(2), 19).expect("fits");
+/// assert_eq!(wide.passes, 3);
 /// assert!(a.evict(&Key::from_u64(1)));
 /// ```
 #[derive(Debug, Clone)]
 pub struct SlotAllocator {
-    /// `key_map`: key ⇒ (index, bitmap).
+    /// `key_map`: key ⇒ (index, bitmap, passes).
     key_map: HashMap<Key, SlotAssignment>,
     /// `mem`: per-bin bitmap of *available* slots (1 = free), as in
     /// Algorithm 2.
@@ -68,6 +91,20 @@ impl SlotAllocator {
             mem: vec![full; indexes],
             arrays,
         }
+    }
+
+    /// The bitmap with every array's bit set.
+    fn full(&self) -> u8 {
+        if self.arrays == 8 {
+            0xffu8
+        } else {
+            (1u8 << self.arrays) - 1
+        }
+    }
+
+    /// Number of register arrays per bin.
+    pub fn arrays(&self) -> usize {
+        self.arrays
     }
 
     /// Number of cached keys.
@@ -104,9 +141,18 @@ impl SlotAllocator {
     /// Returns `false` if the item is not cached.
     pub fn evict(&mut self, key: &Key) -> bool {
         match self.key_map.remove(key) {
-            Some(SlotAssignment { index, bitmap }) => {
-                // mem[index] = mem[index] | bitmap (line 4).
-                self.mem[index as usize] |= bitmap;
+            Some(SlotAssignment {
+                index,
+                bitmap,
+                passes,
+            }) => {
+                let full = self.full();
+                // Intermediate bins were fully owned; the tail bin gets its
+                // bitmap back (line 4: mem[index] = mem[index] | bitmap).
+                for k in 0..passes.max(1) as usize - 1 {
+                    self.mem[index as usize + k] |= full;
+                }
+                self.mem[index as usize + passes.max(1) as usize - 1] |= bitmap;
                 true
             }
             None => false,
@@ -116,26 +162,62 @@ impl SlotAllocator {
     /// Algorithm 2, `Insert(key, value_size)`: First-Fit over bins.
     ///
     /// `units` is the value size in register-array units
-    /// (`value_size / unit_size`, already rounded up by the caller).
-    /// Returns `None` if the key is already cached, `units` is 0 or larger
-    /// than the array count, or no bin has enough free slots.
+    /// (`value_size / unit_size`, already rounded up by the caller). A
+    /// value of more units than one bin holds spans
+    /// `ceil(units / arrays)` *consecutive* bins — intermediates fully
+    /// free, tail with enough free slots — matching the data plane's
+    /// recirculated entry layout. Returns `None` if the key is already
+    /// cached, `units` is 0, or no placement exists.
     pub fn insert(&mut self, key: Key, units: usize) -> Option<SlotAssignment> {
-        if self.key_map.contains_key(&key) || units == 0 || units > self.arrays {
+        if self.key_map.contains_key(&key) || units == 0 {
             return None;
         }
-        // Line 12: for index from 0 to sizeof(mem).
-        for index in 0..self.mem.len() {
-            let bitmap = self.mem[index];
-            if (bitmap.count_ones() as usize) < units {
+        if units <= self.arrays {
+            // Line 12: for index from 0 to sizeof(mem).
+            for index in 0..self.mem.len() {
+                let bitmap = self.mem[index];
+                if (bitmap.count_ones() as usize) < units {
+                    continue;
+                }
+                // Line 15: value_bitmap = last n 1 bits in bitmap.
+                let value_bitmap = Self::last_n_ones(bitmap, units);
+                // Line 16: mark those bits as used.
+                self.mem[index] &= !value_bitmap;
+                let assignment = SlotAssignment {
+                    index: index as u32,
+                    bitmap: value_bitmap,
+                    passes: 1,
+                };
+                self.key_map.insert(key, assignment);
+                return Some(assignment);
+            }
+            return None;
+        }
+        // Multi-pass: ceil(units / arrays) consecutive bins.
+        let passes = units.div_ceil(self.arrays);
+        if passes > u8::MAX as usize || passes > self.mem.len() {
+            return None;
+        }
+        let tail_units = units - (passes - 1) * self.arrays;
+        let full = self.full();
+        for index in 0..=self.mem.len() - passes {
+            let intermediates_free = (0..passes - 1).all(|k| self.mem[index + k] == full);
+            if !intermediates_free {
                 continue;
             }
-            // Line 15: value_bitmap = last n 1 bits in bitmap.
-            let value_bitmap = Self::last_n_ones(bitmap, units);
-            // Line 16: mark those bits as used.
-            self.mem[index] &= !value_bitmap;
+            let tail = self.mem[index + passes - 1];
+            if (tail.count_ones() as usize) < tail_units {
+                continue;
+            }
+            let value_bitmap = Self::last_n_ones(tail, tail_units);
+            for k in 0..passes - 1 {
+                self.mem[index + k] = 0;
+            }
+            self.mem[index + passes - 1] &= !value_bitmap;
             let assignment = SlotAssignment {
                 index: index as u32,
                 bitmap: value_bitmap,
+                passes: passes as u8,
             };
             self.key_map.insert(key, assignment);
             return Some(assignment);
@@ -162,17 +244,20 @@ impl SlotAllocator {
     }
 
     /// Fragmentation measure: free units that are unusable for a value of
-    /// `units` units because no single bin holds that many.
+    /// `units` units because no single bin holds that many. For a
+    /// multi-pass value the per-bin requirement is a *full* bin (its
+    /// intermediates), so `units` is clamped to the array count.
     ///
     /// "Periodic memory reorganization is still needed to pack small values
     /// with different indexes into register slots with same indexes, in
     /// order to make room for large values" — this metric tells the
     /// controller when.
     pub fn stranded_units(&self, units: usize) -> usize {
+        let per_bin = units.min(self.arrays);
         self.mem
             .iter()
             .map(|b| b.count_ones() as usize)
-            .filter(|&free| free > 0 && free < units)
+            .filter(|&free| free > 0 && free < per_bin)
             .sum()
     }
 
@@ -181,20 +266,22 @@ impl SlotAllocator {
     /// (controller) must rewrite the moved values in the switch and update
     /// the lookup entries.
     pub fn reorganize(&mut self) -> Vec<(Key, SlotAssignment, SlotAssignment)> {
+        let arrays = self.arrays;
         let mut items: Vec<(Key, SlotAssignment)> =
             self.key_map.iter().map(|(k, a)| (*k, *a)).collect();
         // Pack big items first: classical offline bin-packing improvement.
+        // Multi-pass items lead, so their contiguous bin runs start from
+        // the bottom of the memory.
         items.sort_by(|a, b| {
-            b.1.bitmap
-                .count_ones()
-                .cmp(&a.1.bitmap.count_ones())
+            b.1.units(arrays)
+                .cmp(&a.1.units(arrays))
                 .then_with(|| a.0.cmp(&b.0))
         });
         let mut fresh = SlotAllocator::new(self.arrays, self.mem.len());
         let mut moves = Vec::new();
         for (key, old) in &items {
             let new = fresh
-                .insert(*key, old.bitmap.count_ones() as usize)
+                .insert(*key, old.units(arrays))
                 .expect("repacking the same items always fits");
             if new != *old {
                 moves.push((*key, *old, new));
@@ -208,19 +295,32 @@ impl SlotAllocator {
     /// overlap and `mem` equals the complement of the union of
     /// assignments.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let full = if self.arrays == 8 {
-            0xffu8
-        } else {
-            (1u8 << self.arrays) - 1
-        };
+        let full = self.full();
         let mut used = vec![0u8; self.mem.len()];
         for (key, a) in &self.key_map {
             if a.bitmap == 0 || a.bitmap & !full != 0 {
                 return Err(format!("{key}: bitmap {:#04x} out of range", a.bitmap));
             }
-            let slot = &mut used[a.index as usize];
+            let passes = a.passes.max(1) as usize;
+            if a.index as usize + passes > self.mem.len() {
+                return Err(format!("{key}: spans past the last bin"));
+            }
+            for k in 0..passes - 1 {
+                let slot = &mut used[a.index as usize + k];
+                if *slot != 0 {
+                    return Err(format!(
+                        "{key}: overlapping intermediate bin {}",
+                        a.index as usize + k
+                    ));
+                }
+                *slot = full;
+            }
+            let slot = &mut used[a.index as usize + passes - 1];
             if *slot & a.bitmap != 0 {
-                return Err(format!("{key}: overlapping assignment at {}", a.index));
+                return Err(format!(
+                    "{key}: overlapping assignment at {}",
+                    a.index as usize + passes - 1
+                ));
             }
             *slot |= a.bitmap;
         }
@@ -284,10 +384,63 @@ mod tests {
     }
 
     #[test]
-    fn zero_or_oversized_units_rejected() {
+    fn zero_units_rejected() {
         let mut a = SlotAllocator::new(4, 4);
         assert!(a.insert(Key::from_u64(1), 0).is_none());
-        assert!(a.insert(Key::from_u64(1), 5).is_none());
+    }
+
+    #[test]
+    fn multi_bin_insert_spans_consecutive_bins() {
+        let mut a = SlotAllocator::new(8, 4);
+        // 19 units = 2 full bins + 3 tail units.
+        let s = a.insert(Key::from_u64(1), 19).unwrap();
+        assert_eq!(s.index, 0);
+        assert_eq!(s.passes, 3);
+        assert_eq!(s.bitmap.count_ones(), 3);
+        assert_eq!(s.units(8), 19);
+        assert_eq!(a.free_units(), 4 * 8 - 19);
+        // A single-pass item shares the tail bin's remaining units.
+        let small = a.insert(Key::from_u64(2), 5).unwrap();
+        assert_eq!(small.index, 2, "packs into the wide item's tail bin");
+        assert_eq!(small.bitmap & s.bitmap, 0);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn multi_bin_evict_restores_all_bins() {
+        let mut a = SlotAllocator::new(8, 4);
+        a.insert(Key::from_u64(1), 32).unwrap(); // all 4 bins
+        assert_eq!(a.free_units(), 0);
+        assert!(a.insert(Key::from_u64(2), 1).is_none());
+        assert!(a.evict(&Key::from_u64(1)));
+        assert_eq!(a.free_units(), 32);
+        assert!(a.insert(Key::from_u64(2), 32).is_some());
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn multi_bin_requires_fully_free_intermediates() {
+        let mut a = SlotAllocator::new(8, 3);
+        // One unit in bin 1 blocks any 2+-pass run crossing it as an
+        // intermediate, but bin 1 can still be a *tail*.
+        let blocker = a.insert(Key::from_u64(1), 1).unwrap();
+        assert_eq!(blocker.index, 0);
+        let s = a.insert(Key::from_u64(2), 10).unwrap();
+        assert_eq!(s.passes, 2);
+        assert_eq!(
+            s.index, 1,
+            "bin 1 full-free intermediate? no — run must start at 1 (bins 1,2)"
+        );
+        a.check_invariants().unwrap();
+        // 24 - 1 - 10 = 13 free but no 2-bin run remains.
+        assert!(a.insert(Key::from_u64(3), 10).is_none());
+    }
+
+    #[test]
+    fn oversized_multi_bin_rejected() {
+        let mut a = SlotAllocator::new(8, 4);
+        assert!(a.insert(Key::from_u64(1), 33).is_none(), "only 32 units");
+        assert!(a.insert(Key::from_u64(1), 32).is_some());
     }
 
     #[test]
@@ -313,6 +466,8 @@ mod tests {
         // A 2-unit value cannot be placed although 2 units are free.
         assert!(a.insert(Key::from_u64(3), 2).is_none());
         assert_eq!(a.stranded_units(2), 2);
+        // For a multi-pass value the per-bin need clamps to the bin width.
+        assert_eq!(a.stranded_units(10), 2);
     }
 
     #[test]
@@ -338,6 +493,34 @@ mod tests {
         // After repacking (big-first), a 3-unit item fits again.
         assert!(a.insert(Key::from_u64(6), 3).is_some());
         let _ = moves;
+    }
+
+    #[test]
+    fn reorganize_makes_room_for_multi_bin_items() {
+        let mut a = SlotAllocator::new(8, 4);
+        // Scatter single-unit items across all bins so no 2-bin run is
+        // fully free, then free most of them.
+        let mut keys = Vec::new();
+        for bin in 0..4u64 {
+            for j in 0..8u64 {
+                let k = bin * 8 + j;
+                a.insert(Key::from_u64(k), 1).unwrap();
+                keys.push(k);
+            }
+        }
+        for &k in &keys {
+            if k % 8 != 0 {
+                a.evict(&Key::from_u64(k));
+            }
+        }
+        // 28 units free, but every bin is touched: an 18-unit (3-pass)
+        // item needs two fully free intermediates.
+        assert!(a.insert(Key::from_u64(100), 18).is_none());
+        a.reorganize();
+        a.check_invariants().unwrap();
+        let s = a.insert(Key::from_u64(100), 18).unwrap();
+        assert_eq!(s.passes, 3);
+        a.check_invariants().unwrap();
     }
 
     #[test]
@@ -367,7 +550,9 @@ mod tests {
         let mut live: Vec<u64> = Vec::new();
         for round in 0..2000 {
             if round % 3 != 2 {
-                let units = (round % 8) + 1;
+                // Mix of single-pass (1..=8) and recirculated (up to 24
+                // units = 3 passes) sizes.
+                let units = (round % 24) + 1;
                 if a.insert(Key::from_u64(next_key), units).is_some() {
                     live.push(next_key);
                 }

@@ -461,16 +461,22 @@ impl Controller {
         invalid.sort_unstable();
         let mut repaired = 0;
         for key in invalid {
-            if !self.budget_allows(now_ns, 3) {
+            let meta = self.cached[&key];
+            // Each extra pass is one more value-register write.
+            if !self.budget_allows(now_ns, 2 + u64::from(meta.slot.passes.max(1))) {
                 break;
             }
-            let meta = self.cached[&key];
+            let arrays = self.allocators[meta.home.pipe].arrays();
             backend.lock_writes(&meta.home, key);
             match backend.fetch(&meta.home, &key) {
-                Some((value, version))
-                    if value.units() <= meta.slot.bitmap.count_ones() as usize =>
-                {
-                    driver.write_value(meta.home.pipe, meta.slot.bitmap, meta.slot.index, &value);
+                Some((value, version)) if value.units() <= meta.slot.units(arrays) => {
+                    driver.write_value(
+                        meta.home.pipe,
+                        meta.slot.bitmap,
+                        meta.slot.index,
+                        meta.slot.passes,
+                        &value,
+                    );
                     driver.install_value_len(meta.home.pipe, meta.key_index, value.len() as u16);
                     driver.install_status(meta.home.pipe, meta.key_index, version.max(1));
                     repaired += 1;
@@ -527,28 +533,52 @@ impl Controller {
             self.stats.skipped_budget += 1;
             return;
         }
-        // At capacity: find a sampled victim and require the newcomer to be
-        // hotter.
+        // Fetch before deciding (§4.3's write lock held throughout): with
+        // variable-length values the newcomer's *size* is part of the
+        // admission decision, and only the home server knows it.
+        let key = report.key;
+        let home = self.effective_home(&key);
+        backend.lock_writes(&home, key);
+        let Some((value, version)) = backend.fetch(&home, &key) else {
+            backend.unlock_writes(&home, key);
+            self.stats.skipped_missing += 1;
+            return;
+        };
+        // Each pass beyond the first is one more value-register write
+        // through the driver: charge it to the control-plane budget.
+        let extra_passes = value.passes() as u64 - 1;
+        if extra_passes > 0 && !self.budget_allows(now_ns, extra_passes) {
+            backend.unlock_writes(&home, key);
+            self.stats.skipped_budget += 1;
+            return;
+        }
+        // At capacity: find a sampled victim and require the newcomer to
+        // deliver more hits per switch-memory unit than the victim does —
+        // a hot 2 KB value must beat 16 victims' worth of slots, not one.
         if self.cached.len() >= self.config.cache_capacity {
             match self.sample_victim(driver, None) {
                 Some((victim, victim_count)) => {
-                    let hot_enough = f64::from(report.estimate)
-                        > f64::from(victim_count) * self.config.insert_margin;
+                    let meta = self.cached[&victim];
+                    let victim_units = meta.slot.units(self.allocators[meta.home.pipe].arrays());
+                    let newcomer_units = value.units().max(1);
+                    let hot_enough = f64::from(report.estimate) / newcomer_units as f64
+                        > f64::from(victim_count) / victim_units.max(1) as f64
+                            * self.config.insert_margin;
                     if !hot_enough {
+                        backend.unlock_writes(&home, key);
                         self.stats.skipped_not_hotter += 1;
                         return;
                     }
                     self.evict_key(driver, &victim);
                 }
                 None => {
+                    backend.unlock_writes(&home, key);
                     self.stats.skipped_no_space += 1;
                     return;
                 }
             }
         }
-        if !self.insert_key(driver, backend, report.key) {
-            // insert_key updated the skip counters.
-        }
+        self.install_fetched(driver, backend, key, home, value, version);
     }
 
     /// Samples `eviction_samples` cached keys (optionally restricted to one
@@ -619,6 +649,21 @@ impl Controller {
             self.stats.skipped_missing += 1;
             return false;
         };
+        self.install_fetched(driver, backend, key, home, value, version)
+    }
+
+    /// Installs an already-fetched item: allocate slots → install value,
+    /// lookup entry and status → unlock writes. The caller holds the
+    /// server-side write lock for `key`; it is released on every path.
+    fn install_fetched<D: SwitchDriver, B: ServerBackend>(
+        &mut self,
+        driver: &mut D,
+        backend: &mut B,
+        key: Key,
+        home: KeyHome,
+        value: Value,
+        version: u32,
+    ) -> bool {
         let pipe = home.pipe;
         let units = value.units();
         // Allocate slots; if the pipe is fragmented or full, evict a cold
@@ -656,13 +701,14 @@ impl Controller {
             return false;
         };
         // Install: value units → lookup entry → counter reset → status.
-        driver.write_value(pipe, slot.bitmap, slot.index, &value);
+        driver.write_value(pipe, slot.bitmap, slot.index, slot.passes, &value);
         let entry = LookupEntry {
             bitmap: slot.bitmap,
             value_index: slot.index,
             key_index,
             egress_port: home.egress_port,
-            value_len: value.len() as u8,
+            value_len: value.len() as u16,
+            passes: slot.passes,
         };
         if driver.insert_entry(key, entry).is_err() {
             // Lookup table full (capacity below controller target): roll back.
@@ -732,8 +778,9 @@ impl Controller {
             };
             // The live length is in the data plane (updates may have
             // shrunk the value below the installed one).
-            let len = driver.peek_value_len(pipe, meta.key_index).min(255) as u8;
-            let Some(value) = driver.peek_value(pipe, old.bitmap, old.index, len) else {
+            let len = driver.peek_value_len(pipe, meta.key_index);
+            let Some(value) = driver.peek_value(pipe, old.bitmap, old.index, old.passes, len)
+            else {
                 continue;
             };
             let was_valid = driver.peek_valid(pipe, meta.key_index);
@@ -748,13 +795,20 @@ impl Controller {
         }
         // Copy all values, then swap all entries, then re-validate.
         for s in &staged {
-            driver.write_value(pipe, s.new_slot.bitmap, s.new_slot.index, &s.value);
+            driver.write_value(
+                pipe,
+                s.new_slot.bitmap,
+                s.new_slot.index,
+                s.new_slot.passes,
+                &s.value,
+            );
         }
         let mut moved = 0;
         for s in &staged {
             let new_entry = LookupEntry {
                 bitmap: s.new_slot.bitmap,
                 value_index: s.new_slot.index,
+                passes: s.new_slot.passes,
                 ..s.entry
             };
             if driver.insert_entry(s.key, new_entry).is_ok() {
@@ -919,6 +973,69 @@ mod tests {
             out[0].1.netcache.value.as_ref().unwrap(),
             &Value::for_item(3, 32)
         );
+    }
+
+    #[test]
+    fn insert_installs_multi_pass_entry_served_by_recirculation() {
+        let mut sw = switch();
+        let mut backend = FakeBackend::with_items(0);
+        let key = Key::from_u64(7);
+        let value = Value::filled(0x5A, 300);
+        backend.items.insert(key, (value.clone(), 1));
+        let mut ctl = controller(8);
+        assert!(ctl.insert_key(&mut sw, &mut backend, key));
+        let slot = ctl.cached_slot(&key).unwrap();
+        assert_eq!(slot.passes, 3, "300 B = 19 units = 3 passes of 8 stages");
+        assert!(backend.locked.is_empty());
+
+        // The switch serves the wide value from cache, recirculating twice.
+        let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 0);
+        let out = sw.process(get, CLIENT_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::GetReplyHit);
+        assert_eq!(out[0].1.netcache.value.as_ref().unwrap(), &value);
+        assert_eq!(sw.stats().recirculations, 2);
+    }
+
+    #[test]
+    fn large_newcomer_must_beat_victims_per_unit() {
+        let mut sw = switch();
+        let mut backend = FakeBackend::with_items(2);
+        let mut ctl = controller(2);
+        ctl.populate(&mut sw, &mut backend, [Key::from_u64(0), Key::from_u64(1)]);
+        // One cache hit each: victims have density 1 hit / 2 units.
+        for k in [0u64, 1] {
+            let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, Key::from_u64(k), 0);
+            sw.process(get, CLIENT_PORT);
+        }
+        // A 2 KB key crosses the HH threshold: absolutely hotter than the
+        // victims' counters, but it would buy 128 units of switch memory.
+        backend
+            .items
+            .insert(Key::from_u64(50), (Value::filled(1, 2048), 1));
+        for seq in 0..40 {
+            let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, Key::from_u64(50), seq);
+            sw.process(get, CLIENT_PORT);
+        }
+        ctl.run_cycle(&mut sw, &mut backend, 10);
+        assert!(
+            !ctl.is_cached(&Key::from_u64(50)),
+            "per-unit-cold wide value admitted: {:?}",
+            ctl.stats()
+        );
+        assert!(ctl.stats().skipped_not_hotter >= 1);
+        assert!(backend.locked.is_empty(), "rejection path must unlock");
+
+        // The same hotness in a small value wins: the skip was about size.
+        backend
+            .items
+            .insert(Key::from_u64(51), (Value::for_item(51, 32), 1));
+        for seq in 0..40 {
+            let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, Key::from_u64(51), seq);
+            sw.process(get, CLIENT_PORT);
+        }
+        ctl.run_cycle(&mut sw, &mut backend, 20);
+        assert!(ctl.is_cached(&Key::from_u64(51)), "{:?}", ctl.stats());
+        assert_eq!(ctl.cached_keys(), 2, "capacity preserved");
     }
 
     #[test]

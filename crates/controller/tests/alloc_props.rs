@@ -13,7 +13,9 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u16..64, 1usize..=8).prop_map(|(key, units)| Op::Insert { key, units }),
+        // Sizes beyond 8 units exceed any single bin and exercise the
+        // multi-pass (recirculated) placement path.
+        (0u16..64, 1usize..=24).prop_map(|(key, units)| Op::Insert { key, units }),
         (0u16..64).prop_map(|key| Op::Evict { key }),
     ]
 }
@@ -22,7 +24,8 @@ proptest! {
     /// Under arbitrary insert/evict interleavings:
     /// - internal invariants hold (no overlap; free map consistent),
     /// - the unit accounting balances exactly,
-    /// - an accepted insert's bitmap popcount equals the requested units.
+    /// - an accepted insert occupies exactly the requested units and stays
+    ///   within the bin range.
     #[test]
     fn churn_preserves_invariants(
         ops in proptest::collection::vec(op_strategy(), 1..200),
@@ -38,21 +41,24 @@ proptest! {
                     match a.insert(Key::from_u64(u64::from(key)), units) {
                         Some(slot) => {
                             prop_assert!(!live.contains_key(&key), "double insert accepted");
-                            prop_assert_eq!(slot.bitmap.count_ones() as usize, units);
-                            prop_assert!((slot.index as usize) < indexes);
+                            prop_assert_eq!(slot.units(arrays), units);
+                            prop_assert_eq!(
+                                slot.passes as usize,
+                                units.div_ceil(arrays),
+                                "pass count must match the unit count"
+                            );
+                            prop_assert!(
+                                slot.index as usize + slot.passes as usize <= indexes,
+                                "assignment spans past the last bin"
+                            );
                             live.insert(key, units);
                             live_units += units;
                         }
                         None => {
-                            // Rejection is only legal if the key is live,
-                            // units are out of range, or no bin fits.
-                            let fits_somewhere = units <= arrays
-                                && !live.contains_key(&key)
-                                && (0..indexes).any(|_| false); // bin check below
-                            // Direct bin check: a fresh allocator clone
-                            // cannot verify internal bins, so rely on the
-                            // invariant checker instead.
-                            let _ = fits_somewhere;
+                            // Rejection is legal if the key is live or no
+                            // placement exists; the invariant checker below
+                            // validates the allocator's bookkeeping either
+                            // way.
                         }
                     }
                 }
@@ -78,7 +84,7 @@ proptest! {
     /// reorganization never loses or duplicates a key.
     #[test]
     fn reorganize_preserves_contents(
-        sizes in proptest::collection::vec(1usize..=8, 1..40),
+        sizes in proptest::collection::vec(1usize..=24, 1..40),
     ) {
         let mut a = SlotAllocator::new(8, 8);
         let mut inserted = Vec::new();
@@ -98,10 +104,7 @@ proptest! {
         for (key, units) in &survivors {
             let slot = a.get(&Key::from_u64(*key));
             prop_assert!(slot.is_some(), "key {} lost in reorganization", key);
-            prop_assert_eq!(
-                slot.expect("checked").bitmap.count_ones() as usize,
-                *units
-            );
+            prop_assert_eq!(slot.expect("checked").units(8), *units);
         }
         prop_assert_eq!(a.len(), survivors.len());
     }

@@ -15,10 +15,16 @@ pub struct SwitchConfig {
     pub ports: usize,
     /// Cache lookup table capacity (64K entries in the prototype).
     pub cache_capacity: usize,
-    /// Number of value stages (8 in the prototype).
+    /// Number of value stages (8 in the prototype). This is the *physical*
+    /// stage budget of one pipeline pass; values wider than
+    /// `value_stages × 16` bytes recirculate.
     pub value_stages: usize,
     /// Slots per value register array (64K in the prototype).
     pub value_slots: usize,
+    /// Maximum pipeline passes (1 initial + recirculations) a cached entry
+    /// may span. With 8 stages × 16 passes the data plane serves values up
+    /// to 2 KB; each extra pass costs one pipeline slot of latency.
+    pub recirc_passes: usize,
     /// Count-Min sketch rows.
     pub cms_depth: usize,
     /// Count-Min sketch slots per row.
@@ -49,6 +55,7 @@ impl SwitchConfig {
             cache_capacity: 65_536,
             value_stages: 8,
             value_slots: 65_536,
+            recirc_passes: 16,
             cms_depth: 4,
             cms_width: 65_536,
             bloom_partitions: 3,
@@ -75,6 +82,7 @@ impl SwitchConfig {
             cache_capacity: value_slots,
             value_stages: 8,
             value_slots,
+            recirc_passes: 16,
             cms_depth: 4,
             cms_width: 65_536,
             bloom_partitions: 3,
@@ -95,6 +103,7 @@ impl SwitchConfig {
             cache_capacity: 64,
             value_stages: 8,
             value_slots: 64,
+            recirc_passes: 16,
             cms_depth: 4,
             cms_width: 1024,
             bloom_partitions: 3,
@@ -116,9 +125,15 @@ impl SwitchConfig {
         (port / self.ports_per_pipe()).min(self.pipes - 1)
     }
 
-    /// Maximum value size supported by the data plane, in bytes.
-    pub fn max_value_len(&self) -> usize {
+    /// Value bytes one pipeline pass can serve (the paper's original cap).
+    pub fn pass_value_len(&self) -> usize {
         self.value_stages * 16
+    }
+
+    /// Maximum value size supported by the data plane, in bytes: the
+    /// per-pass stage budget times the recirculation pass budget.
+    pub fn max_value_len(&self) -> usize {
+        self.pass_value_len() * self.recirc_passes
     }
 
     /// Validates internal consistency.
@@ -132,10 +147,39 @@ impl SwitchConfig {
         if self.ports == 0 {
             return Err("ports must be positive".into());
         }
+        // The physical per-pass bound: the lookup entry's bitmap has one
+        // bit per stage (u8), and one egress pipeline has 8 value stages.
         if self.value_stages == 0 || self.value_stages > 8 {
             return Err(format!(
                 "value_stages {} out of range 1..=8",
                 self.value_stages
+            ));
+        }
+        // The recirculation budget: bounded by the wire format's pass limit
+        // (the lookup entry carries the pass count as a u8 and VLEN bounds
+        // the total), not by the physical stage count.
+        if self.recirc_passes == 0 || self.recirc_passes > netcache_proto::MAX_RECIRC_PASSES {
+            return Err(format!(
+                "recirc_passes {} out of range 1..={}",
+                self.recirc_passes,
+                netcache_proto::MAX_RECIRC_PASSES
+            ));
+        }
+        if self.max_value_len() > netcache_proto::MAX_VALUE_LEN {
+            return Err(format!(
+                "max value {} B ({} stages x {} passes) exceeds the wire bound {} B",
+                self.max_value_len(),
+                self.value_stages,
+                self.recirc_passes,
+                netcache_proto::MAX_VALUE_LEN
+            ));
+        }
+        if self.recirc_passes > self.value_slots {
+            // A maximally wide entry occupies `recirc_passes` consecutive
+            // slot rows; the arrays must be at least that deep.
+            return Err(format!(
+                "recirc_passes {} exceeds value_slots {}",
+                self.recirc_passes, self.value_slots
             ));
         }
         if self.cache_capacity > self.value_slots {
@@ -174,7 +218,12 @@ mod tests {
         let c = SwitchConfig::prototype();
         assert_eq!(c.cache_capacity, 65_536);
         assert_eq!(c.value_stages * c.value_slots * 16, 8 * 1024 * 1024);
-        assert_eq!(c.max_value_len(), 128);
+        assert_eq!(c.pass_value_len(), 128, "the paper's single-pass cap");
+        assert_eq!(
+            c.max_value_len(),
+            netcache_proto::MAX_VALUE_LEN,
+            "16 recirculation passes lift the cap to 2 KB"
+        );
     }
 
     #[test]
@@ -215,5 +264,38 @@ mod tests {
         let mut c = SwitchConfig::tiny();
         c.sample_rate = 1.5;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn recirc_pass_budget_bounds_enforced() {
+        // Zero passes is meaningless (every packet makes one traversal).
+        let mut c = SwitchConfig::tiny();
+        c.recirc_passes = 0;
+        assert!(c.validate().is_err());
+
+        // More passes than the wire format can express are rejected.
+        let mut c = SwitchConfig::tiny();
+        c.recirc_passes = netcache_proto::MAX_RECIRC_PASSES + 1;
+        assert!(c.validate().is_err());
+
+        // Fewer stages leave headroom: the product is what the wire bounds.
+        let mut c = SwitchConfig::tiny();
+        c.value_stages = 4;
+        c.recirc_passes = 16;
+        c.validate().unwrap();
+        assert_eq!(c.max_value_len(), 1024);
+
+        // A single-pass config degenerates to the paper's 128 B cap.
+        let mut c = SwitchConfig::tiny();
+        c.recirc_passes = 1;
+        c.validate().unwrap();
+        assert_eq!(c.max_value_len(), c.pass_value_len());
+
+        // Entries span consecutive rows, so the arrays must be deep enough
+        // for a maximally recirculated value.
+        let mut c = SwitchConfig::tiny();
+        c.cache_capacity = 8;
+        c.value_slots = 8;
+        assert!(c.validate().is_err(), "16 passes need >= 16 slot rows");
     }
 }

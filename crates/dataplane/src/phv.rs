@@ -39,6 +39,13 @@ pub struct Metadata {
     pub is_hot: bool,
     /// Whether the packet should be dropped at deparse.
     pub drop: bool,
+    /// Pipeline passes this packet consumed (1 = no recirculation). A pass
+    /// may touch each register array at most once, so a value wider than
+    /// one pass's stage budget recirculates: the packet re-enters the pipe
+    /// with a fresh epoch and the next slice of value stages is read or
+    /// written. Every pass occupies a pipeline slot — transports charge
+    /// `passes × switch latency` for the traversal.
+    pub passes: u8,
 }
 
 /// The parsed packet plus shared metadata, as it flows through the pipes.
@@ -61,7 +68,10 @@ impl Phv {
         Phv {
             pkt,
             ingress_port,
-            meta: Metadata::default(),
+            meta: Metadata {
+                passes: 1,
+                ..Metadata::default()
+            },
             epoch,
         }
     }
@@ -84,6 +94,7 @@ mod tests {
         assert!(!phv.cache_hit());
         assert!(!phv.meta.drop);
         assert!(!phv.meta.mirror_to_reply);
+        assert_eq!(phv.meta.passes, 1, "every packet starts as one pass");
         assert_eq!(phv.ingress_port, 3);
         assert_eq!(phv.epoch, 7);
     }

@@ -15,12 +15,21 @@ use crate::phv::PortId;
 use crate::table::{ExactMatchTable, TableError};
 
 /// Action data produced by a cache-lookup match.
+///
+/// An entry spanning `passes > 1` pipeline passes occupies `passes`
+/// *consecutive* bins starting at `value_index`: every bin but the last is
+/// fully owned (all stages participate), and the final bin at
+/// `value_index + passes - 1` uses only the stages named by `bitmap`. A
+/// single-pass entry (`passes == 1`) degenerates to the paper's layout —
+/// one bin, `bitmap` names the participating arrays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LookupEntry {
-    /// Which value register arrays hold a unit of this key's value
-    /// (bit *i* set ⇒ value table *i* participates).
+    /// Which value register arrays hold a unit of this key's value in the
+    /// entry's *final* pass (bit *i* set ⇒ value table *i* participates).
+    /// Intermediate passes of a multi-pass entry use every array.
     pub bitmap: u8,
-    /// The shared slot index within every participating value array.
+    /// The slot index of the entry's first bin; pass *k* reads index
+    /// `value_index + k`.
     pub value_index: u32,
     /// Index into the per-key counter / cache status arrays.
     pub key_index: u32,
@@ -29,13 +38,17 @@ pub struct LookupEntry {
     pub egress_port: PortId,
     /// True length in bytes of the cached value (carried as action data so
     /// the deparser can trim the zero padding of the last 16-byte unit).
-    pub value_len: u8,
+    pub value_len: u16,
+    /// Pipeline passes (1 initial + recirculations) needed to serve the
+    /// entry; each pass beyond the first recirculates the packet.
+    pub passes: u8,
 }
 
 impl LookupEntry {
-    /// Number of value units this entry occupies (popcount of the bitmap).
-    pub fn units(&self) -> usize {
-        self.bitmap.count_ones() as usize
+    /// Number of value units this entry occupies: `passes - 1` full bins of
+    /// `stages_per_pass` units each, plus the final bin's bitmap popcount.
+    pub fn units(&self, stages_per_pass: usize) -> usize {
+        (self.passes.max(1) as usize - 1) * stages_per_pass + self.bitmap.count_ones() as usize
     }
 }
 
@@ -124,10 +137,12 @@ impl LookupTables {
 
     /// SRAM bytes per replica: key bytes + action data per entry.
     ///
-    /// Action data: bitmap (1) + value_index (4) + key_index (4) + port (2)
-    /// + value_len (1) = 12 bytes.
+    /// Action data: bitmap (1) + value_index (4) + key_index (4) +
+    /// port (2) + value_len (2) + passes (1) = 14 bytes. (The widened
+    /// length field and the pass count cost 2 B per entry over the
+    /// paper's layout; the 8 MB of value-stage SRAM is untouched.)
     pub fn sram_bytes_per_replica(&self) -> usize {
-        self.capacity() * (netcache_proto::KEY_LEN + 12)
+        self.capacity() * (netcache_proto::KEY_LEN + 14)
     }
 }
 
@@ -142,6 +157,7 @@ mod tests {
             key_index: i,
             egress_port: 1,
             value_len: 48,
+            passes: 1,
         }
     }
 
@@ -172,19 +188,27 @@ mod tests {
     }
 
     #[test]
-    fn units_counts_bitmap_bits() {
-        assert_eq!(entry(0).units(), 3);
+    fn units_counts_full_bins_plus_final_bitmap() {
+        assert_eq!(entry(0).units(8), 3);
         let e = LookupEntry {
             bitmap: 0b1111_1111,
             ..entry(0)
         };
-        assert_eq!(e.units(), 8);
+        assert_eq!(e.units(8), 8);
+        // A 300 B value: 19 units = 2 full bins + 3 units in the final bin.
+        let multi = LookupEntry {
+            bitmap: 0b0000_0111,
+            passes: 3,
+            value_len: 300,
+            ..entry(0)
+        };
+        assert_eq!(multi.units(8), 19);
     }
 
     #[test]
     fn sram_accounting() {
         let t = LookupTables::new(1, 65_536);
-        // 64K × 28 B = 1.75 MiB per replica.
-        assert_eq!(t.sram_bytes_per_replica(), 65_536 * 28);
+        // 64K × 30 B per replica (16 B key + 14 B action data).
+        assert_eq!(t.sram_bytes_per_replica(), 65_536 * 30);
     }
 }

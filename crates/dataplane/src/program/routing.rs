@@ -125,6 +125,7 @@ mod tests {
             key_index: 0,
             egress_port: SERVER_PORT,
             value_len: 16,
+            passes: 1,
         });
         r.route(&mut phv);
         assert_eq!(phv.meta.egress_port, Some(SERVER_PORT));
@@ -152,6 +153,7 @@ mod tests {
             key_index: 0,
             egress_port: SERVER_PORT,
             value_len: 16,
+            passes: 1,
         });
         r.route(&mut phv);
         assert_eq!(phv.meta.egress_port, Some(SERVER_PORT));
@@ -181,6 +183,7 @@ mod tests {
             key_index: 0,
             egress_port: SERVER_PORT,
             value_len: 16,
+            passes: 1,
         });
         r.route(&mut phv);
         assert!(phv.meta.drop);

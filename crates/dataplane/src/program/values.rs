@@ -1,11 +1,19 @@
-//! The variable-length on-chip value store (§4.4.2, Fig. 6(b)).
+//! The variable-length on-chip value store (§4.4.2, Fig. 6(b)), extended
+//! with recirculation for values wider than one pass's stage budget.
 //!
 //! Eight stages each hold one register array of 16-byte slots. A cached
 //! key's [`LookupEntry`](crate::program::lookup::LookupEntry) carries a
-//! *bitmap* naming the participating arrays and a single *index* shared by
-//! all of them; as the packet traverses the stages, each participating
-//! array appends its 16-byte unit to the VALUE field. Updates walk the same
-//! stages writing units instead of reading them.
+//! *bitmap* naming the participating arrays, a base *index*, and a *pass*
+//! count. A single-pass value is the paper's design verbatim: as the packet
+//! traverses the stages, each participating array appends its 16-byte unit
+//! to the VALUE field. A multi-pass value occupies `passes` consecutive
+//! bins — every bin but the last fully, the last under `bitmap` — and the
+//! packet recirculates through the egress pipe once per extra bin, reading
+//! row `index + k` on pass `k`. Each pass carries its own register epoch:
+//! the one-access-per-array-per-pass contract holds pass by pass.
+//!
+//! Updates walk the same stages (and the same passes) writing units
+//! instead of reading them.
 
 use netcache_proto::{Value, VALUE_UNIT};
 
@@ -43,29 +51,75 @@ impl ValueStages {
         self.stages.iter().map(RegisterArray::sram_bytes).sum()
     }
 
-    /// Data-plane read: each stage whose bitmap bit is set appends its unit
+    /// Bitmap with every stage participating (intermediate passes).
+    fn full_mask(&self) -> u8 {
+        if self.stages.len() == 8 {
+            0xff
+        } else {
+            (1u8 << self.stages.len()) - 1
+        }
+    }
+
+    /// The stage bitmap pass `k` of a `passes`-pass entry uses: every
+    /// stage for intermediate passes, `bitmap` for the final pass.
+    fn pass_mask(&self, bitmap: u8, k: u8, passes: u8) -> u8 {
+        if k + 1 < passes {
+            self.full_mask()
+        } else {
+            bitmap
+        }
+    }
+
+    /// Units a `(bitmap, passes)` allocation can hold: `passes - 1` full
+    /// bins plus the final bin's bitmap popcount.
+    pub fn capacity_units(&self, bitmap: u8, passes: u8) -> usize {
+        (passes.max(1) as usize - 1) * self.stages.len() + bitmap.count_ones() as usize
+    }
+
+    /// Whether an entry shape is addressable at all: at least one pass, a
+    /// non-empty bitmap within the stage count, and `passes` consecutive
+    /// rows starting at `index` inside the arrays.
+    pub fn entry_in_bounds(&self, bitmap: u8, index: u32, passes: u8) -> bool {
+        passes >= 1
+            && bitmap != 0
+            && bitmap & !self.full_mask() == 0
+            && (index as usize + passes as usize) <= self.slots()
+    }
+
+    /// Data-plane read: pass `k` (register epoch `base_epoch + k`) visits
+    /// row `index + k`; each participating stage appends its unit
     /// (Fig. 6(b): "The data in the register arrays is appended to the
-    /// value field when the packet is processed").
+    /// value field when the packet is processed"). Passes beyond the first
+    /// model recirculation — the caller charges one pipeline slot per pass.
     ///
     /// `value_len` (from the lookup action data) trims the zero padding of
-    /// the final unit. Returns `None` when `value_len` is inconsistent with
-    /// the bitmap — which cannot happen under a correct controller and is
-    /// treated as a drop.
+    /// the final unit. Returns `None` when the entry shape is out of bounds
+    /// or `value_len` is inconsistent with the allocation — which cannot
+    /// happen under a correct controller and is treated as a drop.
     pub fn read_value(
         &mut self,
-        epoch: u64,
+        base_epoch: u64,
         bitmap: u8,
         index: u32,
-        value_len: u8,
+        passes: u8,
+        value_len: u16,
     ) -> Option<Value> {
-        let mut units: Vec<[u8; VALUE_UNIT]> = Vec::with_capacity(8);
-        for (i, stage) in self.stages.iter_mut().enumerate() {
-            if bitmap & (1 << i) != 0 {
-                units.push(stage.read(epoch, index as usize));
+        if !self.entry_in_bounds(bitmap, index, passes) {
+            return None;
+        }
+        let mut units: Vec<[u8; VALUE_UNIT]> =
+            Vec::with_capacity(self.capacity_units(bitmap, passes));
+        for k in 0..passes {
+            let mask = self.pass_mask(bitmap, k, passes);
+            let row = index as usize + k as usize;
+            for (i, stage) in self.stages.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    units.push(stage.read(base_epoch + k as u64, row));
+                }
             }
         }
         // A data-plane update may have shrunk the value below the slots
-        // the bitmap reserves (§4.3: new values may be *smaller*); the
+        // the allocation reserves (§4.3: new values may be *smaller*); the
         // deparser emits only the units the current length needs.
         let needed = (value_len as usize).div_ceil(VALUE_UNIT).max(1);
         if units.len() < needed {
@@ -75,25 +129,40 @@ impl ValueStages {
         Value::from_units(&units, value_len as usize)
     }
 
-    /// Data-plane write (a `CacheUpdate` packet walking the pipe): writes
-    /// the value's units into the participating arrays, in bitmap order.
+    /// Data-plane write (a `CacheUpdate` packet walking the pipe, once per
+    /// pass): writes the value's units into the participating arrays in
+    /// pass-then-bitmap order, using register epoch `base_epoch + k` for
+    /// pass `k`.
     ///
     /// Returns `false` without writing anything if the value needs more
-    /// units than the bitmap provides — the "new values no larger than the
-    /// old ones" restriction of §4.3. A *smaller* value is allowed; surplus
-    /// arrays are filled with zero units and the true length comes from the
-    /// lookup entry's `value_len`, which the control plane refreshes.
-    pub fn write_value(&mut self, epoch: u64, bitmap: u8, index: u32, value: &Value) -> bool {
+    /// units than the allocation provides — the "new values no larger than
+    /// the old ones" restriction of §4.3. A *smaller* value is allowed;
+    /// surplus slots are filled with zero units and the true length comes
+    /// from the `value_len` register, which the update path refreshes.
+    pub fn write_value(
+        &mut self,
+        base_epoch: u64,
+        bitmap: u8,
+        index: u32,
+        passes: u8,
+        value: &Value,
+    ) -> bool {
+        if !self.entry_in_bounds(bitmap, index, passes) {
+            return false;
+        }
         let units = value.to_units();
-        let available = bitmap.count_ones() as usize;
-        if units.len() > available || bitmap as usize >= (1usize << self.stages.len()) {
+        if units.len() > self.capacity_units(bitmap, passes) {
             return false;
         }
         let mut unit_iter = units.into_iter();
-        for (i, stage) in self.stages.iter_mut().enumerate() {
-            if bitmap & (1 << i) != 0 {
-                let unit = unit_iter.next().unwrap_or([0u8; VALUE_UNIT]);
-                stage.write(epoch, index as usize, unit);
+        for k in 0..passes {
+            let mask = self.pass_mask(bitmap, k, passes);
+            let row = index as usize + k as usize;
+            for (i, stage) in self.stages.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    let unit = unit_iter.next().unwrap_or([0u8; VALUE_UNIT]);
+                    stage.write(base_epoch + k as u64, row, unit);
+                }
             }
         }
         true
@@ -101,29 +170,40 @@ impl ValueStages {
 
     /// Control-plane write used by the controller when inserting a new key
     /// (and for values larger than the data-plane update path allows).
-    pub fn poke_value(&mut self, bitmap: u8, index: u32, value: &Value) -> bool {
+    pub fn poke_value(&mut self, bitmap: u8, index: u32, passes: u8, value: &Value) -> bool {
+        if !self.entry_in_bounds(bitmap, index, passes) {
+            return false;
+        }
         let units = value.to_units();
-        if units.len() > bitmap.count_ones() as usize {
+        if units.len() > self.capacity_units(bitmap, passes) {
             return false;
         }
         let mut unit_iter = units.into_iter();
-        for (i, stage) in self.stages.iter_mut().enumerate() {
-            if bitmap & (1 << i) != 0 {
-                stage.poke(
-                    index as usize,
-                    unit_iter.next().unwrap_or([0u8; VALUE_UNIT]),
-                );
+        for k in 0..passes {
+            let mask = self.pass_mask(bitmap, k, passes);
+            let row = index as usize + k as usize;
+            for (i, stage) in self.stages.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    stage.poke(row, unit_iter.next().unwrap_or([0u8; VALUE_UNIT]));
+                }
             }
         }
         true
     }
 
     /// Control-plane read (used in tests and by the resource report).
-    pub fn peek_value(&self, bitmap: u8, index: u32, value_len: u8) -> Option<Value> {
+    pub fn peek_value(&self, bitmap: u8, index: u32, passes: u8, value_len: u16) -> Option<Value> {
+        if !self.entry_in_bounds(bitmap, index, passes) {
+            return None;
+        }
         let mut units = Vec::new();
-        for (i, stage) in self.stages.iter().enumerate() {
-            if bitmap & (1 << i) != 0 {
-                units.push(stage.peek(index as usize));
+        for k in 0..passes {
+            let mask = self.pass_mask(bitmap, k, passes);
+            let row = index as usize + k as usize;
+            for (i, stage) in self.stages.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    units.push(stage.peek(row));
+                }
             }
         }
         let needed = (value_len as usize).div_ceil(VALUE_UNIT).max(1);
@@ -149,10 +229,34 @@ mod tests {
         for len in [1usize, 16, 17, 48, 128] {
             let v = Value::for_item(len as u64, len);
             let bitmap = ((1u16 << v.units()) - 1) as u8;
-            assert!(vs.write_value(1, bitmap, 3, &v), "len={len}");
-            let back = vs.read_value(2, bitmap, 3, len as u8).unwrap();
+            assert!(vs.write_value(1, bitmap, 3, 1, &v), "len={len}");
+            let back = vs.read_value(2, bitmap, 3, 1, len as u16).unwrap();
             assert_eq!(back, v, "len={len}");
         }
+    }
+
+    #[test]
+    fn multi_pass_round_trip() {
+        // 300 B = 19 units = 2 full bins + 3 units in the final bin.
+        for len in [129usize, 256, 300, 2048] {
+            let v = Value::for_item(len as u64, len);
+            let passes = v.passes() as u8;
+            let tail = v.units() - (passes as usize - 1) * 8;
+            let bitmap = ((1u16 << tail) - 1) as u8;
+            let mut vs = ValueStages::new(8, 256);
+            assert!(vs.write_value(1, bitmap, 5, passes, &v), "len={len}");
+            let back = vs.read_value(100, bitmap, 5, passes, len as u16).unwrap();
+            assert_eq!(back, v, "len={len}");
+        }
+    }
+
+    #[test]
+    fn multi_pass_entry_must_fit_in_the_arrays() {
+        let mut vs = stages(); // 16 rows
+        let v = Value::filled(1, 300); // 3 passes
+        assert!(!vs.write_value(1, 0b0000_0111, 14, 3, &v), "rows 14..17");
+        assert!(vs.write_value(1, 0b0000_0111, 13, 3, &v), "rows 13..16");
+        assert!(vs.read_value(10, 0b0000_0111, 14, 3, 300).is_none());
     }
 
     #[test]
@@ -160,20 +264,23 @@ mod tests {
         let mut vs = stages();
         let v = Value::for_item(9, 40); // 3 units
         let bitmap = 0b1010_0100; // stages 2, 5, 7
-        assert!(vs.write_value(1, bitmap, 0, &v));
-        assert_eq!(vs.read_value(2, bitmap, 0, 40).unwrap(), v);
+        assert!(vs.write_value(1, bitmap, 0, 1, &v));
+        assert_eq!(vs.read_value(2, bitmap, 0, 1, 40).unwrap(), v);
     }
 
     #[test]
     fn oversized_value_rejected() {
         let mut vs = stages();
         let v = Value::filled(1, 64); // 4 units
-        assert!(!vs.write_value(1, 0b0000_0111, 0, &v)); // only 3 units available
-                                                         // Nothing must have been written.
+        assert!(!vs.write_value(1, 0b0000_0111, 0, 1, &v)); // only 3 units available
+                                                            // Nothing must have been written.
         assert_eq!(
-            vs.peek_value(0b0000_0111, 0, 48).unwrap(),
+            vs.peek_value(0b0000_0111, 0, 1, 48).unwrap(),
             Value::filled(0, 48)
         );
+        // Same for the multi-pass shape: 2 passes hold 8 + 3 = 11 units.
+        let big = Value::filled(2, 192); // 12 units
+        assert!(!vs.write_value(2, 0b0000_0111, 0, 2, &big));
     }
 
     #[test]
@@ -181,15 +288,28 @@ mod tests {
         let mut vs = stages();
         let big = Value::filled(0xaa, 48); // 3 units
         let bitmap = 0b0000_0111;
-        vs.write_value(1, bitmap, 5, &big);
+        vs.write_value(1, bitmap, 5, 1, &big);
         let small = Value::filled(0xbb, 16); // 1 unit
-        assert!(vs.write_value(2, bitmap, 5, &small));
+        assert!(vs.write_value(2, bitmap, 5, 1, &small));
         // Surplus stages hold zero units now.
         assert_eq!(
-            vs.peek_value(0b0000_0110, 5, 32).unwrap(),
+            vs.peek_value(0b0000_0110, 5, 1, 32).unwrap(),
             Value::filled(0, 32)
         );
-        assert_eq!(vs.read_value(3, 0b0000_0001, 5, 16).unwrap(), small);
+        assert_eq!(vs.read_value(3, 0b0000_0001, 5, 1, 16).unwrap(), small);
+    }
+
+    #[test]
+    fn smaller_value_shrinks_across_passes() {
+        // §4.3 shrink through a multi-pass allocation: a 2-pass slot
+        // updated with a smaller value reads back correctly.
+        let mut vs = stages();
+        let bitmap = 0b0000_0011; // 2 passes × (8 + 2) = 10 units
+        let big = Value::for_item(1, 160);
+        assert!(vs.write_value(1, bitmap, 0, 2, &big));
+        let small = Value::for_item(2, 40);
+        assert!(vs.write_value(10, bitmap, 0, 2, &small));
+        assert_eq!(vs.read_value(20, bitmap, 0, 2, 40).unwrap(), small);
     }
 
     #[test]
@@ -197,10 +317,10 @@ mod tests {
         let mut vs = stages();
         let a = Value::filled(1, 32);
         let b = Value::filled(2, 32);
-        vs.write_value(1, 0b0011, 0, &a);
-        vs.write_value(2, 0b0011, 1, &b);
-        assert_eq!(vs.read_value(3, 0b0011, 0, 32).unwrap(), a);
-        assert_eq!(vs.read_value(4, 0b0011, 1, 32).unwrap(), b);
+        vs.write_value(1, 0b0011, 0, 1, &a);
+        vs.write_value(2, 0b0011, 1, 1, &b);
+        assert_eq!(vs.read_value(3, 0b0011, 0, 1, 32).unwrap(), a);
+        assert_eq!(vs.read_value(4, 0b0011, 1, 1, 32).unwrap(), b);
     }
 
     #[test]
@@ -209,10 +329,23 @@ mod tests {
         let mut vs = stages();
         let c = Value::filled(0xcc, 16);
         let d = Value::filled(0xdd, 32);
-        vs.write_value(1, 0b0000_0010, 2, &c); // array 1
-        vs.write_value(2, 0b0000_0101, 2, &d); // arrays 0 and 2
-        assert_eq!(vs.read_value(3, 0b0000_0010, 2, 16).unwrap(), c);
-        assert_eq!(vs.read_value(4, 0b0000_0101, 2, 32).unwrap(), d);
+        vs.write_value(1, 0b0000_0010, 2, 1, &c); // array 1
+        vs.write_value(2, 0b0000_0101, 2, 1, &d); // arrays 0 and 2
+        assert_eq!(vs.read_value(3, 0b0000_0010, 2, 1, 16).unwrap(), c);
+        assert_eq!(vs.read_value(4, 0b0000_0101, 2, 1, 32).unwrap(), d);
+    }
+
+    #[test]
+    fn multi_pass_tail_bin_shares_with_single_pass_items() {
+        // A 2-pass item owns bin 0 fully and bits 0..1 of bin 1; a
+        // single-pass item can still use the remaining bits of bin 1.
+        let mut vs = stages();
+        let wide = Value::for_item(7, 160); // 10 units
+        assert!(vs.write_value(1, 0b0000_0011, 0, 2, &wide));
+        let narrow = Value::for_item(8, 32); // 2 units in bin 1, bits 2..3
+        assert!(vs.write_value(10, 0b0000_1100, 1, 1, &narrow));
+        assert_eq!(vs.read_value(20, 0b0000_0011, 0, 2, 160).unwrap(), wide);
+        assert_eq!(vs.read_value(30, 0b0000_1100, 1, 1, 32).unwrap(), narrow);
     }
 
     #[test]
@@ -220,8 +353,14 @@ mod tests {
         let mut vs = stages();
         let v = Value::for_item(4, 100);
         let bitmap = 0b0111_1111;
-        assert!(vs.poke_value(bitmap, 7, &v));
-        assert_eq!(vs.read_value(1, bitmap, 7, 100).unwrap(), v);
+        assert!(vs.poke_value(bitmap, 7, 1, &v));
+        assert_eq!(vs.read_value(1, bitmap, 7, 1, 100).unwrap(), v);
+
+        let wide = Value::for_item(5, 500); // 32 units = 4 passes
+        let mut vs = ValueStages::new(8, 32);
+        assert!(vs.poke_value(0xff, 0, 4, &wide));
+        assert_eq!(vs.peek_value(0xff, 0, 4, 500).unwrap(), wide);
+        assert_eq!(vs.read_value(1, 0xff, 0, 4, 500).unwrap(), wide);
     }
 
     #[test]

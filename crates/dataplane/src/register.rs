@@ -103,8 +103,10 @@ impl<T: Slot> RegisterArray<T> {
     /// # Panics
     ///
     /// In debug builds, panics if the array is accessed twice in the same
-    /// packet epoch — a program that did that could not run at line rate
-    /// on the ASIC (it would need recirculation).
+    /// packet epoch — one epoch is one *pipeline pass*, and an array can be
+    /// touched at most once per pass on the ASIC. Multi-pass values are
+    /// served by recirculation: the switch assigns each recirculated pass a
+    /// fresh epoch, so this contract is per-pass, not per-packet.
     #[inline]
     fn touch(&mut self, epoch: u64) {
         debug_assert!(

@@ -107,6 +107,11 @@ pub struct SwitchStats {
     /// Chain writes committed at the tail and converted into client
     /// replies.
     pub chain_commits: u64,
+    /// Extra pipeline passes consumed by recirculated packets (a packet
+    /// serving a `passes = k` entry adds `k - 1`). Each recirculation
+    /// occupies one pipeline slot, so this is the line-rate cost of
+    /// serving wide values from the cache.
+    pub recirculations: u64,
 }
 
 /// [`SwitchStats`] with atomic fields: data-plane counters bumped from
@@ -125,6 +130,7 @@ struct AtomicSwitchStats {
     drops: AtomicU64,
     chain_writes: AtomicU64,
     chain_commits: AtomicU64,
+    recirculations: AtomicU64,
 }
 
 impl AtomicSwitchStats {
@@ -142,6 +148,7 @@ impl AtomicSwitchStats {
             drops: load(&self.drops),
             chain_writes: load(&self.chain_writes),
             chain_commits: load(&self.chain_commits),
+            recirculations: load(&self.recirculations),
         }
     }
 }
@@ -207,6 +214,32 @@ impl NetCacheSwitch {
     /// pokes), for modelling the bounded update rate.
     pub fn control_updates(&self) -> u64 {
         self.control_updates
+    }
+
+    /// Pipeline passes a query touching `key`'s cached value consumes
+    /// (1 when uncached or single-pass). Transports use this to charge
+    /// recirculated packets one pipeline slot per pass.
+    pub fn passes_for(&self, key: &Key) -> u32 {
+        self.lookup
+            .peek(key)
+            .map_or(1, |e| u32::from(e.passes.max(1)))
+    }
+
+    /// Reserves register epochs for a `passes`-wide value operation and
+    /// returns the base epoch. A single-pass operation reuses the packet's
+    /// own epoch (the paper's path, unchanged); a multi-pass operation
+    /// claims a fresh contiguous block so that every recirculated pass
+    /// carries its own epoch, keeping the one-access-per-array-per-pass
+    /// contract intact, and counts the extra passes as recirculations.
+    fn value_epochs(&self, pkt_epoch: u64, passes: u8) -> u64 {
+        if passes <= 1 {
+            pkt_epoch
+        } else {
+            self.stats
+                .recirculations
+                .fetch_add(u64::from(passes) - 1, Ordering::Relaxed);
+            self.epoch.fetch_add(u64::from(passes), Ordering::Relaxed) + 1
+        }
     }
 
     /// Simulates a switch reboot: the cache and statistics are lost, the
@@ -375,11 +408,19 @@ impl NetCacheSwitch {
                     pipe.stats.on_cache_hit(epoch, entry.key_index);
                     if valid {
                         let len = pipe.value_len.read(epoch, entry.key_index as usize);
+                        // A multi-pass entry recirculates: the pipe mutex is
+                        // held across all passes, so the multi-bin read is
+                        // atomic with respect to concurrent updates — no
+                        // packet can interleave between the passes.
+                        let passes = entry.passes.max(1);
+                        phv.meta.passes = passes;
+                        let base = self.value_epochs(epoch, passes);
                         match pipe.values.read_value(
-                            epoch,
+                            base,
                             entry.bitmap,
                             entry.value_index,
-                            len as u8,
+                            passes,
+                            len,
                         ) {
                             Some(value) => {
                                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -431,24 +472,37 @@ impl NetCacheSwitch {
                 // unit is written. A stale retransmission arriving after a
                 // newer update has been applied must not clobber the valid
                 // entry's bytes on its way to being ignored. The size check
-                // uses only lookup action data (bitmap popcount), so it
-                // costs no register access.
+                // uses only lookup action data (bitmap popcount and pass
+                // count), so it costs no register access. A multi-pass
+                // write recirculates like a multi-pass read; the pipe mutex
+                // is held across all passes, so a Get can never observe a
+                // half-written multi-bin value (§4.3 atomicity extended to
+                // recirculated entries).
                 let applied = match (phv.meta.cache, &phv.pkt.netcache.value) {
                     (Some(entry), Some(value))
-                        if value.units() <= entry.bitmap.count_ones() as usize
-                            && (entry.bitmap as usize) < (1usize << pipe.values.stage_count()) =>
+                        if value.units()
+                            <= pipe.values.capacity_units(entry.bitmap, entry.passes)
+                            && pipe.values.entry_in_bounds(
+                                entry.bitmap,
+                                entry.value_index,
+                                entry.passes,
+                            ) =>
                     {
                         let ok =
                             pipe.status
                                 .apply_update(epoch, entry.key_index, phv.pkt.netcache.seq);
                         if ok {
+                            let passes = entry.passes.max(1);
+                            phv.meta.passes = passes;
+                            let base = self.value_epochs(epoch, passes);
                             let wrote = pipe.values.write_value(
-                                epoch,
+                                base,
                                 entry.bitmap,
                                 entry.value_index,
+                                passes,
                                 value,
                             );
-                            debug_assert!(wrote, "size was prechecked against the bitmap");
+                            debug_assert!(wrote, "size was prechecked against the allocation");
                             pipe.value_len.write(
                                 epoch,
                                 entry.key_index as usize,
@@ -493,17 +547,27 @@ impl NetCacheSwitch {
             let pipe = &mut *pipe;
             match (op, &phv.pkt.netcache.value) {
                 (Op::ChainPut, Some(value))
-                    if value.units() <= entry.bitmap.count_ones() as usize
-                        && (entry.bitmap as usize) < (1usize << pipe.values.stage_count()) =>
+                    if value.units() <= pipe.values.capacity_units(entry.bitmap, entry.passes)
+                        && pipe.values.entry_in_bounds(
+                            entry.bitmap,
+                            entry.value_index,
+                            entry.passes,
+                        ) =>
                 {
                     if pipe
                         .status
                         .apply_update(epoch, entry.key_index, chain_version)
                     {
-                        let wrote =
-                            pipe.values
-                                .write_value(epoch, entry.bitmap, entry.value_index, value);
-                        debug_assert!(wrote, "size was prechecked against the bitmap");
+                        let passes = entry.passes.max(1);
+                        let base = self.value_epochs(epoch, passes);
+                        let wrote = pipe.values.write_value(
+                            base,
+                            entry.bitmap,
+                            entry.value_index,
+                            passes,
+                            value,
+                        );
+                        debug_assert!(wrote, "size was prechecked against the allocation");
                         pipe.value_len
                             .write(epoch, entry.key_index as usize, value.len() as u16);
                         self.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
@@ -655,10 +719,25 @@ pub trait SwitchDriver {
     fn remove_entry(&mut self, key: &Key) -> Result<LookupEntry, TableError>;
     /// Reads the lookup entry for `key` without data-plane effects.
     fn peek_entry(&self, key: &Key) -> Option<LookupEntry>;
-    /// Writes a value into the value arrays of egress pipe `pipe`.
-    fn write_value(&mut self, pipe: usize, bitmap: u8, index: u32, value: &Value) -> bool;
+    /// Writes a value into the value arrays of egress pipe `pipe`. A
+    /// `passes > 1` entry spans consecutive bins starting at `index`.
+    fn write_value(
+        &mut self,
+        pipe: usize,
+        bitmap: u8,
+        index: u32,
+        passes: u8,
+        value: &Value,
+    ) -> bool;
     /// Reads a value back from egress pipe `pipe` (testing/verification).
-    fn peek_value(&self, pipe: usize, bitmap: u8, index: u32, value_len: u8) -> Option<Value>;
+    fn peek_value(
+        &self,
+        pipe: usize,
+        bitmap: u8,
+        index: u32,
+        passes: u8,
+        value_len: u16,
+    ) -> Option<Value>;
     /// Marks `key_index` valid with `version` after an insertion.
     fn install_status(&mut self, pipe: usize, key_index: u32, version: u32);
     /// Records the true value length for `key_index` (read by the data
@@ -723,19 +802,33 @@ impl SwitchDriver for NetCacheSwitch {
         self.lookup.peek(key).copied()
     }
 
-    fn write_value(&mut self, pipe: usize, bitmap: u8, index: u32, value: &Value) -> bool {
+    fn write_value(
+        &mut self,
+        pipe: usize,
+        bitmap: u8,
+        index: u32,
+        passes: u8,
+        value: &Value,
+    ) -> bool {
         self.control_updates += 1;
         self.egress[pipe]
             .get_mut()
             .values
-            .poke_value(bitmap, index, value)
+            .poke_value(bitmap, index, passes, value)
     }
 
-    fn peek_value(&self, pipe: usize, bitmap: u8, index: u32, value_len: u8) -> Option<Value> {
+    fn peek_value(
+        &self,
+        pipe: usize,
+        bitmap: u8,
+        index: u32,
+        passes: u8,
+        value_len: u16,
+    ) -> Option<Value> {
         self.egress[pipe]
             .lock()
             .values
-            .peek_value(bitmap, index, value_len)
+            .peek_value(bitmap, index, passes, value_len)
     }
 
     fn install_status(&mut self, pipe: usize, key_index: u32, version: u32) {
@@ -874,10 +967,13 @@ mod tests {
         sw
     }
 
-    /// Installs `key` in the cache the way the controller would.
+    /// Installs `key` in the cache the way the controller would: the tail
+    /// units in the final bin's bitmap, full bins for every earlier pass.
     fn install(sw: &mut NetCacheSwitch, key: Key, value: &Value, key_index: u32, index: u32) {
-        let bitmap = ((1u16 << value.units()) - 1) as u8;
-        sw.write_value(0, bitmap, index, value);
+        let passes = value.passes() as u8;
+        let tail = value.units() - (passes as usize - 1) * 8;
+        let bitmap = ((1u16 << tail) - 1) as u8;
+        assert!(sw.write_value(0, bitmap, index, passes, value));
         sw.insert_entry(
             key,
             LookupEntry {
@@ -885,7 +981,8 @@ mod tests {
                 value_index: index,
                 key_index,
                 egress_port: SERVER_PORT,
-                value_len: value.len() as u8,
+                value_len: value.len() as u16,
+                passes,
             },
         )
         .unwrap();
@@ -910,6 +1007,80 @@ mod tests {
         assert_eq!(reply.ipv4.dst, CLIENT_IP);
         assert_eq!(reply.netcache.seq, 5, "other fields retained");
         assert_eq!(sw.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn multi_pass_hit_recirculates_and_serves_wide_value() {
+        let mut sw = switch();
+        let key = Key::from_u64(77);
+        let value = Value::for_item(77, 300); // 19 units = 3 passes
+        install(&mut sw, key, &value, 0, 0);
+
+        let query = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 5);
+        let out = sw.process(query, CLIENT_PORT);
+        assert_eq!(out.len(), 1);
+        let (port, reply) = &out[0];
+        assert_eq!(*port, CLIENT_PORT);
+        assert_eq!(reply.netcache.op, Op::GetReplyHit);
+        assert_eq!(reply.netcache.value.as_ref().unwrap(), &value);
+        assert_eq!(sw.stats().cache_hits, 1);
+        assert_eq!(
+            sw.stats().recirculations,
+            2,
+            "3 passes = 1 traversal + 2 recirculations"
+        );
+        assert_eq!(sw.passes_for(&key), 3);
+        assert_eq!(sw.passes_for(&Key::from_u64(9999)), 1, "uncached: 1 pass");
+    }
+
+    #[test]
+    fn max_width_value_served_at_the_pass_budget() {
+        let mut sw = switch();
+        let key = Key::from_u64(2048);
+        let value = Value::for_item(9, 2048); // 128 units = 16 passes
+        install(&mut sw, key, &value, 0, 0);
+        let out = sw.process(
+            Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 1),
+            CLIENT_PORT,
+        );
+        assert_eq!(out[0].1.netcache.value.as_ref().unwrap(), &value);
+        assert_eq!(sw.stats().recirculations, 15);
+    }
+
+    #[test]
+    fn cache_update_refreshes_multi_pass_entry() {
+        let mut sw = switch();
+        let key = Key::from_u64(3);
+        install(&mut sw, key, &Value::for_item(3, 300), 0, 0);
+
+        // Write invalidates; the server pushes a *smaller* replacement
+        // through the same 3-pass allocation (§4.3: no larger).
+        let put = Packet::put_query(1, CLIENT_IP, SERVER_IP, key, 2, Value::for_item(4, 200));
+        sw.process(put, CLIENT_PORT);
+        let update = Packet::cache_update(SERVER_IP, SWITCH_IP, key, 2, Value::for_item(4, 200));
+        let out = sw.process(update, SERVER_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::CacheUpdateAck);
+        assert_eq!(sw.stats().updates_applied, 1);
+
+        let get = Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 3);
+        let out = sw.process(get, CLIENT_PORT);
+        assert_eq!(out[0].1.netcache.op, Op::GetReplyHit);
+        assert_eq!(
+            out[0].1.netcache.value.as_ref().unwrap(),
+            &Value::for_item(4, 200)
+        );
+
+        // An update wider than the 3-pass allocation is ignored.
+        let put = Packet::put_query(1, CLIENT_IP, SERVER_IP, key, 4, Value::for_item(5, 400));
+        sw.process(put, CLIENT_PORT);
+        let update = Packet::cache_update(SERVER_IP, SWITCH_IP, key, 4, Value::for_item(5, 400));
+        sw.process(update, SERVER_PORT);
+        assert_eq!(sw.stats().updates_ignored, 1);
+        let out = sw.process(
+            Packet::get_query(1, CLIENT_IP, SERVER_IP, key, 5),
+            CLIENT_PORT,
+        );
+        assert_eq!(out[0].0, SERVER_PORT, "entry stays invalid");
     }
 
     #[test]
@@ -1238,7 +1409,7 @@ mod tests {
         // port (read-from-tail); the forwarding path still goes through the
         // head, so the entry's pipe is not the forwarding pipe.
         let bitmap = 1u8;
-        sw.write_value(0, bitmap, 0, &Value::filled(1, 16));
+        sw.write_value(0, bitmap, 0, 1, &Value::filled(1, 16));
         sw.insert_entry(
             key,
             LookupEntry {
@@ -1247,6 +1418,7 @@ mod tests {
                 key_index: 0,
                 egress_port: REPLICA_PORT,
                 value_len: 16,
+                passes: 1,
             },
         )
         .unwrap();

@@ -19,27 +19,49 @@ proptest! {
         let mut stages = ValueStages::new(8, 16);
         let value = Value::filled(fill, len);
         let fits = value.units() <= bitmap.count_ones() as usize;
-        let wrote = stages.write_value(1, bitmap, index, &value);
+        let wrote = stages.write_value(1, bitmap, index, 1, &value);
         prop_assert_eq!(wrote, fits);
         if fits {
-            let back = stages.read_value(2, bitmap, index, len as u8);
+            let back = stages.read_value(2, bitmap, index, 1, len as u16);
             prop_assert_eq!(back, Some(value));
         }
     }
 
-    /// A shorter re-write through the same bitmap reads back exactly.
+    /// Values of any length up to the 2 KB recirculation cap round-trip
+    /// through the multi-pass layout (full bins + a final tail bitmap).
+    #[test]
+    fn value_stages_multi_pass_roundtrip(
+        len in 1usize..=netcache_proto::MAX_VALUE_LEN,
+        index in 0u32..16,
+        fill in any::<u8>(),
+    ) {
+        let value = Value::filled(fill, len);
+        let passes = value.passes() as u8;
+        let tail = value.units() - (passes as usize - 1) * 8;
+        let bitmap = ((1u16 << tail) - 1) as u8;
+        let mut stages = ValueStages::new(8, 16 + netcache_proto::MAX_RECIRC_PASSES);
+        prop_assert!(stages.write_value(1, bitmap, index, passes, &value));
+        let back = stages.read_value(100, bitmap, index, passes, len as u16);
+        prop_assert_eq!(back, Some(value));
+    }
+
+    /// A shorter re-write through the same allocation reads back exactly,
+    /// whatever the pass count of the original allocation.
     #[test]
     fn value_stages_shrinking_rewrite(
-        first in 1usize..=128,
-        second in 1usize..=128,
+        first in 1usize..=2048,
+        second in 1usize..=2048,
         index in 0u32..8,
     ) {
         let (big, small) = if first >= second { (first, second) } else { (second, first) };
-        let mut stages = ValueStages::new(8, 8);
-        let bitmap = ((1u16 << Value::filled(1, big).units()) - 1) as u8;
-        prop_assert!(stages.write_value(1, bitmap, index, &Value::filled(0xAA, big)));
-        prop_assert!(stages.write_value(2, bitmap, index, &Value::filled(0xBB, small)));
-        let back = stages.read_value(3, bitmap, index, small as u8);
+        let big_v = Value::filled(0xAA, big);
+        let passes = big_v.passes() as u8;
+        let tail = big_v.units() - (passes as usize - 1) * 8;
+        let bitmap = ((1u16 << tail) - 1) as u8;
+        let mut stages = ValueStages::new(8, 8 + netcache_proto::MAX_RECIRC_PASSES);
+        prop_assert!(stages.write_value(1, bitmap, index, passes, &big_v));
+        prop_assert!(stages.write_value(100, bitmap, index, passes, &Value::filled(0xBB, small)));
+        let back = stages.read_value(200, bitmap, index, passes, small as u16);
         prop_assert_eq!(back, Some(Value::filled(0xBB, small)));
     }
 

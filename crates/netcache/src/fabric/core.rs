@@ -264,14 +264,37 @@ impl FabricCore {
     /// stores (dataset setup, bypassing the protocol), with key ids
     /// `0..num_keys` and deterministic per-key values.
     pub fn load_dataset(&self, num_keys: u64, value_len: usize) {
+        self.load_dataset_with(num_keys, |_| value_len);
+    }
+
+    /// Like [`FabricCore::load_dataset`] but with a per-key logical
+    /// payload length. Lengths up to [`netcache_proto::MAX_VALUE_LEN`]
+    /// are stored as one plain item under the base key; longer payloads
+    /// are stored in the §2 chunked layout (manifest chunk under the base
+    /// key, continuations under derived chunk keys), exactly as
+    /// [`crate::fabric::LargeValueOps::put_large`] would write them.
+    pub fn load_dataset_with(&self, num_keys: u64, len_of: impl Fn(u64) -> usize) {
         let factor = self.config.replication_factor.max(1);
-        for id in 0..num_keys {
-            let key = Key::from_u64(id);
+        let store_at = |key: Key, value: Value| {
             let home = self.addressing.home_of(&key);
             for server in self.addressing.chain_servers(home.server, factor) {
                 self.servers[server as usize]
                     .store()
-                    .put(key, Value::for_item(id, value_len), 1);
+                    .put(key, value.clone(), 1);
+            }
+        };
+        for id in 0..num_keys {
+            let base = Key::from_u64(id);
+            let len = len_of(id);
+            if len <= netcache_proto::MAX_VALUE_LEN {
+                store_at(base, Value::for_item(id, len));
+            } else {
+                let payload = netcache_proto::item_bytes(id, len);
+                let chunks = netcache_client::chunked::split(&payload)
+                    .expect("dataset payload within the chunking cap");
+                for (index, value) in chunks {
+                    store_at(netcache_client::chunked::chunk_key(base, index), value);
+                }
             }
         }
     }

@@ -1,0 +1,76 @@
+//! Transport-agnostic large-value operations.
+//!
+//! A single NetCache item now carries up to [`netcache_proto::MAX_VALUE_LEN`]
+//! bytes (2 KB), served from the switch cache by recirculating the packet
+//! through the value stages. Payloads beyond that fall back to the §2
+//! chunking scheme in [`netcache_client::chunked`]: continuation chunks
+//! under derived keys plus a manifest chunk under the base key.
+//!
+//! The split point is not a client decision — it falls out of the layout.
+//! [`netcache_client::chunked::split`] emits exactly one chunk (the
+//! manifest, stored under the base key) whenever the payload fits
+//! [`netcache_client::chunked::FIRST_CHUNK_PAYLOAD`] bytes, and that one
+//! item is recirculation-cacheable like any other; only larger payloads
+//! produce continuation chunks, each itself an independently cacheable
+//! item. So [`LargeValueOps::put_large`]/[`LargeValueOps::get_large`] pick
+//! recirculated-single-item vs chunked-fallback transparently, on every
+//! transport.
+//!
+//! The trait is implemented by all three deployments' clients —
+//! [`crate::RackClient`], [`crate::udp::UdpClient`], and the simulator's
+//! scripted client — over two primitives (`kv_get`/`kv_put`), so the
+//! chunk ordering and reassembly logic exists once and the transports
+//! cannot drift.
+
+use netcache_proto::{Key, Value};
+
+use super::engine::ClientResponse;
+
+/// Get/put of logical payloads of any size up to
+/// [`netcache_client::chunked::MAX_LARGE_LEN`], over a transport's basic
+/// single-item operations.
+///
+/// Implementors supply the two primitives; the `*_large` methods are
+/// shared. `None` from a primitive (transport loss, oversized input)
+/// aborts the composite operation with `None`.
+pub trait LargeValueOps {
+    /// Reads one item. `None` means the query (or its reply) was lost.
+    fn kv_get(&mut self, key: Key) -> Option<ClientResponse>;
+
+    /// Writes one item. `None` means the write (or its ack) was lost.
+    fn kv_put(&mut self, key: Key, value: Value) -> Option<ClientResponse>;
+
+    /// Writes a logical payload under `base`.
+    ///
+    /// Payloads that fit one VALUE field become a single item under the
+    /// base key (recirculation-cacheable in the switch); larger payloads
+    /// are chunked, continuation chunks written before the manifest so no
+    /// reader observes a manifest whose data is missing.
+    fn put_large(&mut self, base: Key, payload: &[u8]) -> Option<()> {
+        let chunks = netcache_client::chunked::split(payload)?;
+        for (index, value) in chunks {
+            let key = netcache_client::chunked::chunk_key(base, index);
+            self.kv_put(key, value)?;
+        }
+        Some(())
+    }
+
+    /// Reads a logical payload; returns the bytes and whether *every*
+    /// constituent item was served by the switch cache.
+    fn get_large(&mut self, base: Key) -> Option<(Vec<u8>, bool)> {
+        let manifest_resp = self.kv_get(base)?;
+        let mut all_cached = manifest_resp.served_by_cache();
+        let manifest = manifest_resp.value()?.clone();
+        let (total, _) = netcache_client::chunked::decode_manifest(&manifest)?;
+        let count = netcache_client::chunked::chunk_count(total);
+        let mut continuations = Vec::with_capacity(count as usize - 1);
+        for index in 1..count {
+            let key = netcache_client::chunked::chunk_key(base, index);
+            let resp = self.kv_get(key)?;
+            all_cached &= resp.served_by_cache();
+            continuations.push(resp.value()?.clone());
+        }
+        let payload = netcache_client::chunked::reassemble(&manifest, &continuations)?;
+        Some((payload, all_cached))
+    }
+}

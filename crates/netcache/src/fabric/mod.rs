@@ -42,6 +42,7 @@ pub mod core;
 pub mod drive;
 pub mod engine;
 pub mod error;
+pub mod large;
 
 pub use self::core::{AgentTiming, FabricCore};
 pub use self::drive::RackDrive;
@@ -50,6 +51,7 @@ pub use self::engine::{
     WallClock,
 };
 pub use self::error::RackError;
+pub use self::large::LargeValueOps;
 
 use std::sync::Arc;
 

@@ -161,7 +161,8 @@ impl RackReport {
     }
 
     /// A stable machine-readable snapshot (schema
-    /// `netcache-rack-report/v2` — v2 added the transport backend label
+    /// `netcache-rack-report/v3` — v3 added the switch `recirculations`
+    /// counter for multi-pass values; v2 added the transport backend label
     /// and the io_uring ring counters). Key order is fixed; a golden
     /// test pins it so the bench schema cannot drift silently.
     pub fn to_json(&self) -> String {
@@ -172,10 +173,11 @@ impl RackReport {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema\":\"netcache-rack-report/v2\",\
+            "{{\"schema\":\"netcache-rack-report/v3\",\
              \"switch\":{{\"packets\":{},\"netcache_packets\":{},\"cache_hits\":{},\
              \"invalid_hits\":{},\"cache_misses\":{},\"write_invalidations\":{},\
-             \"updates_applied\":{},\"updates_ignored\":{},\"drops\":{},\"hit_ratio\":{}}},\
+             \"updates_applied\":{},\"updates_ignored\":{},\"drops\":{},\
+             \"recirculations\":{},\"hit_ratio\":{}}},\
              \"servers\":{{\"count\":{},\"gets\":{},\"writes\":{},\"not_found\":{},\
              \"updates_sent\":{},\"update_retries\":{},\"updates_abandoned\":{},\
              \"writes_blocked\":{},\"loads\":[{}],\"load_imbalance\":{}}},\
@@ -203,6 +205,7 @@ impl RackReport {
             self.switch.updates_applied,
             self.switch.updates_ignored,
             self.switch.drops,
+            self.switch.recirculations,
             fmt_f64(self.hit_ratio()),
             self.servers.len(),
             self.server_gets(),

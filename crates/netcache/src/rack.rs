@@ -531,38 +531,21 @@ impl RackClient<'_> {
     pub fn delete_app(&mut self, app_key: &[u8]) -> Option<ClientResponse> {
         self.delete(Key::from_app_key(app_key))
     }
+}
 
-    // ---- Large values via chunking (§2) ----
-
-    /// Writes a payload larger than one VALUE field by splitting it into
-    /// chunks under derived keys. Continuation chunks are written before
-    /// the manifest so no reader observes a dangling manifest.
-    pub fn put_large(&mut self, base: Key, payload: &[u8]) -> Option<()> {
-        let chunks = netcache_client::chunked::split(payload)?;
-        for (index, value) in chunks {
-            let key = netcache_client::chunked::chunk_key(base, index);
-            self.put(key, value)?;
-        }
-        Some(())
+/// Large values (§2): single recirculated item up to `MAX_VALUE_LEN`,
+/// chunked fallback beyond it. Shared logic in
+/// [`crate::fabric::LargeValueOps`]; each constituent operation runs
+/// under the client's [`RetryPolicy`] (which also drains the virtual
+/// clock's delayed deliveries), so the composite survives a faulty
+/// network the same way single-item operations do.
+impl crate::fabric::LargeValueOps for RackClient<'_> {
+    fn kv_get(&mut self, key: Key) -> Option<ClientResponse> {
+        self.get_with_retry(key).response
     }
 
-    /// Reads a chunked payload; returns the bytes and whether *every*
-    /// chunk was served by the switch cache.
-    pub fn get_large(&mut self, base: Key) -> Option<(Vec<u8>, bool)> {
-        let manifest_resp = self.get(base)?;
-        let mut all_cached = manifest_resp.served_by_cache();
-        let manifest = manifest_resp.value()?.clone();
-        let (total, _) = netcache_client::chunked::decode_manifest(&manifest)?;
-        let count = netcache_client::chunked::chunk_count(total);
-        let mut continuations = Vec::with_capacity(count as usize - 1);
-        for index in 1..count {
-            let key = netcache_client::chunked::chunk_key(base, index);
-            let resp = self.get(key)?;
-            all_cached &= resp.served_by_cache();
-            continuations.push(resp.value()?.clone());
-        }
-        let payload = netcache_client::chunked::reassemble(&manifest, &continuations)?;
-        Some((payload, all_cached))
+    fn kv_put(&mut self, key: Key, value: Value) -> Option<ClientResponse> {
+        self.put_with_retry(key, value).response
     }
 }
 

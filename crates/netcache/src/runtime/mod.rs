@@ -52,11 +52,13 @@ mod portable;
 mod uring;
 
 /// Largest frame any rack transport carries (Ethernet/IP/UDP/NetCache).
-pub const MAX_FRAME: usize = 2048;
+/// Sized for a maximally recirculated value: 2 KB of VALUE plus the
+/// NetCache and encapsulation headers, rounded to a power of two.
+pub const MAX_FRAME: usize = 4096;
 
 /// Default datagrams moved per batched syscall. 32 frames amortize the
 /// per-call cost well below the per-datagram work while keeping a ring
-/// slab at 64 KiB.
+/// slab at 128 KiB.
 pub const DEFAULT_BATCH: usize = 32;
 
 /// Which event-loop backend a socket transport runs on.

@@ -793,6 +793,23 @@ impl UdpClient {
     }
 }
 
+/// Large values (§2): single recirculated item up to `MAX_VALUE_LEN`,
+/// chunked fallback beyond it. Shared logic in
+/// [`crate::fabric::LargeValueOps`]; each constituent operation runs
+/// under the client's [`RetryPolicy`], so the composite survives loss
+/// the same way single-item operations do.
+impl crate::fabric::LargeValueOps for UdpClient {
+    fn kv_get(&mut self, key: Key) -> Option<ClientResponse> {
+        let pkt = self.client.get(key);
+        self.request_with_retry(pkt).response
+    }
+
+    fn kv_put(&mut self, key: Key, value: Value) -> Option<ClientResponse> {
+        let pkt = self.client.put(key, value);
+        self.request_with_retry(pkt).response
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

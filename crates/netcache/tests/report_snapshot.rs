@@ -1,5 +1,5 @@
 //! Golden snapshot of [`RackReport::to_json`]: pins the
-//! `netcache-rack-report/v2` schema byte for byte, so any field rename,
+//! `netcache-rack-report/v3` schema byte for byte, so any field rename,
 //! reorder, or format change is a deliberate, reviewed schema bump — the
 //! bench harness and any external plotting scripts parse this output.
 //!
@@ -43,6 +43,7 @@ fn sample_report() -> RackReport {
             updates_applied: 9,
             updates_ignored: 1,
             drops: 2,
+            recirculations: 34,
             chain_writes: 21,
             chain_commits: 19,
         },
@@ -122,10 +123,11 @@ fn sample_report() -> RackReport {
 
 /// The pinned golden output. Regenerate (and bump the schema version) only
 /// on a deliberate schema change.
-const GOLDEN: &str = "{\"schema\":\"netcache-rack-report/v2\",\
+const GOLDEN: &str = "{\"schema\":\"netcache-rack-report/v3\",\
 \"switch\":{\"packets\":120,\"netcache_packets\":100,\"cache_hits\":60,\
 \"invalid_hits\":5,\"cache_misses\":15,\"write_invalidations\":7,\
-\"updates_applied\":9,\"updates_ignored\":1,\"drops\":2,\"hit_ratio\":0.75},\
+\"updates_applied\":9,\"updates_ignored\":1,\"drops\":2,\
+\"recirculations\":34,\"hit_ratio\":0.75},\
 \"servers\":{\"count\":2,\"gets\":20,\"writes\":12,\"not_found\":1,\
 \"updates_sent\":6,\"update_retries\":1,\"updates_abandoned\":0,\
 \"writes_blocked\":1,\"loads\":[20,12],\"load_imbalance\":1.25},\
@@ -162,7 +164,7 @@ fn rack_report_json_matches_golden_snapshot() {
     let json = sample_report().to_json();
     assert_eq!(
         json, GOLDEN,
-        "RackReport::to_json drifted from the pinned netcache-rack-report/v1 \
+        "RackReport::to_json drifted from the pinned netcache-rack-report/v3 \
          schema; if the change is intentional, update the golden snapshot \
          (and bump the schema version for field changes)"
     );
@@ -174,10 +176,11 @@ fn rack_report_json_round_trips_through_parser() {
     let parsed = Json::parse(&report.to_json()).expect("own output parses");
     assert_eq!(
         parsed.get("schema").and_then(Json::as_str),
-        Some("netcache-rack-report/v2")
+        Some("netcache-rack-report/v3")
     );
     let switch = parsed.get("switch").expect("switch section");
     assert_eq!(switch.get_u64("cache_hits"), Ok(60));
+    assert_eq!(switch.get_u64("recirculations"), Ok(34));
     assert_eq!(switch.get_finite("hit_ratio"), Ok(0.75));
     let servers = parsed.get("servers").expect("servers section");
     assert_eq!(servers.get_u64("gets"), Ok(report.server_gets()));

@@ -4,14 +4,17 @@
 //!
 //! ```text
 //! +--------+----------+-----------+---------+------------------+
-//! | OP (1) | SEQ (4)  | KEY (16)  | VLEN(1) | VALUE (0..=128)  |
+//! | OP (1) | SEQ (4)  | KEY (16)  | VLEN(2) | VALUE (0..=2048) |
 //! +--------+----------+-----------+---------+------------------+
 //! ```
 //!
-//! `VLEN` is the value length in bytes; Get queries and Delete queries carry
-//! `VLEN = 0` and no VALUE bytes. The switch *inserts* the VALUE field when
-//! serving a cache hit, exactly as described in §4.2 — the reply packet is
-//! the query packet with the VALUE appended and addresses swapped.
+//! `VLEN` is the value length in bytes (two bytes big-endian: values are
+//! truly variable-length on the wire, up to [`MAX_VALUE_LEN`] — a cached
+//! value beyond one pipeline pass's 128 B is served by recirculation); Get
+//! queries and Delete queries carry `VLEN = 0` and no VALUE bytes. The
+//! switch *inserts* the VALUE field when serving a cache hit, exactly as
+//! described in §4.2 — the reply packet is the query packet with the VALUE
+//! appended and addresses swapped.
 //!
 //! Chain-replicated writes ([`Op::is_chain`]) carry one extra big-endian
 //! field after VALUE:
@@ -31,7 +34,7 @@ use bytes::{Buf, BufMut};
 use crate::{Key, Op, ParseError, Value, KEY_LEN, MAX_VALUE_LEN};
 
 /// Minimum encoded size: OP + SEQ + KEY + VLEN.
-pub const NETCACHE_HDR_MIN: usize = 1 + 4 + KEY_LEN + 1;
+pub const NETCACHE_HDR_MIN: usize = 1 + 4 + KEY_LEN + 2;
 
 /// The NetCache application-layer header.
 ///
@@ -139,10 +142,10 @@ impl NetCacheHdr {
         match &self.value {
             Some(v) => {
                 debug_assert!(v.len() <= MAX_VALUE_LEN);
-                buf.put_u8(v.len() as u8);
+                buf.put_u16(v.len() as u16);
                 buf.put_slice(v.as_bytes());
             }
-            None => buf.put_u8(0),
+            None => buf.put_u16(0),
         }
         if self.op.is_chain() {
             buf.put_u32(self.chain_version);
@@ -173,7 +176,7 @@ impl NetCacheHdr {
         let seq = bytes.get_u32();
         let mut key_bytes = [0u8; KEY_LEN];
         bytes.copy_to_slice(&mut key_bytes);
-        let vlen = bytes.get_u8() as usize;
+        let vlen = bytes.get_u16() as usize;
         if vlen > MAX_VALUE_LEN {
             return Err(ParseError::ValueTooLong(vlen));
         }
@@ -223,6 +226,10 @@ mod tests {
             Some(Value::filled(0xab, 1)),
             Some(Value::filled(0xcd, 16)),
             Some(Value::for_item(99, 128)),
+            // Multi-pass sizes: beyond one pipeline pass, beyond a u8 VLEN.
+            Some(Value::for_item(7, 129)),
+            Some(Value::for_item(3, 300)),
+            Some(Value::for_item(1, MAX_VALUE_LEN)),
         ]
     }
 
@@ -275,7 +282,8 @@ mod tests {
     fn oversized_vlen_rejected() {
         let mut bytes = NetCacheHdr::get(Key::from_u64(1), 0).encode_to_vec();
         let vlen_index = 1 + 4 + KEY_LEN;
-        bytes[vlen_index] = (MAX_VALUE_LEN + 1) as u8;
+        let vlen = ((MAX_VALUE_LEN + 1) as u16).to_be_bytes();
+        bytes[vlen_index..vlen_index + 2].copy_from_slice(&vlen);
         bytes.extend(std::iter::repeat_n(0u8, MAX_VALUE_LEN + 1));
         assert_eq!(
             NetCacheHdr::decode(&bytes).unwrap_err(),

@@ -34,4 +34,6 @@ pub use key::{Key, KEY_LEN};
 pub use l2l3::{EthernetHdr, Ipv4Hdr, L4Hdr, MacAddr, TcpHdr, UdpHdr, ETHERTYPE_IPV4};
 pub use op::Op;
 pub use packet::{Packet, NETCACHE_PORT};
-pub use value::{Value, MAX_VALUE_LEN, VALUE_UNIT};
+pub use value::{
+    item_bytes, Value, MAX_RECIRC_PASSES, MAX_VALUE_LEN, PASS_VALUE_LEN, VALUE_STAGES, VALUE_UNIT,
+};

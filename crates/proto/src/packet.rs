@@ -283,7 +283,7 @@ mod tests {
 
     #[test]
     fn wire_len_matches_deparse() {
-        for vlen in [0usize, 1, 16, 100, 128] {
+        for vlen in [0usize, 1, 16, 100, 128, 129, 300, 2048] {
             let pkt = Packet::put_query(
                 1,
                 CLIENT_IP,

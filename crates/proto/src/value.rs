@@ -1,21 +1,33 @@
 //! The variable-length value type.
 //!
-//! The prototype supports values up to 128 bytes, stored in the switch at a
-//! granularity of 16 bytes — the output width of one register array stage
-//! (§4.4.2, §6). A value therefore occupies between 1 and 8 register-array
-//! *units*; the controller's bin-packing allocator (Algorithm 2) works in
-//! these units.
+//! Values are stored in the switch at a granularity of 16 bytes — the
+//! output width of one register array stage (§4.4.2, §6). One traversal of
+//! the egress pipeline touches each of the 8 value stages at most once, so
+//! a single pass serves up to [`PASS_VALUE_LEN`] = 128 bytes (the paper's
+//! prototype cap). Larger values are served by *recirculating* the packet
+//! through the pipeline (OrbitCache direction): each extra pass reads
+//! another 8 units, up to [`MAX_RECIRC_PASSES`] passes and therefore
+//! [`MAX_VALUE_LEN`] bytes on the wire. The controller's bin-packing
+//! allocator (Algorithm 2) works in these 16-byte units.
 
 use core::fmt;
-
-/// Maximum value length in bytes (8 stages × 16-byte slots).
-pub const MAX_VALUE_LEN: usize = 128;
 
 /// Granularity of value storage: the per-stage register-array output width.
 pub const VALUE_UNIT: usize = 16;
 
-/// Number of value stages in the prototype pipeline.
-pub const VALUE_STAGES: usize = MAX_VALUE_LEN / VALUE_UNIT;
+/// Number of value stages one pipeline pass traverses.
+pub const VALUE_STAGES: usize = 8;
+
+/// Value bytes servable in a single pipeline pass (the paper's 128 B cap).
+pub const PASS_VALUE_LEN: usize = VALUE_STAGES * VALUE_UNIT;
+
+/// Upper bound on pipeline passes (1 initial + recirculations) a cached
+/// entry may span. Bounds the wire format; individual switch configs may
+/// budget fewer passes.
+pub const MAX_RECIRC_PASSES: usize = 16;
+
+/// Maximum value length in bytes (8 stages × 16 B × 16 passes = 2 KB).
+pub const MAX_VALUE_LEN: usize = PASS_VALUE_LEN * MAX_RECIRC_PASSES;
 
 /// A variable-length value of up to [`MAX_VALUE_LEN`] bytes.
 ///
@@ -62,12 +74,7 @@ impl Value {
     /// end-to-end; the rest is a repeating pattern.
     pub fn for_item(id: u64, len: usize) -> Self {
         assert!(len <= MAX_VALUE_LEN, "value length {len} exceeds maximum");
-        let mut v = vec![0u8; len];
-        let be = id.to_be_bytes();
-        for (i, slot) in v.iter_mut().enumerate() {
-            *slot = if i < 8 { be[i] } else { (i as u8) ^ be[i % 8] };
-        }
-        Value(v)
+        Value(item_bytes(id, len))
     }
 
     /// Length in bytes.
@@ -85,6 +92,13 @@ impl Value {
     /// at least one array so reads can reassemble it).
     pub fn units(&self) -> usize {
         self.0.len().div_ceil(VALUE_UNIT).max(1)
+    }
+
+    /// Number of pipeline passes (1 initial traversal + recirculations)
+    /// needed to serve this value from the switch: each pass reads at most
+    /// [`VALUE_STAGES`] units.
+    pub fn passes(&self) -> usize {
+        self.units().div_ceil(VALUE_STAGES)
     }
 
     /// Raw bytes.
@@ -136,6 +150,20 @@ impl Value {
     }
 }
 
+/// The deterministic byte pattern behind [`Value::for_item`], at any
+/// length: the first 8 bytes encode `id` big-endian, the rest is an
+/// id-keyed repeating pattern. Unlike `for_item` this is not capped at
+/// [`MAX_VALUE_LEN`] — dataset generators use it to produce logical
+/// payloads that span multiple chunked items.
+pub fn item_bytes(id: u64, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    let be = id.to_be_bytes();
+    for (i, slot) in v.iter_mut().enumerate() {
+        *slot = if i < 8 { be[i] } else { (i as u8) ^ be[i % 8] };
+    }
+    v
+}
+
 impl fmt::Debug for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Value[{}](", self.0.len())?;
@@ -175,6 +203,17 @@ mod tests {
         assert_eq!(Value::filled(1, 16).units(), 1);
         assert_eq!(Value::filled(1, 17).units(), 2);
         assert_eq!(Value::filled(1, 128).units(), 8);
+        assert_eq!(Value::filled(1, 2048).units(), 128);
+    }
+
+    #[test]
+    fn passes_round_up_at_the_stage_budget() {
+        assert_eq!(Value::filled(1, 0).passes(), 1);
+        assert_eq!(Value::filled(1, 128).passes(), 1);
+        assert_eq!(Value::filled(1, 129).passes(), 2);
+        assert_eq!(Value::filled(1, 256).passes(), 2);
+        assert_eq!(Value::filled(1, 257).passes(), 3);
+        assert_eq!(Value::filled(1, MAX_VALUE_LEN).passes(), MAX_RECIRC_PASSES);
     }
 
     #[test]

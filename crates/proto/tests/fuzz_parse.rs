@@ -76,7 +76,7 @@ proptest! {
         op_i in 0usize..14,
         seq in any::<u32>(),
         key in any::<u64>(),
-        len in 0usize..=128,
+        len in 0usize..=MAX_VALUE_LEN,
         fill in any::<u8>(),
         udp in any::<bool>(),
     ) {
@@ -170,7 +170,10 @@ fn unknown_op_is_typed() {
 #[test]
 fn oversized_vlen_is_typed() {
     let mut bytes = packet_for(Op::Get, 1, 2, 0, 0, true).deparse();
-    bytes[VLEN_OFF] = (MAX_VALUE_LEN + 72) as u8;
+    // VLEN is two bytes big-endian; write a value beyond the wire bound.
+    let vlen = ((MAX_VALUE_LEN + 72) as u16).to_be_bytes();
+    bytes[VLEN_OFF] = vlen[0];
+    bytes[VLEN_OFF + 1] = vlen[1];
     bytes.extend(std::iter::repeat_n(0u8, MAX_VALUE_LEN + 72));
     assert_eq!(
         Packet::parse(&bytes).unwrap_err(),

@@ -112,7 +112,7 @@ pub struct MultiRackConfig {
     /// Client attachment points (each leaf rack and each spine exposes
     /// one port per client).
     pub clients: u32,
-    /// Value size in bytes (≤ 128).
+    /// Value size in bytes (≤ [`netcache_proto::MAX_VALUE_LEN`]).
     pub value_len: usize,
     /// Hash seed of the key → rack layer (independent of `spine_seed`).
     pub rack_seed: u64,
@@ -197,8 +197,12 @@ impl MultiRackConfig {
                 return err(format!("{name} {rate} must be finite and positive"));
             }
         }
-        if self.value_len == 0 || self.value_len > 128 {
-            return err(format!("value_len {} out of range 1..=128", self.value_len));
+        if self.value_len == 0 || self.value_len > netcache_proto::MAX_VALUE_LEN {
+            return err(format!(
+                "value_len {} out of range 1..={}",
+                self.value_len,
+                netcache_proto::MAX_VALUE_LEN
+            ));
         }
         if self.replication_factor == 0 || self.replication_factor > self.servers_per_rack {
             return err(format!(

@@ -13,11 +13,12 @@ use netcache::{
     FabricCore, FaultConfig, FaultStats, Histogram, NetworkModel, Rack, RackConfig, RackError,
     RackHandle,
 };
+use netcache_client::chunked;
 use netcache_client::{NetCacheClient, RateController, Response};
 use netcache_controller::ControllerConfig;
 use netcache_dataplane::{PortId, SwitchConfig};
 use netcache_proto::{Key, Op, Packet, Value};
-use netcache_workload::{DynamicWorkload, QueryMix, WriteSkew};
+use netcache_workload::{DynamicWorkload, QueryMix, SizeMix, WriteSkew};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
@@ -67,8 +68,21 @@ pub struct SimConfig {
     /// paper's testbed was bounded by its clients' NICs at ≈2 BQPS; the
     /// rate controller never exceeds this cap.
     pub client_cap_qps: Option<f64>,
-    /// Value size in bytes (≤ 128).
+    /// Value size in bytes (≤ [`netcache_proto::MAX_VALUE_LEN`]). Sizes
+    /// beyond one pipeline pass's worth (128 B) are cached as multi-pass
+    /// entries and each switch traversal is charged one pipeline slot per
+    /// recirculation pass.
     pub value_len: usize,
+    /// Optional value-size mixture: when set, each key's logical payload
+    /// length comes from this deterministic key → size-class assignment
+    /// instead of the uniform `value_len`. Sizes up to
+    /// [`netcache_proto::MAX_VALUE_LEN`] are single items; larger sizes
+    /// use the §2 chunked layout, and one logical query fans out into one
+    /// packet per chunk (manifest first, continuations after it arrives —
+    /// the same order a real chunked reader issues them in). The report's
+    /// [`SimReport::size_classes`] breaks goodput and hit ratio down per
+    /// class.
+    pub size_mix: Option<SizeMix>,
     /// Zipf skew of reads (0 = uniform).
     pub theta: f64,
     /// Fraction of writes.
@@ -126,6 +140,7 @@ impl Default for SimConfig {
             loaded_keys: None,
             client_cap_qps: None,
             value_len: 128,
+            size_mix: None,
             theta: 0.99,
             write_ratio: 0.0,
             write_skew: WriteSkew::Uniform,
@@ -243,6 +258,27 @@ impl SimReport {
     }
 }
 
+/// Per-size-class results of a size-mixed run (see [`SimConfig::size_mix`]).
+///
+/// Counters are in *logical* operations: a chunked query counts once, and
+/// counts as a cache hit only when every constituent chunk was served by
+/// the switch.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassStats {
+    /// Logical payload length of this class, bytes.
+    pub value_len: usize,
+    /// Logical operations offered during measurement.
+    pub offered: u64,
+    /// Logical operations fully delivered during measurement.
+    pub delivered: u64,
+    /// Delivered operations served entirely by the switch cache.
+    pub hits: u64,
+    /// Delivered logical operations per second.
+    pub goodput_qps: f64,
+    /// `hits / delivered` (0 when nothing was delivered).
+    pub hit_ratio: f64,
+}
+
 /// Simulation results.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -269,6 +305,9 @@ pub struct SimReport {
     pub per_second: Vec<SecondStats>,
     /// Faults injected by the network model over the whole run.
     pub faults: FaultStats,
+    /// Per-size-class breakdown (empty unless [`SimConfig::size_mix`]
+    /// was set).
+    pub size_classes: Vec<ClassStats>,
 }
 
 enum Event {
@@ -281,7 +320,11 @@ enum Event {
         enqueued_at: u64,
     },
     /// A reply reaches the client.
-    ClientRecv { seq: u32, from_cache: bool },
+    ClientRecv {
+        seq: u32,
+        from_cache: bool,
+        not_found: bool,
+    },
     /// Periodic rate adaptation + bookkeeping.
     Interval,
     /// Periodic controller cycle.
@@ -372,7 +415,13 @@ pub struct RackSim {
     server_served: Vec<u64>,
     service_ns: u64,
     // Client accounting.
-    in_flight: HashMap<u32, u64>,
+    in_flight: HashMap<u32, Flight>,
+    // Logical chunked operations in flight (size-mixed workloads): one
+    // entry per multi-packet query, plus the packet → operation index.
+    large_ops: HashMap<u64, LargeOp>,
+    seq_to_op: HashMap<u32, u64>,
+    next_op_id: u64,
+    class_stats: Vec<ClassCounters>,
     interval_sent: u64,
     interval_recv: u64,
     // Measurement.
@@ -386,6 +435,38 @@ pub struct RackSim {
     offered: u64,
     drops: u64,
     latencies: Histogram,
+}
+
+/// One single-packet query in flight.
+#[derive(Debug, Clone, Copy)]
+struct Flight {
+    sent_at: u64,
+    class: u8,
+}
+
+/// One logical chunked query in flight (size classes beyond
+/// [`netcache_proto::MAX_VALUE_LEN`]).
+#[derive(Debug, Clone, Copy)]
+struct LargeOp {
+    started_at: u64,
+    base_id: u64,
+    total_len: usize,
+    class: u8,
+    /// Constituent packets still outstanding.
+    remaining: u32,
+    /// Every reply so far was served by the switch cache.
+    all_hits: bool,
+    /// Read whose manifest has not arrived yet (continuation reads are
+    /// issued once it does).
+    awaiting_manifest: bool,
+}
+
+/// Per-size-class counters accumulated during measurement.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassCounters {
+    offered: u64,
+    delivered: u64,
+    hits: u64,
 }
 
 impl RackSim {
@@ -402,11 +483,24 @@ impl RackSim {
         config: SimConfig,
         dataplane_updates: bool,
     ) -> Result<Self, RackError> {
+        if let Some(mix) = &config.size_mix {
+            for class in mix.classes() {
+                assert!(
+                    class.value_len <= chunked::MAX_LARGE_LEN,
+                    "size-mix class of {} bytes exceeds the chunked cap of {} bytes",
+                    class.value_len,
+                    chunked::MAX_LARGE_LEN
+                );
+            }
+        }
         let rack = Rack::new(rack_config_for(&config, dataplane_updates))?;
         let loaded = config
             .loaded_keys
             .map_or(config.num_keys, |k| k.min(config.num_keys));
-        rack.load_dataset(loaded, config.value_len);
+        match &config.size_mix {
+            None => rack.load_dataset(loaded, config.value_len),
+            Some(mix) => rack.fabric().load_dataset_with(loaded, |id| mix.len_of(id)),
+        }
 
         let mix = QueryMix::new(
             config.num_keys,
@@ -446,6 +540,13 @@ impl RackSim {
             server_served: vec![0; config.servers as usize],
             service_ns,
             in_flight: HashMap::new(),
+            large_ops: HashMap::new(),
+            seq_to_op: HashMap::new(),
+            next_op_id: 0,
+            class_stats: vec![
+                ClassCounters::default();
+                config.size_mix.as_ref().map_or(1, |m| m.classes().len())
+            ],
             interval_sent: 0,
             interval_recv: 0,
             warmup_end_ns,
@@ -515,14 +616,25 @@ impl RackSim {
         let seq = pkt.netcache.seq;
         self.script_replies.clear();
         let now = self.queue.now();
-        let at_switch = now + self.config.latency.hop_ns + self.config.latency.switch_ns;
-        let outs = self
-            .rack
-            .with_switch(|sw| sw.process(pkt, self.client_port));
-        self.dispatch(at_switch, outs);
+        let (switch_ns, outs) = self.switch_process(pkt, self.client_port);
+        self.dispatch(now + self.config.latency.hop_ns + switch_ns, outs);
         self.drain();
         let reply = self.script_replies.iter().find(|p| p.netcache.seq == seq)?;
         Response::from_packet(reply)
+    }
+
+    /// Processes one packet through the real switch, charging one
+    /// `switch_ns` pipeline slot per pass the touched key's cached value
+    /// occupies: a recirculated multi-pass entry holds the pipeline for
+    /// proportionally longer in the event queue, so large cached values
+    /// are not simulated as free.
+    fn switch_process(&mut self, pkt: Packet, port: PortId) -> (u64, Vec<(PortId, Packet)>) {
+        let key = pkt.netcache.key;
+        let (passes, outs) = self.rack.with_switch(|sw| {
+            let passes = sw.passes_for(&key);
+            (passes, sw.process(pkt, port))
+        });
+        (self.config.latency.switch_ns * u64::from(passes), outs)
     }
 
     /// Runs the event queue dry (scripted mode only: no periodic events
@@ -571,7 +683,11 @@ impl RackSim {
                 pkt,
                 enqueued_at,
             } => self.on_server_complete(now, server, pkt, enqueued_at),
-            Event::ClientRecv { seq, from_cache } => self.on_client_recv(now, seq, from_cache),
+            Event::ClientRecv {
+                seq,
+                from_cache,
+                not_found,
+            } => self.on_client_recv(now, seq, from_cache, not_found),
             Event::Interval => self.on_interval(now),
             Event::ControllerCycle => self.on_controller(now),
             Event::AgentTick => self.on_agent_tick(now),
@@ -580,31 +696,91 @@ impl RackSim {
         }
     }
 
+    /// The class index and logical payload length assigned to a key.
+    fn size_of(&self, id: u64) -> (u8, usize) {
+        match &self.config.size_mix {
+            None => (0, self.config.value_len),
+            Some(mix) => {
+                let class = mix.class_of(id);
+                (class as u8, mix.classes()[class].value_len)
+            }
+        }
+    }
+
+    /// Injects one client packet at the switch.
+    fn send_packet(&mut self, now: u64, pkt: Packet) {
+        let (switch_ns, outs) = self.switch_process(pkt, self.client_port);
+        self.dispatch(now + self.config.latency.hop_ns + switch_ns, outs);
+    }
+
     fn on_client_send(&mut self, now: u64) {
         // Schedule the next arrival first (open loop).
         let next = now + self.exp_interarrival_ns(self.rate.rate());
         self.queue.schedule(next, Event::ClientSend);
 
         let query = self.mix.sample(&mut self.rng);
-        let key = Key::from_u64(query.key_id());
-        let pkt = match query {
-            netcache_workload::QueryKind::Get(_) => self.client.get(key),
-            netcache_workload::QueryKind::Put(id) => self
-                .client
-                .put(key, Value::for_item(id, self.config.value_len)),
-        };
-        let seq = pkt.netcache.seq;
-        self.in_flight.insert(seq, now);
+        let id = query.key_id();
+        let (class, len) = self.size_of(id);
         self.interval_sent += 1;
         if self.measuring(now) {
             self.offered += 1;
             self.current_second.offered += 1;
+            self.class_stats[class as usize].offered += 1;
         }
-        let at_switch = now + self.config.latency.hop_ns + self.config.latency.switch_ns;
-        let outs = self
-            .rack
-            .with_switch(|sw| sw.process(pkt, self.client_port));
-        self.dispatch(at_switch, outs);
+        if len > netcache_proto::MAX_VALUE_LEN {
+            self.send_chunked(now, id, len, class, query.is_write());
+            return;
+        }
+        let key = Key::from_u64(id);
+        let pkt = match query {
+            netcache_workload::QueryKind::Get(_) => self.client.get(key),
+            netcache_workload::QueryKind::Put(id) => self.client.put(key, Value::for_item(id, len)),
+        };
+        self.in_flight.insert(
+            pkt.netcache.seq,
+            Flight {
+                sent_at: now,
+                class,
+            },
+        );
+        self.send_packet(now, pkt);
+    }
+
+    /// Issues one logical query of a key whose payload spans multiple
+    /// chunked items. A write stores every chunk (continuations first,
+    /// manifest last — the ordering `put_large` uses); a read fetches the
+    /// manifest and fans out to the continuations once it arrives. The
+    /// operation completes — one delivered logical query — when the last
+    /// constituent reply reaches the client.
+    fn send_chunked(&mut self, now: u64, id: u64, len: usize, class: u8, is_write: bool) {
+        let op_id = self.next_op_id;
+        self.next_op_id += 1;
+        let base = Key::from_u64(id);
+        let mut op = LargeOp {
+            started_at: now,
+            base_id: id,
+            total_len: len,
+            class,
+            remaining: 1,
+            all_hits: !is_write,
+            awaiting_manifest: !is_write,
+        };
+        if is_write {
+            let chunks = chunked::split(&netcache_proto::item_bytes(id, len))
+                .expect("size-mix lengths are validated against the chunking cap");
+            op.remaining = chunks.len() as u32;
+            self.large_ops.insert(op_id, op);
+            for (index, value) in chunks {
+                let pkt = self.client.put(chunked::chunk_key(base, index), value);
+                self.seq_to_op.insert(pkt.netcache.seq, op_id);
+                self.send_packet(now, pkt);
+            }
+        } else {
+            self.large_ops.insert(op_id, op);
+            let pkt = self.client.get(base);
+            self.seq_to_op.insert(pkt.netcache.seq, op_id);
+            self.send_packet(now, pkt);
+        }
     }
 
     /// Passes one packet through the fault model for a link crossing,
@@ -626,11 +802,13 @@ impl RackSim {
                 Attachment::Client(_) => {
                     for (at, pkt) in self.link(pkt, now) {
                         let from_cache = pkt.netcache.op == Op::GetReplyHit;
+                        let not_found = pkt.netcache.op == Op::GetReplyNotFound;
                         self.queue.schedule(
                             at + self.config.latency.hop_ns,
                             Event::ClientRecv {
                                 seq: pkt.netcache.seq,
                                 from_cache,
+                                not_found,
                             },
                         );
                         if self.capture_replies {
@@ -699,9 +877,8 @@ impl RackSim {
             // survive it traverse the switch at their (possibly delayed)
             // arrival time.
             for (at, pkt) in self.link(pkt, now) {
-                let at_switch = at + self.config.latency.hop_ns + self.config.latency.switch_ns;
-                let outs = self.rack.with_switch(|sw| sw.process(pkt, port));
-                self.dispatch(at_switch, outs);
+                let (switch_ns, outs) = self.switch_process(pkt, port);
+                self.dispatch(at + self.config.latency.hop_ns + switch_ns, outs);
             }
         }
     }
@@ -716,9 +893,13 @@ impl RackSim {
         self.forward_from_server(now, server, outs);
     }
 
-    fn on_client_recv(&mut self, now: u64, seq: u32, from_cache: bool) {
+    fn on_client_recv(&mut self, now: u64, seq: u32, from_cache: bool, not_found: bool) {
+        if let Some(op_id) = self.seq_to_op.remove(&seq) {
+            self.on_chunk_recv(now, op_id, from_cache, not_found);
+            return;
+        }
         self.interval_recv += 1;
-        let sent_at = self.in_flight.remove(&seq);
+        let flight = self.in_flight.remove(&seq);
         if self.measuring(now) {
             self.delivered += 1;
             self.current_second.delivered += 1;
@@ -726,11 +907,64 @@ impl RackSim {
                 self.delivered_hits += 1;
                 self.current_second.cache_hits += 1;
             }
+            if let Some(f) = flight {
+                let c = &mut self.class_stats[f.class as usize];
+                c.delivered += 1;
+                c.hits += u64::from(from_cache);
+            }
             if self.config.collect_latency {
-                if let Some(sent) = sent_at {
+                if let Some(f) = flight {
                     self.latencies
-                        .record(now - sent + self.config.latency.client_overhead_ns);
+                        .record(now - f.sent_at + self.config.latency.client_overhead_ns);
                 }
+            }
+        }
+    }
+
+    /// One constituent reply of a logical chunked operation.
+    fn on_chunk_recv(&mut self, now: u64, op_id: u64, from_cache: bool, not_found: bool) {
+        let Some(op) = self.large_ops.get_mut(&op_id) else {
+            // The operation aged out of the in-flight table (a lost
+            // constituent); late stragglers are dropped on the floor.
+            return;
+        };
+        op.all_hits &= from_cache;
+        op.remaining -= 1;
+        if op.awaiting_manifest && !not_found {
+            // The manifest arrived: fan out the continuation reads. (A
+            // not-found manifest ends the operation — the key holds no
+            // chunked item, exactly like a plain miss.)
+            op.awaiting_manifest = false;
+            let count = chunked::chunk_count(op.total_len);
+            op.remaining = count - 1;
+            let base_id = op.base_id;
+            for index in 1..count {
+                let pkt = self
+                    .client
+                    .get(chunked::chunk_key(Key::from_u64(base_id), index));
+                self.seq_to_op.insert(pkt.netcache.seq, op_id);
+                self.send_packet(now, pkt);
+            }
+            return;
+        }
+        if op.remaining > 0 {
+            return;
+        }
+        let op = self.large_ops.remove(&op_id).expect("operation present");
+        self.interval_recv += 1;
+        if self.measuring(now) {
+            self.delivered += 1;
+            self.current_second.delivered += 1;
+            let c = &mut self.class_stats[op.class as usize];
+            c.delivered += 1;
+            if op.all_hits {
+                self.delivered_hits += 1;
+                self.current_second.cache_hits += 1;
+                c.hits += 1;
+            }
+            if self.config.collect_latency {
+                self.latencies
+                    .record(now - op.started_at + self.config.latency.client_overhead_ns);
             }
         }
     }
@@ -746,7 +980,11 @@ impl RackSim {
         self.interval_recv = 0;
         // In-flight entries older than a second are lost queries.
         self.in_flight
-            .retain(|_, &mut sent| now - sent < 1_000_000_000);
+            .retain(|_, f| now - f.sent_at < 1_000_000_000);
+        self.large_ops
+            .retain(|_, op| now - op.started_at < 1_000_000_000);
+        let live_ops = &self.large_ops;
+        self.seq_to_op.retain(|_, op| live_ops.contains_key(op));
         // Per-second rollover.
         if now >= self.second_boundary_ns {
             if self.measuring(now) {
@@ -827,6 +1065,26 @@ impl RackSim {
             latency_hist: self.latencies,
             per_second: self.per_second,
             faults: self.faults.stats(),
+            size_classes: match &self.config.size_mix {
+                None => Vec::new(),
+                Some(mix) => mix
+                    .classes()
+                    .iter()
+                    .zip(&self.class_stats)
+                    .map(|(class, c)| ClassStats {
+                        value_len: class.value_len,
+                        offered: c.offered,
+                        delivered: c.delivered,
+                        hits: c.hits,
+                        goodput_qps: c.delivered as f64 / window_s,
+                        hit_ratio: if c.delivered > 0 {
+                            c.hits as f64 / c.delivered as f64
+                        } else {
+                            0.0
+                        },
+                    })
+                    .collect(),
+            },
         }
     }
 }
@@ -838,6 +1096,31 @@ impl RackHandle for RackSim {
 
     fn populate_cache(&self, keys: Vec<Key>) -> usize {
         RackHandle::populate_cache(&self.rack, keys)
+    }
+}
+
+/// Large values (§2) through the full simulated data path: each
+/// constituent item is one scripted request over the latency-modelled
+/// links and rate-limited servers. Shared chunking/reassembly logic in
+/// [`netcache::LargeValueOps`] keeps the simulator byte-compatible with
+/// the in-process and UDP transports.
+impl netcache::LargeValueOps for RackSim {
+    fn kv_get(&mut self, key: Key) -> Option<netcache::ClientResponse> {
+        let pkt = self.client.get(key);
+        let prev = self.capture_replies;
+        self.capture_replies = true;
+        let resp = self.script_request(pkt);
+        self.capture_replies = prev;
+        resp.map(netcache::ClientResponse::new)
+    }
+
+    fn kv_put(&mut self, key: Key, value: Value) -> Option<netcache::ClientResponse> {
+        let pkt = self.client.put(key, value);
+        let prev = self.capture_replies;
+        self.capture_replies = true;
+        let resp = self.script_request(pkt);
+        self.capture_replies = prev;
+        resp.map(netcache::ClientResponse::new)
     }
 }
 

@@ -8,12 +8,16 @@
 //!   dynamic workloads of §7.4 (hot-in, random, hot-out);
 //! - [`QueryMix`] — read/write mixes with independently skewed read and
 //!   write key distributions (Fig. 10(d) uses zipf reads with uniform or
-//!   zipf writes).
+//!   zipf writes);
+//! - [`SizeMix`] — deterministic key → value-size-class assignment for
+//!   size-mixed workloads (small items alongside chunked large values).
 
 pub mod dynamics;
 pub mod mix;
+pub mod sizes;
 pub mod zipf;
 
 pub use dynamics::{DynamicWorkload, PopularityMap};
 pub use mix::{QueryKind, QueryMix, WriteSkew};
+pub use sizes::{SizeClass, SizeMix};
 pub use zipf::ZipfGenerator;

@@ -1,0 +1,148 @@
+//! Value-size mixtures for size-mixed workloads.
+//!
+//! Production key-value traces mix small metadata items with occasional
+//! large blobs; the size a key carries is a property of the key, not of
+//! the individual query. [`SizeMix`] assigns each key id one of a fixed
+//! set of weighted size classes by seeded hash, so every layer of a
+//! simulation — dataset loader, query generator, per-class accounting —
+//! agrees on a key's size without any shared mutable table.
+
+/// One value-size class in a [`SizeMix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeClass {
+    /// Logical payload length in bytes for keys of this class.
+    pub value_len: usize,
+    /// Relative weight (share of the keyspace, not of the traffic).
+    pub weight: u32,
+}
+
+/// A deterministic key → size-class assignment.
+///
+/// Class membership is `splitmix64(key_id ^ seed)` reduced against the
+/// cumulative weights, so the assignment is uniform across the keyspace
+/// and independent of key popularity: hot and cold keys draw their sizes
+/// from the same distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeMix {
+    classes: Vec<SizeClass>,
+    total_weight: u64,
+    seed: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl SizeMix {
+    /// Builds a mix from weighted classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or all weights are zero.
+    pub fn new(classes: Vec<SizeClass>, seed: u64) -> Self {
+        let total_weight: u64 = classes.iter().map(|c| u64::from(c.weight)).sum();
+        assert!(
+            total_weight > 0,
+            "size mix needs at least one nonzero weight"
+        );
+        SizeMix {
+            classes,
+            total_weight,
+            seed,
+        }
+    }
+
+    /// The classes, in construction order ([`class_of`](Self::class_of)
+    /// indexes into this slice).
+    pub fn classes(&self) -> &[SizeClass] {
+        &self.classes
+    }
+
+    /// The class index assigned to `key_id`.
+    pub fn class_of(&self, key_id: u64) -> usize {
+        let mut draw = splitmix64(key_id ^ self.seed) % self.total_weight;
+        for (i, c) in self.classes.iter().enumerate() {
+            let w = u64::from(c.weight);
+            if draw < w {
+                return i;
+            }
+            draw -= w;
+        }
+        unreachable!("draw below total weight always lands in a class")
+    }
+
+    /// The value length assigned to `key_id`.
+    pub fn len_of(&self, key_id: u64) -> usize {
+        self.classes[self.class_of(key_id)].value_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> SizeMix {
+        SizeMix::new(
+            vec![
+                SizeClass {
+                    value_len: 64,
+                    weight: 80,
+                },
+                SizeClass {
+                    value_len: 512,
+                    weight: 15,
+                },
+                SizeClass {
+                    value_len: 4096,
+                    weight: 5,
+                },
+            ],
+            0x517e,
+        )
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let (a, b) = (mix(), mix());
+        assert!((0..10_000).all(|id| a.len_of(id) == b.len_of(id)));
+    }
+
+    #[test]
+    fn class_shares_track_weights() {
+        let m = mix();
+        let mut counts = [0u64; 3];
+        let n = 100_000u64;
+        for id in 0..n {
+            counts[m.class_of(id)] += 1;
+        }
+        for (c, expect) in counts.iter().zip([0.80, 0.15, 0.05]) {
+            let share = *c as f64 / n as f64;
+            assert!(
+                (share - expect).abs() < 0.01,
+                "share {share} far from weight {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_changes_the_assignment() {
+        let a = mix();
+        let b = SizeMix::new(a.classes().to_vec(), 0x7ea1);
+        assert!((0..10_000).any(|id| a.class_of(id) != b.class_of(id)));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero weight")]
+    fn zero_weights_rejected() {
+        SizeMix::new(
+            vec![SizeClass {
+                value_len: 64,
+                weight: 0,
+            }],
+            1,
+        );
+    }
+}

@@ -92,6 +92,8 @@ fn oversized_app_inputs_rejected_client_side() {
     let mut c = r.client(0);
     let long_key = vec![b'k'; 65];
     assert!(c.put_app(&long_key, b"x").is_none());
-    let big_payload = vec![0u8; 128];
+    // One past what fits beside the length byte and the embedded key in a
+    // maximally recirculated value.
+    let big_payload = vec![0u8; netcache_proto::MAX_VALUE_LEN - 1 - b"k".len() + 1];
     assert!(c.put_app(b"k", &big_payload).is_none());
 }

@@ -13,7 +13,10 @@
 //! Every scenario is exactly reproducible: the fault sequence and the
 //! workload derive from one seed, adjustable via `NETCACHE_TEST_SEED`.
 
-use netcache::{seed_from_env, FaultConfig, Rack, RackConfig, RackHandle, RackReport, RetryPolicy};
+use netcache::{
+    seed_from_env, FaultConfig, LargeValueOps, Rack, RackConfig, RackHandle, RackReport,
+    RetryPolicy,
+};
 use netcache_client::Response;
 use netcache_proto::{Key, Value};
 use rand::rngs::StdRng;
@@ -938,4 +941,203 @@ fn chaos_udp_uring_write_freshness() {
         return;
     }
     chaos_udp_write_freshness(netcache::runtime::RuntimeKind::Uring, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Recirculation chaos (size-mixed, OrbitCache direction): kill and restart
+// a replica with large values in flight — multi-pass recirculated items and
+// chunked payloads — while the fault model keeps dropping packets.
+// ---------------------------------------------------------------------------
+
+/// Value length per key: 2 pipeline passes, the full 16-pass
+/// recirculation cap, and a 3-chunk payload beyond it.
+fn large_len(k: u64) -> usize {
+    [300, netcache_proto::MAX_VALUE_LEN, 6_000][(k % 3) as usize]
+}
+
+/// Payload for (key, counter): counter big-endian in the first 8 bytes,
+/// deterministic fill after, sized by [`large_len`].
+fn large_payload(k: u64, counter: u64) -> Vec<u8> {
+    let mut p = vec![0u8; large_len(k)];
+    p[..8].copy_from_slice(&counter.to_be_bytes());
+    let fill = counter.to_le_bytes();
+    for (i, b) in p.iter_mut().enumerate().skip(8) {
+        *b = (i as u8) ^ fill[i % 8];
+    }
+    p
+}
+
+/// What one large-value chaos scenario observed, for aggregate assertions
+/// and the determinism check.
+#[derive(Debug, PartialEq)]
+struct LargeChaosOutcome {
+    acked: u64,
+    abandoned: u64,
+    recirculations: u64,
+}
+
+/// Chain-replicated rack (factor 2) under loss: size-mixed keys see
+/// interleaved `put_large`/`get_large` while the anchored replica is
+/// killed a quarter of the way in and restarted at the halfway mark.
+///
+/// Every successful read's leading counter must sit in the admissible
+/// set: an abandoned composite write may have applied any prefix of its
+/// chunks, but the manifest is written *last*, so the observable counter
+/// only flips once the write got all the way through — the same
+/// commit/admit semantics as single-item chain writes. After repair, a
+/// fully-acked overwrite of every key must read back byte for byte from
+/// whatever mixture of switch cache and chain tails serves the
+/// constituents: the §4.3 freshness guarantee extended to recirculated
+/// and chunked values.
+fn run_large_value_scenario(seed: u64, loss: f64) -> LargeChaosOutcome {
+    const LKEYS: u64 = 6;
+    let mut config = RackConfig::small(4);
+    config.replication_factor = 2;
+    config.controller.cache_capacity = 8;
+    config.switch.hot_threshold = 8;
+    config.faults = FaultConfig {
+        loss,
+        duplicate: 0.05,
+        reorder: 0.05,
+        max_delay_ns: 300_000,
+        seed,
+    };
+    let rack = Rack::new(config).expect("valid config");
+    let policy = RetryPolicy::default();
+    let mut client = rack.client(0).with_policy(policy.clone());
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0x14c4));
+
+    // Anchor the kill to the chain of key 0's partition, as the plain
+    // chain suite does.
+    let anchor = rack.addressing().partition_of(&Key::from_u64(0));
+    let victim = (anchor + 1) % 4;
+
+    let mut keys: Vec<ChainKeyState> = (0..LKEYS).map(|_| ChainKeyState::new()).collect();
+    let mut next_counter = 0u64;
+    let mut acked = 0u64;
+    let mut abandoned = 0u64;
+
+    // Seed every key to a known committed state. Composite writes abort on
+    // any lost constituent and rewriting the same chunks is idempotent, so
+    // retry whole passes until one fully acks.
+    for k in 0..LKEYS {
+        next_counter += 1;
+        keys[k as usize].max_issued = next_counter;
+        let p = large_payload(k, next_counter);
+        let stored = (0..100).any(|_| client.put_large(Key::from_u64(k), &p).is_some());
+        assert!(stored, "seeding write never fully acked (seed {seed:#x})");
+        keys[k as usize].commit(Some(next_counter));
+    }
+    // Cache the single-item bases up front (served by recirculation); the
+    // chunked keys' manifests and continuations heat up via the sketch.
+    rack.populate_cache(
+        (0..LKEYS)
+            .filter(|k| large_len(*k) <= netcache_proto::MAX_VALUE_LEN)
+            .map(Key::from_u64),
+    );
+
+    let kill_at = OPS / 4;
+    let restart_at = OPS / 2;
+    for i in 0..OPS {
+        if i == kill_at {
+            rack.kill_server(victim);
+        }
+        if i == restart_at {
+            rack.restart_server(victim);
+        }
+        if i % 8 == 0 {
+            rack.run_controller();
+        }
+        let k = rng.random_range(0..LKEYS);
+        let key = Key::from_u64(k);
+        let roll: f64 = rng.random();
+        if roll < 0.6 {
+            match client.get_large(key) {
+                Some((payload, _all_cached)) => {
+                    acked += 1;
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&payload[..8]);
+                    keys[k as usize].check(Some(u64::from_be_bytes(b)), seed, k);
+                    assert_eq!(
+                        payload.len(),
+                        large_len(k),
+                        "torn read length on key {k} (seed {seed:#x})"
+                    );
+                }
+                None => abandoned += 1,
+            }
+        } else {
+            next_counter += 1;
+            keys[k as usize].max_issued = next_counter;
+            let p = large_payload(k, next_counter);
+            match client.put_large(key, &p) {
+                Some(()) => {
+                    keys[k as usize].commit(Some(next_counter));
+                    acked += 1;
+                }
+                None => {
+                    keys[k as usize].admit(Some(next_counter));
+                    abandoned += 1;
+                }
+            }
+        }
+    }
+
+    // Let repair finish, then re-establish a committed state per key and
+    // demand the exact bytes back (§4.3 freshness after failover).
+    rack.run_controller();
+    for k in 0..LKEYS {
+        next_counter += 1;
+        keys[k as usize].max_issued = next_counter;
+        let p = large_payload(k, next_counter);
+        let key = Key::from_u64(k);
+        let stored = (0..100).any(|_| client.put_large(key, &p).is_some());
+        assert!(
+            stored,
+            "post-repair write never fully acked (seed {seed:#x})"
+        );
+        keys[k as usize].commit(Some(next_counter));
+        let (back, _) = (0..100)
+            .find_map(|_| client.get_large(key))
+            .unwrap_or_else(|| panic!("post-repair read never acked (seed {seed:#x})"));
+        assert_eq!(
+            back, p,
+            "stale or torn read after repair on key {k} (seed {seed:#x})"
+        );
+    }
+
+    LargeChaosOutcome {
+        acked,
+        abandoned,
+        recirculations: rack.switch_stats().recirculations,
+    }
+}
+
+/// Four seeds of the large-value kill/restart scenario at 5% loss. The
+/// pre-cached multi-pass entries must actually be served by
+/// recirculation, and the rack must stay mostly available.
+#[test]
+fn chaos_large_values_chain_kill_restart_under_loss() {
+    for i in 0..4 {
+        let seed = scenario_seed(13, i);
+        let out = run_large_value_scenario(seed, 0.05);
+        assert!(
+            out.recirculations > 0,
+            "multi-pass entries never served by recirculation (seed {seed:#x}): {out:?}"
+        );
+        assert!(
+            out.acked > out.abandoned,
+            "rack mostly unavailable (seed {seed:#x}): {out:?}"
+        );
+    }
+}
+
+/// The whole large-value scenario — faults, kill/restart schedule,
+/// composite retries, observations — is a pure function of the seed.
+#[test]
+fn chaos_large_values_deterministic_per_seed() {
+    let seed = scenario_seed(14, 0);
+    let a = run_large_value_scenario(seed, 0.05);
+    let b = run_large_value_scenario(seed, 0.05);
+    assert_eq!(a, b, "same seed must replay the same outcomes");
 }

@@ -375,6 +375,169 @@ fn udp_matches_in_process_outcomes() {
     );
 }
 
+/// The large-value API must be transport-invariant: the same writes and
+/// reads — single-pass (≤128 B values), recirculated multi-pass (up to
+/// 2 KB in one item) and chunked-fallback (beyond 2 KB) sizes — must
+/// return byte-identical payloads on the in-process rack, the
+/// discrete-event simulator and the loopback-UDP rack, and agree with a
+/// reference model of the logical store. Rack and sim are deterministic
+/// and identically assembled, so their comparison is exact (including
+/// serving provenance and the recirculation counter); the UDP rack is
+/// compared on bytes. Multi-pass entries must actually be served by
+/// recirculation once the controller admits the heavily read base keys.
+#[test]
+fn large_values_agree_across_all_three_transports() {
+    use netcache::LargeValueOps;
+    use netcache_sim::ScriptOp;
+    use std::collections::HashMap;
+
+    // One logical item per size class: empty, one byte, exactly one
+    // pass's worth of payload, one over, mid multi-pass, the largest
+    // single item (manifest = 2048 B value, 16 passes), one byte into
+    // chunked fallback, and a three-chunk payload.
+    const SIZES: [usize; 8] = [0, 1, 128, 129, 300, 2044, 2045, 6000];
+    fn payload(tag: usize, len: usize) -> Vec<u8> {
+        (0..len).map(|j| ((tag * 31 + j * 7) % 251) as u8).collect()
+    }
+    fn base_key(i: usize) -> Key {
+        Key::from_u64(50_000 + i as u64)
+    }
+
+    let seed = seed_from_env(0x001a_46e5);
+    let config = sim_config(seed);
+    let mut sim = RackSim::new(config.clone()).expect("valid sim config");
+    let rack = build_rack(&config);
+    let udp = UdpRack::start(rack_config_for(&config, true)).expect("loopback rack");
+    {
+        // Mirror build_rack's assembly for the UDP deployment.
+        let loaded = config
+            .loaded_keys
+            .map_or(config.num_keys, |k| k.min(config.num_keys));
+        udp.load_dataset(loaded, config.value_len);
+        let mix = QueryMix::new(
+            config.num_keys,
+            config.theta,
+            config.write_ratio,
+            config.write_skew,
+        );
+        let hottest: Vec<Key> = mix
+            .popularity()
+            .hottest(config.cache_items)
+            .iter()
+            .map(|&id| Key::from_u64(id))
+            .collect();
+        udp.populate_cache(hottest);
+    }
+    let mut rack_client = rack.client(0);
+    let mut udp_client = udp.client(0);
+
+    // Phase 1: write one item per size class on every transport.
+    let mut model: HashMap<usize, Vec<u8>> = HashMap::new();
+    for (i, &len) in SIZES.iter().enumerate() {
+        let p = payload(i, len);
+        assert!(
+            rack_client.put_large(base_key(i), &p).is_some(),
+            "rack put {len}"
+        );
+        assert!(sim.put_large(base_key(i), &p).is_some(), "sim put {len}");
+        assert!(
+            udp_client.put_large(base_key(i), &p).is_some(),
+            "udp put {len}"
+        );
+        model.insert(i, p);
+    }
+
+    // Phase 2: heat the base keys past the heavy-hitter threshold, then
+    // run controller cycles so the size-aware admission installs them
+    // (multi-pass slots for everything above one pass's worth).
+    for _ in 0..70 {
+        for i in 0..SIZES.len() {
+            assert!(rack_client.get_large(base_key(i)).is_some());
+            assert!(sim.get_large(base_key(i)).is_some());
+            assert!(udp_client.get_large(base_key(i)).is_some());
+        }
+    }
+    let cycles = [
+        ScriptOp::Controller,
+        ScriptOp::AdvanceMs(2),
+        ScriptOp::Controller,
+    ];
+    sim.run_script(&cycles);
+    run_script_on_rack(&rack, &cycles, config.value_len);
+    udp.run_controller(1_000_000);
+    udp.run_controller(3_000_000);
+
+    // Phase 3: cached reads — byte equality against the model
+    // everywhere, exact equality (bytes + provenance) between rack and
+    // sim, and actual recirculated service.
+    let recirc_before = rack.switch_stats().recirculations;
+    let mut any_fully_cached = false;
+    for (i, &len) in SIZES.iter().enumerate() {
+        let rack_read = rack_client.get_large(base_key(i)).expect("rack read");
+        let sim_read = sim.get_large(base_key(i)).expect("sim read");
+        let udp_read = udp_client.get_large(base_key(i)).expect("udp read");
+        assert_eq!(&rack_read.0, &model[&i], "rack bytes, size {len}");
+        assert_eq!(
+            sim_read, rack_read,
+            "sim diverged from rack at size {len} (seed {seed:#x})"
+        );
+        assert_eq!(
+            udp_read.0, rack_read.0,
+            "udp bytes diverged at size {len} (seed {seed:#x})"
+        );
+        any_fully_cached |= rack_read.1;
+    }
+    assert!(
+        any_fully_cached,
+        "no large item was served entirely from the switch cache (seed {seed:#x})"
+    );
+    assert!(
+        rack.switch_stats().recirculations > recirc_before,
+        "cached multi-pass reads must recirculate (seed {seed:#x}): {:?}",
+        rack.switch_stats()
+    );
+    assert_eq!(
+        sim.switch_stats(),
+        rack.switch_stats(),
+        "switch counters diverged (seed {seed:#x})"
+    );
+
+    // Phase 4: overwrite every key with a different size class (shrinks
+    // and grows, crossing the single-item/chunked boundary both ways),
+    // then re-read everywhere.
+    for i in 0..SIZES.len() {
+        let len = SIZES[(i + 3) % SIZES.len()];
+        let p = payload(100 + i, len);
+        assert!(rack_client.put_large(base_key(i), &p).is_some());
+        assert!(sim.put_large(base_key(i), &p).is_some());
+        assert!(udp_client.put_large(base_key(i), &p).is_some());
+        model.insert(i, p);
+    }
+    for i in 0..SIZES.len() {
+        let rack_read = rack_client.get_large(base_key(i)).expect("rack reread");
+        let sim_read = sim.get_large(base_key(i)).expect("sim reread");
+        let udp_read = udp_client.get_large(base_key(i)).expect("udp reread");
+        assert_eq!(
+            &rack_read.0, &model[&i],
+            "rack bytes after overwrite, key {i}"
+        );
+        assert_eq!(
+            sim_read, rack_read,
+            "sim diverged from rack after overwrite, key {i} (seed {seed:#x})"
+        );
+        assert_eq!(
+            udp_read.0, rack_read.0,
+            "udp bytes diverged after overwrite, key {i} (seed {seed:#x})"
+        );
+    }
+    assert_eq!(
+        sim.switch_stats(),
+        rack.switch_stats(),
+        "final switch counters diverged (seed {seed:#x})"
+    );
+    udp.stop();
+}
+
 /// The runtime layer must be invisible to rack semantics: the same
 /// seeded workload driven over the batched (`recvmmsg`/`sendmmsg`,
 /// SO_REUSEPORT shards) and the portable (`recv_from`/`send_to`)

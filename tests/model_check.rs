@@ -14,6 +14,12 @@
 //! mid-stream: they must never change what any read observes, only where
 //! it is served from.
 //!
+//! Values are size-mixed: each key has a fixed length drawn from classes
+//! spanning one pipeline pass up to the full 16-pass recirculation cap
+//! (`MAX_VALUE_LEN`), so cache churn moves multi-pass entries through the
+//! allocator's consecutive-bin spans while queries fly. Certain reads are
+//! checked byte for byte against the reference body, not just by counter.
+//!
 //! Seeds derive from one base, adjustable via `NETCACHE_TEST_SEED`.
 
 use std::collections::HashMap;
@@ -33,6 +39,35 @@ const OPS: usize = 300;
 /// whole run, so a read unambiguously identifies which write it observed.
 fn val(counter: u64) -> Value {
     Value::new(counter.to_be_bytes().to_vec()).expect("8 bytes fits")
+}
+
+/// Each key's value length is a fixed property of the key (as in the
+/// bench harness's `SizeMix`), drawn from classes covering 1, 2, 6 and 16
+/// pipeline passes. Fixed-per-key lengths mean a write never changes an
+/// entry's pass count, so data-plane cache updates exercise multi-pass
+/// value writes without implying in-place resizing.
+fn len_for(k: u64) -> usize {
+    match splitmix64(k ^ 0x512e_0000) % 8 {
+        0 => netcache_proto::MAX_VALUE_LEN, // 2048 B = 16 passes
+        1 => 720,                           // 45 units = 6 passes
+        2 | 3 => 200,                       // 13 units = 2 passes
+        _ => 8,                             // single slot, single pass
+    }
+}
+
+/// The full reference body for (key, counter): counter big-endian in the
+/// first 8 bytes (so [`counter_of`] still works), deterministic fill
+/// after, sized by [`len_for`]. Certain reads compare against this byte
+/// for byte.
+fn val_for(k: u64, counter: u64) -> Value {
+    let len = len_for(k);
+    let mut bytes = vec![0u8; len.max(8)];
+    bytes[..8].copy_from_slice(&counter.to_be_bytes());
+    let fill = counter.to_le_bytes();
+    for (i, slot) in bytes.iter_mut().enumerate().skip(8) {
+        *slot = (i as u8) ^ fill[i % 8];
+    }
+    Value::new(bytes).expect("class lengths fit MAX_VALUE_LEN")
 }
 
 fn counter_of(v: &Value) -> u64 {
@@ -109,6 +144,11 @@ struct ScenarioResult {
     certain_reads: u64,
     cache_inserts: u64,
     cache_evictions: u64,
+    /// Successful controller insertions of keys wider than one pipeline
+    /// pass (served by recirculation once cached).
+    wide_cache_inserts: u64,
+    /// Extra pipeline passes the switch took serving recirculated values.
+    recirculations: u64,
 }
 
 /// Replays one seeded operation sequence against the rack and the model in
@@ -143,13 +183,15 @@ fn run_scenario_replicated(seed: u64, faults: FaultConfig, factor: u32) -> Scena
         certain_reads: 0,
         cache_inserts: 0,
         cache_evictions: 0,
+        wide_cache_inserts: 0,
+        recirculations: 0,
     };
 
     // Seed every key (under faults too), then cache the first third so the
     // stream mixes switch-served and server-served reads from the start.
     for k in 0..KEYS {
         next_counter += 1;
-        let out = client.put_with_retry(Key::from_u64(k), val(next_counter));
+        let out = client.put_with_retry(Key::from_u64(k), val_for(k, next_counter));
         assert!(out.retries <= policy.max_retries, "retry bound exceeded");
         let entry = model.get_mut(&k).expect("pre-seeded key");
         match out.response {
@@ -192,12 +234,24 @@ fn run_scenario_replicated(seed: u64, faults: FaultConfig, factor: u32) -> Scena
             );
             if entry.is_certain() {
                 result.certain_reads += 1;
+                // Certain reads are checked byte for byte: a recirculated
+                // multi-pass read must reassemble the exact body, not just
+                // the counter in the first slot.
+                if let (Some(counter), Response::Value { value, .. }) = (observed, resp.response())
+                {
+                    assert_eq!(
+                        value.as_bytes(),
+                        val_for(k, counter).as_bytes(),
+                        "body mismatch on key {k} ({} B, seed {seed:#x})",
+                        len_for(k)
+                    );
+                }
             }
             result.trace.push(Observed::Got(observed));
         } else if roll < 0.80 {
             // Write, applied to both rack and model.
             next_counter += 1;
-            let out = client.put_with_retry(key, val(next_counter));
+            let out = client.put_with_retry(key, val_for(k, next_counter));
             assert!(out.retries <= policy.max_retries, "retry bound exceeded");
             let entry = model.get_mut(&k).expect("pre-seeded key");
             match out.response {
@@ -234,6 +288,9 @@ fn run_scenario_replicated(seed: u64, faults: FaultConfig, factor: u32) -> Scena
             // any observable value — the model is untouched.
             let inserted = rack.populate_cache([key]) == 1;
             result.cache_inserts += u64::from(inserted);
+            if inserted && len_for(k) > netcache_proto::PASS_VALUE_LEN {
+                result.wide_cache_inserts += 1;
+            }
             result.trace.push(Observed::CachePopulated(inserted));
         } else {
             // Cache-plane mutation: controller eviction (same invariant).
@@ -245,6 +302,7 @@ fn run_scenario_replicated(seed: u64, faults: FaultConfig, factor: u32) -> Scena
             rack.run_controller();
         }
     }
+    result.recirculations = rack.with_switch(|sw| sw.stats().recirculations);
     result
 }
 
@@ -323,6 +381,35 @@ fn model_check_is_deterministic_per_seed() {
     let a = run_scenario(seed, faulty(0.10, seed));
     let b = run_scenario(seed, faulty(0.10, seed));
     assert_eq!(a.trace, b.trace, "same seed must replay the same trace");
+}
+
+/// Size-aware admissibility: the mixed-size workload must drive real
+/// recirculation. The pre-cached first third includes multi-pass keys
+/// for every seed (`len_for` is seed-independent), wide entries are
+/// admitted mid-stream by cache churn, and certain reads of recirculated
+/// values are compared byte for byte inside `run_scenario` — so the
+/// allocator's consecutive-bin spans, the switch's per-pass epochs and
+/// the §4.3 coherence dance are all exercised at 2, 6 and 16 passes.
+#[test]
+fn model_check_mixed_sizes_recirculate() {
+    let mut wide_inserts = 0;
+    for i in 0..4 {
+        let seed = scenario_seed(7, i);
+        let out = run_scenario(seed, clean());
+        assert_eq!(
+            out.abandoned, 0,
+            "clean network abandoned ops (seed {seed:#x})"
+        );
+        assert!(
+            out.recirculations > 0,
+            "mixed-size workload never recirculated (seed {seed:#x})"
+        );
+        wide_inserts += out.wide_cache_inserts;
+    }
+    assert!(
+        wide_inserts > 0,
+        "cache churn never admitted a multi-pass entry"
+    );
 }
 
 /// Chain-replicated rack, clean network: every write travels switch →

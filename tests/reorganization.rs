@@ -17,6 +17,9 @@ fn tiny_memory_rack() -> Rack {
     let mut config = RackConfig::small(4);
     config.switch.value_slots = 8;
     config.switch.cache_capacity = 8;
+    // An entry cannot span more bins than exist; shrink the recirc
+    // budget along with the memory.
+    config.switch.recirc_passes = 8;
     config.controller.cache_capacity = 8;
     Rack::new(config).expect("valid config")
 }
